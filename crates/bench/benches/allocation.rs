@@ -1,0 +1,59 @@
+//! Allocator micro-benchmarks: MaxPerf water-filling, spot prediction
+//! and demand-function evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spotdc_bench::{gain_fixture, market_fixture};
+use spotdc_core::{max_perf_allocate, SpotPredictor};
+use spotdc_power::PowerMeter;
+use spotdc_units::{Price, RackId, Slot, Watts};
+
+fn bench_maxperf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxperf_allocate");
+    group.sample_size(20);
+    for racks in [100usize, 1000, 5000] {
+        let (_topo, _bids, constraints) = market_fixture(racks, 7);
+        let gains = gain_fixture(racks);
+        group.bench_with_input(BenchmarkId::from_parameter(racks), &racks, |b, _| {
+            b.iter(|| {
+                let grants = max_perf_allocate(std::hint::black_box(&gains), &constraints);
+                std::hint::black_box(grants.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spot_prediction");
+    group.sample_size(20);
+    for racks in [1000usize, 15_000] {
+        let (topo, _bids, _cs) = market_fixture(racks, 7);
+        let mut meter = PowerMeter::new(&topo, 4);
+        for i in 0..racks {
+            meter.record(Slot::ZERO, RackId::new(i), Watts::new(3000.0));
+        }
+        let predictor = SpotPredictor::under_predicting(10.0);
+        let requesting: Vec<RackId> = (0..racks / 5).map(RackId::new).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(racks), &racks, |b, _| {
+            b.iter(|| {
+                let spot = predictor.predict(&topo, &meter, requesting.iter().copied());
+                std::hint::black_box(spot.ups)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_demand_evaluation(c: &mut Criterion) {
+    let (_topo, bids, _cs) = market_fixture(5000, 7);
+    c.bench_function("aggregate_demand_5000_racks", |b| {
+        let price = Price::per_kw_hour(0.15);
+        b.iter(|| {
+            let total: Watts = bids.iter().map(|rb| rb.demand_at(price)).sum();
+            std::hint::black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_maxperf, bench_prediction, bench_demand_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end simulation throughput: slots per second for the Table I
+//! testbed and the hyper-scale scenario under each operating mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spotdc_sim::baselines::Mode;
+use spotdc_sim::engine::{EngineConfig, Simulation};
+use spotdc_sim::scenario::Scenario;
+
+fn bench_testbed_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testbed_100_slots");
+    group.sample_size(10);
+    for mode in [Mode::PowerCapped, Mode::SpotDc, Mode::MaxPerf] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let report =
+                        Simulation::new(Scenario::testbed(42), EngineConfig::new(mode)).run(100);
+                    std::hint::black_box(report.records.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hyperscale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hyperscale_20_slots");
+    group.sample_size(10);
+    for tenants in [48usize, 304] {
+        group.bench_with_input(BenchmarkId::from_parameter(tenants), &tenants, |b, &n| {
+            b.iter(|| {
+                let report = Simulation::new(
+                    Scenario::hyperscale(42, n),
+                    EngineConfig::new(Mode::SpotDc),
+                )
+                .run(20);
+                std::hint::black_box(report.avg_spot_sold())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_testbed_modes, bench_hyperscale);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro                      # run everything at the default horizon
+//! repro --exp fig12          # one experiment
+//! repro --days 30 --seed 7   # longer horizon, different seed
+//! repro --quick              # fast smoke pass
+//! repro --list               # available experiment ids
+//! repro --out results/       # also write one .txt file per experiment
+//! ```
+
+use std::process::ExitCode;
+
+use spotdc_sim::experiments::{all_ids, run_by_id, ExpConfig};
+
+fn main() -> ExitCode {
+    let mut cfg = ExpConfig::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in all_ids() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--quick" => {
+                cfg = ExpConfig {
+                    seed: cfg.seed,
+                    ..ExpConfig::quick()
+                };
+            }
+            "--exp" => match args.next() {
+                Some(id) => selected.push(id),
+                None => return usage("--exp needs an experiment id"),
+            },
+            "--days" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(days) => cfg.days = days,
+                None => return usage("--days needs a number"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => cfg.seed = seed,
+                None => return usage("--seed needs an integer"),
+            },
+            "--out" => match args.next() {
+                Some(dir) => out_dir = Some(dir.into()),
+                None => return usage("--out needs a directory"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+    let ids: Vec<String> = if selected.is_empty() {
+        all_ids().into_iter().map(str::to_owned).collect()
+    } else {
+        selected
+    };
+    println!(
+        "# SpotDC reproduction — seed {}, horizon {} days{}\n",
+        cfg.seed,
+        cfg.days,
+        if cfg.quick { " (quick)" } else { "" }
+    );
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for id in &ids {
+        match run_by_id(id, &cfg) {
+            Some(out) => {
+                println!("{out}");
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{id}.txt"));
+                    if let Err(e) = std::fs::write(&path, out.to_string()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "usage: repro [--exp <id>]... [--days <n>] [--seed <n>] [--quick] [--list] [--out <dir>]\n\
+         experiments: {}",
+        all_ids().join(", ")
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,49 @@
+//! Benchmark fixtures shared by the Criterion benches and the `repro`
+//! binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use spotdc_core::{ConcaveGain, ConstraintSet, RackBid};
+use spotdc_power::PowerTopology;
+use spotdc_sim::experiments::fig7b::synthetic_market;
+use spotdc_units::RackId;
+
+/// A ready-to-clear synthetic market of the given size.
+#[must_use]
+pub fn market_fixture(racks: usize, seed: u64) -> (PowerTopology, Vec<RackBid>, ConstraintSet) {
+    synthetic_market(racks, seed)
+}
+
+/// Synthetic concave gain curves for every rack in a fixture, for the
+/// MaxPerf allocator benches.
+#[must_use]
+pub fn gain_fixture(racks: usize) -> std::collections::BTreeMap<RackId, ConcaveGain> {
+    (0..racks)
+        .map(|i| {
+            let steep = 0.001 + 0.000_01 * (i % 17) as f64;
+            let gain = ConcaveGain::new(vec![
+                (800.0, steep),
+                (900.0, steep * 0.4),
+                (800.0, steep * 0.1),
+            ])
+            .expect("valid synthetic gain");
+            (RackId::new(i), gain)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_well_formed() {
+        let (topo, bids, cs) = market_fixture(128, 1);
+        assert_eq!(topo.rack_count(), 128);
+        assert_eq!(bids.len(), 128);
+        assert!(cs.rack_count() >= 128);
+        let gains = gain_fixture(64);
+        assert_eq!(gains.len(), 64);
+    }
+}

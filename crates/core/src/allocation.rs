@@ -1,0 +1,199 @@
+//! The outcome of one slot's market: per-rack spot-capacity grants.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use spotdc_units::{Money, Price, RackId, Slot, SlotDuration, Watts};
+
+/// The spot capacity granted to each participating rack for one slot,
+/// at the uniform clearing price.
+///
+/// Once issued, a grant behaves exactly like guaranteed capacity for
+/// the duration of the slot (it cannot be revoked mid-slot); it simply
+/// may not exist next slot.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_core::SpotAllocation;
+/// use spotdc_units::{Price, RackId, Slot, SlotDuration, Watts};
+///
+/// let alloc = SpotAllocation::new(
+///     Slot::new(4),
+///     Price::per_kw_hour(0.25),
+///     [(RackId::new(0), Watts::new(40.0))].into_iter().collect(),
+/// );
+/// assert_eq!(alloc.total(), Watts::new(40.0));
+/// let pay = alloc.payment_for(RackId::new(0), SlotDuration::from_secs(3600));
+/// assert!((pay.usd() - 0.25 * 0.040).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpotAllocation {
+    slot: Slot,
+    price: Price,
+    grants: BTreeMap<RackId, Watts>,
+}
+
+impl SpotAllocation {
+    /// Creates an allocation. Zero grants are retained (a rack that bid
+    /// but was priced out appears with a zero grant), negative grants
+    /// are clamped to zero.
+    #[must_use]
+    pub fn new(slot: Slot, price: Price, grants: BTreeMap<RackId, Watts>) -> Self {
+        let grants = grants
+            .into_iter()
+            .map(|(r, w)| (r, w.clamp_non_negative()))
+            .collect();
+        SpotAllocation { slot, price, grants }
+    }
+
+    /// An empty allocation (no spot capacity sold) for `slot`.
+    #[must_use]
+    pub fn none(slot: Slot) -> Self {
+        SpotAllocation {
+            slot,
+            price: Price::ZERO,
+            grants: BTreeMap::new(),
+        }
+    }
+
+    /// The slot this allocation is effective for.
+    #[must_use]
+    pub fn slot(&self) -> Slot {
+        self.slot
+    }
+
+    /// The uniform clearing price.
+    #[must_use]
+    pub fn price(&self) -> Price {
+        self.price
+    }
+
+    /// The grant for `rack` (zero if it received nothing).
+    #[must_use]
+    pub fn grant(&self, rack: RackId) -> Watts {
+        self.grants.get(&rack).copied().unwrap_or(Watts::ZERO)
+    }
+
+    /// Iterates over `(rack, grant)` pairs in rack order.
+    pub fn iter(&self) -> impl Iterator<Item = (RackId, Watts)> + '_ {
+        self.grants.iter().map(|(&r, &w)| (r, w))
+    }
+
+    /// The racks holding a strictly positive grant.
+    pub fn granted_racks(&self) -> impl Iterator<Item = RackId> + '_ {
+        self.grants
+            .iter()
+            .filter(|(_, &w)| w > Watts::ZERO)
+            .map(|(&r, _)| r)
+    }
+
+    /// Total spot capacity sold.
+    #[must_use]
+    pub fn total(&self) -> Watts {
+        self.grants.values().copied().sum()
+    }
+
+    /// Whether nothing was sold.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total() == Watts::ZERO
+    }
+
+    /// The payment owed for `rack`'s grant over one slot of `duration`.
+    #[must_use]
+    pub fn payment_for(&self, rack: RackId, duration: SlotDuration) -> Money {
+        self.price.cost_of(self.grant(rack), duration)
+    }
+
+    /// The operator's total revenue for this slot.
+    #[must_use]
+    pub fn revenue(&self, duration: SlotDuration) -> Money {
+        self.price.cost_of(self.total(), duration)
+    }
+
+    /// Removes the grants of `rack` (used when a price broadcast to its
+    /// tenant is lost — the fallback is "no spot capacity").
+    pub fn revoke(&mut self, rack: RackId) {
+        self.grants.remove(&rack);
+    }
+
+    /// Access to the underlying grant map.
+    #[must_use]
+    pub fn grants(&self) -> &BTreeMap<RackId, Watts> {
+        &self.grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> SpotAllocation {
+        SpotAllocation::new(
+            Slot::new(2),
+            Price::per_kw_hour(0.2),
+            [
+                (RackId::new(0), Watts::new(30.0)),
+                (RackId::new(1), Watts::ZERO),
+                (RackId::new(2), Watts::new(20.0)),
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+
+    #[test]
+    fn totals_and_lookups() {
+        let a = alloc();
+        assert_eq!(a.total(), Watts::new(50.0));
+        assert_eq!(a.grant(RackId::new(0)), Watts::new(30.0));
+        assert_eq!(a.grant(RackId::new(1)), Watts::ZERO);
+        assert_eq!(a.grant(RackId::new(9)), Watts::ZERO);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn granted_racks_excludes_zero_grants() {
+        let a = alloc();
+        let racks: Vec<RackId> = a.granted_racks().collect();
+        assert_eq!(racks, vec![RackId::new(0), RackId::new(2)]);
+    }
+
+    #[test]
+    fn payments_scale_with_duration() {
+        let a = alloc();
+        let hour = SlotDuration::from_secs(3600);
+        let two_min = SlotDuration::from_secs(120);
+        let per_hour = a.revenue(hour);
+        let per_slot = a.revenue(two_min);
+        assert!((per_hour.usd() - 30.0 * per_slot.usd()).abs() < 1e-12);
+        assert!((per_hour.usd() - 0.2 * 0.050).abs() < 1e-12);
+    }
+
+    #[test]
+    fn revoke_removes_grant() {
+        let mut a = alloc();
+        a.revoke(RackId::new(0));
+        assert_eq!(a.grant(RackId::new(0)), Watts::ZERO);
+        assert_eq!(a.total(), Watts::new(20.0));
+    }
+
+    #[test]
+    fn none_is_empty() {
+        let a = SpotAllocation::none(Slot::new(7));
+        assert!(a.is_empty());
+        assert_eq!(a.slot(), Slot::new(7));
+        assert_eq!(a.revenue(SlotDuration::default()), Money::ZERO);
+    }
+
+    #[test]
+    fn negative_grants_clamped() {
+        let a = SpotAllocation::new(
+            Slot::ZERO,
+            Price::ZERO,
+            [(RackId::new(0), Watts::new(-5.0))].into_iter().collect(),
+        );
+        assert_eq!(a.grant(RackId::new(0)), Watts::ZERO);
+    }
+}

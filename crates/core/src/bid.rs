@@ -1,0 +1,243 @@
+//! Bids: demand functions attached to racks and bundled per tenant.
+//!
+//! Allocation in SpotDC is rack-granular (the operator controls the
+//! PDUs feeding racks, and tenant-level grants could overload a PDU if
+//! concentrated), so the unit the market consumes is a [`RackBid`]. A
+//! tenant whose application spans several racks — a three-tier web
+//! service, say — submits a [`TenantBid`] bundling one rack bid per
+//! rack in need, sharing a price range so the vector of grants moves
+//! together along the tenant's approximated optimal demand curve
+//! (Section III-B3 and Fig. 4 of the paper).
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use spotdc_units::{Price, RackId, TenantId, Watts};
+
+use crate::demand::DemandBid;
+
+/// An invalid bid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BidError {
+    reason: String,
+}
+
+impl BidError {
+    /// Creates a bid error with the given reason.
+    #[must_use]
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        BidError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for BidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bid: {}", self.reason)
+    }
+}
+
+impl Error for BidError {}
+
+/// A demand function submitted for one rack for one upcoming slot.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_core::{demand::StepBid, RackBid};
+/// use spotdc_units::{Price, RackId, Watts};
+///
+/// let bid = RackBid::new(
+///     RackId::new(3),
+///     StepBid::new(Watts::new(40.0), Price::per_kw_hour(0.2))?.into(),
+/// );
+/// assert_eq!(bid.rack(), RackId::new(3));
+/// # Ok::<(), spotdc_core::BidError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RackBid {
+    rack: RackId,
+    demand: DemandBid,
+}
+
+impl RackBid {
+    /// Attaches a demand function to a rack.
+    #[must_use]
+    pub fn new(rack: RackId, demand: DemandBid) -> Self {
+        RackBid { rack, demand }
+    }
+
+    /// The rack this bid is for.
+    #[must_use]
+    pub fn rack(&self) -> RackId {
+        self.rack
+    }
+
+    /// The demand function.
+    #[must_use]
+    pub fn demand(&self) -> &DemandBid {
+        &self.demand
+    }
+
+    /// Demand at `price`.
+    #[must_use]
+    pub fn demand_at(&self, price: Price) -> Watts {
+        self.demand.demand_at(price)
+    }
+}
+
+/// A tenant's bundled bid: one demand function per rack needing spot
+/// capacity this slot.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_core::{demand::LinearBid, RackBid, TenantBid};
+/// use spotdc_units::{Price, RackId, TenantId, Watts};
+///
+/// let front = LinearBid::new(
+///     Watts::new(30.0), Price::per_kw_hour(0.1),
+///     Watts::new(10.0), Price::per_kw_hour(0.3),
+/// )?;
+/// let back = LinearBid::new(
+///     Watts::new(50.0), Price::per_kw_hour(0.1),
+///     Watts::new(20.0), Price::per_kw_hour(0.3),
+/// )?;
+/// let bid = TenantBid::new(TenantId::new(0), vec![
+///     RackBid::new(RackId::new(0), front.into()),
+///     RackBid::new(RackId::new(1), back.into()),
+/// ])?;
+/// assert_eq!(bid.rack_bids().len(), 2);
+/// # Ok::<(), spotdc_core::BidError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantBid {
+    tenant: TenantId,
+    rack_bids: Vec<RackBid>,
+}
+
+impl TenantBid {
+    /// Bundles rack bids for one tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BidError`] if the bundle is empty or names the same
+    /// rack twice.
+    pub fn new(tenant: TenantId, rack_bids: Vec<RackBid>) -> Result<Self, BidError> {
+        if rack_bids.is_empty() {
+            return Err(BidError::invalid("tenant bid must cover at least one rack"));
+        }
+        for (i, a) in rack_bids.iter().enumerate() {
+            for b in &rack_bids[i + 1..] {
+                if a.rack() == b.rack() {
+                    return Err(BidError::invalid(format!(
+                        "duplicate bid for {}",
+                        a.rack()
+                    )));
+                }
+            }
+        }
+        Ok(TenantBid { tenant, rack_bids })
+    }
+
+    /// The bidding tenant.
+    #[must_use]
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The per-rack bids in this bundle.
+    #[must_use]
+    pub fn rack_bids(&self) -> &[RackBid] {
+        &self.rack_bids
+    }
+
+    /// Total demand across the bundle at `price`.
+    #[must_use]
+    pub fn total_demand_at(&self, price: Price) -> Watts {
+        self.rack_bids.iter().map(|b| b.demand_at(price)).sum()
+    }
+
+    /// The highest price at which any rack in the bundle still demands
+    /// spot capacity.
+    #[must_use]
+    pub fn price_ceiling(&self) -> Price {
+        self.rack_bids
+            .iter()
+            .map(|b| b.demand().price_ceiling())
+            .fold(Price::ZERO, Price::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{LinearBid, StepBid};
+
+    fn step(rack: usize, d: f64, q: f64) -> RackBid {
+        RackBid::new(
+            RackId::new(rack),
+            StepBid::new(Watts::new(d), Price::per_kw_hour(q))
+                .unwrap()
+                .into(),
+        )
+    }
+
+    #[test]
+    fn tenant_bid_aggregates_demand() {
+        let bid = TenantBid::new(TenantId::new(1), vec![step(0, 30.0, 0.2), step(1, 20.0, 0.4)])
+            .unwrap();
+        assert_eq!(bid.total_demand_at(Price::per_kw_hour(0.1)), Watts::new(50.0));
+        assert_eq!(bid.total_demand_at(Price::per_kw_hour(0.3)), Watts::new(20.0));
+        assert_eq!(bid.total_demand_at(Price::per_kw_hour(0.5)), Watts::ZERO);
+        assert_eq!(bid.price_ceiling(), Price::per_kw_hour(0.4));
+    }
+
+    #[test]
+    fn empty_bundle_rejected() {
+        assert!(TenantBid::new(TenantId::new(1), vec![]).is_err());
+    }
+
+    #[test]
+    fn duplicate_rack_rejected() {
+        let err = TenantBid::new(TenantId::new(1), vec![step(2, 1.0, 0.1), step(2, 2.0, 0.2)])
+            .unwrap_err();
+        assert!(err.to_string().contains("rack-2"));
+    }
+
+    #[test]
+    fn bundled_linear_bids_share_price_axis() {
+        // Fig. 4: a tenant joins its racks' demands through shared
+        // (q_min, q_max); at any price the grant vector interpolates
+        // both racks consistently.
+        let q0 = Price::per_kw_hour(0.1);
+        let q1 = Price::per_kw_hour(0.3);
+        let front = LinearBid::new(Watts::new(30.0), q0, Watts::new(10.0), q1).unwrap();
+        let back = LinearBid::new(Watts::new(60.0), q0, Watts::new(20.0), q1).unwrap();
+        let bid = TenantBid::new(
+            TenantId::new(0),
+            vec![
+                RackBid::new(RackId::new(0), front.into()),
+                RackBid::new(RackId::new(1), back.into()),
+            ],
+        )
+        .unwrap();
+        let mid = Price::per_kw_hour(0.2);
+        let d0 = bid.rack_bids()[0].demand_at(mid);
+        let d1 = bid.rack_bids()[1].demand_at(mid);
+        assert_eq!(d0, Watts::new(20.0));
+        assert_eq!(d1, Watts::new(40.0));
+        // The ratio between rack demands moves affinely, per the paper.
+        assert_eq!(bid.total_demand_at(mid), Watts::new(60.0));
+    }
+
+    #[test]
+    fn bid_error_display() {
+        assert_eq!(
+            BidError::invalid("x").to_string(),
+            "invalid bid: x"
+        );
+    }
+}

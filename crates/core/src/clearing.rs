@@ -1,0 +1,745 @@
+//! Uniform-price market clearing (Eq. 1 subject to Eqns. 2–4).
+//!
+//! The operator chooses one price `q` maximizing revenue
+//! `q · Σ_r D_r(q)` over prices at which the induced demands fit every
+//! capacity constraint. Because all demand functions are non-increasing
+//! in price, the feasible set is upward-closed: raising the price only
+//! sheds demand, so a sufficiently high price is always feasible and
+//! selling spot capacity can never create a power emergency.
+//!
+//! Two search strategies are provided:
+//!
+//! * [`ClearingAlgorithm::GridScan`] — the paper's method: evaluate
+//!   every multiple of a configurable price step (0.1–1 ¢/kW in the
+//!   paper) up to the highest bid ceiling. Simple, predictable,
+//!   sub-second even at 15 000 racks (Fig. 7b).
+//! * [`ClearingAlgorithm::KinkSearch`] — an exact refinement: revenue
+//!   is piece-wise quadratic in `q` between the finitely many *kink
+//!   prices* of the aggregate (headroom-clipped) demand, so the optimum
+//!   lies at a kink, just above a discontinuity, or at an interior
+//!   quadratic vertex — all enumerable in `O(K log K)`. Used to
+//!   validate the grid scan and as the ablation in DESIGN.md.
+
+use serde::{Deserialize, Serialize};
+use spotdc_units::{Price, Slot, Watts};
+
+use crate::allocation::SpotAllocation;
+use crate::bid::RackBid;
+use crate::constraints::ConstraintSet;
+use crate::demand::DemandBid;
+
+/// Offset used to probe "just above" a discontinuity price.
+const JUST_ABOVE: f64 = 1e-9;
+
+/// Which price-search strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClearingAlgorithm {
+    /// Evaluate every multiple of the configured step (paper default).
+    GridScan,
+    /// Enumerate demand kinks and quadratic revenue vertices.
+    KinkSearch,
+}
+
+/// Configuration for the clearing search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClearingConfig {
+    /// The search strategy.
+    pub algorithm: ClearingAlgorithm,
+    /// Grid step (ignored by [`ClearingAlgorithm::KinkSearch`]).
+    pub price_step: Price,
+}
+
+impl ClearingConfig {
+    /// The paper's default: grid scan at 0.1 ¢/kW/h.
+    #[must_use]
+    pub fn grid(step: Price) -> Self {
+        ClearingConfig {
+            algorithm: ClearingAlgorithm::GridScan,
+            price_step: step,
+        }
+    }
+
+    /// Exact kink-based search.
+    #[must_use]
+    pub fn kink_search() -> Self {
+        ClearingConfig {
+            algorithm: ClearingAlgorithm::KinkSearch,
+            price_step: Price::cents_per_kw_hour(0.1),
+        }
+    }
+}
+
+impl Default for ClearingConfig {
+    fn default() -> Self {
+        ClearingConfig::grid(Price::cents_per_kw_hour(0.1))
+    }
+}
+
+/// The result of clearing one slot's market.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarketOutcome {
+    allocation: SpotAllocation,
+    /// Revenue rate in $/hour at the clearing price.
+    revenue_rate: f64,
+    /// Number of candidate prices evaluated (search-cost metric).
+    candidates: usize,
+}
+
+impl MarketOutcome {
+    /// The resulting spot allocation (possibly empty).
+    #[must_use]
+    pub fn allocation(&self) -> &SpotAllocation {
+        &self.allocation
+    }
+
+    /// Consumes the outcome, yielding the allocation.
+    #[must_use]
+    pub fn into_allocation(self) -> SpotAllocation {
+        self.allocation
+    }
+
+    /// The uniform clearing price.
+    #[must_use]
+    pub fn price(&self) -> Price {
+        self.allocation.price()
+    }
+
+    /// Total spot capacity sold.
+    #[must_use]
+    pub fn sold(&self) -> Watts {
+        self.allocation.total()
+    }
+
+    /// The operator's revenue rate at the clearing price, $/hour.
+    #[must_use]
+    pub fn revenue_rate(&self) -> f64 {
+        self.revenue_rate
+    }
+
+    /// Number of candidate prices the search evaluated.
+    #[must_use]
+    pub fn candidates_evaluated(&self) -> usize {
+        self.candidates
+    }
+}
+
+/// The market-clearing engine.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_core::{demand::StepBid, ClearingConfig, ConstraintSet, MarketClearing, RackBid};
+/// use spotdc_power::topology::TopologyBuilder;
+/// use spotdc_units::{Price, RackId, Slot, TenantId, Watts};
+///
+/// let topo = TopologyBuilder::new(Watts::new(300.0))
+///     .pdu(Watts::new(200.0))
+///     .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+///     .build()?;
+/// let cs = ConstraintSet::new(&topo, vec![Watts::new(50.0)], Watts::new(50.0));
+/// let bids = vec![RackBid::new(
+///     RackId::new(0),
+///     StepBid::new(Watts::new(40.0), Price::per_kw_hour(0.3))?.into(),
+/// )];
+/// let outcome = MarketClearing::new(ClearingConfig::default()).clear(Slot::ZERO, &bids, &cs);
+/// // A lone step bid clears at its own price cap.
+/// assert_eq!(outcome.sold(), Watts::new(40.0));
+/// assert!((outcome.price().per_kw_hour_value() - 0.3).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MarketClearing {
+    config: ClearingConfig,
+}
+
+impl MarketClearing {
+    /// Creates a clearing engine with the given configuration.
+    #[must_use]
+    pub fn new(config: ClearingConfig) -> Self {
+        MarketClearing { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &ClearingConfig {
+        &self.config
+    }
+
+    /// Clears the market for `slot`: finds the revenue-maximizing
+    /// feasible uniform price and the per-rack grants it induces.
+    ///
+    /// Bids whose demand is identically zero are ignored. If no bid is
+    /// present (or no positive-revenue feasible price exists) the
+    /// returned outcome carries an empty allocation.
+    #[must_use]
+    pub fn clear(&self, slot: Slot, bids: &[RackBid], constraints: &ConstraintSet) -> MarketOutcome {
+        let live: Vec<&RackBid> = bids.iter().filter(|b| !b.demand().is_null()).collect();
+        if live.is_empty() {
+            return MarketOutcome {
+                allocation: SpotAllocation::none(slot),
+                revenue_rate: 0.0,
+                candidates: 0,
+            };
+        }
+        let candidates = match self.config.algorithm {
+            ClearingAlgorithm::GridScan => self.grid_candidates(&live),
+            ClearingAlgorithm::KinkSearch => self.kink_candidates(&live, constraints),
+        };
+        let evaluated = candidates.len();
+        let mut best: Option<(Price, f64)> = None;
+        for q in candidates {
+            let demands = live
+                .iter()
+                .map(|b| (b.rack(), b.demand_at(q)));
+            let Some(total) = constraints.feasible_total(demands) else {
+                continue;
+            };
+            let rate = q.per_kw_hour_value() * total.kilowatts();
+            match best {
+                Some((_, best_rate)) if rate <= best_rate + 1e-12 => {}
+                _ => best = Some((q, rate)),
+            }
+        }
+        match best {
+            Some((price, rate)) if rate > 0.0 => {
+                let grants = live
+                    .iter()
+                    .map(|b| {
+                        let d = b
+                            .demand_at(price)
+                            .min(constraints.rack_headroom(b.rack()));
+                        (b.rack(), d)
+                    })
+                    .collect();
+                MarketOutcome {
+                    allocation: SpotAllocation::new(slot, price, grants),
+                    revenue_rate: rate,
+                    candidates: evaluated,
+                }
+            }
+            _ => MarketOutcome {
+                allocation: SpotAllocation::none(slot),
+                revenue_rate: 0.0,
+                candidates: evaluated,
+            },
+        }
+    }
+
+    /// Grid candidates: every multiple of the step from 0 through the
+    /// highest bid ceiling (inclusive, with one extra step beyond so a
+    /// feasible zero-demand price always exists).
+    fn grid_candidates(&self, bids: &[&RackBid]) -> Vec<Price> {
+        let ceiling = bids
+            .iter()
+            .map(|b| b.demand().price_ceiling())
+            .fold(Price::ZERO, Price::max);
+        let step = self.config.price_step.per_kw_hour_value().max(1e-9);
+        let n = (ceiling.per_kw_hour_value() / step).ceil() as usize + 1;
+        (0..=n).map(|i| Price::per_kw_hour(i as f64 * step)).collect()
+    }
+
+    /// Kink candidates: all bids' kink prices (and headroom-clip
+    /// crossings), each also probed "just above" (for discontinuities),
+    /// plus the quadratic revenue vertex interior to each kink
+    /// interval.
+    fn kink_candidates(&self, bids: &[&RackBid], constraints: &ConstraintSet) -> Vec<Price> {
+        let mut kinks: Vec<f64> = vec![0.0];
+        for b in bids {
+            for k in b.demand().kink_prices() {
+                kinks.push(k.per_kw_hour_value());
+            }
+            for k in clip_crossings(b.demand(), constraints.rack_headroom(b.rack())) {
+                kinks.push(k.per_kw_hour_value());
+            }
+        }
+        kinks.retain(|k| k.is_finite() && *k >= 0.0);
+        kinks.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        kinks.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        // Clipped demand of one bid at price q.
+        let clipped = |b: &RackBid, q: f64| -> f64 {
+            b.demand_at(Price::per_kw_hour(q))
+                .min(constraints.rack_headroom(b.rack()))
+                .clamp_non_negative()
+                .value()
+        };
+        let aggregate = |q: f64| -> f64 { bids.iter().map(|b| clipped(b, q)).sum() };
+
+        // The constraint groups whose crossing prices matter: every PDU
+        // with at least one bid, plus the UPS over all bids.
+        let mut groups: Vec<(Vec<usize>, f64)> = Vec::new();
+        {
+            use std::collections::BTreeMap;
+            let mut by_pdu: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for (i, b) in bids.iter().enumerate() {
+                if let Some(p) = constraints.pdu_of(b.rack()) {
+                    by_pdu.entry(p.index()).or_default().push(i);
+                }
+            }
+            for (p, members) in by_pdu {
+                let cap = constraints.pdu_spot(spotdc_units::PduId::new(p)).value();
+                groups.push((members, cap));
+            }
+            groups.push(((0..bids.len()).collect(), constraints.ups_spot().value()));
+        }
+
+        let mut out: Vec<Price> = Vec::with_capacity(kinks.len() * 4);
+        for (i, &k) in kinks.iter().enumerate() {
+            out.push(Price::per_kw_hour(k));
+            out.push(Price::per_kw_hour(k + JUST_ABOVE));
+            if let Some(&next) = kinks.get(i + 1) {
+                // Demand is linear on (k, next): fit D(q) = α − βq from
+                // two interior probes.
+                let q1 = k + (next - k) * 0.25;
+                let q2 = k + (next - k) * 0.75;
+                if (q2 - q1).abs() <= 1e-15 {
+                    continue;
+                }
+                // Revenue vertex of the aggregate demand.
+                let d1 = aggregate(q1);
+                let d2 = aggregate(q2);
+                let beta = (d1 - d2) / (q2 - q1);
+                if beta > 1e-12 {
+                    let alpha = d1 + beta * q1;
+                    let vertex = alpha / (2.0 * beta);
+                    if vertex > k && vertex < next {
+                        out.push(Price::per_kw_hour(vertex));
+                    }
+                }
+                // Feasibility-threshold prices: where each constraint
+                // group's demand crosses its capacity, the feasible
+                // region begins — the revenue optimum often sits there.
+                for (members, cap) in &groups {
+                    let g1: f64 = members.iter().map(|&m| clipped(bids[m], q1)).sum();
+                    let g2: f64 = members.iter().map(|&m| clipped(bids[m], q2)).sum();
+                    let gb = (g1 - g2) / (q2 - q1);
+                    if gb > 1e-12 {
+                        let ga = g1 + gb * q1;
+                        let crossing = (ga - cap) / gb;
+                        if crossing > k && crossing < next {
+                            out.push(Price::per_kw_hour(crossing));
+                            out.push(Price::per_kw_hour(crossing + JUST_ABOVE));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl MarketClearing {
+    /// Per-PDU pricing — the localized-price ablation of DESIGN.md.
+    ///
+    /// Instead of one uniform price, each PDU's bids are cleared
+    /// independently against that PDU's spot capacity plus a
+    /// proportional share of the UPS spot capacity. Localized prices
+    /// can extract more revenue when PDUs are unevenly loaded, at the
+    /// cost of the transparency/simplicity the paper argues for (and
+    /// cross-PDU heat zones are only enforced within each sub-market).
+    ///
+    /// Returns one outcome per PDU that received bids, in PDU order.
+    #[must_use]
+    pub fn clear_per_pdu(
+        &self,
+        slot: Slot,
+        bids: &[RackBid],
+        constraints: &ConstraintSet,
+    ) -> Vec<MarketOutcome> {
+        use std::collections::BTreeMap;
+        let mut by_pdu: BTreeMap<usize, Vec<RackBid>> = BTreeMap::new();
+        for b in bids {
+            if let Some(p) = constraints.pdu_of(b.rack()) {
+                by_pdu.entry(p.index()).or_default().push(b.clone());
+            }
+        }
+        let spot_total: f64 = by_pdu
+            .keys()
+            .map(|&p| constraints.pdu_spot(spotdc_units::PduId::new(p)).value())
+            .sum();
+        by_pdu
+            .into_iter()
+            .map(|(p, group)| {
+                let pdu_spot = constraints.pdu_spot(spotdc_units::PduId::new(p));
+                let share = if spot_total > 0.0 {
+                    constraints.ups_spot() * (pdu_spot.value() / spot_total)
+                } else {
+                    Watts::ZERO
+                };
+                let local = constraints.clone().with_ups_spot(share.min(constraints.ups_spot()));
+                self.clear(slot, &group, &local)
+            })
+            .collect()
+    }
+}
+
+/// Prices at which `bid`'s demand crosses the rack headroom `h` (the
+/// clip `min(D(q), h)` introduces kinks there).
+fn clip_crossings(bid: &DemandBid, headroom: Watts) -> Vec<Price> {
+    let h = headroom.value();
+    let mut out = Vec::new();
+    match bid {
+        DemandBid::Linear(b) => {
+            let (d0, d1) = (b.d_max().value(), b.d_min().value());
+            let (q0, q1) = (b.q_min().per_kw_hour_value(), b.q_max().per_kw_hour_value());
+            if d0 > h && h > d1 && q1 > q0 && (d0 - d1) > 1e-15 {
+                let q = q0 + (q1 - q0) * (d0 - h) / (d0 - d1);
+                out.push(Price::per_kw_hour(q));
+            }
+        }
+        DemandBid::Step(_) => {}
+        DemandBid::Full(b) => {
+            for w in b.points().windows(2) {
+                let (q0, d0) = (w[0].0.per_kw_hour_value(), w[0].1.value());
+                let (q1, d1) = (w[1].0.per_kw_hour_value(), w[1].1.value());
+                if d0 > h && h > d1 && (d0 - d1) > 1e-15 && q1 > q0 {
+                    let q = q0 + (q1 - q0) * (d0 - h) / (d0 - d1);
+                    out.push(Price::per_kw_hour(q));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{FullBid, LinearBid, StepBid};
+    use spotdc_power::topology::TopologyBuilder;
+    use spotdc_units::{RackId, TenantId};
+
+    /// One PDU with `pdu_spot` watts of spot, two racks with 60 W
+    /// headroom each, generous UPS.
+    fn constraints(pdu_spot: f64) -> ConstraintSet {
+        let topo = TopologyBuilder::new(Watts::new(1000.0))
+            .pdu(Watts::new(500.0))
+            .rack(TenantId::new(0), Watts::new(100.0), Watts::new(60.0))
+            .rack(TenantId::new(1), Watts::new(100.0), Watts::new(60.0))
+            .build()
+            .unwrap();
+        ConstraintSet::new(&topo, vec![Watts::new(pdu_spot)], Watts::new(pdu_spot))
+    }
+
+    fn linear(rack: usize, d_max: f64, q_min: f64, d_min: f64, q_max: f64) -> RackBid {
+        RackBid::new(
+            RackId::new(rack),
+            LinearBid::new(
+                Watts::new(d_max),
+                Price::per_kw_hour(q_min),
+                Watts::new(d_min),
+                Price::per_kw_hour(q_max),
+            )
+            .unwrap()
+            .into(),
+        )
+    }
+
+    fn clear_with(algo: ClearingAlgorithm, bids: &[RackBid], cs: &ConstraintSet) -> MarketOutcome {
+        let config = match algo {
+            ClearingAlgorithm::GridScan => ClearingConfig::grid(Price::cents_per_kw_hour(0.01)),
+            ClearingAlgorithm::KinkSearch => ClearingConfig::kink_search(),
+        };
+        MarketClearing::new(config).clear(Slot::ZERO, bids, cs)
+    }
+
+    #[test]
+    fn empty_market_clears_empty() {
+        let cs = constraints(100.0);
+        let out = MarketClearing::default().clear(Slot::ZERO, &[], &cs);
+        assert!(out.allocation().is_empty());
+        assert_eq!(out.revenue_rate(), 0.0);
+    }
+
+    #[test]
+    fn single_step_bid_clears_at_its_cap() {
+        let cs = constraints(100.0);
+        let bids = vec![RackBid::new(
+            RackId::new(0),
+            StepBid::new(Watts::new(40.0), Price::per_kw_hour(0.25))
+                .unwrap()
+                .into(),
+        )];
+        for algo in [ClearingAlgorithm::GridScan, ClearingAlgorithm::KinkSearch] {
+            let out = clear_with(algo, &bids, &cs);
+            assert!(
+                (out.price().per_kw_hour_value() - 0.25).abs() < 1e-6,
+                "{algo:?} price {}",
+                out.price()
+            );
+            assert_eq!(out.sold(), Watts::new(40.0));
+        }
+    }
+
+    #[test]
+    fn linear_bid_clears_at_revenue_vertex_or_corner() {
+        // A single linear bid D(q) = 100 − 250q on (0.1, 0.3] wide open
+        // capacity: revenue q(125 - 250q)... compute the truth directly.
+        let cs = constraints(1000.0);
+        let bids = vec![linear(0, 60.0, 0.0, 0.0, 0.3)];
+        // D(q) = 60(1 − q/0.3) = 60 − 200q; R = 60q − 200q²; vertex at
+        // q* = 0.15, but rack headroom also 60 so no clipping. R(0.15)
+        // = 60*.15 − 200*.0225 = 9 − 4.5 = 4.5 W·$/kW/h = 0.0045 $/h.
+        let out = clear_with(ClearingAlgorithm::KinkSearch, &bids, &cs);
+        assert!(
+            (out.price().per_kw_hour_value() - 0.15).abs() < 1e-6,
+            "price {}",
+            out.price()
+        );
+        assert!((out.sold().value() - 30.0).abs() < 1e-6);
+        // Grid scan with a fine step finds (nearly) the same optimum.
+        let grid = clear_with(ClearingAlgorithm::GridScan, &bids, &cs);
+        assert!(grid.revenue_rate() <= out.revenue_rate() + 1e-12);
+        assert!(grid.revenue_rate() > out.revenue_rate() * 0.999);
+    }
+
+    #[test]
+    fn tight_capacity_forces_price_up() {
+        // Two 40 W step bids but only 50 W of PDU spot: serving both is
+        // infeasible at any price ≤ 0.2 (both demand), so the market
+        // must price out the cheap bidder.
+        let cs = constraints(50.0);
+        let bids = vec![
+            RackBid::new(
+                RackId::new(0),
+                StepBid::new(Watts::new(40.0), Price::per_kw_hour(0.2))
+                    .unwrap()
+                    .into(),
+            ),
+            RackBid::new(
+                RackId::new(1),
+                StepBid::new(Watts::new(40.0), Price::per_kw_hour(0.5))
+                    .unwrap()
+                    .into(),
+            ),
+        ];
+        for algo in [ClearingAlgorithm::GridScan, ClearingAlgorithm::KinkSearch] {
+            let out = clear_with(algo, &bids, &cs);
+            assert!(out.price() > Price::per_kw_hour(0.2), "{algo:?}");
+            assert_eq!(out.sold(), Watts::new(40.0));
+            assert_eq!(out.allocation().grant(RackId::new(0)), Watts::ZERO);
+            assert_eq!(out.allocation().grant(RackId::new(1)), Watts::new(40.0));
+        }
+    }
+
+    #[test]
+    fn elastic_bids_are_partially_served_under_scarcity() {
+        // LinearBid's whole point: under scarcity the price rises along
+        // the sloped segment and demand shrinks to fit, rather than the
+        // all-or-nothing StepBid outcome.
+        let cs = constraints(50.0);
+        let bids = vec![
+            linear(0, 40.0, 0.05, 10.0, 0.4),
+            linear(1, 40.0, 0.05, 10.0, 0.4),
+        ];
+        let out = clear_with(ClearingAlgorithm::KinkSearch, &bids, &cs);
+        let g0 = out.allocation().grant(RackId::new(0));
+        let g1 = out.allocation().grant(RackId::new(1));
+        assert!(g0 > Watts::ZERO && g1 > Watts::ZERO, "both served");
+        assert!(g0 + g1 <= Watts::new(50.0 + 1e-6), "fits capacity");
+        assert!(g0 < Watts::new(40.0), "partially served");
+    }
+
+    #[test]
+    fn more_spot_capacity_never_raises_the_price() {
+        let bids = vec![
+            linear(0, 50.0, 0.05, 10.0, 0.4),
+            linear(1, 50.0, 0.10, 20.0, 0.5),
+        ];
+        let mut last_price = f64::INFINITY;
+        for spot in [30.0, 60.0, 90.0, 120.0] {
+            let cs = constraints(spot);
+            let out = clear_with(ClearingAlgorithm::KinkSearch, &bids, &cs);
+            let p = out.price().per_kw_hour_value();
+            assert!(p <= last_price + 1e-9, "price rose with more capacity");
+            last_price = p;
+        }
+    }
+
+    #[test]
+    fn allocation_always_feasible() {
+        for spot in [10.0, 35.0, 80.0, 200.0] {
+            let cs = constraints(spot);
+            let bids = vec![
+                linear(0, 55.0, 0.02, 5.0, 0.35),
+                linear(1, 70.0, 0.05, 15.0, 0.45), // d_max above 60 W headroom
+            ];
+            for algo in [ClearingAlgorithm::GridScan, ClearingAlgorithm::KinkSearch] {
+                let out = clear_with(algo, &bids, &cs);
+                assert!(
+                    cs.is_feasible(out.allocation().grants()),
+                    "{algo:?} produced infeasible allocation at spot {spot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kink_search_at_least_matches_grid_scan() {
+        let cases: Vec<Vec<RackBid>> = vec![
+            vec![linear(0, 60.0, 0.0, 0.0, 0.3)],
+            vec![linear(0, 45.0, 0.1, 20.0, 0.2), linear(1, 30.0, 0.15, 10.0, 0.5)],
+            vec![
+                RackBid::new(
+                    RackId::new(0),
+                    FullBid::new(vec![
+                        (Price::ZERO, Watts::new(55.0)),
+                        (Price::per_kw_hour(0.2), Watts::new(25.0)),
+                        (Price::per_kw_hour(0.6), Watts::ZERO),
+                    ])
+                    .unwrap()
+                    .into(),
+                ),
+                linear(1, 50.0, 0.05, 0.0, 0.4),
+            ],
+        ];
+        for bids in cases {
+            for spot in [20.0, 45.0, 100.0] {
+                let cs = constraints(spot);
+                let grid = clear_with(ClearingAlgorithm::GridScan, &bids, &cs);
+                let kink = clear_with(ClearingAlgorithm::KinkSearch, &bids, &cs);
+                assert!(
+                    kink.revenue_rate() >= grid.revenue_rate() - 1e-9,
+                    "kink search lost: {} < {}",
+                    kink.revenue_rate(),
+                    grid.revenue_rate()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kink_search_evaluates_far_fewer_candidates() {
+        let cs = constraints(100.0);
+        let bids = vec![linear(0, 50.0, 0.1, 10.0, 0.4), linear(1, 40.0, 0.2, 5.0, 0.6)];
+        let grid = clear_with(ClearingAlgorithm::GridScan, &bids, &cs);
+        let kink = clear_with(ClearingAlgorithm::KinkSearch, &bids, &cs);
+        assert!(kink.candidates_evaluated() < grid.candidates_evaluated() / 10);
+    }
+
+    #[test]
+    fn null_bids_are_ignored() {
+        let cs = constraints(100.0);
+        let bids = vec![RackBid::new(
+            RackId::new(0),
+            StepBid::new(Watts::ZERO, Price::per_kw_hour(0.2))
+                .unwrap()
+                .into(),
+        )];
+        let out = MarketClearing::default().clear(Slot::ZERO, &bids, &cs);
+        assert!(out.allocation().is_empty());
+        assert_eq!(out.candidates_evaluated(), 0);
+    }
+
+    #[test]
+    fn zero_spot_capacity_sells_nothing() {
+        let cs = constraints(0.0);
+        let bids = vec![linear(0, 50.0, 0.1, 10.0, 0.4)];
+        for algo in [ClearingAlgorithm::GridScan, ClearingAlgorithm::KinkSearch] {
+            let out = clear_with(algo, &bids, &cs);
+            assert!(out.allocation().is_empty(), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn per_pdu_pricing_localizes_prices() {
+        // PDU#0 scarce and contested; a second PDU plentiful and cheap.
+        let topo = TopologyBuilder::new(Watts::new(1000.0))
+            .pdu(Watts::new(500.0))
+            .rack(TenantId::new(0), Watts::new(100.0), Watts::new(60.0))
+            .pdu(Watts::new(500.0))
+            .rack(TenantId::new(1), Watts::new(100.0), Watts::new(60.0))
+            .build()
+            .unwrap();
+        let cs = ConstraintSet::new(
+            &topo,
+            vec![Watts::new(20.0), Watts::new(200.0)],
+            Watts::new(220.0),
+        );
+        let bids = vec![
+            linear(0, 60.0, 0.10, 10.0, 0.50), // hungry on the scarce PDU
+            linear(1, 60.0, 0.02, 10.0, 0.20), // cheap on the plentiful PDU
+        ];
+        let engine = MarketClearing::new(ClearingConfig::kink_search());
+        let per_pdu = engine.clear_per_pdu(Slot::ZERO, &bids, &cs);
+        assert_eq!(per_pdu.len(), 2);
+        // The scarce PDU clears higher than the plentiful one.
+        assert!(per_pdu[0].price() > per_pdu[1].price());
+        // Each sub-market stays feasible.
+        for out in &per_pdu {
+            assert!(cs.is_feasible(out.allocation().grants()));
+        }
+        // Localized pricing extracts at least the uniform revenue here.
+        let uniform = engine.clear(Slot::ZERO, &bids, &cs);
+        let local_rev: f64 = per_pdu.iter().map(MarketOutcome::revenue_rate).sum();
+        assert!(local_rev >= uniform.revenue_rate() - 1e-9);
+    }
+
+    #[test]
+    fn per_pdu_outcomes_respect_ups_apportionment() {
+        // UPS tighter than the PDU sum: shares must cap the sub-markets.
+        let topo = TopologyBuilder::new(Watts::new(1000.0))
+            .pdu(Watts::new(500.0))
+            .rack(TenantId::new(0), Watts::new(100.0), Watts::new(60.0))
+            .pdu(Watts::new(500.0))
+            .rack(TenantId::new(1), Watts::new(100.0), Watts::new(60.0))
+            .build()
+            .unwrap();
+        let cs = ConstraintSet::new(
+            &topo,
+            vec![Watts::new(60.0), Watts::new(60.0)],
+            Watts::new(50.0),
+        );
+        let bids = vec![
+            linear(0, 60.0, 0.0, 0.0, 0.4),
+            linear(1, 60.0, 0.0, 0.0, 0.4),
+        ];
+        let engine = MarketClearing::default();
+        let per_pdu = engine.clear_per_pdu(Slot::ZERO, &bids, &cs);
+        let total: f64 = per_pdu.iter().map(|o| o.sold().value()).sum();
+        assert!(total <= 50.0 + 1e-6, "UPS share exceeded: {total}");
+    }
+
+    #[test]
+    fn clearing_respects_heat_zones() {
+        // Two racks share a 30 W hot-aisle budget despite 100 W of PDU
+        // spot; the market must keep their joint grant under it.
+        let cs = constraints(100.0).with_zone(
+            "aisle",
+            vec![RackId::new(0), RackId::new(1)],
+            Watts::new(30.0),
+        );
+        let bids = vec![
+            linear(0, 50.0, 0.0, 0.0, 0.4),
+            linear(1, 50.0, 0.0, 0.0, 0.4),
+        ];
+        for algo in [ClearingAlgorithm::GridScan, ClearingAlgorithm::KinkSearch] {
+            let out = clear_with(algo, &bids, &cs);
+            assert!(cs.is_feasible(out.allocation().grants()), "{algo:?}");
+            assert!(out.sold() <= Watts::new(30.0 + 1e-6), "{algo:?}: {}", out.sold());
+        }
+    }
+
+    #[test]
+    fn clearing_respects_phase_balance() {
+        // Both racks on phase 0 of PDU#0: any joint grant beyond the
+        // 25 W imbalance bound (vs the empty phases) is infeasible.
+        let cs = constraints(100.0).with_phases(vec![0, 0], Watts::new(25.0));
+        let bids = vec![
+            linear(0, 50.0, 0.0, 0.0, 0.4),
+            linear(1, 50.0, 0.0, 0.0, 0.4),
+        ];
+        let out = clear_with(ClearingAlgorithm::GridScan, &bids, &cs);
+        assert!(cs.is_feasible(out.allocation().grants()));
+        assert!(out.sold() <= Watts::new(25.0 + 1e-6), "sold {}", out.sold());
+    }
+
+    #[test]
+    fn headroom_clipping_respected_in_grants() {
+        // Bid asks for 100 W max but headroom is 60 W.
+        let cs = constraints(500.0);
+        let bids = vec![linear(0, 100.0, 0.0, 0.0, 0.4)];
+        let out = clear_with(ClearingAlgorithm::KinkSearch, &bids, &cs);
+        assert!(out.allocation().grant(RackId::new(0)) <= Watts::new(60.0));
+    }
+}

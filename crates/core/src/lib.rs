@@ -1,0 +1,59 @@
+//! The SpotDC spot-capacity market (the paper's core contribution).
+//!
+//! SpotDC lets a multi-tenant data-center operator sell its fluctuating
+//! unused power capacity ("spot capacity") back to tenants, slot by
+//! slot, through *demand-function bidding*:
+//!
+//! 1. each participating rack submits a four-parameter piece-wise linear
+//!    demand function ([`LinearBid`], degenerating to [`StepBid`]; the
+//!    complete-curve [`FullBid`] is the research upper bound) —
+//!    [`demand`];
+//! 2. the operator predicts the spot capacity available at each PDU and
+//!    the UPS from live power monitoring — [`prediction`];
+//! 3. a single market price is chosen to maximize revenue subject to
+//!    rack/PDU/UPS capacity constraints (Eq. 1–4 of the paper) —
+//!    [`clearing`] over [`constraints`];
+//! 4. every rack receives its own demand function evaluated at the
+//!    clearing price — [`allocation`] — and may draw that much extra
+//!    power for exactly one slot.
+//!
+//! [`maxperf`] implements the owner-operated upper-bound allocator the
+//! paper compares against, and [`protocol`] the operator↔tenant message
+//! exchange with its loss semantics (lost messages ⇒ no spot capacity).
+//!
+//! ```
+//! use spotdc_core::demand::{DemandBid, LinearBid};
+//! use spotdc_units::{Price, Watts};
+//!
+//! let bid = LinearBid::new(
+//!     Watts::new(60.0), Price::per_kw_hour(0.05),   // (D_max, q_min)
+//!     Watts::new(20.0), Price::per_kw_hour(0.30),   // (D_min, q_max)
+//! )?;
+//! let bid = DemandBid::from(bid);
+//! assert_eq!(bid.demand_at(Price::per_kw_hour(0.01)), Watts::new(60.0));
+//! assert_eq!(bid.demand_at(Price::per_kw_hour(1.0)), Watts::ZERO);
+//! # Ok::<(), spotdc_core::BidError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod bid;
+pub mod clearing;
+pub mod constraints;
+pub mod demand;
+pub mod maxperf;
+pub mod operator;
+pub mod prediction;
+pub mod protocol;
+
+pub use allocation::SpotAllocation;
+pub use bid::{BidError, RackBid, TenantBid};
+pub use clearing::{ClearingAlgorithm, ClearingConfig, MarketClearing, MarketOutcome};
+pub use constraints::{ConstraintSet, HeatZone, PhasePlan};
+pub use demand::{DemandBid, FullBid, LinearBid, StepBid};
+pub use maxperf::{max_perf_allocate, ConcaveGain};
+pub use operator::{Operator, OperatorConfig};
+pub use prediction::{MarginPolicy, PredictedSpot, SpotPredictor};
+pub use protocol::{CommsModel, ProtocolEvent};

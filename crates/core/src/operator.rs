@@ -1,0 +1,219 @@
+//! The operator's per-slot control loop (Algorithm 1 of the paper).
+//!
+//! Each slot the operator: collects tenants' bundled bids, predicts
+//! spot capacity from the power monitor, clears the market, and
+//! returns the grants to be programmed into the rack PDUs. [`Operator`]
+//! packages those steps; the surrounding simulation (or a real
+//! deployment shim) owns the clock, the meter and the actuation.
+
+use serde::{Deserialize, Serialize};
+use spotdc_power::{PowerMeter, PowerTopology};
+use spotdc_units::{RackId, Slot};
+
+use crate::bid::{RackBid, TenantBid};
+use crate::clearing::{ClearingConfig, MarketClearing, MarketOutcome};
+use crate::constraints::ConstraintSet;
+use crate::prediction::{PredictedSpot, SpotPredictor};
+
+/// Operator-side configuration: how to predict and how to clear.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct OperatorConfig {
+    /// Market-clearing search configuration.
+    pub clearing: ClearingConfig,
+    /// Spot-capacity predictor (under-prediction factor).
+    pub predictor: SpotPredictor,
+}
+
+/// The SpotDC operator: owns the market for one power topology.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_core::{demand::StepBid, Operator, OperatorConfig, RackBid, TenantBid};
+/// use spotdc_power::{PowerMeter, topology::TopologyBuilder};
+/// use spotdc_units::{Price, RackId, Slot, TenantId, Watts};
+///
+/// let topo = TopologyBuilder::new(Watts::new(300.0))
+///     .pdu(Watts::new(300.0))
+///     .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+///     .rack(TenantId::new(1), Watts::new(150.0), Watts::ZERO)
+///     .build()?;
+/// let mut meter = PowerMeter::new(&topo, 4);
+/// meter.record(Slot::ZERO, RackId::new(0), Watts::new(80.0));
+/// meter.record(Slot::ZERO, RackId::new(1), Watts::new(100.0));
+///
+/// let operator = Operator::new(topo, OperatorConfig::default());
+/// let bid = TenantBid::new(TenantId::new(0), vec![RackBid::new(
+///     RackId::new(0),
+///     StepBid::new(Watts::new(30.0), Price::per_kw_hour(0.2))?.into(),
+/// )])?;
+/// let round = operator.run_slot(Slot::new(1), &[bid], &meter);
+/// assert_eq!(round.outcome.allocation().grant(RackId::new(0)), Watts::new(30.0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Operator {
+    topology: PowerTopology,
+    clearing: MarketClearing,
+    predictor: SpotPredictor,
+}
+
+/// Everything the operator produced for one slot.
+#[derive(Debug, Clone)]
+pub struct SlotRound {
+    /// The spot capacities the operator predicted before clearing.
+    pub predicted: PredictedSpot,
+    /// The constraint set the market cleared against.
+    pub constraints: ConstraintSet,
+    /// The clearing outcome (price, grants, revenue).
+    pub outcome: MarketOutcome,
+    /// Rack bids that were dropped at admission (unknown rack, or a
+    /// rack not owned by the bidding tenant).
+    pub rejected: Vec<RackId>,
+}
+
+impl Operator {
+    /// Creates an operator for `topology`.
+    #[must_use]
+    pub fn new(topology: PowerTopology, config: OperatorConfig) -> Self {
+        Operator {
+            topology,
+            clearing: MarketClearing::new(config.clearing),
+            predictor: config.predictor,
+        }
+    }
+
+    /// The topology this operator manages.
+    #[must_use]
+    pub fn topology(&self) -> &PowerTopology {
+        &self.topology
+    }
+
+    /// The predictor in use.
+    #[must_use]
+    pub fn predictor(&self) -> SpotPredictor {
+        self.predictor
+    }
+
+    /// Runs one market round for `slot`: admission-checks the bids,
+    /// predicts spot capacity (requesting racks count at their full
+    /// guarantee), clears, and returns the round record.
+    #[must_use]
+    pub fn run_slot(&self, slot: Slot, bids: &[TenantBid], meter: &PowerMeter) -> SlotRound {
+        let mut rack_bids: Vec<RackBid> = Vec::new();
+        let mut rejected: Vec<RackId> = Vec::new();
+        for tenant_bid in bids {
+            for rb in tenant_bid.rack_bids() {
+                match self.topology.rack(rb.rack()) {
+                    Ok(spec) if spec.tenant() == tenant_bid.tenant() => {
+                        rack_bids.push(rb.clone());
+                    }
+                    _ => rejected.push(rb.rack()),
+                }
+            }
+        }
+        let requesting: Vec<RackId> = rack_bids.iter().map(RackBid::rack).collect();
+        let predicted = self
+            .predictor
+            .predict(&self.topology, meter, requesting);
+        let constraints = ConstraintSet::new(&self.topology, predicted.pdu.clone(), predicted.ups);
+        let outcome = self.clearing.clear(slot, &rack_bids, &constraints);
+        SlotRound {
+            predicted,
+            constraints,
+            outcome,
+            rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::StepBid;
+    use spotdc_power::topology::TopologyBuilder;
+    use spotdc_units::{Price, TenantId, Watts};
+
+    fn operator() -> (Operator, PowerMeter) {
+        let topo = TopologyBuilder::new(Watts::new(400.0))
+            .pdu(Watts::new(250.0))
+            .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+            .rack(TenantId::new(1), Watts::new(100.0), Watts::new(50.0))
+            .build()
+            .unwrap();
+        let mut meter = PowerMeter::new(&topo, 4);
+        meter.record(Slot::ZERO, RackId::new(0), Watts::new(70.0));
+        meter.record(Slot::ZERO, RackId::new(1), Watts::new(60.0));
+        (Operator::new(topo, OperatorConfig::default()), meter)
+    }
+
+    fn step_bid(tenant: usize, rack: usize, d: f64, q: f64) -> TenantBid {
+        TenantBid::new(
+            TenantId::new(tenant),
+            vec![RackBid::new(
+                RackId::new(rack),
+                StepBid::new(Watts::new(d), Price::per_kw_hour(q))
+                    .unwrap()
+                    .into(),
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_round_produces_feasible_grants() {
+        let (op, meter) = operator();
+        let bids = vec![step_bid(0, 0, 40.0, 0.3), step_bid(1, 1, 30.0, 0.2)];
+        let round = op.run_slot(Slot::new(1), &bids, &meter);
+        assert!(round.rejected.is_empty());
+        assert!(round.constraints.is_feasible(round.outcome.allocation().grants()));
+        assert!(round.outcome.sold() > Watts::ZERO);
+    }
+
+    #[test]
+    fn requesting_racks_count_at_guarantee_in_prediction() {
+        let (op, meter) = operator();
+        // Without bids: spot = 250 - 70 - 60 = 120.
+        let none = op.run_slot(Slot::new(1), &[], &meter);
+        assert_eq!(none.predicted.pdu[0], Watts::new(120.0));
+        // Rack 0 bidding: its reference becomes 100 → spot = 90.
+        let with = op.run_slot(Slot::new(1), &[step_bid(0, 0, 10.0, 0.2)], &meter);
+        assert_eq!(with.predicted.pdu[0], Watts::new(90.0));
+    }
+
+    #[test]
+    fn foreign_rack_bid_is_rejected() {
+        let (op, meter) = operator();
+        // Tenant 0 bidding for tenant 1's rack.
+        let round = op.run_slot(Slot::new(1), &[step_bid(0, 1, 10.0, 0.2)], &meter);
+        assert_eq!(round.rejected, vec![RackId::new(1)]);
+        assert!(round.outcome.allocation().is_empty());
+    }
+
+    #[test]
+    fn unknown_rack_bid_is_rejected() {
+        let (op, meter) = operator();
+        let round = op.run_slot(Slot::new(1), &[step_bid(0, 7, 10.0, 0.2)], &meter);
+        assert_eq!(round.rejected, vec![RackId::new(7)]);
+    }
+
+    #[test]
+    fn under_prediction_shrinks_supply() {
+        let topo = {
+            let (op, _) = operator();
+            op.topology().clone()
+        };
+        let mut meter = PowerMeter::new(&topo, 4);
+        meter.record(Slot::ZERO, RackId::new(0), Watts::new(70.0));
+        meter.record(Slot::ZERO, RackId::new(1), Watts::new(60.0));
+        let conservative = Operator::new(
+            topo,
+            OperatorConfig {
+                predictor: SpotPredictor::under_predicting(20.0),
+                ..OperatorConfig::default()
+            },
+        );
+        let round = conservative.run_slot(Slot::new(1), &[], &meter);
+        assert!(round.predicted.pdu[0].approx_eq(Watts::new(96.0), 1e-9));
+    }
+}

@@ -1,0 +1,345 @@
+//! Spot-capacity prediction from live power monitoring (Section III-C).
+//!
+//! Just before clearing, the operator predicts how much spot capacity
+//! the next slot will have at each PDU and the UPS:
+//!
+//! * take the **current** power reading of every rack as its reference,
+//! * except racks currently holding or requesting spot capacity, whose
+//!   reference is their **guaranteed capacity** (they may legitimately
+//!   fill it next slot),
+//! * subtract the references from the physical capacities,
+//! * optionally scale by an *under-prediction factor* `φ ≤ 1` as a
+//!   conservative safety margin (paper Fig. 17 shows `φ` barely affects
+//!   profit because the profit-maximizing price rarely sells the last
+//!   watt anyway).
+//!
+//! This is sound because PDU-level power moves slowly slot-to-slot
+//! (±2.5 % for 99 % of slots — Fig. 7a) and short spikes ride on
+//! breaker tolerance.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+use spotdc_power::{PowerMeter, PowerTopology};
+use spotdc_units::{RackId, Watts};
+
+/// Predicted spot capacity for one slot at every level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictedSpot {
+    /// Spot capacity per PDU, indexed by PDU id.
+    pub pdu: Vec<Watts>,
+    /// Spot capacity at the UPS.
+    pub ups: Watts,
+}
+
+impl PredictedSpot {
+    /// Total predicted PDU-level spot capacity.
+    #[must_use]
+    pub fn total_pdu(&self) -> Watts {
+        self.pdu.iter().copied().sum()
+    }
+}
+
+/// How the predictor derives its safety margin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MarginPolicy {
+    /// Scale the raw prediction by a fixed factor `φ ∈ (0, 1]`
+    /// (the paper's under-prediction knob, Fig. 17).
+    Scale(f64),
+    /// Adaptive: pad each non-participating rack's reference by the
+    /// largest upward slot-over-slot move observed in its metering
+    /// history, times a multiplier — "assume every rack repeats its
+    /// worst recent ramp simultaneously". Converges to the exact
+    /// prediction on flat traces and backs off on volatile ones.
+    Adaptive {
+        /// Multiplier on the observed worst upward ramp (≥ 0).
+        ramp_multiplier: f64,
+    },
+}
+
+/// The spot-capacity predictor.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_core::SpotPredictor;
+/// use spotdc_power::{PowerMeter, topology::TopologyBuilder};
+/// use spotdc_units::{RackId, Slot, TenantId, Watts};
+///
+/// let topo = TopologyBuilder::new(Watts::new(280.0))
+///     .pdu(Watts::new(300.0))
+///     .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+///     .rack(TenantId::new(1), Watts::new(150.0), Watts::ZERO)
+///     .build()?;
+/// let mut meter = PowerMeter::new(&topo, 4);
+/// meter.record(Slot::ZERO, RackId::new(0), Watts::new(60.0));
+/// meter.record(Slot::ZERO, RackId::new(1), Watts::new(90.0));
+/// let spot = SpotPredictor::exact().predict(&topo, &meter, [RackId::new(0)]);
+/// // Rack 0 requests spot => reference = its 100 W guarantee;
+/// // rack 1 reference = its 90 W reading. PDU: 300-190 = 110.
+/// assert_eq!(spot.pdu[0], Watts::new(110.0));
+/// assert_eq!(spot.ups, Watts::new(90.0)); // 280 - 190
+/// # Ok::<(), spotdc_power::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpotPredictor {
+    policy: MarginPolicy,
+}
+
+impl SpotPredictor {
+    /// A predictor with no safety margin (`φ = 1`).
+    #[must_use]
+    pub fn exact() -> Self {
+        SpotPredictor {
+            policy: MarginPolicy::Scale(1.0),
+        }
+    }
+
+    /// An adaptive predictor padding references by each rack's worst
+    /// recently-observed upward ramp times `ramp_multiplier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ramp_multiplier` is negative or non-finite.
+    #[must_use]
+    pub fn adaptive(ramp_multiplier: f64) -> Self {
+        assert!(
+            ramp_multiplier >= 0.0 && ramp_multiplier.is_finite(),
+            "ramp multiplier must be non-negative"
+        );
+        SpotPredictor {
+            policy: MarginPolicy::Adaptive { ramp_multiplier },
+        }
+    }
+
+    /// A conservative predictor that under-predicts by the given
+    /// percentage: `SpotPredictor::under_predicting(15.0)` scales raw
+    /// spot capacity by 0.85 (paper Fig. 17's x-axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `percent ∈ [0, 100)`.
+    #[must_use]
+    pub fn under_predicting(percent: f64) -> Self {
+        assert!(
+            (0.0..100.0).contains(&percent),
+            "under-prediction must be in [0,100)"
+        );
+        SpotPredictor {
+            policy: MarginPolicy::Scale(1.0 - percent / 100.0),
+        }
+    }
+
+    /// The multiplier `φ` applied to raw predictions (1.0 for the
+    /// adaptive policy, whose margin lives in the references instead).
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        match self.policy {
+            MarginPolicy::Scale(f) => f,
+            MarginPolicy::Adaptive { .. } => 1.0,
+        }
+    }
+
+    /// The margin policy in force.
+    #[must_use]
+    pub fn policy(&self) -> MarginPolicy {
+        self.policy
+    }
+
+    /// Predicts next-slot spot capacity. `spot_racks` is the set of
+    /// racks currently holding or requesting spot capacity (their
+    /// reference is their guaranteed capacity rather than their current
+    /// reading).
+    #[must_use]
+    pub fn predict(
+        &self,
+        topology: &PowerTopology,
+        meter: &PowerMeter,
+        spot_racks: impl IntoIterator<Item = RackId>,
+    ) -> PredictedSpot {
+        let spot_set: BTreeSet<RackId> = spot_racks.into_iter().collect();
+        let mut pdu_ref = vec![Watts::ZERO; topology.pdu_count()];
+        let mut total_ref = Watts::ZERO;
+        for rack in topology.racks() {
+            let reference = if spot_set.contains(&rack.id()) {
+                rack.guaranteed()
+            } else {
+                let base = meter.rack_power(rack.id());
+                let padded = match self.policy {
+                    MarginPolicy::Scale(_) => base,
+                    MarginPolicy::Adaptive { ramp_multiplier } => {
+                        base + worst_upward_ramp(meter, rack.id()) * ramp_multiplier
+                    }
+                };
+                // A rack may not exceed its guarantee without a grant, so
+                // the reference never exceeds the guarantee either.
+                padded.min(rack.guaranteed())
+            };
+            pdu_ref[rack.pdu().index()] += reference;
+            total_ref += reference;
+        }
+        let factor = self.factor();
+        let pdu = topology
+            .pdus()
+            .map(|p| {
+                let cap = topology.pdu_capacity(p).expect("pdu from topology");
+                ((cap - pdu_ref[p.index()]) * factor).clamp_non_negative()
+            })
+            .collect();
+        let ups = ((topology.ups_capacity() - total_ref) * factor).clamp_non_negative();
+        PredictedSpot { pdu, ups }
+    }
+}
+
+impl Default for SpotPredictor {
+    fn default() -> Self {
+        SpotPredictor::exact()
+    }
+}
+
+/// The largest slot-over-slot power increase in `rack`'s retained
+/// metering history (zero with fewer than two readings).
+fn worst_upward_ramp(meter: &PowerMeter, rack: RackId) -> Watts {
+    let history = meter.history(rack);
+    history
+        .windows(2)
+        .map(|w| (w[1].power - w[0].power).clamp_non_negative())
+        .fold(Watts::ZERO, Watts::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotdc_power::topology::TopologyBuilder;
+    use spotdc_units::{Slot, TenantId};
+
+    fn setup() -> (PowerTopology, PowerMeter) {
+        let topo = TopologyBuilder::new(Watts::new(500.0))
+            .pdu(Watts::new(300.0))
+            .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+            .rack(TenantId::new(1), Watts::new(150.0), Watts::ZERO)
+            .pdu(Watts::new(300.0))
+            .rack(TenantId::new(2), Watts::new(200.0), Watts::new(60.0))
+            .build()
+            .unwrap();
+        let mut meter = PowerMeter::new(&topo, 4);
+        meter.record(Slot::ZERO, RackId::new(0), Watts::new(60.0));
+        meter.record(Slot::ZERO, RackId::new(1), Watts::new(90.0));
+        meter.record(Slot::ZERO, RackId::new(2), Watts::new(120.0));
+        (topo, meter)
+    }
+
+    #[test]
+    fn references_use_readings_for_non_participants() {
+        let (topo, meter) = setup();
+        let spot = SpotPredictor::exact().predict(&topo, &meter, []);
+        assert_eq!(spot.pdu[0], Watts::new(150.0)); // 300 - 60 - 90
+        assert_eq!(spot.pdu[1], Watts::new(180.0)); // 300 - 120
+        assert_eq!(spot.ups, Watts::new(230.0)); // 500 - 270
+    }
+
+    #[test]
+    fn spot_racks_reserve_their_full_guarantee() {
+        let (topo, meter) = setup();
+        let spot = SpotPredictor::exact().predict(&topo, &meter, [RackId::new(0)]);
+        // Rack 0 counts as 100 (guarantee) instead of 60 (reading).
+        assert_eq!(spot.pdu[0], Watts::new(110.0));
+        assert_eq!(spot.ups, Watts::new(190.0));
+    }
+
+    #[test]
+    fn readings_above_guarantee_are_clamped() {
+        let (topo, mut meter) = setup();
+        // Rack 1 briefly reads above its 150 W guarantee.
+        meter.record(Slot::new(1), RackId::new(1), Watts::new(170.0));
+        let spot = SpotPredictor::exact().predict(&topo, &meter, []);
+        assert_eq!(spot.pdu[0], Watts::new(90.0)); // 300 - 60 - 150
+    }
+
+    #[test]
+    fn under_prediction_scales_everything() {
+        let (topo, meter) = setup();
+        let exact = SpotPredictor::exact().predict(&topo, &meter, []);
+        let under = SpotPredictor::under_predicting(15.0).predict(&topo, &meter, []);
+        for (u, e) in under.pdu.iter().zip(&exact.pdu) {
+            assert!(u.approx_eq(*e * 0.85, 1e-9));
+        }
+        assert!(under.ups.approx_eq(exact.ups * 0.85, 1e-9));
+    }
+
+    #[test]
+    fn never_negative_even_when_overcommitted() {
+        // Oversubscribed PDU fully loaded: raw spot would be negative.
+        let topo = TopologyBuilder::new(Watts::new(100.0))
+            .pdu(Watts::new(100.0))
+            .rack(TenantId::new(0), Watts::new(120.0), Watts::ZERO)
+            .build()
+            .unwrap();
+        let mut meter = PowerMeter::new(&topo, 4);
+        meter.record(Slot::ZERO, RackId::new(0), Watts::new(115.0));
+        let spot = SpotPredictor::exact().predict(&topo, &meter, []);
+        assert_eq!(spot.pdu[0], Watts::ZERO);
+        assert_eq!(spot.ups, Watts::ZERO);
+    }
+
+    #[test]
+    fn unread_racks_count_zero_reference() {
+        let topo = TopologyBuilder::new(Watts::new(100.0))
+            .pdu(Watts::new(100.0))
+            .rack(TenantId::new(0), Watts::new(50.0), Watts::ZERO)
+            .build()
+            .unwrap();
+        let meter = PowerMeter::new(&topo, 4);
+        let spot = SpotPredictor::exact().predict(&topo, &meter, []);
+        assert_eq!(spot.pdu[0], Watts::new(100.0));
+    }
+
+    #[test]
+    fn total_pdu_helper() {
+        let (topo, meter) = setup();
+        let spot = SpotPredictor::exact().predict(&topo, &meter, []);
+        assert_eq!(spot.total_pdu(), Watts::new(330.0));
+    }
+
+    #[test]
+    fn adaptive_predictor_pads_by_worst_ramp() {
+        let (topo, mut meter) = setup();
+        // Rack 0 ramped +15 W then -5 W: worst upward ramp is 15 W.
+        meter.record(Slot::new(1), RackId::new(0), Watts::new(75.0));
+        meter.record(Slot::new(2), RackId::new(0), Watts::new(70.0));
+        let exact = SpotPredictor::exact().predict(&topo, &meter, []);
+        let adaptive = SpotPredictor::adaptive(1.0).predict(&topo, &meter, []);
+        // Rack 0's reference is padded by 15 W; others are flat.
+        assert!(adaptive.pdu[0].approx_eq(exact.pdu[0] - Watts::new(15.0), 1e-9));
+        assert!(adaptive.ups <= exact.ups);
+    }
+
+    #[test]
+    fn adaptive_equals_exact_on_flat_history() {
+        let (topo, mut meter) = setup();
+        for slot in 1..4 {
+            meter.record(Slot::new(slot), RackId::new(0), Watts::new(60.0));
+            meter.record(Slot::new(slot), RackId::new(1), Watts::new(90.0));
+            meter.record(Slot::new(slot), RackId::new(2), Watts::new(120.0));
+        }
+        let exact = SpotPredictor::exact().predict(&topo, &meter, []);
+        let adaptive = SpotPredictor::adaptive(2.0).predict(&topo, &meter, []);
+        assert_eq!(exact, adaptive);
+    }
+
+    #[test]
+    fn adaptive_padding_respects_the_guarantee_clamp() {
+        let (topo, mut meter) = setup();
+        // A huge ramp cannot push the reference past the guarantee.
+        meter.record(Slot::new(1), RackId::new(0), Watts::new(95.0));
+        let adaptive = SpotPredictor::adaptive(10.0).predict(&topo, &meter, []);
+        // Reference clamped at 100 W guarantee: spot = 300 - 100 - 90.
+        assert_eq!(adaptive.pdu[0], Watts::new(110.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "under-prediction must be in [0,100)")]
+    fn full_under_prediction_rejected() {
+        let _ = SpotPredictor::under_predicting(100.0);
+    }
+}

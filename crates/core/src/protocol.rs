@@ -1,0 +1,261 @@
+//! Operator ↔ tenant message exchange and its failure semantics.
+//!
+//! SpotDC's wire protocol (Fig. 5/6 of the paper) is deliberately
+//! boring — periodic heartbeats, one bid submission per tenant per
+//! slot, one price broadcast back — because the *failure semantics*
+//! carry the safety argument: **any communication loss degrades to "no
+//! spot capacity"** for the affected tenant. A lost bid simply isn't
+//! cleared; a lost price broadcast means the tenant cannot know its
+//! grant, so the operator revokes it and the tenant stays at its
+//! guaranteed capacity. Either way the slot is safe, just less
+//! profitable.
+//!
+//! [`CommsModel`] injects those losses deterministically (seeded
+//! xorshift, no external RNG dependency) and [`ProtocolEvent`] records
+//! them for the evaluation.
+
+use serde::{Deserialize, Serialize};
+use spotdc_units::{Slot, TenantId};
+
+use crate::allocation::SpotAllocation;
+use crate::bid::TenantBid;
+use spotdc_power::PowerTopology;
+
+/// A protocol-level event worth auditing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolEvent {
+    /// A tenant's bid submission was lost; it will not participate
+    /// this slot.
+    BidLost {
+        /// The affected tenant.
+        tenant: TenantId,
+        /// The slot whose market the bid was for.
+        slot: Slot,
+    },
+    /// The price broadcast to a tenant was lost; its grants are revoked
+    /// and it falls back to guaranteed capacity only.
+    BroadcastLost {
+        /// The affected tenant.
+        tenant: TenantId,
+        /// The slot whose allocation was revoked.
+        slot: Slot,
+    },
+}
+
+/// A lossy-channel model for the operator↔tenant exchange.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_core::CommsModel;
+///
+/// let mut perfect = CommsModel::perfect();
+/// assert!(perfect.bid_survives());
+/// let mut lossy = CommsModel::new(1.0, 1.0, 42); // everything lost
+/// assert!(!lossy.bid_survives());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommsModel {
+    /// Probability a bid submission is lost, stored in parts per 2⁶⁴.
+    bid_loss: u64,
+    /// Probability a price broadcast is lost, in parts per 2⁶⁴.
+    broadcast_loss: u64,
+    state: u64,
+}
+
+impl CommsModel {
+    /// A channel with the given loss probabilities (each in `[0, 1]`)
+    /// and deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(bid_loss: f64, broadcast_loss: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&bid_loss), "loss probability in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&broadcast_loss),
+            "loss probability in [0,1]"
+        );
+        let to_fixed = |p: f64| -> u64 {
+            if p >= 1.0 {
+                u64::MAX
+            } else {
+                (p * (u64::MAX as f64)) as u64
+            }
+        };
+        CommsModel {
+            bid_loss: to_fixed(bid_loss),
+            broadcast_loss: to_fixed(broadcast_loss),
+            state: seed | 1, // xorshift state must be non-zero
+        }
+    }
+
+    /// A lossless channel.
+    #[must_use]
+    pub fn perfect() -> Self {
+        CommsModel::new(0.0, 0.0, 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Draws whether one bid submission survives the channel.
+    pub fn bid_survives(&mut self) -> bool {
+        let threshold = self.bid_loss;
+        threshold == 0 || self.next() >= threshold
+    }
+
+    /// Draws whether one price broadcast survives the channel.
+    pub fn broadcast_survives(&mut self) -> bool {
+        let threshold = self.broadcast_loss;
+        threshold == 0 || self.next() >= threshold
+    }
+
+    /// Filters a slot's bid submissions through the channel, returning
+    /// the survivors and the loss events.
+    pub fn deliver_bids(
+        &mut self,
+        slot: Slot,
+        bids: Vec<TenantBid>,
+    ) -> (Vec<TenantBid>, Vec<ProtocolEvent>) {
+        let mut kept = Vec::with_capacity(bids.len());
+        let mut events = Vec::new();
+        for bid in bids {
+            if self.bid_survives() {
+                kept.push(bid);
+            } else {
+                events.push(ProtocolEvent::BidLost {
+                    tenant: bid.tenant(),
+                    slot,
+                });
+            }
+        }
+        (kept, events)
+    }
+
+    /// Applies broadcast losses to a cleared allocation: for each
+    /// tenant whose broadcast is lost, every one of its racks' grants
+    /// is revoked (the no-spot fallback). Returns the loss events.
+    pub fn deliver_broadcasts(
+        &mut self,
+        topology: &PowerTopology,
+        allocation: &mut SpotAllocation,
+        tenants: impl IntoIterator<Item = TenantId>,
+    ) -> Vec<ProtocolEvent> {
+        let slot = allocation.slot();
+        let mut events = Vec::new();
+        for tenant in tenants {
+            if !self.broadcast_survives() {
+                for &rack in topology.racks_of_tenant(tenant) {
+                    allocation.revoke(rack);
+                }
+                events.push(ProtocolEvent::BroadcastLost { tenant, slot });
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bid::RackBid;
+    use crate::demand::StepBid;
+    use spotdc_power::topology::TopologyBuilder;
+    use spotdc_units::{Price, RackId, Watts};
+
+    fn bid(tenant: usize) -> TenantBid {
+        TenantBid::new(
+            TenantId::new(tenant),
+            vec![RackBid::new(
+                RackId::new(tenant),
+                StepBid::new(Watts::new(10.0), Price::per_kw_hour(0.2))
+                    .unwrap()
+                    .into(),
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn perfect_channel_loses_nothing() {
+        let mut ch = CommsModel::perfect();
+        let (kept, events) = ch.deliver_bids(Slot::ZERO, vec![bid(0), bid(1), bid(2)]);
+        assert_eq!(kept.len(), 3);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn total_loss_loses_everything() {
+        let mut ch = CommsModel::new(1.0, 1.0, 7);
+        let (kept, events) = ch.deliver_bids(Slot::new(3), vec![bid(0), bid(1)]);
+        assert!(kept.is_empty());
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            ProtocolEvent::BidLost { tenant, slot }
+                if tenant == TenantId::new(0) && slot == Slot::new(3)
+        ));
+    }
+
+    #[test]
+    fn loss_rate_statistically_matches() {
+        let mut ch = CommsModel::new(0.3, 0.0, 99);
+        let n = 100_000;
+        let losses = (0..n).filter(|_| !ch.bid_survives()).count();
+        let rate = losses as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = CommsModel::new(0.5, 0.5, 5);
+        let mut b = CommsModel::new(0.5, 0.5, 5);
+        for _ in 0..100 {
+            assert_eq!(a.bid_survives(), b.bid_survives());
+        }
+    }
+
+    #[test]
+    fn lost_broadcast_revokes_all_tenant_racks() {
+        let topo = TopologyBuilder::new(Watts::new(400.0))
+            .pdu(Watts::new(400.0))
+            .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+            .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+            .rack(TenantId::new(1), Watts::new(100.0), Watts::new(50.0))
+            .build()
+            .unwrap();
+        let mut alloc = SpotAllocation::new(
+            Slot::new(2),
+            Price::per_kw_hour(0.2),
+            [
+                (RackId::new(0), Watts::new(20.0)),
+                (RackId::new(1), Watts::new(25.0)),
+                (RackId::new(2), Watts::new(30.0)),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let mut ch = CommsModel::new(0.0, 1.0, 3); // all broadcasts lost
+        let events = ch.deliver_broadcasts(&topo, &mut alloc, [TenantId::new(0)]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(alloc.grant(RackId::new(0)), Watts::ZERO);
+        assert_eq!(alloc.grant(RackId::new(1)), Watts::ZERO);
+        // Tenant 1 untouched (its broadcast wasn't in the lost set).
+        assert_eq!(alloc.grant(RackId::new(2)), Watts::new(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability in [0,1]")]
+    fn bad_probability_rejected() {
+        let _ = CommsModel::new(1.5, 0.0, 1);
+    }
+}

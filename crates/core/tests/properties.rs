@@ -1,0 +1,173 @@
+//! Property-based tests for the SpotDC market core.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use spotdc_core::demand::{DemandBid, LinearBid, StepBid};
+use spotdc_core::{
+    max_perf_allocate, ClearingConfig, ConcaveGain, ConstraintSet, MarketClearing, RackBid,
+};
+use spotdc_power::topology::TopologyBuilder;
+use spotdc_power::PowerTopology;
+use spotdc_units::{Price, RackId, Slot, TenantId, Watts};
+
+/// A random linear bid (always valid by construction).
+fn linear_bid() -> impl Strategy<Value = DemandBid> {
+    (0.0..80.0f64, 0.0..80.0f64, 0.0..0.3f64, 0.0..0.3f64).prop_map(|(d1, d2, q1, q2)| {
+        let (d_min, d_max) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let (q_min, q_max) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        LinearBid::new(
+            Watts::new(d_max),
+            Price::per_kw_hour(q_min),
+            Watts::new(d_min),
+            Price::per_kw_hour(q_max),
+        )
+        .expect("ordered parameters are valid")
+        .into()
+    })
+}
+
+fn step_bid() -> impl Strategy<Value = DemandBid> {
+    (0.0..80.0f64, 0.0..0.4f64).prop_map(|(d, q)| {
+        StepBid::new(Watts::new(d), Price::per_kw_hour(q))
+            .expect("valid")
+            .into()
+    })
+}
+
+fn any_bid() -> impl Strategy<Value = DemandBid> {
+    prop_oneof![linear_bid(), step_bid()]
+}
+
+/// A topology with `n` racks spread over two PDUs, 60 W headroom each.
+fn topology(n: usize) -> PowerTopology {
+    let mut b = TopologyBuilder::new(Watts::new(1e6)).pdu(Watts::new(1e5));
+    for i in 0..n {
+        if i == n / 2 {
+            b = b.pdu(Watts::new(1e5));
+        }
+        b = b.rack(TenantId::new(i), Watts::new(100.0), Watts::new(60.0));
+    }
+    b.build().expect("valid topology")
+}
+
+fn market_case() -> impl Strategy<Value = (Vec<DemandBid>, f64, f64, f64)> {
+    (
+        prop::collection::vec(any_bid(), 1..12),
+        0.0..200.0f64, // pdu0 spot
+        0.0..200.0f64, // pdu1 spot
+        0.0..350.0f64, // ups spot
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clearing_never_violates_constraints((bids, p0, p1, ups) in market_case()) {
+        let topo = topology(bids.len());
+        let cs = ConstraintSet::new(&topo, vec![Watts::new(p0), Watts::new(p1)], Watts::new(ups));
+        let rack_bids: Vec<RackBid> = bids
+            .iter()
+            .enumerate()
+            .map(|(i, b)| RackBid::new(RackId::new(i), b.clone()))
+            .collect();
+        for config in [ClearingConfig::grid(Price::cents_per_kw_hour(0.5)), ClearingConfig::kink_search()] {
+            let out = MarketClearing::new(config).clear(Slot::ZERO, &rack_bids, &cs);
+            prop_assert!(
+                cs.is_feasible(out.allocation().grants()),
+                "infeasible allocation from {config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kink_search_never_loses_to_grid((bids, p0, p1, ups) in market_case()) {
+        let topo = topology(bids.len());
+        let cs = ConstraintSet::new(&topo, vec![Watts::new(p0), Watts::new(p1)], Watts::new(ups));
+        let rack_bids: Vec<RackBid> = bids
+            .iter()
+            .enumerate()
+            .map(|(i, b)| RackBid::new(RackId::new(i), b.clone()))
+            .collect();
+        let grid = MarketClearing::new(ClearingConfig::grid(Price::cents_per_kw_hour(0.2)))
+            .clear(Slot::ZERO, &rack_bids, &cs);
+        let kink = MarketClearing::new(ClearingConfig::kink_search())
+            .clear(Slot::ZERO, &rack_bids, &cs);
+        prop_assert!(
+            kink.revenue_rate() >= grid.revenue_rate() - 1e-9,
+            "kink {} < grid {}",
+            kink.revenue_rate(),
+            grid.revenue_rate()
+        );
+    }
+
+    #[test]
+    fn finer_grid_never_reduces_revenue((bids, p0, p1, ups) in market_case()) {
+        let topo = topology(bids.len());
+        let cs = ConstraintSet::new(&topo, vec![Watts::new(p0), Watts::new(p1)], Watts::new(ups));
+        let rack_bids: Vec<RackBid> = bids
+            .iter()
+            .enumerate()
+            .map(|(i, b)| RackBid::new(RackId::new(i), b.clone()))
+            .collect();
+        // The fine step divides the coarse step, so the fine candidate
+        // set is a superset of the coarse one.
+        let coarse = MarketClearing::new(ClearingConfig::grid(Price::cents_per_kw_hour(1.0)))
+            .clear(Slot::ZERO, &rack_bids, &cs);
+        let fine = MarketClearing::new(ClearingConfig::grid(Price::cents_per_kw_hour(0.1)))
+            .clear(Slot::ZERO, &rack_bids, &cs);
+        prop_assert!(fine.revenue_rate() >= coarse.revenue_rate() - 1e-9);
+    }
+
+    #[test]
+    fn grants_never_exceed_the_bid_demand_at_the_clearing_price((bids, p0, p1, ups) in market_case()) {
+        let topo = topology(bids.len());
+        let cs = ConstraintSet::new(&topo, vec![Watts::new(p0), Watts::new(p1)], Watts::new(ups));
+        let rack_bids: Vec<RackBid> = bids
+            .iter()
+            .enumerate()
+            .map(|(i, b)| RackBid::new(RackId::new(i), b.clone()))
+            .collect();
+        let out = MarketClearing::new(ClearingConfig::kink_search())
+            .clear(Slot::ZERO, &rack_bids, &cs);
+        let price = out.price();
+        for rb in &rack_bids {
+            let grant = out.allocation().grant(rb.rack());
+            prop_assert!(grant <= rb.demand_at(price) + Watts::new(1e-9));
+        }
+    }
+
+    #[test]
+    fn maxperf_always_feasible_and_saturating(
+        slopes in prop::collection::vec((1.0..60.0f64, 0.0001..0.01f64), 1..10),
+        p0 in 0.0..150.0f64,
+        ups in 0.0..150.0f64,
+    ) {
+        let topo = topology(slopes.len());
+        let cs = ConstraintSet::new(&topo, vec![Watts::new(p0), Watts::new(1e5)], Watts::new(ups));
+        let gains: BTreeMap<RackId, ConcaveGain> = slopes
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, s))| {
+                (RackId::new(i), ConcaveGain::new(vec![(w, s)]).expect("valid"))
+            })
+            .collect();
+        let grants = max_perf_allocate(&gains, &cs);
+        prop_assert!(cs.is_feasible(&grants));
+        // Monotonicity in capacity: doubling the UPS never shrinks total.
+        let cs2 = ConstraintSet::new(&topo, vec![Watts::new(p0), Watts::new(1e5)], Watts::new(ups * 2.0));
+        let grants2 = max_perf_allocate(&gains, &cs2);
+        let t1: Watts = grants.values().copied().sum();
+        let t2: Watts = grants2.values().copied().sum();
+        prop_assert!(t2 >= t1 - Watts::new(1e-9));
+    }
+
+    #[test]
+    fn demand_functions_monotone_non_increasing(bid in any_bid(), q1 in 0.0..0.5f64, q2 in 0.0..0.5f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let d_lo = bid.demand_at(Price::per_kw_hour(lo));
+        let d_hi = bid.demand_at(Price::per_kw_hour(hi));
+        prop_assert!(d_hi <= d_lo + Watts::new(1e-9));
+    }
+}

@@ -1,0 +1,282 @@
+//! Circuit-breaker thermal model.
+//!
+//! The paper leans on the fact that "any unexpected short-term power
+//! spike can be handled by circuit breaker tolerance": breakers do not
+//! trip the instant their rating is exceeded — they follow an
+//! inverse-time trip curve where small overloads are sustained for
+//! minutes and only large overloads trip quickly. [`CircuitBreaker`]
+//! models that with a thermal accumulator driven once per slot, so the
+//! simulation can distinguish benign transient overshoots from genuine
+//! capacity emergencies.
+
+use serde::{Deserialize, Serialize};
+use spotdc_units::{SlotDuration, Watts};
+
+/// An inverse-time trip curve: how long an overload of a given severity
+/// can be sustained before the breaker trips.
+///
+/// The sustain time for overload ratio `r = load / rating` (with
+/// `r > tolerance`) is `k / (r − 1)^α` seconds. Typical thermal-magnetic
+/// breakers tolerate ~5 % indefinitely, ~25 % for tens of seconds and
+/// trip within a second beyond ~2×.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_power::TripCurve;
+///
+/// let curve = TripCurve::default();
+/// // A 10% overload sustains far longer than a 100% overload.
+/// assert!(curve.sustain_secs(1.10) > curve.sustain_secs(2.0) * 9.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TripCurve {
+    /// Overload ratio tolerated indefinitely (e.g. 1.05 = +5 %).
+    tolerance: f64,
+    /// Scale constant `k` in seconds.
+    k: f64,
+    /// Severity exponent `α`.
+    alpha: f64,
+}
+
+impl TripCurve {
+    /// Creates a trip curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tolerance ≥ 1`, `k > 0` and `alpha > 0`.
+    #[must_use]
+    pub fn new(tolerance: f64, k: f64, alpha: f64) -> Self {
+        assert!(tolerance >= 1.0, "tolerance ratio must be at least 1");
+        assert!(k > 0.0 && k.is_finite(), "k must be positive");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        TripCurve { tolerance, k, alpha }
+    }
+
+    /// Seconds an overload at `ratio` (load ÷ rating) can be sustained;
+    /// `f64::INFINITY` at or below the tolerance band.
+    #[must_use]
+    pub fn sustain_secs(&self, ratio: f64) -> f64 {
+        if ratio <= self.tolerance {
+            f64::INFINITY
+        } else {
+            self.k / (ratio - 1.0).powf(self.alpha)
+        }
+    }
+
+    /// The overload ratio tolerated indefinitely.
+    #[must_use]
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+}
+
+impl Default for TripCurve {
+    /// A curve resembling a thermal-magnetic molded-case breaker:
+    /// +5 % tolerated forever, +25 % for ≈2.7 minutes, +100 % for ≈40 s.
+    fn default() -> Self {
+        TripCurve::new(1.05, 40.0, 1.0)
+    }
+}
+
+/// The operating state of a breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Carrying load normally.
+    Closed,
+    /// Tripped open; downstream load is dropped until reset.
+    Tripped,
+}
+
+/// A circuit breaker guarding one capacity boundary (a PDU or the UPS).
+///
+/// Drive it once per slot with the observed load; the breaker integrates
+/// thermal stress and trips when the accumulated stress of sustained
+/// overload exceeds what its [`TripCurve`] allows.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_power::{BreakerState, CircuitBreaker};
+/// use spotdc_units::{SlotDuration, Watts};
+///
+/// let mut breaker = CircuitBreaker::new(Watts::new(1000.0), Default::default());
+/// let slot = SlotDuration::from_secs(60);
+/// // Nominal load: never trips.
+/// for _ in 0..100 {
+///     assert_eq!(breaker.apply_load(Watts::new(900.0), slot), BreakerState::Closed);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitBreaker {
+    rating: Watts,
+    curve: TripCurve,
+    /// Accumulated thermal stress as a fraction of trip threshold (0–1).
+    stress: f64,
+    state: BreakerState,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker with the given rating and trip curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rating` is not positive and finite.
+    #[must_use]
+    pub fn new(rating: Watts, curve: TripCurve) -> Self {
+        assert!(
+            rating.is_finite() && rating > Watts::ZERO,
+            "breaker rating must be positive"
+        );
+        CircuitBreaker {
+            rating,
+            curve,
+            stress: 0.0,
+            state: BreakerState::Closed,
+            trips: 0,
+        }
+    }
+
+    /// The breaker's continuous rating.
+    #[must_use]
+    pub fn rating(&self) -> Watts {
+        self.rating
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times this breaker has tripped since construction.
+    #[must_use]
+    pub fn trip_count(&self) -> u64 {
+        self.trips
+    }
+
+    /// Thermal stress as a fraction of the trip threshold (0 = cold,
+    /// ≥1 = tripped).
+    #[must_use]
+    pub fn stress(&self) -> f64 {
+        self.stress
+    }
+
+    /// Applies `load` for one slot of `duration`, returning the state
+    /// after the slot. Overload accumulates stress proportional to
+    /// `slot / sustain_time`; under-tolerance load cools the breaker at
+    /// the same rate. A tripped breaker stays tripped until
+    /// [`reset`](Self::reset).
+    pub fn apply_load(&mut self, load: Watts, duration: SlotDuration) -> BreakerState {
+        if self.state == BreakerState::Tripped {
+            return self.state;
+        }
+        let ratio = load.fraction_of(self.rating);
+        let sustain = self.curve.sustain_secs(ratio);
+        if sustain.is_finite() {
+            self.stress += duration.seconds() / sustain;
+        } else {
+            // Cool down: full recovery over the same timescale as the
+            // curve's scale constant.
+            self.stress = (self.stress - duration.seconds() / self.curve.k).max(0.0);
+        }
+        if self.stress >= 1.0 {
+            self.state = BreakerState::Tripped;
+            self.trips += 1;
+        }
+        self.state
+    }
+
+    /// Closes a tripped breaker and clears its thermal stress.
+    pub fn reset(&mut self) {
+        self.state = BreakerState::Closed;
+        self.stress = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sustain_is_monotone_decreasing_in_severity() {
+        let c = TripCurve::default();
+        assert!(c.sustain_secs(1.0).is_infinite());
+        assert!(c.sustain_secs(1.05).is_infinite());
+        let s1 = c.sustain_secs(1.1);
+        let s2 = c.sustain_secs(1.5);
+        let s3 = c.sustain_secs(2.0);
+        assert!(s1 > s2 && s2 > s3);
+        assert!(s3 > 0.0);
+    }
+
+    #[test]
+    fn nominal_load_never_trips() {
+        let mut b = CircuitBreaker::new(Watts::new(1000.0), TripCurve::default());
+        let slot = SlotDuration::from_secs(300);
+        for _ in 0..10_000 {
+            assert_eq!(b.apply_load(Watts::new(1000.0), slot), BreakerState::Closed);
+        }
+        assert_eq!(b.trip_count(), 0);
+    }
+
+    #[test]
+    fn tolerance_band_load_never_trips() {
+        let mut b = CircuitBreaker::new(Watts::new(1000.0), TripCurve::default());
+        let slot = SlotDuration::from_secs(300);
+        for _ in 0..10_000 {
+            b.apply_load(Watts::new(1049.0), slot); // inside +5% band
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn severe_overload_trips_quickly() {
+        let mut b = CircuitBreaker::new(Watts::new(1000.0), TripCurve::default());
+        let slot = SlotDuration::from_secs(60);
+        // 2x rating sustains 40s; one 60-s slot must trip it.
+        assert_eq!(b.apply_load(Watts::new(2000.0), slot), BreakerState::Tripped);
+        assert_eq!(b.trip_count(), 1);
+    }
+
+    #[test]
+    fn mild_overload_accumulates_over_slots() {
+        let mut b = CircuitBreaker::new(Watts::new(1000.0), TripCurve::default());
+        let slot = SlotDuration::from_secs(60);
+        // +25% sustains 40/0.25 = 160 s => trips on the 3rd 60-s slot.
+        assert_eq!(b.apply_load(Watts::new(1250.0), slot), BreakerState::Closed);
+        assert_eq!(b.apply_load(Watts::new(1250.0), slot), BreakerState::Closed);
+        assert_eq!(b.apply_load(Watts::new(1250.0), slot), BreakerState::Tripped);
+    }
+
+    #[test]
+    fn cooling_recovers_stress() {
+        let mut b = CircuitBreaker::new(Watts::new(1000.0), TripCurve::default());
+        let slot = SlotDuration::from_secs(60);
+        b.apply_load(Watts::new(1250.0), slot);
+        let stressed = b.stress();
+        assert!(stressed > 0.0);
+        b.apply_load(Watts::new(500.0), slot);
+        assert!(b.stress() < stressed);
+    }
+
+    #[test]
+    fn tripped_stays_tripped_until_reset() {
+        let mut b = CircuitBreaker::new(Watts::new(1000.0), TripCurve::default());
+        let slot = SlotDuration::from_secs(60);
+        b.apply_load(Watts::new(3000.0), slot);
+        assert_eq!(b.state(), BreakerState::Tripped);
+        assert_eq!(b.apply_load(Watts::new(100.0), slot), BreakerState::Tripped);
+        b.reset();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.stress(), 0.0);
+        assert_eq!(b.trip_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rating must be positive")]
+    fn zero_rating_rejected() {
+        let _ = CircuitBreaker::new(Watts::ZERO, TripCurve::default());
+    }
+}

@@ -1,0 +1,234 @@
+//! Capacity planning and oversubscription arithmetic.
+//!
+//! Operators size the shared UPS/PDUs *below* the sum of tenant
+//! subscriptions ("oversubscription") because tenants rarely peak
+//! simultaneously. The paper's testbed oversubscribes both PDUs and the
+//! UPS by 5 %: a PDU with 750 W of subscriptions gets 715 W of capacity
+//! (750 = 715 × 105 %). [`Oversubscription`] captures that ratio and
+//! [`CapacityPlan`] applies it to a set of subscriptions to derive the
+//! physical capacities a [`super::topology::PowerTopology`] is built
+//! with.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use spotdc_units::Watts;
+
+/// An oversubscription ratio: subscribed capacity ÷ physical capacity.
+///
+/// A ratio of `1.05` means 5 % oversubscription: tenants subscribed 5 %
+/// more than the equipment can deliver simultaneously. A ratio of `1.0`
+/// means fully provisioned; ratios below 1 mean *under*-subscription
+/// (spare physical capacity beyond all subscriptions).
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_power::Oversubscription;
+/// use spotdc_units::Watts;
+///
+/// let os = Oversubscription::percent(5.0);
+/// let physical = os.physical_for_subscribed(Watts::new(750.0));
+/// assert!((physical.value() - 714.2857142857143).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Oversubscription(f64);
+
+impl Oversubscription {
+    /// No oversubscription: physical capacity equals subscriptions.
+    pub const NONE: Oversubscription = Oversubscription(1.0);
+
+    /// Creates a ratio directly (subscribed ÷ physical).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ratio` is finite and positive.
+    #[must_use]
+    pub fn ratio(ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "oversubscription ratio must be positive and finite"
+        );
+        Oversubscription(ratio)
+    }
+
+    /// Creates a ratio from a percentage: `percent(5.0)` ⇒ ratio 1.05.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting ratio would be non-positive (i.e.
+    /// `percent ≤ −100`).
+    #[must_use]
+    pub fn percent(percent: f64) -> Self {
+        Self::ratio(1.0 + percent / 100.0)
+    }
+
+    /// The raw ratio.
+    #[must_use]
+    pub const fn ratio_value(self) -> f64 {
+        self.0
+    }
+
+    /// The oversubscription expressed as a percentage.
+    #[must_use]
+    pub fn percent_value(self) -> f64 {
+        (self.0 - 1.0) * 100.0
+    }
+
+    /// Physical capacity required so that `subscribed` capacity is
+    /// oversubscribed by exactly this ratio.
+    #[must_use]
+    pub fn physical_for_subscribed(self, subscribed: Watts) -> Watts {
+        subscribed / self.0
+    }
+
+    /// How much capacity can be subscribed on `physical` equipment at
+    /// this ratio.
+    #[must_use]
+    pub fn subscribed_for_physical(self, physical: Watts) -> Watts {
+        physical * self.0
+    }
+}
+
+impl Default for Oversubscription {
+    fn default() -> Self {
+        Oversubscription::NONE
+    }
+}
+
+impl fmt::Display for Oversubscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.1}% oversubscribed", self.percent_value())
+    }
+}
+
+/// Derives physical PDU/UPS capacities from per-PDU subscription totals.
+///
+/// This is the sizing rule of Section IV-A: each PDU's capacity is its
+/// subscriptions divided by the PDU oversubscription ratio, and the UPS
+/// capacity is the *sum of PDU capacities* divided by the UPS
+/// oversubscription ratio (`1370 W = (715 + 724)/1.05` in the testbed).
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_power::{CapacityPlan, Oversubscription};
+/// use spotdc_units::Watts;
+///
+/// let plan = CapacityPlan::new(Oversubscription::percent(5.0), Oversubscription::percent(5.0));
+/// let caps = plan.pdu_capacities(&[Watts::new(750.0), Watts::new(760.0)]);
+/// let ups = plan.ups_capacity(&caps);
+/// assert!((ups.value() - (caps[0].value() + caps[1].value()) / 1.05).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityPlan {
+    pdu: Oversubscription,
+    ups: Oversubscription,
+}
+
+impl CapacityPlan {
+    /// Creates a plan from PDU-level and UPS-level oversubscription.
+    #[must_use]
+    pub fn new(pdu: Oversubscription, ups: Oversubscription) -> Self {
+        CapacityPlan { pdu, ups }
+    }
+
+    /// A fully provisioned plan (no oversubscription anywhere).
+    #[must_use]
+    pub fn fully_provisioned() -> Self {
+        CapacityPlan {
+            pdu: Oversubscription::NONE,
+            ups: Oversubscription::NONE,
+        }
+    }
+
+    /// The PDU-level oversubscription.
+    #[must_use]
+    pub fn pdu_oversubscription(&self) -> Oversubscription {
+        self.pdu
+    }
+
+    /// The UPS-level oversubscription.
+    #[must_use]
+    pub fn ups_oversubscription(&self) -> Oversubscription {
+        self.ups
+    }
+
+    /// Physical capacity for each PDU given its subscription total.
+    #[must_use]
+    pub fn pdu_capacities(&self, subscribed: &[Watts]) -> Vec<Watts> {
+        subscribed
+            .iter()
+            .map(|&s| self.pdu.physical_for_subscribed(s))
+            .collect()
+    }
+
+    /// Physical UPS capacity given the PDU capacities it feeds.
+    #[must_use]
+    pub fn ups_capacity(&self, pdu_capacities: &[Watts]) -> Watts {
+        let total: Watts = pdu_capacities.iter().sum();
+        self.ups.physical_for_subscribed(total)
+    }
+}
+
+impl Default for CapacityPlan {
+    fn default() -> Self {
+        Self::fully_provisioned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_percent_agree() {
+        assert_eq!(Oversubscription::percent(5.0), Oversubscription::ratio(1.05));
+        assert!((Oversubscription::ratio(1.2).percent_value() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn physical_and_subscribed_are_inverses() {
+        let os = Oversubscription::percent(7.5);
+        let sub = Watts::new(1234.0);
+        let phys = os.physical_for_subscribed(sub);
+        assert!(os.subscribed_for_physical(phys).approx_eq(sub, 1e-9));
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let os = Oversubscription::NONE;
+        assert_eq!(os.physical_for_subscribed(Watts::new(500.0)), Watts::new(500.0));
+    }
+
+    #[test]
+    fn undersubscription_grows_capacity() {
+        let os = Oversubscription::percent(-20.0);
+        assert!(os.physical_for_subscribed(Watts::new(100.0)) > Watts::new(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_ratio_rejected() {
+        let _ = Oversubscription::ratio(0.0);
+    }
+
+    #[test]
+    fn testbed_capacity_plan_matches_paper() {
+        // 750 W and 760 W of subscriptions at 5% oversubscription give
+        // ≈714.3 W and ≈723.8 W; the paper rounds to 715/724 and a UPS
+        // of 1370 W = (715+724)/1.05.
+        let plan = CapacityPlan::new(Oversubscription::percent(5.0), Oversubscription::percent(5.0));
+        let caps = plan.pdu_capacities(&[Watts::new(750.0), Watts::new(760.0)]);
+        assert!((caps[0].value() - 714.285_714).abs() < 1e-3);
+        assert!((caps[1].value() - 723.809_523).abs() < 1e-3);
+        let ups = plan.ups_capacity(&caps);
+        assert!((ups.value() - (caps[0] + caps[1]).value() / 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_shows_percent() {
+        assert_eq!(Oversubscription::percent(5.0).to_string(), "+5.0% oversubscribed");
+    }
+}

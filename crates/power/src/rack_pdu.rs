@@ -1,0 +1,310 @@
+//! Intelligent rack PDUs: dynamically settable per-rack power budgets.
+//!
+//! The actuation half of SpotDC: after the market clears, the operator
+//! programs each rack's power budget (guaranteed capacity plus any spot
+//! grant) into the rack PDU. Commercial switched/metered rack PDUs (the
+//! paper used APC AP8632 units) accept budget updates 20+ times per
+//! second, so a whole data center can be re-budgeted well within one
+//! slot. [`RackPduBank`] models the whole fleet of rack PDUs, enforcing
+//! the invariant that a budget never exceeds the rack's physical limit.
+
+use serde::{Deserialize, Serialize};
+use spotdc_units::{RackId, Slot, Watts};
+
+use crate::topology::{PowerTopology, TopologyError};
+
+/// A record of one budget update applied to a rack PDU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetChange {
+    /// Rack whose budget changed.
+    pub rack: RackId,
+    /// Slot at which the new budget takes effect.
+    pub effective: Slot,
+    /// Budget before the change.
+    pub old: Watts,
+    /// Budget after the change.
+    pub new: Watts,
+}
+
+/// The fleet of per-rack intelligent PDUs and their current budgets.
+///
+/// Budgets default to each rack's guaranteed capacity. Spot grants raise
+/// the budget for one slot; [`RackPduBank::reset_to_guaranteed`] is the
+/// end-of-slot fallback (also the paper's behaviour under communication
+/// loss — "resume to the default case of no spot capacity").
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_power::{RackPduBank, topology::TopologyBuilder};
+/// use spotdc_units::{RackId, Slot, TenantId, Watts};
+///
+/// let topo = TopologyBuilder::new(Watts::new(500.0))
+///     .pdu(Watts::new(500.0))
+///     .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+///     .build()?;
+/// let mut bank = RackPduBank::new(&topo);
+/// let r = RackId::new(0);
+/// assert_eq!(bank.budget(r), Watts::new(100.0));
+/// bank.grant_spot(Slot::ZERO, r, Watts::new(30.0))?;
+/// assert_eq!(bank.budget(r), Watts::new(130.0));
+/// # Ok::<(), spotdc_power::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RackPduBank {
+    guaranteed: Vec<Watts>,
+    physical_limit: Vec<Watts>,
+    budget: Vec<Watts>,
+    changes: Vec<BudgetChange>,
+}
+
+impl RackPduBank {
+    /// Creates a bank with one PDU per rack in `topology`, all budgets
+    /// initialized to the guaranteed capacity.
+    #[must_use]
+    pub fn new(topology: &PowerTopology) -> Self {
+        let guaranteed: Vec<Watts> = topology.racks().map(|r| r.guaranteed()).collect();
+        let physical_limit = topology.racks().map(|r| r.physical_limit()).collect();
+        RackPduBank {
+            budget: guaranteed.clone(),
+            guaranteed,
+            physical_limit,
+            changes: Vec::new(),
+        }
+    }
+
+    /// The current budget programmed for `rack` (zero for unknown ids).
+    #[must_use]
+    pub fn budget(&self, rack: RackId) -> Watts {
+        self.budget
+            .get(rack.index())
+            .copied()
+            .unwrap_or(Watts::ZERO)
+    }
+
+    /// The guaranteed capacity of `rack` (zero for unknown ids).
+    #[must_use]
+    pub fn guaranteed(&self, rack: RackId) -> Watts {
+        self.guaranteed
+            .get(rack.index())
+            .copied()
+            .unwrap_or(Watts::ZERO)
+    }
+
+    /// The spot capacity currently granted to `rack` on top of its
+    /// guaranteed capacity.
+    #[must_use]
+    pub fn spot_grant(&self, rack: RackId) -> Watts {
+        (self.budget(rack) - self.guaranteed(rack)).clamp_non_negative()
+    }
+
+    /// Grants `spot` watts of spot capacity to `rack` for the slot
+    /// beginning at `effective`, raising its budget to guaranteed + spot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownRack`] for an unknown rack, or
+    /// [`TopologyError::InvalidCapacity`] if the resulting budget would
+    /// exceed the rack's physical limit or `spot` is negative/non-finite.
+    pub fn grant_spot(
+        &mut self,
+        effective: Slot,
+        rack: RackId,
+        spot: Watts,
+    ) -> Result<(), TopologyError> {
+        let i = rack.index();
+        if i >= self.budget.len() {
+            return Err(TopologyError::UnknownRack(rack));
+        }
+        if !spot.is_finite() || spot.is_negative() {
+            return Err(TopologyError::InvalidCapacity {
+                what: format!("{rack} spot grant"),
+            });
+        }
+        let new = self.guaranteed[i] + spot;
+        if new > self.physical_limit[i] + Watts::new(1e-9) {
+            return Err(TopologyError::InvalidCapacity {
+                what: format!(
+                    "{rack} budget {new} exceeds physical limit {}",
+                    self.physical_limit[i]
+                ),
+            });
+        }
+        let old = self.budget[i];
+        self.budget[i] = new;
+        self.changes.push(BudgetChange {
+            rack,
+            effective,
+            old,
+            new,
+        });
+        Ok(())
+    }
+
+    /// Resets `rack`'s budget back to its guaranteed capacity (the
+    /// no-spot default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownRack`] for an unknown rack.
+    pub fn reset_to_guaranteed(&mut self, effective: Slot, rack: RackId) -> Result<(), TopologyError> {
+        let i = rack.index();
+        if i >= self.budget.len() {
+            return Err(TopologyError::UnknownRack(rack));
+        }
+        let old = self.budget[i];
+        self.budget[i] = self.guaranteed[i];
+        if old != self.guaranteed[i] {
+            self.changes.push(BudgetChange {
+                rack,
+                effective,
+                old,
+                new: self.guaranteed[i],
+            });
+        }
+        Ok(())
+    }
+
+    /// Resets every rack to its guaranteed capacity.
+    pub fn reset_all(&mut self, effective: Slot) {
+        for i in 0..self.budget.len() {
+            let rack = RackId::new(i);
+            // reset_to_guaranteed cannot fail for an in-range index.
+            let _ = self.reset_to_guaranteed(effective, rack);
+        }
+    }
+
+    /// Whether `power` respects the budget programmed for `rack`, with a
+    /// small tolerance for metering noise.
+    #[must_use]
+    pub fn within_budget(&self, rack: RackId, power: Watts, tolerance: Watts) -> bool {
+        power <= self.budget(rack) + tolerance
+    }
+
+    /// The audit log of every budget change applied, in order.
+    #[must_use]
+    pub fn changes(&self) -> &[BudgetChange] {
+        &self.changes
+    }
+
+    /// Clears the audit log (e.g. between experiments).
+    pub fn clear_changes(&mut self) {
+        self.changes.clear();
+    }
+
+    /// Number of racks managed.
+    #[must_use]
+    pub fn rack_count(&self) -> usize {
+        self.budget.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use spotdc_units::TenantId;
+
+    fn bank() -> RackPduBank {
+        let topo = TopologyBuilder::new(Watts::new(1000.0))
+            .pdu(Watts::new(500.0))
+            .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+            .rack(TenantId::new(1), Watts::new(120.0), Watts::new(30.0))
+            .build()
+            .unwrap();
+        RackPduBank::new(&topo)
+    }
+
+    #[test]
+    fn budgets_default_to_guaranteed() {
+        let b = bank();
+        assert_eq!(b.budget(RackId::new(0)), Watts::new(100.0));
+        assert_eq!(b.budget(RackId::new(1)), Watts::new(120.0));
+        assert_eq!(b.spot_grant(RackId::new(0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn grant_raises_budget_and_logs() {
+        let mut b = bank();
+        b.grant_spot(Slot::new(3), RackId::new(0), Watts::new(40.0)).unwrap();
+        assert_eq!(b.budget(RackId::new(0)), Watts::new(140.0));
+        assert_eq!(b.spot_grant(RackId::new(0)), Watts::new(40.0));
+        assert_eq!(b.changes().len(), 1);
+        let c = b.changes()[0];
+        assert_eq!(c.effective, Slot::new(3));
+        assert_eq!(c.old, Watts::new(100.0));
+        assert_eq!(c.new, Watts::new(140.0));
+    }
+
+    #[test]
+    fn grant_is_absolute_not_cumulative() {
+        let mut b = bank();
+        b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(40.0)).unwrap();
+        b.grant_spot(Slot::new(1), RackId::new(0), Watts::new(10.0)).unwrap();
+        assert_eq!(b.budget(RackId::new(0)), Watts::new(110.0));
+    }
+
+    #[test]
+    fn grant_beyond_physical_limit_is_rejected() {
+        let mut b = bank();
+        let err = b
+            .grant_spot(Slot::ZERO, RackId::new(0), Watts::new(50.1))
+            .unwrap_err();
+        assert!(matches!(err, TopologyError::InvalidCapacity { .. }));
+        // Budget unchanged after the failed grant.
+        assert_eq!(b.budget(RackId::new(0)), Watts::new(100.0));
+    }
+
+    #[test]
+    fn grant_at_exact_limit_is_accepted() {
+        let mut b = bank();
+        b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(50.0)).unwrap();
+        assert_eq!(b.budget(RackId::new(0)), Watts::new(150.0));
+    }
+
+    #[test]
+    fn negative_grant_rejected() {
+        let mut b = bank();
+        assert!(b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(-1.0)).is_err());
+    }
+
+    #[test]
+    fn unknown_rack_rejected() {
+        let mut b = bank();
+        assert_eq!(
+            b.grant_spot(Slot::ZERO, RackId::new(9), Watts::new(1.0)),
+            Err(TopologyError::UnknownRack(RackId::new(9)))
+        );
+    }
+
+    #[test]
+    fn reset_returns_to_guaranteed_and_logs_once() {
+        let mut b = bank();
+        b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(25.0)).unwrap();
+        b.reset_to_guaranteed(Slot::new(1), RackId::new(0)).unwrap();
+        assert_eq!(b.budget(RackId::new(0)), Watts::new(100.0));
+        assert_eq!(b.changes().len(), 2);
+        // Resetting an already-default rack adds no log entry.
+        b.reset_to_guaranteed(Slot::new(2), RackId::new(0)).unwrap();
+        assert_eq!(b.changes().len(), 2);
+    }
+
+    #[test]
+    fn reset_all_covers_every_rack() {
+        let mut b = bank();
+        b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(25.0)).unwrap();
+        b.grant_spot(Slot::ZERO, RackId::new(1), Watts::new(15.0)).unwrap();
+        b.reset_all(Slot::new(1));
+        assert_eq!(b.budget(RackId::new(0)), Watts::new(100.0));
+        assert_eq!(b.budget(RackId::new(1)), Watts::new(120.0));
+    }
+
+    #[test]
+    fn within_budget_uses_tolerance() {
+        let b = bank();
+        let r = RackId::new(0);
+        assert!(b.within_budget(r, Watts::new(100.0), Watts::ZERO));
+        assert!(!b.within_budget(r, Watts::new(100.5), Watts::ZERO));
+        assert!(b.within_budget(r, Watts::new(100.5), Watts::new(1.0)));
+    }
+}

@@ -1,0 +1,423 @@
+//! The time-slotted simulation loop.
+//!
+//! One iteration per slot, mirroring Algorithm 1 and Fig. 6 of the
+//! paper:
+//!
+//! 1. tenants observe their load traces;
+//! 2. (SpotDC) they submit bids over a lossy channel, the operator
+//!    predicts spot capacity from *last* slot's meter readings, clears
+//!    the market and broadcasts the price — lost broadcasts revoke the
+//!    affected grants;
+//! 3. (MaxPerf) the omniscient allocator water-fills tenants' gain
+//!    curves under the same constraints;
+//! 4. grants are programmed into the intelligent rack PDUs, tenants run
+//!    under their budgets, the meter records every rack's draw, and the
+//!    emergency log checks each capacity boundary.
+
+use std::collections::BTreeMap;
+
+use spotdc_core::{
+    max_perf_allocate, CommsModel, ConcaveGain, ConstraintSet, MarketClearing, Operator,
+    OperatorConfig,
+};
+use spotdc_power::{EmergencyLog, PowerMeter, RackPduBank};
+use spotdc_units::{RackId, Slot, TenantId, Watts};
+
+use crate::baselines::Mode;
+use crate::metrics::{SimReport, SlotRecord, TenantSlotMetrics};
+use crate::scenario::Scenario;
+
+/// Configuration for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Operating mode (PowerCapped / SpotDC / MaxPerf).
+    pub mode: Mode,
+    /// Operator-side market configuration.
+    pub operator: OperatorConfig,
+    /// Probability a bid submission is lost.
+    pub bid_loss: f64,
+    /// Probability a price broadcast is lost.
+    pub broadcast_loss: f64,
+    /// Fig. 16: run a pre-clearing pass and feed the resulting price to
+    /// price-predicting strategies ("perfect knowledge of market
+    /// price").
+    pub price_oracle: bool,
+    /// Ablation: clear each PDU independently at its own localized
+    /// price instead of the paper's single uniform price.
+    pub per_pdu_pricing: bool,
+}
+
+impl EngineConfig {
+    /// Default configuration for the given mode: paper-default market
+    /// settings, lossless communications, no price oracle.
+    #[must_use]
+    pub fn new(mode: Mode) -> Self {
+        EngineConfig {
+            mode,
+            operator: OperatorConfig::default(),
+            bid_loss: 0.0,
+            broadcast_loss: 0.0,
+            price_oracle: false,
+            per_pdu_pricing: false,
+        }
+    }
+}
+
+/// A runnable simulation: a scenario plus an engine configuration.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    scenario: Scenario,
+    config: EngineConfig,
+}
+
+impl Simulation {
+    /// Creates a simulation.
+    #[must_use]
+    pub fn new(scenario: Scenario, config: EngineConfig) -> Self {
+        Simulation { scenario, config }
+    }
+
+    /// Runs `slots` slots and returns the full report.
+    #[must_use]
+    pub fn run(self, slots: u64) -> SimReport {
+        let Simulation { scenario, config } = self;
+        let n = slots as usize;
+        let loads = scenario.load_traces(n);
+        let other_traces = scenario.other_traces(n);
+        let topology = scenario.topology.clone();
+        let operator = Operator::new(topology.clone(), config.operator);
+        let mut meter = PowerMeter::new(&topology, 4);
+        let mut bank = RackPduBank::new(&topology);
+        let mut emergencies = EmergencyLog::new(&topology);
+        let mut comms = CommsModel::new(
+            config.bid_loss,
+            config.broadcast_loss,
+            scenario.seed ^ 0xc0b1_d5,
+        );
+        let mut agents = scenario.agents.clone();
+        let slot_hours = scenario.slot.hours();
+
+        // Warm the meter with slot-0 loads under reserved budgets so the
+        // first prediction has references to work from.
+        for (i, agent) in agents.iter_mut().enumerate() {
+            agent.observe(loads[i].first().copied().unwrap_or(0.0));
+            let out = agent.run_slot(agent.reserved());
+            meter.record(Slot::ZERO, agent.rack(), out.draw);
+        }
+        for (j, other) in scenario.others.iter().enumerate() {
+            let draw = other_traces[j].first().copied().unwrap_or(Watts::ZERO);
+            meter.record(Slot::ZERO, other.rack, draw.min(other.subscription));
+        }
+
+        let mut records = Vec::with_capacity(n);
+        for t in 0..n {
+            let slot = Slot::new(t as u64);
+            for (i, agent) in agents.iter_mut().enumerate() {
+                agent.observe(loads[i][t]);
+            }
+            bank.reset_all(slot);
+
+            let mut price = None;
+            let mut spot_sold = 0.0;
+            let mut spot_available = 0.0;
+            let mut payments: BTreeMap<RackId, f64> = BTreeMap::new();
+
+            match config.mode {
+                Mode::PowerCapped => {}
+                Mode::SpotDc => {
+                    let mut bids: Vec<_> =
+                        agents.iter_mut().filter_map(|a| a.make_bid()).collect();
+                    if config.price_oracle {
+                        let pre = operator.run_slot(slot, &bids, &meter);
+                        let oracle = (pre.outcome.sold() > Watts::ZERO)
+                            .then(|| pre.outcome.price());
+                        for a in agents.iter_mut() {
+                            a.predict_price(oracle);
+                        }
+                        bids = agents.iter_mut().filter_map(|a| a.make_bid()).collect();
+                    }
+                    let (bids, _lost_bids) = comms.deliver_bids(slot, bids);
+                    let bidders: Vec<TenantId> = bids.iter().map(|b| b.tenant()).collect();
+                    if config.per_pdu_pricing {
+                        // Localized-price ablation: clear each PDU's
+                        // sub-market independently.
+                        let rack_bids: Vec<_> = bids
+                            .iter()
+                            .flat_map(|b| b.rack_bids().iter().cloned())
+                            .collect();
+                        let requesting: Vec<RackId> =
+                            rack_bids.iter().map(|rb| rb.rack()).collect();
+                        let predicted =
+                            operator.predictor().predict(&topology, &meter, requesting);
+                        spot_available =
+                            predicted.total_pdu().min(predicted.ups).value();
+                        let constraints = ConstraintSet::new(
+                            &topology,
+                            predicted.pdu.clone(),
+                            predicted.ups,
+                        );
+                        let clearing = MarketClearing::new(config.operator.clearing);
+                        let mut revenue_weighted_price = 0.0;
+                        for outcome in clearing.clear_per_pdu(slot, &rack_bids, &constraints)
+                        {
+                            let mut alloc = outcome.into_allocation();
+                            comms.deliver_broadcasts(
+                                &topology,
+                                &mut alloc,
+                                bidders.clone(),
+                            );
+                            for (rack, grant) in alloc.iter() {
+                                if grant > Watts::ZERO {
+                                    bank.grant_spot(slot, rack, grant)
+                                        .expect("cleared grants respect rack headroom");
+                                    payments.insert(
+                                        rack,
+                                        alloc.payment_for(rack, scenario.slot).usd(),
+                                    );
+                                }
+                            }
+                            let sold = alloc.total().value();
+                            spot_sold += sold;
+                            revenue_weighted_price +=
+                                alloc.price().per_kw_hour_value() * sold;
+                        }
+                        if spot_sold > 0.0 {
+                            price = Some(revenue_weighted_price / spot_sold);
+                        }
+                    } else {
+                        let round = operator.run_slot(slot, &bids, &meter);
+                        spot_available = round
+                            .predicted
+                            .total_pdu()
+                            .min(round.predicted.ups)
+                            .value();
+                        let mut alloc = round.outcome.into_allocation();
+                        comms.deliver_broadcasts(&topology, &mut alloc, bidders);
+                        for (rack, grant) in alloc.iter() {
+                            if grant > Watts::ZERO {
+                                bank.grant_spot(slot, rack, grant)
+                                    .expect("cleared grants respect rack headroom");
+                                payments
+                                    .insert(rack, alloc.payment_for(rack, scenario.slot).usd());
+                            }
+                        }
+                        spot_sold = alloc.total().value();
+                        if spot_sold > 0.0 {
+                            price = Some(alloc.price().per_kw_hour_value());
+                        }
+                    }
+                }
+                Mode::MaxPerf => {
+                    let mut gains: BTreeMap<RackId, ConcaveGain> = BTreeMap::new();
+                    let mut wanting: Vec<RackId> = Vec::new();
+                    for agent in agents.iter_mut() {
+                        if agent.wants_spot() {
+                            let env = agent.gain_curve().concave_envelope();
+                            if let Ok(gain) = ConcaveGain::from_points(env.points()) {
+                                wanting.push(agent.rack());
+                                gains.insert(agent.rack(), gain);
+                            }
+                        }
+                    }
+                    let predicted =
+                        operator.predictor().predict(&topology, &meter, wanting);
+                    spot_available = predicted.total_pdu().min(predicted.ups).value();
+                    let constraints =
+                        ConstraintSet::new(&topology, predicted.pdu.clone(), predicted.ups);
+                    let grants = max_perf_allocate(&gains, &constraints);
+                    for (&rack, &grant) in &grants {
+                        if grant > Watts::ZERO {
+                            bank.grant_spot(slot, rack, grant)
+                                .expect("maxperf grants respect rack headroom");
+                            spot_sold += grant.value();
+                        }
+                    }
+                }
+            }
+
+            // Tenants execute under their budgets; the meter records.
+            let mut tenant_metrics = Vec::with_capacity(agents.len());
+            for agent in agents.iter_mut() {
+                let budget = bank.budget(agent.rack());
+                let out = agent.run_slot(budget);
+                meter.record(slot, agent.rack(), out.draw);
+                let (perf_index, slo_met) = match out.performance {
+                    spotdc_tenants::Performance::Latency { slo_met, .. } => {
+                        (out.performance.index(), Some(slo_met))
+                    }
+                    spotdc_tenants::Performance::Throughput { .. } => {
+                        (out.performance.index(), None)
+                    }
+                };
+                tenant_metrics.push(TenantSlotMetrics {
+                    wanted: agent.wants_spot(),
+                    grant: bank.spot_grant(agent.rack()).value(),
+                    draw: out.draw.value(),
+                    perf_index,
+                    slo_met,
+                    cost_rate: out.cost_rate,
+                    payment: payments.get(&agent.rack()).copied().unwrap_or(0.0),
+                });
+            }
+            for (j, other) in scenario.others.iter().enumerate() {
+                let draw = other_traces[j][t].min(other.subscription);
+                meter.record(slot, other.rack, draw);
+            }
+
+            let pdu_power = meter.pdu_powers();
+            emergencies.observe(slot, &pdu_power);
+            records.push(SlotRecord {
+                slot: t as u64,
+                price,
+                spot_available,
+                spot_sold,
+                ups_power: meter.ups_power().value(),
+                pdu_power: pdu_power.iter().map(|w| w.value()).collect(),
+                tenants: tenant_metrics,
+            });
+            let _ = slot_hours; // payments already per-slot
+        }
+
+        SimReport {
+            records,
+            slot: scenario.slot,
+            subscriptions: agents.iter().map(|a| a.reserved()).collect(),
+            headrooms: agents.iter().map(|a| a.headroom()).collect(),
+            total_subscribed: topology.total_leased(),
+            ups_capacity: topology.ups_capacity(),
+            // Overloads inside the ±5 % breaker-tolerance band are
+            // transient overshoots the hardware absorbs; only worse
+            // ones count as emergencies (Section III-C).
+            emergencies: emergencies
+                .events()
+                .iter()
+                .filter(|e| e.severity() > 0.05)
+                .count(),
+            transient_overshoots: emergencies
+                .events()
+                .iter()
+                .filter(|e| e.severity() <= 0.05)
+                .count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accounting::Billing;
+
+    fn run(mode: Mode, slots: u64) -> SimReport {
+        Simulation::new(Scenario::testbed(11), EngineConfig::new(mode)).run(slots)
+    }
+
+    #[test]
+    fn powercapped_never_sells_spot() {
+        let r = run(Mode::PowerCapped, 200);
+        assert!(r.records.iter().all(|rec| rec.spot_sold == 0.0));
+        assert_eq!(r.spot_revenue_rate(), 0.0);
+    }
+
+    #[test]
+    fn spotdc_sells_spot_and_earns_revenue() {
+        let r = run(Mode::SpotDc, 400);
+        assert!(r.avg_spot_sold() > 0.0, "no spot sold in 400 slots");
+        assert!(r.spot_revenue_rate() > 0.0);
+        let profit = r.profit(&Billing::paper_defaults());
+        assert!(profit.extra_percent() > 0.0);
+    }
+
+    #[test]
+    fn maxperf_allocates_without_revenue() {
+        let r = run(Mode::MaxPerf, 400);
+        assert!(r.avg_spot_sold() > 0.0);
+        assert_eq!(r.spot_revenue_rate(), 0.0);
+        assert!(r.records.iter().all(|rec| rec.price.is_none()));
+    }
+
+    #[test]
+    fn spot_improves_wanting_tenants_performance() {
+        let pc = run(Mode::PowerCapped, 400);
+        let dc = run(Mode::SpotDc, 400);
+        // Average over wanting slots, across all tenants that ever want.
+        let mut improved = 0;
+        let mut total = 0;
+        for i in 0..pc.tenant_count() {
+            let base = pc.tenant_avg_perf(i, true);
+            let spot = dc.tenant_avg_perf(i, true);
+            if base > 0.0 {
+                total += 1;
+                if spot > base * 1.01 {
+                    improved += 1;
+                }
+            }
+        }
+        assert!(total >= 6, "expected most tenants to want spot at least once");
+        assert!(
+            improved * 2 > total,
+            "only {improved}/{total} tenants improved"
+        );
+    }
+
+    #[test]
+    fn maxperf_performance_at_least_spotdc() {
+        let dc = run(Mode::SpotDc, 300);
+        let mp = run(Mode::MaxPerf, 300);
+        let perf = |r: &SimReport| -> f64 {
+            (0..r.tenant_count())
+                .map(|i| r.tenant_avg_perf(i, true))
+                .sum::<f64>()
+        };
+        // MaxPerf ignores prices and should allocate at least as much.
+        assert!(mp.avg_spot_sold() >= dc.avg_spot_sold() * 0.9);
+        assert!(perf(&mp) >= perf(&dc) * 0.95);
+    }
+
+    #[test]
+    fn grants_respect_headroom_always() {
+        let r = run(Mode::SpotDc, 300);
+        for rec in &r.records {
+            for (i, t) in rec.tenants.iter().enumerate() {
+                assert!(
+                    t.grant <= r.headrooms[i].value() + 1e-6,
+                    "grant {} exceeds headroom at slot {}",
+                    t.grant,
+                    rec.slot
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spot_never_adds_emergencies() {
+        let pc = run(Mode::PowerCapped, 500);
+        let dc = run(Mode::SpotDc, 500);
+        assert!(
+            dc.emergencies <= pc.emergencies + 1,
+            "SpotDC {} vs PowerCapped {}",
+            dc.emergencies,
+            pc.emergencies
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(Mode::SpotDc, 100);
+        let b = run(Mode::SpotDc, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comms_losses_reduce_sales() {
+        let clean = run(Mode::SpotDc, 300);
+        let lossy = Simulation::new(
+            Scenario::testbed(11),
+            EngineConfig {
+                bid_loss: 0.5,
+                ..EngineConfig::new(Mode::SpotDc)
+            },
+        )
+        .run(300);
+        assert!(lossy.avg_spot_sold() < clean.avg_spot_sold());
+    }
+}

@@ -1,0 +1,109 @@
+//! Shared plumbing for the experiment modules.
+
+use serde::{Deserialize, Serialize};
+
+use crate::baselines::Mode;
+use crate::engine::{EngineConfig, Simulation};
+use crate::metrics::SimReport;
+use crate::scenario::Scenario;
+
+/// Configuration shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpConfig {
+    /// Master seed (all traces derive from it).
+    pub seed: u64,
+    /// Simulated horizon in days for the long-running experiments
+    /// (the paper simulates a year; 10 days reproduces the same
+    /// statistics in minutes).
+    pub days: f64,
+    /// Quick mode: shrink sweeps for smoke tests.
+    pub quick: bool,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            seed: 42,
+            days: 10.0,
+            quick: false,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// A configuration for fast CI runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExpConfig {
+            days: 1.0,
+            quick: true,
+            ..ExpConfig::default()
+        }
+    }
+
+    /// The number of slots this configuration simulates for `scenario`.
+    #[must_use]
+    pub fn slots(&self, scenario: &Scenario) -> u64 {
+        scenario.slot.slots_for_days(self.days.max(1.0 / 720.0))
+    }
+}
+
+/// The rendered result of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpOutput {
+    /// Experiment id, e.g. `"fig12"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The rendered tables/series.
+    pub body: String,
+}
+
+impl std::fmt::Display for ExpOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
+        write!(f, "{}", self.body)
+    }
+}
+
+/// Runs `scenario` under `mode` for the configured horizon.
+#[must_use]
+pub fn run_mode(cfg: &ExpConfig, scenario: Scenario, mode: Mode) -> SimReport {
+    let slots = cfg.slots(&scenario);
+    Simulation::new(scenario, EngineConfig::new(mode)).run(slots)
+}
+
+/// Runs `scenario` with a custom engine configuration.
+#[must_use]
+pub fn run_with(cfg: &ExpConfig, scenario: Scenario, engine: EngineConfig) -> SimReport {
+    let slots = cfg.slots(&scenario);
+    Simulation::new(scenario, engine).run(slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_scale_with_days() {
+        let s = Scenario::testbed(1);
+        let one = ExpConfig {
+            days: 1.0,
+            ..ExpConfig::default()
+        };
+        assert_eq!(one.slots(&s), 720);
+        let quick = ExpConfig::quick();
+        assert_eq!(quick.slots(&s), 720);
+    }
+
+    #[test]
+    fn output_display_includes_id() {
+        let o = ExpOutput {
+            id: "figX".into(),
+            title: "t".into(),
+            body: "b\n".into(),
+        };
+        let s = o.to_string();
+        assert!(s.contains("figX") && s.contains("b"));
+    }
+}

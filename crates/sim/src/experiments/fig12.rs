@@ -1,0 +1,197 @@
+//! Fig. 12: long-run cost, performance and spot usage per tenant.
+//!
+//! The paper's central win-win result over a year-long simulation
+//! (scaled here to `ExpConfig::days`):
+//!
+//! * (a) tenants' total cost barely rises versus `PowerCapped`
+//!   (sprinting ≲1 %, opportunistic a few %, both far below the
+//!   10–40 % extra reservation that matching performance with
+//!   guaranteed capacity would cost);
+//! * (b) performance approaches the no-payment `MaxPerf` upper bound;
+//! * (c) sprinting tenants use less spot capacity (as % of their
+//!   subscription) than opportunistic ones.
+
+use crate::accounting::Billing;
+use crate::baselines::Mode;
+use crate::experiments::common::{run_mode, ExpConfig, ExpOutput};
+use crate::metrics::SimReport;
+use crate::report::TextTable;
+use crate::scenario::Scenario;
+
+/// Per-tenant long-run comparison.
+#[derive(Debug, Clone)]
+pub struct TenantComparison {
+    /// Tenant alias from Table I.
+    pub alias: String,
+    /// Whether the tenant is sprinting.
+    pub sprinting: bool,
+    /// Total cost ratio SpotDC / PowerCapped.
+    pub cost_ratio: f64,
+    /// Performance ratio SpotDC / PowerCapped over wanting slots.
+    pub perf_ratio: f64,
+    /// Performance ratio MaxPerf / PowerCapped over wanting slots.
+    pub maxperf_ratio: f64,
+    /// Max spot usage, % of subscription.
+    pub usage_max_pct: f64,
+    /// Average spot usage over granted slots, % of subscription.
+    pub usage_avg_pct: f64,
+}
+
+/// The three runs plus the per-tenant table.
+#[derive(Debug, Clone)]
+pub struct Fig12Result {
+    /// Per-tenant rows.
+    pub tenants: Vec<TenantComparison>,
+    /// SpotDC run (for further aggregation).
+    pub spot: SimReport,
+    /// PowerCapped run.
+    pub capped: SimReport,
+    /// MaxPerf run.
+    pub maxperf: SimReport,
+    /// The operator's extra-profit percentage.
+    pub operator_extra_percent: f64,
+}
+
+/// Runs the three modes and assembles the comparison.
+#[must_use]
+pub fn compute(cfg: &ExpConfig) -> Fig12Result {
+    let billing = Billing::paper_defaults();
+    let scenario = Scenario::testbed(cfg.seed);
+    let specs = scenario.specs.clone();
+    let capped = run_mode(cfg, scenario.clone(), Mode::PowerCapped);
+    let spot = run_mode(cfg, scenario.clone(), Mode::SpotDc);
+    let maxperf = run_mode(cfg, scenario, Mode::MaxPerf);
+    let tenants = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            TenantComparison {
+                alias: s.alias.clone(),
+                sprinting: s.kind.is_sprinting(),
+                cost_ratio: spot.tenant_bill(i, &billing).total()
+                    / capped.tenant_bill(i, &billing).total().max(1e-12),
+                perf_ratio: spot.tenant_perf_ratio_vs(&capped, i).unwrap_or(1.0),
+                maxperf_ratio: maxperf.tenant_perf_ratio_vs(&capped, i).unwrap_or(1.0),
+                usage_max_pct: spot.tenant_spot_usage_percent(i).0,
+                usage_avg_pct: spot.tenant_spot_usage_percent(i).1,
+            }
+        })
+        .collect();
+    let operator_extra_percent = spot.profit(&billing).extra_percent();
+    Fig12Result {
+        tenants,
+        spot,
+        capped,
+        maxperf,
+        operator_extra_percent,
+    }
+}
+
+/// Renders Fig. 12.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let r = compute(cfg);
+    let mut table = TextTable::new(vec![
+        "tenant",
+        "type",
+        "cost (vs PC)",
+        "perf (vs PC)",
+        "MaxPerf perf",
+        "spot max %",
+        "spot avg %",
+    ]);
+    for t in &r.tenants {
+        table.row(vec![
+            t.alias.clone(),
+            if t.sprinting { "sprint" } else { "opport" }.into(),
+            format!("{:+.2}%", 100.0 * (t.cost_ratio - 1.0)),
+            format!("{:.2}x", t.perf_ratio),
+            format!("{:.2}x", t.maxperf_ratio),
+            format!("{:.0}%", t.usage_max_pct),
+            format!("{:.0}%", t.usage_avg_pct),
+        ]);
+    }
+    let mut body = table.render();
+    let avg_perf: f64 =
+        r.tenants.iter().map(|t| t.perf_ratio).sum::<f64>() / r.tenants.len() as f64;
+    body.push_str(&format!(
+        "\naverage performance: {:.2}x (paper: 1.2-1.8x); operator extra profit: {:+.1}% (paper: +9.7%)\n",
+        avg_perf, r.operator_extra_percent
+    ));
+    ExpOutput {
+        id: "fig12".into(),
+        title: "Long-run tenant cost, performance and spot usage".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig12Result {
+        compute(&ExpConfig {
+            days: 3.0,
+            ..ExpConfig::quick()
+        })
+    }
+
+    #[test]
+    fn win_win_shape_holds() {
+        let r = result();
+        assert!(r.operator_extra_percent > 0.0, "operator must gain");
+        for t in &r.tenants {
+            assert!(t.perf_ratio >= 0.99, "{} lost performance", t.alias);
+            assert!(
+                t.cost_ratio < 1.15,
+                "{} cost rose {:.1}%",
+                t.alias,
+                100.0 * (t.cost_ratio - 1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn sprinting_cost_increase_is_smaller() {
+        let r = result();
+        let avg = |sprint: bool| -> f64 {
+            let v: Vec<f64> = r
+                .tenants
+                .iter()
+                .filter(|t| t.sprinting == sprint)
+                .map(|t| t.cost_ratio)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(true) < avg(false), "sprinting should pay less in relative terms");
+    }
+
+    #[test]
+    fn spotdc_close_to_maxperf_for_opportunistic() {
+        let r = result();
+        for t in r.tenants.iter().filter(|t| !t.sprinting) {
+            assert!(
+                t.perf_ratio > 0.85 * t.maxperf_ratio,
+                "{}: {:.2} vs MaxPerf {:.2}",
+                t.alias,
+                t.perf_ratio,
+                t.maxperf_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn sprinting_use_less_spot_in_percentage() {
+        let r = result();
+        let avg_usage = |sprint: bool| -> f64 {
+            let v: Vec<f64> = r
+                .tenants
+                .iter()
+                .filter(|t| t.sprinting == sprint)
+                .map(|t| t.usage_avg_pct)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg_usage(true) < avg_usage(false));
+    }
+}

@@ -1,0 +1,148 @@
+//! Fig. 13: CDFs of market price and UPS power utilization.
+//!
+//! (a) Sprinting tenants bid — and pay — higher prices than
+//! opportunistic tenants; neither exceeds the cost of leasing extra
+//! guaranteed capacity. (b) SpotDC shifts the UPS utilization CDF
+//! right versus PowerCapped — the infrastructure-utilization claim of
+//! the title.
+
+use spotdc_traces::Cdf;
+
+use crate::baselines::Mode;
+use crate::experiments::common::{run_mode, ExpConfig, ExpOutput};
+use crate::report::TextTable;
+use crate::scenario::Scenario;
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig13Result {
+    /// Prices in slots where at least one sprinting tenant was granted.
+    pub sprint_prices: Cdf,
+    /// Prices in slots where only opportunistic tenants were granted.
+    pub opportunistic_prices: Cdf,
+    /// UPS utilization under SpotDC.
+    pub spot_utilization: Cdf,
+    /// UPS utilization under PowerCapped.
+    pub capped_utilization: Cdf,
+}
+
+/// Runs SpotDC and PowerCapped and computes the CDFs.
+#[must_use]
+pub fn compute(cfg: &ExpConfig) -> Fig13Result {
+    let scenario = Scenario::testbed(cfg.seed);
+    let sprint_idx: Vec<usize> = scenario
+        .specs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.kind.is_sprinting())
+        .map(|(i, _)| i)
+        .collect();
+    let spot = run_mode(cfg, scenario.clone(), Mode::SpotDc);
+    let capped = run_mode(cfg, scenario, Mode::PowerCapped);
+    let mut sprint_prices = Vec::new();
+    let mut opp_prices = Vec::new();
+    for rec in &spot.records {
+        let Some(price) = rec.price else { continue };
+        let sprint_granted = sprint_idx.iter().any(|&i| rec.tenants[i].grant > 0.0);
+        if sprint_granted {
+            sprint_prices.push(price);
+        } else {
+            opp_prices.push(price);
+        }
+    }
+    Fig13Result {
+        sprint_prices: Cdf::from_samples(sprint_prices),
+        opportunistic_prices: Cdf::from_samples(opp_prices),
+        spot_utilization: spot.ups_utilization_cdf(),
+        capped_utilization: capped.ups_utilization_cdf(),
+    }
+}
+
+/// Renders Fig. 13.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let r = compute(cfg);
+    let mut body = String::from("(a) market price CDF ($/kW/h):\n");
+    let mut price_table = TextTable::new(vec!["quantile", "sprinting slots", "opportunistic slots"]);
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+        let fmt = |cdf: &Cdf| -> String {
+            if cdf.is_empty() {
+                "—".into()
+            } else {
+                format!("{:.3}", cdf.quantile(q))
+            }
+        };
+        price_table.row(vec![
+            format!("p{:.0}", q * 100.0),
+            fmt(&r.sprint_prices),
+            fmt(&r.opportunistic_prices),
+        ]);
+    }
+    body.push_str(&price_table.render());
+
+    body.push_str("\n(b) UPS power / UPS capacity CDF:\n");
+    let mut util_table = TextTable::new(vec!["utilization", "SpotDC", "PowerCapped"]);
+    for i in 0..=8 {
+        let x = 0.5 + 0.07 * f64::from(i);
+        util_table.row(vec![
+            format!("{x:.2}"),
+            format!("{:.3}", r.spot_utilization.fraction_at_or_below(x)),
+            format!("{:.3}", r.capped_utilization.fraction_at_or_below(x)),
+        ]);
+    }
+    body.push_str(&util_table.render());
+    body.push_str(&format!(
+        "\nmean utilization: SpotDC {:.1}% vs PowerCapped {:.1}%\n",
+        100.0 * r.spot_utilization.mean(),
+        100.0 * r.capped_utilization.mean()
+    ));
+    ExpOutput {
+        id: "fig13".into(),
+        title: "CDFs of market price and UPS power utilization".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig13Result {
+        compute(&ExpConfig {
+            days: 3.0,
+            ..ExpConfig::quick()
+        })
+    }
+
+    #[test]
+    fn sprinting_slots_clear_at_higher_prices() {
+        let r = result();
+        assert!(!r.sprint_prices.is_empty() && !r.opportunistic_prices.is_empty());
+        assert!(
+            r.sprint_prices.quantile(0.5) > r.opportunistic_prices.quantile(0.5),
+            "sprinting median {} vs opportunistic {}",
+            r.sprint_prices.quantile(0.5),
+            r.opportunistic_prices.quantile(0.5)
+        );
+    }
+
+    #[test]
+    fn spotdc_improves_utilization() {
+        let r = result();
+        assert!(
+            r.spot_utilization.mean() > r.capped_utilization.mean(),
+            "SpotDC {} vs PowerCapped {}",
+            r.spot_utilization.mean(),
+            r.capped_utilization.mean()
+        );
+    }
+
+    #[test]
+    fn prices_below_extra_guaranteed_capacity_cost() {
+        // Neither class pays more than roughly the amortized guaranteed
+        // rate times a sprint premium.
+        let r = result();
+        assert!(r.opportunistic_prices.max().unwrap() <= 0.24 + 1e-9);
+        assert!(r.sprint_prices.max().unwrap() <= 0.60 + 1e-9);
+    }
+}

@@ -1,0 +1,196 @@
+//! Fig. 14: demand-function comparison under varying spot availability.
+//!
+//! The design-justification experiment: SpotDC's four-parameter
+//! `LinearBid` earns the operator close to the complete-curve `FullBid`
+//! and clearly beats the all-or-nothing `StepBid`, especially when spot
+//! capacity is scarce (StepBid's binary outcomes waste capacity or
+//! overshoot the constraints).
+
+use spotdc_tenants::Strategy;
+
+use crate::accounting::Billing;
+use crate::baselines::Mode;
+use crate::experiments::common::{run_mode, ExpConfig, ExpOutput};
+use crate::report::TextTable;
+use crate::scenario::{Scenario, ScenarioTuning};
+
+/// The demand-function languages compared. The paper's Fig. 3(b)
+/// defines StepBid as a corner of the linear bid: "StepBid-1 bids
+/// (D_max, q_min) only, and StepBid-2 bids (D_min, q_max) only".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BidStyle {
+    /// StepBid-1: full quantity at the low price corner.
+    StepVolume,
+    /// StepBid-2: the small quantity worth buying at the high price.
+    StepValue,
+    /// SpotDC's piece-wise linear bid.
+    Linear,
+    /// Complete demand curve (research upper bound).
+    Full,
+}
+
+impl BidStyle {
+    /// All styles in presentation order.
+    #[must_use]
+    pub fn all() -> [BidStyle; 4] {
+        [
+            BidStyle::StepVolume,
+            BidStyle::StepValue,
+            BidStyle::Linear,
+            BidStyle::Full,
+        ]
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            BidStyle::StepVolume => "StepBid-1",
+            BidStyle::StepValue => "StepBid-2",
+            BidStyle::Linear => "LinearBid (SpotDC)",
+            BidStyle::Full => "FullBid",
+        }
+    }
+}
+
+/// Builds the testbed with every agent's strategy switched to `style`
+/// and the non-participant level set by `other_mean_fraction`.
+#[must_use]
+pub fn styled_scenario(seed: u64, other_mean_fraction: f64, style: BidStyle) -> Scenario {
+    let tuning = ScenarioTuning {
+        other_mean_fraction,
+        ..ScenarioTuning::default()
+    };
+    let mut scenario = Scenario::testbed_with(seed, tuning);
+    for agent in &mut scenario.agents {
+        let replacement = match (style, agent.strategy().clone()) {
+            (BidStyle::Linear, s @ Strategy::Elastic { .. }) => s,
+            (BidStyle::StepVolume, Strategy::Elastic { q_min, .. }) => {
+                Strategy::Step { price: q_min }
+            }
+            (BidStyle::StepValue, Strategy::Elastic { q_max, .. }) => {
+                Strategy::StepAtValue { price: q_max }
+            }
+            (BidStyle::Full, Strategy::Elastic { q_min, q_max }) => Strategy::Full { q_min, q_max },
+            (_, s) => s,
+        };
+        agent.set_strategy(replacement);
+    }
+    scenario
+}
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct AvailabilityPoint {
+    /// Non-participant mean fraction used (lower ⇒ more spot capacity).
+    pub other_mean_fraction: f64,
+    /// Measured average spot availability (fraction of subscriptions).
+    pub availability: f64,
+    /// Operator extra profit % per bid style, in [`BidStyle::all`]
+    /// order.
+    pub extra_percent: [f64; 4],
+}
+
+/// Runs the sweep.
+#[must_use]
+pub fn compute(cfg: &ExpConfig) -> Vec<AvailabilityPoint> {
+    let billing = Billing::paper_defaults();
+    let fractions: Vec<f64> = if cfg.quick {
+        vec![0.80, 0.42]
+    } else {
+        vec![0.90, 0.80, 0.65, 0.55, 0.42]
+    };
+    fractions
+        .into_iter()
+        .map(|f| {
+            let mut extra = [0.0f64; 4];
+            let mut availability = 0.0;
+            for (i, style) in BidStyle::all().into_iter().enumerate() {
+                let report = run_mode(cfg, styled_scenario(cfg.seed, f, style), Mode::SpotDc);
+                extra[i] = report.profit(&billing).extra_percent();
+                availability = report.avg_spot_available_fraction();
+            }
+            AvailabilityPoint {
+                other_mean_fraction: f,
+                availability,
+                extra_percent: extra,
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 14.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let points = compute(cfg);
+    let styles = BidStyle::all();
+    let mut headers = vec!["availability".to_owned()];
+    headers.extend(styles.iter().map(|s| format!("{} extra%", s.label())));
+    let mut table = TextTable::new(headers.iter().map(String::as_str).collect());
+    for p in &points {
+        let mut row = vec![format!("{:.1}%", 100.0 * p.availability)];
+        row.extend(p.extra_percent.iter().map(|e| format!("{e:+.2}%")));
+        table.row(row);
+    }
+    ExpOutput {
+        id: "fig14".into(),
+        title: "Operator profit under different demand functions".into(),
+        body: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_beats_both_step_corners_and_tracks_full() {
+        let points = compute(&ExpConfig {
+            days: 3.0,
+            ..ExpConfig::quick()
+        });
+        // Aggregate across the sweep, [step1, step2, linear, full].
+        let sum = |i: usize| -> f64 { points.iter().map(|p| p.extra_percent[i]).sum() };
+        let (step1, step2, linear, full) = (sum(0), sum(1), sum(2), sum(3));
+        assert!(
+            linear >= step1,
+            "LinearBid {linear:.2} should beat StepBid-1 {step1:.2}"
+        );
+        assert!(
+            linear >= step2,
+            "LinearBid {linear:.2} should beat StepBid-2 {step2:.2}"
+        );
+        assert!(
+            linear >= 0.75 * full,
+            "LinearBid {linear:.2} should track FullBid {full:.2}"
+        );
+    }
+
+    #[test]
+    fn more_availability_more_profit() {
+        let points = compute(&ExpConfig {
+            days: 3.0,
+            ..ExpConfig::quick()
+        });
+        // The sweep is ordered from scarce to plentiful.
+        assert!(points[0].availability < points.last().unwrap().availability);
+        assert!(
+            points.last().unwrap().extra_percent[2] >= points[0].extra_percent[2],
+            "profit should not fall as availability grows"
+        );
+    }
+
+    #[test]
+    fn styled_scenario_swaps_strategies() {
+        let s = styled_scenario(1, 0.42, BidStyle::StepVolume);
+        assert!(s
+            .agents
+            .iter()
+            .all(|a| matches!(a.strategy(), Strategy::Step { .. })));
+        let v = styled_scenario(1, 0.42, BidStyle::StepValue);
+        assert!(v
+            .agents
+            .iter()
+            .all(|a| matches!(a.strategy(), Strategy::StepAtValue { .. })));
+        let f = styled_scenario(1, 0.42, BidStyle::Full);
+        assert!(f.agents.iter().all(|a| matches!(a.strategy(), Strategy::Full { .. })));
+    }
+}

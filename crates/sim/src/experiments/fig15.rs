@@ -1,0 +1,113 @@
+//! Fig. 15: impact of the amount of available spot capacity.
+//!
+//! Sweeping the operator's effective oversubscription (via the
+//! non-participant power level): with more spot capacity the market
+//! price falls, the operator's extra profit grows (more volume beats
+//! the lower price), and tenants' performance improves.
+
+use crate::accounting::Billing;
+use crate::baselines::Mode;
+use crate::experiments::common::{run_mode, ExpConfig, ExpOutput};
+use crate::report::TextTable;
+use crate::scenario::{Scenario, ScenarioTuning};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Fig15Point {
+    /// Measured average spot availability (fraction of subscriptions).
+    pub availability: f64,
+    /// Operator extra profit, %.
+    pub extra_percent: f64,
+    /// Mean market price, $/kW/h.
+    pub mean_price: f64,
+    /// Average tenant performance ratio vs PowerCapped.
+    pub perf_ratio: f64,
+}
+
+/// Runs the availability sweep.
+#[must_use]
+pub fn compute(cfg: &ExpConfig) -> Vec<Fig15Point> {
+    let billing = Billing::paper_defaults();
+    let fractions: Vec<f64> = if cfg.quick {
+        vec![0.85, 0.42]
+    } else {
+        vec![0.90, 0.75, 0.62, 0.50, 0.42]
+    };
+    fractions
+        .into_iter()
+        .map(|f| {
+            let tuning = ScenarioTuning {
+                other_mean_fraction: f,
+                ..ScenarioTuning::default()
+            };
+            let scenario = Scenario::testbed_with(cfg.seed, tuning);
+            let capped = run_mode(cfg, scenario.clone(), Mode::PowerCapped);
+            let spot = run_mode(cfg, scenario, Mode::SpotDc);
+            let perf_ratio = spot.avg_perf_ratio_vs(&capped);
+            Fig15Point {
+                availability: spot.avg_spot_available_fraction(),
+                extra_percent: spot.profit(&billing).extra_percent(),
+                mean_price: spot.price_cdf().mean(),
+                perf_ratio,
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 15.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let points = compute(cfg);
+    let mut table = TextTable::new(vec![
+        "availability",
+        "extra profit",
+        "mean price ($/kW/h)",
+        "tenant perf (vs PC)",
+    ]);
+    for p in &points {
+        table.row(vec![
+            format!("{:.1}%", 100.0 * p.availability),
+            format!("{:+.2}%", p.extra_percent),
+            format!("{:.3}", p.mean_price),
+            format!("{:.2}x", p.perf_ratio),
+        ]);
+    }
+    ExpOutput {
+        id: "fig15".into(),
+        title: "Impact of available spot capacity".into(),
+        body: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<Fig15Point> {
+        compute(&ExpConfig {
+            days: 3.0,
+            ..ExpConfig::quick()
+        })
+    }
+
+    #[test]
+    fn profit_and_performance_grow_with_availability() {
+        let p = points();
+        let first = &p[0];
+        let last = p.last().unwrap();
+        assert!(last.availability > first.availability);
+        assert!(last.extra_percent >= first.extra_percent - 0.2);
+        assert!(last.perf_ratio >= first.perf_ratio - 0.02);
+    }
+
+    #[test]
+    fn price_falls_with_availability() {
+        let p = points();
+        assert!(
+            p.last().unwrap().mean_price <= p[0].mean_price + 1e-9,
+            "price should not rise with more capacity: {} -> {}",
+            p[0].mean_price,
+            p.last().unwrap().mean_price
+        );
+    }
+}

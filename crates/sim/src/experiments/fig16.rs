@@ -1,0 +1,178 @@
+//! Fig. 16: impact of tenants' bidding strategy (price prediction).
+//!
+//! Sprinting tenants switch from elastic bids to the strategic
+//! price-predicting bid: with (perfect) knowledge of the clearing
+//! price they bid their needed power just above it, getting more spot
+//! capacity and better performance without paying more — while the
+//! operator's profit barely moves (spot capacity costs nothing to
+//! provide).
+
+use spotdc_tenants::Strategy;
+use spotdc_units::Price;
+
+use crate::accounting::Billing;
+use crate::baselines::Mode;
+use crate::engine::EngineConfig;
+use crate::experiments::common::{run_mode, run_with, ExpConfig, ExpOutput};
+use crate::report::TextTable;
+use crate::scenario::Scenario;
+
+/// Per-class outcome under one bidding regime.
+#[derive(Debug, Clone, Copy)]
+pub struct RegimeOutcome {
+    /// Sprinting tenants' average spot grant over wanting slots, W.
+    pub sprint_avg_grant: f64,
+    /// Sprinting tenants' average performance index over wanting slots.
+    pub sprint_perf: f64,
+    /// Sprinting tenants' total spot payments, $.
+    pub sprint_payments: f64,
+    /// Operator extra profit, %.
+    pub operator_extra_percent: f64,
+}
+
+/// Both regimes side by side.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig16Result {
+    /// Default elastic bidding.
+    pub elastic: RegimeOutcome,
+    /// Price-predicting sprinting bids (perfect prediction).
+    pub predicting: RegimeOutcome,
+}
+
+fn outcome(
+    cfg: &ExpConfig,
+    report: &crate::metrics::SimReport,
+    sprint_idx: &[usize],
+) -> RegimeOutcome {
+    let billing = Billing::paper_defaults();
+    let mut grant_sum = 0.0;
+    let mut grant_n = 0usize;
+    let mut payments = 0.0;
+    for rec in &report.records {
+        for &i in sprint_idx {
+            let t = &rec.tenants[i];
+            if t.wanted {
+                grant_sum += t.grant;
+                grant_n += 1;
+            }
+            payments += t.payment;
+        }
+    }
+    let _ = cfg;
+    RegimeOutcome {
+        sprint_avg_grant: grant_sum / grant_n.max(1) as f64,
+        sprint_perf: sprint_idx
+            .iter()
+            .map(|&i| report.tenant_avg_perf(i, true))
+            .sum::<f64>()
+            / sprint_idx.len() as f64,
+        sprint_payments: payments,
+        operator_extra_percent: report.profit(&billing).extra_percent(),
+    }
+}
+
+/// Runs both regimes.
+#[must_use]
+pub fn compute(cfg: &ExpConfig) -> Fig16Result {
+    let base = Scenario::testbed(cfg.seed);
+    let sprint_idx: Vec<usize> = base
+        .specs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.kind.is_sprinting())
+        .map(|(i, _)| i)
+        .collect();
+    let elastic_report = run_mode(cfg, base.clone(), Mode::SpotDc);
+
+    let mut strategic = base;
+    for (i, agent) in strategic.agents.iter_mut().enumerate() {
+        if sprint_idx.contains(&i) {
+            agent.set_strategy(Strategy::PricePredictor {
+                margin: 0.05,
+                fallback_price: Price::per_kw_hour(0.5),
+            });
+        }
+    }
+    let engine = EngineConfig {
+        price_oracle: true,
+        ..EngineConfig::new(Mode::SpotDc)
+    };
+    let predicting_report = run_with(cfg, strategic, engine);
+
+    Fig16Result {
+        elastic: outcome(cfg, &elastic_report, &sprint_idx),
+        predicting: outcome(cfg, &predicting_report, &sprint_idx),
+    }
+}
+
+/// Renders Fig. 16.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let r = compute(cfg);
+    let mut table = TextTable::new(vec!["metric", "elastic bids", "price-predicting bids"]);
+    table.row(vec![
+        "sprint avg grant (W)".into(),
+        format!("{:.1}", r.elastic.sprint_avg_grant),
+        format!("{:.1}", r.predicting.sprint_avg_grant),
+    ]);
+    table.row(vec![
+        "sprint perf index".into(),
+        format!("{:.2}", r.elastic.sprint_perf),
+        format!("{:.2}", r.predicting.sprint_perf),
+    ]);
+    table.row(vec![
+        "sprint payments ($)".into(),
+        format!("{:.3}", r.elastic.sprint_payments),
+        format!("{:.3}", r.predicting.sprint_payments),
+    ]);
+    table.row(vec![
+        "operator extra profit".into(),
+        format!("{:+.2}%", r.elastic.operator_extra_percent),
+        format!("{:+.2}%", r.predicting.operator_extra_percent),
+    ]);
+    ExpOutput {
+        id: "fig16".into(),
+        title: "Impact of bidding strategies (perfect price prediction)".into(),
+        body: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig16Result {
+        compute(&ExpConfig {
+            days: 3.0,
+            ..ExpConfig::quick()
+        })
+    }
+
+    #[test]
+    fn prediction_gets_sprinting_at_least_as_much_spot() {
+        let r = result();
+        assert!(
+            r.predicting.sprint_avg_grant >= r.elastic.sprint_avg_grant * 0.85,
+            "predicting {} vs elastic {}",
+            r.predicting.sprint_avg_grant,
+            r.elastic.sprint_avg_grant
+        );
+        // ...and they never pay more for it (the Fig. 16 claim is
+        // "without additional costs").
+        assert!(r.predicting.sprint_payments <= r.elastic.sprint_payments * 1.05);
+    }
+
+    #[test]
+    fn prediction_does_not_hurt_performance() {
+        let r = result();
+        assert!(r.predicting.sprint_perf >= r.elastic.sprint_perf * 0.95);
+    }
+
+    #[test]
+    fn operator_profit_barely_moves() {
+        let r = result();
+        let delta =
+            (r.predicting.operator_extra_percent - r.elastic.operator_extra_percent).abs();
+        assert!(delta < 2.0, "profit moved by {delta} points");
+    }
+}

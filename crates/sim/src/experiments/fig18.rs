@@ -1,0 +1,110 @@
+//! Fig. 18: scaling to 1 000 tenants.
+//!
+//! The Table I composition replicated with ±20 % cost-model jitter.
+//! Normalized results (operator extra profit, tenant cost increase,
+//! tenant performance vs PowerCapped) stabilize as the tenant count
+//! grows and match the scaled-down testbed.
+
+use crate::accounting::Billing;
+use crate::baselines::Mode;
+use crate::experiments::common::{run_mode, ExpConfig, ExpOutput};
+use crate::report::TextTable;
+use crate::scenario::Scenario;
+
+/// One scale point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig18Point {
+    /// Number of participating tenants.
+    pub tenants: usize,
+    /// Operator extra profit, %.
+    pub extra_percent: f64,
+    /// Average tenant cost ratio vs PowerCapped.
+    pub cost_ratio: f64,
+    /// Average tenant performance ratio vs PowerCapped (wanting slots).
+    pub perf_ratio: f64,
+}
+
+/// Runs the scale sweep. The horizon shrinks as the tenant count grows
+/// (statistics concentrate with scale, so shorter runs suffice).
+#[must_use]
+pub fn compute(cfg: &ExpConfig) -> Vec<Fig18Point> {
+    let billing = Billing::paper_defaults();
+    let sizes: Vec<usize> = if cfg.quick {
+        vec![8, 48]
+    } else {
+        vec![8, 48, 104, 304, 1000]
+    };
+    sizes
+        .into_iter()
+        .map(|n| {
+            // Keep total work roughly constant across scales.
+            let days = (cfg.days * 8.0 / n as f64).clamp(0.25, cfg.days);
+            let scale_cfg = ExpConfig { days, ..*cfg };
+            let scenario = Scenario::hyperscale(cfg.seed, n);
+            let capped = run_mode(&scale_cfg, scenario.clone(), Mode::PowerCapped);
+            let spot = run_mode(&scale_cfg, scenario, Mode::SpotDc);
+            let k = spot.tenant_count();
+            let mut cost_ratio = 0.0;
+            for i in 0..k {
+                cost_ratio += spot.tenant_bill(i, &billing).total()
+                    / capped.tenant_bill(i, &billing).total().max(1e-12);
+            }
+            Fig18Point {
+                tenants: n,
+                extra_percent: spot.profit(&billing).extra_percent(),
+                cost_ratio: cost_ratio / k as f64,
+                perf_ratio: spot.avg_perf_ratio_vs(&capped),
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 18.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let points = compute(cfg);
+    let mut table = TextTable::new(vec![
+        "tenants",
+        "extra profit",
+        "avg tenant cost (vs PC)",
+        "avg tenant perf (vs PC)",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.tenants.to_string(),
+            format!("{:+.2}%", p.extra_percent),
+            format!("{:+.2}%", 100.0 * (p.cost_ratio - 1.0)),
+            format!("{:.2}x", p.perf_ratio),
+        ]);
+    }
+    ExpOutput {
+        id: "fig18".into(),
+        title: "Impact of the number of tenants (hyper-scale)".into(),
+        body: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_stay_stable_with_scale() {
+        let points = compute(&ExpConfig {
+            days: 2.0,
+            seed: 42,
+            quick: true,
+        });
+        assert!(points.len() >= 2);
+        let first = &points[0];
+        let last = points.last().unwrap();
+        assert!(last.extra_percent > 0.0, "operator gains at scale");
+        assert!(
+            (last.perf_ratio - first.perf_ratio).abs() < 0.35,
+            "performance ratio should be stable: {} vs {}",
+            first.perf_ratio,
+            last.perf_ratio
+        );
+        assert!(last.cost_ratio < 1.15, "tenant cost stays marginal");
+    }
+}

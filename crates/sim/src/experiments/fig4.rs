@@ -1,0 +1,141 @@
+//! Fig. 4: a multi-rack tenant's optimal demand vector and its affine
+//! bid approximation.
+//!
+//! A tenant whose application spans two racks has, at each price, an
+//! *optimal demand vector* `(d₁(q), d₂(q))` — the per-rack quantities
+//! maximizing its net benefit. SpotDC solicits only the two corner
+//! vectors (at `q_min` and `q_max`) and joins them affinely, so the
+//! realized grants move along a straight line in the `(d₁, d₂)` plane.
+//! This experiment tabulates both curves and the approximation error.
+
+use spotdc_tenants::bundle_bid;
+use spotdc_units::{Price, RackId, TenantId, Watts};
+use spotdc_workloads::GainCurve;
+
+use crate::experiments::common::{ExpConfig, ExpOutput};
+use crate::report::TextTable;
+
+/// One price point of the comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Point {
+    /// The market price.
+    pub price: f64,
+    /// Optimal demand for rack 1 (front-end), W.
+    pub optimal_1: f64,
+    /// Optimal demand for rack 2 (back-end), W.
+    pub optimal_2: f64,
+    /// Affine bid's demand for rack 1, W.
+    pub bid_1: f64,
+    /// Affine bid's demand for rack 2, W.
+    pub bid_2: f64,
+}
+
+/// Computes the optimal demand vectors and the affine approximation
+/// for a two-rack web-service tenant.
+#[must_use]
+pub fn compute(_cfg: &ExpConfig) -> Vec<Fig4Point> {
+    // Front-end: moderate, smoothly-decreasing marginal value.
+    // Back-end: the bottleneck — steeper marginals, saturating later.
+    let front = GainCurve::from_samples([(15.0, 0.45), (30.0, 0.72), (45.0, 0.85)]);
+    let back = GainCurve::from_samples([(20.0, 0.9), (40.0, 1.5), (60.0, 1.8)]);
+    let headroom_front = Watts::new(45.0);
+    let headroom_back = Watts::new(60.0);
+    let q_min = Price::per_kw_hour(2.0);
+    let q_max = Price::per_kw_hour(30.0);
+    let bid = bundle_bid(
+        TenantId::new(0),
+        &[
+            (RackId::new(0), front.clone(), headroom_front),
+            (RackId::new(1), back.clone(), headroom_back),
+        ],
+        q_min,
+        q_max,
+    )
+    .expect("positive-demand bundle");
+    let env_front = front.concave_envelope();
+    let env_back = back.concave_envelope();
+    (0..=10)
+        .map(|i| {
+            let q = 2.0 + 28.0 * f64::from(i) / 10.0;
+            let price = Price::per_kw_hour(q);
+            Fig4Point {
+                price: q,
+                optimal_1: env_front.demand_at_price(price).min(headroom_front).value(),
+                optimal_2: env_back.demand_at_price(price).min(headroom_back).value(),
+                bid_1: bid.rack_bids()[0].demand_at(price).value(),
+                bid_2: bid.rack_bids()[1].demand_at(price).value(),
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 4.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let points = compute(cfg);
+    let mut table = TextTable::new(vec![
+        "price ($/kW/h)",
+        "optimal rack-1",
+        "optimal rack-2",
+        "bid rack-1",
+        "bid rack-2",
+    ]);
+    for p in &points {
+        table.row(vec![
+            format!("{:.1}", p.price),
+            format!("{:.1}", p.optimal_1),
+            format!("{:.1}", p.optimal_2),
+            format!("{:.1}", p.bid_1),
+            format!("{:.1}", p.bid_2),
+        ]);
+    }
+    let max_err = points
+        .iter()
+        .map(|p| (p.bid_1 - p.optimal_1).abs().max((p.bid_2 - p.optimal_2).abs()))
+        .fold(0.0f64, f64::max);
+    let mut body = table.render();
+    body.push_str(&format!(
+        "\nmax per-rack approximation error of the affine bid: {max_err:.1} W\n\
+         (the bid joins the two corner vectors linearly — Fig. 4's \"Bid\" line)\n"
+    ));
+    ExpOutput {
+        id: "fig4".into(),
+        title: "Optimal multi-rack demand vector vs affine bid".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bid_matches_optimal_at_the_corners() {
+        let points = compute(&ExpConfig::quick());
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        assert!((first.bid_1 - first.optimal_1).abs() < 1.0, "{first:?}");
+        assert!((first.bid_2 - first.optimal_2).abs() < 1.0);
+        assert!((last.bid_1 - last.optimal_1).abs() < 1.0, "{last:?}");
+        assert!((last.bid_2 - last.optimal_2).abs() < 1.0);
+    }
+
+    #[test]
+    fn demands_non_increasing_in_price() {
+        let points = compute(&ExpConfig::quick());
+        for w in points.windows(2) {
+            assert!(w[1].optimal_1 <= w[0].optimal_1 + 1e-9);
+            assert!(w[1].optimal_2 <= w[0].optimal_2 + 1e-9);
+            assert!(w[1].bid_1 <= w[0].bid_1 + 1e-9);
+            assert!(w[1].bid_2 <= w[0].bid_2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn back_end_bottleneck_demands_more() {
+        let points = compute(&ExpConfig::quick());
+        // The steeper-valued rack holds demand longer as prices rise.
+        let mid = &points[points.len() / 2];
+        assert!(mid.optimal_2 >= mid.optimal_1);
+    }
+}

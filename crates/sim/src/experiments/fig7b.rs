@@ -1,0 +1,175 @@
+//! Fig. 7(b): market-clearing time at scale.
+//!
+//! The scalability claim: with the paper's grid search, clearing stays
+//! below one second even at 15 000 racks with a 0.1 ¢/kW step, and
+//! below 100 ms with a 1 ¢/kW step. We measure wall-clock clearing time
+//! on synthetic bid populations of increasing size (the Criterion bench
+//! `clearing` in `spotdc-bench` measures the same thing rigorously).
+
+use std::time::Instant;
+
+use spotdc_core::demand::LinearBid;
+use spotdc_core::{ClearingConfig, ConstraintSet, MarketClearing, RackBid};
+use spotdc_power::topology::{PowerTopology, TopologyBuilder};
+use spotdc_traces::Sampler;
+use spotdc_units::{Price, RackId, Slot, TenantId, Watts};
+
+use crate::experiments::common::{ExpConfig, ExpOutput};
+use crate::report::TextTable;
+
+/// Racks per cluster PDU (the paper's 50–80 range).
+const RACKS_PER_PDU: usize = 64;
+
+/// One timing measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ClearingTiming {
+    /// Number of racks bidding.
+    pub racks: usize,
+    /// Search step in ¢/kW/h.
+    pub step_cents: f64,
+    /// Mean clearing time in milliseconds.
+    pub millis: f64,
+}
+
+/// Builds a synthetic population: `racks` racks across PDUs of
+/// 64 racks per PDU (the paper's 50-80 range), every rack bidding a
+/// random linear bid.
+#[must_use]
+pub fn synthetic_market(
+    racks: usize,
+    seed: u64,
+) -> (PowerTopology, Vec<RackBid>, ConstraintSet) {
+    let mut rng = Sampler::seeded(seed);
+    let pdus = racks.div_ceil(RACKS_PER_PDU);
+    let mut builder = TopologyBuilder::new(Watts::new(1e9));
+    for p in 0..pdus {
+        builder = builder.pdu(Watts::new(64.0 * 8000.0));
+        for r in 0..RACKS_PER_PDU.min(racks - p * RACKS_PER_PDU) {
+            let i = p * RACKS_PER_PDU + r;
+            builder = builder.rack(
+                TenantId::new(i),
+                Watts::new(5000.0),
+                Watts::new(2500.0),
+            );
+        }
+    }
+    let topology = builder.build().expect("valid synthetic topology");
+    let bids: Vec<RackBid> = (0..racks)
+        .map(|i| {
+            let d_max = rng.uniform_in(200.0, 2500.0);
+            let d_min = rng.uniform_in(0.0, d_max);
+            let q_min = rng.uniform_in(0.0, 0.2);
+            let q_max = q_min + rng.uniform_in(0.01, 0.4);
+            RackBid::new(
+                RackId::new(i),
+                LinearBid::new(
+                    Watts::new(d_max),
+                    Price::per_kw_hour(q_min),
+                    Watts::new(d_min),
+                    Price::per_kw_hour(q_max),
+                )
+                .expect("ordered random bid")
+                .into(),
+            )
+        })
+        .collect();
+    // Roughly 15% of subscribed capacity available as spot.
+    let pdu_spot = vec![Watts::new(64.0 * 5000.0 * 0.15); pdus];
+    let ups_spot = Watts::new(racks as f64 * 5000.0 * 0.15);
+    let constraints = ConstraintSet::new(&topology, pdu_spot, ups_spot);
+    (topology, bids, constraints)
+}
+
+/// Measures clearing time for each rack count × step size.
+#[must_use]
+pub fn compute(cfg: &ExpConfig) -> Vec<ClearingTiming> {
+    let sizes: Vec<usize> = if cfg.quick {
+        vec![100, 1000, 5000]
+    } else {
+        vec![100, 500, 1000, 5000, 10_000, 15_000]
+    };
+    let reps = if cfg.quick { 2 } else { 5 };
+    let mut out = Vec::new();
+    for &racks in &sizes {
+        let (_topology, bids, constraints) = synthetic_market(racks, cfg.seed);
+        for &step_cents in &[1.0, 0.1] {
+            let engine =
+                MarketClearing::new(ClearingConfig::grid(Price::cents_per_kw_hour(step_cents)));
+            // Warm-up clear, then timed repetitions.
+            let _ = engine.clear(Slot::ZERO, &bids, &constraints);
+            let start = Instant::now();
+            for _ in 0..reps {
+                let outcome = engine.clear(Slot::ZERO, &bids, &constraints);
+                assert!(outcome.sold() >= Watts::ZERO);
+            }
+            let millis = start.elapsed().as_secs_f64() * 1000.0 / f64::from(reps);
+            out.push(ClearingTiming {
+                racks,
+                step_cents,
+                millis,
+            });
+        }
+    }
+    out
+}
+
+/// Renders Fig. 7(b).
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let timings = compute(cfg);
+    let mut table = TextTable::new(vec!["racks", "step (¢/kW)", "clearing time (ms)"]);
+    for t in &timings {
+        table.row(vec![
+            t.racks.to_string(),
+            format!("{:.1}", t.step_cents),
+            format!("{:.2}", t.millis),
+        ]);
+    }
+    let worst = timings.iter().map(|t| t.millis).fold(0.0, f64::max);
+    let mut body = table.render();
+    body.push_str(&format!(
+        "\nworst case: {worst:.1} ms (paper: <1 s at 15,000 racks, 0.1 ¢ step)\n"
+    ));
+    ExpOutput {
+        id: "fig7b".into(),
+        title: "Market clearing time at scale".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearing_is_subsecond_at_scale() {
+        let timings = compute(&ExpConfig::quick());
+        for t in &timings {
+            assert!(
+                t.millis < 1000.0,
+                "{} racks at {}¢ took {:.0} ms",
+                t.racks,
+                t.step_cents,
+                t.millis
+            );
+        }
+    }
+
+    #[test]
+    fn coarser_step_is_faster() {
+        let timings = compute(&ExpConfig::quick());
+        for pair in timings.chunks(2) {
+            // chunks of (1¢, 0.1¢) per size
+            assert!(pair[0].millis <= pair[1].millis * 1.5);
+        }
+    }
+
+    #[test]
+    fn synthetic_market_shape() {
+        let (topo, bids, cs) = synthetic_market(200, 1);
+        assert_eq!(topo.rack_count(), 200);
+        assert_eq!(bids.len(), 200);
+        assert_eq!(topo.pdu_count(), 4);
+        assert!(cs.ups_spot() > Watts::ZERO);
+    }
+}

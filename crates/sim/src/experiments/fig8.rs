@@ -1,0 +1,140 @@
+//! Fig. 8: power–performance relation at different workload levels.
+//!
+//! The tenant-side measurement that every bid derives from: sweep the
+//! rack power budget and report the performance metric at several load
+//! intensities. Latency is convex decreasing in power (with the SLO
+//! crossing moving right as load grows); batch throughput is concave
+//! increasing.
+
+use spotdc_tenants::WorkloadModel;
+use spotdc_units::Watts;
+
+use crate::experiments::common::{ExpConfig, ExpOutput};
+use crate::report::TextTable;
+
+/// One workload's sweep: `(budget W, metric per intensity)` rows.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Workload name.
+    pub name: String,
+    /// The metric's unit label.
+    pub unit: String,
+    /// The intensities swept.
+    pub intensities: Vec<f64>,
+    /// `(budget, one metric value per intensity)`.
+    pub rows: Vec<(f64, Vec<f64>)>,
+}
+
+fn sweep(name: &str, model: &WorkloadModel, reserved: f64, intensities: &[f64]) -> Sweep {
+    let headroom = reserved * 0.5;
+    let budgets: Vec<f64> = (0..=8)
+        .map(|i| reserved * 0.8 + (headroom + reserved * 0.2) * f64::from(i) / 8.0)
+        .collect();
+    let (unit, metric): (&str, Box<dyn Fn(Watts, f64) -> f64>) = match model {
+        WorkloadModel::Sprinting { workload, .. } => {
+            let w = *workload;
+            (
+                "ms tail latency",
+                Box::new(move |b, i| 1000.0 * w.latency(w.peak_load() * i, b)),
+            )
+        }
+        WorkloadModel::Opportunistic { workload, .. } => {
+            let w = *workload;
+            ("units/s throughput", Box::new(move |b, _| w.throughput(b)))
+        }
+    };
+    Sweep {
+        name: name.into(),
+        unit: unit.into(),
+        intensities: intensities.to_vec(),
+        rows: budgets
+            .iter()
+            .map(|&b| {
+                (
+                    b,
+                    intensities
+                        .iter()
+                        .map(|&i| metric(Watts::new(b), i))
+                        .collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Computes the sweeps for Search-1, Web and Count-1 (the three the
+/// paper plots; the other workloads behave alike).
+#[must_use]
+pub fn compute(_cfg: &ExpConfig) -> Vec<Sweep> {
+    let intensities = [0.6, 0.8, 1.0];
+    vec![
+        sweep("Search-1", &WorkloadModel::search(), 145.0, &intensities),
+        sweep("Web", &WorkloadModel::web(), 115.0, &intensities),
+        sweep("Count-1", &WorkloadModel::word_count(), 125.0, &intensities),
+    ]
+}
+
+/// Renders Fig. 8.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let sweeps = compute(cfg);
+    let mut body = String::new();
+    for s in &sweeps {
+        body.push_str(&format!("{} ({}):\n", s.name, s.unit));
+        let mut headers = vec!["budget (W)".to_owned()];
+        headers.extend(s.intensities.iter().map(|i| format!("load {i:.1}")));
+        let mut table = TextTable::new(headers.iter().map(String::as_str).collect());
+        for (b, vals) in &s.rows {
+            let mut row = vec![format!("{b:.0}")];
+            row.extend(vals.iter().map(|v| format!("{v:.1}")));
+            table.row(row);
+        }
+        body.push_str(&table.render());
+        body.push('\n');
+    }
+    ExpOutput {
+        id: "fig8".into(),
+        title: "Power-performance relation at different workload levels".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_convex_decreasing_throughput_increasing() {
+        let sweeps = compute(&ExpConfig::quick());
+        // Search at every intensity: latency non-increasing in budget.
+        for col in 0..sweeps[0].intensities.len() {
+            let mut last = f64::INFINITY;
+            for (_, vals) in &sweeps[0].rows {
+                assert!(vals[col] <= last + 1e-9);
+                last = vals[col];
+            }
+        }
+        // Count-1: throughput non-decreasing.
+        let mut last = 0.0;
+        for (_, vals) in &sweeps[2].rows {
+            assert!(vals[0] >= last - 1e-9);
+            last = vals[0];
+        }
+    }
+
+    #[test]
+    fn higher_load_higher_latency() {
+        let sweeps = compute(&ExpConfig::quick());
+        for (_, vals) in &sweeps[0].rows {
+            assert!(vals[2] >= vals[0] - 1e-9, "load 1.0 vs 0.6: {vals:?}");
+        }
+    }
+
+    #[test]
+    fn renders_three_panels() {
+        let out = run(&ExpConfig::quick());
+        for name in ["Search-1", "Web", "Count-1"] {
+            assert!(out.body.contains(name));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig. 9: performance gain in dollars per hour of spot capacity.
+//!
+//! The monetized version of Fig. 8: each tenant's private valuation of
+//! spot capacity, per Section IV-C's cost models. Search values spot
+//! most (p99 SLO at stake), Web less, WordCount least — the ordering
+//! that drives the market prices of Fig. 13(a).
+
+use spotdc_tenants::WorkloadModel;
+use spotdc_units::Watts;
+
+use crate::experiments::common::{ExpConfig, ExpOutput};
+use crate::report::TextTable;
+
+/// One tenant's gain curve samples.
+#[derive(Debug, Clone)]
+pub struct GainSamples {
+    /// Tenant name.
+    pub name: String,
+    /// `(spot W, gain $/h)` samples at peak load.
+    pub samples: Vec<(f64, f64)>,
+}
+
+/// Computes the gain curves for S-1, Web and O-1 at peak load.
+#[must_use]
+pub fn compute(_cfg: &ExpConfig) -> Vec<GainSamples> {
+    let cases = [
+        ("Search-1", WorkloadModel::search(), 145.0),
+        ("Web", WorkloadModel::web(), 115.0),
+        ("Count-1", WorkloadModel::word_count(), 125.0),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, model, reserved)| {
+            let headroom = reserved * 0.5;
+            let curve = model.gain_curve(Watts::new(reserved), Watts::new(headroom), 1.0);
+            let samples = (0..=8)
+                .map(|i| {
+                    let s = headroom * f64::from(i) / 8.0;
+                    (s, curve.gain(Watts::new(s)))
+                })
+                .collect();
+            GainSamples {
+                name: name.into(),
+                samples,
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 9.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let curves = compute(cfg);
+    let mut headers = vec!["spot (W)".to_owned()];
+    headers.extend(curves.iter().map(|c| format!("{} ($/h)", c.name)));
+    let mut table = TextTable::new(headers.iter().map(String::as_str).collect());
+    for i in 0..curves[0].samples.len() {
+        let mut row = vec![format!("{:.1}", curves[0].samples[i].0)];
+        for c in &curves {
+            let gain = c.samples.get(i).map(|s| s.1).unwrap_or(f64::NAN);
+            row.push(format!("{gain:.4}"));
+        }
+        table.row(row);
+    }
+    ExpOutput {
+        id: "fig9".into(),
+        title: "Performance gain from spot capacity (at peak load)".into(),
+        body: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gains_non_decreasing_from_zero() {
+        for c in compute(&ExpConfig::quick()) {
+            assert_eq!(c.samples[0].1, 0.0, "{}", c.name);
+            let mut last = -1.0;
+            for &(_, g) in &c.samples {
+                assert!(g >= last - 1e-12);
+                last = g;
+            }
+            assert!(last > 0.0, "{} never gains", c.name);
+        }
+    }
+
+    #[test]
+    fn sprinting_tenants_value_spot_more_than_batch() {
+        let curves = compute(&ExpConfig::quick());
+        let max_gain = |c: &GainSamples| c.samples.last().expect("samples").1;
+        assert!(max_gain(&curves[0]) > max_gain(&curves[2]));
+        assert!(max_gain(&curves[1]) > max_gain(&curves[2]));
+    }
+}

@@ -1,0 +1,78 @@
+//! The paper's headline claims, checked in one run.
+//!
+//! * operator profit increases (paper: +9.7 %),
+//! * tenants improve performance 1.2–1.8× on average,
+//! * at a marginal cost (sprinting as low as fractions of a percent),
+//! * without introducing power emergencies.
+
+use crate::experiments::common::{ExpConfig, ExpOutput};
+use crate::experiments::fig12;
+use crate::report::TextTable;
+
+/// Renders the headline summary.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let r = fig12::compute(cfg);
+    let n = r.tenants.len() as f64;
+    let avg_perf = r.tenants.iter().map(|t| t.perf_ratio).sum::<f64>() / n;
+    let avg_cost = r.tenants.iter().map(|t| t.cost_ratio).sum::<f64>() / n;
+    let sprint_cost = {
+        let v: Vec<f64> = r
+            .tenants
+            .iter()
+            .filter(|t| t.sprinting)
+            .map(|t| t.cost_ratio)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let mut table = TextTable::new(vec!["claim", "paper", "measured"]);
+    table.row(vec![
+        "operator extra profit".into(),
+        "+9.7%".into(),
+        format!("{:+.1}%", r.operator_extra_percent),
+    ]);
+    table.row(vec![
+        "tenant performance (avg)".into(),
+        "1.2-1.8x".into(),
+        format!("{avg_perf:.2}x"),
+    ]);
+    table.row(vec![
+        "tenant cost increase (avg)".into(),
+        "marginal".into(),
+        format!("{:+.1}%", 100.0 * (avg_cost - 1.0)),
+    ]);
+    table.row(vec![
+        "sprinting cost increase".into(),
+        "as low as 0.3-0.5%".into(),
+        format!("{:+.1}%", 100.0 * (sprint_cost - 1.0)),
+    ]);
+    table.row(vec![
+        "new emergencies from spot".into(),
+        "none".into(),
+        format!(
+            "{} (PowerCapped: {})",
+            r.spot.emergencies, r.capped.emergencies
+        ),
+    ]);
+    ExpOutput {
+        id: "headline".into(),
+        title: "Headline claims".into(),
+        body: table.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_contains_all_claims() {
+        let out = run(&ExpConfig {
+            days: 2.0,
+            ..ExpConfig::quick()
+        });
+        for key in ["extra profit", "performance", "cost increase", "emergencies"] {
+            assert!(out.body.contains(key), "missing claim row: {key}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! One module per table/figure of the paper's evaluation, plus the
+//! headline summary and design ablations.
+//!
+//! Every module exposes `compute` (structured data, used by the tests)
+//! and `run` (a rendered [`ExpOutput`]). The [`run_by_id`] registry
+//! backs the `repro` binary in `spotdc-bench`.
+
+pub mod ablations;
+pub mod common;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig2b;
+pub mod fig4;
+pub mod fig7a;
+pub mod fig7b;
+pub mod fig8;
+pub mod fig9;
+pub mod headline;
+pub mod market_power;
+pub mod table1;
+
+pub use common::{ExpConfig, ExpOutput};
+
+/// Every experiment id, in paper order.
+#[must_use]
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "table1", "fig2b", "fig4", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "headline", "ablations",
+        "market_power",
+    ]
+}
+
+/// Runs one experiment by id, or `None` for an unknown id.
+#[must_use]
+pub fn run_by_id(id: &str, cfg: &ExpConfig) -> Option<ExpOutput> {
+    Some(match id {
+        "table1" => table1::run(cfg),
+        "fig2b" => fig2b::run(cfg),
+        "fig4" => fig4::run(cfg),
+        "fig7a" => fig7a::run(cfg),
+        "fig7b" => fig7b::run(cfg),
+        "fig8" => fig8::run(cfg),
+        "fig9" => fig9::run(cfg),
+        "fig10" => fig10::run(cfg),
+        "fig11" => fig11::run(cfg),
+        "fig12" => fig12::run(cfg),
+        "fig13" => fig13::run(cfg),
+        "fig14" => fig14::run(cfg),
+        "fig15" => fig15::run(cfg),
+        "fig16" => fig16::run(cfg),
+        "fig17" => fig17::run(cfg),
+        "fig18" => fig18::run(cfg),
+        "headline" => headline::run(cfg),
+        "ablations" => ablations::run(cfg),
+        "market_power" => market_power::run(cfg),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_id() {
+        let cfg = ExpConfig {
+            days: 0.1,
+            ..ExpConfig::quick()
+        };
+        // Cheap smoke of the registry wiring on the fastest experiments.
+        for id in ["table1", "fig4", "fig8", "fig9"] {
+            let out = run_by_id(id, &cfg).expect("known id");
+            assert_eq!(out.id, id);
+            assert!(!out.body.is_empty());
+        }
+        assert!(run_by_id("nope", &cfg).is_none());
+        assert_eq!(all_ids().len(), 19);
+    }
+}

@@ -1,0 +1,42 @@
+//! Table I: the testbed configuration.
+
+use crate::experiments::common::{ExpConfig, ExpOutput};
+use crate::scenario::Scenario;
+
+/// Renders the testbed configuration table.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let scenario = Scenario::testbed(cfg.seed);
+    let mut body = scenario.table();
+    body.push_str(&format!(
+        "\nPDU capacities: {:.0} W / {:.0} W (5% oversubscribed)\nUPS capacity: {:.0} W\n",
+        scenario
+            .topology
+            .pdu_capacity(spotdc_units::PduId::new(0))
+            .expect("pdu 0")
+            .value(),
+        scenario
+            .topology
+            .pdu_capacity(spotdc_units::PduId::new(1))
+            .expect("pdu 1")
+            .value(),
+        scenario.topology.ups_capacity().value(),
+    ));
+    ExpOutput {
+        id: "table1".into(),
+        title: "Testbed configuration".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_capacities() {
+        let out = run(&ExpConfig::quick());
+        assert!(out.body.contains("UPS capacity"));
+        assert!(out.body.contains("S-1"));
+    }
+}

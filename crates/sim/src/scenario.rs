@@ -1,0 +1,558 @@
+//! Scenarios: the paper's testbed (Table I) and its hyper-scale
+//! replication.
+//!
+//! The testbed hosts nine tenants on two PDUs:
+//!
+//! | PDU | Tenant   | Type          | Alias | Workload    | Subscription |
+//! |-----|----------|---------------|-------|-------------|--------------|
+//! | #1  | Search-1 | Sprinting     | S-1   | Search      | 145 W        |
+//! | #1  | Web      | Sprinting     | S-2   | Web Serving | 115 W        |
+//! | #1  | Count-1  | Opportunistic | O-1   | Word Count  | 125 W        |
+//! | #1  | Graph-1  | Opportunistic | O-2   | Graph Anal. | 115 W        |
+//! | #1  | Other    | —             | —     | —           | 250 W        |
+//! | #2  | Search-2 | Sprinting     | S-3   | Search      | 145 W        |
+//! | #2  | Count-2  | Opportunistic | O-3   | Word Count  | 125 W        |
+//! | #2  | Sort     | Opportunistic | O-4   | TeraSort    | 125 W        |
+//! | #2  | Graph-2  | Opportunistic | O-5   | Graph Anal. | 115 W        |
+//! | #2  | Other    | —             | —     | —           | 250 W        |
+//!
+//! PDU capacities are 715 W / 724 W (≈5 % oversubscription of the
+//! 750 W / 760 W subscriptions) and the UPS caps total power at
+//! 1 370 W = (715+724)/1.05. Participating racks carry 50 % spot
+//! headroom; "Other" racks are non-participating trace-driven tenants.
+
+use serde::{Deserialize, Serialize};
+use spotdc_power::topology::{PowerTopology, TopologyBuilder};
+use spotdc_tenants::{Strategy, TenantAgent, WorkloadModel};
+use spotdc_traces::{ArrivalTrace, BatchTrace, PduPowerTrace, Sampler};
+use spotdc_units::{Price, RackId, SlotDuration, TenantId, Watts};
+
+use crate::accounting::Billing;
+
+/// One participating tenant's static description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Human-readable name from Table I (e.g. "Search-1").
+    pub name: String,
+    /// Alias from Table I (e.g. "S-1").
+    pub alias: String,
+    /// Which PDU the tenant's rack is on.
+    pub pdu: usize,
+    /// Guaranteed capacity subscription.
+    pub subscription: Watts,
+    /// Which workload the tenant runs.
+    pub kind: TenantKind,
+}
+
+/// The workload classes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TenantKind {
+    /// Web search (sprinting, p99 SLO).
+    Search,
+    /// Web serving (sprinting, p90 SLO).
+    Web,
+    /// Hadoop WordCount (opportunistic).
+    WordCount,
+    /// Hadoop TeraSort (opportunistic).
+    TeraSort,
+    /// Graph analytics (opportunistic).
+    Graph,
+}
+
+impl TenantKind {
+    /// Whether this kind is sprinting (latency-sensitive).
+    #[must_use]
+    pub fn is_sprinting(self) -> bool {
+        matches!(self, TenantKind::Search | TenantKind::Web)
+    }
+
+    fn model(self) -> WorkloadModel {
+        match self {
+            TenantKind::Search => WorkloadModel::search(),
+            TenantKind::Web => WorkloadModel::web(),
+            TenantKind::WordCount => WorkloadModel::word_count(),
+            TenantKind::TeraSort => WorkloadModel::tera_sort(),
+            TenantKind::Graph => WorkloadModel::graph(),
+        }
+    }
+
+    /// The default elastic bidding prices: Search bids highest, Web
+    /// medium, opportunistic tenants at most the amortized
+    /// guaranteed-capacity rate (Section IV-C).
+    fn default_strategy(self, billing: &Billing) -> Strategy {
+        let guaranteed_rate = billing.amortized_reservation_price();
+        match self {
+            TenantKind::Search => Strategy::elastic(
+                Price::per_kw_hour(0.25),
+                Price::per_kw_hour(0.60),
+            ),
+            TenantKind::Web => Strategy::elastic(
+                Price::per_kw_hour(0.18),
+                Price::per_kw_hour(0.45),
+            ),
+            _ => Strategy::elastic(Price::per_kw_hour(0.02), guaranteed_rate),
+        }
+    }
+}
+
+/// A non-participating tenant group ("Other" in Table I), driven by a
+/// synthetic aggregate power trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OtherGroup {
+    /// The rack holding the group's subscription.
+    pub rack: RackId,
+    /// The group's subscribed capacity.
+    pub subscription: Watts,
+    /// Mean draw as a fraction of the subscription.
+    pub mean_fraction: f64,
+    /// Whether to use the deliberately volatile trace (Fig. 10).
+    pub volatile: bool,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl OtherGroup {
+    /// Generates this group's power trace for `slots` slots, clamped
+    /// to the subscription.
+    #[must_use]
+    pub fn generate(&self, slots: usize) -> Vec<Watts> {
+        let mean = self.subscription * self.mean_fraction;
+        let trace = if self.volatile {
+            PduPowerTrace::volatile(mean, self.seed)
+        } else {
+            PduPowerTrace::colo_like(mean, self.seed)
+        }
+        .with_bounds(mean * 0.4, self.subscription);
+        trace.generate(slots)
+    }
+}
+
+/// A complete simulation scenario: topology, agents, traces, billing.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The power topology.
+    pub topology: PowerTopology,
+    /// Participating tenant agents (index-aligned with `specs`).
+    pub agents: Vec<TenantAgent>,
+    /// Static descriptions of the participating tenants.
+    pub specs: Vec<TenantSpec>,
+    /// Non-participating groups.
+    pub others: Vec<OtherGroup>,
+    /// The market slot length.
+    pub slot: SlotDuration,
+    /// Billing parameters.
+    pub billing: Billing,
+    /// Master seed (derives every trace seed).
+    pub seed: u64,
+    /// Scripted per-tenant load intensities overriding the synthetic
+    /// traces (used by the 20-minute testbed run of Fig. 10, which
+    /// stages sprinting participation at specific slots). Missing slots
+    /// repeat the last scripted value.
+    pub scripted_loads: Option<Vec<Vec<f64>>>,
+}
+
+/// Spot headroom as a fraction of a participating rack's subscription.
+const HEADROOM_FRACTION: f64 = 0.5;
+
+impl Scenario {
+    /// The paper's Table I testbed.
+    #[must_use]
+    pub fn testbed(seed: u64) -> Self {
+        Self::testbed_with(seed, ScenarioTuning::default())
+    }
+
+    /// Table I with tuning knobs (oversubscription, other-group level,
+    /// volatility) for the sensitivity studies.
+    #[must_use]
+    pub fn testbed_with(seed: u64, tuning: ScenarioTuning) -> Self {
+        let specs = vec![
+            spec("Search-1", "S-1", 0, 145.0, TenantKind::Search),
+            spec("Web", "S-2", 0, 115.0, TenantKind::Web),
+            spec("Count-1", "O-1", 0, 125.0, TenantKind::WordCount),
+            spec("Graph-1", "O-2", 0, 115.0, TenantKind::Graph),
+            spec("Search-2", "S-3", 1, 145.0, TenantKind::Search),
+            spec("Count-2", "O-3", 1, 125.0, TenantKind::WordCount),
+            spec("Sort", "O-4", 1, 125.0, TenantKind::TeraSort),
+            spec("Graph-2", "O-5", 1, 115.0, TenantKind::Graph),
+        ];
+        let other_subscriptions = vec![(0usize, Watts::new(250.0)), (1, Watts::new(250.0))];
+        Self::assemble(seed, specs, other_subscriptions, 2, tuning, 1.0)
+    }
+
+    /// The hyper-scale scenario of Fig. 18: the Table I composition
+    /// replicated to roughly `tenants` participating tenants (rounded
+    /// to whole Table-I groups), each new tenant's cost model jittered
+    /// by ±20 %.
+    #[must_use]
+    pub fn hyperscale(seed: u64, tenants: usize) -> Self {
+        let groups = (tenants.max(1) + 7) / 8; // 8 participants per group
+        let mut specs = Vec::with_capacity(groups * 8);
+        let mut others = Vec::with_capacity(groups * 2);
+        for g in 0..groups {
+            let pdu0 = 2 * g;
+            let pdu1 = 2 * g + 1;
+            let base = [
+                ("Search-1", "S-1", pdu0, 145.0, TenantKind::Search),
+                ("Web", "S-2", pdu0, 115.0, TenantKind::Web),
+                ("Count-1", "O-1", pdu0, 125.0, TenantKind::WordCount),
+                ("Graph-1", "O-2", pdu0, 115.0, TenantKind::Graph),
+                ("Search-2", "S-3", pdu1, 145.0, TenantKind::Search),
+                ("Count-2", "O-3", pdu1, 125.0, TenantKind::WordCount),
+                ("Sort", "O-4", pdu1, 125.0, TenantKind::TeraSort),
+                ("Graph-2", "O-5", pdu1, 115.0, TenantKind::Graph),
+            ];
+            for (name, alias, pdu, sub, kind) in base {
+                specs.push(TenantSpec {
+                    name: format!("{name}/g{g}"),
+                    alias: format!("{alias}/g{g}"),
+                    pdu,
+                    subscription: Watts::new(sub),
+                    kind,
+                });
+            }
+            others.push((pdu0, Watts::new(250.0)));
+            others.push((pdu1, Watts::new(250.0)));
+        }
+        specs.truncate(tenants.max(1));
+        let pdus = specs
+            .iter()
+            .map(|s| s.pdu)
+            .chain(others.iter().map(|o| o.0))
+            .max()
+            .unwrap_or(0)
+            + 1;
+        others.retain(|o| o.0 < pdus);
+        Self::assemble(seed, specs, others, pdus, ScenarioTuning::default(), 0.2)
+    }
+
+    fn assemble(
+        seed: u64,
+        specs: Vec<TenantSpec>,
+        other_subscriptions: Vec<(usize, Watts)>,
+        pdus: usize,
+        tuning: ScenarioTuning,
+        cost_jitter: f64,
+    ) -> Self {
+        let billing = Billing::paper_defaults();
+        // Subscription totals per PDU decide the physical capacities.
+        let mut subscribed = vec![Watts::ZERO; pdus];
+        for s in &specs {
+            subscribed[s.pdu] += s.subscription;
+        }
+        for &(pdu, sub) in &other_subscriptions {
+            subscribed[pdu] += sub;
+        }
+        let mut pdu_caps = Vec::with_capacity(pdus);
+        for &sub in &subscribed {
+            pdu_caps.push(sub / tuning.pdu_oversubscription);
+        }
+        let ups = pdu_caps.iter().copied().sum::<Watts>() / tuning.ups_oversubscription;
+        let mut builder = TopologyBuilder::new(ups);
+
+        // Racks are laid out PDU by PDU: participants first, then the
+        // PDU's other-group rack.
+        let mut agents = Vec::with_capacity(specs.len());
+        let mut others = Vec::new();
+        let mut jitter = Sampler::seeded(seed ^ 0x6a17);
+        let mut rack_index = 0usize;
+        for pdu in 0..pdus {
+            builder = builder.pdu(pdu_caps[pdu]);
+            for (i, s) in specs.iter().enumerate().filter(|(_, s)| s.pdu == pdu) {
+                let headroom = s.subscription * HEADROOM_FRACTION;
+                builder = builder.rack(TenantId::new(i), s.subscription, headroom);
+                let factor = if cost_jitter > 0.0 && i >= 8 {
+                    1.0 + jitter.uniform_in(-cost_jitter, cost_jitter)
+                } else {
+                    1.0
+                };
+                agents.push((
+                    i,
+                    TenantAgent::new(
+                        TenantId::new(i),
+                        RackId::new(rack_index),
+                        s.subscription,
+                        headroom,
+                        s.kind.model().with_cost_scaled(factor),
+                        s.kind.default_strategy(&billing),
+                    ),
+                ));
+                rack_index += 1;
+            }
+            for &(p, sub) in other_subscriptions.iter().filter(|&&(p, _)| p == pdu) {
+                let tenant = TenantId::new(specs.len() + others.len());
+                builder = builder.rack(tenant, sub, Watts::ZERO);
+                others.push(OtherGroup {
+                    rack: RackId::new(rack_index),
+                    subscription: sub,
+                    mean_fraction: tuning.other_mean_fraction,
+                    volatile: tuning.volatile_others,
+                    seed: seed ^ (0x07e5 + p as u64 * 7919),
+                });
+                rack_index += 1;
+            }
+        }
+        agents.sort_by_key(|(i, _)| *i);
+        let agents = agents.into_iter().map(|(_, a)| a).collect();
+        Scenario {
+            topology: builder.build().expect("scenario topology is valid"),
+            agents,
+            specs,
+            others,
+            slot: SlotDuration::from_secs(120),
+            billing,
+            seed,
+            scripted_loads: None,
+        }
+    }
+
+    /// Number of participating tenants.
+    #[must_use]
+    pub fn participant_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Total subscribed capacity (participants + other groups).
+    #[must_use]
+    pub fn total_subscribed(&self) -> Watts {
+        self.topology.total_leased()
+    }
+
+    /// Replaces the synthetic load traces with scripted intensities
+    /// (one vector per participating tenant, in spec order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of scripts differs from the number of
+    /// participating tenants.
+    #[must_use]
+    pub fn with_scripted_loads(mut self, scripts: Vec<Vec<f64>>) -> Self {
+        assert_eq!(
+            scripts.len(),
+            self.specs.len(),
+            "one load script per participating tenant"
+        );
+        self.scripted_loads = Some(scripts);
+        self
+    }
+
+    /// Generates each participating tenant's load-intensity trace for
+    /// `slots` slots: a Google-like arrival trace for sprinting
+    /// tenants, a university-like batch trace for opportunistic ones.
+    /// Seeds derive deterministically from the scenario seed. Scripted
+    /// loads, when present, take precedence.
+    #[must_use]
+    pub fn load_traces(&self, slots: usize) -> Vec<Vec<f64>> {
+        if let Some(scripts) = &self.scripted_loads {
+            return scripts
+                .iter()
+                .map(|s| {
+                    let last = s.last().copied().unwrap_or(0.0);
+                    (0..slots)
+                        .map(|t| s.get(t).copied().unwrap_or(last))
+                        .collect()
+                })
+                .collect();
+        }
+        let spd = self.slot.slots_per_day().round() as usize;
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let seed = self.seed ^ (0x10ad + i as u64 * 65537);
+                if s.kind.is_sprinting() {
+                    ArrivalTrace::google_like(seed)
+                        .with_slots_per_day(spd.max(1))
+                        .generate(slots)
+                } else {
+                    BatchTrace::university_like(seed)
+                        .generate(slots)
+                        .into_iter()
+                        .map(|b| b.intensity)
+                        .collect()
+                }
+            })
+            .collect()
+    }
+
+    /// Generates each other-group's power trace for `slots` slots.
+    #[must_use]
+    pub fn other_traces(&self, slots: usize) -> Vec<Vec<Watts>> {
+        self.others.iter().map(|o| o.generate(slots)).collect()
+    }
+
+    /// Renders Table I for this scenario.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = String::from("PDU  Tenant     Type           Alias  Subscription\n");
+        for s in &self.specs {
+            let ty = if s.kind.is_sprinting() {
+                "Sprinting"
+            } else {
+                "Opportunistic"
+            };
+            out.push_str(&format!(
+                "#{}   {:<10} {:<14} {:<6} {:>5.0} W\n",
+                s.pdu + 1,
+                s.name,
+                ty,
+                s.alias,
+                s.subscription.value()
+            ));
+        }
+        for (i, o) in self.others.iter().enumerate() {
+            out.push_str(&format!(
+                "#{}   {:<10} {:<14} {:<6} {:>5.0} W\n",
+                i + 1,
+                "Other",
+                "—",
+                "—",
+                o.subscription.value()
+            ));
+        }
+        out
+    }
+}
+
+/// Tuning knobs for the sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioTuning {
+    /// PDU oversubscription ratio (subscribed ÷ capacity), default 1.05.
+    pub pdu_oversubscription: f64,
+    /// UPS oversubscription ratio, default 1.05.
+    pub ups_oversubscription: f64,
+    /// Other groups' mean draw as a fraction of their subscription;
+    /// lower ⇒ more spot capacity. Default 0.42 (≈15 % average spot).
+    pub other_mean_fraction: f64,
+    /// Use the volatile other-group trace (Fig. 10's setting).
+    pub volatile_others: bool,
+}
+
+impl Default for ScenarioTuning {
+    fn default() -> Self {
+        ScenarioTuning {
+            pdu_oversubscription: 1.05,
+            ups_oversubscription: 1.05,
+            other_mean_fraction: 0.42,
+            volatile_others: false,
+        }
+    }
+}
+
+fn spec(name: &str, alias: &str, pdu: usize, sub: f64, kind: TenantKind) -> TenantSpec {
+    TenantSpec {
+        name: name.to_owned(),
+        alias: alias.to_owned(),
+        pdu,
+        subscription: Watts::new(sub),
+        kind,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_matches_table_one() {
+        let s = Scenario::testbed(1);
+        assert_eq!(s.participant_count(), 8);
+        assert_eq!(s.topology.pdu_count(), 2);
+        assert_eq!(s.topology.rack_count(), 10); // 8 participants + 2 others
+        // Subscriptions: 750 + 760 = 1510 W.
+        assert_eq!(s.total_subscribed(), Watts::new(1510.0));
+        // 5% oversubscription: capacities ≈ 714.3 / 723.8, UPS ≈ 1369.6.
+        let c0 = s.topology.pdu_capacity(spotdc_units::PduId::new(0)).unwrap();
+        assert!((c0.value() - 750.0 / 1.05).abs() < 0.1);
+        assert!((s.topology.ups_capacity().value() - 1369.6).abs() < 1.0);
+    }
+
+    #[test]
+    fn agents_align_with_racks() {
+        let s = Scenario::testbed(1);
+        for agent in &s.agents {
+            let rack = s.topology.rack(agent.rack()).unwrap();
+            assert_eq!(rack.tenant(), agent.tenant());
+            assert_eq!(rack.guaranteed(), agent.reserved());
+            assert_eq!(rack.spot_headroom(), agent.headroom());
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_sized() {
+        let s = Scenario::testbed(7);
+        let a = s.load_traces(500);
+        let b = s.load_traces(500);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|t| t.len() == 500));
+        let o = s.other_traces(500);
+        assert_eq!(o.len(), 2);
+        // Other draws never exceed their subscription.
+        for trace in &o {
+            assert!(trace.iter().all(|&w| w <= Watts::new(250.0)));
+        }
+    }
+
+    #[test]
+    fn spot_capacity_averages_near_fifteen_percent() {
+        // The calibration target from Section V-B: ≈15% of the total
+        // guaranteed capacity available as spot capacity on average.
+        let s = Scenario::testbed(3);
+        let others = s.other_traces(10_000);
+        // Average spot at PDU 0 with no participants bidding:
+        // capacity − participant subscriptions… approximate with the
+        // idle references: participants draw below subscription, so use
+        // subscription-based bound: spot ≥ capacity − participant_subs
+        // − other_draw.
+        let c0 = s
+            .topology
+            .pdu_capacity(spotdc_units::PduId::new(0))
+            .unwrap()
+            .value();
+        let participant_subs = 500.0; // 145+115+125+115
+        let avg_other: f64 =
+            others[0].iter().map(|w| w.value()).sum::<f64>() / others[0].len() as f64;
+        let avg_spot = c0 - participant_subs - avg_other;
+        let frac = avg_spot / 750.0;
+        assert!(
+            (0.10..0.22).contains(&frac),
+            "average spot fraction {frac} out of calibration window"
+        );
+    }
+
+    #[test]
+    fn hyperscale_replicates_composition() {
+        let s = Scenario::hyperscale(1, 100);
+        assert_eq!(s.participant_count(), 100);
+        assert!(s.topology.pdu_count() >= 25);
+        // Same per-tenant mix: subscriptions are Table I values.
+        for spec in &s.specs {
+            assert!([145.0, 125.0, 115.0].contains(&spec.subscription.value()));
+        }
+    }
+
+    #[test]
+    fn hyperscale_jitters_costs() {
+        let s = Scenario::hyperscale(1, 16);
+        // Group 1 agents (index ≥ 8) are jittered: at least one of them
+        // should differ from the base model's gain.
+        let base = Scenario::testbed(1);
+        let mut a0 = base.agents[0].clone();
+        let mut a8 = s.agents[8].clone();
+        a0.observe(1.0);
+        a8.observe(1.0);
+        let g0 = a0.gain_curve().max_gain();
+        let g8 = a8.gain_curve().max_gain();
+        assert!((g0 - g8).abs() > 1e-12, "jitter had no effect");
+    }
+
+    #[test]
+    fn table_rendering_mentions_all_tenants() {
+        let s = Scenario::testbed(1);
+        let t = s.table();
+        for alias in ["S-1", "S-2", "S-3", "O-1", "O-2", "O-3", "O-4", "O-5"] {
+            assert!(t.contains(alias), "missing {alias} in:\n{t}");
+        }
+        assert!(t.contains("Other"));
+    }
+}

@@ -1,0 +1,413 @@
+//! The tenant agent: one tenant's slot-by-slot behaviour.
+//!
+//! A [`TenantAgent`] owns one rack (the testbed's Table I maps each
+//! tenant to one "rack"; multi-rack tenants compose agents or use
+//! [`crate::multirack`]), its capacity reservation, its workload/cost
+//! model and a bidding strategy. Each slot the simulation feeds it the
+//! load intensity, asks it for a bid, and later tells it the budget it
+//! ended up with; the agent reports the power it drew, the performance
+//! it achieved and the performance cost it incurred.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use spotdc_core::bid::{RackBid, TenantBid};
+use spotdc_units::{Price, RackId, TenantId, Watts};
+use spotdc_workloads::GainCurve;
+
+use crate::model::WorkloadModel;
+use crate::strategy::{BidContext, Strategy};
+
+/// Intensity quantization for the valuation cache: gain curves are
+/// reused across slots whose load rounds to the same 1/256 step.
+const INTENSITY_BUCKETS: f64 = 256.0;
+
+/// The performance a tenant achieved in one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Performance {
+    /// Sprinting tenants: tail latency against the SLO.
+    Latency {
+        /// Achieved tail latency, seconds.
+        seconds: f64,
+        /// Whether the SLO was met.
+        slo_met: bool,
+    },
+    /// Opportunistic tenants: processing throughput.
+    Throughput {
+        /// Work units per second.
+        rate: f64,
+    },
+}
+
+impl Performance {
+    /// A scalar "higher is better" index: inverse latency for
+    /// sprinting, throughput for opportunistic. Used for the paper's
+    /// normalized performance plots (Figs. 12b, 15b, 18c).
+    #[must_use]
+    pub fn index(&self) -> f64 {
+        match *self {
+            Performance::Latency { seconds, .. } => {
+                if seconds <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0 / seconds
+                }
+            }
+            Performance::Throughput { rate } => rate,
+        }
+    }
+}
+
+/// What one slot looked like from the tenant's side.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotOutcome {
+    /// Power actually drawn (≤ budget).
+    pub draw: Watts,
+    /// Performance achieved.
+    pub performance: Performance,
+    /// Performance cost rate, $/hour (Section IV-C models).
+    pub cost_rate: f64,
+}
+
+/// One tenant's agent.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_tenants::{Strategy, TenantAgent, WorkloadModel};
+/// use spotdc_units::{Price, RackId, TenantId, Watts};
+///
+/// let mut agent = TenantAgent::new(
+///     TenantId::new(2),
+///     RackId::new(2),
+///     Watts::new(125.0),
+///     Watts::new(62.5),
+///     WorkloadModel::word_count(),
+///     Strategy::elastic(Price::per_kw_hour(0.02), Price::per_kw_hour(0.2)),
+/// );
+/// agent.observe(0.8); // backlog present
+/// let bid = agent.make_bid().expect("busy batch tenant bids");
+/// assert_eq!(bid.tenant(), TenantId::new(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TenantAgent {
+    tenant: TenantId,
+    rack: RackId,
+    reserved: Watts,
+    headroom: Watts,
+    model: WorkloadModel,
+    strategy: Strategy,
+    intensity: f64,
+    predicted_price: Option<Price>,
+    /// Valuations keyed by quantized intensity — building a gain curve
+    /// involves dozens of queueing-model inversions, and long
+    /// simulations revisit the same load levels constantly.
+    valuation_cache: HashMap<u16, (GainCurve, Watts)>,
+}
+
+impl TenantAgent {
+    /// Creates an agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserved` or `headroom` is negative/non-finite.
+    #[must_use]
+    pub fn new(
+        tenant: TenantId,
+        rack: RackId,
+        reserved: Watts,
+        headroom: Watts,
+        model: WorkloadModel,
+        strategy: Strategy,
+    ) -> Self {
+        assert!(
+            reserved.is_finite() && !reserved.is_negative(),
+            "reservation must be non-negative"
+        );
+        assert!(
+            headroom.is_finite() && !headroom.is_negative(),
+            "headroom must be non-negative"
+        );
+        TenantAgent {
+            tenant,
+            rack,
+            reserved,
+            headroom,
+            model,
+            strategy,
+            intensity: 0.0,
+            predicted_price: None,
+            valuation_cache: HashMap::new(),
+        }
+    }
+
+    /// The tenant's `(gain curve, needed power)` at the current
+    /// (quantized) intensity, computed once and cached.
+    fn valuation(&mut self) -> (GainCurve, Watts) {
+        let key = (self.intensity * INTENSITY_BUCKETS).round() as u16;
+        if let Some(v) = self.valuation_cache.get(&key) {
+            return v.clone();
+        }
+        let quantized = f64::from(key) / INTENSITY_BUCKETS;
+        let gain = self
+            .model
+            .gain_curve(self.reserved, self.headroom, quantized);
+        let needed = self
+            .model
+            .needed_power(self.reserved, self.headroom, quantized);
+        self.valuation_cache.insert(key, (gain.clone(), needed));
+        (gain, needed)
+    }
+
+    /// The tenant's identity.
+    #[must_use]
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The rack this agent manages.
+    #[must_use]
+    pub fn rack(&self) -> RackId {
+        self.rack
+    }
+
+    /// The guaranteed capacity reservation.
+    #[must_use]
+    pub fn reserved(&self) -> Watts {
+        self.reserved
+    }
+
+    /// The rack's spot headroom.
+    #[must_use]
+    pub fn headroom(&self) -> Watts {
+        self.headroom
+    }
+
+    /// The workload model.
+    #[must_use]
+    pub fn model(&self) -> &WorkloadModel {
+        &self.model
+    }
+
+    /// The bidding strategy.
+    #[must_use]
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Replaces the bidding strategy (Fig. 16 swaps strategies
+    /// mid-experiment).
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    /// Sets the load intensity for the upcoming slot (`[0, 1]`,
+    /// clamped).
+    pub fn observe(&mut self, intensity: f64) {
+        self.intensity = intensity.clamp(0.0, 1.0);
+    }
+
+    /// The current load intensity.
+    #[must_use]
+    pub fn intensity(&self) -> f64 {
+        self.intensity
+    }
+
+    /// Feeds the agent a clearing-price prediction (price-predicting
+    /// strategies use it; others ignore it).
+    pub fn predict_price(&mut self, price: Option<Price>) {
+        self.predicted_price = price;
+    }
+
+    /// Whether this tenant wants spot capacity at the current load.
+    #[must_use]
+    pub fn wants_spot(&self) -> bool {
+        self.model.wants_spot(self.reserved, self.intensity)
+    }
+
+    /// Produces this slot's bid, or `None` when the tenant sits out.
+    #[must_use]
+    pub fn make_bid(&mut self) -> Option<TenantBid> {
+        if !self.wants_spot() {
+            return None;
+        }
+        let (gain, needed) = self.valuation();
+        let ctx = BidContext {
+            gain,
+            needed,
+            headroom: self.headroom,
+            predicted_price: self.predicted_price,
+        };
+        let demand = self.strategy.make_bid(&ctx)?;
+        TenantBid::new(self.tenant, vec![RackBid::new(self.rack, demand)]).ok()
+    }
+
+    /// The gain curve at the current intensity (cached) — used by the
+    /// `MaxPerf` baseline, which reads tenants' valuations directly.
+    #[must_use]
+    pub fn gain_curve(&mut self) -> GainCurve {
+        self.valuation().0
+    }
+
+    /// Runs the slot with the given total budget (reserved + any spot
+    /// grant), reporting draw, performance and cost.
+    #[must_use]
+    pub fn run_slot(&self, budget: Watts) -> SlotOutcome {
+        let draw = self.model.power_draw(budget, self.intensity);
+        let cost_rate = self.model.cost_rate(budget, self.intensity);
+        let performance = match &self.model {
+            WorkloadModel::Sprinting { workload, cost } => {
+                let lambda = self.model.arrival_rate(self.intensity);
+                let seconds = workload.latency(lambda, budget);
+                Performance::Latency {
+                    seconds,
+                    slo_met: seconds <= cost.slo(),
+                }
+            }
+            WorkloadModel::Opportunistic { workload, .. } => Performance::Throughput {
+                rate: if self.intensity > 0.0 {
+                    workload.throughput(budget)
+                } else {
+                    0.0
+                },
+            },
+        };
+        SlotOutcome {
+            draw,
+            performance,
+            cost_rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn search_agent() -> TenantAgent {
+        TenantAgent::new(
+            TenantId::new(0),
+            RackId::new(0),
+            Watts::new(145.0),
+            Watts::new(72.5),
+            WorkloadModel::search(),
+            Strategy::elastic(Price::per_kw_hour(0.05), Price::per_kw_hour(0.5)),
+        )
+    }
+
+    fn batch_agent() -> TenantAgent {
+        TenantAgent::new(
+            TenantId::new(2),
+            RackId::new(2),
+            Watts::new(125.0),
+            Watts::new(62.5),
+            WorkloadModel::word_count(),
+            Strategy::elastic(Price::per_kw_hour(0.02), Price::per_kw_hour(0.2)),
+        )
+    }
+
+    #[test]
+    fn sprinting_agent_bids_only_under_pressure() {
+        let mut a = search_agent();
+        a.observe(0.3);
+        assert!(!a.wants_spot());
+        assert!(a.make_bid().is_none());
+        a.observe(1.0);
+        assert!(a.wants_spot());
+        let bid = a.make_bid().unwrap();
+        assert_eq!(bid.rack_bids()[0].rack(), RackId::new(0));
+        assert!(bid.total_demand_at(Price::ZERO) > Watts::ZERO);
+    }
+
+    #[test]
+    fn batch_agent_bids_whenever_busy() {
+        let mut a = batch_agent();
+        a.observe(0.0);
+        assert!(a.make_bid().is_none());
+        a.observe(0.5);
+        assert!(a.make_bid().is_some());
+    }
+
+    #[test]
+    fn spot_budget_improves_reported_performance() {
+        let mut a = search_agent();
+        a.observe(1.0);
+        let at_reserved = a.run_slot(Watts::new(145.0));
+        let boosted = a.run_slot(Watts::new(200.0));
+        assert!(boosted.performance.index() > at_reserved.performance.index());
+        assert!(boosted.cost_rate <= at_reserved.cost_rate);
+        match (at_reserved.performance, boosted.performance) {
+            (
+                Performance::Latency { slo_met: before, .. },
+                Performance::Latency { slo_met: after, .. },
+            ) => {
+                assert!(!before, "SLO should be violated at reserved budget");
+                assert!(after, "SLO should be met with spot capacity");
+            }
+            _ => panic!("sprinting agent must report latency"),
+        }
+    }
+
+    #[test]
+    fn batch_throughput_scales_with_budget() {
+        let mut a = batch_agent();
+        a.observe(1.0);
+        let base = a.run_slot(Watts::new(125.0));
+        let boosted = a.run_slot(Watts::new(187.5));
+        let speedup = boosted.performance.index() / base.performance.index();
+        assert!(speedup > 1.2, "speedup {speedup}");
+    }
+
+    #[test]
+    fn draw_never_exceeds_budget() {
+        let mut a = batch_agent();
+        a.observe(0.9);
+        for b in [100.0, 125.0, 150.0, 200.0] {
+            let out = a.run_slot(Watts::new(b));
+            assert!(out.draw <= Watts::new(b) + Watts::new(1e-9));
+        }
+    }
+
+    #[test]
+    fn performance_index_orientation() {
+        let fast = Performance::Latency {
+            seconds: 0.05,
+            slo_met: true,
+        };
+        let slow = Performance::Latency {
+            seconds: 0.5,
+            slo_met: false,
+        };
+        assert!(fast.index() > slow.index());
+        let t = Performance::Throughput { rate: 42.0 };
+        assert_eq!(t.index(), 42.0);
+    }
+
+    #[test]
+    fn strategy_swap_changes_bids() {
+        let mut a = search_agent();
+        a.observe(1.0);
+        let elastic = a.make_bid().unwrap();
+        a.set_strategy(Strategy::simple(Price::per_kw_hour(0.5)));
+        let simple = a.make_bid().unwrap();
+        // The simple bid is inelastic: equal demand at 0 and at cap.
+        let d0 = simple.total_demand_at(Price::ZERO);
+        let dcap = simple.total_demand_at(Price::per_kw_hour(0.5));
+        assert_eq!(d0, dcap);
+        // The elastic bid demands more at price zero than it needs.
+        assert!(elastic.total_demand_at(Price::ZERO) >= d0);
+    }
+
+    #[test]
+    fn price_prediction_feeds_strategy() {
+        let mut a = search_agent();
+        a.set_strategy(Strategy::PricePredictor {
+            margin: 0.05,
+            fallback_price: Price::per_kw_hour(0.5),
+        });
+        a.observe(1.0);
+        a.predict_price(Some(Price::per_kw_hour(0.1)));
+        let bid = a.make_bid().unwrap();
+        assert!(bid.price_ceiling() < Price::per_kw_hour(0.12));
+    }
+}

@@ -1,0 +1,280 @@
+//! Best-response bidding dynamics — a case study of the paper's open
+//! question.
+//!
+//! Section III-B3 leaves "how to reach an equilibrium" as future work:
+//! tenants bid freely, so the realized profile may sit far from the
+//! point where every tenant's net benefit is maximized given the
+//! others' bids. This module implements the natural *best-response
+//! dynamics* for price-taking tenants:
+//!
+//! 1. start from some clearing price;
+//! 2. each tenant best-responds to the price: demand
+//!    `d_i = argmax_d gain_i(d) − p·d` (the gain envelope's demand at
+//!    `p`), bid willingness equal to its marginal value at `d_i`;
+//! 3. the operator clears the new bid profile, producing a new price;
+//! 4. repeat until the price stops moving.
+//!
+//! With concave gains and ample supply this converges in a handful of
+//! rounds (the price settles where aggregate marginal value crosses
+//! zero residual demand); under scarcity it can oscillate between the
+//! price levels that admit different bidder subsets — exactly the
+//! non-trivial equilibrium behaviour the paper anticipates. The
+//! iterate is damped to make oscillations visible but bounded.
+
+use serde::{Deserialize, Serialize};
+use spotdc_core::demand::StepBid;
+use spotdc_core::{ConstraintSet, MarketClearing, RackBid};
+use spotdc_units::{Price, RackId, Slot, Watts};
+use spotdc_workloads::GainCurve;
+
+/// Configuration for the best-response iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BestResponseConfig {
+    /// Maximum rounds before giving up.
+    pub max_rounds: usize,
+    /// Convergence tolerance on the clearing price, $/kW/h.
+    pub price_tolerance: f64,
+    /// Damping `α ∈ (0, 1]`: the price tenants respond to is
+    /// `α·new + (1−α)·old`.
+    pub damping: f64,
+}
+
+impl Default for BestResponseConfig {
+    fn default() -> Self {
+        BestResponseConfig {
+            max_rounds: 50,
+            price_tolerance: 1e-4,
+            damping: 0.5,
+        }
+    }
+}
+
+/// One player in the dynamics: a rack with a private gain curve.
+#[derive(Debug, Clone)]
+pub struct Player {
+    /// The player's rack.
+    pub rack: RackId,
+    /// Its private (raw) gain curve for this slot.
+    pub gain: GainCurve,
+    /// The rack's spot headroom.
+    pub headroom: Watts,
+}
+
+/// The result of running the dynamics.
+#[derive(Debug, Clone)]
+pub struct EquilibriumResult {
+    /// Whether the price converged within tolerance.
+    pub converged: bool,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// The price trajectory, one entry per round.
+    pub price_trace: Vec<Price>,
+    /// Final per-rack grants.
+    pub grants: Vec<(RackId, Watts)>,
+}
+
+impl EquilibriumResult {
+    /// The final price (zero if no round cleared anything).
+    #[must_use]
+    pub fn final_price(&self) -> Price {
+        self.price_trace.last().copied().unwrap_or(Price::ZERO)
+    }
+
+    /// Total spot capacity allocated at the fixed point.
+    #[must_use]
+    pub fn total_granted(&self) -> Watts {
+        self.grants.iter().map(|&(_, w)| w).sum()
+    }
+}
+
+/// Runs best-response dynamics for `players` against `constraints`.
+///
+/// Each round every player bids a [`StepBid`] for its best-response
+/// quantity at the (damped) last price, priced at its own marginal
+/// value there; the market then clears the profile.
+///
+/// # Panics
+///
+/// Panics if `config.damping` is outside `(0, 1]` or
+/// `config.max_rounds` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_core::ConstraintSet;
+/// use spotdc_power::topology::TopologyBuilder;
+/// use spotdc_tenants::equilibrium::{best_response_dynamics, BestResponseConfig, Player};
+/// use spotdc_units::{RackId, TenantId, Watts};
+/// use spotdc_workloads::GainCurve;
+///
+/// let topo = TopologyBuilder::new(Watts::new(400.0))
+///     .pdu(Watts::new(400.0))
+///     .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+///     .build()?;
+/// let cs = ConstraintSet::new(&topo, vec![Watts::new(100.0)], Watts::new(100.0));
+/// let players = vec![Player {
+///     rack: RackId::new(0),
+///     gain: GainCurve::from_samples([(25.0, 0.01), (50.0, 0.012)]),
+///     headroom: Watts::new(50.0),
+/// }];
+/// let result = best_response_dynamics(&players, &cs, BestResponseConfig::default());
+/// assert!(result.converged);
+/// # Ok::<(), spotdc_power::TopologyError>(())
+/// ```
+#[must_use]
+pub fn best_response_dynamics(
+    players: &[Player],
+    constraints: &ConstraintSet,
+    config: BestResponseConfig,
+) -> EquilibriumResult {
+    assert!(
+        config.damping > 0.0 && config.damping <= 1.0,
+        "damping must be in (0, 1]"
+    );
+    assert!(config.max_rounds > 0, "need at least one round");
+    let clearing = MarketClearing::default();
+    let envelopes: Vec<GainCurve> = players.iter().map(|p| p.gain.concave_envelope()).collect();
+    let mut price = 0.0f64;
+    let mut trace = Vec::with_capacity(config.max_rounds);
+    let mut grants: Vec<(RackId, Watts)> = Vec::new();
+    let mut converged = false;
+    let mut rounds = 0;
+    for round in 0..config.max_rounds {
+        rounds = round + 1;
+        let response_price = Price::per_kw_hour(price);
+        let bids: Vec<RackBid> = players
+            .iter()
+            .zip(&envelopes)
+            .filter_map(|(player, env)| {
+                let demand = env.demand_at_price(response_price).min(player.headroom);
+                if demand <= Watts::ZERO {
+                    return None;
+                }
+                // Willingness: the marginal value of the last demanded
+                // watt (never below the price the player responded to).
+                let marginal = env.marginal(demand - Watts::new(1e-9)) * 1000.0;
+                let cap = Price::per_kw_hour(marginal.max(price));
+                Some(RackBid::new(
+                    player.rack,
+                    StepBid::new(demand, cap).expect("valid response bid").into(),
+                ))
+            })
+            .collect();
+        let outcome = clearing.clear(Slot::new(round as u64), &bids, constraints);
+        let new_price = outcome.price().per_kw_hour_value();
+        grants = outcome.allocation().iter().collect();
+        let damped = config.damping * new_price + (1.0 - config.damping) * price;
+        trace.push(Price::per_kw_hour(damped));
+        let moved = (damped - price).abs();
+        price = damped;
+        if moved <= config.price_tolerance {
+            converged = true;
+            break;
+        }
+    }
+    EquilibriumResult {
+        converged,
+        rounds,
+        price_trace: trace,
+        grants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotdc_power::topology::TopologyBuilder;
+    use spotdc_units::TenantId;
+
+    fn constraints(n: usize, pdu_spot: f64) -> ConstraintSet {
+        let mut b = TopologyBuilder::new(Watts::new(1e5)).pdu(Watts::new(1e4));
+        for i in 0..n {
+            b = b.rack(TenantId::new(i), Watts::new(100.0), Watts::new(60.0));
+        }
+        ConstraintSet::new(
+            &b.build().unwrap(),
+            vec![Watts::new(pdu_spot)],
+            Watts::new(pdu_spot),
+        )
+    }
+
+    fn player(i: usize, width: f64, slope: f64) -> Player {
+        Player {
+            rack: RackId::new(i),
+            gain: GainCurve::from_samples([(width, slope * width)]),
+            headroom: Watts::new(60.0),
+        }
+    }
+
+    #[test]
+    fn single_player_converges_quickly() {
+        let players = vec![player(0, 50.0, 0.000_4)];
+        let r = best_response_dynamics(&players, &constraints(1, 200.0), BestResponseConfig::default());
+        assert!(r.converged, "trace: {:?}", r.price_trace);
+        assert!(r.rounds <= 20);
+        // With ample supply the player gets its full useful demand.
+        assert!(r.total_granted().approx_eq(Watts::new(50.0), 1e-6));
+    }
+
+    #[test]
+    fn symmetric_players_share_ample_supply() {
+        let players: Vec<Player> = (0..4).map(|i| player(i, 40.0, 0.000_5)).collect();
+        let r = best_response_dynamics(&players, &constraints(4, 500.0), BestResponseConfig::default());
+        assert!(r.converged);
+        for &(rack, grant) in &r.grants {
+            assert!(
+                grant.approx_eq(Watts::new(40.0), 1e-6),
+                "{rack} got {grant}"
+            );
+        }
+    }
+
+    #[test]
+    fn grants_always_feasible_even_unconverged() {
+        // Scarce supply with heterogeneous values: may oscillate.
+        let players: Vec<Player> = (0..5)
+            .map(|i| player(i, 50.0, 0.000_2 + 0.000_2 * i as f64))
+            .collect();
+        let cs = constraints(5, 80.0);
+        let r = best_response_dynamics(&players, &cs, BestResponseConfig::default());
+        let grants = r.grants.iter().copied().collect();
+        assert!(cs.is_feasible(&grants));
+        assert!(r.total_granted().value() <= 80.0 + 1e-6);
+    }
+
+    #[test]
+    fn price_trace_is_bounded_by_max_marginal() {
+        let players: Vec<Player> = (0..3).map(|i| player(i, 30.0, 0.001)).collect();
+        let r = best_response_dynamics(&players, &constraints(3, 40.0), BestResponseConfig::default());
+        for p in &r.price_trace {
+            assert!(p.per_kw_hour_value() <= 1.0 + 1e-9, "price {p} exploded");
+        }
+    }
+
+    #[test]
+    fn higher_value_players_win_under_scarcity() {
+        let players = vec![player(0, 50.0, 0.000_2), player(1, 50.0, 0.001)];
+        let r = best_response_dynamics(&players, &constraints(2, 50.0), BestResponseConfig::default());
+        let get = |rack: usize| -> Watts {
+            r.grants
+                .iter()
+                .find(|(rk, _)| *rk == RackId::new(rack))
+                .map(|&(_, w)| w)
+                .unwrap_or(Watts::ZERO)
+        };
+        assert!(get(1) >= get(0), "high-value player should win: {:?}", r.grants);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping must be in (0, 1]")]
+    fn bad_damping_rejected() {
+        let _ = best_response_dynamics(
+            &[],
+            &constraints(1, 10.0),
+            BestResponseConfig {
+                damping: 0.0,
+                ..BestResponseConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Bundled multi-rack bidding (Section III-B3, Fig. 4).
+//!
+//! When one application spans several racks (e.g. a three-tier web
+//! service with each tier in its own rack), the racks' power budgets
+//! *jointly* determine performance, so the tenant should bid a demand
+//! **vector**. SpotDC keeps the solicitation cheap: the tenant picks
+//! the optimal grant vectors at just two prices — `(D_max,1 … D_max,K)`
+//! at `q_min` and `(D_min,1 … D_min,K)` at `q_max` — and the market
+//! joins them affinely, moving every rack's grant along the same line
+//! as the price moves. [`bundle_bid`] derives those corner vectors from
+//! per-rack gain curves and emits the bundled [`TenantBid`].
+
+use spotdc_core::bid::{BidError, RackBid, TenantBid};
+use spotdc_core::demand::LinearBid;
+use spotdc_units::{Price, RackId, TenantId, Watts};
+use spotdc_workloads::GainCurve;
+
+/// Builds a bundled multi-rack bid: for each `(rack, gain curve,
+/// headroom)` triple, the demands at `q_min` and `q_max` are read off
+/// the curve's concave envelope and joined as a [`LinearBid`], so all
+/// racks share one price range and their grants move together.
+///
+/// Racks whose curve yields zero demand even at `q_min` are omitted.
+///
+/// # Errors
+///
+/// Returns [`BidError`] if `q_min > q_max`, a duplicate rack appears,
+/// or every rack's demand is zero (nothing to bid).
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_tenants::bundle_bid;
+/// use spotdc_units::{Price, RackId, TenantId, Watts};
+/// use spotdc_workloads::GainCurve;
+///
+/// // Two racks; the back end gains twice as much per watt.
+/// let front = GainCurve::from_samples([(30.0, 0.006)]);
+/// let back = GainCurve::from_samples([(30.0, 0.012)]);
+/// let bid = bundle_bid(
+///     TenantId::new(0),
+///     &[
+///         (RackId::new(0), front, Watts::new(30.0)),
+///         (RackId::new(1), back, Watts::new(30.0)),
+///     ],
+///     Price::per_kw_hour(0.05),
+///     Price::per_kw_hour(0.25),
+/// )?;
+/// assert_eq!(bid.rack_bids().len(), 2);
+/// # Ok::<(), spotdc_core::BidError>(())
+/// ```
+pub fn bundle_bid(
+    tenant: TenantId,
+    racks: &[(RackId, GainCurve, Watts)],
+    q_min: Price,
+    q_max: Price,
+) -> Result<TenantBid, BidError> {
+    if q_min > q_max {
+        return Err(BidError::invalid("q_min must not exceed q_max"));
+    }
+    let mut rack_bids = Vec::with_capacity(racks.len());
+    for (rack, gain, headroom) in racks {
+        let env = gain.concave_envelope();
+        let d_max = env.demand_at_price(q_min).min(*headroom);
+        if d_max <= Watts::ZERO {
+            continue;
+        }
+        let d_min = env.demand_at_price(q_max).min(d_max);
+        rack_bids.push(RackBid::new(
+            *rack,
+            LinearBid::new(d_max, q_min, d_min, q_max)?.into(),
+        ));
+    }
+    if rack_bids.is_empty() {
+        return Err(BidError::invalid("no rack has positive spot demand"));
+    }
+    TenantBid::new(tenant, rack_bids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(watts: f64, slope: f64) -> GainCurve {
+        // One linear segment: gain = slope · min(w, watts).
+        GainCurve::from_samples([(watts, slope * watts)])
+    }
+
+    #[test]
+    fn bundle_shares_the_price_range() {
+        let bid = bundle_bid(
+            TenantId::new(3),
+            &[
+                (RackId::new(0), curve(40.0, 0.0005), Watts::new(40.0)),
+                (RackId::new(1), curve(20.0, 0.0004), Watts::new(20.0)),
+            ],
+            Price::per_kw_hour(0.05),
+            Price::per_kw_hour(0.3),
+        )
+        .unwrap();
+        assert_eq!(bid.rack_bids().len(), 2);
+        for rb in bid.rack_bids() {
+            assert_eq!(rb.demand().price_ceiling(), Price::per_kw_hour(0.3));
+        }
+    }
+
+    #[test]
+    fn grants_move_together_as_price_moves() {
+        let bid = bundle_bid(
+            TenantId::new(0),
+            &[
+                (RackId::new(0), curve(40.0, 0.0005), Watts::new(40.0)),
+                (RackId::new(1), curve(40.0, 0.0005), Watts::new(40.0)),
+            ],
+            Price::per_kw_hour(0.0),
+            Price::per_kw_hour(0.5),
+        )
+        .unwrap();
+        // Symmetric racks: identical demand at every shared price.
+        for q in [0.0, 0.1, 0.25, 0.4] {
+            let p = Price::per_kw_hour(q);
+            assert_eq!(bid.rack_bids()[0].demand_at(p), bid.rack_bids()[1].demand_at(p));
+        }
+    }
+
+    #[test]
+    fn zero_demand_racks_are_dropped() {
+        // Rack 1 has zero gain: never worth bidding for.
+        let bid = bundle_bid(
+            TenantId::new(0),
+            &[
+                (RackId::new(0), curve(40.0, 0.0005), Watts::new(40.0)),
+                (RackId::new(1), curve(40.0, 0.0), Watts::new(40.0)),
+            ],
+            Price::per_kw_hour(0.01),
+            Price::per_kw_hour(0.3),
+        )
+        .unwrap();
+        assert_eq!(bid.rack_bids().len(), 1);
+        assert_eq!(bid.rack_bids()[0].rack(), RackId::new(0));
+    }
+
+    #[test]
+    fn all_zero_bundle_is_an_error() {
+        let err = bundle_bid(
+            TenantId::new(0),
+            &[(RackId::new(0), curve(40.0, 0.0), Watts::new(40.0))],
+            Price::per_kw_hour(0.01),
+            Price::per_kw_hour(0.3),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no rack"));
+    }
+
+    #[test]
+    fn inverted_prices_rejected() {
+        let err = bundle_bid(
+            TenantId::new(0),
+            &[(RackId::new(0), curve(40.0, 0.001), Watts::new(40.0))],
+            Price::per_kw_hour(0.3),
+            Price::per_kw_hour(0.1),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("q_min"));
+    }
+
+    #[test]
+    fn headroom_caps_demand() {
+        let bid = bundle_bid(
+            TenantId::new(0),
+            &[(RackId::new(0), curve(100.0, 0.001), Watts::new(30.0))],
+            Price::ZERO,
+            Price::per_kw_hour(0.5),
+        )
+        .unwrap();
+        assert!(bid.rack_bids()[0].demand_at(Price::ZERO) <= Watts::new(30.0));
+    }
+}

@@ -1,0 +1,380 @@
+//! Bidding strategies: turning a private gain curve into a demand bid.
+//!
+//! The paper's spectrum, simplest to most informed:
+//!
+//! * [`Strategy::Simple`] — "bid the needed extra power at a fixed
+//!   maximum price" (`D_max = D_min`, Section III-B3's *simple
+//!   strategy*); produces a degenerate [`LinearBid`].
+//! * [`Strategy::Step`] — the StepBid baseline of Section V-C: the
+//!   *maximum* useful demand, all-or-nothing, at a fixed price.
+//! * [`Strategy::Elastic`] — SpotDC's intended use: read the optimal
+//!   demands at two prices off the gain-curve envelope and join them
+//!   linearly (`D_max` at `q_min`, `D_min` at `q_max`).
+//! * [`Strategy::Full`] — the FullBid comparator: the complete demand
+//!   curve the elastic bid approximates.
+//! * [`Strategy::PricePredictor`] — Fig. 16's strategic variant: with a
+//!   (perfect, in the paper) prediction of the clearing price, bid the
+//!   needed power just above it, capturing the grant at minimum cost.
+//!
+//! [`LinearBid`]: spotdc_core::LinearBid
+
+use serde::{Deserialize, Serialize};
+use spotdc_core::demand::{DemandBid, FullBid, LinearBid, StepBid};
+use spotdc_units::{Price, Watts};
+use spotdc_workloads::GainCurve;
+
+/// What a strategy needs to know to produce one rack's bid.
+#[derive(Debug, Clone)]
+pub struct BidContext {
+    /// The tenant's private gain curve for this slot (raw, not yet
+    /// concavified).
+    pub gain: GainCurve,
+    /// The extra power the tenant needs (SLO recovery / saturation).
+    pub needed: Watts,
+    /// Rack spot headroom (upper bound on any demand).
+    pub headroom: Watts,
+    /// The tenant's prediction of the clearing price, if it has one.
+    pub predicted_price: Option<Price>,
+}
+
+/// A tenant's bidding strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Bid the needed power, inelastically, up to `max_price`.
+    Simple {
+        /// The maximum acceptable price.
+        max_price: Price,
+    },
+    /// StepBid baseline, volume corner ("StepBid-1" in the paper's
+    /// Fig. 3b): the maximum useful demand `D_max`, all-or-nothing, at
+    /// `price` (the tenant's `q_min`).
+    Step {
+        /// The all-or-nothing price cap.
+        price: Price,
+    },
+    /// StepBid baseline, price corner ("StepBid-2"): the quantity
+    /// actually worth buying at `price` (i.e. `D_min` at the tenant's
+    /// `q_max`), all-or-nothing.
+    StepAtValue {
+        /// The all-or-nothing price cap.
+        price: Price,
+    },
+    /// SpotDC's elastic bid: demands read off the gain envelope at
+    /// `q_min` and `q_max`.
+    Elastic {
+        /// Price of the `D_max` corner.
+        q_min: Price,
+        /// Price of the `D_min` corner (maximum acceptable price).
+        q_max: Price,
+    },
+    /// FullBid comparator: the complete demand curve that the
+    /// four-parameter [`Strategy::Elastic`] bid merely *approximates*
+    /// (Section V-C). It traces the gain envelope's inverse marginal
+    /// values and dominates the elastic bid pointwise over the same
+    /// `[q_min, q_max]` price range; above `q_max` the tenant reveals
+    /// nothing (the paper's "spot capacity will not cost more than
+    /// directly subscribing guaranteed capacity").
+    Full {
+        /// Price of the full-demand corner (as in the elastic bid).
+        q_min: Price,
+        /// The maximum acceptable price.
+        q_max: Price,
+    },
+    /// Fig. 16: bid the needed power just above the predicted clearing
+    /// price (falls back to [`Strategy::Simple`] semantics at
+    /// `fallback_price` when no prediction is available).
+    PricePredictor {
+        /// Relative margin above the predicted price (e.g. 0.05).
+        margin: f64,
+        /// Price used when no prediction is available.
+        fallback_price: Price,
+    },
+}
+
+impl Strategy {
+    /// Convenience constructor for [`Strategy::Elastic`].
+    #[must_use]
+    pub fn elastic(q_min: Price, q_max: Price) -> Self {
+        Strategy::Elastic { q_min, q_max }
+    }
+
+    /// Convenience constructor for [`Strategy::Simple`].
+    #[must_use]
+    pub fn simple(max_price: Price) -> Self {
+        Strategy::Simple { max_price }
+    }
+
+    /// Produces the rack's demand bid for this slot, or `None` when the
+    /// strategy concludes there is nothing worth bidding for.
+    #[must_use]
+    pub fn make_bid(&self, ctx: &BidContext) -> Option<DemandBid> {
+        match self {
+            Strategy::Simple { max_price } => {
+                let d = ctx.needed.min(ctx.headroom);
+                if d <= Watts::ZERO {
+                    return None;
+                }
+                Some(
+                    LinearBid::new(d, *max_price, d, *max_price)
+                        .expect("equal corners are valid")
+                        .into(),
+                )
+            }
+            Strategy::Step { price } => {
+                let env = ctx.gain.concave_envelope();
+                let d = env
+                    .demand_at_price(Price::ZERO)
+                    .max(ctx.needed)
+                    .min(ctx.headroom);
+                if d <= Watts::ZERO {
+                    return None;
+                }
+                Some(StepBid::new(d, *price).expect("valid").into())
+            }
+            Strategy::StepAtValue { price } => {
+                let env = ctx.gain.concave_envelope();
+                let d = env.demand_at_price(*price).min(ctx.headroom);
+                if d <= Watts::ZERO {
+                    return None;
+                }
+                Some(StepBid::new(d, *price).expect("valid").into())
+            }
+            Strategy::Elastic { q_min, q_max } => {
+                let env = ctx.gain.concave_envelope();
+                let d_max = env.demand_at_price(*q_min).max(ctx.needed).min(ctx.headroom);
+                let d_min = env.demand_at_price(*q_max).min(d_max);
+                if d_max <= Watts::ZERO {
+                    return None;
+                }
+                Some(
+                    LinearBid::new(d_max, *q_min, d_min, *q_max)
+                        .expect("envelope demands are ordered")
+                        .into(),
+                )
+            }
+            Strategy::Full { q_min, q_max } => {
+                let env = ctx.gain.concave_envelope();
+                // The elastic approximation this curve refines.
+                let d_max = env
+                    .demand_at_price(*q_min)
+                    .max(ctx.needed)
+                    .min(ctx.headroom);
+                if d_max <= Watts::ZERO {
+                    return None;
+                }
+                let d_min = env.demand_at_price(*q_max).min(d_max);
+                let linear = LinearBid::new(d_max, *q_min, d_min, *q_max)
+                    .expect("envelope demands are ordered");
+                // Candidate kink prices: the envelope's marginal values
+                // inside the price range, plus the corners.
+                let cap = q_max.per_kw_hour_value();
+                let mut prices: Vec<f64> = env
+                    .points()
+                    .windows(2)
+                    .filter_map(|w| {
+                        let width = w[1].0 - w[0].0;
+                        if width > 1e-15 {
+                            Some(1000.0 * (w[1].1 - w[0].1) / width)
+                        } else {
+                            None
+                        }
+                    })
+                    .filter(|m| *m > 0.0 && *m < cap)
+                    .collect();
+                prices.push(0.0);
+                prices.push(q_min.per_kw_hour_value());
+                prices.push(cap);
+                prices.retain(|q| q.is_finite() && *q >= 0.0);
+                prices.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                prices.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+                // The full curve: the larger of the envelope's true
+                // demand and the elastic approximation, at every kink.
+                let mut curve: Vec<(Price, Watts)> = prices
+                    .into_iter()
+                    .map(|q| {
+                        let p = Price::per_kw_hour(q);
+                        let d = env
+                            .demand_at_price(p)
+                            .max(linear.demand_at(p))
+                            .min(ctx.headroom);
+                        (p, d)
+                    })
+                    .collect();
+                // Demand must be non-increasing in price.
+                let mut min_demand = Watts::new(f64::INFINITY);
+                for p in &mut curve {
+                    min_demand = min_demand.min(p.1);
+                    p.1 = min_demand;
+                }
+                match FullBid::new(curve) {
+                    Ok(full) if !DemandBid::Full(full.clone()).is_null() => Some(full.into()),
+                    _ => None,
+                }
+            }
+            Strategy::PricePredictor {
+                margin,
+                fallback_price,
+            } => {
+                let d = ctx.needed.min(ctx.headroom);
+                if d <= Watts::ZERO {
+                    return None;
+                }
+                let price = match ctx.predicted_price {
+                    Some(p) => Price::per_kw_hour(
+                        p.per_kw_hour_value() * (1.0 + margin.max(0.0)) + 1e-6,
+                    ),
+                    None => *fallback_price,
+                };
+                Some(LinearBid::new(d, price, d, price).expect("valid").into())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WorkloadModel;
+
+    fn context(intensity: f64) -> BidContext {
+        let m = WorkloadModel::search();
+        let reserved = Watts::new(145.0);
+        let headroom = Watts::new(72.5);
+        BidContext {
+            gain: m.gain_curve(reserved, headroom, intensity),
+            needed: m.needed_power(reserved, headroom, intensity),
+            headroom,
+            predicted_price: None,
+        }
+    }
+
+    #[test]
+    fn simple_bids_exactly_the_needed_power() {
+        let ctx = context(1.0);
+        let bid = Strategy::simple(Price::per_kw_hour(0.5))
+            .make_bid(&ctx)
+            .unwrap();
+        assert_eq!(bid.max_demand(), ctx.needed);
+        assert_eq!(bid.demand_at(Price::per_kw_hour(0.5)), ctx.needed);
+        assert_eq!(bid.demand_at(Price::per_kw_hour(0.51)), Watts::ZERO);
+    }
+
+    #[test]
+    fn simple_declines_when_nothing_needed() {
+        let ctx = context(0.2);
+        assert_eq!(ctx.needed, Watts::ZERO);
+        assert!(Strategy::simple(Price::per_kw_hour(0.5)).make_bid(&ctx).is_none());
+    }
+
+    #[test]
+    fn elastic_bid_is_monotone_and_bounded() {
+        let ctx = context(1.0);
+        let bid = Strategy::elastic(Price::per_kw_hour(0.05), Price::per_kw_hour(0.5))
+            .make_bid(&ctx)
+            .unwrap();
+        assert!(bid.max_demand() <= ctx.headroom);
+        assert!(bid.max_demand() >= ctx.needed);
+        // Monotone non-increasing demand.
+        let mut last = Watts::new(f64::INFINITY);
+        for i in 0..=20 {
+            let q = Price::per_kw_hour(0.6 * i as f64 / 20.0);
+            let d = bid.demand_at(q);
+            assert!(d <= last + Watts::new(1e-9));
+            last = d;
+        }
+    }
+
+    #[test]
+    fn step_bids_the_maximum_useful_demand() {
+        let ctx = context(1.0);
+        let step = Strategy::Step {
+            price: Price::per_kw_hour(0.3),
+        }
+        .make_bid(&ctx)
+        .unwrap();
+        let elastic = Strategy::elastic(Price::ZERO, Price::per_kw_hour(0.3))
+            .make_bid(&ctx)
+            .unwrap();
+        // Step demand equals the elastic bid's D_max (demand at q=0).
+        assert!(step.max_demand().approx_eq(elastic.max_demand(), 1e-9));
+        // But it's inelastic: same demand right up to the cap.
+        assert_eq!(step.demand_at(Price::per_kw_hour(0.3)), step.max_demand());
+    }
+
+    #[test]
+    fn full_bid_dominates_its_elastic_approximation() {
+        let ctx = context(1.0);
+        let q_min = Price::per_kw_hour(0.25);
+        let q_max = Price::per_kw_hour(0.60);
+        let full = Strategy::Full { q_min, q_max }.make_bid(&ctx).unwrap();
+        let elastic = Strategy::elastic(q_min, q_max).make_bid(&ctx).unwrap();
+        let env = ctx.gain.concave_envelope();
+        for i in 0..=30 {
+            let q = Price::per_kw_hour(0.60 * f64::from(i) / 30.0);
+            let d_full = full.demand_at(q);
+            // The complete curve dominates the two-point approximation…
+            assert!(
+                d_full >= elastic.demand_at(q) - Watts::new(1e-6),
+                "at {q}: full {d_full} below elastic {}",
+                elastic.demand_at(q)
+            );
+            // …and the envelope's true demand, within the headroom.
+            let d_env = env.demand_at_price(q).min(ctx.headroom);
+            assert!(d_full >= d_env - Watts::new(1e-6));
+        }
+        // Above q_max the tenant reveals nothing.
+        assert_eq!(full.demand_at(Price::per_kw_hour(0.61)), Watts::ZERO);
+    }
+
+    #[test]
+    fn price_predictor_bids_just_above_prediction() {
+        let mut ctx = context(1.0);
+        ctx.predicted_price = Some(Price::per_kw_hour(0.12));
+        let bid = Strategy::PricePredictor {
+            margin: 0.05,
+            fallback_price: Price::per_kw_hour(0.5),
+        }
+        .make_bid(&ctx)
+        .unwrap();
+        // Wins at the predicted price...
+        assert_eq!(bid.demand_at(Price::per_kw_hour(0.12)), ctx.needed);
+        // ...but drops out just above its ceiling.
+        assert!(bid.price_ceiling() < Price::per_kw_hour(0.14));
+    }
+
+    #[test]
+    fn price_predictor_falls_back_without_prediction() {
+        let ctx = context(1.0);
+        let bid = Strategy::PricePredictor {
+            margin: 0.05,
+            fallback_price: Price::per_kw_hour(0.4),
+        }
+        .make_bid(&ctx)
+        .unwrap();
+        assert_eq!(bid.price_ceiling(), Price::per_kw_hour(0.4));
+    }
+
+    #[test]
+    fn idle_tenant_never_bids() {
+        let m = WorkloadModel::word_count();
+        let ctx = BidContext {
+            gain: m.gain_curve(Watts::new(125.0), Watts::new(62.5), 0.0),
+            needed: m.needed_power(Watts::new(125.0), Watts::new(62.5), 0.0),
+            headroom: Watts::new(62.5),
+            predicted_price: None,
+        };
+        for strategy in [
+            Strategy::simple(Price::per_kw_hour(0.2)),
+            Strategy::elastic(Price::per_kw_hour(0.02), Price::per_kw_hour(0.2)),
+            Strategy::Step {
+                price: Price::per_kw_hour(0.2),
+            },
+            Strategy::Full {
+                q_min: Price::per_kw_hour(0.02),
+                q_max: Price::per_kw_hour(0.2),
+            },
+        ] {
+            assert!(strategy.make_bid(&ctx).is_none(), "{strategy:?} bid while idle");
+        }
+    }
+}

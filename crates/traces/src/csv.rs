@@ -1,0 +1,265 @@
+//! Minimal CSV reading/writing for traces and experiment series.
+//!
+//! Real deployments will want to feed SpotDC *measured* traces (the
+//! paper used a commercial colo's PDU trace and Google cluster data).
+//! This module round-trips numeric column series through plain CSV —
+//! no quoting dialects, just finite numbers — so measured data can be
+//! dropped in where the synthetic generators are used.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// An error while reading a numeric CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell failed to parse as a finite number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending cell text.
+        cell: String,
+    },
+    /// A row had a different number of columns than the header.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Columns found.
+        found: usize,
+        /// Columns expected.
+        expected: usize,
+    },
+    /// The input had no header row.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::BadNumber { line, cell } => {
+                write!(f, "line {line}: cell {cell:?} is not a finite number")
+            }
+            CsvError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => write!(f, "line {line}: {found} columns, expected {expected}"),
+            CsvError::Empty => write!(f, "input has no header row"),
+        }
+    }
+}
+
+impl Error for CsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// A set of named numeric columns of equal length.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NumericCsv {
+    headers: Vec<String>,
+    columns: Vec<Vec<f64>>,
+}
+
+impl NumericCsv {
+    /// Creates an empty table with the given column names.
+    #[must_use]
+    pub fn new(headers: Vec<&str>) -> Self {
+        let columns = vec![Vec::new(); headers.len()];
+        NumericCsv {
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            columns,
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// The column names.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Whether there are no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column named `name`, if present.
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<&[f64]> {
+        self.headers
+            .iter()
+            .position(|h| h == name)
+            .map(|i| self.columns[i].as_slice())
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsvError::Io`] on write failure.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), CsvError> {
+        writeln!(w, "{}", self.headers.join(","))?;
+        for row in 0..self.len() {
+            let cells: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| format!("{}", c[row]))
+                .collect();
+            writeln!(w, "{}", cells.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Reads a table from CSV: one header row, then numeric rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsvError`] on I/O failure, a non-numeric cell, a
+    /// ragged row, or empty input.
+    pub fn read_from<R: BufRead>(r: R) -> Result<Self, CsvError> {
+        let mut lines = r.lines();
+        let header_line = lines.next().ok_or(CsvError::Empty)??;
+        let headers: Vec<String> = header_line.split(',').map(|h| h.trim().to_owned()).collect();
+        let mut columns = vec![Vec::new(); headers.len()];
+        for (idx, line) in lines.enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cells: Vec<&str> = line.split(',').collect();
+            if cells.len() != headers.len() {
+                return Err(CsvError::RaggedRow {
+                    line: idx + 2,
+                    found: cells.len(),
+                    expected: headers.len(),
+                });
+            }
+            for (col, cell) in columns.iter_mut().zip(&cells) {
+                let v: f64 = cell
+                    .trim()
+                    .parse()
+                    .ok()
+                    .filter(|v: &f64| v.is_finite())
+                    .ok_or_else(|| CsvError::BadNumber {
+                        line: idx + 2,
+                        cell: (*cell).to_owned(),
+                    })?;
+                col.push(v);
+            }
+        }
+        Ok(NumericCsv { headers, columns })
+    }
+}
+
+/// Writes a single named series as a two-column CSV (`index,<name>`).
+///
+/// # Errors
+///
+/// Returns [`CsvError::Io`] on write failure.
+pub fn write_series<W: Write>(w: W, name: &str, series: &[f64]) -> Result<(), CsvError> {
+    let mut table = NumericCsv::new(vec!["index", name]);
+    for (i, &v) in series.iter().enumerate() {
+        table.push_row(&[i as f64, v]);
+    }
+    table.write_to(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_csv() {
+        let mut t = NumericCsv::new(vec!["slot", "power"]);
+        t.push_row(&[0.0, 415.5]);
+        t.push_row(&[1.0, 423.25]);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = NumericCsv::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.column("power"), Some(&[415.5, 423.25][..]));
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_numbers_with_location() {
+        let input = "a,b\n1,2\nx,4\n";
+        let err = NumericCsv::read_from(input.as_bytes()).unwrap_err();
+        match err {
+            CsvError::BadNumber { line, cell } => {
+                assert_eq!(line, 3);
+                assert_eq!(cell, "x");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let input = "a,b\n1,2,3\n";
+        let err = NumericCsv::read_from(input.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_non_finite_and_empty() {
+        assert!(NumericCsv::read_from("a\ninf\n".as_bytes()).is_err());
+        assert!(matches!(
+            NumericCsv::read_from("".as_bytes()).unwrap_err(),
+            CsvError::Empty
+        ));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let t = NumericCsv::read_from("a\n1\n\n2\n".as_bytes()).unwrap();
+        assert_eq!(t.column("a"), Some(&[1.0, 2.0][..]));
+    }
+
+    #[test]
+    fn series_helper() {
+        let mut buf = Vec::new();
+        write_series(&mut buf, "watts", &[10.0, 20.0]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s, "index,watts\n0,10\n1,20\n");
+    }
+
+    #[test]
+    fn missing_column_is_none() {
+        let t = NumericCsv::new(vec!["x"]);
+        assert!(t.column("y").is_none());
+        assert!(t.is_empty());
+    }
+}

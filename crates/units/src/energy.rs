@@ -1,0 +1,157 @@
+//! Electrical energy.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SlotDuration, Watts};
+
+/// Electrical energy in kilowatt-hours.
+///
+/// Energy shows up in SpotDC as the metered quantity that tenants are
+/// billed for: a rack drawing [`Watts`] for a [`SlotDuration`] consumes
+/// `KilowattHours`, and the tenant's energy bill is that quantity times
+/// an energy rate. See [`Watts`] for the instantaneous counterpart.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_units::{KilowattHours, SlotDuration, Watts};
+///
+/// let slot = SlotDuration::from_secs(3600);
+/// let e = KilowattHours::from_power(Watts::new(500.0), slot);
+/// assert_eq!(e, KilowattHours::new(0.5));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct KilowattHours(f64);
+
+impl KilowattHours {
+    /// Zero energy.
+    pub const ZERO: KilowattHours = KilowattHours(0.0);
+
+    /// Creates an energy value from kilowatt-hours.
+    #[must_use]
+    pub const fn new(kwh: f64) -> Self {
+        KilowattHours(kwh)
+    }
+
+    /// The energy consumed drawing `power` for `duration`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use spotdc_units::{KilowattHours, SlotDuration, Watts};
+    /// let e = KilowattHours::from_power(Watts::new(1000.0), SlotDuration::from_secs(1800));
+    /// assert_eq!(e.value(), 0.5);
+    /// ```
+    #[must_use]
+    pub fn from_power(power: Watts, duration: SlotDuration) -> Self {
+        KilowattHours(power.kilowatts() * duration.hours())
+    }
+
+    /// The raw value in kilowatt-hours.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Replaces negative values with zero.
+    #[must_use]
+    pub fn clamp_non_negative(self) -> Self {
+        if self.0 < 0.0 {
+            KilowattHours::ZERO
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for KilowattHours {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} kWh", prec, self.0)
+        } else {
+            write!(f, "{} kWh", self.0)
+        }
+    }
+}
+
+impl Add for KilowattHours {
+    type Output = KilowattHours;
+    fn add(self, rhs: KilowattHours) -> KilowattHours {
+        KilowattHours(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for KilowattHours {
+    fn add_assign(&mut self, rhs: KilowattHours) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for KilowattHours {
+    type Output = KilowattHours;
+    fn sub(self, rhs: KilowattHours) -> KilowattHours {
+        KilowattHours(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for KilowattHours {
+    type Output = KilowattHours;
+    fn mul(self, rhs: f64) -> KilowattHours {
+        KilowattHours(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for KilowattHours {
+    type Output = KilowattHours;
+    fn div(self, rhs: f64) -> KilowattHours {
+        KilowattHours(self.0 / rhs)
+    }
+}
+
+impl Sum for KilowattHours {
+    fn sum<I: Iterator<Item = KilowattHours>>(iter: I) -> KilowattHours {
+        KilowattHours(iter.map(|e| e.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_power_integrates_over_duration() {
+        let e = KilowattHours::from_power(Watts::new(250.0), SlotDuration::from_secs(7200));
+        assert!((e.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = KilowattHours::new(1.5);
+        let b = KilowattHours::new(0.5);
+        assert_eq!(a + b, KilowattHours::new(2.0));
+        assert_eq!(a - b, KilowattHours::new(1.0));
+        assert_eq!(a * 2.0, KilowattHours::new(3.0));
+        assert_eq!(a / 3.0, KilowattHours::new(0.5));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, KilowattHours::new(2.0));
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: KilowattHours = [KilowattHours::new(0.25); 4].into_iter().sum();
+        assert_eq!(total, KilowattHours::new(1.0));
+        assert_eq!(format!("{:.2}", total), "1.00 kWh");
+    }
+
+    #[test]
+    fn clamp_non_negative() {
+        assert_eq!(KilowattHours::new(-1.0).clamp_non_negative(), KilowattHours::ZERO);
+        assert_eq!(KilowattHours::new(1.0).clamp_non_negative(), KilowattHours::new(1.0));
+    }
+}

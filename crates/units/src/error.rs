@@ -1,0 +1,107 @@
+//! Validation errors shared by the unit types.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced when constructing or validating a unit value.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_units::UnitError;
+///
+/// let err = UnitError::not_finite("rack power");
+/// assert_eq!(err.to_string(), "rack power must be a finite number");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitError {
+    what: String,
+    kind: UnitErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum UnitErrorKind {
+    NotFinite,
+    Negative,
+    OutOfRange { detail: String },
+}
+
+impl UnitError {
+    /// The named quantity was NaN or infinite.
+    #[must_use]
+    pub fn not_finite(what: impl Into<String>) -> Self {
+        UnitError {
+            what: what.into(),
+            kind: UnitErrorKind::NotFinite,
+        }
+    }
+
+    /// The named quantity was negative where a non-negative value is
+    /// required.
+    #[must_use]
+    pub fn negative(what: impl Into<String>) -> Self {
+        UnitError {
+            what: what.into(),
+            kind: UnitErrorKind::Negative,
+        }
+    }
+
+    /// The named quantity violated a documented range constraint.
+    #[must_use]
+    pub fn out_of_range(what: impl Into<String>, detail: impl Into<String>) -> Self {
+        UnitError {
+            what: what.into(),
+            kind: UnitErrorKind::OutOfRange {
+                detail: detail.into(),
+            },
+        }
+    }
+
+    /// The quantity this error refers to, e.g. `"rack power"`.
+    #[must_use]
+    pub fn what(&self) -> &str {
+        &self.what
+    }
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            UnitErrorKind::NotFinite => write!(f, "{} must be a finite number", self.what),
+            UnitErrorKind::Negative => write!(f, "{} must be non-negative", self.what),
+            UnitErrorKind::OutOfRange { detail } => {
+                write!(f, "{} out of range: {}", self.what, detail)
+            }
+        }
+    }
+}
+
+impl Error for UnitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_concise() {
+        assert_eq!(
+            UnitError::negative("spot demand").to_string(),
+            "spot demand must be non-negative"
+        );
+        assert_eq!(
+            UnitError::out_of_range("price", "above bid ceiling").to_string(),
+            "price out of range: above bid ceiling"
+        );
+    }
+
+    #[test]
+    fn what_is_preserved() {
+        assert_eq!(UnitError::not_finite("x").what(), "x");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<UnitError>();
+    }
+}

@@ -1,0 +1,350 @@
+//! Instantaneous electrical power.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous electrical power in watts.
+///
+/// `Watts` is the workhorse quantity of SpotDC: rack power draws, PDU and
+/// UPS capacities, spot-capacity demands and grants are all expressed in
+/// watts. Negative values are representable (they arise transiently as
+/// differences, e.g. "headroom = capacity − usage" when a rack briefly
+/// overshoots) but most APIs validate non-negativity at their boundary;
+/// see [`Watts::is_negative`] and [`Watts::clamp_non_negative`].
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_units::Watts;
+///
+/// let reserved = Watts::new(145.0);
+/// let demand = Watts::new(180.0);
+/// let shortfall = demand - reserved;
+/// assert_eq!(shortfall, Watts::new(35.0));
+/// assert_eq!(shortfall.kilowatts(), 0.035);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Zero watts.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Creates a power value from watts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use spotdc_units::Watts;
+    /// assert_eq!(Watts::new(250.0).value(), 250.0);
+    /// ```
+    #[must_use]
+    pub const fn new(watts: f64) -> Self {
+        Watts(watts)
+    }
+
+    /// Creates a power value from kilowatts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use spotdc_units::Watts;
+    /// assert_eq!(Watts::from_kilowatts(1.5), Watts::new(1500.0));
+    /// ```
+    #[must_use]
+    pub fn from_kilowatts(kw: f64) -> Self {
+        Watts(kw * 1_000.0)
+    }
+
+    /// The raw value in watts.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The value converted to kilowatts.
+    #[must_use]
+    pub fn kilowatts(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Returns `true` if this value is strictly below zero.
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0.0
+    }
+
+    /// Returns `true` if the value is a finite number (not NaN/∞).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Replaces negative values with zero, leaving others untouched.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use spotdc_units::Watts;
+    /// assert_eq!(Watts::new(-3.0).clamp_non_negative(), Watts::ZERO);
+    /// assert_eq!(Watts::new(3.0).clamp_non_negative(), Watts::new(3.0));
+    /// ```
+    #[must_use]
+    pub fn clamp_non_negative(self) -> Self {
+        if self.0 < 0.0 {
+            Watts::ZERO
+        } else {
+            self
+        }
+    }
+
+    /// Clamps the value into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN, matching
+    /// [`f64::clamp`].
+    #[must_use]
+    pub fn clamp(self, lo: Watts, hi: Watts) -> Self {
+        Watts(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// The smaller of two power values.
+    #[must_use]
+    pub fn min(self, other: Watts) -> Self {
+        Watts(self.0.min(other.0))
+    }
+
+    /// The larger of two power values.
+    #[must_use]
+    pub fn max(self, other: Watts) -> Self {
+        Watts(self.0.max(other.0))
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Watts(self.0.abs())
+    }
+
+    /// Fraction `self / whole`, or 0 when `whole` is zero.
+    ///
+    /// Convenient for utilization-style metrics where an empty
+    /// denominator should read as "no utilization" rather than NaN.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use spotdc_units::Watts;
+    /// assert_eq!(Watts::new(50.0).fraction_of(Watts::new(200.0)), 0.25);
+    /// assert_eq!(Watts::new(50.0).fraction_of(Watts::ZERO), 0.0);
+    /// ```
+    #[must_use]
+    pub fn fraction_of(self, whole: Watts) -> f64 {
+        if whole.0 == 0.0 {
+            0.0
+        } else {
+            self.0 / whole.0
+        }
+    }
+
+    /// Returns `true` if `self` and `other` differ by at most `eps` watts.
+    #[must_use]
+    pub fn approx_eq(self, other: Watts, eps: f64) -> bool {
+        (self.0 - other.0).abs() <= eps
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} W", prec, self.0)
+        } else {
+            write!(f, "{} W", self.0)
+        }
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Watts {
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Watts {
+    type Output = Watts;
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Watts {
+    fn sub_assign(&mut self, rhs: Watts) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Watts {
+    type Output = Watts;
+    fn neg(self) -> Watts {
+        Watts(-self.0)
+    }
+}
+
+impl Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: f64) -> Watts {
+        Watts(self.0 * rhs)
+    }
+}
+
+impl Mul<Watts> for f64 {
+    type Output = Watts;
+    fn mul(self, rhs: Watts) -> Watts {
+        Watts(self * rhs.0)
+    }
+}
+
+impl MulAssign<f64> for Watts {
+    fn mul_assign(&mut self, rhs: f64) {
+        self.0 *= rhs;
+    }
+}
+
+impl Div<f64> for Watts {
+    type Output = Watts;
+    fn div(self, rhs: f64) -> Watts {
+        Watts(self.0 / rhs)
+    }
+}
+
+impl Div<Watts> for Watts {
+    /// Dividing two powers yields a dimensionless ratio.
+    type Output = f64;
+    fn div(self, rhs: Watts) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Watts {
+    fn sum<I: Iterator<Item = Watts>>(iter: I) -> Watts {
+        Watts(iter.map(|w| w.0).sum())
+    }
+}
+
+impl<'a> Sum<&'a Watts> for Watts {
+    fn sum<I: Iterator<Item = &'a Watts>>(iter: I) -> Watts {
+        Watts(iter.map(|w| w.0).sum())
+    }
+}
+
+impl From<f64> for Watts {
+    fn from(watts: f64) -> Self {
+        Watts(watts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_f64() {
+        let a = Watts::new(120.0);
+        let b = Watts::new(30.0);
+        assert_eq!(a + b, Watts::new(150.0));
+        assert_eq!(a - b, Watts::new(90.0));
+        assert_eq!(a * 2.0, Watts::new(240.0));
+        assert_eq!(2.0 * a, Watts::new(240.0));
+        assert_eq!(a / 2.0, Watts::new(60.0));
+        assert_eq!(a / b, 4.0);
+        assert_eq!(-a, Watts::new(-120.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut w = Watts::new(10.0);
+        w += Watts::new(5.0);
+        assert_eq!(w, Watts::new(15.0));
+        w -= Watts::new(20.0);
+        assert_eq!(w, Watts::new(-5.0));
+        w *= -2.0;
+        assert_eq!(w, Watts::new(10.0));
+    }
+
+    #[test]
+    fn kilowatt_conversions_round_trip() {
+        let w = Watts::from_kilowatts(2.5);
+        assert_eq!(w.value(), 2500.0);
+        assert_eq!(w.kilowatts(), 2.5);
+    }
+
+    #[test]
+    fn clamp_non_negative_zeroes_only_negatives() {
+        assert_eq!(Watts::new(-0.001).clamp_non_negative(), Watts::ZERO);
+        assert_eq!(Watts::ZERO.clamp_non_negative(), Watts::ZERO);
+        assert_eq!(Watts::new(7.0).clamp_non_negative(), Watts::new(7.0));
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Watts::new(5.0);
+        let b = Watts::new(9.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(Watts::new(12.0).clamp(a, b), b);
+        assert_eq!(Watts::new(1.0).clamp(a, b), a);
+        assert_eq!(Watts::new(6.0).clamp(a, b), Watts::new(6.0));
+    }
+
+    #[test]
+    fn fraction_of_handles_zero_denominator() {
+        assert_eq!(Watts::new(10.0).fraction_of(Watts::ZERO), 0.0);
+        assert_eq!(Watts::new(10.0).fraction_of(Watts::new(40.0)), 0.25);
+    }
+
+    #[test]
+    fn sum_over_iterators() {
+        let v = vec![Watts::new(1.0), Watts::new(2.0), Watts::new(3.0)];
+        let owned: Watts = v.iter().copied().sum();
+        let borrowed: Watts = v.iter().sum();
+        assert_eq!(owned, Watts::new(6.0));
+        assert_eq!(borrowed, Watts::new(6.0));
+    }
+
+    #[test]
+    fn display_formats_with_unit() {
+        assert_eq!(format!("{}", Watts::new(145.0)), "145 W");
+        assert_eq!(format!("{:.1}", Watts::new(145.25)), "145.2 W");
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_differences() {
+        assert!(Watts::new(1.0).approx_eq(Watts::new(1.0 + 1e-12), 1e-9));
+        assert!(!Watts::new(1.0).approx_eq(Watts::new(1.1), 1e-9));
+    }
+
+    #[test]
+    fn serde_round_trip_is_transparent() {
+        let w = Watts::new(715.0);
+        let json = serde_json_like(w);
+        assert_eq!(json, "715.0");
+    }
+
+    // Minimal serialization smoke test without pulling serde_json: the
+    // `transparent` attribute means the token stream is a bare f64.
+    fn serde_json_like(w: Watts) -> String {
+        format!("{:?}", w.value())
+    }
+}

@@ -1,0 +1,253 @@
+//! Dollar-denominated performance cost models (Section IV-C).
+//!
+//! To bid, tenants convert performance into money. The paper's models:
+//!
+//! * **Sprinting** (latency SLO): per-job cost `a·d` below the SLO
+//!   threshold `d_th`, plus a quadratic penalty `b·(d − d_th)²` above
+//!   it — linear degradation normally, sharply growing once the SLO is
+//!   violated;
+//! * **Opportunistic** (throughput): per-job cost `ρ·T_job`, linear in
+//!   job completion time.
+//!
+//! Both convert to a **cost rate** ($/hour) by multiplying by the job
+//! arrival rate, which is the form the gain curves in [`crate::gain`]
+//! consume.
+
+use serde::{Deserialize, Serialize};
+
+/// Sprinting-tenant cost model: `c(d) = a·d + b·(d − d_th)²₊` dollars
+/// per job at tail latency `d` seconds.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_workloads::SprintingCost;
+///
+/// let c = SprintingCost::new(0.001, 0.5, 0.100);
+/// assert!(c.cost_per_job(0.090) < c.cost_per_job(0.150));
+/// // Below the SLO the penalty term is zero:
+/// assert_eq!(c.cost_per_job(0.050), 0.001 * 0.050);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SprintingCost {
+    /// Linear coefficient `a`, $/job per second of latency.
+    a: f64,
+    /// Quadratic SLO-violation coefficient `b`, $/job per second².
+    b: f64,
+    /// SLO threshold `d_th`, seconds.
+    d_th: f64,
+}
+
+impl SprintingCost {
+    /// Creates a sprinting cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is negative or non-finite, or `d_th`
+    /// is not positive.
+    #[must_use]
+    pub fn new(a: f64, b: f64, d_th: f64) -> Self {
+        assert!(a >= 0.0 && a.is_finite(), "a must be non-negative");
+        assert!(b >= 0.0 && b.is_finite(), "b must be non-negative");
+        assert!(d_th > 0.0 && d_th.is_finite(), "slo threshold must be positive");
+        SprintingCost { a, b, d_th }
+    }
+
+    /// The SLO threshold in seconds.
+    #[must_use]
+    pub fn slo(&self) -> f64 {
+        self.d_th
+    }
+
+    /// The linear coefficient `a` ($/job/s).
+    #[must_use]
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// The quadratic penalty coefficient `b` ($/job/s²).
+    #[must_use]
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Cost in dollars for one job served at tail latency `d` seconds.
+    #[must_use]
+    pub fn cost_per_job(&self, d: f64) -> f64 {
+        let over = (d - self.d_th).max(0.0);
+        self.a * d + self.b * over * over
+    }
+
+    /// Cost rate in $/hour at tail latency `d` with jobs arriving at
+    /// `lambda` req/s.
+    #[must_use]
+    pub fn cost_rate(&self, d: f64, lambda: f64) -> f64 {
+        self.cost_per_job(d) * lambda.max(0.0) * 3600.0
+    }
+}
+
+/// Opportunistic-tenant cost model: `c = ρ·T_job` dollars per job of
+/// completion time `T_job` seconds.
+///
+/// With jobs of `work_per_job` units arriving at `jobs_per_hour`, the
+/// cost rate at throughput `θ` is
+/// `jobs_per_hour · ρ · work_per_job / θ` — convex and decreasing in
+/// throughput, so every extra watt is worth a bit less than the last.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_workloads::OpportunisticCost;
+///
+/// let c = OpportunisticCost::new(0.0001, 3000.0, 2.0);
+/// assert!(c.cost_rate_at_throughput(40.0) < c.cost_rate_at_throughput(30.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpportunisticCost {
+    /// Scaling parameter `ρ`, $/job per second of completion time.
+    rho: f64,
+    /// Work units per job.
+    work_per_job: f64,
+    /// Job arrival rate, jobs/hour.
+    jobs_per_hour: f64,
+}
+
+impl OpportunisticCost {
+    /// Creates an opportunistic cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative/non-finite or
+    /// `work_per_job` is not positive.
+    #[must_use]
+    pub fn new(rho: f64, work_per_job: f64, jobs_per_hour: f64) -> Self {
+        assert!(rho >= 0.0 && rho.is_finite(), "rho must be non-negative");
+        assert!(
+            work_per_job > 0.0 && work_per_job.is_finite(),
+            "work per job must be positive"
+        );
+        assert!(
+            jobs_per_hour >= 0.0 && jobs_per_hour.is_finite(),
+            "job rate must be non-negative"
+        );
+        OpportunisticCost {
+            rho,
+            work_per_job,
+            jobs_per_hour,
+        }
+    }
+
+    /// The scaling parameter `ρ`.
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Work units per job.
+    #[must_use]
+    pub fn work_per_job(&self) -> f64 {
+        self.work_per_job
+    }
+
+    /// Job arrival rate, jobs/hour.
+    #[must_use]
+    pub fn jobs_per_hour(&self) -> f64 {
+        self.jobs_per_hour
+    }
+
+    /// Cost in dollars for one job completing in `t_job` seconds.
+    #[must_use]
+    pub fn cost_per_job(&self, t_job: f64) -> f64 {
+        self.rho * t_job.max(0.0)
+    }
+
+    /// Cost rate in $/hour when processing at `throughput` work
+    /// units/s. Returns `f64::INFINITY` at zero throughput (the backlog
+    /// never drains).
+    #[must_use]
+    pub fn cost_rate_at_throughput(&self, throughput: f64) -> f64 {
+        if throughput <= 0.0 {
+            return f64::INFINITY;
+        }
+        let t_job = self.work_per_job / throughput;
+        self.cost_per_job(t_job) * self.jobs_per_hour
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sprinting_linear_below_slo() {
+        let c = SprintingCost::new(0.01, 100.0, 0.1);
+        assert!((c.cost_per_job(0.05) - 0.0005).abs() < 1e-12);
+        assert!((c.cost_per_job(0.1) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sprinting_quadratic_above_slo() {
+        let c = SprintingCost::new(0.01, 100.0, 0.1);
+        // at d = 0.2: 0.01*0.2 + 100*(0.1)^2 = 0.002 + 1.0
+        assert!((c.cost_per_job(0.2) - 1.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sprinting_cost_continuous_at_slo() {
+        let c = SprintingCost::new(0.01, 100.0, 0.1);
+        let below = c.cost_per_job(0.1 - 1e-9);
+        let above = c.cost_per_job(0.1 + 1e-9);
+        assert!((below - above).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sprinting_penalty_dominates_for_bad_violations() {
+        let c = SprintingCost::new(0.01, 100.0, 0.1);
+        // Doubling the excess latency roughly quadruples the penalty.
+        let p1 = c.cost_per_job(0.2) - c.cost_per_job(0.1);
+        let p2 = c.cost_per_job(0.3) - c.cost_per_job(0.1);
+        assert!(p2 > 3.5 * p1);
+    }
+
+    #[test]
+    fn sprinting_cost_rate_scales_with_load() {
+        let c = SprintingCost::new(0.01, 100.0, 0.1);
+        let r1 = c.cost_rate(0.08, 50.0);
+        let r2 = c.cost_rate(0.08, 100.0);
+        assert!((r2 - 2.0 * r1).abs() < 1e-9);
+        assert_eq!(c.cost_rate(0.08, -5.0), 0.0);
+    }
+
+    #[test]
+    fn opportunistic_cost_inverse_in_throughput() {
+        let c = OpportunisticCost::new(0.001, 1000.0, 4.0);
+        let r10 = c.cost_rate_at_throughput(10.0);
+        let r20 = c.cost_rate_at_throughput(20.0);
+        assert!((r10 - 2.0 * r20).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opportunistic_zero_throughput_is_infinite() {
+        let c = OpportunisticCost::new(0.001, 1000.0, 4.0);
+        assert!(c.cost_rate_at_throughput(0.0).is_infinite());
+    }
+
+    #[test]
+    fn opportunistic_per_job_linear_in_time() {
+        let c = OpportunisticCost::new(0.002, 100.0, 1.0);
+        assert!((c.cost_per_job(50.0) - 0.1).abs() < 1e-12);
+        assert_eq!(c.cost_per_job(-1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slo threshold must be positive")]
+    fn bad_slo_rejected() {
+        let _ = SprintingCost::new(0.1, 0.1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "work per job must be positive")]
+    fn bad_work_rejected() {
+        let _ = OpportunisticCost::new(0.1, 0.0, 1.0);
+    }
+}

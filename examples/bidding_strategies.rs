@@ -1,0 +1,79 @@
+//! How a tenant turns its private valuation into a bid.
+//!
+//! Takes the paper's Search tenant at peak load, shows its gain curve
+//! (Fig. 9), then the bid each strategy would submit and the resulting
+//! demand at a range of market prices.
+//!
+//! ```text
+//! cargo run --example bidding_strategies
+//! ```
+
+use spotdc::prelude::*;
+use spotdc::tenants::model::WorkloadModel as Model;
+
+fn main() {
+    let reserved = Watts::new(145.0);
+    let headroom = Watts::new(72.5);
+    let model = Model::search();
+    let intensity = 1.0;
+
+    // The tenant's private valuation: what spot capacity is worth.
+    let gain = model.gain_curve(reserved, headroom, intensity);
+    println!("Search tenant at peak load — gain from spot capacity:");
+    for i in 0..=6 {
+        let s = headroom * (f64::from(i) / 6.0);
+        println!("  +{:>5.1} W -> {:>8.4} $/h", s.value(), gain.gain(s));
+    }
+    let needed = model.needed_power(reserved, headroom, intensity);
+    println!("power needed to restore the 100 ms SLO: {needed:.1}\n");
+
+    // Each strategy produces a different demand function.
+    let strategies: Vec<(&str, Strategy)> = vec![
+        ("Simple (needed @ 0.5)", Strategy::simple(Price::per_kw_hour(0.5))),
+        (
+            "Elastic (0.25 - 0.60)",
+            Strategy::elastic(Price::per_kw_hour(0.25), Price::per_kw_hour(0.60)),
+        ),
+        (
+            "StepBid-1 (@ q_min)",
+            Strategy::Step {
+                price: Price::per_kw_hour(0.25),
+            },
+        ),
+        (
+            "FullBid (0.25 - 0.60)",
+            Strategy::Full {
+                q_min: Price::per_kw_hour(0.25),
+                q_max: Price::per_kw_hour(0.60),
+            },
+        ),
+    ];
+
+    let mut agent = TenantAgent::new(
+        TenantId::new(0),
+        RackId::new(0),
+        reserved,
+        headroom,
+        model,
+        strategies[0].1.clone(),
+    );
+    agent.observe(intensity);
+
+    println!("demand (W) each strategy submits, by market price ($/kW/h):");
+    print!("{:<24}", "strategy");
+    let probes = [0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65];
+    for q in probes {
+        print!("{q:>7.2}");
+    }
+    println!();
+    for (name, strategy) in strategies {
+        agent.set_strategy(strategy);
+        let bid = agent.make_bid().expect("peak-load search tenant bids");
+        print!("{name:<24}");
+        for q in probes {
+            let d = bid.total_demand_at(Price::per_kw_hour(q));
+            print!("{:>7.1}", d.value());
+        }
+        println!();
+    }
+}

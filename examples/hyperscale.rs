@@ -1,0 +1,59 @@
+//! SpotDC at hyper-scale: 1 000 tenants, 250 PDUs.
+//!
+//! Replicates the Table I composition to a hyper-scale facility
+//! (Fig. 18) and reports market health and clearing latency.
+//!
+//! ```text
+//! cargo run --release --example hyperscale
+//! ```
+
+use std::time::Instant;
+
+use spotdc::prelude::*;
+
+fn main() {
+    let tenants = 1000;
+    let slots = 60; // two hours of 2-minute slots
+    let billing = Billing::paper_defaults();
+    println!("building a {tenants}-tenant facility...");
+    let scenario = Scenario::hyperscale(42, tenants);
+    println!(
+        "  {} PDUs, {} racks, {:.1} kW subscribed, UPS {:.1} kW",
+        scenario.topology.pdu_count(),
+        scenario.topology.rack_count(),
+        scenario.total_subscribed().kilowatts(),
+        scenario.topology.ups_capacity().kilowatts()
+    );
+
+    let start = Instant::now();
+    let capped = Simulation::new(scenario.clone(), EngineConfig::new(Mode::PowerCapped)).run(slots);
+    let spot = Simulation::new(scenario, EngineConfig::new(Mode::SpotDc)).run(slots);
+    let elapsed = start.elapsed();
+    println!(
+        "simulated 2 × {slots} slots in {:.1} s ({:.0} market rounds/s)",
+        elapsed.as_secs_f64(),
+        slots as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+
+    let profit = spot.profit(&billing);
+    println!(
+        "\noperator: {:+.1}% extra profit ({:.2} $/h of spot revenue)",
+        profit.extra_percent(),
+        profit.spot_revenue_rate
+    );
+    println!(
+        "market: avg {:.1} kW sold per slot at mean price {:.3} $/kW/h",
+        spot.avg_spot_sold() / 1000.0,
+        spot.price_cdf().mean()
+    );
+    println!(
+        "tenants: average performance {:.2}x vs PowerCapped",
+        spot.avg_perf_ratio_vs(&capped)
+    );
+    println!(
+        "reliability: {} emergencies, {} transient overshoots across {} slots",
+        spot.emergencies,
+        spot.transient_overshoots,
+        spot.records.len()
+    );
+}

@@ -1,0 +1,64 @@
+//! A simulated day in the paper's Table I testbed, under all three
+//! operating modes.
+//!
+//! Prints the win-win summary: operator profit, per-tenant performance
+//! and cost versus the PowerCapped status quo, with MaxPerf as the
+//! upper bound.
+//!
+//! ```text
+//! cargo run --release --example testbed_day
+//! ```
+
+use spotdc::prelude::*;
+
+fn main() {
+    let slots = 720; // one day of 2-minute slots
+    let billing = Billing::paper_defaults();
+    let run = |mode: Mode| -> SimReport {
+        Simulation::new(Scenario::testbed(42), EngineConfig::new(mode)).run(slots)
+    };
+    println!("simulating one day ({slots} slots) in three modes...");
+    let capped = run(Mode::PowerCapped);
+    let spot = run(Mode::SpotDc);
+    let maxperf = run(Mode::MaxPerf);
+
+    let profit = spot.profit(&billing);
+    println!(
+        "\noperator: baseline {:.4} $/h, spot revenue {:.4} $/h -> extra profit {:+.1}%",
+        profit.baseline_rate,
+        profit.spot_revenue_rate,
+        profit.extra_percent()
+    );
+    println!(
+        "spot capacity: avg {:.0} W available, {:.0} W sold, mean price {:.3} $/kW/h",
+        spot.avg_spot_available_fraction() * spot.total_subscribed.value(),
+        spot.avg_spot_sold(),
+        spot.price_cdf().mean()
+    );
+    println!(
+        "UPS utilization: {:.1}% (SpotDC) vs {:.1}% (PowerCapped)",
+        100.0 * spot.ups_utilization_cdf().mean(),
+        100.0 * capped.ups_utilization_cdf().mean()
+    );
+
+    println!("\ntenant            perf vs PC   MaxPerf   cost vs PC");
+    let scenario = Scenario::testbed(42);
+    for (i, spec) in scenario.specs.iter().enumerate() {
+        let perf = spot.tenant_perf_ratio_vs(&capped, i);
+        let best = maxperf.tenant_perf_ratio_vs(&capped, i);
+        let cost = spot.tenant_bill(i, &billing).total()
+            / capped.tenant_bill(i, &billing).total().max(1e-12);
+        println!(
+            "{:<10} {:<6} {:>8}   {:>7}   {:>+9.2}%",
+            spec.name,
+            spec.alias,
+            perf.map_or("—".into(), |p| format!("{p:.2}x")),
+            best.map_or("—".into(), |p| format!("{p:.2}x")),
+            100.0 * (cost - 1.0),
+        );
+    }
+    println!(
+        "\nemergencies: {} (SpotDC) vs {} (PowerCapped); transient overshoots: {}",
+        spot.emergencies, capped.emergencies, spot.transient_overshoots
+    );
+}

@@ -1,0 +1,178 @@
+//! End-to-end integration: the full pipeline assembled by hand from the
+//! public API, spanning every crate.
+
+use spotdc::prelude::*;
+
+/// Builds the pipeline the README sketches: agents bid, the operator
+/// clears, grants actuate through the rack PDUs, tenants run and
+/// everything reconciles.
+#[test]
+fn manual_market_round_improves_the_needy_tenant() {
+    let topology = TopologyBuilder::new(Watts::new(800.0))
+        .pdu(Watts::new(800.0))
+        .rack(TenantId::new(0), Watts::new(145.0), Watts::new(72.5))
+        .rack(TenantId::new(1), Watts::new(125.0), Watts::new(62.5))
+        .rack(TenantId::new(2), Watts::new(250.0), Watts::ZERO) // others
+        .build()
+        .expect("valid topology");
+
+    let mut search = TenantAgent::new(
+        TenantId::new(0),
+        RackId::new(0),
+        Watts::new(145.0),
+        Watts::new(72.5),
+        WorkloadModel::search(),
+        Strategy::elastic(Price::per_kw_hour(0.25), Price::per_kw_hour(0.60)),
+    );
+    let mut batch = TenantAgent::new(
+        TenantId::new(1),
+        RackId::new(1),
+        Watts::new(125.0),
+        Watts::new(62.5),
+        WorkloadModel::word_count(),
+        Strategy::elastic(Price::per_kw_hour(0.02), Price::per_kw_hour(0.24)),
+    );
+    search.observe(1.0); // peak traffic: SLO at stake
+    batch.observe(0.8); // backlog to chew through
+
+    let mut meter = PowerMeter::new(&topology, 4);
+    meter.record(Slot::ZERO, RackId::new(0), Watts::new(140.0));
+    meter.record(Slot::ZERO, RackId::new(1), Watts::new(118.0));
+    meter.record(Slot::ZERO, RackId::new(2), Watts::new(130.0));
+
+    let bids: Vec<TenantBid> = [search.make_bid(), batch.make_bid()]
+        .into_iter()
+        .flatten()
+        .collect();
+    assert_eq!(bids.len(), 2, "both tenants should bid");
+
+    let operator = Operator::new(topology.clone(), OperatorConfig::default());
+    let round = operator.run_slot(Slot::new(1), &bids, &meter);
+    let allocation = round.outcome.allocation();
+    assert!(round.rejected.is_empty());
+    assert!(
+        round.constraints.is_feasible(allocation.grants()),
+        "allocation must satisfy rack/PDU/UPS constraints"
+    );
+    let search_grant = allocation.grant(RackId::new(0));
+    assert!(search_grant > Watts::ZERO, "the urgent tenant is served");
+
+    // Actuate and run the slot.
+    let mut bank = RackPduBank::new(&topology);
+    for (rack, grant) in allocation.iter() {
+        bank.grant_spot(Slot::new(1), rack, grant).expect("feasible grant");
+    }
+    let before = search.run_slot(search.reserved());
+    let after = search.run_slot(bank.budget(search.rack()));
+    assert!(
+        after.performance.index() > before.performance.index(),
+        "spot capacity must improve the search tenant's latency"
+    );
+    // The budget was enough to restore the SLO.
+    match after.performance {
+        spotdc::tenants::Performance::Latency { slo_met, .. } => {
+            assert!(slo_met, "grant should restore the 100 ms SLO")
+        }
+        spotdc::tenants::Performance::Throughput { .. } => panic!("search reports latency"),
+    }
+
+    // Billing reconciles: payment = price × grant × slot duration.
+    let slot = SlotDuration::from_secs(120);
+    let payment = allocation.payment_for(RackId::new(0), slot);
+    let expect = allocation.price().cost_of(search_grant, slot);
+    assert!((payment.usd() - expect.usd()).abs() < 1e-12);
+}
+
+/// Lost price broadcasts fall back to "no spot capacity" without
+/// breaking anything downstream.
+#[test]
+fn comms_loss_degrades_to_no_spot() {
+    use spotdc::market::CommsModel;
+
+    let topology = TopologyBuilder::new(Watts::new(500.0))
+        .pdu(Watts::new(500.0))
+        .rack(TenantId::new(0), Watts::new(145.0), Watts::new(72.5))
+        .build()
+        .expect("valid topology");
+    let mut agent = TenantAgent::new(
+        TenantId::new(0),
+        RackId::new(0),
+        Watts::new(145.0),
+        Watts::new(72.5),
+        WorkloadModel::search(),
+        Strategy::elastic(Price::per_kw_hour(0.25), Price::per_kw_hour(0.60)),
+    );
+    agent.observe(1.0);
+    let mut meter = PowerMeter::new(&topology, 4);
+    meter.record(Slot::ZERO, RackId::new(0), Watts::new(140.0));
+
+    let operator = Operator::new(topology.clone(), OperatorConfig::default());
+    let bids = vec![agent.make_bid().expect("bids at peak")];
+    let round = operator.run_slot(Slot::new(1), &bids, &meter);
+    let mut allocation = round.outcome.into_allocation();
+    assert!(allocation.total() > Watts::ZERO);
+
+    // Every broadcast lost: the grant is revoked.
+    let mut comms = CommsModel::new(0.0, 1.0, 9);
+    let events = comms.deliver_broadcasts(&topology, &mut allocation, [TenantId::new(0)]);
+    assert_eq!(events.len(), 1);
+    assert_eq!(allocation.total(), Watts::ZERO);
+
+    // The tenant simply runs at its guaranteed capacity.
+    let bank = RackPduBank::new(&topology);
+    assert_eq!(bank.budget(RackId::new(0)), Watts::new(145.0));
+}
+
+/// The MaxPerf allocator and the market operate on the same constraint
+/// set and neither violates it.
+#[test]
+fn maxperf_and_market_share_constraints() {
+    use spotdc::market::{max_perf_allocate, ConcaveGain};
+    use std::collections::BTreeMap;
+
+    let topology = TopologyBuilder::new(Watts::new(400.0))
+        .pdu(Watts::new(400.0))
+        .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+        .rack(TenantId::new(1), Watts::new(100.0), Watts::new(50.0))
+        .build()
+        .expect("valid topology");
+    let constraints = ConstraintSet::new(&topology, vec![Watts::new(60.0)], Watts::new(60.0));
+
+    let gains: BTreeMap<RackId, ConcaveGain> = [
+        (
+            RackId::new(0),
+            ConcaveGain::new(vec![(50.0, 0.002)]).expect("valid"),
+        ),
+        (
+            RackId::new(1),
+            ConcaveGain::new(vec![(50.0, 0.001)]).expect("valid"),
+        ),
+    ]
+    .into_iter()
+    .collect();
+    let grants = max_perf_allocate(&gains, &constraints);
+    assert!(constraints.is_feasible(&grants));
+    let total: Watts = grants.values().copied().sum();
+    assert!(total.approx_eq(Watts::new(60.0), 1e-9), "greedy saturates supply");
+
+    let bids = vec![
+        RackBid::new(
+            RackId::new(0),
+            StepBid::new(Watts::new(50.0), Price::per_kw_hour(0.3))
+                .expect("valid")
+                .into(),
+        ),
+        RackBid::new(
+            RackId::new(1),
+            StepBid::new(Watts::new(50.0), Price::per_kw_hour(0.1))
+                .expect("valid")
+                .into(),
+        ),
+    ];
+    let outcome = MarketClearing::default().clear(Slot::ZERO, &bids, &constraints);
+    assert!(constraints.is_feasible(outcome.allocation().grants()));
+    // Serving both (100 W) is infeasible; the market prices out the
+    // cheaper bid rather than violating the PDU limit.
+    assert_eq!(outcome.allocation().grant(RackId::new(1)), Watts::ZERO);
+    assert_eq!(outcome.allocation().grant(RackId::new(0)), Watts::new(50.0));
+}

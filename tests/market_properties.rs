@@ -1,0 +1,142 @@
+//! Property-based integration tests of the market against the tenant
+//! layer: randomized agents and supply, market-level invariants.
+
+use proptest::prelude::*;
+use spotdc::prelude::*;
+// `proptest::prelude` exports a `Strategy` trait that shadows the
+// tenant bidding strategy; re-import the latter explicitly.
+use spotdc::tenants::Strategy;
+
+/// Builds a one-PDU topology with the given participating agents.
+fn build(
+    specs: &[(f64, bool)], // (subscription, sprinting?)
+    pdu_spot: f64,
+) -> (PowerTopology, Vec<TenantAgent>, ConstraintSet) {
+    let mut builder = TopologyBuilder::new(Watts::new(1e6)).pdu(Watts::new(1e5));
+    let mut agents = Vec::new();
+    for (i, &(sub, sprinting)) in specs.iter().enumerate() {
+        let headroom = sub * 0.5;
+        builder = builder.rack(TenantId::new(i), Watts::new(sub), Watts::new(headroom));
+        let (model, strategy) = if sprinting {
+            (
+                WorkloadModel::search(),
+                Strategy::elastic(Price::per_kw_hour(0.25), Price::per_kw_hour(0.60)),
+            )
+        } else {
+            (
+                WorkloadModel::word_count(),
+                Strategy::elastic(Price::per_kw_hour(0.02), Price::per_kw_hour(0.24)),
+            )
+        };
+        agents.push(TenantAgent::new(
+            TenantId::new(i),
+            RackId::new(i),
+            Watts::new(sub),
+            Watts::new(headroom),
+            model,
+            strategy,
+        ));
+    }
+    let topology = builder.build().expect("valid topology");
+    let constraints = ConstraintSet::new(
+        &topology,
+        vec![Watts::new(pdu_spot)],
+        Watts::new(pdu_spot),
+    );
+    (topology, agents, constraints)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn agent_bids_always_clear_feasibly(
+        loads in prop::collection::vec(0.0..1.0f64, 1..8),
+        pdu_spot in 0.0..400.0f64,
+    ) {
+        let specs: Vec<(f64, bool)> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (120.0 + 10.0 * (i % 4) as f64, i % 3 == 0))
+            .collect();
+        let (_topo, mut agents, constraints) = build(&specs, pdu_spot);
+        let mut rack_bids = Vec::new();
+        for (agent, &load) in agents.iter_mut().zip(&loads) {
+            agent.observe(load);
+            if let Some(bid) = agent.make_bid() {
+                rack_bids.extend(bid.rack_bids().iter().cloned());
+            }
+        }
+        let outcome = MarketClearing::default().clear(Slot::ZERO, &rack_bids, &constraints);
+        prop_assert!(constraints.is_feasible(outcome.allocation().grants()));
+        prop_assert!(outcome.sold().value() <= pdu_spot + 1e-6);
+    }
+
+    #[test]
+    fn grants_never_reduce_any_tenants_performance(
+        loads in prop::collection::vec(0.05..1.0f64, 2..6),
+        pdu_spot in 10.0..300.0f64,
+    ) {
+        let specs: Vec<(f64, bool)> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (130.0, i % 2 == 0))
+            .collect();
+        let (_topo, mut agents, constraints) = build(&specs, pdu_spot);
+        let mut rack_bids = Vec::new();
+        for (agent, &load) in agents.iter_mut().zip(&loads) {
+            agent.observe(load);
+            if let Some(bid) = agent.make_bid() {
+                rack_bids.extend(bid.rack_bids().iter().cloned());
+            }
+        }
+        let outcome = MarketClearing::default().clear(Slot::ZERO, &rack_bids, &constraints);
+        for agent in &agents {
+            let grant = outcome.allocation().grant(agent.rack());
+            let base = agent.run_slot(agent.reserved());
+            let boosted = agent.run_slot(agent.reserved() + grant);
+            prop_assert!(
+                boosted.performance.index() >= base.performance.index() - 1e-9,
+                "a grant made {} worse",
+                agent.tenant()
+            );
+            prop_assert!(boosted.cost_rate <= base.cost_rate + 1e-9);
+        }
+    }
+
+    #[test]
+    fn net_benefit_of_elastic_bidders_is_non_negative(
+        load in 0.5..1.0f64,
+        pdu_spot in 20.0..300.0f64,
+    ) {
+        // An elastic bidder never pays more per slot than the
+        // performance gain its grant buys (bids derive from the gain
+        // curve, so the clearing price can't exceed marginal value).
+        let specs = vec![(145.0, true), (125.0, false), (125.0, false)];
+        let (_topo, mut agents, constraints) = build(&specs, pdu_spot);
+        let mut rack_bids = Vec::new();
+        for agent in agents.iter_mut() {
+            agent.observe(load);
+            if let Some(bid) = agent.make_bid() {
+                rack_bids.extend(bid.rack_bids().iter().cloned());
+            }
+        }
+        let outcome = MarketClearing::default().clear(Slot::ZERO, &rack_bids, &constraints);
+        let slot = SlotDuration::from_secs(120);
+        for agent in &agents {
+            let grant = outcome.allocation().grant(agent.rack());
+            if grant <= Watts::ZERO {
+                continue;
+            }
+            let payment = outcome.allocation().payment_for(agent.rack(), slot).usd();
+            let gain_rate = agent.run_slot(agent.reserved()).cost_rate
+                - agent.run_slot(agent.reserved() + grant).cost_rate;
+            let gain = gain_rate * slot.hours();
+            prop_assert!(
+                gain >= payment * 0.5 - 1e-9,
+                "{}: paid {payment} for {gain} of gain",
+                agent.tenant()
+            );
+        }
+    }
+}

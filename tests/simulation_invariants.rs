@@ -1,0 +1,132 @@
+//! Cross-crate invariants of full simulations: properties that must
+//! hold in every slot of every mode, and the orderings between modes.
+
+use spotdc::prelude::*;
+
+fn run(mode: Mode, seed: u64, slots: u64) -> SimReport {
+    Simulation::new(Scenario::testbed(seed), EngineConfig::new(mode)).run(slots)
+}
+
+#[test]
+fn grants_respect_rack_headroom_in_every_slot() {
+    for mode in [Mode::SpotDc, Mode::MaxPerf] {
+        let report = run(mode, 7, 400);
+        for rec in &report.records {
+            for (i, t) in rec.tenants.iter().enumerate() {
+                assert!(
+                    t.grant <= report.headrooms[i].value() + 1e-6,
+                    "{mode}: slot {} grant {} over headroom",
+                    rec.slot,
+                    t.grant
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn draws_never_exceed_budget_or_physics() {
+    let report = run(Mode::SpotDc, 7, 400);
+    for rec in &report.records {
+        for (i, t) in rec.tenants.iter().enumerate() {
+            let budget = report.subscriptions[i].value() + t.grant;
+            assert!(
+                t.draw <= budget + 1e-6,
+                "slot {}: tenant {i} drew {} over budget {budget}",
+                rec.slot,
+                t.draw
+            );
+        }
+        // UPS power equals the sum of PDU powers.
+        let pdu_sum: f64 = rec.pdu_power.iter().sum();
+        assert!((pdu_sum - rec.ups_power).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn revenue_identity_holds_per_slot() {
+    let report = run(Mode::SpotDc, 11, 300);
+    let slot_hours = report.slot.hours();
+    for rec in &report.records {
+        let payments: f64 = rec.tenants.iter().map(|t| t.payment).sum();
+        let expected = rec.price.unwrap_or(0.0) * rec.spot_sold / 1000.0 * slot_hours;
+        assert!(
+            (payments - expected).abs() < 1e-9,
+            "slot {}: payments {payments} != price×sold {expected}",
+            rec.slot
+        );
+    }
+}
+
+#[test]
+fn performance_ordering_powercapped_spotdc_maxperf() {
+    let capped = run(Mode::PowerCapped, 5, 600);
+    let spot = run(Mode::SpotDc, 5, 600);
+    let maxperf = run(Mode::MaxPerf, 5, 600);
+    // Slot-wise: a tenant's performance never drops when spot is added.
+    for (c, s) in capped.records.iter().zip(&spot.records) {
+        for (tc, ts) in c.tenants.iter().zip(&s.tenants) {
+            assert!(
+                ts.perf_index >= tc.perf_index - 1e-9,
+                "slot {}: spot made things worse",
+                c.slot
+            );
+        }
+    }
+    // Aggregate: MaxPerf at least matches SpotDC closely.
+    let spot_avg = spot.avg_perf_ratio_vs(&capped);
+    let max_avg = maxperf.avg_perf_ratio_vs(&capped);
+    assert!(spot_avg >= 1.0);
+    assert!(max_avg >= spot_avg * 0.98, "MaxPerf {max_avg} vs SpotDC {spot_avg}");
+}
+
+#[test]
+fn operator_and_tenants_both_win() {
+    let billing = Billing::paper_defaults();
+    let capped = run(Mode::PowerCapped, 3, 720);
+    let spot = run(Mode::SpotDc, 3, 720);
+    // Operator gains.
+    assert!(spot.profit(&billing).extra_percent() > 0.0);
+    // Every tenant that participates gains performance and pays only
+    // marginally more.
+    for i in 0..spot.tenant_count() {
+        if let Some(ratio) = spot.tenant_perf_ratio_vs(&capped, i) {
+            assert!(ratio >= 1.0 - 1e-9, "tenant {i} lost performance");
+        }
+        let cost_ratio = spot.tenant_bill(i, &billing).total()
+            / capped.tenant_bill(i, &billing).total().max(1e-12);
+        assert!(cost_ratio < 1.15, "tenant {i} cost ratio {cost_ratio}");
+    }
+}
+
+#[test]
+fn identical_seeds_identical_reports_across_modes() {
+    for mode in [Mode::PowerCapped, Mode::SpotDc, Mode::MaxPerf] {
+        let a = run(mode, 13, 150);
+        let b = run(mode, 13, 150);
+        assert_eq!(a, b, "{mode} must be deterministic");
+    }
+}
+
+#[test]
+fn spot_capacity_never_granted_beyond_prediction() {
+    let report = run(Mode::SpotDc, 17, 500);
+    for rec in &report.records {
+        assert!(
+            rec.spot_sold <= rec.spot_available + 1e-6,
+            "slot {}: sold {} of {} predicted",
+            rec.slot,
+            rec.spot_sold,
+            rec.spot_available
+        );
+    }
+}
+
+#[test]
+fn no_emergencies_beyond_breaker_tolerance() {
+    let spot = run(Mode::SpotDc, 19, 720);
+    assert_eq!(
+        spot.emergencies, 0,
+        "spot capacity must not create real emergencies"
+    );
+}
