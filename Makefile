@@ -1,0 +1,26 @@
+# Developer entry points. `make verify` is the full pre-merge gate.
+
+CARGO ?= cargo
+
+.PHONY: build test bench clippy fmt verify repro
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+clippy:
+	$(CARGO) clippy --workspace -- -D warnings
+
+fmt:
+	$(CARGO) fmt --check
+
+bench:
+	$(CARGO) bench -p spotdc-bench
+
+repro:
+	$(CARGO) run -p spotdc-bench --bin repro --release -- --quick \
+		--out repro-results --telemetry repro-results/telemetry.jsonl
+
+verify: build test clippy fmt

@@ -55,5 +55,10 @@ fn bench_demand_evaluation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_maxperf, bench_prediction, bench_demand_evaluation);
+criterion_group!(
+    benches,
+    bench_maxperf,
+    bench_prediction,
+    bench_demand_evaluation
+);
 criterion_main!(benches);

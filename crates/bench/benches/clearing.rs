@@ -22,7 +22,8 @@ fn bench_grid_scan(c: &mut Criterion) {
                 &racks,
                 |b, _| {
                     b.iter(|| {
-                        let out = engine.clear(Slot::ZERO, std::hint::black_box(&bids), &constraints);
+                        let out =
+                            engine.clear(Slot::ZERO, std::hint::black_box(&bids), &constraints);
                         std::hint::black_box(out.sold())
                     })
                 },

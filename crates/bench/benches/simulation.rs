@@ -31,11 +31,9 @@ fn bench_hyperscale(c: &mut Criterion) {
     for tenants in [48usize, 304] {
         group.bench_with_input(BenchmarkId::from_parameter(tenants), &tenants, |b, &n| {
             b.iter(|| {
-                let report = Simulation::new(
-                    Scenario::hyperscale(42, n),
-                    EngineConfig::new(Mode::SpotDc),
-                )
-                .run(20);
+                let report =
+                    Simulation::new(Scenario::hyperscale(42, n), EngineConfig::new(Mode::SpotDc))
+                        .run(20);
                 std::hint::black_box(report.avg_spot_sold())
             })
         });

@@ -1,0 +1,51 @@
+//! Telemetry overhead: market clearing with instrumentation disabled
+//! vs enabled with a null sink.
+//!
+//! The acceptance bar is that the disabled path regresses clearing by
+//! less than 2% — the guards are a single relaxed atomic load per
+//! instrumentation point. Run with
+//! `cargo bench -p spotdc-bench --bench telemetry`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spotdc_bench::market_fixture;
+use spotdc_core::{ClearingConfig, MarketClearing};
+use spotdc_telemetry::{SinkKind, TelemetryConfig};
+use spotdc_units::{Price, Slot};
+
+fn bench_clearing_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_clearing_overhead");
+    group.sample_size(10);
+    for racks in [1000usize, 5000] {
+        let (_topo, bids, constraints) = market_fixture(racks, 42);
+        let engine = MarketClearing::new(ClearingConfig::grid(Price::cents_per_kw_hour(1.0)));
+
+        spotdc_telemetry::set_enabled(false);
+        group.bench_with_input(BenchmarkId::new("disabled", racks), &racks, |b, _| {
+            b.iter(|| {
+                let out = engine.clear(Slot::ZERO, std::hint::black_box(&bids), &constraints);
+                std::hint::black_box(out.sold())
+            })
+        });
+
+        spotdc_telemetry::install(TelemetryConfig {
+            enabled: true,
+            sink: SinkKind::Null,
+            sample_every: 1,
+        });
+        group.bench_with_input(
+            BenchmarkId::new("enabled_null_sink", racks),
+            &racks,
+            |b, _| {
+                b.iter(|| {
+                    let out = engine.clear(Slot::ZERO, std::hint::black_box(&bids), &constraints);
+                    std::hint::black_box(out.sold())
+                })
+            },
+        );
+        spotdc_telemetry::set_enabled(false);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clearing_overhead);
+criterion_main!(benches);

@@ -7,16 +7,41 @@
 //! repro --quick              # fast smoke pass
 //! repro --list               # available experiment ids
 //! repro --out results/       # also write one .txt file per experiment
+//! repro --telemetry t.jsonl  # record market events to a JSONL file
+//! repro --quiet              # suppress progress output (errors remain)
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use spotdc_sim::experiments::{all_ids, run_by_id, ExpConfig};
+use spotdc_sim::report::telemetry_summary;
+use spotdc_telemetry::{FileSink, SinkKind, TelemetryConfig};
+
+/// Routes progress output through one place so `--quiet` silences
+/// everything except errors.
+struct Reporter {
+    quiet: bool,
+}
+
+impl Reporter {
+    fn progress(&self, text: &str) {
+        if !self.quiet {
+            println!("{text}");
+        }
+    }
+
+    fn error(&self, text: &str) {
+        eprintln!("{text}");
+    }
+}
 
 fn main() -> ExitCode {
     let mut cfg = ExpConfig::default();
     let mut selected: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut telemetry_path: Option<std::path::PathBuf> = None;
+    let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,8 +73,30 @@ fn main() -> ExitCode {
                 Some(dir) => out_dir = Some(dir.into()),
                 None => return usage("--out needs a directory"),
             },
+            "--telemetry" => match args.next() {
+                Some(path) => telemetry_path = Some(path.into()),
+                None => return usage("--telemetry needs a file path"),
+            },
+            "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+    let reporter = Reporter { quiet };
+    if let Some(path) = &telemetry_path {
+        match FileSink::create(path) {
+            Ok(sink) => spotdc_telemetry::install_with_sink(
+                TelemetryConfig {
+                    enabled: true,
+                    sink: SinkKind::File,
+                    sample_every: 1,
+                },
+                Arc::new(sink),
+            ),
+            Err(e) => {
+                reporter.error(&format!("cannot create {}: {e}", path.display()));
+                return ExitCode::FAILURE;
+            }
         }
     }
     let ids: Vec<String> = if selected.is_empty() {
@@ -57,34 +104,40 @@ fn main() -> ExitCode {
     } else {
         selected
     };
-    println!(
+    reporter.progress(&format!(
         "# SpotDC reproduction — seed {}, horizon {} days{}\n",
         cfg.seed,
         cfg.days,
         if cfg.quick { " (quick)" } else { "" }
-    );
+    ));
     if let Some(dir) = &out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {}: {e}", dir.display());
+            reporter.error(&format!("cannot create {}: {e}", dir.display()));
             return ExitCode::FAILURE;
         }
     }
     for id in &ids {
         match run_by_id(id, &cfg) {
             Some(out) => {
-                println!("{out}");
+                reporter.progress(&out.to_string());
                 if let Some(dir) = &out_dir {
                     let path = dir.join(format!("{id}.txt"));
                     if let Err(e) = std::fs::write(&path, out.to_string()) {
-                        eprintln!("cannot write {}: {e}", path.display());
+                        reporter.error(&format!("cannot write {}: {e}", path.display()));
                         return ExitCode::FAILURE;
                     }
                 }
             }
             None => {
-                eprintln!("unknown experiment id: {id} (try --list)");
+                reporter.error(&format!("unknown experiment id: {id} (try --list)"));
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if telemetry_path.is_some() {
+        spotdc_telemetry::flush();
+        if let Some(summary) = telemetry_summary() {
+            reporter.progress(&format!("## telemetry span timings\n\n{summary}"));
         }
     }
     ExitCode::SUCCESS
@@ -95,7 +148,8 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: repro [--exp <id>]... [--days <n>] [--seed <n>] [--quick] [--list] [--out <dir>]\n\
+        "usage: repro [--exp <id>]... [--days <n>] [--seed <n>] [--quick] [--list]\n\
+         \x20            [--out <dir>] [--telemetry <file>] [--quiet]\n\
          experiments: {}",
         all_ids().join(", ")
     );

@@ -44,7 +44,11 @@ impl SpotAllocation {
             .into_iter()
             .map(|(r, w)| (r, w.clamp_non_negative()))
             .collect();
-        SpotAllocation { slot, price, grants }
+        SpotAllocation {
+            slot,
+            price,
+            grants,
+        }
     }
 
     /// An empty allocation (no spot capacity sold) for `slot`.

@@ -132,10 +132,7 @@ impl TenantBid {
         for (i, a) in rack_bids.iter().enumerate() {
             for b in &rack_bids[i + 1..] {
                 if a.rack() == b.rack() {
-                    return Err(BidError::invalid(format!(
-                        "duplicate bid for {}",
-                        a.rack()
-                    )));
+                    return Err(BidError::invalid(format!("duplicate bid for {}", a.rack())));
                 }
             }
         }
@@ -187,10 +184,19 @@ mod tests {
 
     #[test]
     fn tenant_bid_aggregates_demand() {
-        let bid = TenantBid::new(TenantId::new(1), vec![step(0, 30.0, 0.2), step(1, 20.0, 0.4)])
-            .unwrap();
-        assert_eq!(bid.total_demand_at(Price::per_kw_hour(0.1)), Watts::new(50.0));
-        assert_eq!(bid.total_demand_at(Price::per_kw_hour(0.3)), Watts::new(20.0));
+        let bid = TenantBid::new(
+            TenantId::new(1),
+            vec![step(0, 30.0, 0.2), step(1, 20.0, 0.4)],
+        )
+        .unwrap();
+        assert_eq!(
+            bid.total_demand_at(Price::per_kw_hour(0.1)),
+            Watts::new(50.0)
+        );
+        assert_eq!(
+            bid.total_demand_at(Price::per_kw_hour(0.3)),
+            Watts::new(20.0)
+        );
         assert_eq!(bid.total_demand_at(Price::per_kw_hour(0.5)), Watts::ZERO);
         assert_eq!(bid.price_ceiling(), Price::per_kw_hour(0.4));
     }
@@ -235,9 +241,6 @@ mod tests {
 
     #[test]
     fn bid_error_display() {
-        assert_eq!(
-            BidError::invalid("x").to_string(),
-            "invalid bid: x"
-        );
+        assert_eq!(BidError::invalid("x").to_string(), "invalid bid: x");
     }
 }

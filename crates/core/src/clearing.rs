@@ -172,14 +172,24 @@ impl MarketClearing {
     /// present (or no positive-revenue feasible price exists) the
     /// returned outcome carries an empty allocation.
     #[must_use]
-    pub fn clear(&self, slot: Slot, bids: &[RackBid], constraints: &ConstraintSet) -> MarketOutcome {
+    pub fn clear(
+        &self,
+        slot: Slot,
+        bids: &[RackBid],
+        constraints: &ConstraintSet,
+    ) -> MarketOutcome {
+        let _span = spotdc_telemetry::span!("clearing", slot = slot);
         let live: Vec<&RackBid> = bids.iter().filter(|b| !b.demand().is_null()).collect();
         if live.is_empty() {
-            return MarketOutcome {
+            let outcome = MarketOutcome {
                 allocation: SpotAllocation::none(slot),
                 revenue_rate: 0.0,
                 candidates: 0,
             };
+            if spotdc_telemetry::is_enabled() {
+                self.record_outcome(slot, &outcome, constraints);
+            }
+            return outcome;
         }
         let candidates = match self.config.algorithm {
             ClearingAlgorithm::GridScan => self.grid_candidates(&live),
@@ -188,9 +198,7 @@ impl MarketClearing {
         let evaluated = candidates.len();
         let mut best: Option<(Price, f64)> = None;
         for q in candidates {
-            let demands = live
-                .iter()
-                .map(|b| (b.rack(), b.demand_at(q)));
+            let demands = live.iter().map(|b| (b.rack(), b.demand_at(q)));
             let Some(total) = constraints.feasible_total(demands) else {
                 continue;
             };
@@ -200,14 +208,12 @@ impl MarketClearing {
                 _ => best = Some((q, rate)),
             }
         }
-        match best {
+        let outcome = match best {
             Some((price, rate)) if rate > 0.0 => {
                 let grants = live
                     .iter()
                     .map(|b| {
-                        let d = b
-                            .demand_at(price)
-                            .min(constraints.rack_headroom(b.rack()));
+                        let d = b.demand_at(price).min(constraints.rack_headroom(b.rack()));
                         (b.rack(), d)
                     })
                     .collect();
@@ -222,6 +228,69 @@ impl MarketClearing {
                 revenue_rate: 0.0,
                 candidates: evaluated,
             },
+        };
+        if spotdc_telemetry::is_enabled() {
+            self.record_outcome(slot, &outcome, constraints);
+        }
+        outcome
+    }
+
+    /// Telemetry for one clearing: counters, the `SlotCleared` event,
+    /// and `ConstraintBound` events for every capacity the winning
+    /// allocation exhausted. Only called when telemetry is enabled.
+    fn record_outcome(&self, slot: Slot, outcome: &MarketOutcome, constraints: &ConstraintSet) {
+        use spotdc_telemetry::Event;
+        use spotdc_units::MonotonicNanos;
+
+        let registry = spotdc_telemetry::registry();
+        registry.inc_counter("spotdc_slots_cleared_total", 1);
+        registry.inc_counter(
+            "spotdc_clearing_candidates_total",
+            outcome.candidates as u64,
+        );
+        spotdc_telemetry::emit(Event::SlotCleared {
+            slot,
+            at: MonotonicNanos::now(),
+            price_per_kw_hour: outcome.price().per_kw_hour_value(),
+            sold_watts: outcome.sold().value(),
+            revenue_rate_per_hour: outcome.revenue_rate(),
+            candidates_evaluated: outcome.candidates as u64,
+        });
+        if outcome.allocation.is_empty() {
+            return;
+        }
+        // A constraint is "bound" when the winning grants leave less
+        // than a watt-scale epsilon of its spot capacity unused.
+        let bound = |used: Watts, limit: Watts| -> bool {
+            limit > Watts::ZERO && used.value() >= limit.value() - (1e-6 * limit.value() + 1e-9)
+        };
+        let mut per_pdu: std::collections::BTreeMap<usize, Watts> =
+            std::collections::BTreeMap::new();
+        let mut total = Watts::ZERO;
+        for (rack, grant) in outcome.allocation.iter() {
+            total += grant;
+            if let Some(p) = constraints.pdu_of(rack) {
+                *per_pdu.entry(p.index()).or_insert(Watts::ZERO) += grant;
+            }
+        }
+        for (p, used) in per_pdu {
+            let limit = constraints.pdu_spot(spotdc_units::PduId::new(p));
+            if bound(used, limit) {
+                spotdc_telemetry::emit(Event::ConstraintBound {
+                    slot,
+                    at: MonotonicNanos::now(),
+                    constraint: format!("pdu-{p}"),
+                    limit_watts: limit.value(),
+                });
+            }
+        }
+        if bound(total, constraints.ups_spot()) {
+            spotdc_telemetry::emit(Event::ConstraintBound {
+                slot,
+                at: MonotonicNanos::now(),
+                constraint: "ups".to_owned(),
+                limit_watts: constraints.ups_spot().value(),
+            });
         }
     }
 
@@ -235,7 +304,9 @@ impl MarketClearing {
             .fold(Price::ZERO, Price::max);
         let step = self.config.price_step.per_kw_hour_value().max(1e-9);
         let n = (ceiling.per_kw_hour_value() / step).ceil() as usize + 1;
-        (0..=n).map(|i| Price::per_kw_hour(i as f64 * step)).collect()
+        (0..=n)
+            .map(|i| Price::per_kw_hour(i as f64 * step))
+            .collect()
     }
 
     /// Kink candidates: all bids' kink prices (and headroom-clip
@@ -347,6 +418,7 @@ impl MarketClearing {
         constraints: &ConstraintSet,
     ) -> Vec<MarketOutcome> {
         use std::collections::BTreeMap;
+        let _span = spotdc_telemetry::span!("clear_per_pdu", slot = slot);
         let mut by_pdu: BTreeMap<usize, Vec<RackBid>> = BTreeMap::new();
         for b in bids {
             if let Some(p) = constraints.pdu_of(b.rack()) {
@@ -366,7 +438,9 @@ impl MarketClearing {
                 } else {
                     Watts::ZERO
                 };
-                let local = constraints.clone().with_ups_spot(share.min(constraints.ups_spot()));
+                let local = constraints
+                    .clone()
+                    .with_ups_spot(share.min(constraints.ups_spot()));
                 self.clear(slot, &group, &local)
             })
             .collect()
@@ -578,7 +652,10 @@ mod tests {
     fn kink_search_at_least_matches_grid_scan() {
         let cases: Vec<Vec<RackBid>> = vec![
             vec![linear(0, 60.0, 0.0, 0.0, 0.3)],
-            vec![linear(0, 45.0, 0.1, 20.0, 0.2), linear(1, 30.0, 0.15, 10.0, 0.5)],
+            vec![
+                linear(0, 45.0, 0.1, 20.0, 0.2),
+                linear(1, 30.0, 0.15, 10.0, 0.5),
+            ],
             vec![
                 RackBid::new(
                     RackId::new(0),
@@ -611,7 +688,10 @@ mod tests {
     #[test]
     fn kink_search_evaluates_far_fewer_candidates() {
         let cs = constraints(100.0);
-        let bids = vec![linear(0, 50.0, 0.1, 10.0, 0.4), linear(1, 40.0, 0.2, 5.0, 0.6)];
+        let bids = vec![
+            linear(0, 50.0, 0.1, 10.0, 0.4),
+            linear(1, 40.0, 0.2, 5.0, 0.6),
+        ];
         let grid = clear_with(ClearingAlgorithm::GridScan, &bids, &cs);
         let kink = clear_with(ClearingAlgorithm::KinkSearch, &bids, &cs);
         assert!(kink.candidates_evaluated() < grid.candidates_evaluated() / 10);
@@ -716,7 +796,11 @@ mod tests {
         for algo in [ClearingAlgorithm::GridScan, ClearingAlgorithm::KinkSearch] {
             let out = clear_with(algo, &bids, &cs);
             assert!(cs.is_feasible(out.allocation().grants()), "{algo:?}");
-            assert!(out.sold() <= Watts::new(30.0 + 1e-6), "{algo:?}: {}", out.sold());
+            assert!(
+                out.sold() <= Watts::new(30.0 + 1e-6),
+                "{algo:?}: {}",
+                out.sold()
+            );
         }
     }
 

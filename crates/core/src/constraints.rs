@@ -162,10 +162,7 @@ impl ConstraintSet {
 
     /// Checks the zone and phase constraints for a grant lookup
     /// closure; `Ok(())` when both hold.
-    fn check_extras(
-        &self,
-        grant_of: &dyn Fn(RackId) -> Watts,
-    ) -> Result<(), ConstraintViolation> {
+    fn check_extras(&self, grant_of: &dyn Fn(RackId) -> Watts) -> Result<(), ConstraintViolation> {
         for zone in &self.zones {
             let used: Watts = zone.racks.iter().map(|&r| grant_of(r)).sum();
             if used > zone.limit + Watts::new(TOLERANCE) {
@@ -311,7 +308,10 @@ impl ConstraintSet {
     /// pairs *after* clipping each to its rack headroom — the form the
     /// clearing loop uses. Returns the clipped total if feasible.
     #[must_use]
-    pub fn feasible_total(&self, demands: impl IntoIterator<Item = (RackId, Watts)>) -> Option<Watts> {
+    pub fn feasible_total(
+        &self,
+        demands: impl IntoIterator<Item = (RackId, Watts)>,
+    ) -> Option<Watts> {
         let mut per_pdu = vec![Watts::ZERO; self.pdu_spot.len()];
         let mut total = Watts::ZERO;
         let has_extras = !self.zones.is_empty() || self.phases.is_some();
@@ -335,9 +335,7 @@ impl ConstraintSet {
         }
         if has_extras
             && self
-                .check_extras(&|rack| {
-                    clipped_by_rack.get(&rack).copied().unwrap_or(Watts::ZERO)
-                })
+                .check_extras(&|rack| clipped_by_rack.get(&rack).copied().unwrap_or(Watts::ZERO))
                 .is_err()
         {
             return None;
@@ -411,7 +409,10 @@ impl std::fmt::Display for ConstraintViolation {
                 write!(f, "zone {zone} grants {used} exceed heat budget {limit}")
             }
             ConstraintViolation::PhaseImbalance { pdu, spread, limit } => {
-                write!(f, "{pdu} phase spread {spread} exceeds imbalance limit {limit}")
+                write!(
+                    f,
+                    "{pdu} phase spread {spread} exceeds imbalance limit {limit}"
+                )
             }
         }
     }
@@ -574,7 +575,10 @@ mod tests {
             used: Watts::new(50.0),
             limit: Watts::new(40.0),
         };
-        assert_eq!(z.to_string(), "zone row-9 grants 50 W exceed heat budget 40 W");
+        assert_eq!(
+            z.to_string(),
+            "zone row-9 grants 50 W exceed heat budget 40 W"
+        );
         let p = ConstraintViolation::PhaseImbalance {
             pdu: PduId::new(1),
             spread: Watts::new(30.0),
@@ -589,6 +593,9 @@ mod tests {
             used: Watts::new(10.0),
             limit: Watts::new(5.0),
         };
-        assert_eq!(v.to_string(), "total grants 10 W exceed ups spot capacity 5 W");
+        assert_eq!(
+            v.to_string(),
+            "total grants 10 W exceed ups spot capacity 5 W"
+        );
     }
 }

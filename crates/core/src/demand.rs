@@ -189,7 +189,9 @@ impl StepBid {
             return Err(BidError::invalid("demand must be finite and non-negative"));
         }
         if !price_cap.is_valid() {
-            return Err(BidError::invalid("price cap must be finite and non-negative"));
+            return Err(BidError::invalid(
+                "price cap must be finite and non-negative",
+            ));
         }
         Ok(StepBid { demand, price_cap })
     }
@@ -474,7 +476,9 @@ mod tests {
         assert_eq!(b.demand_at(Price::ZERO), Watts::new(80.0));
         assert_eq!(b.demand_at(Price::per_kw_hour(0.05)), Watts::new(65.0));
         assert_eq!(b.demand_at(Price::per_kw_hour(0.1)), Watts::new(50.0));
-        assert!(b.demand_at(Price::per_kw_hour(0.2)).approx_eq(Watts::new(25.0), 1e-9));
+        assert!(b
+            .demand_at(Price::per_kw_hour(0.2))
+            .approx_eq(Watts::new(25.0), 1e-9));
         assert_eq!(b.demand_at(Price::per_kw_hour(0.3)), Watts::ZERO);
         assert_eq!(b.demand_at(Price::per_kw_hour(0.4)), Watts::ZERO);
     }

@@ -195,8 +195,7 @@ pub fn max_perf_allocate(
         let Some(pdu) = constraints.pdu_of(piece.rack) else {
             continue;
         };
-        let rack_left =
-            constraints.rack_headroom(piece.rack) - grants[&piece.rack];
+        let rack_left = constraints.rack_headroom(piece.rack) - grants[&piece.rack];
         let take = Watts::new(piece.width)
             .min(rack_left)
             .min(pdu_left[pdu.index()])
@@ -357,7 +356,9 @@ mod tests {
     #[test]
     fn zero_slope_segments_get_nothing() {
         let cs = constraints(30.0, 30.0, 60.0);
-        let gains = [(RackId::new(0), gain(&[(50.0, 0.0)]))].into_iter().collect();
+        let gains = [(RackId::new(0), gain(&[(50.0, 0.0)]))]
+            .into_iter()
+            .collect();
         let grants = max_perf_allocate(&gains, &cs);
         assert_eq!(grants[&RackId::new(0)], Watts::ZERO);
     }

@@ -22,6 +22,11 @@ pub struct OperatorConfig {
     pub clearing: ClearingConfig,
     /// Spot-capacity predictor (under-prediction factor).
     pub predictor: SpotPredictor,
+    /// Telemetry settings. [`Operator::new`] installs them process-wide
+    /// when (and only when) `telemetry.enabled` is set, so the default
+    /// disabled config never clobbers a sink installed elsewhere (e.g.
+    /// by the simulation engine or the repro binary).
+    pub telemetry: spotdc_telemetry::TelemetryConfig,
 }
 
 /// The SpotDC operator: owns the market for one power topology.
@@ -76,6 +81,9 @@ impl Operator {
     /// Creates an operator for `topology`.
     #[must_use]
     pub fn new(topology: PowerTopology, config: OperatorConfig) -> Self {
+        if config.telemetry.enabled {
+            spotdc_telemetry::install(config.telemetry);
+        }
         Operator {
             topology,
             clearing: MarketClearing::new(config.clearing),
@@ -100,9 +108,11 @@ impl Operator {
     /// guarantee), clears, and returns the round record.
     #[must_use]
     pub fn run_slot(&self, slot: Slot, bids: &[TenantBid], meter: &PowerMeter) -> SlotRound {
+        let _span = spotdc_telemetry::span!("operator.run_slot", slot = slot);
         let mut rack_bids: Vec<RackBid> = Vec::new();
         let mut rejected: Vec<RackId> = Vec::new();
         for tenant_bid in bids {
+            let rejected_before = rejected.len();
             for rb in tenant_bid.rack_bids() {
                 match self.topology.rack(rb.rack()) {
                     Ok(spec) if spec.tenant() == tenant_bid.tenant() => {
@@ -111,11 +121,30 @@ impl Operator {
                     _ => rejected.push(rb.rack()),
                 }
             }
+            let dropped = rejected.len() - rejected_before;
+            if dropped > 0 && spotdc_telemetry::is_enabled() {
+                spotdc_telemetry::registry()
+                    .inc_counter("spotdc_bids_rejected_total", dropped as u64);
+                spotdc_telemetry::emit(spotdc_telemetry::Event::BidRejected {
+                    slot,
+                    at: spotdc_units::MonotonicNanos::now(),
+                    tenant: tenant_bid.tenant().index() as u64,
+                    racks: dropped as u64,
+                    reason: "admission: rack unknown or not owned by tenant".to_owned(),
+                });
+            }
         }
         let requesting: Vec<RackId> = rack_bids.iter().map(RackBid::rack).collect();
-        let predicted = self
-            .predictor
-            .predict(&self.topology, meter, requesting);
+        let predicted = self.predictor.predict(&self.topology, meter, requesting);
+        if spotdc_telemetry::is_enabled() {
+            spotdc_telemetry::emit(spotdc_telemetry::Event::PredictionIssued {
+                slot,
+                at: spotdc_units::MonotonicNanos::now(),
+                ups_watts: predicted.ups.value(),
+                pdu_total_watts: predicted.total_pdu().value(),
+                pdus: predicted.pdu.len() as u64,
+            });
+        }
         let constraints = ConstraintSet::new(&self.topology, predicted.pdu.clone(), predicted.ups);
         let outcome = self.clearing.clear(slot, &rack_bids, &constraints);
         SlotRound {
@@ -166,7 +195,9 @@ mod tests {
         let bids = vec![step_bid(0, 0, 40.0, 0.3), step_bid(1, 1, 30.0, 0.2)];
         let round = op.run_slot(Slot::new(1), &bids, &meter);
         assert!(round.rejected.is_empty());
-        assert!(round.constraints.is_feasible(round.outcome.allocation().grants()));
+        assert!(round
+            .constraints
+            .is_feasible(round.outcome.allocation().grants()));
         assert!(round.outcome.sold() > Watts::ZERO);
     }
 

@@ -157,6 +157,7 @@ impl SpotPredictor {
         meter: &PowerMeter,
         spot_racks: impl IntoIterator<Item = RackId>,
     ) -> PredictedSpot {
+        let _span = spotdc_telemetry::span!("predict");
         let spot_set: BTreeSet<RackId> = spot_racks.into_iter().collect();
         let mut pdu_ref = vec![Watts::ZERO; topology.pdu_count()];
         let mut total_ref = Watts::ZERO;

@@ -50,7 +50,11 @@ impl TripCurve {
         assert!(tolerance >= 1.0, "tolerance ratio must be at least 1");
         assert!(k > 0.0 && k.is_finite(), "k must be positive");
         assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
-        TripCurve { tolerance, k, alpha }
+        TripCurve {
+            tolerance,
+            k,
+            alpha,
+        }
     }
 
     /// Seconds an overload at `ratio` (load ÷ rating) can be sustained;
@@ -184,6 +188,10 @@ impl CircuitBreaker {
         if self.stress >= 1.0 {
             self.state = BreakerState::Tripped;
             self.trips += 1;
+            if spotdc_telemetry::is_enabled() {
+                spotdc_telemetry::registry().inc_counter("spotdc_breaker_trips_total", 1);
+                spotdc_telemetry::registry().set_gauge_max("spotdc_breaker_trip_ratio_max", ratio);
+            }
         }
         self.state
     }
@@ -236,7 +244,10 @@ mod tests {
         let mut b = CircuitBreaker::new(Watts::new(1000.0), TripCurve::default());
         let slot = SlotDuration::from_secs(60);
         // 2x rating sustains 40s; one 60-s slot must trip it.
-        assert_eq!(b.apply_load(Watts::new(2000.0), slot), BreakerState::Tripped);
+        assert_eq!(
+            b.apply_load(Watts::new(2000.0), slot),
+            BreakerState::Tripped
+        );
         assert_eq!(b.trip_count(), 1);
     }
 
@@ -247,7 +258,10 @@ mod tests {
         // +25% sustains 40/0.25 = 160 s => trips on the 3rd 60-s slot.
         assert_eq!(b.apply_load(Watts::new(1250.0), slot), BreakerState::Closed);
         assert_eq!(b.apply_load(Watts::new(1250.0), slot), BreakerState::Closed);
-        assert_eq!(b.apply_load(Watts::new(1250.0), slot), BreakerState::Tripped);
+        assert_eq!(
+            b.apply_load(Watts::new(1250.0), slot),
+            BreakerState::Tripped
+        );
     }
 
     #[test]

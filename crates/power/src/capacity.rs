@@ -184,7 +184,10 @@ mod tests {
 
     #[test]
     fn ratio_and_percent_agree() {
-        assert_eq!(Oversubscription::percent(5.0), Oversubscription::ratio(1.05));
+        assert_eq!(
+            Oversubscription::percent(5.0),
+            Oversubscription::ratio(1.05)
+        );
         assert!((Oversubscription::ratio(1.2).percent_value() - 20.0).abs() < 1e-12);
     }
 
@@ -199,7 +202,10 @@ mod tests {
     #[test]
     fn none_is_identity() {
         let os = Oversubscription::NONE;
-        assert_eq!(os.physical_for_subscribed(Watts::new(500.0)), Watts::new(500.0));
+        assert_eq!(
+            os.physical_for_subscribed(Watts::new(500.0)),
+            Watts::new(500.0)
+        );
     }
 
     #[test]
@@ -219,7 +225,10 @@ mod tests {
         // 750 W and 760 W of subscriptions at 5% oversubscription give
         // ≈714.3 W and ≈723.8 W; the paper rounds to 715/724 and a UPS
         // of 1370 W = (715+724)/1.05.
-        let plan = CapacityPlan::new(Oversubscription::percent(5.0), Oversubscription::percent(5.0));
+        let plan = CapacityPlan::new(
+            Oversubscription::percent(5.0),
+            Oversubscription::percent(5.0),
+        );
         let caps = plan.pdu_capacities(&[Watts::new(750.0), Watts::new(760.0)]);
         assert!((caps[0].value() - 714.285_714).abs() < 1e-3);
         assert!((caps[1].value() - 723.809_523).abs() < 1e-3);
@@ -229,6 +238,9 @@ mod tests {
 
     #[test]
     fn display_shows_percent() {
-        assert_eq!(Oversubscription::percent(5.0).to_string(), "+5.0% oversubscribed");
+        assert_eq!(
+            Oversubscription::percent(5.0).to_string(),
+            "+5.0% oversubscribed"
+        );
     }
 }

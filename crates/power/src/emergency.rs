@@ -128,6 +128,19 @@ impl EmergencyLog {
                 capacity: self.ups_capacity,
             });
         }
+        if spotdc_telemetry::is_enabled() && !found.is_empty() {
+            let registry = spotdc_telemetry::registry();
+            registry.inc_counter("spotdc_emergencies_total", found.len() as u64);
+            for e in &found {
+                spotdc_telemetry::emit(spotdc_telemetry::Event::EmergencyTriggered {
+                    slot,
+                    at: spotdc_units::MonotonicNanos::now(),
+                    level: e.level.to_string(),
+                    load_watts: e.load.value(),
+                    capacity_watts: e.capacity.value(),
+                });
+            }
+        }
         self.events.extend_from_slice(&found);
         found
     }

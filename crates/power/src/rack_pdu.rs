@@ -147,7 +147,11 @@ impl RackPduBank {
     /// # Errors
     ///
     /// Returns [`TopologyError::UnknownRack`] for an unknown rack.
-    pub fn reset_to_guaranteed(&mut self, effective: Slot, rack: RackId) -> Result<(), TopologyError> {
+    pub fn reset_to_guaranteed(
+        &mut self,
+        effective: Slot,
+        rack: RackId,
+    ) -> Result<(), TopologyError> {
         let i = rack.index();
         if i >= self.budget.len() {
             return Err(TopologyError::UnknownRack(rack));
@@ -226,7 +230,8 @@ mod tests {
     #[test]
     fn grant_raises_budget_and_logs() {
         let mut b = bank();
-        b.grant_spot(Slot::new(3), RackId::new(0), Watts::new(40.0)).unwrap();
+        b.grant_spot(Slot::new(3), RackId::new(0), Watts::new(40.0))
+            .unwrap();
         assert_eq!(b.budget(RackId::new(0)), Watts::new(140.0));
         assert_eq!(b.spot_grant(RackId::new(0)), Watts::new(40.0));
         assert_eq!(b.changes().len(), 1);
@@ -239,8 +244,10 @@ mod tests {
     #[test]
     fn grant_is_absolute_not_cumulative() {
         let mut b = bank();
-        b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(40.0)).unwrap();
-        b.grant_spot(Slot::new(1), RackId::new(0), Watts::new(10.0)).unwrap();
+        b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(40.0))
+            .unwrap();
+        b.grant_spot(Slot::new(1), RackId::new(0), Watts::new(10.0))
+            .unwrap();
         assert_eq!(b.budget(RackId::new(0)), Watts::new(110.0));
     }
 
@@ -258,14 +265,17 @@ mod tests {
     #[test]
     fn grant_at_exact_limit_is_accepted() {
         let mut b = bank();
-        b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(50.0)).unwrap();
+        b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(50.0))
+            .unwrap();
         assert_eq!(b.budget(RackId::new(0)), Watts::new(150.0));
     }
 
     #[test]
     fn negative_grant_rejected() {
         let mut b = bank();
-        assert!(b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(-1.0)).is_err());
+        assert!(b
+            .grant_spot(Slot::ZERO, RackId::new(0), Watts::new(-1.0))
+            .is_err());
     }
 
     #[test]
@@ -280,7 +290,8 @@ mod tests {
     #[test]
     fn reset_returns_to_guaranteed_and_logs_once() {
         let mut b = bank();
-        b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(25.0)).unwrap();
+        b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(25.0))
+            .unwrap();
         b.reset_to_guaranteed(Slot::new(1), RackId::new(0)).unwrap();
         assert_eq!(b.budget(RackId::new(0)), Watts::new(100.0));
         assert_eq!(b.changes().len(), 2);
@@ -292,8 +303,10 @@ mod tests {
     #[test]
     fn reset_all_covers_every_rack() {
         let mut b = bank();
-        b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(25.0)).unwrap();
-        b.grant_spot(Slot::ZERO, RackId::new(1), Watts::new(15.0)).unwrap();
+        b.grant_spot(Slot::ZERO, RackId::new(0), Watts::new(25.0))
+            .unwrap();
+        b.grant_spot(Slot::ZERO, RackId::new(1), Watts::new(15.0))
+            .unwrap();
         b.reset_all(Slot::new(1));
         assert_eq!(b.budget(RackId::new(0)), Watts::new(100.0));
         assert_eq!(b.budget(RackId::new(1)), Watts::new(120.0));

@@ -174,7 +174,10 @@ mod tests {
         let b = Billing::paper_defaults();
         let infra = b.infra_amortization(Watts::new(1400.0));
         let headroom = b.headroom_amortization(Watts::new(470.0));
-        assert!(infra > 50.0 * headroom, "infra {infra} vs headroom {headroom}");
+        assert!(
+            infra > 50.0 * headroom,
+            "infra {infra} vs headroom {headroom}"
+        );
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct EngineConfig {
     /// Ablation: clear each PDU independently at its own localized
     /// price instead of the paper's single uniform price.
     pub per_pdu_pricing: bool,
+    /// Telemetry settings. Installed process-wide at the start of
+    /// [`Simulation::run`] when (and only when) `telemetry.enabled` is
+    /// set, so the disabled default never clobbers a sink installed
+    /// elsewhere (e.g. by a test or the repro binary).
+    pub telemetry: spotdc_telemetry::TelemetryConfig,
 }
 
 impl EngineConfig {
@@ -59,6 +64,7 @@ impl EngineConfig {
             broadcast_loss: 0.0,
             price_oracle: false,
             per_pdu_pricing: false,
+            telemetry: spotdc_telemetry::TelemetryConfig::default(),
         }
     }
 }
@@ -81,6 +87,9 @@ impl Simulation {
     #[must_use]
     pub fn run(self, slots: u64) -> SimReport {
         let Simulation { scenario, config } = self;
+        if config.telemetry.enabled {
+            spotdc_telemetry::install(config.telemetry);
+        }
         let n = slots as usize;
         let loads = scenario.load_traces(n);
         let other_traces = scenario.other_traces(n);
@@ -92,7 +101,7 @@ impl Simulation {
         let mut comms = CommsModel::new(
             config.bid_loss,
             config.broadcast_loss,
-            scenario.seed ^ 0xc0b1_d5,
+            scenario.seed ^ 0x00c0_b1d5,
         );
         let mut agents = scenario.agents.clone();
         let slot_hours = scenario.slot.hours();
@@ -110,8 +119,14 @@ impl Simulation {
         }
 
         let mut records = Vec::with_capacity(n);
+        // Running mean of |predicted spot − realized headroom|, exported
+        // as a gauge so operators can see how conservative the predictor
+        // is over a run.
+        let mut prediction_error_sum = 0.0;
+        let mut prediction_error_count = 0u64;
         for t in 0..n {
             let slot = Slot::new(t as u64);
+            let _slot_span = spotdc_telemetry::span!("engine.slot", slot = slot);
             for (i, agent) in agents.iter_mut().enumerate() {
                 agent.observe(loads[i][t]);
             }
@@ -125,12 +140,11 @@ impl Simulation {
             match config.mode {
                 Mode::PowerCapped => {}
                 Mode::SpotDc => {
-                    let mut bids: Vec<_> =
-                        agents.iter_mut().filter_map(|a| a.make_bid()).collect();
+                    let mut bids: Vec<_> = agents.iter_mut().filter_map(|a| a.make_bid()).collect();
                     if config.price_oracle {
                         let pre = operator.run_slot(slot, &bids, &meter);
-                        let oracle = (pre.outcome.sold() > Watts::ZERO)
-                            .then(|| pre.outcome.price());
+                        let oracle =
+                            (pre.outcome.sold() > Watts::ZERO).then(|| pre.outcome.price());
                         for a in agents.iter_mut() {
                             a.predict_price(oracle);
                         }
@@ -147,58 +161,41 @@ impl Simulation {
                             .collect();
                         let requesting: Vec<RackId> =
                             rack_bids.iter().map(|rb| rb.rack()).collect();
-                        let predicted =
-                            operator.predictor().predict(&topology, &meter, requesting);
-                        spot_available =
-                            predicted.total_pdu().min(predicted.ups).value();
-                        let constraints = ConstraintSet::new(
-                            &topology,
-                            predicted.pdu.clone(),
-                            predicted.ups,
-                        );
+                        let predicted = operator.predictor().predict(&topology, &meter, requesting);
+                        spot_available = predicted.total_pdu().min(predicted.ups).value();
+                        let constraints =
+                            ConstraintSet::new(&topology, predicted.pdu.clone(), predicted.ups);
                         let clearing = MarketClearing::new(config.operator.clearing);
                         let mut revenue_weighted_price = 0.0;
-                        for outcome in clearing.clear_per_pdu(slot, &rack_bids, &constraints)
-                        {
+                        for outcome in clearing.clear_per_pdu(slot, &rack_bids, &constraints) {
                             let mut alloc = outcome.into_allocation();
-                            comms.deliver_broadcasts(
-                                &topology,
-                                &mut alloc,
-                                bidders.clone(),
-                            );
+                            comms.deliver_broadcasts(&topology, &mut alloc, bidders.clone());
                             for (rack, grant) in alloc.iter() {
                                 if grant > Watts::ZERO {
                                     bank.grant_spot(slot, rack, grant)
                                         .expect("cleared grants respect rack headroom");
-                                    payments.insert(
-                                        rack,
-                                        alloc.payment_for(rack, scenario.slot).usd(),
-                                    );
+                                    payments
+                                        .insert(rack, alloc.payment_for(rack, scenario.slot).usd());
                                 }
                             }
                             let sold = alloc.total().value();
                             spot_sold += sold;
-                            revenue_weighted_price +=
-                                alloc.price().per_kw_hour_value() * sold;
+                            revenue_weighted_price += alloc.price().per_kw_hour_value() * sold;
                         }
                         if spot_sold > 0.0 {
                             price = Some(revenue_weighted_price / spot_sold);
                         }
                     } else {
                         let round = operator.run_slot(slot, &bids, &meter);
-                        spot_available = round
-                            .predicted
-                            .total_pdu()
-                            .min(round.predicted.ups)
-                            .value();
+                        spot_available =
+                            round.predicted.total_pdu().min(round.predicted.ups).value();
                         let mut alloc = round.outcome.into_allocation();
                         comms.deliver_broadcasts(&topology, &mut alloc, bidders);
                         for (rack, grant) in alloc.iter() {
                             if grant > Watts::ZERO {
                                 bank.grant_spot(slot, rack, grant)
                                     .expect("cleared grants respect rack headroom");
-                                payments
-                                    .insert(rack, alloc.payment_for(rack, scenario.slot).usd());
+                                payments.insert(rack, alloc.payment_for(rack, scenario.slot).usd());
                             }
                         }
                         spot_sold = alloc.total().value();
@@ -219,8 +216,7 @@ impl Simulation {
                             }
                         }
                     }
-                    let predicted =
-                        operator.predictor().predict(&topology, &meter, wanting);
+                    let predicted = operator.predictor().predict(&topology, &meter, wanting);
                     spot_available = predicted.total_pdu().min(predicted.ups).value();
                     let constraints =
                         ConstraintSet::new(&topology, predicted.pdu.clone(), predicted.ups);
@@ -266,6 +262,19 @@ impl Simulation {
 
             let pdu_power = meter.pdu_powers();
             emergencies.observe(slot, &pdu_power);
+            if spotdc_telemetry::is_enabled() && spot_available > 0.0 {
+                // The predictor forecast `spot_available` from last
+                // slot's meter readings; compare against the headroom
+                // actually realized this slot (unused UPS capacity plus
+                // the spot capacity that was sold and consumed).
+                let realized = (topology.ups_capacity() - meter.ups_power()).value() + spot_sold;
+                prediction_error_sum += (spot_available - realized).abs();
+                prediction_error_count += 1;
+                spotdc_telemetry::registry().set_gauge(
+                    "spotdc_prediction_error_watts",
+                    prediction_error_sum / prediction_error_count as f64,
+                );
+            }
             records.push(SlotRecord {
                 slot: t as u64,
                 price,
@@ -352,7 +361,10 @@ mod tests {
                 }
             }
         }
-        assert!(total >= 6, "expected most tenants to want spot at least once");
+        assert!(
+            total >= 6,
+            "expected most tenants to want spot at least once"
+        );
         assert!(
             improved * 2 > total,
             "only {improved}/{total} tenants improved"

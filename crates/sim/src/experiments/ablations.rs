@@ -10,8 +10,7 @@
 //!   redistributing cleared multi-rack grants.
 
 use spotdc_core::{
-    ClearingAlgorithm, ClearingConfig, ConstraintSet, MarketClearing, OperatorConfig,
-    SpotPredictor,
+    ClearingAlgorithm, ClearingConfig, ConstraintSet, MarketClearing, OperatorConfig, SpotPredictor,
 };
 use spotdc_power::topology::TopologyBuilder;
 use spotdc_tenants::bundle_bid;
@@ -177,9 +176,7 @@ pub fn granularity_study(cfg: &ExpConfig) -> GranularityStudy {
                 .sum();
             concentrated.insert(RackId::new(tenant * 3), total);
         }
-        let rack_violated = concentrated
-            .values()
-            .any(|&g| g > Watts::new(60.0 + 1e-9));
+        let rack_violated = concentrated.values().any(|&g| g > Watts::new(60.0 + 1e-9));
         if rack_violated {
             rack_overloads += 1;
         }

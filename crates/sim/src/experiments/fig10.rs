@@ -150,6 +150,9 @@ mod tests {
             .iter()
             .filter(|rec| rec.tenants[2].grant > 0.0 || rec.tenants[3].grant > 0.0)
             .count();
-        assert!(granted_slots >= 5, "opportunistic granted in {granted_slots} slots");
+        assert!(
+            granted_slots >= 5,
+            "opportunistic granted in {granted_slots} slots"
+        );
     }
 }

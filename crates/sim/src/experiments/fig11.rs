@@ -29,8 +29,7 @@ pub fn compute(cfg: &ExpConfig) -> Fig11Result {
         volatile_others: true,
         ..ScenarioTuning::default()
     };
-    let scenario =
-        Scenario::testbed_with(cfg.seed, tuning).with_scripted_loads(fig10::scripts());
+    let scenario = Scenario::testbed_with(cfg.seed, tuning).with_scripted_loads(fig10::scripts());
     let capped =
         Simulation::new(scenario, EngineConfig::new(Mode::PowerCapped)).run(fig10::SLOTS as u64);
     Fig11Result { spot, capped }
@@ -100,7 +99,10 @@ mod tests {
                 .filter(|rec| rec.tenants[i].slo_met == Some(true))
                 .count()
         };
-        assert!(slo_ok(&r.spot, 0) > slo_ok(&r.capped, 0), "S-1 should gain SLO slots");
+        assert!(
+            slo_ok(&r.spot, 0) > slo_ok(&r.capped, 0),
+            "S-1 should gain SLO slots"
+        );
         assert!(slo_ok(&r.spot, 1) >= slo_ok(&r.capped, 1));
     }
 

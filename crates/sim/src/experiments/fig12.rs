@@ -64,17 +64,15 @@ pub fn compute(cfg: &ExpConfig) -> Fig12Result {
     let tenants = specs
         .iter()
         .enumerate()
-        .map(|(i, s)| {
-            TenantComparison {
-                alias: s.alias.clone(),
-                sprinting: s.kind.is_sprinting(),
-                cost_ratio: spot.tenant_bill(i, &billing).total()
-                    / capped.tenant_bill(i, &billing).total().max(1e-12),
-                perf_ratio: spot.tenant_perf_ratio_vs(&capped, i).unwrap_or(1.0),
-                maxperf_ratio: maxperf.tenant_perf_ratio_vs(&capped, i).unwrap_or(1.0),
-                usage_max_pct: spot.tenant_spot_usage_percent(i).0,
-                usage_avg_pct: spot.tenant_spot_usage_percent(i).1,
-            }
+        .map(|(i, s)| TenantComparison {
+            alias: s.alias.clone(),
+            sprinting: s.kind.is_sprinting(),
+            cost_ratio: spot.tenant_bill(i, &billing).total()
+                / capped.tenant_bill(i, &billing).total().max(1e-12),
+            perf_ratio: spot.tenant_perf_ratio_vs(&capped, i).unwrap_or(1.0),
+            maxperf_ratio: maxperf.tenant_perf_ratio_vs(&capped, i).unwrap_or(1.0),
+            usage_max_pct: spot.tenant_spot_usage_percent(i).0,
+            usage_avg_pct: spot.tenant_spot_usage_percent(i).1,
         })
         .collect();
     let operator_extra_percent = spot.profit(&billing).extra_percent();
@@ -163,7 +161,10 @@ mod tests {
                 .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
-        assert!(avg(true) < avg(false), "sprinting should pay less in relative terms");
+        assert!(
+            avg(true) < avg(false),
+            "sprinting should pay less in relative terms"
+        );
     }
 
     #[test]

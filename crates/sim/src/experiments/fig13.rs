@@ -63,7 +63,8 @@ pub fn compute(cfg: &ExpConfig) -> Fig13Result {
 pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let r = compute(cfg);
     let mut body = String::from("(a) market price CDF ($/kW/h):\n");
-    let mut price_table = TextTable::new(vec!["quantile", "sprinting slots", "opportunistic slots"]);
+    let mut price_table =
+        TextTable::new(vec!["quantile", "sprinting slots", "opportunistic slots"]);
     for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
         let fmt = |cdf: &Cdf| -> String {
             if cdf.is_empty() {

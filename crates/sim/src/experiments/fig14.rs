@@ -191,6 +191,9 @@ mod tests {
             .iter()
             .all(|a| matches!(a.strategy(), Strategy::StepAtValue { .. })));
         let f = styled_scenario(1, 0.42, BidStyle::Full);
-        assert!(f.agents.iter().all(|a| matches!(a.strategy(), Strategy::Full { .. })));
+        assert!(f
+            .agents
+            .iter()
+            .all(|a| matches!(a.strategy(), Strategy::Full { .. })));
     }
 }

@@ -142,8 +142,12 @@ mod tests {
     use super::*;
 
     fn result() -> Fig16Result {
+        // Six days, not fewer: at shorter horizons the payment totals are
+        // dominated by which individual slots the seeded arrival noise
+        // lands on, and the Fig. 16 tendency only shows once a few
+        // diurnal cycles average that out.
         compute(&ExpConfig {
-            days: 3.0,
+            days: 6.0,
             ..ExpConfig::quick()
         })
     }
@@ -171,8 +175,7 @@ mod tests {
     #[test]
     fn operator_profit_barely_moves() {
         let r = result();
-        let delta =
-            (r.predicting.operator_extra_percent - r.elastic.operator_extra_percent).abs();
+        let delta = (r.predicting.operator_extra_percent - r.elastic.operator_extra_percent).abs();
         assert!(delta < 2.0, "profit moved by {delta} points");
     }
 }

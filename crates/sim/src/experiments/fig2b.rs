@@ -54,9 +54,8 @@ pub fn compute(cfg: &ExpConfig) -> Fig2bResult {
                 .generate(slots)
         })
         .collect();
-    let sum_of = |count: usize, t: usize| -> f64 {
-        traces[..count].iter().map(|tr| tr[t].value()).sum()
-    };
+    let sum_of =
+        |count: usize, t: usize| -> f64 { traces[..count].iter().map(|tr| tr[t].value()).sum() };
     let base_series: Vec<f64> = (0..slots).map(|t| sum_of(5, t)).collect();
     let over_series: Vec<f64> = (0..slots).map(|t| sum_of(7, t)).collect();
     // Capacity provisioned at the base group's maximum demand.

@@ -91,7 +91,11 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
     }
     let max_err = points
         .iter()
-        .map(|p| (p.bid_1 - p.optimal_1).abs().max((p.bid_2 - p.optimal_2).abs()))
+        .map(|p| {
+            (p.bid_1 - p.optimal_1)
+                .abs()
+                .max((p.bid_2 - p.optimal_2).abs())
+        })
         .fold(0.0f64, f64::max);
     let mut body = table.render();
     body.push_str(&format!(

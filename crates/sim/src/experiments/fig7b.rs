@@ -35,10 +35,7 @@ pub struct ClearingTiming {
 /// 64 racks per PDU (the paper's 50-80 range), every rack bidding a
 /// random linear bid.
 #[must_use]
-pub fn synthetic_market(
-    racks: usize,
-    seed: u64,
-) -> (PowerTopology, Vec<RackBid>, ConstraintSet) {
+pub fn synthetic_market(racks: usize, seed: u64) -> (PowerTopology, Vec<RackBid>, ConstraintSet) {
     let mut rng = Sampler::seeded(seed);
     let pdus = racks.div_ceil(RACKS_PER_PDU);
     let mut builder = TopologyBuilder::new(Watts::new(1e9));
@@ -46,11 +43,7 @@ pub fn synthetic_market(
         builder = builder.pdu(Watts::new(64.0 * 8000.0));
         for r in 0..RACKS_PER_PDU.min(racks - p * RACKS_PER_PDU) {
             let i = p * RACKS_PER_PDU + r;
-            builder = builder.rack(
-                TenantId::new(i),
-                Watts::new(5000.0),
-                Watts::new(2500.0),
-            );
+            builder = builder.rack(TenantId::new(i), Watts::new(5000.0), Watts::new(2500.0));
         }
     }
     let topology = builder.build().expect("valid synthetic topology");

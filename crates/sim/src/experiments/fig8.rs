@@ -25,12 +25,15 @@ pub struct Sweep {
     pub rows: Vec<(f64, Vec<f64>)>,
 }
 
+/// Performance metric extractor: (budget, intensity) -> reported value.
+type Metric = Box<dyn Fn(Watts, f64) -> f64>;
+
 fn sweep(name: &str, model: &WorkloadModel, reserved: f64, intensities: &[f64]) -> Sweep {
     let headroom = reserved * 0.5;
     let budgets: Vec<f64> = (0..=8)
         .map(|i| reserved * 0.8 + (headroom + reserved * 0.2) * f64::from(i) / 8.0)
         .collect();
-    let (unit, metric): (&str, Box<dyn Fn(Watts, f64) -> f64>) = match model {
+    let (unit, metric): (&str, Metric) = match model {
         WorkloadModel::Sprinting { workload, .. } => {
             let w = *workload;
             (

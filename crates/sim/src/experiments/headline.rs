@@ -71,7 +71,12 @@ mod tests {
             days: 2.0,
             ..ExpConfig::quick()
         });
-        for key in ["extra profit", "performance", "cost increase", "emergencies"] {
+        for key in [
+            "extra profit",
+            "performance",
+            "cost increase",
+            "emergencies",
+        ] {
             assert!(out.body.contains(key), "missing claim row: {key}");
         }
     }

@@ -53,8 +53,7 @@ pub fn compute(cfg: &ExpConfig) -> Vec<ShadingPoint> {
         .map(|&shading| {
             let mut scenario = base.clone();
             for &i in &shader_idx {
-                if let Strategy::Elastic { q_min, q_max } = scenario.agents[i].strategy().clone()
-                {
+                if let Strategy::Elastic { q_min, q_max } = scenario.agents[i].strategy().clone() {
                     scenario.agents[i]
                         .set_strategy(Strategy::elastic(q_min * shading, q_max * shading));
                 }
@@ -123,8 +122,11 @@ mod tests {
     use super::*;
 
     fn points() -> Vec<ShadingPoint> {
+        // Six days, not fewer: payment totals at shorter horizons swing a
+        // few percent either way on the seeded arrival noise, which is
+        // larger than the shading effect being asserted below.
         compute(&ExpConfig {
-            days: 3.0,
+            days: 6.0,
             ..ExpConfig::quick()
         })
     }

@@ -32,8 +32,24 @@ pub use common::{ExpConfig, ExpOutput};
 #[must_use]
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "table1", "fig2b", "fig4", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "fig12",
-        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "headline", "ablations",
+        "table1",
+        "fig2b",
+        "fig4",
+        "fig7a",
+        "fig7b",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "headline",
+        "ablations",
         "market_power",
     ]
 }

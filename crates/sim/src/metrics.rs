@@ -260,8 +260,8 @@ impl SimReport {
         if self.records.is_empty() {
             return 0.0;
         }
-        let avg: f64 = self.records.iter().map(|r| r.spot_available).sum::<f64>()
-            / self.records.len() as f64;
+        let avg: f64 =
+            self.records.iter().map(|r| r.spot_available).sum::<f64>() / self.records.len() as f64;
         avg / self.total_subscribed.value().max(1e-9)
     }
 

@@ -82,14 +82,12 @@ impl TenantKind {
     fn default_strategy(self, billing: &Billing) -> Strategy {
         let guaranteed_rate = billing.amortized_reservation_price();
         match self {
-            TenantKind::Search => Strategy::elastic(
-                Price::per_kw_hour(0.25),
-                Price::per_kw_hour(0.60),
-            ),
-            TenantKind::Web => Strategy::elastic(
-                Price::per_kw_hour(0.18),
-                Price::per_kw_hour(0.45),
-            ),
+            TenantKind::Search => {
+                Strategy::elastic(Price::per_kw_hour(0.25), Price::per_kw_hour(0.60))
+            }
+            TenantKind::Web => {
+                Strategy::elastic(Price::per_kw_hour(0.18), Price::per_kw_hour(0.45))
+            }
             _ => Strategy::elastic(Price::per_kw_hour(0.02), guaranteed_rate),
         }
     }
@@ -185,7 +183,7 @@ impl Scenario {
     /// by ±20 %.
     #[must_use]
     pub fn hyperscale(seed: u64, tenants: usize) -> Self {
-        let groups = (tenants.max(1) + 7) / 8; // 8 participants per group
+        let groups = tenants.max(1).div_ceil(8); // 8 participants per group
         let mut specs = Vec::with_capacity(groups * 8);
         let mut others = Vec::with_capacity(groups * 2);
         for g in 0..groups {
@@ -255,8 +253,8 @@ impl Scenario {
         let mut others = Vec::new();
         let mut jitter = Sampler::seeded(seed ^ 0x6a17);
         let mut rack_index = 0usize;
-        for pdu in 0..pdus {
-            builder = builder.pdu(pdu_caps[pdu]);
+        for (pdu, &pdu_cap) in pdu_caps.iter().enumerate().take(pdus) {
+            builder = builder.pdu(pdu_cap);
             for (i, s) in specs.iter().enumerate().filter(|(_, s)| s.pdu == pdu) {
                 let headroom = s.subscription * HEADROOM_FRACTION;
                 builder = builder.rack(TenantId::new(i), s.subscription, headroom);
@@ -458,10 +456,13 @@ mod tests {
         assert_eq!(s.participant_count(), 8);
         assert_eq!(s.topology.pdu_count(), 2);
         assert_eq!(s.topology.rack_count(), 10); // 8 participants + 2 others
-        // Subscriptions: 750 + 760 = 1510 W.
+                                                 // Subscriptions: 750 + 760 = 1510 W.
         assert_eq!(s.total_subscribed(), Watts::new(1510.0));
         // 5% oversubscription: capacities ≈ 714.3 / 723.8, UPS ≈ 1369.6.
-        let c0 = s.topology.pdu_capacity(spotdc_units::PduId::new(0)).unwrap();
+        let c0 = s
+            .topology
+            .pdu_capacity(spotdc_units::PduId::new(0))
+            .unwrap();
         assert!((c0.value() - 750.0 / 1.05).abs() < 0.1);
         assert!((s.topology.ups_capacity().value() - 1369.6).abs() < 1.0);
     }

@@ -1,0 +1,74 @@
+//! End-to-end telemetry check: run a real SpotDC simulation with the
+//! in-memory sink installed and verify the event stream, the JSONL
+//! round-trip, and the Prometheus exposition all line up.
+//!
+//! One `#[test]` on purpose: telemetry state is process-global, and a
+//! single test avoids cross-test interference without a gate mutex.
+
+use spotdc_sim::{
+    baselines::Mode,
+    engine::{EngineConfig, Simulation},
+    scenario::Scenario,
+};
+use spotdc_telemetry::{Event, TelemetryConfig};
+
+#[test]
+fn simulation_produces_consistent_telemetry() {
+    const SLOTS: u64 = 200;
+    let config = EngineConfig {
+        telemetry: TelemetryConfig::in_memory(),
+        ..EngineConfig::new(Mode::SpotDc)
+    };
+    let report = Simulation::new(Scenario::testbed(11), config).run(SLOTS);
+    spotdc_telemetry::flush();
+    let events = spotdc_telemetry::memory_sink().take();
+    spotdc_telemetry::set_enabled(false);
+
+    // Every slot clears the market exactly once in SpotDC mode, and
+    // with sample_every = 1 each clearing reaches the sink.
+    let cleared: Vec<&Event> = events
+        .iter()
+        .filter(|e| matches!(e, Event::SlotCleared { .. }))
+        .collect();
+    assert_eq!(cleared.len() as u64, SLOTS, "one SlotCleared per slot");
+
+    // Slots that sold spot power must report a positive price and
+    // matching sold watts in their event.
+    let sold_slots = report.records.iter().filter(|r| r.spot_sold > 0.0).count();
+    let sold_events = cleared
+        .iter()
+        .filter(|e| matches!(e, Event::SlotCleared { sold_watts, .. } if *sold_watts > 0.0))
+        .count();
+    assert!(sold_slots > 0, "testbed scenario should sell spot");
+    assert_eq!(sold_events, sold_slots);
+
+    // A prediction is issued for every slot's market round.
+    let predictions = events
+        .iter()
+        .filter(|e| matches!(e, Event::PredictionIssued { .. }))
+        .count();
+    assert_eq!(predictions as u64, SLOTS);
+
+    // Every event survives a JSONL round-trip unchanged.
+    for event in &events {
+        let line = event.to_jsonl();
+        let parsed =
+            Event::from_jsonl(&line).unwrap_or_else(|e| panic!("unparseable line {line:?}: {e}"));
+        assert_eq!(&parsed, event);
+    }
+
+    // The registry saw the same clearing count, and the exposition
+    // carries a clearing-duration histogram with real timings.
+    let registry = spotdc_telemetry::registry();
+    assert!(registry.counter("spotdc_slots_cleared_total") >= SLOTS);
+    let clearing = registry
+        .span_durations("clearing")
+        .expect("clearing span recorded");
+    assert!(clearing.count() >= SLOTS);
+    assert!(clearing.p50().unwrap() > 0.0);
+    assert!(clearing.p99().unwrap() > 0.0);
+    let text = registry.render_prometheus();
+    assert!(text.contains("spotdc_span_duration_seconds_bucket{span=\"clearing\""));
+    assert!(text.contains("spotdc_span_duration_seconds_count{span=\"engine.slot\""));
+    assert!(text.contains("spotdc_prediction_error_watts"));
+}

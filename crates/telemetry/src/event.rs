@@ -1,0 +1,544 @@
+//! Typed structured events and their JSONL wire format.
+//!
+//! Events are hand-serialized (the build environment has no serde
+//! runtime) to one flat JSON object per line:
+//!
+//! ```json
+//! {"event":"SlotCleared","slot":12,"t_ns":83012,"price_per_kw_hour":0.25,...}
+//! ```
+//!
+//! [`Event::from_jsonl`] parses that format back, which keeps the
+//! round-trip honest (see the crate tests) and lets downstream tooling
+//! and the repro binary consume `telemetry.jsonl` without a JSON
+//! library.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use spotdc_units::{MonotonicNanos, Slot};
+
+/// One structured telemetry event from the market pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A market slot cleared (once per clearing run; per-PDU clearing
+    /// emits one event per PDU sub-market).
+    SlotCleared {
+        /// The market slot that cleared.
+        slot: Slot,
+        /// Monotonic timestamp of the clearing.
+        at: MonotonicNanos,
+        /// Uniform clearing price, $/kW/h.
+        price_per_kw_hour: f64,
+        /// Spot capacity sold, watts.
+        sold_watts: f64,
+        /// Operator revenue rate at the clearing point, $/h.
+        revenue_rate_per_hour: f64,
+        /// Candidate prices evaluated by the clearing search.
+        candidates_evaluated: u64,
+    },
+    /// The operator issued a spot-capacity prediction for a slot.
+    PredictionIssued {
+        /// The slot the prediction is for.
+        slot: Slot,
+        /// Monotonic timestamp of the prediction.
+        at: MonotonicNanos,
+        /// Predicted UPS-level spot capacity, watts.
+        ups_watts: f64,
+        /// Sum of predicted per-PDU spot capacities, watts.
+        pdu_total_watts: f64,
+        /// Number of PDUs in the prediction.
+        pdus: u64,
+    },
+    /// A clearing allocation ran into a capacity constraint (the
+    /// aggregate grant reached a PDU or UPS spot bound).
+    ConstraintBound {
+        /// The slot being cleared.
+        slot: Slot,
+        /// Monotonic timestamp.
+        at: MonotonicNanos,
+        /// Which constraint bound ("ups" or "pdu-<i>").
+        constraint: String,
+        /// The binding limit, watts.
+        limit_watts: f64,
+    },
+    /// A power emergency (PDU or UPS overload) was observed.
+    EmergencyTriggered {
+        /// The slot in which the overload was observed.
+        slot: Slot,
+        /// Monotonic timestamp.
+        at: MonotonicNanos,
+        /// Overloaded level ("ups" or "pdu-<i>").
+        level: String,
+        /// Observed load, watts.
+        load_watts: f64,
+        /// Rated capacity at that level, watts.
+        capacity_watts: f64,
+    },
+    /// A tenant bid was rejected before the market ran (admission
+    /// control: unmetered racks, malformed bids, ...).
+    BidRejected {
+        /// The slot the bid targeted.
+        slot: Slot,
+        /// Monotonic timestamp.
+        at: MonotonicNanos,
+        /// The bidding tenant's dense index.
+        tenant: u64,
+        /// Number of racks in the rejected bid.
+        racks: u64,
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+}
+
+impl Event {
+    /// The event's type tag as serialized in the `"event"` field.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SlotCleared { .. } => "SlotCleared",
+            Event::PredictionIssued { .. } => "PredictionIssued",
+            Event::ConstraintBound { .. } => "ConstraintBound",
+            Event::EmergencyTriggered { .. } => "EmergencyTriggered",
+            Event::BidRejected { .. } => "BidRejected",
+        }
+    }
+
+    /// The market slot the event belongs to.
+    #[must_use]
+    pub fn slot(&self) -> Slot {
+        match self {
+            Event::SlotCleared { slot, .. }
+            | Event::PredictionIssued { slot, .. }
+            | Event::ConstraintBound { slot, .. }
+            | Event::EmergencyTriggered { slot, .. }
+            | Event::BidRejected { slot, .. } => *slot,
+        }
+    }
+
+    /// The event's monotonic timestamp.
+    #[must_use]
+    pub fn at(&self) -> MonotonicNanos {
+        match self {
+            Event::SlotCleared { at, .. }
+            | Event::PredictionIssued { at, .. }
+            | Event::ConstraintBound { at, .. }
+            | Event::EmergencyTriggered { at, .. }
+            | Event::BidRejected { at, .. } => *at,
+        }
+    }
+
+    /// Whether the event must bypass `sample_every` down-sampling.
+    ///
+    /// Routine per-slot traffic (clearings, predictions) can be sampled;
+    /// anomalies (emergencies, rejections, binding constraints) are rare
+    /// and always recorded.
+    #[must_use]
+    pub fn is_critical(&self) -> bool {
+        matches!(
+            self,
+            Event::ConstraintBound { .. }
+                | Event::EmergencyTriggered { .. }
+                | Event::BidRejected { .. }
+        )
+    }
+
+    /// Serializes the event as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(
+            out,
+            "{{\"event\":\"{}\",\"slot\":{},\"t_ns\":{}",
+            self.kind(),
+            self.slot().index(),
+            self.at().as_nanos()
+        );
+        match self {
+            Event::SlotCleared {
+                price_per_kw_hour,
+                sold_watts,
+                revenue_rate_per_hour,
+                candidates_evaluated,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"price_per_kw_hour\":{},\"sold_watts\":{},\
+                     \"revenue_rate_per_hour\":{},\"candidates_evaluated\":{}",
+                    json_num(*price_per_kw_hour),
+                    json_num(*sold_watts),
+                    json_num(*revenue_rate_per_hour),
+                    candidates_evaluated
+                );
+            }
+            Event::PredictionIssued {
+                ups_watts,
+                pdu_total_watts,
+                pdus,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"ups_watts\":{},\"pdu_total_watts\":{},\"pdus\":{}",
+                    json_num(*ups_watts),
+                    json_num(*pdu_total_watts),
+                    pdus
+                );
+            }
+            Event::ConstraintBound {
+                constraint,
+                limit_watts,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"constraint\":{},\"limit_watts\":{}",
+                    json_str(constraint),
+                    json_num(*limit_watts)
+                );
+            }
+            Event::EmergencyTriggered {
+                level,
+                load_watts,
+                capacity_watts,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"level\":{},\"load_watts\":{},\"capacity_watts\":{}",
+                    json_str(level),
+                    json_num(*load_watts),
+                    json_num(*capacity_watts)
+                );
+            }
+            Event::BidRejected {
+                tenant,
+                racks,
+                reason,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"tenant\":{},\"racks\":{},\"reason\":{}",
+                    tenant,
+                    racks,
+                    json_str(reason)
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSONL line produced by [`Event::to_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntactic or semantic problem
+    /// (malformed JSON, unknown event tag, missing field).
+    pub fn from_jsonl(line: &str) -> Result<Event, String> {
+        let fields = parse_flat_object(line)?;
+        let str_field = |k: &str| -> Result<&str, String> {
+            match fields.get(k) {
+                Some(JsonValue::Str(s)) => Ok(s),
+                Some(JsonValue::Num(_)) => Err(format!("field {k:?} is not a string")),
+                None => Err(format!("missing field {k:?}")),
+            }
+        };
+        let num = |k: &str| -> Result<f64, String> {
+            match fields.get(k) {
+                Some(JsonValue::Num(raw)) => raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("field {k:?}: bad number {raw:?}")),
+                Some(JsonValue::Str(_)) => Err(format!("field {k:?} is not a number")),
+                None => Err(format!("missing field {k:?}")),
+            }
+        };
+        let int = |k: &str| -> Result<u64, String> {
+            match fields.get(k) {
+                Some(JsonValue::Num(raw)) => raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("field {k:?}: bad integer {raw:?}")),
+                Some(JsonValue::Str(_)) => Err(format!("field {k:?} is not a number")),
+                None => Err(format!("missing field {k:?}")),
+            }
+        };
+
+        let slot = Slot::new(int("slot")?);
+        let at = MonotonicNanos::from_raw(int("t_ns")?);
+        match str_field("event")? {
+            "SlotCleared" => Ok(Event::SlotCleared {
+                slot,
+                at,
+                price_per_kw_hour: num("price_per_kw_hour")?,
+                sold_watts: num("sold_watts")?,
+                revenue_rate_per_hour: num("revenue_rate_per_hour")?,
+                candidates_evaluated: int("candidates_evaluated")?,
+            }),
+            "PredictionIssued" => Ok(Event::PredictionIssued {
+                slot,
+                at,
+                ups_watts: num("ups_watts")?,
+                pdu_total_watts: num("pdu_total_watts")?,
+                pdus: int("pdus")?,
+            }),
+            "ConstraintBound" => Ok(Event::ConstraintBound {
+                slot,
+                at,
+                constraint: str_field("constraint")?.to_owned(),
+                limit_watts: num("limit_watts")?,
+            }),
+            "EmergencyTriggered" => Ok(Event::EmergencyTriggered {
+                slot,
+                at,
+                level: str_field("level")?.to_owned(),
+                load_watts: num("load_watts")?,
+                capacity_watts: num("capacity_watts")?,
+            }),
+            "BidRejected" => Ok(Event::BidRejected {
+                slot,
+                at,
+                tenant: int("tenant")?,
+                racks: int("racks")?,
+                reason: str_field("reason")?.to_owned(),
+            }),
+            other => Err(format!("unknown event tag {other:?}")),
+        }
+    }
+}
+
+/// Formats an `f64` so it survives the round-trip (JSON has no
+/// Infinity/NaN; clamp those to null-ish sentinels is worse than being
+/// explicit, so they serialize as 0 with the sign preserved for -0).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        let s = x.to_string();
+        // `f64::to_string` never produces exponents for the magnitudes
+        // telemetry sees, but be safe: JSON accepts them anyway.
+        s
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Quotes and escapes a JSON string.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A value in a flat JSON object: a string, or a number kept as its raw
+/// token so integers parse losslessly.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(String),
+}
+
+/// Parses a single-level JSON object (`{"k":v,...}` with string or
+/// numeric values — all this crate ever emits).
+fn parse_flat_object(input: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut chars = input.trim().chars().peekable();
+    let mut out = BTreeMap::new();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".to_owned());
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            other => return Err(format!("expected key or '}}', found {other:?}")),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::Str(parse_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                let mut raw = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                        raw.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                JsonValue::Num(raw)
+            }
+            other => return Err(format!("unsupported value start {other:?}")),
+        };
+        out.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => {}
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after object".to_owned());
+    }
+    Ok(out)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".to_owned());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_owned()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                    out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::SlotCleared {
+                slot: Slot::new(12),
+                at: MonotonicNanos::from_raw(83_012),
+                price_per_kw_hour: 0.25,
+                sold_watts: 1_234.5,
+                revenue_rate_per_hour: 0.3086,
+                candidates_evaluated: 101,
+            },
+            Event::PredictionIssued {
+                slot: Slot::new(12),
+                at: MonotonicNanos::from_raw(82_000),
+                ups_watts: 5_000.0,
+                pdu_total_watts: 6_200.0,
+                pdus: 4,
+            },
+            Event::ConstraintBound {
+                slot: Slot::new(13),
+                at: MonotonicNanos::from_raw(90_001),
+                constraint: "pdu-2".to_owned(),
+                limit_watts: 800.0,
+            },
+            Event::EmergencyTriggered {
+                slot: Slot::new(14),
+                at: MonotonicNanos::from_raw(95_555),
+                level: "ups".to_owned(),
+                load_watts: 10_500.0,
+                capacity_watts: 10_000.0,
+            },
+            Event::BidRejected {
+                slot: Slot::new(15),
+                at: MonotonicNanos::from_raw(99_999),
+                tenant: 3,
+                racks: 2,
+                reason: "rack \"r7\" not metered\nretry next slot".to_owned(),
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_every_event() {
+        for event in sample_events() {
+            let line = event.to_jsonl();
+            assert!(!line.contains('\n'), "JSONL must be one line: {line}");
+            let back = Event::from_jsonl(&line).expect(&line);
+            assert_eq!(back, event, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_shape_is_stable() {
+        let line = sample_events()[0].to_jsonl();
+        assert_eq!(
+            line,
+            "{\"event\":\"SlotCleared\",\"slot\":12,\"t_ns\":83012,\
+             \"price_per_kw_hour\":0.25,\"sold_watts\":1234.5,\
+             \"revenue_rate_per_hour\":0.3086,\"candidates_evaluated\":101}"
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(Event::from_jsonl("").is_err());
+        assert!(Event::from_jsonl("{}").is_err());
+        assert!(Event::from_jsonl("{\"event\":\"Nope\",\"slot\":1,\"t_ns\":2}").is_err());
+        assert!(Event::from_jsonl("{\"event\":\"SlotCleared\",\"slot\":1,\"t_ns\":2}").is_err());
+        assert!(Event::from_jsonl("{\"slot\":1").is_err());
+        assert!(Event::from_jsonl("{\"slot\":1} trailing").is_err());
+    }
+
+    #[test]
+    fn parser_tolerates_whitespace() {
+        let spaced = "{ \"event\" : \"PredictionIssued\" , \"slot\" : 7 , \"t_ns\" : 1 ,\
+                      \"ups_watts\" : 1.5 , \"pdu_total_watts\" : 2.5 , \"pdus\" : 2 }";
+        let event = Event::from_jsonl(spaced).unwrap();
+        assert_eq!(event.slot(), Slot::new(7));
+        assert_eq!(event.kind(), "PredictionIssued");
+    }
+
+    #[test]
+    fn critical_events_bypass_sampling() {
+        let kinds: Vec<(String, bool)> = sample_events()
+            .iter()
+            .map(|e| (e.kind().to_owned(), e.is_critical()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("SlotCleared".to_owned(), false),
+                ("PredictionIssued".to_owned(), false),
+                ("ConstraintBound".to_owned(), true),
+                ("EmergencyTriggered".to_owned(), true),
+                ("BidRejected".to_owned(), true),
+            ]
+        );
+    }
+}

@@ -1,0 +1,473 @@
+//! Counters, gauges, and fixed-bucket histograms with Prometheus-style
+//! text exposition.
+//!
+//! The [`Registry`] is a plain mutex-guarded map: the hot path of the
+//! simulator only touches it when telemetry is enabled, and even then a
+//! slot is milliseconds of work against a microsecond lock. No atomics
+//! tree, no sharding — measured before optimized.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Default histogram buckets for durations in seconds: log-spaced
+/// 1µs → 1s (1-2.5-5 per decade), plus the implicit `+Inf` overflow.
+pub const DURATION_BUCKETS: &[f64] = &[
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+    5e-2, 0.1, 0.25, 0.5, 1.0,
+];
+
+/// A fixed-bucket histogram (Prometheus semantics: bucket `i` counts
+/// observations `<= bounds[i]`, with an implicit `+Inf` bucket at the
+/// end).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Ascending finite upper bounds.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the trailing `+Inf` overflow bucket.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending finite bucket bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-ascending, or contains a
+    /// non-finite value.
+    #[must_use]
+    pub fn with_buckets(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be ascending and finite"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// A histogram with [`DURATION_BUCKETS`].
+    #[must_use]
+    pub fn for_durations() -> Self {
+        Histogram::with_buckets(DURATION_BUCKETS)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the containing bucket, as `histogram_quantile` does.
+    /// Returns `None` when the histogram is empty.
+    ///
+    /// Observations in the `+Inf` overflow bucket clamp to the largest
+    /// finite bound — quantiles can never exceed it.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &bucket_count) in self.counts.iter().enumerate() {
+            let prev = cumulative as f64;
+            cumulative += bucket_count;
+            if (cumulative as f64) >= rank && bucket_count > 0 {
+                let last = *self.bounds.last().expect("non-empty bounds");
+                if i == self.bounds.len() {
+                    return Some(last); // +Inf bucket clamps
+                }
+                let upper = self.bounds[i];
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let frac = ((rank - prev) / bucket_count as f64).clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * frac);
+            }
+        }
+        Some(*self.bounds.last().expect("non-empty bounds"))
+    }
+
+    /// The median estimate (p50).
+    #[must_use]
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// The 90th-percentile estimate.
+    #[must_use]
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// The 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Cumulative bucket counts paired with their upper bounds, the
+    /// `+Inf` bucket last (bound `None`).
+    fn cumulative(&self) -> Vec<(Option<f64>, u64)> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        let mut cumulative = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            out.push((self.bounds.get(i).copied(), cumulative));
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    /// Span-duration histograms keyed by span name, rendered as one
+    /// metric family with a `span` label.
+    spans: BTreeMap<String, Histogram>,
+}
+
+/// A thread-safe registry of counters, gauges, and histograms.
+///
+/// One process-global instance lives behind [`crate::registry`]; tests
+/// construct their own.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned registry only means a panic elsewhere mid-update;
+        // telemetry should keep limping rather than cascade the panic.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds `by` to the named counter (creating it at zero).
+    pub fn inc_counter(&self, name: &str, by: u64) {
+        *self.lock().counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_owned(), value);
+    }
+
+    /// Sets the named gauge to `value` only if it exceeds the current
+    /// value (high-water-mark gauges, e.g. max span nesting depth).
+    pub fn set_gauge_max(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        let slot = inner.gauges.entry(name.to_owned()).or_insert(f64::MIN);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Records `value` into the named histogram, created on first use
+    /// with [`DURATION_BUCKETS`].
+    pub fn observe(&self, name: &str, value: f64) {
+        self.lock()
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(Histogram::for_durations)
+            .observe(value);
+    }
+
+    /// Records `value` into the named histogram, created on first use
+    /// with the given bounds (ignored if the histogram already exists).
+    pub fn observe_with_buckets(&self, name: &str, value: f64, bounds: &[f64]) {
+        self.lock()
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::with_buckets(bounds))
+            .observe(value);
+    }
+
+    /// Records one span duration (seconds) under the span's name.
+    pub fn record_span(&self, span: &str, seconds: f64) {
+        self.lock()
+            .spans
+            .entry(span.to_owned())
+            .or_insert_with(Histogram::for_durations)
+            .observe(seconds);
+    }
+
+    /// The current value of a counter (zero if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The current value of a gauge, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// A snapshot of the named histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().histograms.get(name).cloned()
+    }
+
+    /// A snapshot of the named span's duration histogram.
+    #[must_use]
+    pub fn span_durations(&self, span: &str) -> Option<Histogram> {
+        self.lock().spans.get(span).cloned()
+    }
+
+    /// The names of every span recorded so far, in sorted order.
+    #[must_use]
+    pub fn span_names(&self) -> Vec<String> {
+        self.lock().spans.keys().cloned().collect()
+    }
+
+    /// Drops every metric. Intended for tests sharing the process-global
+    /// registry.
+    pub fn reset(&self) {
+        *self.lock() = Inner::default();
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (version 0.0.4): counters, gauges, then histograms with
+    /// cumulative `_bucket{le=...}` series plus `_sum` and `_count`,
+    /// and span durations as one `spotdc_span_duration_seconds` family
+    /// labelled by span name.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for (name, value) in &inner.counters {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, value) in &inner.gauges {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+        }
+        for (name, histogram) in &inner.histograms {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (bound, cumulative) in histogram.cumulative() {
+                let le = bound.map_or("+Inf".to_owned(), |b| b.to_string());
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", histogram.sum());
+            let _ = writeln!(out, "{name}_count {}", histogram.count());
+        }
+        if !inner.spans.is_empty() {
+            let family = "spotdc_span_duration_seconds";
+            let _ = writeln!(out, "# TYPE {family} histogram");
+            for (span, histogram) in &inner.spans {
+                // Label values (unlike metric names) admit any UTF-8;
+                // only `\`, `"` and newline need escaping.
+                let span = escape_label(span);
+                for (bound, cumulative) in histogram.cumulative() {
+                    let le = bound.map_or("+Inf".to_owned(), |b| b.to_string());
+                    let _ = writeln!(
+                        out,
+                        "{family}_bucket{{span=\"{span}\",le=\"{le}\"}} {cumulative}"
+                    );
+                }
+                let _ = writeln!(out, "{family}_sum{{span=\"{span}\"}} {}", histogram.sum());
+                let _ = writeln!(
+                    out,
+                    "{family}_count{{span=\"{span}\"}} {}",
+                    histogram.count()
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a string for use as a Prometheus label value.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Maps arbitrary names onto the Prometheus metric-name alphabet.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let mut h = Histogram::with_buckets(&[1.0, 2.0, 4.0]);
+        h.observe(1.0); // lands in le=1 (inclusive upper bound)
+        h.observe(1.5); // le=2
+        h.observe(2.0); // le=2
+        h.observe(4.0); // le=4
+        h.observe(9.0); // +Inf overflow
+        assert_eq!(h.counts, vec![1, 2, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::with_buckets(&[10.0, 20.0, 30.0]);
+        for _ in 0..50 {
+            h.observe(5.0);
+        }
+        for _ in 0..50 {
+            h.observe(15.0);
+        }
+        // Half the mass is in (0,10], half in (10,20]: the median sits
+        // exactly at the boundary and p99 deep in the second bucket.
+        assert!((h.p50().unwrap() - 10.0).abs() < 1e-9);
+        let p99 = h.p99().unwrap();
+        assert!(p99 > 19.0 && p99 <= 20.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = Histogram::with_buckets(&[1.0]);
+        assert_eq!(empty.quantile(0.5), None);
+
+        let mut overflow = Histogram::with_buckets(&[1.0, 2.0]);
+        overflow.observe(100.0);
+        // Overflow observations clamp to the largest finite bound.
+        assert_eq!(overflow.p99(), Some(2.0));
+        assert_eq!(overflow.p50(), Some(2.0));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = Histogram::for_durations();
+        let mut x = 1e-7;
+        for _ in 0..200 {
+            h.observe(x);
+            x *= 1.09;
+        }
+        let qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
+        let vals: Vec<f64> = qs.iter().map(|&q| h.quantile(q).unwrap()).collect();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]), "{vals:?}");
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let r = Registry::new();
+        r.inc_counter("slots", 2);
+        r.inc_counter("slots", 3);
+        assert_eq!(r.counter("slots"), 5);
+        assert_eq!(r.counter("never"), 0);
+
+        r.set_gauge("err", 1.5);
+        r.set_gauge("err", 0.5);
+        assert_eq!(r.gauge("err"), Some(0.5));
+        r.set_gauge_max("peak", 1.0);
+        r.set_gauge_max("peak", 0.25);
+        assert_eq!(r.gauge("peak"), Some(1.0));
+
+        r.observe("lat", 1e-4);
+        assert_eq!(r.histogram("lat").unwrap().count(), 1);
+        assert!(r.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn render_prometheus_golden() {
+        let r = Registry::new();
+        r.inc_counter("spotdc_slots_cleared_total", 3);
+        r.set_gauge("spotdc_prediction_error_watts", 12.5);
+        r.observe_with_buckets("spotdc_clearing_duration_seconds", 0.5, &[1.0, 2.0]);
+        r.observe_with_buckets("spotdc_clearing_duration_seconds", 1.5, &[1.0, 2.0]);
+        r.observe_with_buckets("spotdc_clearing_duration_seconds", 9.0, &[1.0, 2.0]);
+        r.record_span("clearing", 0.75);
+        let expected = "\
+# TYPE spotdc_slots_cleared_total counter
+spotdc_slots_cleared_total 3
+# TYPE spotdc_prediction_error_watts gauge
+spotdc_prediction_error_watts 12.5
+# TYPE spotdc_clearing_duration_seconds histogram
+spotdc_clearing_duration_seconds_bucket{le=\"1\"} 1
+spotdc_clearing_duration_seconds_bucket{le=\"2\"} 2
+spotdc_clearing_duration_seconds_bucket{le=\"+Inf\"} 3
+spotdc_clearing_duration_seconds_sum 11
+spotdc_clearing_duration_seconds_count 3
+# TYPE spotdc_span_duration_seconds histogram
+spotdc_span_duration_seconds_bucket{span=\"clearing\",le=\"0.000001\"} 0
+";
+        let rendered = r.render_prometheus();
+        assert!(
+            rendered.starts_with(expected),
+            "rendered:\n{rendered}\nexpected prefix:\n{expected}"
+        );
+        assert!(
+            rendered.contains("spotdc_span_duration_seconds_bucket{span=\"clearing\",le=\"1\"} 1")
+        );
+        assert!(rendered.contains("spotdc_span_duration_seconds_sum{span=\"clearing\"} 0.75"));
+        assert!(rendered.contains("spotdc_span_duration_seconds_count{span=\"clearing\"} 1"));
+    }
+
+    #[test]
+    fn sanitize_maps_to_prometheus_alphabet() {
+        assert_eq!(sanitize("clear.per-pdu"), "clear_per_pdu");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("ok_name:x"), "ok_name:x");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let r = Registry::new();
+        r.inc_counter("a", 1);
+        r.observe("b", 0.1);
+        r.reset();
+        assert_eq!(r.counter("a"), 0);
+        assert!(r.histogram("b").is_none());
+        assert!(r.render_prometheus().is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Event sinks: where serialized telemetry events go.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// A destination for structured telemetry events.
+///
+/// Implementations must be cheap enough to sit on the per-slot path and
+/// thread-safe (the simulator is single-threaded today, but parameter
+/// sweeps run engines on worker threads against one process-global
+/// sink).
+pub trait EventSink: Send + Sync {
+    /// Records one event.
+    fn emit(&self, event: &Event);
+
+    /// Flushes any buffered output. The default is a no-op.
+    fn flush(&self) {}
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Buffers events in memory; tests and the simulation engine read them
+/// back with [`VecSink::snapshot`] or [`VecSink::take`].
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Event>> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Clones out the events recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.lock().clone()
+    }
+
+    /// Removes and returns the events recorded so far.
+    #[must_use]
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.lock())
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no events are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+impl EventSink for VecSink {
+    fn emit(&self, event: &Event) {
+        self.lock().push(event.clone());
+    }
+}
+
+/// Appends events as JSON lines to a file (the `telemetry.jsonl`
+/// artifact the repro binary ships).
+#[derive(Debug)]
+pub struct FileSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl FileSink {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(FileSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BufWriter<File>> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl EventSink for FileSink {
+    fn emit(&self, event: &Event) {
+        // Telemetry must never take the simulation down: I/O errors
+        // (disk full, closed fd) drop the event.
+        let mut writer = self.lock();
+        let _ = writeln!(writer, "{}", event.to_jsonl());
+    }
+
+    fn flush(&self) {
+        let _ = self.lock().flush();
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use spotdc_units::{MonotonicNanos, Slot};
+
+    use super::*;
+
+    fn event(slot: u64) -> Event {
+        Event::SlotCleared {
+            slot: Slot::new(slot),
+            at: MonotonicNanos::from_raw(slot * 10),
+            price_per_kw_hour: 0.2,
+            sold_watts: 100.0,
+            revenue_rate_per_hour: 0.02,
+            candidates_evaluated: 50,
+        }
+    }
+
+    #[test]
+    fn vec_sink_buffers_and_takes() {
+        let sink = VecSink::new();
+        assert!(sink.is_empty());
+        sink.emit(&event(1));
+        sink.emit(&event(2));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.snapshot().len(), 2);
+        let taken = sink.take();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].slot(), Slot::new(1));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn file_sink_writes_parseable_jsonl() {
+        let path = std::env::temp_dir().join("spotdc-telemetry-file-sink-test.jsonl");
+        {
+            let sink = FileSink::create(&path).unwrap();
+            sink.emit(&event(7));
+            sink.emit(&event(8));
+            sink.flush();
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<Event> = body
+            .lines()
+            .map(|l| Event::from_jsonl(l).expect(l))
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].slot(), Slot::new(8));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        NullSink.emit(&event(1));
+        NullSink.flush();
+    }
+}

@@ -338,7 +338,9 @@ mod tests {
         assert!(boosted.cost_rate <= at_reserved.cost_rate);
         match (at_reserved.performance, boosted.performance) {
             (
-                Performance::Latency { slo_met: before, .. },
+                Performance::Latency {
+                    slo_met: before, ..
+                },
                 Performance::Latency { slo_met: after, .. },
             ) => {
                 assert!(!before, "SLO should be violated at reserved budget");

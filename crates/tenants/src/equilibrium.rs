@@ -156,7 +156,9 @@ pub fn best_response_dynamics(
                 let cap = Price::per_kw_hour(marginal.max(price));
                 Some(RackBid::new(
                     player.rack,
-                    StepBid::new(demand, cap).expect("valid response bid").into(),
+                    StepBid::new(demand, cap)
+                        .expect("valid response bid")
+                        .into(),
                 ))
             })
             .collect();
@@ -209,7 +211,11 @@ mod tests {
     #[test]
     fn single_player_converges_quickly() {
         let players = vec![player(0, 50.0, 0.000_4)];
-        let r = best_response_dynamics(&players, &constraints(1, 200.0), BestResponseConfig::default());
+        let r = best_response_dynamics(
+            &players,
+            &constraints(1, 200.0),
+            BestResponseConfig::default(),
+        );
         assert!(r.converged, "trace: {:?}", r.price_trace);
         assert!(r.rounds <= 20);
         // With ample supply the player gets its full useful demand.
@@ -219,7 +225,11 @@ mod tests {
     #[test]
     fn symmetric_players_share_ample_supply() {
         let players: Vec<Player> = (0..4).map(|i| player(i, 40.0, 0.000_5)).collect();
-        let r = best_response_dynamics(&players, &constraints(4, 500.0), BestResponseConfig::default());
+        let r = best_response_dynamics(
+            &players,
+            &constraints(4, 500.0),
+            BestResponseConfig::default(),
+        );
         assert!(r.converged);
         for &(rack, grant) in &r.grants {
             assert!(
@@ -245,7 +255,11 @@ mod tests {
     #[test]
     fn price_trace_is_bounded_by_max_marginal() {
         let players: Vec<Player> = (0..3).map(|i| player(i, 30.0, 0.001)).collect();
-        let r = best_response_dynamics(&players, &constraints(3, 40.0), BestResponseConfig::default());
+        let r = best_response_dynamics(
+            &players,
+            &constraints(3, 40.0),
+            BestResponseConfig::default(),
+        );
         for p in &r.price_trace {
             assert!(p.per_kw_hour_value() <= 1.0 + 1e-9, "price {p} exploded");
         }
@@ -254,7 +268,11 @@ mod tests {
     #[test]
     fn higher_value_players_win_under_scarcity() {
         let players = vec![player(0, 50.0, 0.000_2), player(1, 50.0, 0.001)];
-        let r = best_response_dynamics(&players, &constraints(2, 50.0), BestResponseConfig::default());
+        let r = best_response_dynamics(
+            &players,
+            &constraints(2, 50.0),
+            BestResponseConfig::default(),
+        );
         let get = |rack: usize| -> Watts {
             r.grants
                 .iter()
@@ -262,7 +280,11 @@ mod tests {
                 .map(|&(_, w)| w)
                 .unwrap_or(Watts::ZERO)
         };
-        assert!(get(1) >= get(0), "high-value player should win: {:?}", r.grants);
+        assert!(
+            get(1) >= get(0),
+            "high-value player should win: {:?}",
+            r.grants
+        );
     }
 
     #[test]

@@ -242,8 +242,14 @@ mod tests {
     fn needed_power_positive_when_slo_violated() {
         let m = WorkloadModel::search();
         let need = m.needed_power(Watts::new(145.0), Watts::new(72.5), 1.0);
-        assert!(need > Watts::ZERO && need <= Watts::new(72.5), "need {need}");
-        assert_eq!(m.needed_power(Watts::new(145.0), Watts::new(72.5), 0.2), Watts::ZERO);
+        assert!(
+            need > Watts::ZERO && need <= Watts::new(72.5),
+            "need {need}"
+        );
+        assert_eq!(
+            m.needed_power(Watts::new(145.0), Watts::new(72.5), 0.2),
+            Watts::ZERO
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ mod tests {
         // Symmetric racks: identical demand at every shared price.
         for q in [0.0, 0.1, 0.25, 0.4] {
             let p = Price::per_kw_hour(q);
-            assert_eq!(bid.rack_bids()[0].demand_at(p), bid.rack_bids()[1].demand_at(p));
+            assert_eq!(
+                bid.rack_bids()[0].demand_at(p),
+                bid.rack_bids()[1].demand_at(p)
+            );
         }
     }
 

@@ -141,7 +141,10 @@ impl Strategy {
             }
             Strategy::Elastic { q_min, q_max } => {
                 let env = ctx.gain.concave_envelope();
-                let d_max = env.demand_at_price(*q_min).max(ctx.needed).min(ctx.headroom);
+                let d_max = env
+                    .demand_at_price(*q_min)
+                    .max(ctx.needed)
+                    .min(ctx.headroom);
                 let d_min = env.demand_at_price(*q_max).min(d_max);
                 if d_max <= Watts::ZERO {
                     return None;
@@ -220,9 +223,9 @@ impl Strategy {
                     return None;
                 }
                 let price = match ctx.predicted_price {
-                    Some(p) => Price::per_kw_hour(
-                        p.per_kw_hour_value() * (1.0 + margin.max(0.0)) + 1e-6,
-                    ),
+                    Some(p) => {
+                        Price::per_kw_hour(p.per_kw_hour_value() * (1.0 + margin.max(0.0)) + 1e-6)
+                    }
                     None => *fallback_price,
                 };
                 Some(LinearBid::new(d, price, d, price).expect("valid").into())
@@ -263,7 +266,9 @@ mod tests {
     fn simple_declines_when_nothing_needed() {
         let ctx = context(0.2);
         assert_eq!(ctx.needed, Watts::ZERO);
-        assert!(Strategy::simple(Price::per_kw_hour(0.5)).make_bid(&ctx).is_none());
+        assert!(Strategy::simple(Price::per_kw_hour(0.5))
+            .make_bid(&ctx)
+            .is_none());
     }
 
     #[test]
@@ -374,7 +379,10 @@ mod tests {
                 q_max: Price::per_kw_hour(0.2),
             },
         ] {
-            assert!(strategy.make_bid(&ctx).is_none(), "{strategy:?} bid while idle");
+            assert!(
+                strategy.make_bid(&ctx).is_none(),
+                "{strategy:?} bid while idle"
+            );
         }
     }
 }

@@ -165,10 +165,7 @@ mod tests {
             }
         }
         let mean_run = runs.iter().sum::<u64>() as f64 / runs.len() as f64;
-        assert!(
-            (10.0..22.0).contains(&mean_run),
-            "mean busy run {mean_run}"
-        );
+        assert!((10.0..22.0).contains(&mean_run), "mean busy run {mean_run}");
     }
 
     #[test]

@@ -132,11 +132,7 @@ impl NumericCsv {
     pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), CsvError> {
         writeln!(w, "{}", self.headers.join(","))?;
         for row in 0..self.len() {
-            let cells: Vec<String> = self
-                .columns
-                .iter()
-                .map(|c| format!("{}", c[row]))
-                .collect();
+            let cells: Vec<String> = self.columns.iter().map(|c| format!("{}", c[row])).collect();
             writeln!(w, "{}", cells.join(","))?;
         }
         Ok(())
@@ -151,7 +147,10 @@ impl NumericCsv {
     pub fn read_from<R: BufRead>(r: R) -> Result<Self, CsvError> {
         let mut lines = r.lines();
         let header_line = lines.next().ok_or(CsvError::Empty)??;
-        let headers: Vec<String> = header_line.split(',').map(|h| h.trim().to_owned()).collect();
+        let headers: Vec<String> = header_line
+            .split(',')
+            .map(|h| h.trim().to_owned())
+            .collect();
         let mut columns = vec![Vec::new(); headers.len()];
         for (idx, line) in lines.enumerate() {
             let line = line?;

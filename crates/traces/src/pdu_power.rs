@@ -121,6 +121,21 @@ impl PduPowerTrace {
         self
     }
 
+    /// Overrides the per-slot probability of a transient spike.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `probability ∈ [0, 1]`.
+    #[must_use]
+    pub fn with_spike_probability(mut self, probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0,1]"
+        );
+        self.spike_probability = probability;
+        self
+    }
+
     /// Overrides the fraction of the day at which the diurnal swing
     /// peaks (tenants in a shared facility peak at different hours).
     ///
@@ -240,9 +255,11 @@ mod tests {
     fn diurnal_pattern_repeats_daily() {
         let tr = PduPowerTrace::colo_like(Watts::new(500.0), 9)
             .with_volatility(0.0)
+            .with_spike_probability(0.0)
             .with_slots_per_day(100);
         let series = tr.generate(300);
-        // With zero volatility the trace is the pure diurnal baseline.
+        // With volatility and spikes zeroed the trace is the pure
+        // diurnal baseline.
         for t in 0..100 {
             assert!(series[t].approx_eq(series[t + 100], 1e-6));
         }

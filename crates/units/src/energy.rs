@@ -151,7 +151,13 @@ mod tests {
 
     #[test]
     fn clamp_non_negative() {
-        assert_eq!(KilowattHours::new(-1.0).clamp_non_negative(), KilowattHours::ZERO);
-        assert_eq!(KilowattHours::new(1.0).clamp_non_negative(), KilowattHours::new(1.0));
+        assert_eq!(
+            KilowattHours::new(-1.0).clamp_non_negative(),
+            KilowattHours::ZERO
+        );
+        assert_eq!(
+            KilowattHours::new(1.0).clamp_non_negative(),
+            KilowattHours::new(1.0)
+        );
     }
 }

@@ -42,4 +42,4 @@ pub use error::UnitError;
 pub use ids::{PduId, RackId, TenantId};
 pub use money::{Money, Price};
 pub use power::Watts;
-pub use time::{Slot, SlotDuration};
+pub use time::{MonotonicNanos, Slot, SlotDuration};

@@ -345,9 +345,15 @@ mod tests {
     fn price_cost_of_scales_with_power_and_time() {
         let q = Price::per_kw_hour(0.30);
         let hour = SlotDuration::from_secs(3600);
-        assert_eq!(q.cost_of(Watts::from_kilowatts(2.0), hour), Money::dollars(0.6));
+        assert_eq!(
+            q.cost_of(Watts::from_kilowatts(2.0), hour),
+            Money::dollars(0.6)
+        );
         let half = SlotDuration::from_secs(1800);
-        assert_eq!(q.cost_of(Watts::from_kilowatts(2.0), half), Money::dollars(0.3));
+        assert_eq!(
+            q.cost_of(Watts::from_kilowatts(2.0), half),
+            Money::dollars(0.3)
+        );
     }
 
     #[test]
@@ -377,7 +383,13 @@ mod tests {
     #[test]
     fn money_clamp_and_extrema() {
         assert_eq!(Money::dollars(-2.0).clamp_non_negative(), Money::ZERO);
-        assert_eq!(Money::dollars(1.0).max(Money::dollars(2.0)), Money::dollars(2.0));
-        assert_eq!(Money::dollars(1.0).min(Money::dollars(2.0)), Money::dollars(1.0));
+        assert_eq!(
+            Money::dollars(1.0).max(Money::dollars(2.0)),
+            Money::dollars(2.0)
+        );
+        assert_eq!(
+            Money::dollars(1.0).min(Money::dollars(2.0)),
+            Money::dollars(1.0)
+        );
     }
 }

@@ -316,7 +316,7 @@ mod tests {
 
     #[test]
     fn sum_over_iterators() {
-        let v = vec![Watts::new(1.0), Watts::new(2.0), Watts::new(3.0)];
+        let v = [Watts::new(1.0), Watts::new(2.0), Watts::new(3.0)];
         let owned: Watts = v.iter().copied().sum();
         let borrowed: Watts = v.iter().sum();
         assert_eq!(owned, Watts::new(6.0));

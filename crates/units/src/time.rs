@@ -7,6 +7,8 @@
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -209,6 +211,71 @@ impl fmt::Display for SlotDuration {
     }
 }
 
+/// A monotonic timestamp in nanoseconds since the process-wide anchor.
+///
+/// The anchor is the first call to [`MonotonicNanos::now`] in the
+/// process, so values are only comparable within one process — they are
+/// meant for telemetry (event ordering, span durations), not wall-clock
+/// time. Backed by [`Instant`], so the clock never goes backwards.
+///
+/// # Examples
+///
+/// ```
+/// use spotdc_units::MonotonicNanos;
+///
+/// let a = MonotonicNanos::now();
+/// let b = MonotonicNanos::now();
+/// assert!(b >= a);
+/// assert_eq!(b.saturating_nanos_since(a), b.as_nanos() - a.as_nanos());
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct MonotonicNanos(u64);
+
+impl MonotonicNanos {
+    /// The current monotonic time.
+    #[must_use]
+    pub fn now() -> Self {
+        static ANCHOR: OnceLock<Instant> = OnceLock::new();
+        let anchor = *ANCHOR.get_or_init(Instant::now);
+        // u64 nanoseconds cover ~584 years of process uptime.
+        MonotonicNanos(anchor.elapsed().as_nanos() as u64)
+    }
+
+    /// Reconstructs a timestamp from a raw nanosecond count (e.g. one
+    /// parsed back out of a telemetry log).
+    #[must_use]
+    pub const fn from_raw(nanos: u64) -> Self {
+        MonotonicNanos(nanos)
+    }
+
+    /// Nanoseconds since the process anchor.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds elapsed since `earlier`, or zero if `earlier` is later.
+    #[must_use]
+    pub const fn saturating_nanos_since(self, earlier: MonotonicNanos) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Seconds elapsed since `earlier` (zero if `earlier` is later).
+    #[must_use]
+    pub fn secs_since(self, earlier: MonotonicNanos) -> f64 {
+        self.saturating_nanos_since(earlier) as f64 * 1e-9
+    }
+}
+
+impl fmt::Display for MonotonicNanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{}ns", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +319,25 @@ mod tests {
     #[test]
     fn default_is_testbed_two_minutes() {
         assert_eq!(SlotDuration::default().seconds(), 120.0);
+    }
+
+    #[test]
+    fn monotonic_never_goes_backwards() {
+        let mut prev = MonotonicNanos::now();
+        for _ in 0..100 {
+            let next = MonotonicNanos::now();
+            assert!(next >= prev);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn monotonic_difference_saturates() {
+        let early = MonotonicNanos::from_raw(10);
+        let late = MonotonicNanos::from_raw(250);
+        assert_eq!(late.saturating_nanos_since(early), 240);
+        assert_eq!(early.saturating_nanos_since(late), 0);
+        assert!((late.secs_since(early) - 240e-9).abs() < 1e-18);
     }
 
     #[test]

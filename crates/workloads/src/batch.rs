@@ -123,7 +123,8 @@ impl BatchWorkload {
     pub fn power_draw(&self, budget: Watts) -> Watts {
         let op = self.dvfs.operating_point(budget, 1.0);
         let draw = self.dvfs.rack_power(op.frequency, 1.0) * op.active_fraction;
-        draw.min(budget.clamp_non_negative()).min(self.dvfs.peak_power())
+        draw.min(budget.clamp_non_negative())
+            .min(self.dvfs.peak_power())
     }
 
     /// The throughput speed-up of budget `b` relative to budget `base`
@@ -132,7 +133,11 @@ impl BatchWorkload {
     pub fn speedup(&self, b: Watts, base: Watts) -> f64 {
         let t0 = self.throughput(base);
         if t0 <= 0.0 {
-            return if self.throughput(b) > 0.0 { f64::INFINITY } else { 1.0 };
+            return if self.throughput(b) > 0.0 {
+                f64::INFINITY
+            } else {
+                1.0
+            };
         }
         self.throughput(b) / t0
     }

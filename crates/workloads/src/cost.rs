@@ -49,7 +49,10 @@ impl SprintingCost {
     pub fn new(a: f64, b: f64, d_th: f64) -> Self {
         assert!(a >= 0.0 && a.is_finite(), "a must be non-negative");
         assert!(b >= 0.0 && b.is_finite(), "b must be non-negative");
-        assert!(d_th > 0.0 && d_th.is_finite(), "slo threshold must be positive");
+        assert!(
+            d_th > 0.0 && d_th.is_finite(),
+            "slo threshold must be positive"
+        );
         SprintingCost { a, b, d_th }
     }
 

@@ -223,7 +223,11 @@ impl GainCurve {
         for w in pts.windows(2) {
             let (x0, y0) = w[0];
             let (x1, y1) = w[1];
-            let slope = if x1 - x0 < 1e-15 { 0.0 } else { (y1 - y0) / (x1 - x0) };
+            let slope = if x1 - x0 < 1e-15 {
+                0.0
+            } else {
+                (y1 - y0) / (x1 - x0)
+            };
             if slope >= p && slope > 0.0 {
                 demand = x1;
             } else {
@@ -291,7 +295,10 @@ mod tests {
         let half = c.gain(c.max_spot() * 0.6);
         let full = c.max_gain();
         assert!(full > 0.0);
-        assert!(half > 0.8 * full, "gain should be front-loaded: {half} vs {full}");
+        assert!(
+            half > 0.8 * full,
+            "gain should be front-loaded: {half} vs {full}"
+        );
     }
 
     #[test]

@@ -62,11 +62,20 @@ impl InteractiveWorkload {
         latency_cap: f64,
         peak_load: f64,
     ) -> Self {
-        assert!(mu_max > 0.0 && mu_max.is_finite(), "service rate must be positive");
-        assert!(percentile > 0.0 && percentile < 1.0, "percentile must be in (0,1)");
+        assert!(
+            mu_max > 0.0 && mu_max.is_finite(),
+            "service rate must be positive"
+        );
+        assert!(
+            percentile > 0.0 && percentile < 1.0,
+            "percentile must be in (0,1)"
+        );
         assert!(slo > 0.0 && slo.is_finite(), "slo must be positive");
         assert!(latency_cap > slo, "latency cap must exceed the slo");
-        assert!(peak_load >= 0.0 && peak_load.is_finite(), "peak load must be non-negative");
+        assert!(
+            peak_load >= 0.0 && peak_load.is_finite(),
+            "peak load must be non-negative"
+        );
         InteractiveWorkload {
             dvfs,
             mu_max,
@@ -144,7 +153,9 @@ impl InteractiveWorkload {
     pub fn latency(&self, lambda: f64, budget: Watts) -> f64 {
         if lambda <= 0.0 {
             let q = self.queue_at(1e-9, budget);
-            return q.latency_percentile(0.0, self.percentile).min(self.latency_cap);
+            return q
+                .latency_percentile(0.0, self.percentile)
+                .min(self.latency_cap);
         }
         let q = self.queue_at(lambda, budget);
         q.latency_percentile(lambda, self.percentile)
@@ -186,9 +197,14 @@ impl InteractiveWorkload {
         let op = self.dvfs.operating_point(budget, 1.0);
         // Actual busy fraction at the operating point's capacity.
         let cap = op.relative_capacity(self.dvfs.serial_fraction()) * self.max_capacity();
-        let u = if cap <= 0.0 { 1.0 } else { (lambda / cap).clamp(0.0, 1.0) };
+        let u = if cap <= 0.0 {
+            1.0
+        } else {
+            (lambda / cap).clamp(0.0, 1.0)
+        };
         let draw = self.dvfs.rack_power(op.frequency, u) * op.active_fraction;
-        draw.min(budget.clamp_non_negative()).min(self.dvfs.peak_power())
+        draw.min(budget.clamp_non_negative())
+            .min(self.dvfs.peak_power())
     }
 }
 
@@ -244,8 +260,10 @@ mod tests {
         // Spot demand beyond the 145 W reservation is modest (fits the
         // 50% rack headroom of the scenario).
         let spot_needed = need - Watts::new(145.0);
-        assert!(spot_needed > Watts::ZERO && spot_needed < Watts::new(72.5),
-            "spot needed: {spot_needed}");
+        assert!(
+            spot_needed > Watts::ZERO && spot_needed < Watts::new(72.5),
+            "spot needed: {spot_needed}"
+        );
     }
 
     #[test]

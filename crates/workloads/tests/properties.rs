@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 use spotdc_units::{Price, Watts};
 use spotdc_workloads::{
-    BatchWorkload, DvfsModel, GainCurve, InteractiveWorkload, MmK, OpportunisticCost,
-    SprintingCost,
+    BatchWorkload, DvfsModel, GainCurve, InteractiveWorkload, MmK, OpportunisticCost, SprintingCost,
 };
 
 proptest! {

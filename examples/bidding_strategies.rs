@@ -29,7 +29,10 @@ fn main() {
 
     // Each strategy produces a different demand function.
     let strategies: Vec<(&str, Strategy)> = vec![
-        ("Simple (needed @ 0.5)", Strategy::simple(Price::per_kw_hour(0.5))),
+        (
+            "Simple (needed @ 0.5)",
+            Strategy::simple(Price::per_kw_hour(0.5)),
+        ),
         (
             "Elastic (0.25 - 0.60)",
             Strategy::elastic(Price::per_kw_hour(0.25), Price::per_kw_hour(0.60)),

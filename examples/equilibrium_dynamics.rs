@@ -41,11 +41,18 @@ fn constraints(spot: f64) -> ConstraintSet {
 
 fn main() {
     for spot in [300.0, 120.0, 60.0] {
-        let result =
-            best_response_dynamics(&players(), &constraints(spot), BestResponseConfig::default());
+        let result = best_response_dynamics(
+            &players(),
+            &constraints(spot),
+            BestResponseConfig::default(),
+        );
         println!(
             "supply {spot:>5.0} W: {} after {} rounds, price {}, {} allocated",
-            if result.converged { "converged" } else { "no fixed point" },
+            if result.converged {
+                "converged"
+            } else {
+                "no fixed point"
+            },
             result.rounds,
             result.final_price(),
             result.total_granted(),

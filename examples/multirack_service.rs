@@ -26,9 +26,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The web tenant profiles each tier's marginal value of power.
     // (The app tier is the bottleneck: steepest curve.)
     let tiers = vec![
-        (RackId::new(0), GainCurve::from_samples([(30.0, 0.004), (60.0, 0.005)]), Watts::new(60.0)),
-        (RackId::new(1), GainCurve::from_samples([(40.0, 0.010), (75.0, 0.013)]), Watts::new(75.0)),
-        (RackId::new(2), GainCurve::from_samples([(30.0, 0.006), (65.0, 0.008)]), Watts::new(65.0)),
+        (
+            RackId::new(0),
+            GainCurve::from_samples([(30.0, 0.004), (60.0, 0.005)]),
+            Watts::new(60.0),
+        ),
+        (
+            RackId::new(1),
+            GainCurve::from_samples([(40.0, 0.010), (75.0, 0.013)]),
+            Watts::new(75.0),
+        ),
+        (
+            RackId::new(2),
+            GainCurve::from_samples([(30.0, 0.006), (65.0, 0.008)]),
+            Watts::new(65.0),
+        ),
     ];
     let bundle = bundle_bid(
         TenantId::new(0),

@@ -93,6 +93,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The slot's revenue for the operator (2-minute slots).
     let slot = SlotDuration::from_secs(120);
-    println!("operator revenue this slot: {:.4}", allocation.revenue(slot));
+    println!(
+        "operator revenue this slot: {:.4}",
+        allocation.revenue(slot)
+    );
     Ok(())
 }

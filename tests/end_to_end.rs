@@ -60,7 +60,8 @@ fn manual_market_round_improves_the_needy_tenant() {
     // Actuate and run the slot.
     let mut bank = RackPduBank::new(&topology);
     for (rack, grant) in allocation.iter() {
-        bank.grant_spot(Slot::new(1), rack, grant).expect("feasible grant");
+        bank.grant_spot(Slot::new(1), rack, grant)
+            .expect("feasible grant");
     }
     let before = search.run_slot(search.reserved());
     let after = search.run_slot(bank.budget(search.rack()));
@@ -153,7 +154,10 @@ fn maxperf_and_market_share_constraints() {
     let grants = max_perf_allocate(&gains, &constraints);
     assert!(constraints.is_feasible(&grants));
     let total: Watts = grants.values().copied().sum();
-    assert!(total.approx_eq(Watts::new(60.0), 1e-9), "greedy saturates supply");
+    assert!(
+        total.approx_eq(Watts::new(60.0), 1e-9),
+        "greedy saturates supply"
+    );
 
     let bids = vec![
         RackBid::new(

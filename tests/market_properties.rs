@@ -38,11 +38,8 @@ fn build(
         ));
     }
     let topology = builder.build().expect("valid topology");
-    let constraints = ConstraintSet::new(
-        &topology,
-        vec![Watts::new(pdu_spot)],
-        Watts::new(pdu_spot),
-    );
+    let constraints =
+        ConstraintSet::new(&topology, vec![Watts::new(pdu_spot)], Watts::new(pdu_spot));
     (topology, agents, constraints)
 }
 

@@ -77,7 +77,10 @@ fn performance_ordering_powercapped_spotdc_maxperf() {
     let spot_avg = spot.avg_perf_ratio_vs(&capped);
     let max_avg = maxperf.avg_perf_ratio_vs(&capped);
     assert!(spot_avg >= 1.0);
-    assert!(max_avg >= spot_avg * 0.98, "MaxPerf {max_avg} vs SpotDC {spot_avg}");
+    assert!(
+        max_avg >= spot_avg * 0.98,
+        "MaxPerf {max_avg} vs SpotDC {spot_avg}"
+    );
 }
 
 #[test]

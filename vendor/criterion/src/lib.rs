@@ -1,0 +1,293 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of the criterion 0.5 API the SpotDC benches
+//! use (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_with_input`, `Bencher::iter`) over a simple wall-clock
+//! harness: per benchmark it calibrates an iteration count to a small
+//! time budget, takes `sample_size` samples, and prints min/median/mean
+//! nanoseconds per iteration. No statistical regression analysis, no
+//! HTML reports, no saved baselines — compare the printed medians.
+//!
+//! When invoked with `--test` (as `cargo test` does for benchmark
+//! targets) every routine runs exactly once, as upstream does, so test
+//! runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+// Prevents the optimizer from deleting a benchmark's work
+// (re-exported std::hint::black_box, as upstream does).
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    /// Optional substring filter from the command line.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        // First free (non-flag) argument filters benchmark ids, as
+        // `cargo bench -- <substring>` does upstream.
+        let filter = args.iter().find(|a| !a.starts_with("--")).cloned();
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a single routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id, 20, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let sample_size = self.sample_size;
+        run_one(
+            self.criterion,
+            &full,
+            sample_size,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks `f` under this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let sample_size = self.sample_size;
+        run_one(self.criterion, &full, sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; here it is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    #[must_use]
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id carrying only a parameter value.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function` arguments.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_owned())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Passed to benchmark closures to time the routine under test.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Measured nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+enum BenchMode {
+    /// `--test`: run the routine once, measure nothing.
+    TestOnce,
+    /// Measure `samples` samples.
+    Measure { sample_size: usize },
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::TestOnce => {
+                black_box(routine());
+            }
+            BenchMode::Measure { sample_size } => {
+                // Calibrate: how many iterations fit the per-sample
+                // budget? (Also serves as warm-up.)
+                const SAMPLE_BUDGET: Duration = Duration::from_millis(10);
+                let start = Instant::now();
+                black_box(routine());
+                let once = start.elapsed().max(Duration::from_nanos(1));
+                let iters = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+                self.samples.clear();
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+                    self.samples.push(per_iter);
+                }
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, id: &str, sample_size: usize, f: &mut F) {
+    if let Some(filter) = &criterion.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mode = if criterion.test_mode {
+        BenchMode::TestOnce
+    } else {
+        BenchMode::Measure { sample_size }
+    };
+    let mut bencher = Bencher {
+        mode,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if criterion.test_mode {
+        println!("{id}: test ok");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    if sorted.is_empty() {
+        println!("{id}: no samples (routine never called iter)");
+        return;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{id:<56} min {:>12} median {:>12} mean {:>12}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("scan", 128).0, "scan/128");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.300 µs");
+        assert_eq!(fmt_ns(12_300_000.0), "12.300 ms");
+        assert_eq!(fmt_ns(2_000_000_000.0), "2.000 s");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            mode: BenchMode::Measure { sample_size: 3 },
+            samples: Vec::new(),
+        };
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the (small) subset of the `rand` 0.8 API that SpotDC uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`] for
+//! `f64`/`u64`/`bool`, and [`Rng::gen_range`] over primitive ranges.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction `rand`'s small RNGs use. It is deterministic across
+//! platforms and process runs, which is all the simulation requires
+//! (every experiment is seeded); it makes no cryptographic claims.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// RNG types (mirrors `rand::rngs`).
+pub mod rngs {
+    /// A deterministic, seedable generator (xoshiro256++).
+    ///
+    /// Stand-in for `rand::rngs::StdRng`; same name so call sites are
+    /// source-compatible, but the stream of values differs from the
+    /// upstream crate (which is fine — nothing in SpotDC depends on a
+    /// particular stream, only on determinism given a seed).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type that a [`Rng`] can sample "standard" values of (mirrors the
+/// role of `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn standard(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard(rng: &mut StdRng) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn standard(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn standard(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range a [`Rng`] can sample uniformly from (mirrors the role of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::standard(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); the tiny
+                // modulo bias of plain `% span` would also be fine for
+                // simulation use, but this is just as cheap.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u64, u32, usize);
+
+/// The random-generator trait (mirrors the subset of `rand::Rng` that
+/// SpotDC calls).
+pub trait Rng {
+    /// Draws a standard value: `f64` in `[0, 1)`, any `u64`, fair `bool`.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Draws uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::standard(self) < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut r = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_range(-2.0..5.0);
+            assert!((-2.0..5.0).contains(&x));
+            let i = r.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+        }
+    }
+
+    #[test]
+    fn usize_range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut r = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+}

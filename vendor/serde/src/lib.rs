@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports
+//! the no-op derives from the stand-in `serde_derive`, so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! without network access. SpotDC never calls the traits (all wire
+//! formats are hand-rolled), so they carry no methods.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,24 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io. SpotDC only uses
+//! serde in the form of `#[derive(Serialize, Deserialize)]` attributes
+//! (wire formats are hand-rolled; see the JSONL sink in
+//! `spotdc-telemetry`), so these derives merely accept the syntax —
+//! including `#[serde(...)]` helper attributes — and emit no code.
+//! Nothing in the workspace calls serde's traits, so no impls are
+//! needed. When the real `serde` becomes available, deleting `vendor/`
+//! and restoring the registry dependency restores full behaviour.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and its `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and its `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
