@@ -1,8 +1,9 @@
 # Developer entry points. `make verify` is the full pre-merge gate.
 
 CARGO ?= cargo
+JOBS ?= 4
 
-.PHONY: build test bench clippy fmt verify repro
+.PHONY: build test bench bench-repro clippy clippy-par determinism fmt verify repro
 
 build:
 	$(CARGO) build --release
@@ -13,14 +14,29 @@ test:
 clippy:
 	$(CARGO) clippy --workspace -- -D warnings
 
+# The parallel layer is small and load-bearing; lint it on its own so a
+# workspace-wide allow never papers over a warning here.
+clippy-par:
+	$(CARGO) clippy -p spotdc-par -- -D warnings
+
+# Byte-identical output at 1 vs 4 workers — the parallel layer's anchor.
+determinism:
+	$(CARGO) test -p spotdc-sim --test determinism
+
 fmt:
 	$(CARGO) fmt --check
 
 bench:
 	$(CARGO) bench -p spotdc-bench
 
+# Wall-clock the full reproduction harness and record per-experiment
+# timings (see BENCH_repro.json for the checked-in reference run).
+bench-repro: build
+	$(CARGO) run -p spotdc-bench --bin repro --release -- --quick --quiet \
+		--jobs $(JOBS) --bench-json BENCH_repro.json
+
 repro:
 	$(CARGO) run -p spotdc-bench --bin repro --release -- --quick \
 		--out repro-results --telemetry repro-results/telemetry.jsonl
 
-verify: build test clippy fmt
+verify: build test determinism clippy clippy-par fmt

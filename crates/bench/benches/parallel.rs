@@ -1,0 +1,61 @@
+//! The parallel execution layer: serial vs `par_map` fan-out over the
+//! three operating modes, and the warm-trace-cache / hoisted-buffer
+//! slot loop against a cold start.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spotdc_sim::baselines::Mode;
+use spotdc_sim::engine::{EngineConfig, Simulation};
+use spotdc_sim::scenario::Scenario;
+
+const SLOTS: u64 = 60;
+const MODES: [Mode; 3] = [Mode::PowerCapped, Mode::SpotDc, Mode::MaxPerf];
+
+fn run_mode(scenario: &Scenario, mode: Mode) -> usize {
+    Simulation::new(scenario.clone(), EngineConfig::new(mode))
+        .run(SLOTS)
+        .records
+        .len()
+}
+
+fn bench_mode_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("three_mode_fanout");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let scenario = Scenario::testbed(42);
+            let total: usize = MODES.iter().map(|&m| run_mode(&scenario, m)).sum();
+            std::hint::black_box(total)
+        })
+    });
+    for threads in [2usize, 4] {
+        let pool = spotdc_par::ThreadPool::new(threads);
+        group.bench_with_input(BenchmarkId::new("par_map", threads), &pool, |b, pool| {
+            b.iter(|| {
+                let scenario = Scenario::testbed(42);
+                let counts = pool.par_map(&MODES, |&m| run_mode(&scenario, m));
+                std::hint::black_box(counts.iter().sum::<usize>())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The steady-state slot loop: with the scenario's trace cache warm,
+/// repeat runs exercise only the hoisted-buffer hot path (no per-slot
+/// BTreeMap/Vec churn, no trace regeneration).
+fn bench_warm_slot_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_loop");
+    group.sample_size(10);
+    group.bench_function("cold_scenario", |b| {
+        b.iter(|| std::hint::black_box(run_mode(&Scenario::testbed(42), Mode::SpotDc)))
+    });
+    let warm = Scenario::testbed(42);
+    let _prime = warm.traces(SLOTS as usize);
+    group.bench_function("warm_trace_cache", |b| {
+        b.iter(|| std::hint::black_box(run_mode(&warm, Mode::SpotDc)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mode_fanout, bench_warm_slot_loop);
+criterion_main!(benches);

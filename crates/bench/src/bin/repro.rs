@@ -5,33 +5,60 @@
 //! repro --exp fig12          # one experiment
 //! repro --days 30 --seed 7   # longer horizon, different seed
 //! repro --quick              # fast smoke pass
+//! repro --jobs 4             # experiment-level parallelism (default: cores)
 //! repro --list               # available experiment ids
 //! repro --out results/       # also write one .txt file per experiment
 //! repro --telemetry t.jsonl  # record market events to a JSONL file
+//! repro --bench-json b.json  # write per-experiment wall-clock timings
 //! repro --quiet              # suppress progress output (errors remain)
 //! ```
+//!
+//! Experiments fan out across `--jobs` worker threads, and the
+//! multi-simulation experiments fan out further internally. Every
+//! simulation is fully seeded, so the experiment bodies are
+//! byte-identical for any job count — only the wall-clock changes.
 
+use std::io::Write as _;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-use spotdc_sim::experiments::{all_ids, run_by_id, ExpConfig};
+use spotdc_sim::experiments::{all_ids, run_selected, ExpConfig, TimedOutput};
 use spotdc_sim::report::telemetry_summary;
 use spotdc_telemetry::{FileSink, SinkKind, TelemetryConfig};
 
 /// Routes progress output through one place so `--quiet` silences
-/// everything except errors.
+/// everything except errors. A lock serializes whole lines, so
+/// messages from concurrent experiments never interleave mid-line.
 struct Reporter {
     quiet: bool,
+    lock: Mutex<()>,
 }
 
 impl Reporter {
+    fn new(quiet: bool) -> Self {
+        Reporter {
+            quiet,
+            lock: Mutex::new(()),
+        }
+    }
+
     fn progress(&self, text: &str) {
         if !self.quiet {
+            let _held = self.lock.lock().unwrap_or_else(|e| e.into_inner());
             println!("{text}");
         }
     }
 
+    fn status(&self, text: &str) {
+        if !self.quiet {
+            let _held = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            eprintln!("{text}");
+        }
+    }
+
     fn error(&self, text: &str) {
+        let _held = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         eprintln!("{text}");
     }
 }
@@ -41,6 +68,8 @@ fn main() -> ExitCode {
     let mut selected: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut telemetry_path: Option<std::path::PathBuf> = None;
+    let mut bench_path: Option<std::path::PathBuf> = None;
+    let mut jobs: usize = spotdc_par::available();
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -69,6 +98,10 @@ fn main() -> ExitCode {
                 Some(seed) => cfg.seed = seed,
                 None => return usage("--seed needs an integer"),
             },
+            "--jobs" | "-j" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => return usage("--jobs needs a positive integer"),
+            },
             "--out" => match args.next() {
                 Some(dir) => out_dir = Some(dir.into()),
                 None => return usage("--out needs a directory"),
@@ -77,12 +110,22 @@ fn main() -> ExitCode {
                 Some(path) => telemetry_path = Some(path.into()),
                 None => return usage("--telemetry needs a file path"),
             },
+            "--bench-json" => match args.next() {
+                Some(path) => bench_path = Some(path.into()),
+                None => return usage("--bench-json needs a file path"),
+            },
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument: {other}")),
         }
     }
-    let reporter = Reporter { quiet };
+    let reporter = Reporter::new(quiet);
+    // Experiment-level workers come from the pool below; this seeds the
+    // in-experiment fan-out (run_modes & co) with the same budget.
+    spotdc_par::set_default_threads(jobs);
+    // Install telemetry up front, before any worker thread races to
+    // install an engine default (the in-engine install is a no-op once
+    // a sink is in place).
     if let Some(path) = &telemetry_path {
         match FileSink::create(path) {
             Ok(sink) => spotdc_telemetry::install_with_sink(
@@ -116,13 +159,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    for id in &ids {
-        match run_by_id(id, &cfg) {
-            Some(out) => {
-                reporter.progress(&out.to_string());
+    let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    let started = Instant::now();
+    let timed = run_selected(&id_refs, &cfg, spotdc_par::ThreadPool::new(jobs));
+    let total = started.elapsed();
+    // Render in id order from this thread only: stdout bodies are
+    // byte-identical to a serial run regardless of the job count.
+    for (id, slot) in ids.iter().zip(&timed) {
+        match slot {
+            Some(t) => {
+                reporter.progress(&t.output.to_string());
                 if let Some(dir) = &out_dir {
                     let path = dir.join(format!("{id}.txt"));
-                    if let Err(e) = std::fs::write(&path, out.to_string()) {
+                    if let Err(e) = std::fs::write(&path, t.output.to_string()) {
                         reporter.error(&format!("cannot write {}: {e}", path.display()));
                         return ExitCode::FAILURE;
                     }
@@ -134,6 +183,17 @@ fn main() -> ExitCode {
             }
         }
     }
+    reporter.status(&format!(
+        "# {} experiments in {:.2}s on {jobs} worker(s)",
+        ids.len(),
+        total.as_secs_f64()
+    ));
+    if let Some(path) = &bench_path {
+        if let Err(e) = write_bench_json(path, &cfg, jobs, total.as_secs_f64(), &ids, &timed) {
+            reporter.error(&format!("cannot write {}: {e}", path.display()));
+            return ExitCode::FAILURE;
+        }
+    }
     if telemetry_path.is_some() {
         spotdc_telemetry::flush();
         if let Some(summary) = telemetry_summary() {
@@ -143,13 +203,47 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Writes the per-experiment wall-clock timings as a small JSON file.
+fn write_bench_json(
+    path: &std::path::Path,
+    cfg: &ExpConfig,
+    jobs: usize,
+    total_seconds: f64,
+    ids: &[String],
+    timed: &[Option<TimedOutput>],
+) -> std::io::Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(file, "{{")?;
+    writeln!(file, "  \"jobs\": {jobs},")?;
+    writeln!(file, "  \"seed\": {},", cfg.seed)?;
+    writeln!(file, "  \"days\": {},", cfg.days)?;
+    writeln!(file, "  \"quick\": {},", cfg.quick)?;
+    writeln!(file, "  \"total_seconds\": {total_seconds:.3},")?;
+    writeln!(file, "  \"experiments\": [")?;
+    let rows: Vec<String> = ids
+        .iter()
+        .zip(timed)
+        .filter_map(|(id, slot)| slot.as_ref().map(|t| (id, t)))
+        .map(|(id, t)| {
+            format!(
+                "    {{ \"id\": \"{id}\", \"seconds\": {:.3} }}",
+                t.wall.as_secs_f64()
+            )
+        })
+        .collect();
+    writeln!(file, "{}", rows.join(",\n"))?;
+    writeln!(file, "  ]")?;
+    writeln!(file, "}}")?;
+    file.flush()
+}
+
 fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: repro [--exp <id>]... [--days <n>] [--seed <n>] [--quick] [--list]\n\
-         \x20            [--out <dir>] [--telemetry <file>] [--quiet]\n\
+        "usage: repro [--exp <id>]... [--days <n>] [--seed <n>] [--quick] [--jobs <n>] [--list]\n\
+         \x20            [--out <dir>] [--telemetry <file>] [--bench-json <file>] [--quiet]\n\
          experiments: {}",
         all_ids().join(", ")
     );

@@ -20,6 +20,8 @@
 //!   quadratic vertex — all enumerable in `O(K log K)`. Used to
 //!   validate the grid scan and as the ablation in DESIGN.md.
 
+use std::sync::Mutex;
+
 use serde::{Deserialize, Serialize};
 use spotdc_units::{Price, Slot, Watts};
 
@@ -147,16 +149,39 @@ impl MarketOutcome {
 /// assert!((outcome.price().per_kw_hour_value() - 0.3).abs() < 1e-9);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct MarketClearing {
     config: ClearingConfig,
+    /// Reusable candidate-price buffer. The grid scan regenerates a
+    /// few hundred candidates every slot; recycling the vector keeps
+    /// the per-slot clearing path allocation-free in steady state.
+    /// Interior mutability (an uncontended `Mutex`) preserves the
+    /// `clear(&self, ...)` signature and keeps the engine `Sync` for
+    /// the parallel experiment fan-out.
+    scratch: Mutex<Vec<Price>>,
+}
+
+impl Clone for MarketClearing {
+    fn clone(&self) -> Self {
+        // Scratch is per-instance cache, not state: clones start empty.
+        MarketClearing::new(self.config)
+    }
+}
+
+impl Default for MarketClearing {
+    fn default() -> Self {
+        MarketClearing::new(ClearingConfig::default())
+    }
 }
 
 impl MarketClearing {
     /// Creates a clearing engine with the given configuration.
     #[must_use]
     pub fn new(config: ClearingConfig) -> Self {
-        MarketClearing { config }
+        MarketClearing {
+            config,
+            scratch: Mutex::new(Vec::new()),
+        }
     }
 
     /// The configuration in use.
@@ -191,13 +216,21 @@ impl MarketClearing {
             }
             return outcome;
         }
-        let candidates = match self.config.algorithm {
-            ClearingAlgorithm::GridScan => self.grid_candidates(&live),
-            ClearingAlgorithm::KinkSearch => self.kink_candidates(&live, constraints),
-        };
+        // Recycle the candidate buffer across clearings (taken out of
+        // the lock so candidate generation runs unlocked, put back
+        // below with its capacity intact).
+        let mut candidates =
+            std::mem::take(&mut *self.scratch.lock().unwrap_or_else(|e| e.into_inner()));
+        candidates.clear();
+        match self.config.algorithm {
+            ClearingAlgorithm::GridScan => self.grid_candidates(&live, &mut candidates),
+            ClearingAlgorithm::KinkSearch => {
+                self.kink_candidates(&live, constraints, &mut candidates);
+            }
+        }
         let evaluated = candidates.len();
         let mut best: Option<(Price, f64)> = None;
-        for q in candidates {
+        for &q in &candidates {
             let demands = live.iter().map(|b| (b.rack(), b.demand_at(q)));
             let Some(total) = constraints.feasible_total(demands) else {
                 continue;
@@ -229,6 +262,7 @@ impl MarketClearing {
                 candidates: evaluated,
             },
         };
+        *self.scratch.lock().unwrap_or_else(|e| e.into_inner()) = candidates;
         if spotdc_telemetry::is_enabled() {
             self.record_outcome(slot, &outcome, constraints);
         }
@@ -296,24 +330,28 @@ impl MarketClearing {
 
     /// Grid candidates: every multiple of the step from 0 through the
     /// highest bid ceiling (inclusive, with one extra step beyond so a
-    /// feasible zero-demand price always exists).
-    fn grid_candidates(&self, bids: &[&RackBid]) -> Vec<Price> {
+    /// feasible zero-demand price always exists). Appends into `out`
+    /// so the caller's buffer is recycled between clearings.
+    fn grid_candidates(&self, bids: &[&RackBid], out: &mut Vec<Price>) {
         let ceiling = bids
             .iter()
             .map(|b| b.demand().price_ceiling())
             .fold(Price::ZERO, Price::max);
         let step = self.config.price_step.per_kw_hour_value().max(1e-9);
         let n = (ceiling.per_kw_hour_value() / step).ceil() as usize + 1;
-        (0..=n)
-            .map(|i| Price::per_kw_hour(i as f64 * step))
-            .collect()
+        out.extend((0..=n).map(|i| Price::per_kw_hour(i as f64 * step)));
     }
 
     /// Kink candidates: all bids' kink prices (and headroom-clip
     /// crossings), each also probed "just above" (for discontinuities),
     /// plus the quadratic revenue vertex interior to each kink
-    /// interval.
-    fn kink_candidates(&self, bids: &[&RackBid], constraints: &ConstraintSet) -> Vec<Price> {
+    /// interval. Appends into `out` like [`Self::grid_candidates`].
+    fn kink_candidates(
+        &self,
+        bids: &[&RackBid],
+        constraints: &ConstraintSet,
+        out: &mut Vec<Price>,
+    ) {
         let mut kinks: Vec<f64> = vec![0.0];
         for b in bids {
             for k in b.demand().kink_prices() {
@@ -354,7 +392,7 @@ impl MarketClearing {
             groups.push(((0..bids.len()).collect(), constraints.ups_spot().value()));
         }
 
-        let mut out: Vec<Price> = Vec::with_capacity(kinks.len() * 4);
+        out.reserve(kinks.len() * 4);
         for (i, &k) in kinks.iter().enumerate() {
             out.push(Price::per_kw_hour(k));
             out.push(Price::per_kw_hour(k + JUST_ABOVE));
@@ -395,7 +433,6 @@ impl MarketClearing {
                 }
             }
         }
-        out
     }
 }
 
@@ -816,6 +853,39 @@ mod tests {
         let out = clear_with(ClearingAlgorithm::GridScan, &bids, &cs);
         assert!(cs.is_feasible(out.allocation().grants()));
         assert!(out.sold() <= Watts::new(25.0 + 1e-6), "sold {}", out.sold());
+    }
+
+    #[test]
+    fn scratch_reuse_never_changes_outcomes() {
+        // A reused engine (warm candidate buffer) must clear exactly
+        // like a fresh engine for every subsequent market, including a
+        // smaller one that leaves stale capacity behind.
+        let markets: Vec<(Vec<RackBid>, ConstraintSet)> = vec![
+            (
+                vec![
+                    linear(0, 55.0, 0.02, 5.0, 0.35),
+                    linear(1, 70.0, 0.05, 15.0, 0.45),
+                ],
+                constraints(80.0),
+            ),
+            (vec![linear(0, 40.0, 0.05, 10.0, 0.4)], constraints(30.0)),
+            (vec![], constraints(100.0)),
+            (vec![linear(1, 30.0, 0.15, 10.0, 0.5)], constraints(200.0)),
+        ];
+        for config in [
+            ClearingConfig::grid(Price::cents_per_kw_hour(0.1)),
+            ClearingConfig::kink_search(),
+        ] {
+            let reused = MarketClearing::new(config);
+            let cloned = reused.clone();
+            for (slot, (bids, cs)) in markets.iter().enumerate() {
+                let warm = reused.clear(Slot::new(slot as u64), bids, cs);
+                let fresh = MarketClearing::new(config).clear(Slot::new(slot as u64), bids, cs);
+                let from_clone = cloned.clear(Slot::new(slot as u64), bids, cs);
+                assert_eq!(warm, fresh, "{config:?} slot {slot}");
+                assert_eq!(from_clone, fresh, "{config:?} slot {slot} (clone)");
+            }
+        }
     }
 
     #[test]

@@ -23,9 +23,10 @@ pub struct OperatorConfig {
     /// Spot-capacity predictor (under-prediction factor).
     pub predictor: SpotPredictor,
     /// Telemetry settings. [`Operator::new`] installs them process-wide
-    /// when (and only when) `telemetry.enabled` is set, so the default
-    /// disabled config never clobbers a sink installed elsewhere (e.g.
-    /// by the simulation engine or the repro binary).
+    /// when `telemetry.enabled` is set *and* nothing installed telemetry
+    /// earlier, so the default disabled config never clobbers a sink
+    /// installed elsewhere (e.g. by the simulation engine or the repro
+    /// binary) and concurrent operators never race on the global sink.
     pub telemetry: spotdc_telemetry::TelemetryConfig,
 }
 
@@ -82,7 +83,7 @@ impl Operator {
     #[must_use]
     pub fn new(topology: PowerTopology, config: OperatorConfig) -> Self {
         if config.telemetry.enabled {
-            spotdc_telemetry::install(config.telemetry);
+            spotdc_telemetry::install_if_uninstalled(config.telemetry);
         }
         Operator {
             topology,

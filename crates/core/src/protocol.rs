@@ -119,26 +119,25 @@ impl CommsModel {
         threshold == 0 || self.next() >= threshold
     }
 
-    /// Filters a slot's bid submissions through the channel, returning
-    /// the survivors and the loss events.
-    pub fn deliver_bids(
-        &mut self,
-        slot: Slot,
-        bids: Vec<TenantBid>,
-    ) -> (Vec<TenantBid>, Vec<ProtocolEvent>) {
-        let mut kept = Vec::with_capacity(bids.len());
+    /// Filters a slot's bid submissions through the channel in place,
+    /// keeping the survivors in `bids` (order preserved, one loss draw
+    /// per bid) and returning the loss events. In-place so the
+    /// engine's hoisted bid buffer is reused across slots instead of
+    /// reallocated.
+    pub fn deliver_bids(&mut self, slot: Slot, bids: &mut Vec<TenantBid>) -> Vec<ProtocolEvent> {
         let mut events = Vec::new();
-        for bid in bids {
+        bids.retain(|bid| {
             if self.bid_survives() {
-                kept.push(bid);
+                true
             } else {
                 events.push(ProtocolEvent::BidLost {
                     tenant: bid.tenant(),
                     slot,
                 });
+                false
             }
-        }
-        (kept, events)
+        });
+        events
     }
 
     /// Applies broadcast losses to a cleared allocation: for each
@@ -188,7 +187,8 @@ mod tests {
     #[test]
     fn perfect_channel_loses_nothing() {
         let mut ch = CommsModel::perfect();
-        let (kept, events) = ch.deliver_bids(Slot::ZERO, vec![bid(0), bid(1), bid(2)]);
+        let mut kept = vec![bid(0), bid(1), bid(2)];
+        let events = ch.deliver_bids(Slot::ZERO, &mut kept);
         assert_eq!(kept.len(), 3);
         assert!(events.is_empty());
     }
@@ -196,7 +196,8 @@ mod tests {
     #[test]
     fn total_loss_loses_everything() {
         let mut ch = CommsModel::new(1.0, 1.0, 7);
-        let (kept, events) = ch.deliver_bids(Slot::new(3), vec![bid(0), bid(1)]);
+        let mut kept = vec![bid(0), bid(1)];
+        let events = ch.deliver_bids(Slot::new(3), &mut kept);
         assert!(kept.is_empty());
         assert_eq!(events.len(), 2);
         assert!(matches!(

@@ -1,0 +1,313 @@
+//! A zero-dependency scoped thread pool for the SpotDC workspace.
+//!
+//! The build environment is offline, so this crate hand-rolls the small
+//! slice of `rayon` the simulator needs instead of depending on it:
+//!
+//! * [`par_map`] / [`ThreadPool::par_map`] — order-preserving parallel
+//!   map over a slice, propagating the first panic to the caller;
+//! * [`join`] — run two closures concurrently and return both results;
+//! * [`scope`] — re-exported [`std::thread::scope`] for ad-hoc fan-out.
+//!
+//! # Scheduling
+//!
+//! There is no work stealing. Workers claim *chunks* of consecutive
+//! indices from one shared atomic cursor (chunked self-scheduling):
+//! coarse tasks (whole simulations) get chunk size 1 — perfect load
+//! balance — while fine-grained maps over long slices amortize the
+//! atomic traffic over larger chunks. Results are written back under
+//! their original index, so the output order **never** depends on
+//! thread timing: `par_map(xs, f)` is element-for-element identical to
+//! `xs.iter().map(f).collect()`. That invariant is what lets `repro
+//! --jobs N` produce byte-identical experiment bodies for every `N`.
+//!
+//! # Pool sizing
+//!
+//! [`ThreadPool::new(0)`](ThreadPool::new) and the free functions size
+//! themselves from the process-wide default ([`default_threads`]),
+//! which starts at [`std::thread::available_parallelism`] and can be
+//! pinned once by the CLI (`repro --jobs N` calls
+//! [`set_default_threads`]).
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = spotdc_par::par_map(&[1, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! let (a, b) = spotdc_par::join(|| 2 + 2, || "ok");
+//! assert_eq!((a, b), (4, "ok"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub use std::thread::scope;
+
+/// The process-wide default thread count; 0 means "not set yet, use
+/// [`available`]".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The machine's available parallelism (≥ 1).
+#[must_use]
+pub fn available() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Pins the process-wide default thread count used by
+/// [`ThreadPool::new(0)`](ThreadPool::new) and the free functions.
+/// Passing 0 restores the hardware default.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The process-wide default thread count (≥ 1): the last
+/// [`set_default_threads`] value, or [`available`] if never set.
+#[must_use]
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => available(),
+        n => n,
+    }
+}
+
+/// A scoped thread pool: a thread-count budget applied to each
+/// [`ThreadPool::par_map`] call. Threads are scoped to the call (no
+/// idle workers linger between calls), so the pool is `Copy`-cheap to
+/// pass around and needs no shutdown.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool running at most `threads` tasks concurrently; 0 means
+    /// the process default ([`default_threads`]).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: if threads == 0 {
+                default_threads()
+            } else {
+                threads
+            },
+        }
+    }
+
+    /// The pool's thread budget.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` on up to [`Self::threads`] worker threads.
+    ///
+    /// Order-preserving: the output is element-for-element identical to
+    /// the serial `items.iter().map(f).collect()`, regardless of thread
+    /// timing. With a budget of 1 (or one item) no threads are spawned
+    /// at all — the map runs inline on the caller.
+    ///
+    /// # Panics
+    ///
+    /// If `f` panics for any element, the first panic payload is
+    /// re-raised on the caller after the surviving workers stop
+    /// claiming new work.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        // Chunked self-scheduling: coarse maps (few items) use chunk
+        // size 1 for load balance; long slices claim bigger chunks so
+        // the shared cursor is not a bottleneck.
+        let chunk = (n / (workers * 8)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let poisoned = AtomicBool::new(false);
+        let slots: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| loop {
+                        if poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            let i = start + i;
+                            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                                Ok(value) => {
+                                    slots
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .push((i, value));
+                                }
+                                Err(payload) => {
+                                    // Stop siblings from claiming more
+                                    // work, then re-raise so the join
+                                    // below sees the original payload.
+                                    poisoned.store(true, Ordering::Relaxed);
+                                    resume_unwind(payload);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let mut first_panic = None;
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+            if let Some(payload) = first_panic {
+                resume_unwind(payload);
+            }
+        });
+        let mut pairs = slots.into_inner().unwrap_or_else(|e| e.into_inner());
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert_eq!(pairs.len(), n);
+        pairs.into_iter().map(|(_, value)| value).collect()
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::new(0)
+    }
+}
+
+/// [`ThreadPool::par_map`] on the default pool ([`default_threads`]).
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    ThreadPool::default().par_map(items, f)
+}
+
+/// Runs `a` and `b` concurrently (when the default pool allows more
+/// than one thread) and returns both results. Panics in either closure
+/// propagate to the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if default_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = catch_unwind(AssertUnwindSafe(a));
+        let rb = hb.join();
+        // `a`'s panic wins ties so serial and parallel agree on which
+        // payload surfaces when both sides blow up.
+        match (ra, rb) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(payload), _) | (_, Err(payload)) => resume_unwind(payload),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let items: Vec<u64> = (0..103).collect();
+            let out = pool.par_map(&items, |&x| x * 3 + 1);
+            let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_input_yields_empty_output() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<u64> = pool.par_map(&[] as &[u64], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_single_item_runs_inline() {
+        let out = ThreadPool::new(8).par_map(&[41], |&x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn par_map_propagates_panics_with_payload() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..64).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |&x| {
+                if x == 13 {
+                    panic!("unlucky element");
+                }
+                x
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let text = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(text.contains("unlucky"), "payload lost: {text:?}");
+    }
+
+    #[test]
+    fn par_map_runs_every_element_exactly_once() {
+        let count = AtomicU64::new(0);
+        let items: Vec<u64> = (0..1000).collect();
+        let sum: u64 = ThreadPool::new(4)
+            .par_map(&items, |&x| {
+                count.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+            .into_iter()
+            .sum();
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        assert_eq!(join(|| 1 + 1, || "two"), (2, "two"));
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let caught = catch_unwind(AssertUnwindSafe(|| join(|| panic!("left side"), || 7)));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn pool_sizing_follows_the_default() {
+        assert!(available() >= 1);
+        assert!(default_threads() >= 1);
+        assert_eq!(ThreadPool::new(3).threads(), 3);
+    }
+}

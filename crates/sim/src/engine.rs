@@ -46,9 +46,10 @@ pub struct EngineConfig {
     /// price instead of the paper's single uniform price.
     pub per_pdu_pricing: bool,
     /// Telemetry settings. Installed process-wide at the start of
-    /// [`Simulation::run`] when (and only when) `telemetry.enabled` is
-    /// set, so the disabled default never clobbers a sink installed
-    /// elsewhere (e.g. by a test or the repro binary).
+    /// [`Simulation::run`] when `telemetry.enabled` is set *and* no
+    /// earlier install happened, so the disabled default never clobbers
+    /// a sink installed elsewhere (e.g. by a test or the repro binary)
+    /// and concurrent simulations never race on the global sink.
     pub telemetry: spotdc_telemetry::TelemetryConfig,
 }
 
@@ -88,11 +89,14 @@ impl Simulation {
     pub fn run(self, slots: u64) -> SimReport {
         let Simulation { scenario, config } = self;
         if config.telemetry.enabled {
-            spotdc_telemetry::install(config.telemetry);
+            spotdc_telemetry::install_if_uninstalled(config.telemetry);
         }
         let n = slots as usize;
-        let loads = scenario.load_traces(n);
-        let other_traces = scenario.other_traces(n);
+        // Memoized: every mode of this scenario shares one generated
+        // trace set instead of regenerating it per run.
+        let traces = scenario.traces(n);
+        let loads = &traces.loads;
+        let other_traces = &traces.others;
         let topology = scenario.topology.clone();
         let operator = Operator::new(topology.clone(), config.operator);
         let mut meter = PowerMeter::new(&topology, 4);
@@ -124,6 +128,20 @@ impl Simulation {
         // is over a run.
         let mut prediction_error_sum = 0.0;
         let mut prediction_error_count = 0u64;
+
+        // Scratch buffers hoisted out of the slot loop so the steady
+        // state allocates nothing per slot. Payments are a flat vector
+        // over the dense rack index space instead of a fresh BTreeMap
+        // per slot.
+        let mut payments: Vec<f64> = vec![0.0; topology.rack_count()];
+        let mut bids: Vec<spotdc_core::TenantBid> = Vec::with_capacity(agents.len());
+        let mut bidders: Vec<TenantId> = Vec::with_capacity(agents.len());
+        let mut rack_bids: Vec<spotdc_core::RackBid> = Vec::new();
+        let mut requesting: Vec<RackId> = Vec::new();
+        let mut gains: BTreeMap<RackId, ConcaveGain> = BTreeMap::new();
+        let mut wanting: Vec<RackId> = Vec::new();
+        let per_pdu_clearing = MarketClearing::new(config.operator.clearing);
+
         for t in 0..n {
             let slot = Slot::new(t as u64);
             let _slot_span = spotdc_telemetry::span!("engine.slot", slot = slot);
@@ -135,12 +153,13 @@ impl Simulation {
             let mut price = None;
             let mut spot_sold = 0.0;
             let mut spot_available = 0.0;
-            let mut payments: BTreeMap<RackId, f64> = BTreeMap::new();
+            payments.fill(0.0);
 
             match config.mode {
                 Mode::PowerCapped => {}
                 Mode::SpotDc => {
-                    let mut bids: Vec<_> = agents.iter_mut().filter_map(|a| a.make_bid()).collect();
+                    bids.clear();
+                    bids.extend(agents.iter_mut().filter_map(|a| a.make_bid()));
                     if config.price_oracle {
                         let pre = operator.run_slot(slot, &bids, &meter);
                         let oracle =
@@ -148,34 +167,43 @@ impl Simulation {
                         for a in agents.iter_mut() {
                             a.predict_price(oracle);
                         }
-                        bids = agents.iter_mut().filter_map(|a| a.make_bid()).collect();
+                        bids.clear();
+                        bids.extend(agents.iter_mut().filter_map(|a| a.make_bid()));
                     }
-                    let (bids, _lost_bids) = comms.deliver_bids(slot, bids);
-                    let bidders: Vec<TenantId> = bids.iter().map(|b| b.tenant()).collect();
+                    let _lost_bids = comms.deliver_bids(slot, &mut bids);
+                    bidders.clear();
+                    bidders.extend(bids.iter().map(|b| b.tenant()));
                     if config.per_pdu_pricing {
                         // Localized-price ablation: clear each PDU's
                         // sub-market independently.
-                        let rack_bids: Vec<_> = bids
-                            .iter()
-                            .flat_map(|b| b.rack_bids().iter().cloned())
-                            .collect();
-                        let requesting: Vec<RackId> =
-                            rack_bids.iter().map(|rb| rb.rack()).collect();
-                        let predicted = operator.predictor().predict(&topology, &meter, requesting);
+                        rack_bids.clear();
+                        rack_bids.extend(bids.iter().flat_map(|b| b.rack_bids().iter().cloned()));
+                        requesting.clear();
+                        requesting.extend(rack_bids.iter().map(|rb| rb.rack()));
+                        let predicted = operator.predictor().predict(
+                            &topology,
+                            &meter,
+                            requesting.iter().copied(),
+                        );
                         spot_available = predicted.total_pdu().min(predicted.ups).value();
                         let constraints =
                             ConstraintSet::new(&topology, predicted.pdu.clone(), predicted.ups);
-                        let clearing = MarketClearing::new(config.operator.clearing);
                         let mut revenue_weighted_price = 0.0;
-                        for outcome in clearing.clear_per_pdu(slot, &rack_bids, &constraints) {
+                        for outcome in
+                            per_pdu_clearing.clear_per_pdu(slot, &rack_bids, &constraints)
+                        {
                             let mut alloc = outcome.into_allocation();
-                            comms.deliver_broadcasts(&topology, &mut alloc, bidders.clone());
+                            comms.deliver_broadcasts(
+                                &topology,
+                                &mut alloc,
+                                bidders.iter().copied(),
+                            );
                             for (rack, grant) in alloc.iter() {
                                 if grant > Watts::ZERO {
                                     bank.grant_spot(slot, rack, grant)
                                         .expect("cleared grants respect rack headroom");
-                                    payments
-                                        .insert(rack, alloc.payment_for(rack, scenario.slot).usd());
+                                    payments[rack.index()] =
+                                        alloc.payment_for(rack, scenario.slot).usd();
                                 }
                             }
                             let sold = alloc.total().value();
@@ -190,12 +218,13 @@ impl Simulation {
                         spot_available =
                             round.predicted.total_pdu().min(round.predicted.ups).value();
                         let mut alloc = round.outcome.into_allocation();
-                        comms.deliver_broadcasts(&topology, &mut alloc, bidders);
+                        comms.deliver_broadcasts(&topology, &mut alloc, bidders.iter().copied());
                         for (rack, grant) in alloc.iter() {
                             if grant > Watts::ZERO {
                                 bank.grant_spot(slot, rack, grant)
                                     .expect("cleared grants respect rack headroom");
-                                payments.insert(rack, alloc.payment_for(rack, scenario.slot).usd());
+                                payments[rack.index()] =
+                                    alloc.payment_for(rack, scenario.slot).usd();
                             }
                         }
                         spot_sold = alloc.total().value();
@@ -205,8 +234,8 @@ impl Simulation {
                     }
                 }
                 Mode::MaxPerf => {
-                    let mut gains: BTreeMap<RackId, ConcaveGain> = BTreeMap::new();
-                    let mut wanting: Vec<RackId> = Vec::new();
+                    gains.clear();
+                    wanting.clear();
                     for agent in agents.iter_mut() {
                         if agent.wants_spot() {
                             let env = agent.gain_curve().concave_envelope();
@@ -216,7 +245,10 @@ impl Simulation {
                             }
                         }
                     }
-                    let predicted = operator.predictor().predict(&topology, &meter, wanting);
+                    let predicted =
+                        operator
+                            .predictor()
+                            .predict(&topology, &meter, wanting.iter().copied());
                     spot_available = predicted.total_pdu().min(predicted.ups).value();
                     let constraints =
                         ConstraintSet::new(&topology, predicted.pdu.clone(), predicted.ups);
@@ -252,7 +284,7 @@ impl Simulation {
                     perf_index,
                     slo_met,
                     cost_rate: out.cost_rate,
-                    payment: payments.get(&agent.rack()).copied().unwrap_or(0.0),
+                    payment: payments[agent.rack().index()],
                 });
             }
             for (j, other) in scenario.others.iter().enumerate() {

@@ -20,7 +20,7 @@ use spotdc_workloads::GainCurve;
 use crate::accounting::Billing;
 use crate::baselines::Mode;
 use crate::engine::EngineConfig;
-use crate::experiments::common::{run_with, ExpConfig, ExpOutput};
+use crate::experiments::common::{run_engines, ExpConfig, ExpOutput};
 use crate::report::TextTable;
 use crate::scenario::Scenario;
 
@@ -40,72 +40,74 @@ pub struct AblationRow {
 pub fn compute(cfg: &ExpConfig) -> Vec<AblationRow> {
     let billing = Billing::paper_defaults();
     let scenario = Scenario::testbed(cfg.seed);
-    let mut rows = Vec::new();
-    let mut push = |label: &str, engine: EngineConfig| {
-        let report = run_with(cfg, scenario.clone(), engine);
-        rows.push(AblationRow {
+    let variants: Vec<(&str, EngineConfig)> = vec![
+        ("grid scan 0.1¢ (paper)", EngineConfig::new(Mode::SpotDc)),
+        (
+            "grid scan 1¢ (coarse)",
+            EngineConfig {
+                operator: OperatorConfig {
+                    clearing: ClearingConfig::grid(Price::cents_per_kw_hour(1.0)),
+                    ..OperatorConfig::default()
+                },
+                ..EngineConfig::new(Mode::SpotDc)
+            },
+        ),
+        (
+            "kink search (exact)",
+            EngineConfig {
+                operator: OperatorConfig {
+                    clearing: ClearingConfig {
+                        algorithm: ClearingAlgorithm::KinkSearch,
+                        ..ClearingConfig::default()
+                    },
+                    ..OperatorConfig::default()
+                },
+                ..EngineConfig::new(Mode::SpotDc)
+            },
+        ),
+        (
+            "per-PDU localized pricing",
+            EngineConfig {
+                per_pdu_pricing: true,
+                ..EngineConfig::new(Mode::SpotDc)
+            },
+        ),
+        (
+            "adaptive predictor (worst ramp)",
+            EngineConfig {
+                operator: OperatorConfig {
+                    predictor: SpotPredictor::adaptive(1.0),
+                    ..OperatorConfig::default()
+                },
+                ..EngineConfig::new(Mode::SpotDc)
+            },
+        ),
+        (
+            "5% bid loss",
+            EngineConfig {
+                bid_loss: 0.05,
+                ..EngineConfig::new(Mode::SpotDc)
+            },
+        ),
+        (
+            "5% broadcast loss",
+            EngineConfig {
+                broadcast_loss: 0.05,
+                ..EngineConfig::new(Mode::SpotDc)
+            },
+        ),
+    ];
+    let engines: Vec<EngineConfig> = variants.iter().map(|&(_, engine)| engine).collect();
+    let reports = run_engines(cfg, &scenario, &engines);
+    variants
+        .iter()
+        .zip(reports)
+        .map(|(&(label, _), report)| AblationRow {
             label: label.into(),
             extra_percent: report.profit(&billing).extra_percent(),
             avg_sold: report.avg_spot_sold(),
-        });
-    };
-
-    push("grid scan 0.1¢ (paper)", EngineConfig::new(Mode::SpotDc));
-    push(
-        "grid scan 1¢ (coarse)",
-        EngineConfig {
-            operator: OperatorConfig {
-                clearing: ClearingConfig::grid(Price::cents_per_kw_hour(1.0)),
-                ..OperatorConfig::default()
-            },
-            ..EngineConfig::new(Mode::SpotDc)
-        },
-    );
-    push(
-        "kink search (exact)",
-        EngineConfig {
-            operator: OperatorConfig {
-                clearing: ClearingConfig {
-                    algorithm: ClearingAlgorithm::KinkSearch,
-                    ..ClearingConfig::default()
-                },
-                ..OperatorConfig::default()
-            },
-            ..EngineConfig::new(Mode::SpotDc)
-        },
-    );
-    push(
-        "per-PDU localized pricing",
-        EngineConfig {
-            per_pdu_pricing: true,
-            ..EngineConfig::new(Mode::SpotDc)
-        },
-    );
-    push(
-        "adaptive predictor (worst ramp)",
-        EngineConfig {
-            operator: OperatorConfig {
-                predictor: SpotPredictor::adaptive(1.0),
-                ..OperatorConfig::default()
-            },
-            ..EngineConfig::new(Mode::SpotDc)
-        },
-    );
-    push(
-        "5% bid loss",
-        EngineConfig {
-            bid_loss: 0.05,
-            ..EngineConfig::new(Mode::SpotDc)
-        },
-    );
-    push(
-        "5% broadcast loss",
-        EngineConfig {
-            broadcast_loss: 0.05,
-            ..EngineConfig::new(Mode::SpotDc)
-        },
-    );
-    rows
+        })
+        .collect()
 }
 
 /// The rack-vs-tenant allocation-granularity study (Section III-A's

@@ -80,6 +80,71 @@ pub fn run_with(cfg: &ExpConfig, scenario: Scenario, engine: EngineConfig) -> Si
     Simulation::new(scenario, engine).run(slots)
 }
 
+/// Runs independent jobs concurrently on the default pool, preserving
+/// input order and propagating the ambient telemetry run tag into the
+/// workers (thread-local tags do not cross threads on their own).
+///
+/// Simulations are fully seeded, so the result is identical to mapping
+/// `f` serially — the experiments lean on this to stay byte-for-byte
+/// deterministic regardless of the thread count.
+#[must_use]
+pub fn fan_out<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let run = spotdc_telemetry::current_run();
+    spotdc_par::par_map(items, move |item| {
+        let _scope = run.as_deref().map(spotdc_telemetry::run_scope);
+        f(item)
+    })
+}
+
+/// Runs two independent jobs concurrently (telemetry-tag aware).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let run = spotdc_telemetry::current_run();
+    spotdc_par::join(
+        || {
+            let _scope = run.as_deref().map(spotdc_telemetry::run_scope);
+            a()
+        },
+        || {
+            let _scope = run.as_deref().map(spotdc_telemetry::run_scope);
+            b()
+        },
+    )
+}
+
+/// Runs `scenario` under every engine configuration concurrently.
+///
+/// All runs clone the same scenario, so they share one memoized trace
+/// set (see [`Scenario::traces`]) instead of regenerating it per mode.
+#[must_use]
+pub fn run_engines(
+    cfg: &ExpConfig,
+    scenario: &Scenario,
+    engines: &[EngineConfig],
+) -> Vec<SimReport> {
+    let slots = cfg.slots(scenario);
+    fan_out(engines, |engine| {
+        Simulation::new(scenario.clone(), *engine).run(slots)
+    })
+}
+
+/// Runs `scenario` under every mode concurrently, in the given order.
+#[must_use]
+pub fn run_modes(cfg: &ExpConfig, scenario: &Scenario, modes: &[Mode]) -> Vec<SimReport> {
+    let engines: Vec<EngineConfig> = modes.iter().map(|&m| EngineConfig::new(m)).collect();
+    run_engines(cfg, scenario, &engines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +159,40 @@ mod tests {
         assert_eq!(one.slots(&s), 720);
         let quick = ExpConfig::quick();
         assert_eq!(quick.slots(&s), 720);
+    }
+
+    #[test]
+    fn parallel_helpers_match_serial_runs() {
+        let cfg = ExpConfig {
+            days: 0.1,
+            ..ExpConfig::quick()
+        };
+        let s = Scenario::testbed(7);
+        let par = run_modes(&cfg, &s, &[Mode::PowerCapped, Mode::SpotDc]);
+        assert_eq!(par.len(), 2);
+        assert_eq!(par[0], run_mode(&cfg, s.clone(), Mode::PowerCapped));
+        assert_eq!(par[1], run_mode(&cfg, s.clone(), Mode::SpotDc));
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn fan_out_preserves_order_and_run_tags() {
+        let _scope = spotdc_telemetry::run_scope("outer");
+        let tags = fan_out(&[1, 2, 3], |&x| {
+            (
+                x * 10,
+                spotdc_telemetry::current_run().map(|r| r.to_string()),
+            )
+        });
+        assert_eq!(
+            tags,
+            vec![
+                (10, Some("outer".into())),
+                (20, Some("outer".into())),
+                (30, Some("outer".into()))
+            ]
+        );
     }
 
     #[test]

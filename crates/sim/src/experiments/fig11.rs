@@ -6,7 +6,7 @@
 
 use crate::baselines::Mode;
 use crate::engine::{EngineConfig, Simulation};
-use crate::experiments::common::{ExpConfig, ExpOutput};
+use crate::experiments::common::{join, ExpConfig, ExpOutput};
 use crate::experiments::fig10;
 use crate::metrics::SimReport;
 use crate::report::TextTable;
@@ -24,14 +24,15 @@ pub struct Fig11Result {
 /// Runs the staged experiment under SpotDC and PowerCapped.
 #[must_use]
 pub fn compute(cfg: &ExpConfig) -> Fig11Result {
-    let spot = fig10::compute(cfg).report;
     let tuning = ScenarioTuning {
         volatile_others: true,
         ..ScenarioTuning::default()
     };
     let scenario = Scenario::testbed_with(cfg.seed, tuning).with_scripted_loads(fig10::scripts());
-    let capped =
-        Simulation::new(scenario, EngineConfig::new(Mode::PowerCapped)).run(fig10::SLOTS as u64);
+    let (spot, capped) = join(
+        || fig10::compute(cfg).report,
+        || Simulation::new(scenario, EngineConfig::new(Mode::PowerCapped)).run(fig10::SLOTS as u64),
+    );
     Fig11Result { spot, capped }
 }
 

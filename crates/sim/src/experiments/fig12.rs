@@ -13,7 +13,7 @@
 
 use crate::accounting::Billing;
 use crate::baselines::Mode;
-use crate::experiments::common::{run_mode, ExpConfig, ExpOutput};
+use crate::experiments::common::{run_modes, ExpConfig, ExpOutput};
 use crate::metrics::SimReport;
 use crate::report::TextTable;
 use crate::scenario::Scenario;
@@ -58,9 +58,17 @@ pub fn compute(cfg: &ExpConfig) -> Fig12Result {
     let billing = Billing::paper_defaults();
     let scenario = Scenario::testbed(cfg.seed);
     let specs = scenario.specs.clone();
-    let capped = run_mode(cfg, scenario.clone(), Mode::PowerCapped);
-    let spot = run_mode(cfg, scenario.clone(), Mode::SpotDc);
-    let maxperf = run_mode(cfg, scenario, Mode::MaxPerf);
+    let mut reports = run_modes(
+        cfg,
+        &scenario,
+        &[Mode::PowerCapped, Mode::SpotDc, Mode::MaxPerf],
+    )
+    .into_iter();
+    let (capped, spot, maxperf) = (
+        reports.next().expect("capped run"),
+        reports.next().expect("spot run"),
+        reports.next().expect("maxperf run"),
+    );
     let tenants = specs
         .iter()
         .enumerate()

@@ -9,7 +9,7 @@
 use spotdc_traces::Cdf;
 
 use crate::baselines::Mode;
-use crate::experiments::common::{run_mode, ExpConfig, ExpOutput};
+use crate::experiments::common::{run_modes, ExpConfig, ExpOutput};
 use crate::report::TextTable;
 use crate::scenario::Scenario;
 
@@ -37,8 +37,11 @@ pub fn compute(cfg: &ExpConfig) -> Fig13Result {
         .filter(|(_, s)| s.kind.is_sprinting())
         .map(|(i, _)| i)
         .collect();
-    let spot = run_mode(cfg, scenario.clone(), Mode::SpotDc);
-    let capped = run_mode(cfg, scenario, Mode::PowerCapped);
+    let mut reports = run_modes(cfg, &scenario, &[Mode::SpotDc, Mode::PowerCapped]).into_iter();
+    let (spot, capped) = (
+        reports.next().expect("spot run"),
+        reports.next().expect("capped run"),
+    );
     let mut sprint_prices = Vec::new();
     let mut opp_prices = Vec::new();
     for rec in &spot.records {

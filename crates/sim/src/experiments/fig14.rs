@@ -10,7 +10,7 @@ use spotdc_tenants::Strategy;
 
 use crate::accounting::Billing;
 use crate::baselines::Mode;
-use crate::experiments::common::{run_mode, ExpConfig, ExpOutput};
+use crate::experiments::common::{fan_out, run_mode, ExpConfig, ExpOutput};
 use crate::report::TextTable;
 use crate::scenario::{Scenario, ScenarioTuning};
 
@@ -98,19 +98,29 @@ pub fn compute(cfg: &ExpConfig) -> Vec<AvailabilityPoint> {
     } else {
         vec![0.90, 0.80, 0.65, 0.55, 0.42]
     };
+    // Flatten the fraction × style grid into one parallel fan-out, then
+    // regroup per fraction (each chunk holds the styles in order).
+    let jobs: Vec<(f64, BidStyle)> = fractions
+        .iter()
+        .flat_map(|&f| BidStyle::all().into_iter().map(move |style| (f, style)))
+        .collect();
+    let reports = fan_out(&jobs, |&(f, style)| {
+        run_mode(cfg, styled_scenario(cfg.seed, f, style), Mode::SpotDc)
+    });
     fractions
-        .into_iter()
-        .map(|f| {
+        .iter()
+        .zip(reports.chunks(BidStyle::all().len()))
+        .map(|(&f, chunk)| {
             let mut extra = [0.0f64; 4];
-            let mut availability = 0.0;
-            for (i, style) in BidStyle::all().into_iter().enumerate() {
-                let report = run_mode(cfg, styled_scenario(cfg.seed, f, style), Mode::SpotDc);
-                extra[i] = report.profit(&billing).extra_percent();
-                availability = report.avg_spot_available_fraction();
+            for (e, report) in extra.iter_mut().zip(chunk) {
+                *e = report.profit(&billing).extra_percent();
             }
             AvailabilityPoint {
                 other_mean_fraction: f,
-                availability,
+                availability: chunk
+                    .last()
+                    .expect("one report per style")
+                    .avg_spot_available_fraction(),
                 extra_percent: extra,
             }
         })

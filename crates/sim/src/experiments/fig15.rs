@@ -7,7 +7,7 @@
 
 use crate::accounting::Billing;
 use crate::baselines::Mode;
-use crate::experiments::common::{run_mode, ExpConfig, ExpOutput};
+use crate::experiments::common::{fan_out, run_mode, ExpConfig, ExpOutput};
 use crate::report::TextTable;
 use crate::scenario::{Scenario, ScenarioTuning};
 
@@ -33,22 +33,33 @@ pub fn compute(cfg: &ExpConfig) -> Vec<Fig15Point> {
     } else {
         vec![0.90, 0.75, 0.62, 0.50, 0.42]
     };
-    fractions
-        .into_iter()
-        .map(|f| {
+    // One scenario per fraction, cloned across both modes so the runs
+    // share a memoized trace set; the mode grid fans out in parallel.
+    let scenarios: Vec<Scenario> = fractions
+        .iter()
+        .map(|&f| {
             let tuning = ScenarioTuning {
                 other_mean_fraction: f,
                 ..ScenarioTuning::default()
             };
-            let scenario = Scenario::testbed_with(cfg.seed, tuning);
-            let capped = run_mode(cfg, scenario.clone(), Mode::PowerCapped);
-            let spot = run_mode(cfg, scenario, Mode::SpotDc);
-            let perf_ratio = spot.avg_perf_ratio_vs(&capped);
+            Scenario::testbed_with(cfg.seed, tuning)
+        })
+        .collect();
+    let jobs: Vec<(usize, Mode)> = (0..scenarios.len())
+        .flat_map(|i| [(i, Mode::PowerCapped), (i, Mode::SpotDc)])
+        .collect();
+    let reports = fan_out(&jobs, |&(i, mode)| {
+        run_mode(cfg, scenarios[i].clone(), mode)
+    });
+    reports
+        .chunks(2)
+        .map(|pair| {
+            let (capped, spot) = (&pair[0], &pair[1]);
             Fig15Point {
                 availability: spot.avg_spot_available_fraction(),
                 extra_percent: spot.profit(&billing).extra_percent(),
                 mean_price: spot.price_cdf().mean(),
-                perf_ratio,
+                perf_ratio: spot.avg_perf_ratio_vs(capped),
             }
         })
         .collect()

@@ -13,7 +13,7 @@ use spotdc_units::Price;
 use crate::accounting::Billing;
 use crate::baselines::Mode;
 use crate::engine::EngineConfig;
-use crate::experiments::common::{run_mode, run_with, ExpConfig, ExpOutput};
+use crate::experiments::common::{join, run_mode, run_with, ExpConfig, ExpOutput};
 use crate::report::TextTable;
 use crate::scenario::Scenario;
 
@@ -82,9 +82,7 @@ pub fn compute(cfg: &ExpConfig) -> Fig16Result {
         .filter(|(_, s)| s.kind.is_sprinting())
         .map(|(i, _)| i)
         .collect();
-    let elastic_report = run_mode(cfg, base.clone(), Mode::SpotDc);
-
-    let mut strategic = base;
+    let mut strategic = base.clone();
     for (i, agent) in strategic.agents.iter_mut().enumerate() {
         if sprint_idx.contains(&i) {
             agent.set_strategy(Strategy::PricePredictor {
@@ -97,7 +95,10 @@ pub fn compute(cfg: &ExpConfig) -> Fig16Result {
         price_oracle: true,
         ..EngineConfig::new(Mode::SpotDc)
     };
-    let predicting_report = run_with(cfg, strategic, engine);
+    let (elastic_report, predicting_report) = join(
+        || run_mode(cfg, base.clone(), Mode::SpotDc),
+        || run_with(cfg, strategic, engine),
+    );
 
     Fig16Result {
         elastic: outcome(cfg, &elastic_report, &sprint_idx),

@@ -10,7 +10,7 @@ use spotdc_core::{OperatorConfig, SpotPredictor};
 use crate::accounting::Billing;
 use crate::baselines::Mode;
 use crate::engine::EngineConfig;
-use crate::experiments::common::{run_mode, run_with, ExpConfig, ExpOutput};
+use crate::experiments::common::{run_engines, ExpConfig, ExpOutput};
 use crate::report::TextTable;
 use crate::scenario::Scenario;
 
@@ -37,18 +37,22 @@ pub fn compute(cfg: &ExpConfig) -> Vec<Fig17Point> {
         vec![0.0, 5.0, 15.0, 30.0]
     };
     let scenario = Scenario::testbed(cfg.seed);
-    let capped = run_mode(cfg, scenario.clone(), Mode::PowerCapped);
+    // The capped reference and every under-prediction level run
+    // concurrently over one shared scenario (and trace cache).
+    let mut engines = vec![EngineConfig::new(Mode::PowerCapped)];
+    engines.extend(levels.iter().map(|&pct| EngineConfig {
+        operator: OperatorConfig {
+            predictor: SpotPredictor::under_predicting(pct),
+            ..OperatorConfig::default()
+        },
+        ..EngineConfig::new(Mode::SpotDc)
+    }));
+    let mut reports = run_engines(cfg, &scenario, &engines).into_iter();
+    let capped = reports.next().expect("capped reference run");
     levels
         .into_iter()
-        .map(|pct| {
-            let engine = EngineConfig {
-                operator: OperatorConfig {
-                    predictor: SpotPredictor::under_predicting(pct),
-                    ..OperatorConfig::default()
-                },
-                ..EngineConfig::new(Mode::SpotDc)
-            };
-            let report = run_with(cfg, scenario.clone(), engine);
+        .zip(reports)
+        .map(|(pct, report)| {
             let perf_ratio = report.avg_perf_ratio_vs(&capped);
             Fig17Point {
                 under_percent: pct,

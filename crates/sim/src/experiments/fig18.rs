@@ -7,7 +7,7 @@
 
 use crate::accounting::Billing;
 use crate::baselines::Mode;
-use crate::experiments::common::{run_mode, ExpConfig, ExpOutput};
+use crate::experiments::common::{fan_out, run_mode, ExpConfig, ExpOutput};
 use crate::report::TextTable;
 use crate::scenario::Scenario;
 
@@ -34,15 +34,32 @@ pub fn compute(cfg: &ExpConfig) -> Vec<Fig18Point> {
     } else {
         vec![8, 48, 104, 304, 1000]
     };
-    sizes
+    // Each scale point carries its own shrunken horizon, so flatten the
+    // (size, mode) grid and pair each point with its scenario clone.
+    let points: Vec<(usize, ExpConfig, Scenario)> = sizes
         .into_iter()
         .map(|n| {
             // Keep total work roughly constant across scales.
             let days = (cfg.days * 8.0 / n as f64).clamp(0.25, cfg.days);
-            let scale_cfg = ExpConfig { days, ..*cfg };
-            let scenario = Scenario::hyperscale(cfg.seed, n);
-            let capped = run_mode(&scale_cfg, scenario.clone(), Mode::PowerCapped);
-            let spot = run_mode(&scale_cfg, scenario, Mode::SpotDc);
+            (
+                n,
+                ExpConfig { days, ..*cfg },
+                Scenario::hyperscale(cfg.seed, n),
+            )
+        })
+        .collect();
+    let jobs: Vec<(usize, Mode)> = (0..points.len())
+        .flat_map(|i| [(i, Mode::PowerCapped), (i, Mode::SpotDc)])
+        .collect();
+    let reports = fan_out(&jobs, |&(i, mode)| {
+        let (_, scale_cfg, scenario) = &points[i];
+        run_mode(scale_cfg, scenario.clone(), mode)
+    });
+    points
+        .iter()
+        .zip(reports.chunks(2))
+        .map(|(&(n, _, _), pair)| {
+            let (capped, spot) = (&pair[0], &pair[1]);
             let k = spot.tenant_count();
             let mut cost_ratio = 0.0;
             for i in 0..k {
@@ -53,7 +70,7 @@ pub fn compute(cfg: &ExpConfig) -> Vec<Fig18Point> {
                 tenants: n,
                 extra_percent: spot.profit(&billing).extra_percent(),
                 cost_ratio: cost_ratio / k as f64,
-                perf_ratio: spot.avg_perf_ratio_vs(&capped),
+                perf_ratio: spot.avg_perf_ratio_vs(capped),
             }
         })
         .collect()

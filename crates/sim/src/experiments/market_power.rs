@@ -11,7 +11,7 @@ use spotdc_tenants::Strategy;
 
 use crate::accounting::Billing;
 use crate::baselines::Mode;
-use crate::experiments::common::{run_mode, ExpConfig, ExpOutput};
+use crate::experiments::common::{fan_out, run_mode, ExpConfig, ExpOutput};
 use crate::report::TextTable;
 use crate::scenario::Scenario;
 
@@ -48,37 +48,36 @@ pub fn compute(cfg: &ExpConfig) -> Vec<ShadingPoint> {
         .filter(|(_, s)| !s.kind.is_sprinting())
         .map(|(i, _)| i)
         .collect();
-    levels
-        .iter()
-        .map(|&shading| {
-            let mut scenario = base.clone();
+    // Shading only rewrites bid strategies — the load traces are
+    // untouched, so every level's clone shares the base trace cache.
+    fan_out(levels, |&shading| {
+        let mut scenario = base.clone();
+        for &i in &shader_idx {
+            if let Strategy::Elastic { q_min, q_max } = scenario.agents[i].strategy().clone() {
+                scenario.agents[i]
+                    .set_strategy(Strategy::elastic(q_min * shading, q_max * shading));
+            }
+        }
+        let report = run_mode(cfg, scenario, Mode::SpotDc);
+        let mut payments = 0.0;
+        for rec in &report.records {
             for &i in &shader_idx {
-                if let Strategy::Elastic { q_min, q_max } = scenario.agents[i].strategy().clone() {
-                    scenario.agents[i]
-                        .set_strategy(Strategy::elastic(q_min * shading, q_max * shading));
-                }
+                payments += rec.tenants[i].payment;
             }
-            let report = run_mode(cfg, scenario, Mode::SpotDc);
-            let mut payments = 0.0;
-            for rec in &report.records {
-                for &i in &shader_idx {
-                    payments += rec.tenants[i].payment;
-                }
-            }
-            let perf = shader_idx
-                .iter()
-                .map(|&i| report.tenant_avg_perf(i, true))
-                .sum::<f64>()
-                / shader_idx.len() as f64;
-            ShadingPoint {
-                shading,
-                mean_price: report.price_cdf().mean(),
-                operator_extra_percent: report.profit(&billing).extra_percent(),
-                shader_payments: payments,
-                shader_perf: perf,
-            }
-        })
-        .collect()
+        }
+        let perf = shader_idx
+            .iter()
+            .map(|&i| report.tenant_avg_perf(i, true))
+            .sum::<f64>()
+            / shader_idx.len() as f64;
+        ShadingPoint {
+            shading,
+            mean_price: report.price_cdf().mean(),
+            operator_extra_percent: report.profit(&billing).extra_percent(),
+            shader_payments: payments,
+            shader_perf: perf,
+        }
+    })
 }
 
 /// Renders the market-power study.

@@ -54,6 +54,39 @@ pub fn all_ids() -> Vec<&'static str> {
     ]
 }
 
+/// One experiment's rendered output plus its wall-clock time.
+#[derive(Debug, Clone)]
+pub struct TimedOutput {
+    /// The rendered experiment.
+    pub output: ExpOutput,
+    /// Wall-clock spent computing and rendering it.
+    pub wall: std::time::Duration,
+}
+
+/// Runs the selected experiments concurrently on `pool`, preserving
+/// the order of `ids` (unknown ids yield `None` in place).
+///
+/// Each experiment executes under a telemetry run scope named after
+/// its id, so events from interleaved runs stay attributable in the
+/// shared JSONL log. Experiments that fan out internally re-propagate
+/// the tag to their own workers (see
+/// [`common::fan_out`]).
+#[must_use]
+pub fn run_selected(
+    ids: &[&str],
+    cfg: &ExpConfig,
+    pool: spotdc_par::ThreadPool,
+) -> Vec<Option<TimedOutput>> {
+    pool.par_map(ids, |id| {
+        let _scope = spotdc_telemetry::run_scope(id);
+        let start = std::time::Instant::now();
+        run_by_id(id, cfg).map(|output| TimedOutput {
+            output,
+            wall: start.elapsed(),
+        })
+    })
+}
+
 /// Runs one experiment by id, or `None` for an unknown id.
 #[must_use]
 pub fn run_by_id(id: &str, cfg: &ExpConfig) -> Option<ExpOutput> {
@@ -99,5 +132,28 @@ mod tests {
         }
         assert!(run_by_id("nope", &cfg).is_none());
         assert_eq!(all_ids().len(), 19);
+    }
+
+    #[test]
+    fn run_selected_preserves_order_and_flags_unknown_ids() {
+        let cfg = ExpConfig {
+            days: 0.1,
+            ..ExpConfig::quick()
+        };
+        let ids = ["fig4", "nope", "table1"];
+        let timed = run_selected(&ids, &cfg, spotdc_par::ThreadPool::new(2));
+        assert_eq!(timed.len(), 3);
+        assert_eq!(
+            timed[0].as_ref().map(|t| t.output.id.as_str()),
+            Some("fig4")
+        );
+        assert!(timed[1].is_none());
+        assert_eq!(
+            timed[2].as_ref().map(|t| t.output.id.as_str()),
+            Some("table1")
+        );
+        // Parallel output must match a direct serial run.
+        let serial = run_by_id("fig4", &cfg).expect("known id");
+        assert_eq!(timed[0].as_ref().map(|t| &t.output), Some(&serial));
     }
 }

@@ -21,6 +21,9 @@
 //! 1 370 W = (715+724)/1.05. Participating racks carry 50 % spot
 //! headroom; "Other" racks are non-participating trace-driven tenants.
 
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
 use serde::{Deserialize, Serialize};
 use spotdc_power::topology::{PowerTopology, TopologyBuilder};
 use spotdc_tenants::{Strategy, TenantAgent, WorkloadModel};
@@ -147,6 +150,26 @@ pub struct Scenario {
     /// stages sprinting participation at specific slots). Missing slots
     /// repeat the last scripted value.
     pub scripted_loads: Option<Vec<Vec<f64>>>,
+    /// Memoized [`Scenario::traces`] results keyed by slot count.
+    /// `Clone` shares the cache, so all modes of one scenario (SpotDC /
+    /// PowerCapped / MaxPerf running concurrently) generate each trace
+    /// set once. Trace generation is a pure function of `seed`, `slot`,
+    /// `specs`, `others`, and `scripted_loads` — constructors create a
+    /// fresh cache and [`Scenario::with_scripted_loads`] resets it, so
+    /// cached entries never go stale.
+    trace_cache: Arc<Mutex<BTreeMap<usize, Arc<ScenarioTraces>>>>,
+}
+
+/// The generated input traces for one slot count: what every
+/// [`Simulation::run`](crate::engine::Simulation::run) needs, computed
+/// once per scenario and shared (`Arc`) across concurrent modes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioTraces {
+    /// Per-participant load-intensity traces, spec order (see
+    /// [`Scenario::load_traces`]).
+    pub loads: Vec<Vec<f64>>,
+    /// Per-other-group power traces (see [`Scenario::other_traces`]).
+    pub others: Vec<Vec<Watts>>,
 }
 
 /// Spot headroom as a fraction of a participating rack's subscription.
@@ -300,6 +323,7 @@ impl Scenario {
             billing,
             seed,
             scripted_loads: None,
+            trace_cache: Arc::new(Mutex::new(BTreeMap::new())),
         }
     }
 
@@ -330,7 +354,32 @@ impl Scenario {
             "one load script per participating tenant"
         );
         self.scripted_loads = Some(scripts);
+        // The scripts change the load traces; a clone must not keep
+        // serving the original's cached (unscripted) entries.
+        self.trace_cache = Arc::new(Mutex::new(BTreeMap::new()));
         self
+    }
+
+    /// The scenario's input traces for `slots` slots, memoized.
+    ///
+    /// The first caller per slot count generates the traces (inside the
+    /// cache lock, so concurrent modes of the same scenario never
+    /// duplicate the work); everyone else gets the shared `Arc`. The
+    /// result is identical to calling [`Scenario::load_traces`] and
+    /// [`Scenario::other_traces`] directly — generation is seeded and
+    /// pure.
+    #[must_use]
+    pub fn traces(&self, slots: usize) -> Arc<ScenarioTraces> {
+        let mut cache = self.trace_cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache
+            .entry(slots)
+            .or_insert_with(|| {
+                Arc::new(ScenarioTraces {
+                    loads: self.load_traces(slots),
+                    others: self.other_traces(slots),
+                })
+            })
+            .clone()
     }
 
     /// Generates each participating tenant's load-intensity trace for
@@ -492,6 +541,37 @@ mod tests {
         for trace in &o {
             assert!(trace.iter().all(|&w| w <= Watts::new(250.0)));
         }
+    }
+
+    #[test]
+    fn trace_cache_matches_direct_generation_and_is_shared() {
+        let s = Scenario::testbed(7);
+        let t = s.traces(300);
+        assert_eq!(t.loads, s.load_traces(300));
+        assert_eq!(t.others, s.other_traces(300));
+        // The cache is shared across clones (one generation per
+        // scenario, however many modes run) and hit on repeat calls.
+        assert!(Arc::ptr_eq(&s.traces(300), &t));
+        assert!(Arc::ptr_eq(&s.clone().traces(300), &t));
+        // A different slot count is its own entry.
+        assert!(!Arc::ptr_eq(&s.traces(100), &t));
+        assert_eq!(s.traces(100).loads, s.load_traces(100));
+    }
+
+    #[test]
+    fn scripting_resets_the_trace_cache() {
+        let s = Scenario::testbed(7);
+        let unscripted = s.traces(50);
+        let scripted = s.clone().with_scripted_loads(vec![vec![1.0]; 8]);
+        let t = scripted.traces(50);
+        assert!(
+            !Arc::ptr_eq(&t, &unscripted),
+            "scripted clone must not share the unscripted cache"
+        );
+        assert_eq!(t.loads, scripted.load_traces(50));
+        assert!(t.loads.iter().all(|l| l.iter().all(|&x| x == 1.0)));
+        // The original keeps serving its own (unscripted) entry.
+        assert!(Arc::ptr_eq(&s.traces(50), &unscripted));
     }
 
     #[test]

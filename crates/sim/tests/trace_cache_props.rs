@@ -1,0 +1,58 @@
+//! Property tests for the scenario trace cache: memoized traces must
+//! be indistinguishable from direct generation for any seed, slot
+//! count, and access pattern — otherwise the parallel fan-out (which
+//! shares one cached trace set across all modes of a scenario) would
+//! silently diverge from serial runs.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use spotdc_sim::scenario::Scenario;
+
+proptest! {
+    #[test]
+    fn cached_traces_equal_direct_generation(seed in 0u64..1_000, slots in 1usize..400) {
+        let s = Scenario::testbed(seed);
+        let cached = s.traces(slots);
+        prop_assert_eq!(&cached.loads, &s.load_traces(slots));
+        prop_assert_eq!(&cached.others, &s.other_traces(slots));
+        // Repeat calls hit the same entry; clones share it.
+        prop_assert!(Arc::ptr_eq(&s.traces(slots), &cached));
+        prop_assert!(Arc::ptr_eq(&s.clone().traces(slots), &cached));
+    }
+
+    #[test]
+    fn cache_entries_are_independent_per_slot_count(
+        seed in 0u64..1_000,
+        a in 1usize..200,
+        extra in 1usize..200,
+    ) {
+        // Asking for one length must not corrupt another: the longer
+        // trace's prefix and the shorter trace are generated from the
+        // same seeds but are separate cache entries.
+        let s = Scenario::testbed(seed);
+        let b = a + extra;
+        let long = s.traces(b);
+        let short = s.traces(a);
+        prop_assert_eq!(&short.loads, &s.load_traces(a));
+        prop_assert_eq!(&long.loads, &s.load_traces(b));
+        prop_assert_eq!(short.loads.len(), long.loads.len());
+    }
+
+    #[test]
+    fn scripted_clones_never_serve_stale_entries(
+        seed in 0u64..1_000,
+        slots in 1usize..100,
+        level in 0.0f64..1.0,
+    ) {
+        let s = Scenario::testbed(seed);
+        let _warm = s.traces(slots); // populate the original's cache
+        let scripts = vec![vec![level]; s.participant_count()];
+        let scripted = s.clone().with_scripted_loads(scripts);
+        let t = scripted.traces(slots);
+        prop_assert_eq!(&t.loads, &scripted.load_traces(slots));
+        prop_assert!(t.loads.iter().all(|l| l.iter().all(|&x| (x - level).abs() < 1e-12)));
+        // Other-group traces are unaffected by scripting.
+        prop_assert_eq!(&t.others, &s.other_traces(slots));
+    }
+}

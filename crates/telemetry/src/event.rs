@@ -145,11 +145,26 @@ impl Event {
     /// Serializes the event as one JSON line (no trailing newline).
     #[must_use]
     pub fn to_jsonl(&self) -> String {
+        self.to_jsonl_tagged(None)
+    }
+
+    /// Serializes the event as one JSON line, with an optional `"run"`
+    /// field naming the experiment/run the event belongs to.
+    ///
+    /// Concurrent simulations interleave their lines in a shared
+    /// `telemetry.jsonl`; the tag keeps each line attributable.
+    /// [`Event::from_jsonl`] ignores the field on read-back, so tagged
+    /// and untagged lines parse identically.
+    #[must_use]
+    pub fn to_jsonl_tagged(&self, run: Option<&str>) -> String {
         let mut out = String::with_capacity(128);
+        let _ = write!(out, "{{\"event\":\"{}\"", self.kind());
+        if let Some(run) = run {
+            let _ = write!(out, ",\"run\":{}", json_str(run));
+        }
         let _ = write!(
             out,
-            "{{\"event\":\"{}\",\"slot\":{},\"t_ns\":{}",
-            self.kind(),
+            ",\"slot\":{},\"t_ns\":{}",
             self.slot().index(),
             self.at().as_nanos()
         );
@@ -503,6 +518,29 @@ mod tests {
              \"price_per_kw_hour\":0.25,\"sold_watts\":1234.5,\
              \"revenue_rate_per_hour\":0.3086,\"candidates_evaluated\":101}"
         );
+    }
+
+    #[test]
+    fn tagged_lines_carry_run_and_parse_back() {
+        for event in sample_events() {
+            let line = event.to_jsonl_tagged(Some("fig12"));
+            assert!(line.starts_with("{\"event\":\""), "line: {line}");
+            assert!(line.contains("\"run\":\"fig12\""), "line: {line}");
+            let back = Event::from_jsonl(&line).expect(&line);
+            assert_eq!(back, event, "run tag must not change the payload");
+        }
+        // Untagged serialization is unchanged.
+        assert_eq!(
+            sample_events()[0].to_jsonl_tagged(None),
+            sample_events()[0].to_jsonl()
+        );
+    }
+
+    #[test]
+    fn run_tags_with_quotes_are_escaped() {
+        let line = sample_events()[0].to_jsonl_tagged(Some("ab\"c"));
+        assert!(line.contains("\"run\":\"ab\\\"c\""), "line: {line}");
+        assert!(Event::from_jsonl(&line).is_ok());
     }
 
     #[test]

@@ -60,6 +60,8 @@ mod metrics;
 mod sink;
 mod span;
 
+use std::cell::RefCell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
@@ -124,6 +126,7 @@ impl TelemetryConfig {
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
 static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(1);
 static REGISTRY: OnceLock<Registry> = OnceLock::new();
 static MEMORY_SINK: OnceLock<Arc<VecSink>> = OnceLock::new();
@@ -155,10 +158,17 @@ pub fn memory_sink() -> Arc<VecSink> {
     MEMORY_SINK.get_or_init(|| Arc::new(VecSink::new())).clone()
 }
 
+/// Whether any `install*` call has run in this process.
+#[must_use]
+pub fn is_installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
 /// Applies a configuration: sets the enable switch and sampling period
 /// and installs the sink its [`SinkKind`] selects. `SinkKind::File`
 /// keeps the currently installed sink (see [`install_with_sink`]).
 pub fn install(config: TelemetryConfig) {
+    INSTALLED.store(true, Ordering::SeqCst);
     SAMPLE_EVERY.store(config.sample_every.max(1), Ordering::Relaxed);
     match config.sink {
         SinkKind::Null => set_sink(None),
@@ -169,9 +179,37 @@ pub fn install(config: TelemetryConfig) {
     set_enabled(config.enabled);
 }
 
+/// Applies `config` only if no `install*` call has run yet; returns
+/// whether this call performed the installation.
+///
+/// This is the entry point for library code (the simulation engine, the
+/// operator): when simulations run on worker threads, an unconditional
+/// [`install`] from each would race — later installs could swap the
+/// sink out from under earlier runs mid-stream. A process that wants a
+/// specific configuration (the `repro` binary, tests) installs it up
+/// front and every in-engine call becomes a no-op; otherwise the first
+/// engine to start wins and the rest keep its choice.
+pub fn install_if_uninstalled(config: TelemetryConfig) -> bool {
+    if INSTALLED
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return false;
+    }
+    SAMPLE_EVERY.store(config.sample_every.max(1), Ordering::Relaxed);
+    match config.sink {
+        SinkKind::Null => set_sink(None),
+        SinkKind::Memory => set_sink(Some(memory_sink())),
+        SinkKind::File => {}
+    }
+    set_enabled(config.enabled);
+    true
+}
+
 /// Applies a configuration with an explicitly constructed sink (e.g. a
 /// [`FileSink`] writing `telemetry.jsonl`).
 pub fn install_with_sink(config: TelemetryConfig, sink: Arc<dyn EventSink>) {
+    INSTALLED.store(true, Ordering::SeqCst);
     SAMPLE_EVERY.store(config.sample_every.max(1), Ordering::Relaxed);
     set_sink(Some(sink));
     set_enabled(config.enabled);
@@ -181,11 +219,62 @@ fn set_sink(sink: Option<Arc<dyn EventSink>>) {
     *SINK.write().unwrap_or_else(|e| e.into_inner()) = sink;
 }
 
+thread_local! {
+    /// Stack of run-id tags for the current thread; the innermost
+    /// [`run_scope`] wins. A stack (not a slot) so nested scopes
+    /// restore the outer tag on drop.
+    static RUN_STACK: RefCell<Vec<Arc<str>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`run_scope`]; pops the tag when dropped.
+///
+/// Not `Send`: the tag lives in a thread-local, so the guard must drop
+/// on the thread that created it.
+#[derive(Debug)]
+pub struct RunScope {
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Tags every event emitted by this thread (until the guard drops)
+/// with a run id — typically an experiment id like `"fig12"` — so
+/// JSONL streams interleaved by concurrent simulations stay
+/// attributable. Sinks receive the tag via
+/// [`EventSink::emit_tagged`]; [`FileSink`] writes it as a `"run"`
+/// field, which [`Event::from_jsonl`] tolerates on read-back.
+///
+/// The tag is thread-local: code that fans work out to other threads
+/// must re-establish the scope on each worker (see
+/// [`current_run`]).
+#[must_use = "the tag is removed when the returned guard drops"]
+pub fn run_scope(id: &str) -> RunScope {
+    RUN_STACK.with(|stack| stack.borrow_mut().push(Arc::from(id)));
+    RunScope {
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for RunScope {
+    fn drop(&mut self) {
+        RUN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// The innermost run-id tag on this thread, if any. Fan-out helpers
+/// capture this before spawning workers and re-establish it inside
+/// each worker via [`run_scope`].
+#[must_use]
+pub fn current_run() -> Option<Arc<str>> {
+    RUN_STACK.with(|stack| stack.borrow().last().cloned())
+}
+
 /// Emits a structured event to the installed sink.
 ///
 /// No-op when telemetry is disabled, no sink is installed, or the
 /// event is routine ([`Event::is_critical`] is false) and its slot is
-/// down-sampled by `sample_every`.
+/// down-sampled by `sample_every`. The thread's [`run_scope`] tag, if
+/// any, rides along to the sink.
 pub fn emit(event: Event) {
     if !is_enabled() {
         return;
@@ -196,7 +285,8 @@ pub fn emit(event: Event) {
     }
     let sink = SINK.read().unwrap_or_else(|e| e.into_inner());
     if let Some(sink) = sink.as_ref() {
-        sink.emit(&event);
+        let run = current_run();
+        sink.emit_tagged(run.as_deref(), &event);
     }
 }
 
@@ -294,6 +384,51 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(registry.counter("spotdc_concurrency_smoke_total"), 8_000);
+    }
+
+    #[test]
+    fn run_scopes_nest_and_unwind() {
+        assert_eq!(current_run(), None);
+        let outer = run_scope("fig12");
+        assert_eq!(current_run().as_deref(), Some("fig12"));
+        {
+            let _inner = run_scope("fig12/capped");
+            assert_eq!(current_run().as_deref(), Some("fig12/capped"));
+        }
+        assert_eq!(current_run().as_deref(), Some("fig12"));
+        drop(outer);
+        assert_eq!(current_run(), None);
+    }
+
+    #[test]
+    fn run_scopes_are_per_thread() {
+        let _outer = run_scope("main-thread");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert_eq!(current_run(), None, "tags must not leak across threads");
+                let _worker = run_scope("worker");
+                assert_eq!(current_run().as_deref(), Some("worker"));
+            });
+        });
+        assert_eq!(current_run().as_deref(), Some("main-thread"));
+    }
+
+    #[test]
+    fn install_if_uninstalled_yields_to_an_existing_install() {
+        with_global_lock(|| {
+            install(TelemetryConfig::in_memory());
+            assert!(is_installed());
+            let installed = install_if_uninstalled(TelemetryConfig {
+                enabled: false,
+                sink: SinkKind::Null,
+                sample_every: 100,
+            });
+            assert!(!installed, "a prior install must win");
+            // The losing config was not applied: telemetry is still
+            // enabled and still pointed at the memory sink.
+            emit(cleared(1));
+            assert_eq!(memory_sink().take().len(), 1);
+        });
     }
 
     #[test]

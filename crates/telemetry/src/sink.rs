@@ -17,6 +17,15 @@ pub trait EventSink: Send + Sync {
     /// Records one event.
     fn emit(&self, event: &Event);
 
+    /// Records one event carrying the emitting thread's run-id tag
+    /// (see `run_scope` in the crate root). The default drops the tag
+    /// and forwards to [`EventSink::emit`]; sinks with an attributable
+    /// wire format ([`FileSink`]) override it.
+    fn emit_tagged(&self, run: Option<&str>, event: &Event) {
+        let _ = run;
+        self.emit(event);
+    }
+
     /// Flushes any buffered output. The default is a no-op.
     fn flush(&self) {}
 }
@@ -111,6 +120,11 @@ impl EventSink for FileSink {
         let _ = writeln!(writer, "{}", event.to_jsonl());
     }
 
+    fn emit_tagged(&self, run: Option<&str>, event: &Event) {
+        let mut writer = self.lock();
+        let _ = writeln!(writer, "{}", event.to_jsonl_tagged(run));
+    }
+
     fn flush(&self) {
         let _ = self.lock().flush();
     }
@@ -170,6 +184,33 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[1].slot(), Slot::new(8));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_sink_writes_run_tags() {
+        let path = std::env::temp_dir().join("spotdc-telemetry-file-sink-tagged-test.jsonl");
+        {
+            let sink = FileSink::create(&path).unwrap();
+            sink.emit_tagged(Some("fig10"), &event(1));
+            sink.emit_tagged(None, &event(2));
+            sink.flush();
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"run\":\"fig10\""), "line: {}", lines[0]);
+        assert!(!lines[1].contains("\"run\""), "line: {}", lines[1]);
+        for line in lines {
+            Event::from_jsonl(line).expect(line);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn vec_sink_default_emit_tagged_keeps_the_event() {
+        let sink = VecSink::new();
+        sink.emit_tagged(Some("fig11"), &event(3));
+        assert_eq!(sink.take(), vec![event(3)]);
     }
 
     #[test]
