@@ -3,7 +3,8 @@
 CARGO ?= cargo
 JOBS ?= 4
 
-.PHONY: build test bench bench-repro clippy clippy-par determinism fmt verify repro
+.PHONY: build test bench bench-repro clippy clippy-par clippy-faults \
+	determinism smoke-faults fmt verify repro
 
 build:
 	$(CARGO) build --release
@@ -19,9 +20,20 @@ clippy:
 clippy-par:
 	$(CARGO) clippy -p spotdc-par -- -D warnings
 
-# Byte-identical output at 1 vs 4 workers — the parallel layer's anchor.
+# The fault layer underpins every robustness claim; same treatment.
+clippy-faults:
+	$(CARGO) clippy -p spotdc-faults -- -D warnings
+
+# Byte-identical output at 1 vs 4 workers — the parallel layer's anchor —
+# plus fault-seed determinism and the per-slot invariant checker.
 determinism:
 	$(CARGO) test -p spotdc-sim --test determinism
+
+# Fault-injection smoke run: the full robustness sweep with the release
+# invariant checker forced on. Any Eq. 1–4 violation fails the run.
+smoke-faults: build
+	$(CARGO) run -p spotdc-bench --bin repro --release -- \
+		--exp robustness --validate --quick --quiet
 
 fmt:
 	$(CARGO) fmt --check
@@ -39,4 +51,4 @@ repro:
 	$(CARGO) run -p spotdc-bench --bin repro --release -- --quick \
 		--out repro-results --telemetry repro-results/telemetry.jsonl
 
-verify: build test determinism clippy clippy-par fmt
+verify: build test determinism clippy clippy-par clippy-faults smoke-faults fmt

@@ -28,7 +28,7 @@ fn bench_prediction(c: &mut Criterion) {
     group.sample_size(20);
     for racks in [1000usize, 15_000] {
         let (topo, _bids, _cs) = market_fixture(racks, 7);
-        let mut meter = PowerMeter::new(&topo, 4);
+        let mut meter = PowerMeter::new(&topo, 4).expect("positive history length");
         for i in 0..racks {
             meter.record(Slot::ZERO, RackId::new(i), Watts::new(3000.0));
         }

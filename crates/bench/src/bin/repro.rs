@@ -10,6 +10,7 @@
 //! repro --out results/       # also write one .txt file per experiment
 //! repro --telemetry t.jsonl  # record market events to a JSONL file
 //! repro --bench-json b.json  # write per-experiment wall-clock timings
+//! repro --validate           # per-slot invariant checks; violations fail the run
 //! repro --quiet              # suppress progress output (errors remain)
 //! ```
 //!
@@ -114,6 +115,7 @@ fn main() -> ExitCode {
                 Some(path) => bench_path = Some(path.into()),
                 None => return usage("--bench-json needs a file path"),
             },
+            "--validate" => spotdc_sim::validate::set_forced(true),
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument: {other}")),
@@ -200,6 +202,15 @@ fn main() -> ExitCode {
             reporter.progress(&format!("## telemetry span timings\n\n{summary}"));
         }
     }
+    // With --validate, turn any market-invariant violation into a
+    // failing exit even in release, where debug_assert! is compiled out.
+    let violations = spotdc_sim::validate::violations();
+    if spotdc_sim::validate::forced() && violations > 0 {
+        reporter.error(&format!(
+            "error: {violations} market invariant violation(s)"
+        ));
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -243,7 +254,8 @@ fn usage(error: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [--exp <id>]... [--days <n>] [--seed <n>] [--quick] [--jobs <n>] [--list]\n\
-         \x20            [--out <dir>] [--telemetry <file>] [--bench-json <file>] [--quiet]\n\
+         \x20            [--out <dir>] [--telemetry <file>] [--bench-json <file>] [--validate]\n\
+         \x20            [--quiet]\n\
          experiments: {}",
         all_ids().join(", ")
     );

@@ -43,6 +43,7 @@ pub mod bid;
 pub mod clearing;
 pub mod constraints;
 pub mod demand;
+pub mod invariant;
 pub mod maxperf;
 pub mod operator;
 pub mod prediction;
@@ -53,7 +54,10 @@ pub use bid::{BidError, RackBid, TenantBid};
 pub use clearing::{ClearingAlgorithm, ClearingConfig, MarketClearing, MarketOutcome};
 pub use constraints::{ConstraintSet, HeatZone, PhasePlan};
 pub use demand::{DemandBid, FullBid, LinearBid, StepBid};
+pub use invariant::{check_allocation, MarketInvariant};
 pub use maxperf::{max_perf_allocate, ConcaveGain};
-pub use operator::{Operator, OperatorConfig};
-pub use prediction::{MarginPolicy, PredictedSpot, SpotPredictor};
+pub use operator::{DegradedInfo, Operator, OperatorConfig};
+pub use prediction::{
+    DegradedPrediction, MarginPolicy, PredictedSpot, SpotPredictor, StalenessPolicy,
+};
 pub use protocol::{CommsModel, ProtocolEvent};

@@ -13,7 +13,7 @@ use spotdc_units::{RackId, Slot};
 use crate::bid::{RackBid, TenantBid};
 use crate::clearing::{ClearingConfig, MarketClearing, MarketOutcome};
 use crate::constraints::ConstraintSet;
-use crate::prediction::{PredictedSpot, SpotPredictor};
+use crate::prediction::{PredictedSpot, SpotPredictor, StalenessPolicy};
 
 /// Operator-side configuration: how to predict and how to clear.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -28,6 +28,11 @@ pub struct OperatorConfig {
     /// installed elsewhere (e.g. by the simulation engine or the repro
     /// binary) and concurrent operators never race on the global sink.
     pub telemetry: spotdc_telemetry::TelemetryConfig,
+    /// Staleness handling for prediction inputs. `None` (the default)
+    /// preserves the historical behaviour of trusting the meter's
+    /// latest reading unconditionally; `Some` widens margins per slot
+    /// of staleness and withholds PDUs past the policy's age bound.
+    pub staleness: Option<StalenessPolicy>,
 }
 
 /// The SpotDC operator: owns the market for one power topology.
@@ -44,7 +49,7 @@ pub struct OperatorConfig {
 ///     .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
 ///     .rack(TenantId::new(1), Watts::new(150.0), Watts::ZERO)
 ///     .build()?;
-/// let mut meter = PowerMeter::new(&topo, 4);
+/// let mut meter = PowerMeter::new(&topo, 4)?;
 /// meter.record(Slot::ZERO, RackId::new(0), Watts::new(80.0));
 /// meter.record(Slot::ZERO, RackId::new(1), Watts::new(100.0));
 ///
@@ -62,6 +67,7 @@ pub struct Operator {
     topology: PowerTopology,
     clearing: MarketClearing,
     predictor: SpotPredictor,
+    staleness: Option<StalenessPolicy>,
 }
 
 /// Everything the operator produced for one slot.
@@ -76,6 +82,18 @@ pub struct SlotRound {
     /// Rack bids that were dropped at admission (unknown rack, or a
     /// rack not owned by the bidding tenant).
     pub rejected: Vec<RackId>,
+    /// How prediction inputs were degraded this slot, if a
+    /// [`StalenessPolicy`] was in force and anything was stale.
+    pub degraded: Option<DegradedInfo>,
+}
+
+/// What was degraded while producing a [`SlotRound`]'s prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedInfo {
+    /// Racks whose prediction reference came from a stale reading.
+    pub stale_racks: u64,
+    /// PDUs whose spot capacity was withheld entirely.
+    pub withheld_pdus: u64,
 }
 
 impl Operator {
@@ -89,6 +107,7 @@ impl Operator {
             topology,
             clearing: MarketClearing::new(config.clearing),
             predictor: config.predictor,
+            staleness: config.staleness,
         }
     }
 
@@ -136,7 +155,40 @@ impl Operator {
             }
         }
         let requesting: Vec<RackId> = rack_bids.iter().map(RackBid::rack).collect();
-        let predicted = self.predictor.predict(&self.topology, meter, requesting);
+        let (predicted, degraded) = match self.staleness {
+            None => (
+                self.predictor.predict(&self.topology, meter, requesting),
+                None,
+            ),
+            Some(policy) => {
+                let d = self.predictor.predict_with_staleness(
+                    &self.topology,
+                    meter,
+                    requesting,
+                    slot,
+                    policy,
+                );
+                let info = d.is_degraded().then_some(DegradedInfo {
+                    stale_racks: d.stale_racks,
+                    withheld_pdus: d.withheld_pdus,
+                });
+                if let Some(info) = info {
+                    if spotdc_telemetry::is_enabled() {
+                        spotdc_telemetry::emit(spotdc_telemetry::Event::DegradedDecision {
+                            slot,
+                            at: spotdc_units::MonotonicNanos::now(),
+                            kind: "stale-meter".to_owned(),
+                            detail: format!(
+                                "{} stale racks, {} withheld pdus",
+                                info.stale_racks, info.withheld_pdus
+                            ),
+                            watts: d.spot.total_pdu().value(),
+                        });
+                    }
+                }
+                (d.spot, info)
+            }
+        };
         if spotdc_telemetry::is_enabled() {
             spotdc_telemetry::emit(spotdc_telemetry::Event::PredictionIssued {
                 slot,
@@ -153,6 +205,7 @@ impl Operator {
             constraints,
             outcome,
             rejected,
+            degraded,
         }
     }
 }
@@ -171,7 +224,7 @@ mod tests {
             .rack(TenantId::new(1), Watts::new(100.0), Watts::new(50.0))
             .build()
             .unwrap();
-        let mut meter = PowerMeter::new(&topo, 4);
+        let mut meter = PowerMeter::new(&topo, 4).unwrap();
         meter.record(Slot::ZERO, RackId::new(0), Watts::new(70.0));
         meter.record(Slot::ZERO, RackId::new(1), Watts::new(60.0));
         (Operator::new(topo, OperatorConfig::default()), meter)
@@ -230,12 +283,45 @@ mod tests {
     }
 
     #[test]
+    fn staleness_policy_degrades_rounds() {
+        let (op, meter) = operator();
+        let topo = op.topology().clone();
+        let stale_aware = Operator::new(
+            topo,
+            OperatorConfig {
+                staleness: Some(StalenessPolicy::paper_default()),
+                ..OperatorConfig::default()
+            },
+        );
+        // Fresh inputs (readings from slot 0, predicting slot 1): not
+        // degraded, identical prediction to the policy-free operator.
+        let fresh = stale_aware.run_slot(Slot::new(1), &[], &meter);
+        assert!(fresh.degraded.is_none());
+        assert_eq!(
+            fresh.predicted,
+            op.run_slot(Slot::new(1), &[], &meter).predicted
+        );
+        // Three slots of silence: margins widen (10 W per stale slot,
+        // both racks 2 slots stale ⇒ 120 − 40 = 80) and the round is
+        // flagged degraded.
+        let stale = stale_aware.run_slot(Slot::new(3), &[], &meter);
+        let info = stale.degraded.expect("stale inputs flag the round");
+        assert_eq!(info.stale_racks, 2);
+        assert_eq!(info.withheld_pdus, 0);
+        assert_eq!(stale.predicted.pdu[0], Watts::new(80.0));
+        // Past the age bound the PDU is withheld outright.
+        let dead = stale_aware.run_slot(Slot::new(20), &[], &meter);
+        assert_eq!(dead.degraded.unwrap().withheld_pdus, 1);
+        assert_eq!(dead.predicted.pdu[0], Watts::ZERO);
+    }
+
+    #[test]
     fn under_prediction_shrinks_supply() {
         let topo = {
             let (op, _) = operator();
             op.topology().clone()
         };
-        let mut meter = PowerMeter::new(&topo, 4);
+        let mut meter = PowerMeter::new(&topo, 4).unwrap();
         meter.record(Slot::ZERO, RackId::new(0), Watts::new(70.0));
         meter.record(Slot::ZERO, RackId::new(1), Watts::new(60.0));
         let conservative = Operator::new(

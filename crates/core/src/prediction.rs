@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 use spotdc_power::{PowerMeter, PowerTopology};
-use spotdc_units::{RackId, Watts};
+use spotdc_units::{RackId, Slot, Watts};
 
 /// Predicted spot capacity for one slot at every level.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,6 +37,54 @@ impl PredictedSpot {
     #[must_use]
     pub fn total_pdu(&self) -> Watts {
         self.pdu.iter().copied().sum()
+    }
+}
+
+/// How prediction degrades when meter readings go stale.
+///
+/// Dropped samples leave the predictor working from last-known-good
+/// values. This policy widens the safety margin per slot of staleness
+/// (on top of whatever [`MarginPolicy`] is in force) and, past a bound,
+/// withholds the affected PDU's spot capacity entirely — stale inputs
+/// must make the market more conservative, never more aggressive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StalenessPolicy {
+    /// Extra watts added to a rack's reference per slot of reading age.
+    pub penalty_per_slot: Watts,
+    /// Readings older than this many slots (or racks never read at
+    /// all) disqualify the rack's PDU from selling spot this slot.
+    pub max_age_slots: u64,
+}
+
+impl StalenessPolicy {
+    /// The defaults the `robustness` experiment uses: 10 W of widening
+    /// per stale slot, withhold after 5 slots without a sample.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        StalenessPolicy {
+            penalty_per_slot: Watts::new(10.0),
+            max_age_slots: 5,
+        }
+    }
+}
+
+/// A staleness-aware prediction: the (possibly degraded) spot capacity
+/// plus what was degraded to produce it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedPrediction {
+    /// The prediction, after staleness penalties and withholding.
+    pub spot: PredictedSpot,
+    /// Racks whose reference came from a stale (age ≥ 1) reading.
+    pub stale_racks: u64,
+    /// PDUs whose spot capacity was withheld entirely.
+    pub withheld_pdus: u64,
+}
+
+impl DegradedPrediction {
+    /// Whether any degradation was applied.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.stale_racks > 0 || self.withheld_pdus > 0
     }
 }
 
@@ -71,7 +119,7 @@ pub enum MarginPolicy {
 ///     .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
 ///     .rack(TenantId::new(1), Watts::new(150.0), Watts::ZERO)
 ///     .build()?;
-/// let mut meter = PowerMeter::new(&topo, 4);
+/// let mut meter = PowerMeter::new(&topo, 4)?;
 /// meter.record(Slot::ZERO, RackId::new(0), Watts::new(60.0));
 /// meter.record(Slot::ZERO, RackId::new(1), Watts::new(90.0));
 /// let spot = SpotPredictor::exact().predict(&topo, &meter, [RackId::new(0)]);
@@ -190,6 +238,84 @@ impl SpotPredictor {
         let ups = ((topology.ups_capacity() - total_ref) * factor).clamp_non_negative();
         PredictedSpot { pdu, ups }
     }
+
+    /// Like [`SpotPredictor::predict`], but degrades gracefully when
+    /// meter readings are stale. `now` is the slot being predicted for;
+    /// references normally come from slot `now − 1`, and each slot a
+    /// rack's latest reading lags behind that counts as one slot of
+    /// staleness. A stale rack's reference is padded by
+    /// `penalty_per_slot · age` (still clamped to its guarantee, which
+    /// stays the hard physical bound). Past `max_age_slots` — or for a
+    /// rack never read at all — the rack's reference is its full
+    /// guarantee *and* its PDU's spot capacity is withheld outright.
+    ///
+    /// With every reading fresh (age 0) the result is bit-identical to
+    /// [`SpotPredictor::predict`].
+    #[must_use]
+    pub fn predict_with_staleness(
+        &self,
+        topology: &PowerTopology,
+        meter: &PowerMeter,
+        spot_racks: impl IntoIterator<Item = RackId>,
+        now: Slot,
+        policy: StalenessPolicy,
+    ) -> DegradedPrediction {
+        let _span = spotdc_telemetry::span!("predict");
+        let expected = Slot::new(now.index().saturating_sub(1));
+        let spot_set: BTreeSet<RackId> = spot_racks.into_iter().collect();
+        let mut pdu_ref = vec![Watts::ZERO; topology.pdu_count()];
+        let mut total_ref = Watts::ZERO;
+        let mut withheld = vec![false; topology.pdu_count()];
+        let mut stale_racks = 0u64;
+        for rack in topology.racks() {
+            let reference = if spot_set.contains(&rack.id()) {
+                rack.guaranteed()
+            } else {
+                match meter.last_known_good(rack.id(), expected) {
+                    Some((reading, age)) if age <= policy.max_age_slots => {
+                        if age > 0 {
+                            stale_racks += 1;
+                        }
+                        let base = reading.power;
+                        let padded = match self.policy {
+                            MarginPolicy::Scale(_) => base,
+                            MarginPolicy::Adaptive { ramp_multiplier } => {
+                                base + worst_upward_ramp(meter, rack.id()) * ramp_multiplier
+                            }
+                        };
+                        let widened = padded + policy.penalty_per_slot * age as f64;
+                        widened.min(rack.guaranteed())
+                    }
+                    _ => {
+                        // Too stale (or never read): assume the worst
+                        // and close the whole PDU to spot this slot.
+                        stale_racks += 1;
+                        withheld[rack.pdu().index()] = true;
+                        rack.guaranteed()
+                    }
+                }
+            };
+            pdu_ref[rack.pdu().index()] += reference;
+            total_ref += reference;
+        }
+        let factor = self.factor();
+        let pdu: Vec<Watts> = topology
+            .pdus()
+            .map(|p| {
+                if withheld[p.index()] {
+                    return Watts::ZERO;
+                }
+                let cap = topology.pdu_capacity(p).expect("pdu from topology");
+                ((cap - pdu_ref[p.index()]) * factor).clamp_non_negative()
+            })
+            .collect();
+        let ups = ((topology.ups_capacity() - total_ref) * factor).clamp_non_negative();
+        DegradedPrediction {
+            spot: PredictedSpot { pdu, ups },
+            stale_racks,
+            withheld_pdus: withheld.iter().filter(|&&w| w).count() as u64,
+        }
+    }
 }
 
 impl Default for SpotPredictor {
@@ -223,7 +349,7 @@ mod tests {
             .rack(TenantId::new(2), Watts::new(200.0), Watts::new(60.0))
             .build()
             .unwrap();
-        let mut meter = PowerMeter::new(&topo, 4);
+        let mut meter = PowerMeter::new(&topo, 4).unwrap();
         meter.record(Slot::ZERO, RackId::new(0), Watts::new(60.0));
         meter.record(Slot::ZERO, RackId::new(1), Watts::new(90.0));
         meter.record(Slot::ZERO, RackId::new(2), Watts::new(120.0));
@@ -276,7 +402,7 @@ mod tests {
             .rack(TenantId::new(0), Watts::new(120.0), Watts::ZERO)
             .build()
             .unwrap();
-        let mut meter = PowerMeter::new(&topo, 4);
+        let mut meter = PowerMeter::new(&topo, 4).unwrap();
         meter.record(Slot::ZERO, RackId::new(0), Watts::new(115.0));
         let spot = SpotPredictor::exact().predict(&topo, &meter, []);
         assert_eq!(spot.pdu[0], Watts::ZERO);
@@ -290,7 +416,7 @@ mod tests {
             .rack(TenantId::new(0), Watts::new(50.0), Watts::ZERO)
             .build()
             .unwrap();
-        let meter = PowerMeter::new(&topo, 4);
+        let meter = PowerMeter::new(&topo, 4).unwrap();
         let spot = SpotPredictor::exact().predict(&topo, &meter, []);
         assert_eq!(spot.pdu[0], Watts::new(100.0));
     }
@@ -336,6 +462,75 @@ mod tests {
         let adaptive = SpotPredictor::adaptive(10.0).predict(&topo, &meter, []);
         // Reference clamped at 100 W guarantee: spot = 300 - 100 - 90.
         assert_eq!(adaptive.pdu[0], Watts::new(110.0));
+    }
+
+    #[test]
+    fn staleness_fallback_matches_exact_when_fresh() {
+        let (topo, meter) = setup();
+        let exact = SpotPredictor::exact().predict(&topo, &meter, [RackId::new(0)]);
+        let degraded = SpotPredictor::exact().predict_with_staleness(
+            &topo,
+            &meter,
+            [RackId::new(0)],
+            Slot::new(1),
+            StalenessPolicy::paper_default(),
+        );
+        assert!(!degraded.is_degraded());
+        assert_eq!(degraded.spot, exact);
+    }
+
+    #[test]
+    fn stale_readings_widen_the_margin() {
+        let (topo, meter) = setup();
+        let policy = StalenessPolicy::paper_default();
+        // Readings are from slot 0; predicting for slot 4 expects slot
+        // 3 readings, so every rack is 3 slots stale: references are
+        // padded by 30 W each, shrinking predicted spot.
+        let fresh = SpotPredictor::exact().predict(&topo, &meter, []);
+        let stale =
+            SpotPredictor::exact().predict_with_staleness(&topo, &meter, [], Slot::new(4), policy);
+        assert_eq!(stale.stale_racks, 3);
+        assert_eq!(stale.withheld_pdus, 0);
+        // PDU 0: refs 60+30=90 and 90+30=120 ⇒ spot 300-210 = 90.
+        assert_eq!(stale.spot.pdu[0], Watts::new(90.0));
+        assert!(stale.spot.pdu[0] < fresh.pdu[0]);
+        assert!(stale.spot.ups < fresh.ups);
+    }
+
+    #[test]
+    fn excessive_staleness_withholds_the_pdu() {
+        let (topo, mut meter) = setup();
+        let policy = StalenessPolicy::paper_default();
+        // Refresh PDU 1's rack so only PDU 0's racks go over the bound.
+        meter.record(Slot::new(9), RackId::new(2), Watts::new(120.0));
+        let degraded =
+            SpotPredictor::exact().predict_with_staleness(&topo, &meter, [], Slot::new(10), policy);
+        // PDU 0's racks are 9 slots stale (> 5): the PDU sells nothing.
+        assert_eq!(degraded.spot.pdu[0], Watts::ZERO);
+        assert_eq!(degraded.withheld_pdus, 1);
+        // PDU 1 is fresh and unaffected.
+        assert_eq!(degraded.spot.pdu[1], Watts::new(180.0));
+        // Withheld racks count as their full guarantee at the UPS.
+        assert_eq!(degraded.spot.ups, Watts::new(130.0)); // 500-100-150-120
+    }
+
+    #[test]
+    fn never_read_rack_withholds_its_pdu() {
+        let topo = TopologyBuilder::new(Watts::new(100.0))
+            .pdu(Watts::new(100.0))
+            .rack(TenantId::new(0), Watts::new(50.0), Watts::ZERO)
+            .build()
+            .unwrap();
+        let meter = PowerMeter::new(&topo, 4).unwrap();
+        let degraded = SpotPredictor::exact().predict_with_staleness(
+            &topo,
+            &meter,
+            [],
+            Slot::ZERO,
+            StalenessPolicy::paper_default(),
+        );
+        assert_eq!(degraded.spot.pdu[0], Watts::ZERO);
+        assert_eq!(degraded.withheld_pdus, 1);
     }
 
     #[test]

@@ -54,9 +54,15 @@ impl EmergencyEvent {
         (self.load - self.capacity).clamp_non_negative()
     }
 
-    /// The overload as a fraction of capacity.
+    /// The overload as a fraction of capacity, clamped to `0.0` when
+    /// the capacity is zero or negative (a degenerate boundary has no
+    /// meaningful severity, and dividing by it must never produce NaN
+    /// or infinity).
     #[must_use]
     pub fn severity(&self) -> f64 {
+        if self.capacity.value() <= 0.0 {
+            return 0.0;
+        }
         self.overload().fraction_of(self.capacity)
     }
 }
@@ -233,6 +239,19 @@ mod tests {
         l.observe(Slot::new(0), &[Watts::new(150.0), Watts::new(60.0)]); // 2 events
         l.observe(Slot::new(1), &[Watts::new(10.0), Watts::new(10.0)]); // none
         assert!((l.emergency_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_severity_clamps_to_zero() {
+        let e = EmergencyEvent {
+            slot: Slot::ZERO,
+            level: EmergencyLevel::Ups,
+            load: Watts::new(50.0),
+            capacity: Watts::ZERO,
+        };
+        assert_eq!(e.severity(), 0.0);
+        assert!(e.severity().is_finite());
+        assert_eq!(e.overload(), Watts::new(50.0));
     }
 
     #[test]

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod breaker;
+pub mod cap;
 pub mod capacity;
 pub mod emergency;
 pub mod meter;
@@ -37,6 +38,7 @@ pub mod rack_pdu;
 pub mod topology;
 
 pub use breaker::{BreakerState, CircuitBreaker, TripCurve};
+pub use cap::{CapAction, CapConfig, CapController, CapOutcome, SpotTrim};
 pub use capacity::{CapacityPlan, Oversubscription};
 pub use emergency::{EmergencyEvent, EmergencyLevel, EmergencyLog};
 pub use meter::{MeterReading, PowerMeter};

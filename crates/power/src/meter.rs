@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 use spotdc_units::{PduId, RackId, Slot, Watts};
 
-use crate::topology::PowerTopology;
+use crate::topology::{PowerTopology, TopologyError};
 
 /// One recorded power reading for one rack at one slot.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,7 +36,7 @@ pub struct MeterReading {
 ///     .rack(TenantId::new(0), Watts::new(100.0), Watts::ZERO)
 ///     .rack(TenantId::new(1), Watts::new(100.0), Watts::ZERO)
 ///     .build()?;
-/// let mut meter = PowerMeter::new(&topo, 16);
+/// let mut meter = PowerMeter::new(&topo, 16)?;
 /// meter.record(Slot::ZERO, RackId::new(0), Watts::new(80.0));
 /// meter.record(Slot::ZERO, RackId::new(1), Watts::new(60.0));
 /// assert_eq!(meter.ups_power(), Watts::new(140.0));
@@ -54,19 +54,22 @@ impl PowerMeter {
     /// Creates a meter for every rack in `topology`, retaining up to
     /// `history_len` readings per rack.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `history_len` is zero; a meter that can hold no
-    /// readings cannot answer any query.
-    #[must_use]
-    pub fn new(topology: &PowerTopology, history_len: usize) -> Self {
-        assert!(history_len > 0, "history length must be positive");
-        PowerMeter {
+    /// Returns [`TopologyError::InvalidCapacity`] if `history_len` is
+    /// zero; a meter that can hold no readings cannot answer any query.
+    pub fn new(topology: &PowerTopology, history_len: usize) -> Result<Self, TopologyError> {
+        if history_len == 0 {
+            return Err(TopologyError::InvalidCapacity {
+                what: "meter history length must be positive".into(),
+            });
+        }
+        Ok(PowerMeter {
             history: vec![VecDeque::with_capacity(history_len); topology.rack_count()],
             rack_to_pdu: topology.racks().map(|r| r.pdu()).collect(),
             pdu_count: topology.pdu_count(),
             capacity: history_len,
-        }
+        })
     }
 
     /// Records a reading for `rack` at `slot`, evicting the oldest
@@ -100,6 +103,28 @@ impl PowerMeter {
     #[must_use]
     pub fn rack_power(&self, rack: RackId) -> Watts {
         self.latest(rack).map(|r| r.power).unwrap_or(Watts::ZERO)
+    }
+
+    /// How many slots stale `rack`'s latest reading is, relative to
+    /// `asof` (the slot whose reading the caller expected). `Some(0)`
+    /// means fresh; `None` means the rack was never read at all.
+    ///
+    /// A meter keeps answering queries from its last known good value
+    /// when samples are lost — this is how callers learn how much to
+    /// distrust that answer.
+    #[must_use]
+    pub fn reading_age(&self, rack: RackId, asof: Slot) -> Option<u64> {
+        self.latest(rack)
+            .map(|r| asof.index().saturating_sub(r.slot.index()))
+    }
+
+    /// The last known good reading for `rack` tagged with its staleness
+    /// in slots relative to `asof`, or `None` if the rack was never
+    /// read.
+    #[must_use]
+    pub fn last_known_good(&self, rack: RackId, asof: Slot) -> Option<(MeterReading, u64)> {
+        self.latest(rack)
+            .map(|r| (r, asof.index().saturating_sub(r.slot.index())))
     }
 
     /// Sum of latest readings across the racks of `pdu`.
@@ -196,7 +221,7 @@ mod tests {
     #[test]
     fn aggregates_split_by_pdu() {
         let topo = small_topology();
-        let mut m = PowerMeter::new(&topo, 8);
+        let mut m = PowerMeter::new(&topo, 8).unwrap();
         m.record(Slot::ZERO, RackId::new(0), Watts::new(50.0));
         m.record(Slot::ZERO, RackId::new(1), Watts::new(70.0));
         m.record(Slot::ZERO, RackId::new(2), Watts::new(30.0));
@@ -209,7 +234,7 @@ mod tests {
     #[test]
     fn unrecorded_racks_read_zero() {
         let topo = small_topology();
-        let m = PowerMeter::new(&topo, 8);
+        let m = PowerMeter::new(&topo, 8).unwrap();
         assert_eq!(m.rack_power(RackId::new(0)), Watts::ZERO);
         assert_eq!(m.ups_power(), Watts::ZERO);
         assert!(m.latest(RackId::new(0)).is_none());
@@ -218,7 +243,7 @@ mod tests {
     #[test]
     fn history_is_bounded_and_fifo() {
         let topo = small_topology();
-        let mut m = PowerMeter::new(&topo, 3);
+        let mut m = PowerMeter::new(&topo, 3).unwrap();
         for i in 0..5 {
             m.record(Slot::new(i), RackId::new(0), Watts::new(i as f64));
         }
@@ -232,7 +257,7 @@ mod tests {
     #[test]
     fn delta_and_average() {
         let topo = small_topology();
-        let mut m = PowerMeter::new(&topo, 8);
+        let mut m = PowerMeter::new(&topo, 8).unwrap();
         assert!(m.rack_delta(RackId::new(0)).is_none());
         m.record(Slot::new(0), RackId::new(0), Watts::new(40.0));
         assert!(m.rack_delta(RackId::new(0)).is_none());
@@ -244,15 +269,34 @@ mod tests {
     #[test]
     fn negative_readings_are_clamped() {
         let topo = small_topology();
-        let mut m = PowerMeter::new(&topo, 4);
+        let mut m = PowerMeter::new(&topo, 4).unwrap();
         m.record(Slot::ZERO, RackId::new(0), Watts::new(-10.0));
         assert_eq!(m.rack_power(RackId::new(0)), Watts::ZERO);
     }
 
     #[test]
-    #[should_panic(expected = "history length must be positive")]
     fn zero_history_rejected() {
         let topo = small_topology();
-        let _ = PowerMeter::new(&topo, 0);
+        let err = PowerMeter::new(&topo, 0).unwrap_err();
+        assert!(matches!(err, TopologyError::InvalidCapacity { .. }));
+        assert!(err.to_string().contains("history length"));
+    }
+
+    #[test]
+    fn staleness_tracks_missing_slots() {
+        let topo = small_topology();
+        let mut m = PowerMeter::new(&topo, 4).unwrap();
+        let r = RackId::new(0);
+        assert_eq!(m.reading_age(r, Slot::new(5)), None);
+        assert!(m.last_known_good(r, Slot::new(5)).is_none());
+        m.record(Slot::new(5), r, Watts::new(42.0));
+        assert_eq!(m.reading_age(r, Slot::new(5)), Some(0));
+        // Three slots with no sample: the meter keeps answering from
+        // the last known good value, tagged three slots stale.
+        let (reading, age) = m.last_known_good(r, Slot::new(8)).unwrap();
+        assert_eq!(reading.power, Watts::new(42.0));
+        assert_eq!(reading.slot, Slot::new(5));
+        assert_eq!(age, 3);
+        assert_eq!(m.rack_power(r), Watts::new(42.0));
     }
 }

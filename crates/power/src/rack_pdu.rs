@@ -141,6 +141,48 @@ impl RackPduBank {
         Ok(())
     }
 
+    /// Caps `rack`'s budget to at most `limit` for the slot beginning
+    /// at `effective` — the emergency power-capping path. Unlike
+    /// [`RackPduBank::grant_spot`], the resulting budget may fall
+    /// *below* the guaranteed capacity: during a detected overload the
+    /// operator sheds spot first, then trims guarantees if the base
+    /// load alone still exceeds a shared capacity. The cap lasts until
+    /// the next [`RackPduBank::reset_all`] (i.e. one slot).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownRack`] for an unknown rack, or
+    /// [`TopologyError::InvalidCapacity`] if `limit` is
+    /// negative/non-finite.
+    pub fn cap_budget(
+        &mut self,
+        effective: Slot,
+        rack: RackId,
+        limit: Watts,
+    ) -> Result<(), TopologyError> {
+        let i = rack.index();
+        if i >= self.budget.len() {
+            return Err(TopologyError::UnknownRack(rack));
+        }
+        if !limit.is_finite() || limit.is_negative() {
+            return Err(TopologyError::InvalidCapacity {
+                what: format!("{rack} budget cap"),
+            });
+        }
+        let old = self.budget[i];
+        let new = old.min(limit);
+        if new < old {
+            self.budget[i] = new;
+            self.changes.push(BudgetChange {
+                rack,
+                effective,
+                old,
+                new,
+            });
+        }
+        Ok(())
+    }
+
     /// Resets `rack`'s budget back to its guaranteed capacity (the
     /// no-spot default).
     ///
@@ -310,6 +352,30 @@ mod tests {
         b.reset_all(Slot::new(1));
         assert_eq!(b.budget(RackId::new(0)), Watts::new(100.0));
         assert_eq!(b.budget(RackId::new(1)), Watts::new(120.0));
+    }
+
+    #[test]
+    fn cap_budget_can_cut_below_guaranteed() {
+        let mut b = bank();
+        let r = RackId::new(0);
+        b.grant_spot(Slot::ZERO, r, Watts::new(40.0)).unwrap();
+        // Cap above the current budget is a no-op (no log entry).
+        b.cap_budget(Slot::ZERO, r, Watts::new(200.0)).unwrap();
+        assert_eq!(b.budget(r), Watts::new(140.0));
+        assert_eq!(b.changes().len(), 1);
+        // Cap below guaranteed sticks and is logged.
+        b.cap_budget(Slot::ZERO, r, Watts::new(80.0)).unwrap();
+        assert_eq!(b.budget(r), Watts::new(80.0));
+        assert_eq!(b.spot_grant(r), Watts::ZERO);
+        assert_eq!(b.changes().len(), 2);
+        // reset_all restores the guarantee next slot.
+        b.reset_all(Slot::new(1));
+        assert_eq!(b.budget(r), Watts::new(100.0));
+        assert!(b.cap_budget(Slot::ZERO, r, Watts::new(-1.0)).is_err());
+        assert!(matches!(
+            b.cap_budget(Slot::ZERO, RackId::new(9), Watts::new(1.0)),
+            Err(TopologyError::UnknownRack(_))
+        ));
     }
 
     #[test]

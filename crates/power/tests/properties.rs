@@ -31,7 +31,7 @@ proptest! {
     #[test]
     fn meter_ups_equals_sum_of_pdus(specs in rack_specs(), loads in prop::collection::vec(0.0..400.0f64, 30)) {
         let topo = build_topology(&specs);
-        let mut meter = PowerMeter::new(&topo, 4);
+        let mut meter = PowerMeter::new(&topo, 4).expect("positive history length");
         for (i, _) in specs.iter().enumerate() {
             meter.record(Slot::ZERO, RackId::new(i), Watts::new(loads[i % loads.len()]));
         }

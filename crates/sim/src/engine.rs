@@ -13,14 +13,29 @@
 //! 4. grants are programmed into the intelligent rack PDUs, tenants run
 //!    under their budgets, the meter records every rack's draw, and the
 //!    emergency log checks each capacity boundary.
+//!
+//! The loop distinguishes **physical** power (what racks actually draw,
+//! which feeds the emergency log and the per-slot records) from
+//! **observed** power (what the meter reports, which feeds prediction
+//! and clearing). With fault injection off the two are identical, down
+//! to the float-accumulation order; a [`FaultConfig`] lets them
+//! diverge — dropped, frozen or noisy meter samples, lost or late
+//! bids, delayed prediction inputs — so the degradation paths
+//! ([`StalenessPolicy`] margins, [`CapController`] shedding, the
+//! post-clearing invariant checker) can be exercised deterministically.
+//!
+//! [`StalenessPolicy`]: spotdc_core::StalenessPolicy
 
 use std::collections::BTreeMap;
 
 use spotdc_core::{
-    max_perf_allocate, CommsModel, ConcaveGain, ConstraintSet, MarketClearing, Operator,
-    OperatorConfig,
+    check_allocation, max_perf_allocate, CommsModel, ConcaveGain, ConstraintSet, MarketClearing,
+    MarketInvariant, Operator, OperatorConfig,
 };
-use spotdc_power::{EmergencyLog, PowerMeter, RackPduBank};
+use spotdc_faults::{FaultConfig, FaultPlan, MeterFault};
+use spotdc_power::{
+    CapConfig, CapController, EmergencyEvent, EmergencyLog, PowerMeter, RackPduBank,
+};
 use spotdc_units::{RackId, Slot, TenantId, Watts};
 
 use crate::baselines::Mode;
@@ -51,6 +66,18 @@ pub struct EngineConfig {
     /// a sink installed elsewhere (e.g. by a test or the repro binary)
     /// and concurrent simulations never race on the global sink.
     pub telemetry: spotdc_telemetry::TelemetryConfig,
+    /// Fault-injection schedule. Disabled by default; when disabled the
+    /// engine takes the exact pre-fault code path, so outputs stay
+    /// byte-identical to a build without the fault layer.
+    pub faults: FaultConfig,
+    /// Graceful-degradation cap controller (spot-before-guaranteed
+    /// shedding with hysteresis). Disabled by default.
+    pub cap: CapConfig,
+    /// Run the post-clearing invariant checker (Eqns. 1–4) every slot.
+    /// Defaults to on in debug builds; in release it can be forced at
+    /// runtime via [`crate::validate::set_forced`] (the repro binary's
+    /// `--validate` flag).
+    pub validate: bool,
 }
 
 impl EngineConfig {
@@ -66,8 +93,80 @@ impl EngineConfig {
             price_oracle: false,
             per_pdu_pricing: false,
             telemetry: spotdc_telemetry::TelemetryConfig::default(),
+            faults: FaultConfig::disabled(),
+            cap: CapConfig::disabled(),
+            validate: cfg!(debug_assertions),
         }
     }
+}
+
+/// Records `draw` into the meter, applying any scheduled meter fault:
+/// a dropout skips the sample (detectable staleness), a freeze
+/// re-records the last value as if fresh (undetectable), noise scales
+/// the sample. Returns `true` when a fault fired.
+fn record_observed(
+    meter: &mut PowerMeter,
+    plan: &FaultPlan,
+    active: bool,
+    slot: Slot,
+    rack: RackId,
+    draw: Watts,
+) -> bool {
+    if !active {
+        meter.record(slot, rack, draw);
+        return false;
+    }
+    let Some(fault) = plan.meter_fault(slot, rack) else {
+        meter.record(slot, rack, draw);
+        return false;
+    };
+    if spotdc_telemetry::is_enabled() {
+        spotdc_telemetry::registry().inc_counter("spotdc_faults_injected_total", 1);
+        spotdc_telemetry::emit(spotdc_telemetry::Event::FaultInjected {
+            slot,
+            at: spotdc_units::MonotonicNanos::now(),
+            kind: fault.kind().to_owned(),
+            target: rack.to_string(),
+        });
+    }
+    match fault {
+        MeterFault::Dropout => {}
+        MeterFault::Freeze => {
+            if let Some(prev) = meter.latest(rack) {
+                meter.record(slot, rack, prev.power);
+            }
+        }
+        MeterFault::Noise { relative } => {
+            meter.record(slot, rack, draw * (1.0 + relative));
+        }
+    }
+    true
+}
+
+/// Counts and reports post-clearing invariant violations. Every
+/// violation is a bug somewhere upstream — clearing, degradation or
+/// capping — so debug builds abort on the spot.
+fn note_violations(slot: Slot, violations: &[MarketInvariant], count: &mut usize) {
+    if violations.is_empty() {
+        return;
+    }
+    *count += violations.len();
+    crate::validate::record_violations(violations.len());
+    if spotdc_telemetry::is_enabled() {
+        spotdc_telemetry::registry()
+            .inc_counter("spotdc_invariant_violations_total", violations.len() as u64);
+        for v in violations {
+            spotdc_telemetry::emit(spotdc_telemetry::Event::InvariantViolated {
+                slot,
+                at: spotdc_units::MonotonicNanos::now(),
+                violation: v.to_string(),
+            });
+        }
+    }
+    debug_assert!(
+        violations.is_empty(),
+        "market invariants violated at {slot}: {violations:?}"
+    );
 }
 
 /// A runnable simulation: a scenario plus an engine configuration.
@@ -99,9 +198,24 @@ impl Simulation {
         let other_traces = &traces.others;
         let topology = scenario.topology.clone();
         let operator = Operator::new(topology.clone(), config.operator);
-        let mut meter = PowerMeter::new(&topology, 4);
+        let mut meter =
+            PowerMeter::new(&topology, 4).expect("engine meter history length is positive");
         let mut bank = RackPduBank::new(&topology);
         let mut emergencies = EmergencyLog::new(&topology);
+        let plan = FaultPlan::new(config.faults);
+        let faults_active = plan.any();
+        let track_prev_meter = faults_active && config.faults.prediction_delay > 0.0;
+        let mut prev_meter: Option<PowerMeter> = None;
+        let mut cap = config
+            .cap
+            .enabled
+            .then(|| CapController::new(&topology, config.cap));
+        let validate = config.validate || crate::validate::forced();
+        let guaranteed: Vec<Watts> = topology.racks().map(|r| r.guaranteed()).collect();
+        let rack_pdu: Vec<usize> = topology.racks().map(|r| r.pdu().index()).collect();
+        let mut faults_injected = 0usize;
+        let mut degraded_slots = 0usize;
+        let mut invariant_violations = 0usize;
         let mut comms = CommsModel::new(
             config.bid_loss,
             config.broadcast_loss,
@@ -111,16 +225,28 @@ impl Simulation {
         let slot_hours = scenario.slot.hours();
 
         // Warm the meter with slot-0 loads under reserved budgets so the
-        // first prediction has references to work from.
+        // first prediction has references to work from. Warm-up is
+        // initialization, not operation: it is never faulted.
+        let mut true_draw: Vec<Watts> = vec![Watts::ZERO; topology.rack_count()];
         for (i, agent) in agents.iter_mut().enumerate() {
             agent.observe(loads[i].first().copied().unwrap_or(0.0));
             let out = agent.run_slot(agent.reserved());
             meter.record(Slot::ZERO, agent.rack(), out.draw);
+            true_draw[agent.rack().index()] = out.draw.clamp_non_negative();
         }
         for (j, other) in scenario.others.iter().enumerate() {
             let draw = other_traces[j].first().copied().unwrap_or(Watts::ZERO);
-            meter.record(Slot::ZERO, other.rack, draw.min(other.subscription));
+            let draw = draw.min(other.subscription);
+            meter.record(Slot::ZERO, other.rack, draw);
+            true_draw[other.rack.index()] = draw.clamp_non_negative();
         }
+        // Per-PDU non-spot ("base") load of the previous slot — what the
+        // cap controller budgets spot against.
+        let mut prev_base_pdu: Vec<Watts> = vec![Watts::ZERO; topology.pdu_count()];
+        for (i, &d) in true_draw.iter().enumerate() {
+            prev_base_pdu[rack_pdu[i]] += d.min(guaranteed[i]);
+        }
+        let mut last_emergencies: Vec<EmergencyEvent> = Vec::new();
 
         let mut records = Vec::with_capacity(n);
         // Running mean of |predicted spot − realized headroom|, exported
@@ -140,6 +266,7 @@ impl Simulation {
         let mut requesting: Vec<RackId> = Vec::new();
         let mut gains: BTreeMap<RackId, ConcaveGain> = BTreeMap::new();
         let mut wanting: Vec<RackId> = Vec::new();
+        let mut late_bids: Vec<spotdc_core::TenantBid> = Vec::new();
         let per_pdu_clearing = MarketClearing::new(config.operator.clearing);
 
         for t in 0..n {
@@ -153,7 +280,28 @@ impl Simulation {
             let mut price = None;
             let mut spot_sold = 0.0;
             let mut spot_available = 0.0;
+            let mut slot_degraded = false;
             payments.fill(0.0);
+
+            // Delayed prediction input: the operator sees the meter as
+            // it stood at the end of the previous slot.
+            let delayed = faults_active && plan.prediction_delayed(slot);
+            if delayed {
+                faults_injected += 1;
+                if spotdc_telemetry::is_enabled() {
+                    spotdc_telemetry::registry().inc_counter("spotdc_faults_injected_total", 1);
+                    spotdc_telemetry::emit(spotdc_telemetry::Event::FaultInjected {
+                        slot,
+                        at: spotdc_units::MonotonicNanos::now(),
+                        kind: "prediction-delay".to_owned(),
+                        target: "operator".to_owned(),
+                    });
+                }
+            }
+            let market_meter: &PowerMeter = match (&prev_meter, delayed) {
+                (Some(prev), true) => prev,
+                _ => &meter,
+            };
 
             match config.mode {
                 Mode::PowerCapped => {}
@@ -170,6 +318,41 @@ impl Simulation {
                         bids.clear();
                         bids.extend(agents.iter_mut().filter_map(|a| a.make_bid()));
                     }
+                    if faults_active {
+                        // Late bids from the previous slot arrive now —
+                        // unless the tenant already submitted a fresh
+                        // one, which supersedes the stale copy.
+                        for b in late_bids.drain(..) {
+                            if !bids.iter().any(|x| x.tenant() == b.tenant()) {
+                                bids.push(b);
+                            }
+                        }
+                        let mut i = 0;
+                        while i < bids.len() {
+                            match plan.bid_fault(slot, bids[i].tenant()) {
+                                None => i += 1,
+                                Some(fault) => {
+                                    faults_injected += 1;
+                                    if spotdc_telemetry::is_enabled() {
+                                        spotdc_telemetry::registry()
+                                            .inc_counter("spotdc_faults_injected_total", 1);
+                                        spotdc_telemetry::emit(
+                                            spotdc_telemetry::Event::FaultInjected {
+                                                slot,
+                                                at: spotdc_units::MonotonicNanos::now(),
+                                                kind: fault.kind().to_owned(),
+                                                target: bids[i].tenant().to_string(),
+                                            },
+                                        );
+                                    }
+                                    let bid = bids.remove(i);
+                                    if fault == spotdc_faults::BidFault::Late {
+                                        late_bids.push(bid);
+                                    }
+                                }
+                            }
+                        }
+                    }
                     let _lost_bids = comms.deliver_bids(slot, &mut bids);
                     bidders.clear();
                     bidders.extend(bids.iter().map(|b| b.tenant()));
@@ -180,15 +363,29 @@ impl Simulation {
                         rack_bids.extend(bids.iter().flat_map(|b| b.rack_bids().iter().cloned()));
                         requesting.clear();
                         requesting.extend(rack_bids.iter().map(|rb| rb.rack()));
-                        let predicted = operator.predictor().predict(
-                            &topology,
-                            &meter,
-                            requesting.iter().copied(),
-                        );
+                        let predicted = match config.operator.staleness {
+                            None => operator.predictor().predict(
+                                &topology,
+                                market_meter,
+                                requesting.iter().copied(),
+                            ),
+                            Some(policy) => {
+                                let d = operator.predictor().predict_with_staleness(
+                                    &topology,
+                                    market_meter,
+                                    requesting.iter().copied(),
+                                    slot,
+                                    policy,
+                                );
+                                slot_degraded |= d.is_degraded();
+                                d.spot
+                            }
+                        };
                         spot_available = predicted.total_pdu().min(predicted.ups).value();
                         let constraints =
                             ConstraintSet::new(&topology, predicted.pdu.clone(), predicted.ups);
                         let mut revenue_weighted_price = 0.0;
+                        let mut combined: BTreeMap<RackId, Watts> = BTreeMap::new();
                         for outcome in
                             per_pdu_clearing.clear_per_pdu(slot, &rack_bids, &constraints)
                         {
@@ -198,6 +395,16 @@ impl Simulation {
                                 &mut alloc,
                                 bidders.iter().copied(),
                             );
+                            if validate {
+                                note_violations(
+                                    slot,
+                                    &check_allocation(&constraints, &alloc, &rack_bids, true),
+                                    &mut invariant_violations,
+                                );
+                                for (rack, grant) in alloc.iter() {
+                                    combined.insert(rack, grant);
+                                }
+                            }
                             for (rack, grant) in alloc.iter() {
                                 if grant > Watts::ZERO {
                                     bank.grant_spot(slot, rack, grant)
@@ -210,15 +417,37 @@ impl Simulation {
                             spot_sold += sold;
                             revenue_weighted_price += alloc.price().per_kw_hour_value() * sold;
                         }
+                        if validate {
+                            // The sub-markets share the UPS spot; the
+                            // combined grant set must still fit it.
+                            if let Err(v) = constraints.check(&combined) {
+                                note_violations(
+                                    slot,
+                                    &[MarketInvariant::Capacity(v)],
+                                    &mut invariant_violations,
+                                );
+                            }
+                        }
                         if spot_sold > 0.0 {
                             price = Some(revenue_weighted_price / spot_sold);
                         }
                     } else {
-                        let round = operator.run_slot(slot, &bids, &meter);
+                        let round = operator.run_slot(slot, &bids, market_meter);
+                        slot_degraded |= round.degraded.is_some();
                         spot_available =
                             round.predicted.total_pdu().min(round.predicted.ups).value();
                         let mut alloc = round.outcome.into_allocation();
                         comms.deliver_broadcasts(&topology, &mut alloc, bidders.iter().copied());
+                        if validate {
+                            rack_bids.clear();
+                            rack_bids
+                                .extend(bids.iter().flat_map(|b| b.rack_bids().iter().cloned()));
+                            note_violations(
+                                slot,
+                                &check_allocation(&round.constraints, &alloc, &rack_bids, true),
+                                &mut invariant_violations,
+                            );
+                        }
                         for (rack, grant) in alloc.iter() {
                             if grant > Watts::ZERO {
                                 bank.grant_spot(slot, rack, grant)
@@ -245,14 +474,24 @@ impl Simulation {
                             }
                         }
                     }
-                    let predicted =
-                        operator
-                            .predictor()
-                            .predict(&topology, &meter, wanting.iter().copied());
+                    let predicted = operator.predictor().predict(
+                        &topology,
+                        market_meter,
+                        wanting.iter().copied(),
+                    );
                     spot_available = predicted.total_pdu().min(predicted.ups).value();
                     let constraints =
                         ConstraintSet::new(&topology, predicted.pdu.clone(), predicted.ups);
                     let grants = max_perf_allocate(&gains, &constraints);
+                    if validate {
+                        if let Err(v) = constraints.check(&grants) {
+                            note_violations(
+                                slot,
+                                &[MarketInvariant::Capacity(v)],
+                                &mut invariant_violations,
+                            );
+                        }
+                    }
                     for (&rack, &grant) in &grants {
                         if grant > Watts::ZERO {
                             bank.grant_spot(slot, rack, grant)
@@ -263,12 +502,43 @@ impl Simulation {
                 }
             }
 
-            // Tenants execute under their budgets; the meter records.
+            // Graceful degradation: when overloads were observed last
+            // slot, the cap controller sheds spot first (guaranteed
+            // capacity is only capped while a held level's base load
+            // alone exceeds its capacity), with hysteresis on release.
+            if let Some(cap) = cap.as_mut() {
+                cap.note_emergencies(slot, &last_emergencies);
+                let outcome = cap.enforce(slot, &prev_base_pdu, &mut bank);
+                for trim in &outcome.trims {
+                    spot_sold -= (trim.old_spot - trim.new_spot).value();
+                    let i = trim.rack.index();
+                    if trim.old_spot > Watts::ZERO {
+                        payments[i] *= trim.new_spot.value() / trim.old_spot.value();
+                    }
+                }
+                if !outcome.is_noop() {
+                    slot_degraded = true;
+                }
+            }
+
+            // Tenants execute under their budgets; the meter records the
+            // *observed* draw (subject to meter faults) while `true_draw`
+            // keeps the physical one.
             let mut tenant_metrics = Vec::with_capacity(agents.len());
             for agent in agents.iter_mut() {
                 let budget = bank.budget(agent.rack());
                 let out = agent.run_slot(budget);
-                meter.record(slot, agent.rack(), out.draw);
+                if record_observed(
+                    &mut meter,
+                    &plan,
+                    faults_active,
+                    slot,
+                    agent.rack(),
+                    out.draw,
+                ) {
+                    faults_injected += 1;
+                }
+                true_draw[agent.rack().index()] = out.draw.clamp_non_negative();
                 let (perf_index, slo_met) = match out.performance {
                     spotdc_tenants::Performance::Latency { slo_met, .. } => {
                         (out.performance.index(), Some(slo_met))
@@ -289,17 +559,37 @@ impl Simulation {
             }
             for (j, other) in scenario.others.iter().enumerate() {
                 let draw = other_traces[j][t].min(other.subscription);
-                meter.record(slot, other.rack, draw);
+                if record_observed(&mut meter, &plan, faults_active, slot, other.rack, draw) {
+                    faults_injected += 1;
+                }
+                true_draw[other.rack.index()] = draw.clamp_non_negative();
             }
 
-            let pdu_power = meter.pdu_powers();
-            emergencies.observe(slot, &pdu_power);
+            // Emergencies and the per-slot record reflect *physical*
+            // power. With faults off the meter holds exactly the true
+            // draws, so reading it back preserves the historical
+            // accumulation order bit for bit.
+            let (pdu_power, ups_power) = if faults_active {
+                let mut per_pdu = vec![Watts::ZERO; topology.pdu_count()];
+                let mut total = Watts::ZERO;
+                for (i, &d) in true_draw.iter().enumerate() {
+                    per_pdu[rack_pdu[i]] += d;
+                    total += d;
+                }
+                (per_pdu, total)
+            } else {
+                (meter.pdu_powers(), meter.ups_power())
+            };
+            let found = emergencies.observe(slot, &pdu_power);
+            if slot_degraded {
+                degraded_slots += 1;
+            }
             if spotdc_telemetry::is_enabled() && spot_available > 0.0 {
                 // The predictor forecast `spot_available` from last
                 // slot's meter readings; compare against the headroom
                 // actually realized this slot (unused UPS capacity plus
                 // the spot capacity that was sold and consumed).
-                let realized = (topology.ups_capacity() - meter.ups_power()).value() + spot_sold;
+                let realized = (topology.ups_capacity() - ups_power).value() + spot_sold;
                 prediction_error_sum += (spot_available - realized).abs();
                 prediction_error_count += 1;
                 spotdc_telemetry::registry().set_gauge(
@@ -312,10 +602,21 @@ impl Simulation {
                 price,
                 spot_available,
                 spot_sold,
-                ups_power: meter.ups_power().value(),
+                ups_power: ups_power.value(),
                 pdu_power: pdu_power.iter().map(|w| w.value()).collect(),
                 tenants: tenant_metrics,
             });
+            // Roll slot state forward for next slot's degradation paths.
+            last_emergencies = found;
+            if cap.is_some() {
+                prev_base_pdu.iter_mut().for_each(|w| *w = Watts::ZERO);
+                for (i, &d) in true_draw.iter().enumerate() {
+                    prev_base_pdu[rack_pdu[i]] += d.min(guaranteed[i]);
+                }
+            }
+            if track_prev_meter {
+                prev_meter = Some(meter.clone());
+            }
             let _ = slot_hours; // payments already per-slot
         }
 
@@ -339,6 +640,9 @@ impl Simulation {
                 .iter()
                 .filter(|e| e.severity() <= 0.05)
                 .count(),
+            degraded_slots,
+            invariant_violations,
+            faults_injected,
         }
     }
 }

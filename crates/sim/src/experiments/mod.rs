@@ -24,6 +24,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod headline;
 pub mod market_power;
+pub mod robustness;
 pub mod table1;
 
 pub use common::{ExpConfig, ExpOutput};
@@ -51,6 +52,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "headline",
         "ablations",
         "market_power",
+        "robustness",
     ]
 }
 
@@ -110,6 +112,7 @@ pub fn run_by_id(id: &str, cfg: &ExpConfig) -> Option<ExpOutput> {
         "headline" => headline::run(cfg),
         "ablations" => ablations::run(cfg),
         "market_power" => market_power::run(cfg),
+        "robustness" => robustness::run(cfg),
         _ => return None,
     })
 }
@@ -131,7 +134,7 @@ mod tests {
             assert!(!out.body.is_empty());
         }
         assert!(run_by_id("nope", &cfg).is_none());
-        assert_eq!(all_ids().len(), 19);
+        assert_eq!(all_ids().len(), 20);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! * [`experiments`] — one module per table/figure of the paper
 //!   (`table1`, `fig2b`, `fig7a` … `fig18`, `headline`), each
 //!   producing a renderable text report;
-//! * [`report`] — plain-text table formatting shared by experiments.
+//! * [`report`] — plain-text table formatting shared by experiments;
+//! * [`validate`] — process-wide switch forcing the post-clearing
+//!   invariant checker on in release builds.
 //!
 //! ```no_run
 //! use spotdc_sim::engine::{EngineConfig, Simulation};
@@ -40,6 +42,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod report;
 pub mod scenario;
+pub mod validate;
 
 pub use accounting::{Billing, ProfitSummary};
 pub use baselines::Mode;

@@ -67,6 +67,15 @@ pub struct SimReport {
     /// "short-term power spike … handled by circuit breaker
     /// tolerance").
     pub transient_overshoots: usize,
+    /// Slots in which a degradation path fired: stale-meter prediction
+    /// penalties or withholding, or cap-controller shedding.
+    pub degraded_slots: usize,
+    /// Post-clearing invariant violations (Eqns. 1–4) found by the
+    /// validator; always zero unless validation was enabled *and*
+    /// something upstream is broken.
+    pub invariant_violations: usize,
+    /// Faults the injection plan actually fired during the run.
+    pub faults_injected: usize,
 }
 
 impl SimReport {
@@ -343,6 +352,9 @@ mod tests {
             ups_capacity: Watts::new(1370.0),
             emergencies: 0,
             transient_overshoots: 0,
+            degraded_slots: 0,
+            invariant_violations: 0,
+            faults_injected: 0,
         }
     }
 

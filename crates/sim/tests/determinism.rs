@@ -1,12 +1,17 @@
 //! The parallel layer's correctness anchor: experiment output must be
 //! byte-identical regardless of the worker count. Runs a cheap subset
 //! of the registry (covering the mode fan-out, the join helper, the
-//! engine-grid fan-out, and the shared trace cache) at one worker and
-//! at four, and compares the rendered bodies byte for byte — exactly
-//! what `repro --jobs N` prints.
+//! engine-grid fan-out, the shared trace cache, and the fault-injected
+//! robustness sweep with its invariant checker) at one worker and at
+//! four, and compares the rendered bodies byte for byte — exactly what
+//! `repro --jobs N` prints.
 
+use proptest::prelude::*;
+use spotdc_faults::FaultConfig;
 use spotdc_par::ThreadPool;
+use spotdc_sim::engine::{EngineConfig, Simulation};
 use spotdc_sim::experiments::{run_selected, ExpConfig};
+use spotdc_sim::{Mode, Scenario};
 
 #[test]
 fn rendered_experiments_are_byte_identical_across_job_counts() {
@@ -16,8 +21,11 @@ fn rendered_experiments_are_byte_identical_across_job_counts() {
         quick: true,
     };
     // fig10: single staged run; fig11: join(); fig13: run_modes();
-    // ablations: run_engines() over seven variants + granularity study.
-    let ids = ["fig10", "fig11", "fig13", "ablations"];
+    // ablations: run_engines() over seven variants + granularity study;
+    // robustness: fault-injected engines with the per-slot invariant
+    // checker armed — the fault schedule itself must be thread-count
+    // independent.
+    let ids = ["fig10", "fig11", "fig13", "ablations", "robustness"];
     let render = |jobs: usize| -> String {
         run_selected(&ids, &cfg, ThreadPool::new(jobs))
             .into_iter()
@@ -34,4 +42,42 @@ fn rendered_experiments_are_byte_identical_across_job_counts() {
     // And a repeat at the same width is stable too (no hidden global
     // state leaking between runs).
     assert_eq!(four, render(4));
+}
+
+fn faulted_engine(fault_seed: u64) -> EngineConfig {
+    EngineConfig {
+        faults: FaultConfig::uniform(0.1, fault_seed),
+        ..EngineConfig::new(Mode::SpotDc)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A fault plan is a pure function of its seed: two runs over the
+    /// identical plan produce byte-identical reports, with the same
+    /// faults fired in the same slots.
+    #[test]
+    fn identical_fault_seeds_are_byte_identical(fault_seed in 0u64..1_000_000) {
+        let run = || {
+            Simulation::new(Scenario::testbed(5), faulted_engine(fault_seed)).run(60)
+        };
+        let a = run();
+        let b = run();
+        prop_assert!(a.faults_injected > 0, "expected faults at rate 0.1");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Different fault seeds schedule different faults (over a horizon
+    /// long enough that two independent 10 %-rate schedules colliding
+    /// everywhere is impossible in practice).
+    #[test]
+    fn different_fault_seeds_diverge(fault_seed in 0u64..1_000_000) {
+        let run = |s: u64| {
+            Simulation::new(Scenario::testbed(5), faulted_engine(s)).run(60)
+        };
+        let a = run(fault_seed);
+        let b = run(fault_seed ^ 0xdead_beef);
+        prop_assert_ne!(a, b);
+    }
 }

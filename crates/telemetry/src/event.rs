@@ -88,6 +88,56 @@ pub enum Event {
         /// Human-readable rejection reason.
         reason: String,
     },
+    /// The fault-injection plan fired a fault (simulation only).
+    FaultInjected {
+        /// The slot the fault fired in.
+        slot: Slot,
+        /// Monotonic timestamp.
+        at: MonotonicNanos,
+        /// Fault channel ("meter-dropout", "bid-late", ...).
+        kind: String,
+        /// The affected target ("rack-3", "tenant-1", "predictor").
+        target: String,
+    },
+    /// The operator degraded gracefully instead of failing: stale-meter
+    /// fallback, withheld PDU spot, or a late bid rolled to the next
+    /// slot.
+    DegradedDecision {
+        /// The slot of the decision.
+        slot: Slot,
+        /// Monotonic timestamp.
+        at: MonotonicNanos,
+        /// Degradation kind ("stale-meter", "late-bid", "cap-shed").
+        kind: String,
+        /// Human-readable detail of what was degraded.
+        detail: String,
+        /// Watts affected by the decision (penalized, withheld or shed).
+        watts: f64,
+    },
+    /// The emergency cap controller acted on a capacity level.
+    CapApplied {
+        /// The slot the cap was applied in.
+        slot: Slot,
+        /// Monotonic timestamp.
+        at: MonotonicNanos,
+        /// Protected level ("ups" or "pdu-<i>").
+        level: String,
+        /// Spot watts shed at the level.
+        shed_watts: f64,
+        /// Guaranteed watts capped at the level.
+        capped_watts: f64,
+    },
+    /// The post-clearing invariant checker found a violation of the
+    /// paper's Eqns. 1-4 (rack/PDU/UPS spot limits, uniform-price
+    /// consistency).
+    InvariantViolated {
+        /// The slot whose allocation violated an invariant.
+        slot: Slot,
+        /// Monotonic timestamp.
+        at: MonotonicNanos,
+        /// Human-readable description of the violated invariant.
+        violation: String,
+    },
 }
 
 impl Event {
@@ -100,6 +150,10 @@ impl Event {
             Event::ConstraintBound { .. } => "ConstraintBound",
             Event::EmergencyTriggered { .. } => "EmergencyTriggered",
             Event::BidRejected { .. } => "BidRejected",
+            Event::FaultInjected { .. } => "FaultInjected",
+            Event::DegradedDecision { .. } => "DegradedDecision",
+            Event::CapApplied { .. } => "CapApplied",
+            Event::InvariantViolated { .. } => "InvariantViolated",
         }
     }
 
@@ -111,7 +165,11 @@ impl Event {
             | Event::PredictionIssued { slot, .. }
             | Event::ConstraintBound { slot, .. }
             | Event::EmergencyTriggered { slot, .. }
-            | Event::BidRejected { slot, .. } => *slot,
+            | Event::BidRejected { slot, .. }
+            | Event::FaultInjected { slot, .. }
+            | Event::DegradedDecision { slot, .. }
+            | Event::CapApplied { slot, .. }
+            | Event::InvariantViolated { slot, .. } => *slot,
         }
     }
 
@@ -123,7 +181,11 @@ impl Event {
             | Event::PredictionIssued { at, .. }
             | Event::ConstraintBound { at, .. }
             | Event::EmergencyTriggered { at, .. }
-            | Event::BidRejected { at, .. } => *at,
+            | Event::BidRejected { at, .. }
+            | Event::FaultInjected { at, .. }
+            | Event::DegradedDecision { at, .. }
+            | Event::CapApplied { at, .. }
+            | Event::InvariantViolated { at, .. } => *at,
         }
     }
 
@@ -139,6 +201,9 @@ impl Event {
             Event::ConstraintBound { .. }
                 | Event::EmergencyTriggered { .. }
                 | Event::BidRejected { .. }
+                | Event::DegradedDecision { .. }
+                | Event::CapApplied { .. }
+                | Event::InvariantViolated { .. }
         )
     }
 
@@ -240,6 +305,45 @@ impl Event {
                     json_str(reason)
                 );
             }
+            Event::FaultInjected { kind, target, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":{},\"target\":{}",
+                    json_str(kind),
+                    json_str(target)
+                );
+            }
+            Event::DegradedDecision {
+                kind,
+                detail,
+                watts,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":{},\"detail\":{},\"watts\":{}",
+                    json_str(kind),
+                    json_str(detail),
+                    json_num(*watts)
+                );
+            }
+            Event::CapApplied {
+                level,
+                shed_watts,
+                capped_watts,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"level\":{},\"shed_watts\":{},\"capped_watts\":{}",
+                    json_str(level),
+                    json_num(*shed_watts),
+                    json_num(*capped_watts)
+                );
+            }
+            Event::InvariantViolated { violation, .. } => {
+                let _ = write!(out, ",\"violation\":{}", json_str(violation));
+            }
         }
         out.push('}');
         out
@@ -316,6 +420,31 @@ impl Event {
                 tenant: int("tenant")?,
                 racks: int("racks")?,
                 reason: str_field("reason")?.to_owned(),
+            }),
+            "FaultInjected" => Ok(Event::FaultInjected {
+                slot,
+                at,
+                kind: str_field("kind")?.to_owned(),
+                target: str_field("target")?.to_owned(),
+            }),
+            "DegradedDecision" => Ok(Event::DegradedDecision {
+                slot,
+                at,
+                kind: str_field("kind")?.to_owned(),
+                detail: str_field("detail")?.to_owned(),
+                watts: num("watts")?,
+            }),
+            "CapApplied" => Ok(Event::CapApplied {
+                slot,
+                at,
+                level: str_field("level")?.to_owned(),
+                shed_watts: num("shed_watts")?,
+                capped_watts: num("capped_watts")?,
+            }),
+            "InvariantViolated" => Ok(Event::InvariantViolated {
+                slot,
+                at,
+                violation: str_field("violation")?.to_owned(),
             }),
             other => Err(format!("unknown event tag {other:?}")),
         }
@@ -496,6 +625,31 @@ mod tests {
                 racks: 2,
                 reason: "rack \"r7\" not metered\nretry next slot".to_owned(),
             },
+            Event::FaultInjected {
+                slot: Slot::new(16),
+                at: MonotonicNanos::from_raw(100_001),
+                kind: "meter-dropout".to_owned(),
+                target: "rack-3".to_owned(),
+            },
+            Event::DegradedDecision {
+                slot: Slot::new(17),
+                at: MonotonicNanos::from_raw(100_055),
+                kind: "stale-meter".to_owned(),
+                detail: "2 stale racks, 1 withheld pdu".to_owned(),
+                watts: 120.5,
+            },
+            Event::CapApplied {
+                slot: Slot::new(18),
+                at: MonotonicNanos::from_raw(100_101),
+                level: "pdu-1".to_owned(),
+                shed_watts: 35.0,
+                capped_watts: 0.0,
+            },
+            Event::InvariantViolated {
+                slot: Slot::new(19),
+                at: MonotonicNanos::from_raw(100_201),
+                violation: "pdu-0 spot 410 W exceeds predicted 400 W".to_owned(),
+            },
         ]
     }
 
@@ -576,6 +730,10 @@ mod tests {
                 ("ConstraintBound".to_owned(), true),
                 ("EmergencyTriggered".to_owned(), true),
                 ("BidRejected".to_owned(), true),
+                ("FaultInjected".to_owned(), false),
+                ("DegradedDecision".to_owned(), true),
+                ("CapApplied".to_owned(), true),
+                ("InvariantViolated".to_owned(), true),
             ]
         );
     }

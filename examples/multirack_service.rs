@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // Meter last slot's draws, then run the operator's round.
-    let mut meter = PowerMeter::new(&topology, 4);
+    let mut meter = PowerMeter::new(&topology, 4)?;
     for (rack, draw) in [(0, 100.0), (1, 120.0), (2, 110.0), (3, 115.0)] {
         meter.record(Slot::ZERO, RackId::new(rack), Watts::new(draw));
     }

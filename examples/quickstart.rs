@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The operator's routine power monitoring has last slot's readings.
-    let mut meter = PowerMeter::new(&topology, 8);
+    let mut meter = PowerMeter::new(&topology, 8)?;
     for (rack, draw) in [(0, 120.0), (1, 90.0), (2, 140.0), (3, 60.0)] {
         meter.record(Slot::ZERO, RackId::new(rack), Watts::new(draw));
     }

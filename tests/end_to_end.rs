@@ -35,7 +35,7 @@ fn manual_market_round_improves_the_needy_tenant() {
     search.observe(1.0); // peak traffic: SLO at stake
     batch.observe(0.8); // backlog to chew through
 
-    let mut meter = PowerMeter::new(&topology, 4);
+    let mut meter = PowerMeter::new(&topology, 4).expect("positive history length");
     meter.record(Slot::ZERO, RackId::new(0), Watts::new(140.0));
     meter.record(Slot::ZERO, RackId::new(1), Watts::new(118.0));
     meter.record(Slot::ZERO, RackId::new(2), Watts::new(130.0));
@@ -104,7 +104,7 @@ fn comms_loss_degrades_to_no_spot() {
         Strategy::elastic(Price::per_kw_hour(0.25), Price::per_kw_hour(0.60)),
     );
     agent.observe(1.0);
-    let mut meter = PowerMeter::new(&topology, 4);
+    let mut meter = PowerMeter::new(&topology, 4).expect("positive history length");
     meter.record(Slot::ZERO, RackId::new(0), Watts::new(140.0));
 
     let operator = Operator::new(topology.clone(), OperatorConfig::default());
