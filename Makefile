@@ -3,8 +3,8 @@
 CARGO ?= cargo
 JOBS ?= 4
 
-.PHONY: build test bench bench-repro clippy clippy-par clippy-faults \
-	determinism smoke-faults fmt verify repro
+.PHONY: build test bench bench-repro clippy determinism golden \
+	smoke-faults fmt verify repro
 
 build:
 	$(CARGO) build --release
@@ -12,22 +12,20 @@ build:
 test:
 	$(CARGO) test -q
 
+# One workspace-wide gate over every target (libs, bins, tests,
+# benches): nothing per-crate to forget, nothing --lib-only misses.
 clippy:
-	$(CARGO) clippy --workspace -- -D warnings
-
-# The parallel layer is small and load-bearing; lint it on its own so a
-# workspace-wide allow never papers over a warning here.
-clippy-par:
-	$(CARGO) clippy -p spotdc-par -- -D warnings
-
-# The fault layer underpins every robustness claim; same treatment.
-clippy-faults:
-	$(CARGO) clippy -p spotdc-faults -- -D warnings
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
 
 # Byte-identical output at 1 vs 4 workers — the parallel layer's anchor —
 # plus fault-seed determinism and the per-slot invariant checker.
 determinism:
 	$(CARGO) test -p spotdc-sim --test determinism
+
+# Refactor guard: SimReport for all three modes at seed 42 must match
+# the checked-in snapshots byte for byte (tests/golden/).
+golden:
+	$(CARGO) test -p spotdc --test golden_report
 
 # Fault-injection smoke run: the full robustness sweep with the release
 # invariant checker forced on. Any Eq. 1–4 violation fails the run.
@@ -51,4 +49,4 @@ repro:
 	$(CARGO) run -p spotdc-bench --bin repro --release -- --quick \
 		--out repro-results --telemetry repro-results/telemetry.jsonl
 
-verify: build test determinism clippy clippy-par clippy-faults smoke-faults fmt
+verify: build test golden determinism clippy smoke-faults fmt

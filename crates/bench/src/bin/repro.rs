@@ -6,7 +6,7 @@
 //! repro --days 30 --seed 7   # longer horizon, different seed
 //! repro --quick              # fast smoke pass
 //! repro --jobs 4             # experiment-level parallelism (default: cores)
-//! repro --list               # available experiment ids
+//! repro --list-exps          # available experiment ids (alias: --list)
 //! repro --out results/       # also write one .txt file per experiment
 //! repro --telemetry t.jsonl  # record market events to a JSONL file
 //! repro --bench-json b.json  # write per-experiment wall-clock timings
@@ -75,7 +75,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--list" => {
+            "--list" | "--list-exps" => {
                 for id in all_ids() {
                     println!("{id}");
                 }
@@ -149,6 +149,21 @@ fn main() -> ExitCode {
     } else {
         selected
     };
+    // Audit the selection up front: an unknown id fails the run before
+    // any experiment burns time, and the message lists what is valid.
+    let unknown: Vec<&str> = ids
+        .iter()
+        .map(String::as_str)
+        .filter(|id| !all_ids().contains(id))
+        .collect();
+    if !unknown.is_empty() {
+        reporter.error(&format!(
+            "error: unknown experiment id(s): {}\nvalid ids: {}",
+            unknown.join(", "),
+            all_ids().join(", ")
+        ));
+        return ExitCode::FAILURE;
+    }
     reporter.progress(&format!(
         "# SpotDC reproduction — seed {}, horizon {} days{}\n",
         cfg.seed,
@@ -180,7 +195,9 @@ fn main() -> ExitCode {
                 }
             }
             None => {
-                reporter.error(&format!("unknown experiment id: {id} (try --list)"));
+                // Unreachable given the up-front audit, but kept so a
+                // registry/runner mismatch still fails loudly.
+                reporter.error(&format!("unknown experiment id: {id} (try --list-exps)"));
                 return ExitCode::FAILURE;
             }
         }
@@ -253,7 +270,7 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: repro [--exp <id>]... [--days <n>] [--seed <n>] [--quick] [--jobs <n>] [--list]\n\
+        "usage: repro [--exp <id>]... [--days <n>] [--seed <n>] [--quick] [--jobs <n>] [--list-exps]\n\
          \x20            [--out <dir>] [--telemetry <file>] [--bench-json <file>] [--validate]\n\
          \x20            [--quiet]\n\
          experiments: {}",

@@ -126,11 +126,42 @@ impl Operator {
     /// Runs one market round for `slot`: admission-checks the bids,
     /// predicts spot capacity (requesting racks count at their full
     /// guarantee), clears, and returns the round record.
+    ///
+    /// This is the one-call convenience wrapper over the staged entry
+    /// points ([`Self::admit_bids_into`], [`Self::predict_spot`],
+    /// [`Self::clear`]) that a pipeline-shaped caller — the simulation
+    /// engine's `CollectBids`/`Predict`/`Clear` stages — invokes
+    /// individually with its own reusable buffers.
     #[must_use]
     pub fn run_slot(&self, slot: Slot, bids: &[TenantBid], meter: &PowerMeter) -> SlotRound {
         let _span = spotdc_telemetry::span!("operator.run_slot", slot = slot);
         let mut rack_bids: Vec<RackBid> = Vec::new();
         let mut rejected: Vec<RackId> = Vec::new();
+        self.admit_bids_into(slot, bids, &mut rack_bids, &mut rejected);
+        let requesting: Vec<RackId> = rack_bids.iter().map(RackBid::rack).collect();
+        let (predicted, degraded) = self.predict_spot(slot, &requesting, meter);
+        let constraints = ConstraintSet::new(&self.topology, predicted.pdu.clone(), predicted.ups);
+        let outcome = self.clear(slot, &rack_bids, &constraints);
+        SlotRound {
+            predicted,
+            constraints,
+            outcome,
+            rejected,
+            degraded,
+        }
+    }
+
+    /// Admission-checks `bids`, appending each rack bid that names a
+    /// known rack owned by the bidding tenant to `rack_bids` and every
+    /// other requested rack to `rejected`. Buffers are appended to, not
+    /// cleared, so callers can reuse hot-path scratch across slots.
+    pub fn admit_bids_into(
+        &self,
+        slot: Slot,
+        bids: &[TenantBid],
+        rack_bids: &mut Vec<RackBid>,
+        rejected: &mut Vec<RackId>,
+    ) {
         for tenant_bid in bids {
             let rejected_before = rejected.len();
             for rb in tenant_bid.rack_bids() {
@@ -154,17 +185,30 @@ impl Operator {
                 });
             }
         }
-        let requesting: Vec<RackId> = rack_bids.iter().map(RackBid::rack).collect();
+    }
+
+    /// Predicts this slot's spot capacity from `meter` for the racks in
+    /// `requesting` (which count at their full guarantee), applying the
+    /// configured [`StalenessPolicy`] and emitting the degradation and
+    /// prediction telemetry events.
+    #[must_use]
+    pub fn predict_spot(
+        &self,
+        slot: Slot,
+        requesting: &[RackId],
+        meter: &PowerMeter,
+    ) -> (PredictedSpot, Option<DegradedInfo>) {
         let (predicted, degraded) = match self.staleness {
             None => (
-                self.predictor.predict(&self.topology, meter, requesting),
+                self.predictor
+                    .predict(&self.topology, meter, requesting.iter().copied()),
                 None,
             ),
             Some(policy) => {
                 let d = self.predictor.predict_with_staleness(
                     &self.topology,
                     meter,
-                    requesting,
+                    requesting.iter().copied(),
                     slot,
                     policy,
                 );
@@ -198,15 +242,18 @@ impl Operator {
                 pdus: predicted.pdu.len() as u64,
             });
         }
-        let constraints = ConstraintSet::new(&self.topology, predicted.pdu.clone(), predicted.ups);
-        let outcome = self.clearing.clear(slot, &rack_bids, &constraints);
-        SlotRound {
-            predicted,
-            constraints,
-            outcome,
-            rejected,
-            degraded,
-        }
+        (predicted, degraded)
+    }
+
+    /// Clears the market over admitted `rack_bids` under `constraints`.
+    #[must_use]
+    pub fn clear(
+        &self,
+        slot: Slot,
+        rack_bids: &[RackBid],
+        constraints: &ConstraintSet,
+    ) -> MarketOutcome {
+        self.clearing.clear(slot, rack_bids, constraints)
     }
 }
 

@@ -13,6 +13,14 @@
 //! [`CommsModel`] injects those losses deterministically (seeded
 //! xorshift, no external RNG dependency) and [`ProtocolEvent`] records
 //! them for the evaluation.
+//!
+//! Bid losses draw from a sequential stream (one draw per submitted
+//! bid, in submission order). Broadcast losses are keyed: each verdict
+//! is a pure function of `(seed, slot, tenant)`, so the survivor set is
+//! independent of tenant iteration order and of how many sub-markets
+//! deliver the same slot's broadcasts — the per-PDU clearing ablation
+//! gives every sub-market the same verdict for a tenant, and parallel
+//! harnesses cannot perturb the schedule.
 
 use serde::{Deserialize, Serialize};
 use spotdc_units::{Slot, TenantId};
@@ -60,7 +68,11 @@ pub struct CommsModel {
     bid_loss: u64,
     /// Probability a price broadcast is lost, in parts per 2⁶⁴.
     broadcast_loss: u64,
+    /// Sequential bid-loss stream state (xorshift64*).
     state: u64,
+    /// Construction seed, kept verbatim as the key base for the pure
+    /// per-`(slot, tenant)` broadcast draws.
+    seed: u64,
 }
 
 impl CommsModel {
@@ -88,6 +100,7 @@ impl CommsModel {
             bid_loss: to_fixed(bid_loss),
             broadcast_loss: to_fixed(broadcast_loss),
             state: seed | 1, // xorshift state must be non-zero
+            seed,
         }
     }
 
@@ -113,10 +126,27 @@ impl CommsModel {
         threshold == 0 || self.next() >= threshold
     }
 
-    /// Draws whether one price broadcast survives the channel.
-    pub fn broadcast_survives(&mut self) -> bool {
+    /// Whether the price broadcast to `tenant` at `slot` survives the
+    /// channel. A pure function of `(seed, slot, tenant)` (splitmix64
+    /// finalizer over the mixed key), so the verdict is stable however
+    /// many times — and in whatever order — a slot's broadcasts are
+    /// delivered.
+    #[must_use]
+    pub fn broadcast_survives_for(&self, slot: Slot, tenant: TenantId) -> bool {
         let threshold = self.broadcast_loss;
-        threshold == 0 || self.next() >= threshold
+        if threshold == 0 {
+            return true;
+        }
+        let mut x = self
+            .seed
+            .wrapping_add(slot.index().wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((tenant.index() as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        x >= threshold
     }
 
     /// Filters a slot's bid submissions through the channel in place,
@@ -143,8 +173,12 @@ impl CommsModel {
     /// Applies broadcast losses to a cleared allocation: for each
     /// tenant whose broadcast is lost, every one of its racks' grants
     /// is revoked (the no-spot fallback). Returns the loss events.
+    ///
+    /// Verdicts come from [`Self::broadcast_survives_for`], so the same
+    /// seed yields the same survivor set for a slot regardless of the
+    /// order (or multiplicity) in which tenants are presented.
     pub fn deliver_broadcasts(
-        &mut self,
+        &self,
         topology: &PowerTopology,
         allocation: &mut SpotAllocation,
         tenants: impl IntoIterator<Item = TenantId>,
@@ -152,7 +186,7 @@ impl CommsModel {
         let slot = allocation.slot();
         let mut events = Vec::new();
         for tenant in tenants {
-            if !self.broadcast_survives() {
+            if !self.broadcast_survives_for(slot, tenant) {
                 for &rack in topology.racks_of_tenant(tenant) {
                     allocation.revoke(rack);
                 }
@@ -245,13 +279,110 @@ mod tests {
             .into_iter()
             .collect(),
         );
-        let mut ch = CommsModel::new(0.0, 1.0, 3); // all broadcasts lost
+        let ch = CommsModel::new(0.0, 1.0, 3); // all broadcasts lost
         let events = ch.deliver_broadcasts(&topo, &mut alloc, [TenantId::new(0)]);
         assert_eq!(events.len(), 1);
         assert_eq!(alloc.grant(RackId::new(0)), Watts::ZERO);
         assert_eq!(alloc.grant(RackId::new(1)), Watts::ZERO);
         // Tenant 1 untouched (its broadcast wasn't in the lost set).
         assert_eq!(alloc.grant(RackId::new(2)), Watts::new(30.0));
+    }
+
+    /// Builds a one-rack-per-tenant topology plus a full allocation for
+    /// the broadcast-determinism tests.
+    fn broadcast_fixture(tenants: usize, slot: Slot) -> (PowerTopology, SpotAllocation) {
+        let mut b = TopologyBuilder::new(Watts::new(100.0 * tenants as f64))
+            .pdu(Watts::new(100.0 * tenants as f64));
+        for i in 0..tenants {
+            b = b.rack(TenantId::new(i), Watts::new(50.0), Watts::new(25.0));
+        }
+        let topo = b.build().unwrap();
+        let alloc = SpotAllocation::new(
+            slot,
+            Price::per_kw_hour(0.2),
+            (0..tenants)
+                .map(|i| (RackId::new(i), Watts::new(10.0)))
+                .collect(),
+        );
+        (topo, alloc)
+    }
+
+    /// Same seed ⇒ same survivor set, regardless of the order tenants
+    /// are walked in — the property the per-PDU ablation and any
+    /// parallel delivery schedule rely on.
+    #[test]
+    fn broadcast_survivors_are_order_independent() {
+        const TENANTS: usize = 16;
+        let ch = CommsModel::new(0.0, 0.5, 0xfeed);
+        let survivors = |order: Vec<TenantId>, slot: Slot| -> Vec<f64> {
+            let (topo, mut alloc) = broadcast_fixture(TENANTS, slot);
+            ch.deliver_broadcasts(&topo, &mut alloc, order);
+            (0..TENANTS)
+                .map(|i| alloc.grant(RackId::new(i)).value())
+                .collect()
+        };
+        let mut any_lost = false;
+        let mut any_kept = false;
+        for s in 0..8 {
+            let slot = Slot::new(s);
+            let forward: Vec<TenantId> = (0..TENANTS).map(TenantId::new).collect();
+            let reverse: Vec<TenantId> = (0..TENANTS).rev().map(TenantId::new).collect();
+            // An interleaved walk with duplicates — the per-PDU clearing
+            // path presents every bidder once per sub-market.
+            let doubled: Vec<TenantId> = forward.iter().chain(reverse.iter()).copied().collect();
+            let a = survivors(forward, slot);
+            let b = survivors(reverse, slot);
+            let c = survivors(doubled, slot);
+            assert_eq!(a, b, "survivor set depends on iteration order at {slot}");
+            assert_eq!(
+                a, c,
+                "survivor set depends on delivery multiplicity at {slot}"
+            );
+            any_lost |= a.contains(&0.0);
+            any_kept |= a.iter().any(|&g| g > 0.0);
+        }
+        assert!(
+            any_lost && any_kept,
+            "p = 0.5 should mix losses and survivals"
+        );
+    }
+
+    /// Delivering the same slot twice revokes the same tenants again —
+    /// a second pass is a no-op on the allocation.
+    #[test]
+    fn broadcast_delivery_is_idempotent() {
+        let ch = CommsModel::new(0.0, 0.4, 17);
+        let (topo, mut alloc) = broadcast_fixture(12, Slot::new(5));
+        let tenants: Vec<TenantId> = (0..12).map(TenantId::new).collect();
+        let first = ch.deliver_broadcasts(&topo, &mut alloc, tenants.iter().copied());
+        let after_first: Vec<f64> = (0..12)
+            .map(|i| alloc.grant(RackId::new(i)).value())
+            .collect();
+        let second = ch.deliver_broadcasts(&topo, &mut alloc, tenants);
+        let after_second: Vec<f64> = (0..12)
+            .map(|i| alloc.grant(RackId::new(i)).value())
+            .collect();
+        assert_eq!(first, second, "verdicts must be stable across deliveries");
+        assert_eq!(after_first, after_second);
+    }
+
+    /// The keyed draws still hit the configured loss rate across slots
+    /// and tenants.
+    #[test]
+    fn broadcast_loss_rate_statistically_matches() {
+        let ch = CommsModel::new(0.0, 0.3, 424_242);
+        let mut losses = 0usize;
+        let mut n = 0usize;
+        for slot in 0..1000 {
+            for tenant in 0..100 {
+                n += 1;
+                if !ch.broadcast_survives_for(Slot::new(slot), TenantId::new(tenant)) {
+                    losses += 1;
+                }
+            }
+        }
+        let rate = losses as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
     }
 
     #[test]

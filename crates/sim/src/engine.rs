@@ -1,21 +1,26 @@
-//! The time-slotted simulation loop.
+//! The time-slotted simulation driver.
 //!
-//! One iteration per slot, mirroring Algorithm 1 and Fig. 6 of the
-//! paper:
+//! [`Simulation::run`] owns the clock: each slot it steps the staged
+//! pipeline its mode composed (see [`crate::pipeline`]), mirroring
+//! Algorithm 1 and Fig. 6 of the paper:
 //!
-//! 1. tenants observe their load traces;
-//! 2. (SpotDC) they submit bids over a lossy channel, the operator
-//!    predicts spot capacity from *last* slot's meter readings, clears
-//!    the market and broadcasts the price — lost broadcasts revoke the
-//!    affected grants;
-//! 3. (MaxPerf) the omniscient allocator water-fills tenants' gain
-//!    curves under the same constraints;
-//! 4. grants are programmed into the intelligent rack PDUs, tenants run
-//!    under their budgets, the meter records every rack's draw, and the
-//!    emergency log checks each capacity boundary.
+//! 1. **Sense** — tenants observe their load traces, rack PDUs reset;
+//! 2. **CollectBids** (SpotDC) / **CollectGains** (MaxPerf) — bids
+//!    travel a lossy channel with late-bid rollover, or gain envelopes
+//!    are gathered;
+//! 3. **Predict** — spot capacity is forecast from *last* slot's meter
+//!    readings (Eqns. 1–4), under the staleness policy if armed;
+//! 4. **Clear** — uniform-price clearing, the per-PDU localized
+//!    ablation, or MaxPerf's omniscient water-filling; lost broadcasts
+//!    revoke the affected grants;
+//! 5. **Enforce** — the cap controller sheds spot before guaranteed
+//!    capacity when overloads were observed;
+//! 6. **Settle** — tenants run under their budgets, the meter records
+//!    every rack's draw, emergencies and accounting settle, the slot
+//!    record is emitted.
 //!
-//! The loop distinguishes **physical** power (what racks actually draw,
-//! which feeds the emergency log and the per-slot records) from
+//! The pipeline distinguishes **physical** power (what racks actually
+//! draw, which feeds the emergency log and the per-slot records) from
 //! **observed** power (what the meter reports, which feeds prediction
 //! and clearing). With fault injection off the two are identical, down
 //! to the float-accumulation order; a [`FaultConfig`] lets them
@@ -25,22 +30,17 @@
 //! post-clearing invariant checker) can be exercised deterministically.
 //!
 //! [`StalenessPolicy`]: spotdc_core::StalenessPolicy
+//! [`CapController`]: spotdc_power::CapController
 
-use std::collections::BTreeMap;
-
-use spotdc_core::{
-    check_allocation, max_perf_allocate, CommsModel, ConcaveGain, ConstraintSet, MarketClearing,
-    MarketInvariant, Operator, OperatorConfig,
-};
-use spotdc_faults::{FaultConfig, FaultPlan, MeterFault};
-use spotdc_power::{
-    CapConfig, CapController, EmergencyEvent, EmergencyLog, PowerMeter, RackPduBank,
-};
-use spotdc_units::{RackId, Slot, TenantId, Watts};
+use spotdc_faults::FaultConfig;
+use spotdc_power::CapConfig;
+use spotdc_units::Slot;
 
 use crate::baselines::Mode;
-use crate::metrics::{SimReport, SlotRecord, TenantSlotMetrics};
+use crate::metrics::SimReport;
+use crate::pipeline::{self, SimState, SlotContext};
 use crate::scenario::Scenario;
+use spotdc_core::OperatorConfig;
 
 /// Configuration for one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,6 +80,53 @@ pub struct EngineConfig {
     pub validate: bool,
 }
 
+/// Why an [`EngineConfig`] (or a run request) was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// A probability field is NaN, negative, or above one.
+    InvalidRate {
+        /// Which field was out of range.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A magnitude field is NaN, infinite, or negative.
+    InvalidMagnitude {
+        /// Which field was out of range.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A market-only setting was enabled in a mode with no market.
+    MarketOnlySetting {
+        /// Which setting requires a market.
+        setting: &'static str,
+        /// The marketless mode it was combined with.
+        mode: Mode,
+    },
+    /// A simulation was asked to run for zero slots.
+    ZeroHorizon,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidRate { field, value } => {
+                write!(f, "{field} must be a probability in [0, 1], got {value}")
+            }
+            ConfigError::InvalidMagnitude { field, value } => {
+                write!(f, "{field} must be finite and non-negative, got {value}")
+            }
+            ConfigError::MarketOnlySetting { setting, mode } => {
+                write!(f, "{setting} requires a market mode, but mode is {mode}")
+            }
+            ConfigError::ZeroHorizon => write!(f, "simulation horizon must be at least one slot"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl EngineConfig {
     /// Default configuration for the given mode: paper-default market
     /// settings, lossless communications, no price oracle.
@@ -98,75 +145,66 @@ impl EngineConfig {
             validate: cfg!(debug_assertions),
         }
     }
-}
 
-/// Records `draw` into the meter, applying any scheduled meter fault:
-/// a dropout skips the sample (detectable staleness), a freeze
-/// re-records the last value as if fresh (undetectable), noise scales
-/// the sample. Returns `true` when a fault fired.
-fn record_observed(
-    meter: &mut PowerMeter,
-    plan: &FaultPlan,
-    active: bool,
-    slot: Slot,
-    rack: RackId,
-    draw: Watts,
-) -> bool {
-    if !active {
-        meter.record(slot, rack, draw);
-        return false;
-    }
-    let Some(fault) = plan.meter_fault(slot, rack) else {
-        meter.record(slot, rack, draw);
-        return false;
-    };
-    if spotdc_telemetry::is_enabled() {
-        spotdc_telemetry::registry().inc_counter("spotdc_faults_injected_total", 1);
-        spotdc_telemetry::emit(spotdc_telemetry::Event::FaultInjected {
-            slot,
-            at: spotdc_units::MonotonicNanos::now(),
-            kind: fault.kind().to_owned(),
-            target: rack.to_string(),
-        });
-    }
-    match fault {
-        MeterFault::Dropout => {}
-        MeterFault::Freeze => {
-            if let Some(prev) = meter.latest(rack) {
-                meter.record(slot, rack, prev.power);
+    /// Checks the configuration for values that would silently corrupt
+    /// a run: NaN/out-of-range probabilities, negative magnitudes, and
+    /// market-only settings combined with a marketless mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let rates = [
+            ("bid_loss", self.bid_loss),
+            ("broadcast_loss", self.broadcast_loss),
+            ("faults.meter_dropout", self.faults.meter_dropout),
+            ("faults.meter_freeze", self.faults.meter_freeze),
+            ("faults.meter_noise", self.faults.meter_noise),
+            ("faults.bid_loss", self.faults.bid_loss),
+            ("faults.bid_delay", self.faults.bid_delay),
+            ("faults.prediction_delay", self.faults.prediction_delay),
+        ];
+        for (field, value) in rates {
+            // NaN fails the range check too: all comparisons are false.
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ConfigError::InvalidRate { field, value });
             }
         }
-        MeterFault::Noise { relative } => {
-            meter.record(slot, rack, draw * (1.0 + relative));
-        }
-    }
-    true
-}
-
-/// Counts and reports post-clearing invariant violations. Every
-/// violation is a bug somewhere upstream — clearing, degradation or
-/// capping — so debug builds abort on the spot.
-fn note_violations(slot: Slot, violations: &[MarketInvariant], count: &mut usize) {
-    if violations.is_empty() {
-        return;
-    }
-    *count += violations.len();
-    crate::validate::record_violations(violations.len());
-    if spotdc_telemetry::is_enabled() {
-        spotdc_telemetry::registry()
-            .inc_counter("spotdc_invariant_violations_total", violations.len() as u64);
-        for v in violations {
-            spotdc_telemetry::emit(spotdc_telemetry::Event::InvariantViolated {
-                slot,
-                at: spotdc_units::MonotonicNanos::now(),
-                violation: v.to_string(),
+        let magnitude = self.faults.noise_magnitude;
+        if !magnitude.is_finite() || magnitude < 0.0 {
+            return Err(ConfigError::InvalidMagnitude {
+                field: "faults.noise_magnitude",
+                value: magnitude,
             });
         }
+        if self.cap.enabled {
+            for (field, value) in [
+                ("cap.margin", self.cap.margin),
+                ("cap.release", self.cap.release),
+            ] {
+                if !(0.0..1.0).contains(&value) {
+                    return Err(ConfigError::InvalidRate { field, value });
+                }
+            }
+        }
+        if !self.mode.has_market() {
+            let market_only = [
+                ("price_oracle", self.price_oracle),
+                ("per_pdu_pricing", self.per_pdu_pricing),
+                ("bid_loss", self.bid_loss > 0.0),
+                ("broadcast_loss", self.broadcast_loss > 0.0),
+            ];
+            for (setting, set) in market_only {
+                if set {
+                    return Err(ConfigError::MarketOnlySetting {
+                        setting,
+                        mode: self.mode,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
-    debug_assert!(
-        violations.is_empty(),
-        "market invariants violated at {slot}: {violations:?}"
-    );
 }
 
 /// A runnable simulation: a scenario plus an engine configuration.
@@ -183,7 +221,37 @@ impl Simulation {
         Simulation { scenario, config }
     }
 
+    /// Creates a simulation, rejecting invalid configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] in `config`.
+    pub fn try_new(scenario: Scenario, config: EngineConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Simulation { scenario, config })
+    }
+
+    /// Runs `slots` slots after validating the configuration and the
+    /// horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for an invalid configuration or a
+    /// zero-length horizon.
+    pub fn try_run(self, slots: u64) -> Result<SimReport, ConfigError> {
+        self.config.validate()?;
+        if slots == 0 {
+            return Err(ConfigError::ZeroHorizon);
+        }
+        Ok(self.run(slots))
+    }
+
     /// Runs `slots` slots and returns the full report.
+    ///
+    /// The driver owns the clock and nothing else: it builds the
+    /// cross-slot [`SimState`] (including the slot-0 meter warm-up),
+    /// asks the mode for its stage composition, and steps the stages
+    /// once per slot. All market behaviour lives in the stages.
     #[must_use]
     pub fn run(self, slots: u64) -> SimReport {
         let Simulation { scenario, config } = self;
@@ -191,459 +259,21 @@ impl Simulation {
             spotdc_telemetry::install_if_uninstalled(config.telemetry);
         }
         let n = slots as usize;
-        // Memoized: every mode of this scenario shares one generated
-        // trace set instead of regenerating it per run.
-        let traces = scenario.traces(n);
-        let loads = &traces.loads;
-        let other_traces = &traces.others;
-        let topology = scenario.topology.clone();
-        let operator = Operator::new(topology.clone(), config.operator);
-        let mut meter =
-            PowerMeter::new(&topology, 4).expect("engine meter history length is positive");
-        let mut bank = RackPduBank::new(&topology);
-        let mut emergencies = EmergencyLog::new(&topology);
-        let plan = FaultPlan::new(config.faults);
-        let faults_active = plan.any();
-        let track_prev_meter = faults_active && config.faults.prediction_delay > 0.0;
-        let mut prev_meter: Option<PowerMeter> = None;
-        let mut cap = config
-            .cap
-            .enabled
-            .then(|| CapController::new(&topology, config.cap));
-        let validate = config.validate || crate::validate::forced();
-        let guaranteed: Vec<Watts> = topology.racks().map(|r| r.guaranteed()).collect();
-        let rack_pdu: Vec<usize> = topology.racks().map(|r| r.pdu().index()).collect();
-        let mut faults_injected = 0usize;
-        let mut degraded_slots = 0usize;
-        let mut invariant_violations = 0usize;
-        let mut comms = CommsModel::new(
-            config.bid_loss,
-            config.broadcast_loss,
-            scenario.seed ^ 0x00c0_b1d5,
-        );
-        let mut agents = scenario.agents.clone();
-        let slot_hours = scenario.slot.hours();
-
-        // Warm the meter with slot-0 loads under reserved budgets so the
-        // first prediction has references to work from. Warm-up is
-        // initialization, not operation: it is never faulted.
-        let mut true_draw: Vec<Watts> = vec![Watts::ZERO; topology.rack_count()];
-        for (i, agent) in agents.iter_mut().enumerate() {
-            agent.observe(loads[i].first().copied().unwrap_or(0.0));
-            let out = agent.run_slot(agent.reserved());
-            meter.record(Slot::ZERO, agent.rack(), out.draw);
-            true_draw[agent.rack().index()] = out.draw.clamp_non_negative();
-        }
-        for (j, other) in scenario.others.iter().enumerate() {
-            let draw = other_traces[j].first().copied().unwrap_or(Watts::ZERO);
-            let draw = draw.min(other.subscription);
-            meter.record(Slot::ZERO, other.rack, draw);
-            true_draw[other.rack.index()] = draw.clamp_non_negative();
-        }
-        // Per-PDU non-spot ("base") load of the previous slot — what the
-        // cap controller budgets spot against.
-        let mut prev_base_pdu: Vec<Watts> = vec![Watts::ZERO; topology.pdu_count()];
-        for (i, &d) in true_draw.iter().enumerate() {
-            prev_base_pdu[rack_pdu[i]] += d.min(guaranteed[i]);
-        }
-        let mut last_emergencies: Vec<EmergencyEvent> = Vec::new();
-
-        let mut records = Vec::with_capacity(n);
-        // Running mean of |predicted spot − realized headroom|, exported
-        // as a gauge so operators can see how conservative the predictor
-        // is over a run.
-        let mut prediction_error_sum = 0.0;
-        let mut prediction_error_count = 0u64;
-
-        // Scratch buffers hoisted out of the slot loop so the steady
-        // state allocates nothing per slot. Payments are a flat vector
-        // over the dense rack index space instead of a fresh BTreeMap
-        // per slot.
-        let mut payments: Vec<f64> = vec![0.0; topology.rack_count()];
-        let mut bids: Vec<spotdc_core::TenantBid> = Vec::with_capacity(agents.len());
-        let mut bidders: Vec<TenantId> = Vec::with_capacity(agents.len());
-        let mut rack_bids: Vec<spotdc_core::RackBid> = Vec::new();
-        let mut requesting: Vec<RackId> = Vec::new();
-        let mut gains: BTreeMap<RackId, ConcaveGain> = BTreeMap::new();
-        let mut wanting: Vec<RackId> = Vec::new();
-        let mut late_bids: Vec<spotdc_core::TenantBid> = Vec::new();
-        let per_pdu_clearing = MarketClearing::new(config.operator.clearing);
+        let mut state = SimState::new(&scenario, &config, n);
+        let mut ctx = SlotContext::new(state.topology.rack_count(), state.agents.len());
+        let mut stages = pipeline::build(&config);
 
         for t in 0..n {
             let slot = Slot::new(t as u64);
             let _slot_span = spotdc_telemetry::span!("engine.slot", slot = slot);
-            for (i, agent) in agents.iter_mut().enumerate() {
-                agent.observe(loads[i][t]);
+            ctx.begin(slot, t);
+            for stage in stages.iter_mut() {
+                let _stage_span = spotdc_telemetry::span!(stage.name());
+                stage.run(&mut state, &mut ctx);
             }
-            bank.reset_all(slot);
-
-            let mut price = None;
-            let mut spot_sold = 0.0;
-            let mut spot_available = 0.0;
-            let mut slot_degraded = false;
-            payments.fill(0.0);
-
-            // Delayed prediction input: the operator sees the meter as
-            // it stood at the end of the previous slot.
-            let delayed = faults_active && plan.prediction_delayed(slot);
-            if delayed {
-                faults_injected += 1;
-                if spotdc_telemetry::is_enabled() {
-                    spotdc_telemetry::registry().inc_counter("spotdc_faults_injected_total", 1);
-                    spotdc_telemetry::emit(spotdc_telemetry::Event::FaultInjected {
-                        slot,
-                        at: spotdc_units::MonotonicNanos::now(),
-                        kind: "prediction-delay".to_owned(),
-                        target: "operator".to_owned(),
-                    });
-                }
-            }
-            let market_meter: &PowerMeter = match (&prev_meter, delayed) {
-                (Some(prev), true) => prev,
-                _ => &meter,
-            };
-
-            match config.mode {
-                Mode::PowerCapped => {}
-                Mode::SpotDc => {
-                    bids.clear();
-                    bids.extend(agents.iter_mut().filter_map(|a| a.make_bid()));
-                    if config.price_oracle {
-                        let pre = operator.run_slot(slot, &bids, &meter);
-                        let oracle =
-                            (pre.outcome.sold() > Watts::ZERO).then(|| pre.outcome.price());
-                        for a in agents.iter_mut() {
-                            a.predict_price(oracle);
-                        }
-                        bids.clear();
-                        bids.extend(agents.iter_mut().filter_map(|a| a.make_bid()));
-                    }
-                    if faults_active {
-                        // Late bids from the previous slot arrive now —
-                        // unless the tenant already submitted a fresh
-                        // one, which supersedes the stale copy.
-                        for b in late_bids.drain(..) {
-                            if !bids.iter().any(|x| x.tenant() == b.tenant()) {
-                                bids.push(b);
-                            }
-                        }
-                        let mut i = 0;
-                        while i < bids.len() {
-                            match plan.bid_fault(slot, bids[i].tenant()) {
-                                None => i += 1,
-                                Some(fault) => {
-                                    faults_injected += 1;
-                                    if spotdc_telemetry::is_enabled() {
-                                        spotdc_telemetry::registry()
-                                            .inc_counter("spotdc_faults_injected_total", 1);
-                                        spotdc_telemetry::emit(
-                                            spotdc_telemetry::Event::FaultInjected {
-                                                slot,
-                                                at: spotdc_units::MonotonicNanos::now(),
-                                                kind: fault.kind().to_owned(),
-                                                target: bids[i].tenant().to_string(),
-                                            },
-                                        );
-                                    }
-                                    let bid = bids.remove(i);
-                                    if fault == spotdc_faults::BidFault::Late {
-                                        late_bids.push(bid);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    let _lost_bids = comms.deliver_bids(slot, &mut bids);
-                    bidders.clear();
-                    bidders.extend(bids.iter().map(|b| b.tenant()));
-                    if config.per_pdu_pricing {
-                        // Localized-price ablation: clear each PDU's
-                        // sub-market independently.
-                        rack_bids.clear();
-                        rack_bids.extend(bids.iter().flat_map(|b| b.rack_bids().iter().cloned()));
-                        requesting.clear();
-                        requesting.extend(rack_bids.iter().map(|rb| rb.rack()));
-                        let predicted = match config.operator.staleness {
-                            None => operator.predictor().predict(
-                                &topology,
-                                market_meter,
-                                requesting.iter().copied(),
-                            ),
-                            Some(policy) => {
-                                let d = operator.predictor().predict_with_staleness(
-                                    &topology,
-                                    market_meter,
-                                    requesting.iter().copied(),
-                                    slot,
-                                    policy,
-                                );
-                                slot_degraded |= d.is_degraded();
-                                d.spot
-                            }
-                        };
-                        spot_available = predicted.total_pdu().min(predicted.ups).value();
-                        let constraints =
-                            ConstraintSet::new(&topology, predicted.pdu.clone(), predicted.ups);
-                        let mut revenue_weighted_price = 0.0;
-                        let mut combined: BTreeMap<RackId, Watts> = BTreeMap::new();
-                        for outcome in
-                            per_pdu_clearing.clear_per_pdu(slot, &rack_bids, &constraints)
-                        {
-                            let mut alloc = outcome.into_allocation();
-                            comms.deliver_broadcasts(
-                                &topology,
-                                &mut alloc,
-                                bidders.iter().copied(),
-                            );
-                            if validate {
-                                note_violations(
-                                    slot,
-                                    &check_allocation(&constraints, &alloc, &rack_bids, true),
-                                    &mut invariant_violations,
-                                );
-                                for (rack, grant) in alloc.iter() {
-                                    combined.insert(rack, grant);
-                                }
-                            }
-                            for (rack, grant) in alloc.iter() {
-                                if grant > Watts::ZERO {
-                                    bank.grant_spot(slot, rack, grant)
-                                        .expect("cleared grants respect rack headroom");
-                                    payments[rack.index()] =
-                                        alloc.payment_for(rack, scenario.slot).usd();
-                                }
-                            }
-                            let sold = alloc.total().value();
-                            spot_sold += sold;
-                            revenue_weighted_price += alloc.price().per_kw_hour_value() * sold;
-                        }
-                        if validate {
-                            // The sub-markets share the UPS spot; the
-                            // combined grant set must still fit it.
-                            if let Err(v) = constraints.check(&combined) {
-                                note_violations(
-                                    slot,
-                                    &[MarketInvariant::Capacity(v)],
-                                    &mut invariant_violations,
-                                );
-                            }
-                        }
-                        if spot_sold > 0.0 {
-                            price = Some(revenue_weighted_price / spot_sold);
-                        }
-                    } else {
-                        let round = operator.run_slot(slot, &bids, market_meter);
-                        slot_degraded |= round.degraded.is_some();
-                        spot_available =
-                            round.predicted.total_pdu().min(round.predicted.ups).value();
-                        let mut alloc = round.outcome.into_allocation();
-                        comms.deliver_broadcasts(&topology, &mut alloc, bidders.iter().copied());
-                        if validate {
-                            rack_bids.clear();
-                            rack_bids
-                                .extend(bids.iter().flat_map(|b| b.rack_bids().iter().cloned()));
-                            note_violations(
-                                slot,
-                                &check_allocation(&round.constraints, &alloc, &rack_bids, true),
-                                &mut invariant_violations,
-                            );
-                        }
-                        for (rack, grant) in alloc.iter() {
-                            if grant > Watts::ZERO {
-                                bank.grant_spot(slot, rack, grant)
-                                    .expect("cleared grants respect rack headroom");
-                                payments[rack.index()] =
-                                    alloc.payment_for(rack, scenario.slot).usd();
-                            }
-                        }
-                        spot_sold = alloc.total().value();
-                        if spot_sold > 0.0 {
-                            price = Some(alloc.price().per_kw_hour_value());
-                        }
-                    }
-                }
-                Mode::MaxPerf => {
-                    gains.clear();
-                    wanting.clear();
-                    for agent in agents.iter_mut() {
-                        if agent.wants_spot() {
-                            let env = agent.gain_curve().concave_envelope();
-                            if let Ok(gain) = ConcaveGain::from_points(env.points()) {
-                                wanting.push(agent.rack());
-                                gains.insert(agent.rack(), gain);
-                            }
-                        }
-                    }
-                    let predicted = operator.predictor().predict(
-                        &topology,
-                        market_meter,
-                        wanting.iter().copied(),
-                    );
-                    spot_available = predicted.total_pdu().min(predicted.ups).value();
-                    let constraints =
-                        ConstraintSet::new(&topology, predicted.pdu.clone(), predicted.ups);
-                    let grants = max_perf_allocate(&gains, &constraints);
-                    if validate {
-                        if let Err(v) = constraints.check(&grants) {
-                            note_violations(
-                                slot,
-                                &[MarketInvariant::Capacity(v)],
-                                &mut invariant_violations,
-                            );
-                        }
-                    }
-                    for (&rack, &grant) in &grants {
-                        if grant > Watts::ZERO {
-                            bank.grant_spot(slot, rack, grant)
-                                .expect("maxperf grants respect rack headroom");
-                            spot_sold += grant.value();
-                        }
-                    }
-                }
-            }
-
-            // Graceful degradation: when overloads were observed last
-            // slot, the cap controller sheds spot first (guaranteed
-            // capacity is only capped while a held level's base load
-            // alone exceeds its capacity), with hysteresis on release.
-            if let Some(cap) = cap.as_mut() {
-                cap.note_emergencies(slot, &last_emergencies);
-                let outcome = cap.enforce(slot, &prev_base_pdu, &mut bank);
-                for trim in &outcome.trims {
-                    spot_sold -= (trim.old_spot - trim.new_spot).value();
-                    let i = trim.rack.index();
-                    if trim.old_spot > Watts::ZERO {
-                        payments[i] *= trim.new_spot.value() / trim.old_spot.value();
-                    }
-                }
-                if !outcome.is_noop() {
-                    slot_degraded = true;
-                }
-            }
-
-            // Tenants execute under their budgets; the meter records the
-            // *observed* draw (subject to meter faults) while `true_draw`
-            // keeps the physical one.
-            let mut tenant_metrics = Vec::with_capacity(agents.len());
-            for agent in agents.iter_mut() {
-                let budget = bank.budget(agent.rack());
-                let out = agent.run_slot(budget);
-                if record_observed(
-                    &mut meter,
-                    &plan,
-                    faults_active,
-                    slot,
-                    agent.rack(),
-                    out.draw,
-                ) {
-                    faults_injected += 1;
-                }
-                true_draw[agent.rack().index()] = out.draw.clamp_non_negative();
-                let (perf_index, slo_met) = match out.performance {
-                    spotdc_tenants::Performance::Latency { slo_met, .. } => {
-                        (out.performance.index(), Some(slo_met))
-                    }
-                    spotdc_tenants::Performance::Throughput { .. } => {
-                        (out.performance.index(), None)
-                    }
-                };
-                tenant_metrics.push(TenantSlotMetrics {
-                    wanted: agent.wants_spot(),
-                    grant: bank.spot_grant(agent.rack()).value(),
-                    draw: out.draw.value(),
-                    perf_index,
-                    slo_met,
-                    cost_rate: out.cost_rate,
-                    payment: payments[agent.rack().index()],
-                });
-            }
-            for (j, other) in scenario.others.iter().enumerate() {
-                let draw = other_traces[j][t].min(other.subscription);
-                if record_observed(&mut meter, &plan, faults_active, slot, other.rack, draw) {
-                    faults_injected += 1;
-                }
-                true_draw[other.rack.index()] = draw.clamp_non_negative();
-            }
-
-            // Emergencies and the per-slot record reflect *physical*
-            // power. With faults off the meter holds exactly the true
-            // draws, so reading it back preserves the historical
-            // accumulation order bit for bit.
-            let (pdu_power, ups_power) = if faults_active {
-                let mut per_pdu = vec![Watts::ZERO; topology.pdu_count()];
-                let mut total = Watts::ZERO;
-                for (i, &d) in true_draw.iter().enumerate() {
-                    per_pdu[rack_pdu[i]] += d;
-                    total += d;
-                }
-                (per_pdu, total)
-            } else {
-                (meter.pdu_powers(), meter.ups_power())
-            };
-            let found = emergencies.observe(slot, &pdu_power);
-            if slot_degraded {
-                degraded_slots += 1;
-            }
-            if spotdc_telemetry::is_enabled() && spot_available > 0.0 {
-                // The predictor forecast `spot_available` from last
-                // slot's meter readings; compare against the headroom
-                // actually realized this slot (unused UPS capacity plus
-                // the spot capacity that was sold and consumed).
-                let realized = (topology.ups_capacity() - ups_power).value() + spot_sold;
-                prediction_error_sum += (spot_available - realized).abs();
-                prediction_error_count += 1;
-                spotdc_telemetry::registry().set_gauge(
-                    "spotdc_prediction_error_watts",
-                    prediction_error_sum / prediction_error_count as f64,
-                );
-            }
-            records.push(SlotRecord {
-                slot: t as u64,
-                price,
-                spot_available,
-                spot_sold,
-                ups_power: ups_power.value(),
-                pdu_power: pdu_power.iter().map(|w| w.value()).collect(),
-                tenants: tenant_metrics,
-            });
-            // Roll slot state forward for next slot's degradation paths.
-            last_emergencies = found;
-            if cap.is_some() {
-                prev_base_pdu.iter_mut().for_each(|w| *w = Watts::ZERO);
-                for (i, &d) in true_draw.iter().enumerate() {
-                    prev_base_pdu[rack_pdu[i]] += d.min(guaranteed[i]);
-                }
-            }
-            if track_prev_meter {
-                prev_meter = Some(meter.clone());
-            }
-            let _ = slot_hours; // payments already per-slot
         }
 
-        SimReport {
-            records,
-            slot: scenario.slot,
-            subscriptions: agents.iter().map(|a| a.reserved()).collect(),
-            headrooms: agents.iter().map(|a| a.headroom()).collect(),
-            total_subscribed: topology.total_leased(),
-            ups_capacity: topology.ups_capacity(),
-            // Overloads inside the ±5 % breaker-tolerance band are
-            // transient overshoots the hardware absorbs; only worse
-            // ones count as emergencies (Section III-C).
-            emergencies: emergencies
-                .events()
-                .iter()
-                .filter(|e| e.severity() > 0.05)
-                .count(),
-            transient_overshoots: emergencies
-                .events()
-                .iter()
-                .filter(|e| e.severity() <= 0.05)
-                .count(),
-            degraded_slots,
-            invariant_violations,
-            faults_injected,
-        }
+        state.into_report()
     }
 }
 
@@ -767,5 +397,128 @@ mod tests {
         )
         .run(300);
         assert!(lossy.avg_spot_sold() < clean.avg_spot_sold());
+    }
+
+    #[test]
+    fn default_configs_validate_in_every_mode() {
+        for mode in [Mode::PowerCapped, Mode::SpotDc, Mode::MaxPerf] {
+            EngineConfig::new(mode).validate().unwrap();
+        }
+        EngineConfig {
+            faults: FaultConfig::uniform(0.1, 7),
+            cap: CapConfig::paper_default(),
+            ..EngineConfig::new(Mode::SpotDc)
+        }
+        .validate()
+        .unwrap();
+    }
+
+    #[test]
+    fn nan_and_out_of_range_rates_are_rejected() {
+        let nan = EngineConfig {
+            faults: FaultConfig {
+                meter_noise: f64::NAN,
+                ..FaultConfig::disabled()
+            },
+            ..EngineConfig::new(Mode::SpotDc)
+        };
+        assert!(matches!(
+            nan.validate(),
+            Err(ConfigError::InvalidRate {
+                field: "faults.meter_noise",
+                ..
+            })
+        ));
+
+        let negative = EngineConfig {
+            bid_loss: -0.25,
+            ..EngineConfig::new(Mode::SpotDc)
+        };
+        assert!(matches!(
+            negative.validate(),
+            Err(ConfigError::InvalidRate {
+                field: "bid_loss",
+                value,
+            }) if value == -0.25
+        ));
+
+        let above_one = EngineConfig {
+            faults: FaultConfig {
+                prediction_delay: 1.5,
+                ..FaultConfig::disabled()
+            },
+            ..EngineConfig::new(Mode::SpotDc)
+        };
+        assert!(above_one.validate().is_err());
+
+        let bad_noise = EngineConfig {
+            faults: FaultConfig {
+                noise_magnitude: -1.0,
+                ..FaultConfig::disabled()
+            },
+            ..EngineConfig::new(Mode::SpotDc)
+        };
+        assert!(matches!(
+            bad_noise.validate(),
+            Err(ConfigError::InvalidMagnitude { .. })
+        ));
+    }
+
+    #[test]
+    fn market_settings_require_market_mode() {
+        let oracle = EngineConfig {
+            price_oracle: true,
+            ..EngineConfig::new(Mode::PowerCapped)
+        };
+        assert!(matches!(
+            oracle.validate(),
+            Err(ConfigError::MarketOnlySetting {
+                setting: "price_oracle",
+                mode: Mode::PowerCapped,
+            })
+        ));
+
+        let lossy_maxperf = EngineConfig {
+            broadcast_loss: 0.2,
+            ..EngineConfig::new(Mode::MaxPerf)
+        };
+        assert!(lossy_maxperf.validate().is_err());
+
+        // The same settings are fine with a market.
+        EngineConfig {
+            price_oracle: true,
+            broadcast_loss: 0.2,
+            ..EngineConfig::new(Mode::SpotDc)
+        }
+        .validate()
+        .unwrap();
+    }
+
+    #[test]
+    fn try_new_and_try_run_reject_bad_inputs() {
+        let bad = EngineConfig {
+            bid_loss: f64::NAN,
+            ..EngineConfig::new(Mode::SpotDc)
+        };
+        assert!(Simulation::try_new(Scenario::testbed(11), bad).is_err());
+
+        let sim = Simulation::try_new(Scenario::testbed(11), EngineConfig::new(Mode::SpotDc))
+            .expect("default config is valid");
+        assert_eq!(
+            sim.clone().try_run(0).unwrap_err(),
+            ConfigError::ZeroHorizon
+        );
+        let report = sim.try_run(50).expect("valid run succeeds");
+        assert_eq!(report.records.len(), 50);
+    }
+
+    #[test]
+    fn config_errors_render_the_offending_field() {
+        let err = ConfigError::InvalidRate {
+            field: "faults.bid_delay",
+            value: 2.0,
+        };
+        assert!(err.to_string().contains("faults.bid_delay"));
+        assert!(ConfigError::ZeroHorizon.to_string().contains("one slot"));
     }
 }

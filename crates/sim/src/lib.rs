@@ -6,11 +6,14 @@
 //! * [`scenario`] — the paper's Table I testbed (two PDUs, nine
 //!   tenants, 5 % oversubscription) and its hyper-scale replication to
 //!   1 000 tenants;
-//! * [`engine`] — the slot loop: traces → intensities → bids → comms →
-//!   prediction → clearing → rack-PDU actuation → tenant execution →
-//!   metering → emergency checks;
+//! * [`engine`] — the thin per-slot driver: it builds the pipeline its
+//!   mode composed and steps it once per slot;
+//! * [`pipeline`] — the staged slot pipeline (Sense → CollectBids →
+//!   Predict → Clear → Enforce → Settle) and the typed state threaded
+//!   through it;
 //! * [`baselines`] — the three operating modes compared throughout:
-//!   `PowerCapped` (status quo), `SpotDC`, and `MaxPerf`;
+//!   `PowerCapped` (status quo), `SpotDC`, and `MaxPerf` — each a
+//!   stage *composition*, not a branch in the loop;
 //! * [`accounting`] — dollars: reservation rates, energy billing,
 //!   amortized capex, operator profit;
 //! * [`metrics`] — per-slot records and the aggregations the figures
@@ -40,12 +43,13 @@ pub mod baselines;
 pub mod engine;
 pub mod experiments;
 pub mod metrics;
+pub mod pipeline;
 pub mod report;
 pub mod scenario;
 pub mod validate;
 
 pub use accounting::{Billing, ProfitSummary};
 pub use baselines::Mode;
-pub use engine::{EngineConfig, Simulation};
+pub use engine::{ConfigError, EngineConfig, Simulation};
 pub use metrics::SimReport;
 pub use scenario::Scenario;

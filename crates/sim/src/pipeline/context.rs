@@ -1,0 +1,306 @@
+//! Typed state threaded through the slot pipeline.
+//!
+//! Two lifetimes of state exist in a run:
+//!
+//! * [`SimState`] — everything that persists *across* slots: the
+//!   topology, operator, meter, PDU bank, fault plan, degradation
+//!   controllers, accumulated records and counters. Built once from the
+//!   [`Scenario`] + [`EngineConfig`] (including the slot-0 meter
+//!   warm-up) and consumed into the final [`SimReport`].
+//! * [`SlotContext`] — everything scoped to *one* slot: the clearing
+//!   price, spot sold/available, per-rack payments, and the reusable
+//!   bid/gain scratch buffers that keep the steady state free of
+//!   per-slot allocations. [`SlotContext::begin`] resets it at the top
+//!   of each slot.
+//!
+//! Stages receive `(&mut SimState, &mut SlotContext)` and communicate
+//! exclusively through them — there is no hidden channel between
+//! stages, which is what makes alternative stage compositions (the
+//! modes, and future clearing schemes) safe to assemble.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use spotdc_core::{CommsModel, ConcaveGain, ConstraintSet, Operator, PredictedSpot};
+use spotdc_faults::FaultPlan;
+use spotdc_power::topology::PowerTopology;
+use spotdc_power::{CapController, EmergencyEvent, EmergencyLog, PowerMeter, RackPduBank};
+use spotdc_tenants::TenantAgent;
+use spotdc_units::{RackId, Slot, SlotDuration, TenantId, Watts};
+
+use crate::engine::EngineConfig;
+use crate::metrics::{SimReport, SlotRecord};
+use crate::scenario::{OtherGroup, Scenario, ScenarioTraces};
+
+/// Cross-slot simulation state: the world the pipeline stages act on.
+///
+/// Fields are public within the crate so each stage can borrow exactly
+/// the disjoint subset it needs.
+#[derive(Debug)]
+pub struct SimState {
+    /// The power topology under simulation.
+    pub topology: PowerTopology,
+    /// The SpotDC operator (predictor + clearing) for this topology.
+    pub operator: Operator,
+    /// The *observed* power meter (subject to meter faults).
+    pub meter: PowerMeter,
+    /// Last slot's meter snapshot, kept only when prediction-delay
+    /// faults are armed.
+    pub prev_meter: Option<PowerMeter>,
+    /// The intelligent rack PDUs grants are programmed into.
+    pub bank: RackPduBank,
+    /// Observes physical per-PDU power each slot.
+    pub emergencies: EmergencyLog,
+    /// Graceful-degradation cap controller, when enabled.
+    pub cap: Option<CapController>,
+    /// Lossy bid/broadcast channel.
+    pub comms: CommsModel,
+    /// Tenant agents, in rack order.
+    pub agents: Vec<TenantAgent>,
+    /// Non-participating ("other") rack groups.
+    pub others: Vec<OtherGroup>,
+    /// Memoized load traces shared across runs of the same scenario.
+    pub traces: Arc<ScenarioTraces>,
+    /// Deterministic fault schedule.
+    pub plan: FaultPlan,
+    /// Whether any fault channel is armed (`plan.any()`), hoisted so
+    /// the fault-free path stays branch-cheap and byte-identical to a
+    /// build without the fault layer.
+    pub faults_active: bool,
+    /// Whether to snapshot the meter each slot for delayed predictions.
+    pub track_prev_meter: bool,
+    /// Whether the post-clearing invariant checker runs every slot.
+    pub validate: bool,
+    /// Slot duration (payments are billed per slot).
+    pub slot_len: SlotDuration,
+    /// Per-rack guaranteed power, indexed by dense rack index.
+    pub guaranteed: Vec<Watts>,
+    /// Rack index → PDU index.
+    pub rack_pdu: Vec<usize>,
+    /// Physical draw of every rack this slot (faults never touch it).
+    pub true_draw: Vec<Watts>,
+    /// Per-PDU non-spot ("base") load of the previous slot — what the
+    /// cap controller budgets spot against.
+    pub prev_base_pdu: Vec<Watts>,
+    /// Emergencies observed last slot, fed to the cap controller.
+    pub last_emergencies: Vec<EmergencyEvent>,
+    /// Accumulated per-slot records.
+    pub records: Vec<SlotRecord>,
+    /// Total faults injected across the run.
+    pub faults_injected: usize,
+    /// Slots in which any degradation path activated.
+    pub degraded_slots: usize,
+    /// Post-clearing invariant violations observed.
+    pub invariant_violations: usize,
+    /// Running sum of |predicted spot − realized headroom|.
+    pub prediction_error_sum: f64,
+    /// Number of slots contributing to `prediction_error_sum`.
+    pub prediction_error_count: u64,
+}
+
+impl SimState {
+    /// Builds the cross-slot state for a run of `slots` slots,
+    /// including the slot-0 meter warm-up: tenants observe their first
+    /// load sample and run under reserved budgets so the first
+    /// prediction has references to work from. Warm-up is
+    /// initialization, not operation: it is never faulted.
+    #[must_use]
+    pub fn new(scenario: &Scenario, config: &EngineConfig, slots: usize) -> Self {
+        let traces = scenario.traces(slots);
+        let topology = scenario.topology.clone();
+        let operator = Operator::new(topology.clone(), config.operator);
+        let mut meter =
+            PowerMeter::new(&topology, 4).expect("engine meter history length is positive");
+        let bank = RackPduBank::new(&topology);
+        let emergencies = EmergencyLog::new(&topology);
+        let plan = FaultPlan::new(config.faults);
+        let faults_active = plan.any();
+        let track_prev_meter = faults_active && config.faults.prediction_delay > 0.0;
+        let cap = config
+            .cap
+            .enabled
+            .then(|| CapController::new(&topology, config.cap));
+        let validate = config.validate || crate::validate::forced();
+        let guaranteed: Vec<Watts> = topology.racks().map(|r| r.guaranteed()).collect();
+        let rack_pdu: Vec<usize> = topology.racks().map(|r| r.pdu().index()).collect();
+        let comms = CommsModel::new(
+            config.bid_loss,
+            config.broadcast_loss,
+            scenario.seed ^ 0x00c0_b1d5,
+        );
+        let mut agents = scenario.agents.clone();
+
+        let mut true_draw: Vec<Watts> = vec![Watts::ZERO; topology.rack_count()];
+        for (i, agent) in agents.iter_mut().enumerate() {
+            agent.observe(traces.loads[i].first().copied().unwrap_or(0.0));
+            let out = agent.run_slot(agent.reserved());
+            meter.record(Slot::ZERO, agent.rack(), out.draw);
+            true_draw[agent.rack().index()] = out.draw.clamp_non_negative();
+        }
+        for (j, other) in scenario.others.iter().enumerate() {
+            let draw = traces.others[j].first().copied().unwrap_or(Watts::ZERO);
+            let draw = draw.min(other.subscription);
+            meter.record(Slot::ZERO, other.rack, draw);
+            true_draw[other.rack.index()] = draw.clamp_non_negative();
+        }
+        let mut prev_base_pdu: Vec<Watts> = vec![Watts::ZERO; topology.pdu_count()];
+        for (i, &d) in true_draw.iter().enumerate() {
+            prev_base_pdu[rack_pdu[i]] += d.min(guaranteed[i]);
+        }
+
+        SimState {
+            topology,
+            operator,
+            meter,
+            prev_meter: None,
+            bank,
+            emergencies,
+            cap,
+            comms,
+            agents,
+            others: scenario.others.clone(),
+            traces,
+            plan,
+            faults_active,
+            track_prev_meter,
+            validate,
+            slot_len: scenario.slot,
+            guaranteed,
+            rack_pdu,
+            true_draw,
+            prev_base_pdu,
+            last_emergencies: Vec::new(),
+            records: Vec::with_capacity(slots),
+            faults_injected: 0,
+            degraded_slots: 0,
+            invariant_violations: 0,
+            prediction_error_sum: 0.0,
+            prediction_error_count: 0,
+        }
+    }
+
+    /// The meter the market should see this slot: last slot's snapshot
+    /// when a prediction-delay fault fired, the live meter otherwise.
+    #[must_use]
+    pub fn market_meter(&self, delayed: bool) -> &PowerMeter {
+        match (&self.prev_meter, delayed) {
+            (Some(prev), true) => prev,
+            _ => &self.meter,
+        }
+    }
+
+    /// Consumes the state into the final report.
+    #[must_use]
+    pub fn into_report(self) -> SimReport {
+        SimReport {
+            records: self.records,
+            slot: self.slot_len,
+            subscriptions: self.agents.iter().map(|a| a.reserved()).collect(),
+            headrooms: self.agents.iter().map(|a| a.headroom()).collect(),
+            total_subscribed: self.topology.total_leased(),
+            ups_capacity: self.topology.ups_capacity(),
+            // Overloads inside the ±5 % breaker-tolerance band are
+            // transient overshoots the hardware absorbs; only worse
+            // ones count as emergencies (Section III-C).
+            emergencies: self
+                .emergencies
+                .events()
+                .iter()
+                .filter(|e| e.severity() > 0.05)
+                .count(),
+            transient_overshoots: self
+                .emergencies
+                .events()
+                .iter()
+                .filter(|e| e.severity() <= 0.05)
+                .count(),
+            degraded_slots: self.degraded_slots,
+            invariant_violations: self.invariant_violations,
+            faults_injected: self.faults_injected,
+        }
+    }
+}
+
+/// Per-slot state threaded through the stages, reset by [`begin`].
+///
+/// The bid/gain vectors are reusable scratch buffers hoisted out of
+/// the slot loop so the steady state allocates nothing per slot;
+/// payments are a flat vector over the dense rack index space instead
+/// of a fresh map per slot.
+///
+/// [`begin`]: SlotContext::begin
+#[derive(Debug)]
+pub struct SlotContext {
+    /// The slot being simulated.
+    pub slot: Slot,
+    /// Dense slot index (`slot.index() as usize`).
+    pub t: usize,
+    /// Whether a prediction-delay fault fired this slot.
+    pub delayed: bool,
+    /// Clearing price, if any spot was sold.
+    pub price: Option<f64>,
+    /// Predicted spot capacity offered to the market (W).
+    pub spot_available: f64,
+    /// Spot capacity actually sold/granted (W).
+    pub spot_sold: f64,
+    /// Whether any degradation path activated this slot.
+    pub slot_degraded: bool,
+    /// Per-rack payments for this slot (USD), dense rack index.
+    pub payments: Vec<f64>,
+    /// Tenant bids as delivered over the lossy channel.
+    pub bids: Vec<spotdc_core::TenantBid>,
+    /// Tenants whose bids were delivered (broadcast audience).
+    pub bidders: Vec<TenantId>,
+    /// Flattened rack bids handed to clearing.
+    pub rack_bids: Vec<spotdc_core::RackBid>,
+    /// Racks requesting spot, fed to the predictor.
+    pub requesting: Vec<RackId>,
+    /// MaxPerf: concave gain envelope per wanting rack.
+    pub gains: BTreeMap<RackId, ConcaveGain>,
+    /// The prediction issued this slot, if a predict stage ran.
+    pub predicted: Option<PredictedSpot>,
+    /// The constraint set clearing runs against, if a predict stage
+    /// ran. Clear stages `take()` it.
+    pub constraints: Option<ConstraintSet>,
+}
+
+impl SlotContext {
+    /// Allocates the per-slot scratch for a topology of `rack_count`
+    /// racks and `agent_count` tenant agents.
+    #[must_use]
+    pub fn new(rack_count: usize, agent_count: usize) -> Self {
+        SlotContext {
+            slot: Slot::ZERO,
+            t: 0,
+            delayed: false,
+            price: None,
+            spot_available: 0.0,
+            spot_sold: 0.0,
+            slot_degraded: false,
+            payments: vec![0.0; rack_count],
+            bids: Vec::with_capacity(agent_count),
+            bidders: Vec::with_capacity(agent_count),
+            rack_bids: Vec::new(),
+            requesting: Vec::new(),
+            gains: BTreeMap::new(),
+            predicted: None,
+            constraints: None,
+        }
+    }
+
+    /// Resets the slot-scoped fields at the top of slot `t`. Scratch
+    /// buffers keep their capacity; the stages that fill them clear
+    /// them first.
+    pub fn begin(&mut self, slot: Slot, t: usize) {
+        self.slot = slot;
+        self.t = t;
+        self.delayed = false;
+        self.price = None;
+        self.spot_available = 0.0;
+        self.spot_sold = 0.0;
+        self.slot_degraded = false;
+        self.payments.fill(0.0);
+        self.predicted = None;
+        self.constraints = None;
+    }
+}

@@ -1,0 +1,664 @@
+//! The pipeline stages: one struct per step of Algorithm 1.
+//!
+//! Every stage body is a verbatim port of the corresponding block of
+//! the pre-pipeline monolithic slot loop — float accumulation order,
+//! RNG draw order and telemetry emission are preserved bit for bit
+//! (the golden-report test enforces this). Stage-local scratch that
+//! must survive across slots (late bids, the per-PDU clearing state)
+//! lives on the stage struct itself, keeping the steady state free of
+//! per-slot allocations.
+
+use std::collections::BTreeMap;
+
+use spotdc_core::{
+    check_allocation, max_perf_allocate, ConcaveGain, ConstraintSet, MarketClearing,
+    MarketInvariant, RackBid, TenantBid,
+};
+use spotdc_faults::{BidFault, FaultPlan, MeterFault};
+use spotdc_power::PowerMeter;
+use spotdc_units::{RackId, Slot, Watts};
+
+use crate::metrics::{SlotRecord, TenantSlotMetrics};
+use crate::pipeline::{PredictKind, SimState, SlotContext, SlotStage};
+
+/// Records `draw` into the meter, applying any scheduled meter fault:
+/// a dropout skips the sample (detectable staleness), a freeze
+/// re-records the last value as if fresh (undetectable), noise scales
+/// the sample. Returns `true` when a fault fired.
+fn record_observed(
+    meter: &mut PowerMeter,
+    plan: &FaultPlan,
+    active: bool,
+    slot: Slot,
+    rack: RackId,
+    draw: Watts,
+) -> bool {
+    if !active {
+        meter.record(slot, rack, draw);
+        return false;
+    }
+    let Some(fault) = plan.meter_fault(slot, rack) else {
+        meter.record(slot, rack, draw);
+        return false;
+    };
+    if spotdc_telemetry::is_enabled() {
+        spotdc_telemetry::registry().inc_counter("spotdc_faults_injected_total", 1);
+        spotdc_telemetry::emit(spotdc_telemetry::Event::FaultInjected {
+            slot,
+            at: spotdc_units::MonotonicNanos::now(),
+            kind: fault.kind().to_owned(),
+            target: rack.to_string(),
+        });
+    }
+    match fault {
+        MeterFault::Dropout => {}
+        MeterFault::Freeze => {
+            if let Some(prev) = meter.latest(rack) {
+                meter.record(slot, rack, prev.power);
+            }
+        }
+        MeterFault::Noise { relative } => {
+            meter.record(slot, rack, draw * (1.0 + relative));
+        }
+    }
+    true
+}
+
+/// Counts and reports post-clearing invariant violations. Every
+/// violation is a bug somewhere upstream — clearing, degradation or
+/// capping — so debug builds abort on the spot.
+fn note_violations(slot: Slot, violations: &[MarketInvariant], count: &mut usize) {
+    if violations.is_empty() {
+        return;
+    }
+    *count += violations.len();
+    crate::validate::record_violations(violations.len());
+    if spotdc_telemetry::is_enabled() {
+        spotdc_telemetry::registry()
+            .inc_counter("spotdc_invariant_violations_total", violations.len() as u64);
+        for v in violations {
+            spotdc_telemetry::emit(spotdc_telemetry::Event::InvariantViolated {
+                slot,
+                at: spotdc_units::MonotonicNanos::now(),
+                violation: v.to_string(),
+            });
+        }
+    }
+    debug_assert!(
+        violations.is_empty(),
+        "market invariants violated at {slot}: {violations:?}"
+    );
+}
+
+/// Sense: tenants observe their load traces, the rack PDUs reset, and
+/// the prediction-delay fault (if scheduled) selects which meter
+/// snapshot the market will see. Runs in every composition.
+#[derive(Debug)]
+pub struct Sense;
+
+impl SlotStage for Sense {
+    fn name(&self) -> &'static str {
+        "stage.sense"
+    }
+
+    fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
+        let slot = ctx.slot;
+        let t = ctx.t;
+        for (i, agent) in state.agents.iter_mut().enumerate() {
+            agent.observe(state.traces.loads[i][t]);
+        }
+        state.bank.reset_all(slot);
+
+        // Delayed prediction input: the operator sees the meter as it
+        // stood at the end of the previous slot.
+        let delayed = state.faults_active && state.plan.prediction_delayed(slot);
+        if delayed {
+            state.faults_injected += 1;
+            if spotdc_telemetry::is_enabled() {
+                spotdc_telemetry::registry().inc_counter("spotdc_faults_injected_total", 1);
+                spotdc_telemetry::emit(spotdc_telemetry::Event::FaultInjected {
+                    slot,
+                    at: spotdc_units::MonotonicNanos::now(),
+                    kind: "prediction-delay".to_owned(),
+                    target: "operator".to_owned(),
+                });
+            }
+        }
+        ctx.delayed = delayed;
+    }
+}
+
+/// CollectBids: tenants bid, the optional price oracle runs its
+/// pre-clearing pass, late bids from the previous slot roll over, bid
+/// faults fire, and the lossy channel delivers what survives. With
+/// `admit` set the operator admission-checks the delivered bids into
+/// `ctx.rack_bids` (uniform market); without it the bids are flattened
+/// unadmitted (per-PDU ablation, which admission-checks nothing, as
+/// the pre-pipeline loop did).
+#[derive(Debug)]
+pub struct CollectBids {
+    admit: bool,
+    price_oracle: bool,
+    /// Late bids carried across slots — stage-local because no other
+    /// stage may observe them.
+    late_bids: Vec<TenantBid>,
+    /// Admission-rejected racks (scratch, reused across slots).
+    rejected: Vec<RackId>,
+}
+
+impl CollectBids {
+    /// Creates the stage. `admit` selects operator admission checking;
+    /// `price_oracle` enables the Fig. 16 pre-clearing price pass.
+    #[must_use]
+    pub fn new(admit: bool, price_oracle: bool) -> Self {
+        CollectBids {
+            admit,
+            price_oracle,
+            late_bids: Vec::new(),
+            rejected: Vec::new(),
+        }
+    }
+}
+
+impl SlotStage for CollectBids {
+    fn name(&self) -> &'static str {
+        "stage.collect_bids"
+    }
+
+    fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
+        let slot = ctx.slot;
+        ctx.bids.clear();
+        ctx.bids
+            .extend(state.agents.iter_mut().filter_map(|a| a.make_bid()));
+        if self.price_oracle {
+            // The oracle's pre-pass always reads the *live* meter: it
+            // models perfect knowledge, not the (possibly delayed)
+            // view the real clearing pass gets.
+            let pre = state.operator.run_slot(slot, &ctx.bids, &state.meter);
+            let oracle = (pre.outcome.sold() > Watts::ZERO).then(|| pre.outcome.price());
+            for a in state.agents.iter_mut() {
+                a.predict_price(oracle);
+            }
+            ctx.bids.clear();
+            ctx.bids
+                .extend(state.agents.iter_mut().filter_map(|a| a.make_bid()));
+        }
+        if state.faults_active {
+            // Late bids from the previous slot arrive now — unless the
+            // tenant already submitted a fresh one, which supersedes
+            // the stale copy.
+            for b in self.late_bids.drain(..) {
+                if !ctx.bids.iter().any(|x| x.tenant() == b.tenant()) {
+                    ctx.bids.push(b);
+                }
+            }
+            let mut i = 0;
+            while i < ctx.bids.len() {
+                match state.plan.bid_fault(slot, ctx.bids[i].tenant()) {
+                    None => i += 1,
+                    Some(fault) => {
+                        state.faults_injected += 1;
+                        if spotdc_telemetry::is_enabled() {
+                            spotdc_telemetry::registry()
+                                .inc_counter("spotdc_faults_injected_total", 1);
+                            spotdc_telemetry::emit(spotdc_telemetry::Event::FaultInjected {
+                                slot,
+                                at: spotdc_units::MonotonicNanos::now(),
+                                kind: fault.kind().to_owned(),
+                                target: ctx.bids[i].tenant().to_string(),
+                            });
+                        }
+                        let bid = ctx.bids.remove(i);
+                        if fault == BidFault::Late {
+                            self.late_bids.push(bid);
+                        }
+                    }
+                }
+            }
+        }
+        let _lost_bids = state.comms.deliver_bids(slot, &mut ctx.bids);
+        ctx.bidders.clear();
+        ctx.bidders.extend(ctx.bids.iter().map(|b| b.tenant()));
+        ctx.rack_bids.clear();
+        if self.admit {
+            self.rejected.clear();
+            state
+                .operator
+                .admit_bids_into(slot, &ctx.bids, &mut ctx.rack_bids, &mut self.rejected);
+        } else {
+            ctx.rack_bids
+                .extend(ctx.bids.iter().flat_map(|b| b.rack_bids().iter().cloned()));
+        }
+    }
+}
+
+/// CollectGains: the MaxPerf analogue of bidding — every tenant that
+/// wants spot contributes the concave envelope of its gain curve.
+#[derive(Debug)]
+pub struct CollectGains;
+
+impl SlotStage for CollectGains {
+    fn name(&self) -> &'static str {
+        "stage.collect_gains"
+    }
+
+    fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
+        ctx.gains.clear();
+        ctx.requesting.clear();
+        for agent in state.agents.iter_mut() {
+            if agent.wants_spot() {
+                let env = agent.gain_curve().concave_envelope();
+                if let Ok(gain) = ConcaveGain::from_points(env.points()) {
+                    ctx.requesting.push(agent.rack());
+                    ctx.gains.insert(agent.rack(), gain);
+                }
+            }
+        }
+    }
+}
+
+/// Predict: forecast this slot's spot capacity (paper Eqns. 1–4) from
+/// the market's meter view and build the constraint set clearing will
+/// run against. The [`PredictKind`] selects whose predictor runs and
+/// how staleness is handled.
+#[derive(Debug)]
+pub struct Predict {
+    kind: PredictKind,
+    staleness: Option<spotdc_core::StalenessPolicy>,
+}
+
+impl Predict {
+    /// Creates the stage. `staleness` is only consulted by
+    /// [`PredictKind::Direct`]; the operator variant applies its own
+    /// configured policy and the plain variant none at all.
+    #[must_use]
+    pub fn new(kind: PredictKind, staleness: Option<spotdc_core::StalenessPolicy>) -> Self {
+        Predict { kind, staleness }
+    }
+}
+
+impl SlotStage for Predict {
+    fn name(&self) -> &'static str {
+        "stage.predict"
+    }
+
+    fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
+        let slot = ctx.slot;
+        let predicted = match self.kind {
+            PredictKind::Operator => {
+                // Uniform market: the requesting set is the admitted
+                // rack bids; the operator applies its staleness policy
+                // and emits the prediction/degradation telemetry.
+                ctx.requesting.clear();
+                ctx.requesting
+                    .extend(ctx.rack_bids.iter().map(RackBid::rack));
+                let meter = state.market_meter(ctx.delayed);
+                let (predicted, degraded) =
+                    state.operator.predict_spot(slot, &ctx.requesting, meter);
+                ctx.slot_degraded |= degraded.is_some();
+                predicted
+            }
+            PredictKind::Direct => {
+                // Per-PDU ablation: engine-side prediction over the
+                // unadmitted rack bids, historically without the
+                // operator's telemetry events.
+                ctx.requesting.clear();
+                ctx.requesting
+                    .extend(ctx.rack_bids.iter().map(RackBid::rack));
+                let meter = state.market_meter(ctx.delayed);
+                match self.staleness {
+                    None => state.operator.predictor().predict(
+                        &state.topology,
+                        meter,
+                        ctx.requesting.iter().copied(),
+                    ),
+                    Some(policy) => {
+                        let d = state.operator.predictor().predict_with_staleness(
+                            &state.topology,
+                            meter,
+                            ctx.requesting.iter().copied(),
+                            slot,
+                            policy,
+                        );
+                        ctx.slot_degraded |= d.is_degraded();
+                        d.spot
+                    }
+                }
+            }
+            PredictKind::Plain => {
+                // MaxPerf: omniscient allocation still respects the
+                // predictor's capacity view, with no staleness policy.
+                let meter = state.market_meter(ctx.delayed);
+                state.operator.predictor().predict(
+                    &state.topology,
+                    meter,
+                    ctx.requesting.iter().copied(),
+                )
+            }
+        };
+        ctx.spot_available = predicted.total_pdu().min(predicted.ups).value();
+        ctx.constraints = Some(ConstraintSet::new(
+            &state.topology,
+            predicted.pdu.clone(),
+            predicted.ups,
+        ));
+        ctx.predicted = Some(predicted);
+    }
+}
+
+/// ClearUniform: the paper's single uniform-price clearing, price
+/// broadcast over the lossy channel, post-clearing invariant check,
+/// and grant programming into the rack PDUs.
+#[derive(Debug)]
+pub struct ClearUniform;
+
+impl SlotStage for ClearUniform {
+    fn name(&self) -> &'static str {
+        "stage.clear_market"
+    }
+
+    fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
+        let slot = ctx.slot;
+        let constraints = ctx.constraints.take().expect("Predict runs before Clear");
+        let outcome = state.operator.clear(slot, &ctx.rack_bids, &constraints);
+        let mut alloc = outcome.into_allocation();
+        state
+            .comms
+            .deliver_broadcasts(&state.topology, &mut alloc, ctx.bidders.iter().copied());
+        if state.validate {
+            // The checker audits against *every delivered* bid, not
+            // just the admitted ones, so admission bugs can't hide.
+            ctx.rack_bids.clear();
+            ctx.rack_bids
+                .extend(ctx.bids.iter().flat_map(|b| b.rack_bids().iter().cloned()));
+            note_violations(
+                slot,
+                &check_allocation(&constraints, &alloc, &ctx.rack_bids, true),
+                &mut state.invariant_violations,
+            );
+        }
+        for (rack, grant) in alloc.iter() {
+            if grant > Watts::ZERO {
+                state
+                    .bank
+                    .grant_spot(slot, rack, grant)
+                    .expect("cleared grants respect rack headroom");
+                ctx.payments[rack.index()] = alloc.payment_for(rack, state.slot_len).usd();
+            }
+        }
+        ctx.spot_sold = alloc.total().value();
+        if ctx.spot_sold > 0.0 {
+            ctx.price = Some(alloc.price().per_kw_hour_value());
+        }
+    }
+}
+
+/// ClearPerPdu: the localized-price ablation — each PDU's sub-market
+/// clears independently at its own price; the reported price is
+/// revenue-weighted across sub-markets and the combined grant set is
+/// checked against the shared UPS spot.
+#[derive(Debug)]
+pub struct ClearPerPdu {
+    clearing: MarketClearing,
+    /// Combined grant set across sub-markets (validation scratch).
+    combined: BTreeMap<RackId, Watts>,
+}
+
+impl ClearPerPdu {
+    /// Creates the stage with its own clearing instance.
+    #[must_use]
+    pub fn new(config: spotdc_core::ClearingConfig) -> Self {
+        ClearPerPdu {
+            clearing: MarketClearing::new(config),
+            combined: BTreeMap::new(),
+        }
+    }
+}
+
+impl SlotStage for ClearPerPdu {
+    fn name(&self) -> &'static str {
+        "stage.clear_per_pdu"
+    }
+
+    fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
+        let slot = ctx.slot;
+        let constraints = ctx.constraints.take().expect("Predict runs before Clear");
+        let mut revenue_weighted_price = 0.0;
+        self.combined.clear();
+        for outcome in self
+            .clearing
+            .clear_per_pdu(slot, &ctx.rack_bids, &constraints)
+        {
+            let mut alloc = outcome.into_allocation();
+            state.comms.deliver_broadcasts(
+                &state.topology,
+                &mut alloc,
+                ctx.bidders.iter().copied(),
+            );
+            if state.validate {
+                note_violations(
+                    slot,
+                    &check_allocation(&constraints, &alloc, &ctx.rack_bids, true),
+                    &mut state.invariant_violations,
+                );
+                for (rack, grant) in alloc.iter() {
+                    self.combined.insert(rack, grant);
+                }
+            }
+            for (rack, grant) in alloc.iter() {
+                if grant > Watts::ZERO {
+                    state
+                        .bank
+                        .grant_spot(slot, rack, grant)
+                        .expect("cleared grants respect rack headroom");
+                    ctx.payments[rack.index()] = alloc.payment_for(rack, state.slot_len).usd();
+                }
+            }
+            let sold = alloc.total().value();
+            ctx.spot_sold += sold;
+            revenue_weighted_price += alloc.price().per_kw_hour_value() * sold;
+        }
+        if state.validate {
+            // The sub-markets share the UPS spot; the combined grant
+            // set must still fit it.
+            if let Err(v) = constraints.check(&self.combined) {
+                note_violations(
+                    slot,
+                    &[MarketInvariant::Capacity(v)],
+                    &mut state.invariant_violations,
+                );
+            }
+        }
+        if ctx.spot_sold > 0.0 {
+            ctx.price = Some(revenue_weighted_price / ctx.spot_sold);
+        }
+    }
+}
+
+/// ClearMaxPerf: the omniscient water-filling allocator — no prices,
+/// no payments, grants straight into the rack PDUs.
+#[derive(Debug)]
+pub struct ClearMaxPerf;
+
+impl SlotStage for ClearMaxPerf {
+    fn name(&self) -> &'static str {
+        "stage.clear_maxperf"
+    }
+
+    fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
+        let slot = ctx.slot;
+        let constraints = ctx.constraints.take().expect("Predict runs before Clear");
+        let grants = max_perf_allocate(&ctx.gains, &constraints);
+        if state.validate {
+            if let Err(v) = constraints.check(&grants) {
+                note_violations(
+                    slot,
+                    &[MarketInvariant::Capacity(v)],
+                    &mut state.invariant_violations,
+                );
+            }
+        }
+        for (&rack, &grant) in &grants {
+            if grant > Watts::ZERO {
+                state
+                    .bank
+                    .grant_spot(slot, rack, grant)
+                    .expect("maxperf grants respect rack headroom");
+                ctx.spot_sold += grant.value();
+            }
+        }
+    }
+}
+
+/// Enforce: graceful degradation — when overloads were observed last
+/// slot, the cap controller sheds spot first (guaranteed capacity is
+/// only capped while a held level's base load alone exceeds its
+/// capacity), with hysteresis on release. A no-op when no controller
+/// is configured.
+#[derive(Debug)]
+pub struct Enforce;
+
+impl SlotStage for Enforce {
+    fn name(&self) -> &'static str {
+        "stage.enforce"
+    }
+
+    fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
+        let Some(cap) = state.cap.as_mut() else {
+            return;
+        };
+        cap.note_emergencies(ctx.slot, &state.last_emergencies);
+        let outcome = cap.enforce(ctx.slot, &state.prev_base_pdu, &mut state.bank);
+        for trim in &outcome.trims {
+            ctx.spot_sold -= (trim.old_spot - trim.new_spot).value();
+            let i = trim.rack.index();
+            if trim.old_spot > Watts::ZERO {
+                ctx.payments[i] *= trim.new_spot.value() / trim.old_spot.value();
+            }
+        }
+        if !outcome.is_noop() {
+            ctx.slot_degraded = true;
+        }
+    }
+}
+
+/// Settle: tenants execute under their budgets, the meter records the
+/// *observed* draw (subject to meter faults) while `true_draw` keeps
+/// the physical one; emergencies, accounting, telemetry and the
+/// per-slot record all settle here, and slot state rolls forward for
+/// the next slot's degradation paths.
+#[derive(Debug)]
+pub struct Settle;
+
+impl SlotStage for Settle {
+    fn name(&self) -> &'static str {
+        "stage.settle"
+    }
+
+    fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
+        let slot = ctx.slot;
+        let t = ctx.t;
+        let mut tenant_metrics = Vec::with_capacity(state.agents.len());
+        for agent in state.agents.iter_mut() {
+            let budget = state.bank.budget(agent.rack());
+            let out = agent.run_slot(budget);
+            if record_observed(
+                &mut state.meter,
+                &state.plan,
+                state.faults_active,
+                slot,
+                agent.rack(),
+                out.draw,
+            ) {
+                state.faults_injected += 1;
+            }
+            state.true_draw[agent.rack().index()] = out.draw.clamp_non_negative();
+            let (perf_index, slo_met) = match out.performance {
+                spotdc_tenants::Performance::Latency { slo_met, .. } => {
+                    (out.performance.index(), Some(slo_met))
+                }
+                spotdc_tenants::Performance::Throughput { .. } => (out.performance.index(), None),
+            };
+            tenant_metrics.push(TenantSlotMetrics {
+                wanted: agent.wants_spot(),
+                grant: state.bank.spot_grant(agent.rack()).value(),
+                draw: out.draw.value(),
+                perf_index,
+                slo_met,
+                cost_rate: out.cost_rate,
+                payment: ctx.payments[agent.rack().index()],
+            });
+        }
+        for (j, other) in state.others.iter().enumerate() {
+            let draw = state.traces.others[j][t].min(other.subscription);
+            if record_observed(
+                &mut state.meter,
+                &state.plan,
+                state.faults_active,
+                slot,
+                other.rack,
+                draw,
+            ) {
+                state.faults_injected += 1;
+            }
+            state.true_draw[other.rack.index()] = draw.clamp_non_negative();
+        }
+
+        // Emergencies and the per-slot record reflect *physical*
+        // power. With faults off the meter holds exactly the true
+        // draws, so reading it back preserves the historical
+        // accumulation order bit for bit.
+        let (pdu_power, ups_power) = if state.faults_active {
+            let mut per_pdu = vec![Watts::ZERO; state.topology.pdu_count()];
+            let mut total = Watts::ZERO;
+            for (i, &d) in state.true_draw.iter().enumerate() {
+                per_pdu[state.rack_pdu[i]] += d;
+                total += d;
+            }
+            (per_pdu, total)
+        } else {
+            (state.meter.pdu_powers(), state.meter.ups_power())
+        };
+        let found = state.emergencies.observe(slot, &pdu_power);
+        if ctx.slot_degraded {
+            state.degraded_slots += 1;
+        }
+        if spotdc_telemetry::is_enabled() && ctx.spot_available > 0.0 {
+            // The predictor forecast `spot_available` from last slot's
+            // meter readings; compare against the headroom actually
+            // realized this slot (unused UPS capacity plus the spot
+            // capacity that was sold and consumed).
+            let realized = (state.topology.ups_capacity() - ups_power).value() + ctx.spot_sold;
+            state.prediction_error_sum += (ctx.spot_available - realized).abs();
+            state.prediction_error_count += 1;
+            spotdc_telemetry::registry().set_gauge(
+                "spotdc_prediction_error_watts",
+                state.prediction_error_sum / state.prediction_error_count as f64,
+            );
+        }
+        state.records.push(SlotRecord {
+            slot: t as u64,
+            price: ctx.price,
+            spot_available: ctx.spot_available,
+            spot_sold: ctx.spot_sold,
+            ups_power: ups_power.value(),
+            pdu_power: pdu_power.iter().map(|w| w.value()).collect(),
+            tenants: tenant_metrics,
+        });
+        // Roll slot state forward for next slot's degradation paths.
+        state.last_emergencies = found;
+        if state.cap.is_some() {
+            state
+                .prev_base_pdu
+                .iter_mut()
+                .for_each(|w| *w = Watts::ZERO);
+            for i in 0..state.true_draw.len() {
+                state.prev_base_pdu[state.rack_pdu[i]] +=
+                    state.true_draw[i].min(state.guaranteed[i]);
+            }
+        }
+        if state.track_prev_meter {
+            state.prev_meter = Some(state.meter.clone());
+        }
+    }
+}

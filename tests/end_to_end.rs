@@ -114,7 +114,7 @@ fn comms_loss_degrades_to_no_spot() {
     assert!(allocation.total() > Watts::ZERO);
 
     // Every broadcast lost: the grant is revoked.
-    let mut comms = CommsModel::new(0.0, 1.0, 9);
+    let comms = CommsModel::new(0.0, 1.0, 9);
     let events = comms.deliver_broadcasts(&topology, &mut allocation, [TenantId::new(0)]);
     assert_eq!(events.len(), 1);
     assert_eq!(allocation.total(), Watts::ZERO);
