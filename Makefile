@@ -3,8 +3,8 @@
 CARGO ?= cargo
 JOBS ?= 4
 
-.PHONY: build test bench bench-repro clippy determinism golden \
-	smoke-faults fmt verify repro
+.PHONY: build test bench bench-repro bench-slots bench-check clippy \
+	determinism golden smoke-faults fmt verify repro
 
 build:
 	$(CARGO) build --release
@@ -44,6 +44,19 @@ bench:
 bench-repro: build
 	$(CARGO) run -p spotdc-bench --bin repro --release -- --quick --quiet \
 		--jobs $(JOBS) --bench-json BENCH_repro.json
+
+# Slot throughput versus the within-slot width (see BENCH_slots.json
+# for the checked-in reference run).
+bench-slots: build
+	$(CARGO) run -p spotdc-bench --bin bench_slots --release -- \
+		--out BENCH_slots.json
+
+# Regression gate: re-measure and fail if inner_jobs=4 throughput fell
+# more than 10% below the committed reference.
+bench-check: build
+	$(CARGO) run -p spotdc-bench --bin bench_slots --release -- \
+		--out target/BENCH_slots.fresh.json
+	scripts/bench_check BENCH_slots.json target/BENCH_slots.fresh.json
 
 repro:
 	$(CARGO) run -p spotdc-bench --bin repro --release -- --quick \

@@ -1,0 +1,169 @@
+//! `bench_slots` — slot throughput of the market pipeline versus the
+//! within-slot parallelism width.
+//!
+//! ```text
+//! bench_slots                        # print the table
+//! bench_slots --out BENCH_slots.json # also write the JSON reference
+//! bench_slots --slots 90 --samples 5 # longer / steadier measurement
+//! ```
+//!
+//! Runs a fig14-class scenario — the hyper-scale topology at 304
+//! tenants under SpotDC with per-PDU pricing, the configuration whose
+//! slots are wide enough (many agents, many sub-markets) for the inner
+//! pool to matter — at `inner_jobs` ∈ {1, 2, 4} and reports slots per
+//! second plus speedup over the serial width. Every run is fully
+//! seeded, so the three widths simulate byte-identical markets; only
+//! the wall-clock differs.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use spotdc_sim::engine::{EngineConfig, Simulation};
+use spotdc_sim::{Mode, Scenario};
+
+const SEED: u64 = 42;
+const TENANTS: usize = 304;
+const WIDTHS: [usize; 3] = [1, 2, 4];
+
+/// One measured width.
+struct Row {
+    inner_jobs: usize,
+    slots_per_sec: f64,
+}
+
+fn engine(inner_jobs: usize) -> EngineConfig {
+    EngineConfig {
+        per_pdu_pricing: true,
+        inner_jobs,
+        ..EngineConfig::new(Mode::SpotDc)
+    }
+}
+
+/// Median wall-clock over `samples` runs of `slots` slots, as
+/// slots per second. The scenario is rebuilt per run so every sample
+/// pays the same setup; setup time is excluded from the timed region.
+fn measure(inner_jobs: usize, slots: u64, samples: usize) -> f64 {
+    let mut secs: Vec<f64> = (0..samples)
+        .map(|_| {
+            let sim = Simulation::new(Scenario::hyperscale(SEED, TENANTS), engine(inner_jobs));
+            let started = Instant::now();
+            let report = sim.run(slots);
+            let elapsed = started.elapsed().as_secs_f64();
+            assert_eq!(report.records.len() as u64, slots);
+            std::hint::black_box(report.avg_spot_sold());
+            elapsed
+        })
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    slots as f64 / secs[secs.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut slots: u64 = 60;
+    let mut samples: usize = 3;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out = Some(path.into()),
+                None => return usage("--out needs a file path"),
+            },
+            "--slots" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => slots = n,
+                _ => return usage("--slots needs a positive integer"),
+            },
+            "--samples" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => samples = n,
+                _ => return usage("--samples needs a positive integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    // Warm once (trace memoization, allocator) outside the timed region.
+    std::hint::black_box(
+        Simulation::new(Scenario::hyperscale(SEED, TENANTS), engine(1)).run(slots.min(10)),
+    );
+
+    let rows: Vec<Row> = WIDTHS
+        .iter()
+        .map(|&w| Row {
+            inner_jobs: w,
+            slots_per_sec: measure(w, slots, samples),
+        })
+        .collect();
+    let serial = rows[0].slots_per_sec;
+
+    println!(
+        "# slot throughput — hyperscale({TENANTS}) SpotDC per-PDU, seed {SEED}, \
+         {slots} slots, median of {samples}"
+    );
+    println!("inner_jobs  slots/sec  speedup");
+    for r in &rows {
+        println!(
+            "{:>10}  {:>9.2}  {:>6.2}x",
+            r.inner_jobs,
+            r.slots_per_sec,
+            r.slots_per_sec / serial
+        );
+    }
+
+    if let Some(path) = &out {
+        if let Err(e) = write_json(path, slots, samples, &rows, serial) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Writes the measured table as a small line-oriented JSON file (the
+/// committed reference `scripts/bench_check` compares against).
+fn write_json(
+    path: &std::path::Path,
+    slots: u64,
+    samples: usize,
+    rows: &[Row],
+    serial: f64,
+) -> std::io::Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(file, "{{")?;
+    writeln!(
+        file,
+        "  \"scenario\": \"hyperscale-{TENANTS} spotdc per-pdu\","
+    )?;
+    writeln!(file, "  \"seed\": {SEED},")?;
+    writeln!(file, "  \"slots\": {slots},")?;
+    writeln!(file, "  \"samples\": {samples},")?;
+    writeln!(file, "  \"results\": [")?;
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"inner_jobs\": {}, \"slots_per_sec\": {:.2}, \"speedup\": {:.2} }}",
+                r.inner_jobs,
+                r.slots_per_sec,
+                r.slots_per_sec / serial
+            )
+        })
+        .collect();
+    writeln!(file, "{}", body.join(",\n"))?;
+    writeln!(file, "  ]")?;
+    writeln!(file, "}}")?;
+    file.flush()
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!("usage: bench_slots [--out <file>] [--slots <n>] [--samples <n>]");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

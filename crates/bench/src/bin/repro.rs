@@ -6,6 +6,7 @@
 //! repro --days 30 --seed 7   # longer horizon, different seed
 //! repro --quick              # fast smoke pass
 //! repro --jobs 4             # experiment-level parallelism (default: cores)
+//! repro --inner-jobs 4       # within-slot parallelism (default: 1, serial)
 //! repro --list-exps          # available experiment ids (alias: --list)
 //! repro --out results/       # also write one .txt file per experiment
 //! repro --telemetry t.jsonl  # record market events to a JSONL file
@@ -82,10 +83,8 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--quick" => {
-                cfg = ExpConfig {
-                    seed: cfg.seed,
-                    ..ExpConfig::quick()
-                };
+                cfg.days = 1.0;
+                cfg.quick = true;
             }
             "--exp" => match args.next() {
                 Some(id) => selected.push(id),
@@ -102,6 +101,10 @@ fn main() -> ExitCode {
             "--jobs" | "-j" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => jobs = n,
                 _ => return usage("--jobs needs a positive integer"),
+            },
+            "--inner-jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cfg.inner_jobs = n,
+                _ => return usage("--inner-jobs needs a positive integer"),
             },
             "--out" => match args.next() {
                 Some(dir) => out_dir = Some(dir.into()),
@@ -243,6 +246,7 @@ fn write_bench_json(
     let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(file, "{{")?;
     writeln!(file, "  \"jobs\": {jobs},")?;
+    writeln!(file, "  \"inner_jobs\": {},", cfg.inner_jobs)?;
     writeln!(file, "  \"seed\": {},", cfg.seed)?;
     writeln!(file, "  \"days\": {},", cfg.days)?;
     writeln!(file, "  \"quick\": {},", cfg.quick)?;
@@ -270,7 +274,8 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: repro [--exp <id>]... [--days <n>] [--seed <n>] [--quick] [--jobs <n>] [--list-exps]\n\
+        "usage: repro [--exp <id>]... [--days <n>] [--seed <n>] [--quick] [--jobs <n>]\n\
+         \x20            [--inner-jobs <n>] [--list-exps]\n\
          \x20            [--out <dir>] [--telemetry <file>] [--bench-json <file>] [--validate]\n\
          \x20            [--quiet]\n\
          experiments: {}",

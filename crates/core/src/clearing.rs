@@ -152,13 +152,31 @@ impl MarketOutcome {
 #[derive(Debug)]
 pub struct MarketClearing {
     config: ClearingConfig,
-    /// Reusable candidate-price buffer. The grid scan regenerates a
-    /// few hundred candidates every slot; recycling the vector keeps
-    /// the per-slot clearing path allocation-free in steady state.
-    /// Interior mutability (an uncontended `Mutex`) preserves the
-    /// `clear(&self, ...)` signature and keeps the engine `Sync` for
-    /// the parallel experiment fan-out.
-    scratch: Mutex<Vec<Price>>,
+    /// Pool of reusable candidate scratch buffers, one per concurrent
+    /// clearing. Each worker grabs the first free slot with `try_lock`
+    /// and holds it for the whole clearing, so parallel per-PDU clears
+    /// never serialize on a shared lock; when all slots are busy a
+    /// stack-local scratch is used instead (correct, just cold).
+    /// A poisoned slot — a panic mid-clearing — is simply never
+    /// reacquired: its cached key/candidate state may be torn, and
+    /// abandoning it is cheaper than proving it consistent.
+    scratch: [Mutex<Scratch>; SCRATCH_SLOTS],
+}
+
+/// Number of scratch buffers in the pool; clears beyond this many at
+/// once fall back to a fresh stack-local buffer.
+const SCRATCH_SLOTS: usize = 8;
+
+/// One worker's reusable clearing state: the candidate-price buffer and
+/// the market fingerprint it was generated for (the cross-slot cache).
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Fingerprint of the market `candidates` was generated for.
+    key: Vec<u64>,
+    /// Staging buffer for the current market's fingerprint.
+    next_key: Vec<u64>,
+    /// Cached candidate prices.
+    candidates: Vec<Price>,
 }
 
 impl Clone for MarketClearing {
@@ -180,7 +198,7 @@ impl MarketClearing {
     pub fn new(config: ClearingConfig) -> Self {
         MarketClearing {
             config,
-            scratch: Mutex::new(Vec::new()),
+            scratch: std::array::from_fn(|_| Mutex::new(Scratch::default())),
         }
     }
 
@@ -196,6 +214,15 @@ impl MarketClearing {
     /// Bids whose demand is identically zero are ignored. If no bid is
     /// present (or no positive-revenue feasible price exists) the
     /// returned outcome carries an empty allocation.
+    ///
+    /// Candidate prices are cached across calls: when the live-bid set
+    /// (bid parameters, headrooms, spot capacities) is bit-identical to
+    /// the market a scratch buffer last cleared, candidate generation
+    /// is skipped and the cached prices are re-evaluated against the
+    /// current constraints. The cache key is the *full* fingerprint of
+    /// every input candidate generation reads — compared by equality,
+    /// not by hash — so a hit provably regenerates the same candidate
+    /// list and the outcome is byte-identical either way.
     #[must_use]
     pub fn clear(
         &self,
@@ -216,21 +243,31 @@ impl MarketClearing {
             }
             return outcome;
         }
-        // Recycle the candidate buffer across clearings (taken out of
-        // the lock so candidate generation runs unlocked, put back
-        // below with its capacity intact).
-        let mut candidates =
-            std::mem::take(&mut *self.scratch.lock().unwrap_or_else(|e| e.into_inner()));
-        candidates.clear();
-        match self.config.algorithm {
-            ClearingAlgorithm::GridScan => self.grid_candidates(&live, &mut candidates),
-            ClearingAlgorithm::KinkSearch => {
-                self.kink_candidates(&live, constraints, &mut candidates);
+        // Grab the first free scratch buffer; fall back to a fresh
+        // stack-local one when every slot is busy (or poisoned).
+        let mut fallback = None;
+        let mut guard = self.scratch.iter().find_map(|m| m.try_lock().ok());
+        let scratch: &mut Scratch = match guard.as_deref_mut() {
+            Some(s) => s,
+            None => fallback.get_or_insert_with(Scratch::default),
+        };
+        scratch.next_key.clear();
+        self.fingerprint(&live, constraints, &mut scratch.next_key);
+        if scratch.candidates.is_empty() || scratch.next_key != scratch.key {
+            scratch.candidates.clear();
+            match self.config.algorithm {
+                ClearingAlgorithm::GridScan => {
+                    self.grid_candidates(&live, &mut scratch.candidates);
+                }
+                ClearingAlgorithm::KinkSearch => {
+                    self.kink_candidates(&live, constraints, &mut scratch.candidates);
+                }
             }
+            std::mem::swap(&mut scratch.key, &mut scratch.next_key);
         }
-        let evaluated = candidates.len();
+        let evaluated = scratch.candidates.len();
         let mut best: Option<(Price, f64)> = None;
-        for &q in &candidates {
+        for &q in &scratch.candidates {
             let demands = live.iter().map(|b| (b.rack(), b.demand_at(q)));
             let Some(total) = constraints.feasible_total(demands) else {
                 continue;
@@ -262,11 +299,42 @@ impl MarketClearing {
                 candidates: evaluated,
             },
         };
-        *self.scratch.lock().unwrap_or_else(|e| e.into_inner()) = candidates;
         if spotdc_telemetry::is_enabled() {
             self.record_outcome(slot, &outcome, constraints);
         }
         outcome
+    }
+
+    /// Writes the full fingerprint of everything candidate generation
+    /// reads into `out`: algorithm, grid step, UPS spot, and per live
+    /// bid its rack, headroom, PDU (with that PDU's spot capacity), and
+    /// every demand-curve parameter, all as exact `f64` bit patterns.
+    /// Heat zones and phase bounds are deliberately absent — candidate
+    /// generation never reads them (only per-candidate feasibility
+    /// does, and that is re-evaluated on every call).
+    fn fingerprint(&self, bids: &[&RackBid], constraints: &ConstraintSet, out: &mut Vec<u64>) {
+        out.push(match self.config.algorithm {
+            ClearingAlgorithm::GridScan => 0,
+            ClearingAlgorithm::KinkSearch => 1,
+        });
+        out.push(self.config.price_step.per_kw_hour_value().to_bits());
+        out.push(constraints.ups_spot().value().to_bits());
+        out.push(bids.len() as u64);
+        for b in bids {
+            out.push(b.rack().index() as u64);
+            out.push(constraints.rack_headroom(b.rack()).value().to_bits());
+            match constraints.pdu_of(b.rack()) {
+                Some(p) => {
+                    out.push(p.index() as u64);
+                    out.push(constraints.pdu_spot(p).value().to_bits());
+                }
+                None => {
+                    out.push(u64::MAX);
+                    out.push(0);
+                }
+            }
+            fingerprint_demand(b.demand(), out);
+        }
     }
 
     /// Telemetry for one clearing: counters, the `SlotCleared` event,
@@ -454,8 +522,27 @@ impl MarketClearing {
         bids: &[RackBid],
         constraints: &ConstraintSet,
     ) -> Vec<MarketOutcome> {
-        use std::collections::BTreeMap;
         let _span = spotdc_telemetry::span!("clear_per_pdu", slot = slot);
+        self.per_pdu_submarkets(bids, constraints)
+            .iter()
+            .map(|(group, local)| self.clear(slot, group, local))
+            .collect()
+    }
+
+    /// Decomposes a per-PDU pricing round into its independent
+    /// sub-markets: one `(bids, constraints)` pair per PDU that
+    /// received bids, in PDU order, each with the PDU's proportional
+    /// share of the UPS spot capacity. Sub-markets share no mutable
+    /// state, so callers may clear them in any order — or concurrently
+    /// — and merge outcomes back in this order to reproduce
+    /// [`Self::clear_per_pdu`] exactly.
+    #[must_use]
+    pub fn per_pdu_submarkets(
+        &self,
+        bids: &[RackBid],
+        constraints: &ConstraintSet,
+    ) -> Vec<(Vec<RackBid>, ConstraintSet)> {
+        use std::collections::BTreeMap;
         let mut by_pdu: BTreeMap<usize, Vec<RackBid>> = BTreeMap::new();
         for b in bids {
             if let Some(p) = constraints.pdu_of(b.rack()) {
@@ -478,9 +565,38 @@ impl MarketClearing {
                 let local = constraints
                     .clone()
                     .with_ups_spot(share.min(constraints.ups_spot()));
-                self.clear(slot, &group, &local)
+                (group, local)
             })
             .collect()
+    }
+}
+
+/// Appends the exact parameters of one demand curve to a fingerprint:
+/// a variant tag, then every defining value as an `f64` bit pattern
+/// (length-prefixed for [`crate::demand::FullBid`]'s variable point list, so distinct
+/// curves can never encode to the same sequence).
+fn fingerprint_demand(d: &DemandBid, out: &mut Vec<u64>) {
+    match d {
+        DemandBid::Linear(b) => {
+            out.push(1);
+            out.push(b.d_max().value().to_bits());
+            out.push(b.q_min().per_kw_hour_value().to_bits());
+            out.push(b.d_min().value().to_bits());
+            out.push(b.q_max().per_kw_hour_value().to_bits());
+        }
+        DemandBid::Step(b) => {
+            out.push(2);
+            out.push(b.demand().value().to_bits());
+            out.push(b.price_cap().per_kw_hour_value().to_bits());
+        }
+        DemandBid::Full(b) => {
+            out.push(3);
+            out.push(b.points().len() as u64);
+            for (q, w) in b.points() {
+                out.push(q.per_kw_hour_value().to_bits());
+                out.push(w.value().to_bits());
+            }
+        }
     }
 }
 
@@ -895,5 +1011,115 @@ mod tests {
         let bids = vec![linear(0, 100.0, 0.0, 0.0, 0.4)];
         let out = clear_with(ClearingAlgorithm::KinkSearch, &bids, &cs);
         assert!(out.allocation().grant(RackId::new(0)) <= Watts::new(60.0));
+    }
+
+    /// A handful of distinct markets for the scratch-pool tests.
+    fn distinct_markets() -> Vec<(Vec<RackBid>, ConstraintSet)> {
+        vec![
+            (
+                vec![
+                    linear(0, 55.0, 0.02, 5.0, 0.35),
+                    linear(1, 70.0, 0.05, 15.0, 0.45),
+                ],
+                constraints(80.0),
+            ),
+            (vec![linear(0, 40.0, 0.05, 10.0, 0.4)], constraints(30.0)),
+            (vec![linear(1, 30.0, 0.15, 10.0, 0.5)], constraints(200.0)),
+            (
+                vec![
+                    linear(0, 20.0, 0.0, 0.0, 0.25),
+                    linear(1, 45.0, 0.1, 5.0, 0.3),
+                ],
+                constraints(55.0),
+            ),
+        ]
+    }
+
+    #[test]
+    fn concurrent_clears_on_one_engine_match_serial() {
+        // Many threads hammering one shared engine must produce the
+        // same outcomes as clearing the same markets one at a time.
+        let markets = distinct_markets();
+        for config in [
+            ClearingConfig::grid(Price::cents_per_kw_hour(0.1)),
+            ClearingConfig::kink_search(),
+        ] {
+            let engine = MarketClearing::new(config);
+            let serial: Vec<MarketOutcome> = markets
+                .iter()
+                .map(|(bids, cs)| MarketClearing::new(config).clear(Slot::ZERO, bids, cs))
+                .collect();
+            for round in 0..4 {
+                let parallel = spotdc_par::ThreadPool::new(4)
+                    .par_map(&markets, |(bids, cs)| engine.clear(Slot::ZERO, bids, cs));
+                assert_eq!(parallel, serial, "{config:?} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_scratch_slots_are_skipped() {
+        // Poison one pool slot; clearing must route around it and stay
+        // correct (the old code silently reused poisoned state).
+        let engine = MarketClearing::default();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = engine.scratch[0].lock().unwrap();
+            panic!("poison the slot");
+        }));
+        assert!(engine.scratch[0].is_poisoned());
+        let cs = constraints(100.0);
+        let bids = vec![linear(0, 40.0, 0.05, 10.0, 0.4)];
+        let warm = engine.clear(Slot::ZERO, &bids, &cs);
+        let fresh = MarketClearing::default().clear(Slot::ZERO, &bids, &cs);
+        assert_eq!(warm, fresh);
+    }
+
+    #[test]
+    fn clear_falls_back_when_all_scratch_slots_are_busy() {
+        // Hold every pool slot (try_lock is non-reentrant, so the
+        // clearing below cannot acquire any of them) and verify the
+        // stack-local fallback produces the same outcome.
+        let engine = MarketClearing::default();
+        let cs = constraints(100.0);
+        let bids = vec![linear(0, 40.0, 0.05, 10.0, 0.4)];
+        let guards: Vec<_> = engine.scratch.iter().map(|m| m.lock().unwrap()).collect();
+        let busy = engine.clear(Slot::ZERO, &bids, &cs);
+        drop(guards);
+        let free = engine.clear(Slot::ZERO, &bids, &cs);
+        assert_eq!(busy, free);
+    }
+
+    #[test]
+    fn submarkets_compose_to_clear_per_pdu() {
+        let topo = TopologyBuilder::new(Watts::new(1000.0))
+            .pdu(Watts::new(500.0))
+            .rack(TenantId::new(0), Watts::new(100.0), Watts::new(60.0))
+            .pdu(Watts::new(500.0))
+            .rack(TenantId::new(1), Watts::new(100.0), Watts::new(60.0))
+            .build()
+            .unwrap();
+        let cs = ConstraintSet::new(
+            &topo,
+            vec![Watts::new(40.0), Watts::new(90.0)],
+            Watts::new(100.0),
+        );
+        let bids = vec![
+            linear(0, 60.0, 0.10, 10.0, 0.50),
+            linear(1, 60.0, 0.02, 10.0, 0.20),
+        ];
+        let engine = MarketClearing::new(ClearingConfig::kink_search());
+        let direct = engine.clear_per_pdu(Slot::ZERO, &bids, &cs);
+        let subs = engine.per_pdu_submarkets(&bids, &cs);
+        assert_eq!(subs.len(), direct.len());
+        let composed: Vec<MarketOutcome> = subs
+            .iter()
+            .map(|(group, local)| engine.clear(Slot::ZERO, group, local))
+            .collect();
+        assert_eq!(composed, direct);
+        // And a parallel merge in sub-market order is identical too.
+        let merged = spotdc_par::ThreadPool::new(4).par_map(&subs, |(group, local)| {
+            engine.clear(Slot::ZERO, group, local)
+        });
+        assert_eq!(merged, direct);
     }
 }

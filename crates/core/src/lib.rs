@@ -58,6 +58,7 @@ pub use invariant::{check_allocation, MarketInvariant};
 pub use maxperf::{max_perf_allocate, ConcaveGain};
 pub use operator::{DegradedInfo, Operator, OperatorConfig};
 pub use prediction::{
-    DegradedPrediction, MarginPolicy, PredictedSpot, SpotPredictor, StalenessPolicy,
+    DegradedPrediction, MarginPolicy, PredictedSpot, PredictionScratch, SpotPredictor,
+    StalenessPolicy,
 };
 pub use protocol::{CommsModel, ProtocolEvent};

@@ -318,6 +318,110 @@ impl SpotPredictor {
     }
 }
 
+/// Cross-slot cache for [`SpotPredictor::predict_cached`]: per-rack
+/// prediction references plus the inputs they were derived from, so
+/// only racks whose observed draw (or market participation) actually
+/// changed are recomputed each slot.
+///
+/// The per-PDU and UPS sums are *not* cached — they are re-accumulated
+/// in rack order on every call, because incrementally patching a float
+/// sum (`sum − old + new`) accumulates in a different order and would
+/// break bit-for-bit determinism against [`SpotPredictor::predict`].
+#[derive(Debug, Clone, Default)]
+pub struct PredictionScratch {
+    /// Whether the per-rack vectors below hold valid data.
+    initialized: bool,
+    /// Cached reference power per rack, in topology rack order.
+    refs: Vec<Watts>,
+    /// Bit pattern of the meter reading each reference was derived from.
+    reading_bits: Vec<u64>,
+    /// Whether the rack was a spot participant when cached.
+    member: Vec<bool>,
+    /// Reusable per-PDU accumulation buffer.
+    pdu_ref: Vec<Watts>,
+}
+
+impl PredictionScratch {
+    /// An empty scratch; the first `predict_cached` call fills it.
+    #[must_use]
+    pub fn new() -> Self {
+        PredictionScratch::default()
+    }
+
+    /// Resizes the per-rack vectors for `racks`/`pdus`, invalidating
+    /// the cache if the shape changed.
+    fn reshape(&mut self, racks: usize, pdus: usize) {
+        if self.refs.len() != racks {
+            self.initialized = false;
+            self.refs.resize(racks, Watts::ZERO);
+            self.reading_bits.resize(racks, 0);
+            self.member.resize(racks, false);
+        }
+        self.pdu_ref.clear();
+        self.pdu_ref.resize(pdus, Watts::ZERO);
+    }
+}
+
+impl SpotPredictor {
+    /// Like [`SpotPredictor::predict`], but reuses `scratch` to skip
+    /// recomputing the reference of every rack whose meter reading and
+    /// participation are unchanged since the previous call — the common
+    /// case slot-over-slot, where PDU power moves ±2.5 % (Fig. 7a) and
+    /// most racks' readings are literally identical trace samples.
+    ///
+    /// Bit-identical to [`SpotPredictor::predict`]: cached references
+    /// are compared on exact reading bit patterns, and the capacity
+    /// sums are re-accumulated in rack order every call. The
+    /// [`MarginPolicy::Adaptive`] policy reads the whole metering
+    /// history, not just the latest sample, so it delegates to the
+    /// uncached path.
+    #[must_use]
+    pub fn predict_cached(
+        &self,
+        topology: &PowerTopology,
+        meter: &PowerMeter,
+        spot_racks: impl IntoIterator<Item = RackId>,
+        scratch: &mut PredictionScratch,
+    ) -> PredictedSpot {
+        if let MarginPolicy::Adaptive { .. } = self.policy {
+            return self.predict(topology, meter, spot_racks);
+        }
+        let _span = spotdc_telemetry::span!("predict");
+        let spot_set: BTreeSet<RackId> = spot_racks.into_iter().collect();
+        scratch.reshape(topology.rack_count(), topology.pdu_count());
+        let mut total_ref = Watts::ZERO;
+        for (i, rack) in topology.racks().enumerate() {
+            let member = spot_set.contains(&rack.id());
+            let bits = meter.rack_power(rack.id()).value().to_bits();
+            if !scratch.initialized
+                || scratch.member[i] != member
+                || scratch.reading_bits[i] != bits
+            {
+                scratch.refs[i] = if member {
+                    rack.guaranteed()
+                } else {
+                    meter.rack_power(rack.id()).min(rack.guaranteed())
+                };
+                scratch.member[i] = member;
+                scratch.reading_bits[i] = bits;
+            }
+            scratch.pdu_ref[rack.pdu().index()] += scratch.refs[i];
+            total_ref += scratch.refs[i];
+        }
+        scratch.initialized = true;
+        let factor = self.factor();
+        let pdu = topology
+            .pdus()
+            .map(|p| {
+                let cap = topology.pdu_capacity(p).expect("pdu from topology");
+                ((cap - scratch.pdu_ref[p.index()]) * factor).clamp_non_negative()
+            })
+            .collect();
+        let ups = ((topology.ups_capacity() - total_ref) * factor).clamp_non_negative();
+        PredictedSpot { pdu, ups }
+    }
+}
+
 impl Default for SpotPredictor {
     fn default() -> Self {
         SpotPredictor::exact()
@@ -537,5 +641,66 @@ mod tests {
     #[should_panic(expected = "under-prediction must be in [0,100)")]
     fn full_under_prediction_rejected() {
         let _ = SpotPredictor::under_predicting(100.0);
+    }
+
+    #[test]
+    fn cached_prediction_matches_uncached_across_changes() {
+        let (topo, mut meter) = setup();
+        let predictor = SpotPredictor::under_predicting(10.0);
+        let mut scratch = PredictionScratch::new();
+        // Slot-by-slot script: unchanged readings, one rack moving,
+        // membership flips, a rack pinned at its guarantee clamp.
+        type Step = (Vec<(usize, f64)>, Vec<RackId>);
+        let script: Vec<Step> = vec![
+            (vec![], vec![]),
+            (vec![], vec![]),                        // nothing changed
+            (vec![(0, 75.0)], vec![]),               // one rack moved
+            (vec![], vec![RackId::new(0)]),          // membership flip
+            (vec![(1, 90.0)], vec![RackId::new(0)]), // same value re-recorded
+            (vec![(2, 250.0)], vec![]),              // above guarantee
+            (vec![(0, 60.0), (2, 120.0)], vec![]),   // two racks move back
+        ];
+        for (slot, (updates, members)) in script.into_iter().enumerate() {
+            for (rack, w) in updates {
+                meter.record(Slot::new(slot as u64 + 1), RackId::new(rack), Watts::new(w));
+            }
+            let cached =
+                predictor.predict_cached(&topo, &meter, members.iter().copied(), &mut scratch);
+            let uncached = predictor.predict(&topo, &meter, members.iter().copied());
+            assert_eq!(cached, uncached, "slot {slot} diverged");
+        }
+    }
+
+    #[test]
+    fn cached_prediction_adaptive_delegates_to_uncached() {
+        let (topo, mut meter) = setup();
+        meter.record(Slot::new(1), RackId::new(0), Watts::new(75.0));
+        let predictor = SpotPredictor::adaptive(1.5);
+        let mut scratch = PredictionScratch::new();
+        let cached = predictor.predict_cached(&topo, &meter, [], &mut scratch);
+        let uncached = predictor.predict(&topo, &meter, []);
+        assert_eq!(cached, uncached);
+        // The scratch stays untouched (the delegate path never fills it).
+        assert!(!scratch.initialized);
+    }
+
+    #[test]
+    fn prediction_scratch_survives_topology_reshape() {
+        let (topo, meter) = setup();
+        let predictor = SpotPredictor::exact();
+        let mut scratch = PredictionScratch::new();
+        let _ = predictor.predict_cached(&topo, &meter, [], &mut scratch);
+        // A different (smaller) topology with its own meter: the
+        // scratch must invalidate rather than reuse stale references.
+        let small = TopologyBuilder::new(Watts::new(100.0))
+            .pdu(Watts::new(100.0))
+            .rack(TenantId::new(0), Watts::new(50.0), Watts::ZERO)
+            .build()
+            .unwrap();
+        let mut small_meter = PowerMeter::new(&small, 4).unwrap();
+        small_meter.record(Slot::ZERO, RackId::new(0), Watts::new(30.0));
+        let cached = predictor.predict_cached(&small, &small_meter, [], &mut scratch);
+        let uncached = predictor.predict(&small, &small_meter, []);
+        assert_eq!(cached, uncached);
     }
 }

@@ -170,4 +170,70 @@ proptest! {
         let d_hi = bid.demand_at(Price::per_kw_hour(hi));
         prop_assert!(d_hi <= d_lo + Watts::new(1e-9));
     }
+
+    #[test]
+    fn per_pdu_parallel_clearing_merges_to_serial((bids, p0, p1, ups) in market_case()) {
+        // Decompose into per-PDU sub-markets, clear them on a shared
+        // warm engine from 4 threads, merge in sub-market order: the
+        // result must be identical to the serial clear_per_pdu path.
+        let topo = topology(bids.len());
+        let cs = ConstraintSet::new(&topo, vec![Watts::new(p0), Watts::new(p1)], Watts::new(ups));
+        let rack_bids: Vec<RackBid> = bids
+            .iter()
+            .enumerate()
+            .map(|(i, b)| RackBid::new(RackId::new(i), b.clone()))
+            .collect();
+        for config in [ClearingConfig::grid(Price::cents_per_kw_hour(0.5)), ClearingConfig::kink_search()] {
+            let engine = MarketClearing::new(config);
+            let serial = engine.clear_per_pdu(Slot::ZERO, &rack_bids, &cs);
+            let subs = engine.per_pdu_submarkets(&rack_bids, &cs);
+            let merged = spotdc_par::ThreadPool::new(4)
+                .par_map(&subs, |(group, local)| engine.clear(Slot::ZERO, group, local));
+            prop_assert_eq!(&merged, &serial, "{:?}", config);
+        }
+    }
+
+    #[test]
+    fn single_parameter_change_busts_the_candidate_cache(
+        (bids, p0, p1, ups) in market_case(),
+        victim in 0..64usize,
+        bump in 0.5..20.0f64,
+    ) {
+        // Warm an engine on market A, then change exactly one demand
+        // parameter of one bid and clear market B on the same engine.
+        // Both outcomes must match a fresh engine's — a stale cached
+        // candidate curve surviving the change would diverge here.
+        let topo = topology(bids.len());
+        let cs = ConstraintSet::new(&topo, vec![Watts::new(p0), Watts::new(p1)], Watts::new(ups));
+        let rack_bids: Vec<RackBid> = bids
+            .iter()
+            .enumerate()
+            .map(|(i, b)| RackBid::new(RackId::new(i), b.clone()))
+            .collect();
+        let mut mutated = rack_bids.clone();
+        let v = victim % mutated.len();
+        let new_demand: DemandBid = match mutated[v].demand() {
+            DemandBid::Linear(b) => LinearBid::new(
+                b.d_max() + Watts::new(bump),
+                b.q_min(),
+                b.d_min(),
+                b.q_max(),
+            ).expect("growing d_max keeps ordering").into(),
+            DemandBid::Step(b) => StepBid::new(
+                b.demand() + Watts::new(bump),
+                b.price_cap(),
+            ).expect("valid").into(),
+            DemandBid::Full(_) => unreachable!("market_case only emits linear/step"),
+        };
+        mutated[v] = RackBid::new(mutated[v].rack(), new_demand);
+        for config in [ClearingConfig::grid(Price::cents_per_kw_hour(0.5)), ClearingConfig::kink_search()] {
+            let warm = MarketClearing::new(config);
+            let warm_a = warm.clear(Slot::ZERO, &rack_bids, &cs);
+            let warm_b = warm.clear(Slot::new(1), &mutated, &cs);
+            let fresh_a = MarketClearing::new(config).clear(Slot::ZERO, &rack_bids, &cs);
+            let fresh_b = MarketClearing::new(config).clear(Slot::new(1), &mutated, &cs);
+            prop_assert_eq!(&warm_a, &fresh_a, "warm A diverged under {:?}", config);
+            prop_assert_eq!(&warm_b, &fresh_b, "warm B diverged under {:?}", config);
+        }
+    }
 }

@@ -153,12 +153,22 @@ impl PowerMeter {
     #[must_use]
     pub fn pdu_powers(&self) -> Vec<Watts> {
         let mut per_pdu = vec![Watts::ZERO; self.pdu_count];
+        self.pdu_powers_into(&mut per_pdu);
+        per_pdu
+    }
+
+    /// Allocation-free [`Self::pdu_powers`]: resizes `out` to the PDU
+    /// count, zeroes it, and accumulates latest readings in rack order
+    /// (bit-identical to the allocating variant). For hot per-slot
+    /// callers that recycle one buffer across the whole run.
+    pub fn pdu_powers_into(&self, out: &mut Vec<Watts>) {
+        out.clear();
+        out.resize(self.pdu_count, Watts::ZERO);
         for (i, q) in self.history.iter().enumerate() {
             if let Some(r) = q.back() {
-                per_pdu[self.rack_to_pdu[i].index()] += r.power;
+                out[self.rack_to_pdu[i].index()] += r.power;
             }
         }
-        per_pdu
     }
 
     /// The full retained history for `rack`, oldest first.

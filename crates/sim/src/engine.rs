@@ -78,6 +78,14 @@ pub struct EngineConfig {
     /// runtime via [`crate::validate::set_forced`] (the repro binary's
     /// `--validate` flag).
     pub validate: bool,
+    /// Worker threads for the *within-slot* data-parallel sections
+    /// (bid/gain collection, per-PDU sub-market clearing, tenant
+    /// settlement). `1` (the default) keeps every stage on the single
+    /// historical serial path; higher values fan those sections out on
+    /// a [`spotdc_par::ThreadPool`] with order-preserving merges, so
+    /// reports stay byte-identical at any width. Orthogonal to the
+    /// *across-run* `--jobs` fan-out in the experiment layer.
+    pub inner_jobs: usize,
 }
 
 /// Why an [`EngineConfig`] (or a run request) was rejected.
@@ -106,6 +114,9 @@ pub enum ConfigError {
     },
     /// A simulation was asked to run for zero slots.
     ZeroHorizon,
+    /// `inner_jobs` was zero: the within-slot parallel width must be at
+    /// least one (one means the serial path).
+    ZeroInnerJobs,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -121,6 +132,9 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "{setting} requires a market mode, but mode is {mode}")
             }
             ConfigError::ZeroHorizon => write!(f, "simulation horizon must be at least one slot"),
+            ConfigError::ZeroInnerJobs => {
+                write!(f, "inner_jobs must be at least one (1 = serial)")
+            }
         }
     }
 }
@@ -143,6 +157,7 @@ impl EngineConfig {
             faults: FaultConfig::disabled(),
             cap: CapConfig::disabled(),
             validate: cfg!(debug_assertions),
+            inner_jobs: 1,
         }
     }
 
@@ -154,6 +169,9 @@ impl EngineConfig {
     ///
     /// Returns the first [`ConfigError`] found.
     pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.inner_jobs == 0 {
+            return Err(ConfigError::ZeroInnerJobs);
+        }
         let rates = [
             ("bid_loss", self.bid_loss),
             ("broadcast_loss", self.broadcast_loss),
@@ -510,6 +528,52 @@ mod tests {
         );
         let report = sim.try_run(50).expect("valid run succeeds");
         assert_eq!(report.records.len(), 50);
+    }
+
+    #[test]
+    fn zero_inner_jobs_is_rejected() {
+        let zero = EngineConfig {
+            inner_jobs: 0,
+            ..EngineConfig::new(Mode::SpotDc)
+        };
+        assert_eq!(zero.validate(), Err(ConfigError::ZeroInnerJobs));
+        for inner_jobs in [1, 2, 4] {
+            EngineConfig {
+                inner_jobs,
+                ..EngineConfig::new(Mode::SpotDc)
+            }
+            .validate()
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn inner_jobs_width_never_changes_the_report() {
+        let serial = run(Mode::SpotDc, 150);
+        for inner_jobs in [2, 4] {
+            let wide = Simulation::new(
+                Scenario::testbed(11),
+                EngineConfig {
+                    inner_jobs,
+                    ..EngineConfig::new(Mode::SpotDc)
+                },
+            )
+            .run(150);
+            assert_eq!(wide, serial, "inner_jobs = {inner_jobs}");
+        }
+        // The per-PDU ablation exercises the parallel sub-market path.
+        let per_pdu = |inner_jobs: usize| {
+            Simulation::new(
+                Scenario::testbed(11),
+                EngineConfig {
+                    per_pdu_pricing: true,
+                    inner_jobs,
+                    ..EngineConfig::new(Mode::SpotDc)
+                },
+            )
+            .run(150)
+        };
+        assert_eq!(per_pdu(4), per_pdu(1));
     }
 
     #[test]

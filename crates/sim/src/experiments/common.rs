@@ -18,6 +18,11 @@ pub struct ExpConfig {
     pub days: f64,
     /// Quick mode: shrink sweeps for smoke tests.
     pub quick: bool,
+    /// Within-slot parallelism width for every simulation the
+    /// experiment runs (see [`EngineConfig::inner_jobs`]); 1 keeps the
+    /// serial per-slot path. Orthogonal to the experiment-level
+    /// fan-out. Reports are byte-identical for any width.
+    pub inner_jobs: usize,
 }
 
 impl Default for ExpConfig {
@@ -26,6 +31,7 @@ impl Default for ExpConfig {
             seed: 42,
             days: 10.0,
             quick: false,
+            inner_jobs: 1,
         }
     }
 }
@@ -66,18 +72,25 @@ impl std::fmt::Display for ExpOutput {
     }
 }
 
+/// Applies the experiment-wide within-slot width to an engine config,
+/// keeping any wider explicit per-engine setting.
+fn widen(cfg: &ExpConfig, mut engine: EngineConfig) -> EngineConfig {
+    engine.inner_jobs = engine.inner_jobs.max(cfg.inner_jobs);
+    engine
+}
+
 /// Runs `scenario` under `mode` for the configured horizon.
 #[must_use]
 pub fn run_mode(cfg: &ExpConfig, scenario: Scenario, mode: Mode) -> SimReport {
     let slots = cfg.slots(&scenario);
-    Simulation::new(scenario, EngineConfig::new(mode)).run(slots)
+    Simulation::new(scenario, widen(cfg, EngineConfig::new(mode))).run(slots)
 }
 
 /// Runs `scenario` with a custom engine configuration.
 #[must_use]
 pub fn run_with(cfg: &ExpConfig, scenario: Scenario, engine: EngineConfig) -> SimReport {
     let slots = cfg.slots(&scenario);
-    Simulation::new(scenario, engine).run(slots)
+    Simulation::new(scenario, widen(cfg, engine)).run(slots)
 }
 
 /// Runs independent jobs concurrently on the default pool, preserving
@@ -134,7 +147,7 @@ pub fn run_engines(
 ) -> Vec<SimReport> {
     let slots = cfg.slots(scenario);
     fan_out(engines, |engine| {
-        Simulation::new(scenario.clone(), *engine).run(slots)
+        Simulation::new(scenario.clone(), widen(cfg, *engine)).run(slots)
     })
 }
 

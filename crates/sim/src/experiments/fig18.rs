@@ -111,6 +111,7 @@ mod tests {
             days: 2.0,
             seed: 42,
             quick: true,
+            inner_jobs: 1,
         });
         assert!(points.len() >= 2);
         let first = &points[0];

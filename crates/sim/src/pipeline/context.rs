@@ -96,6 +96,13 @@ pub struct SimState {
     pub prediction_error_sum: f64,
     /// Number of slots contributing to `prediction_error_sum`.
     pub prediction_error_count: u64,
+    /// Thread pool for the within-slot data-parallel sections, sized by
+    /// [`EngineConfig::inner_jobs`] (width 1 = every stage stays on its
+    /// serial path).
+    pub inner: spotdc_par::ThreadPool,
+    /// Structure-of-arrays per-PDU draw buffer the settle stage
+    /// re-fills each slot instead of allocating a fresh vector.
+    pub pdu_draw: Vec<Watts>,
 }
 
 impl SimState {
@@ -143,7 +150,8 @@ impl SimState {
             meter.record(Slot::ZERO, other.rack, draw);
             true_draw[other.rack.index()] = draw.clamp_non_negative();
         }
-        let mut prev_base_pdu: Vec<Watts> = vec![Watts::ZERO; topology.pdu_count()];
+        let pdu_count = topology.pdu_count();
+        let mut prev_base_pdu: Vec<Watts> = vec![Watts::ZERO; pdu_count];
         for (i, &d) in true_draw.iter().enumerate() {
             prev_base_pdu[rack_pdu[i]] += d.min(guaranteed[i]);
         }
@@ -176,7 +184,16 @@ impl SimState {
             invariant_violations: 0,
             prediction_error_sum: 0.0,
             prediction_error_count: 0,
+            inner: spotdc_par::ThreadPool::new(config.inner_jobs.max(1)),
+            pdu_draw: vec![Watts::ZERO; pdu_count],
         }
+    }
+
+    /// Whether the within-slot parallel sections should fan out (the
+    /// inner pool is wider than one worker).
+    #[must_use]
+    pub fn inner_parallel(&self) -> bool {
+        self.inner.threads() > 1
     }
 
     /// The meter the market should see this slot: last slot's snapshot

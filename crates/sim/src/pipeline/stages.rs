@@ -64,6 +64,21 @@ fn record_observed(
     true
 }
 
+/// Collects every tenant agent's bid in rack order, appending the
+/// `Some` results to `bids`. With an inner pool wider than one worker
+/// the per-agent bid computation fans out via `par_map_mut` (each agent
+/// mutates only its own valuation cache); the order-preserving merge
+/// keeps the resulting bid order identical to the serial path.
+fn collect_bids_into(state: &mut SimState, bids: &mut Vec<TenantBid>) {
+    if state.inner_parallel() {
+        let _span = spotdc_telemetry::span!("par.collect_bids");
+        let produced = state.inner.par_map_mut(&mut state.agents, |a| a.make_bid());
+        bids.extend(produced.into_iter().flatten());
+    } else {
+        bids.extend(state.agents.iter_mut().filter_map(|a| a.make_bid()));
+    }
+}
+
 /// Counts and reports post-clearing invariant violations. Every
 /// violation is a bug somewhere upstream — clearing, degradation or
 /// capping — so debug builds abort on the spot.
@@ -168,8 +183,7 @@ impl SlotStage for CollectBids {
     fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
         let slot = ctx.slot;
         ctx.bids.clear();
-        ctx.bids
-            .extend(state.agents.iter_mut().filter_map(|a| a.make_bid()));
+        collect_bids_into(state, &mut ctx.bids);
         if self.price_oracle {
             // The oracle's pre-pass always reads the *live* meter: it
             // models perfect knowledge, not the (possibly delayed)
@@ -180,8 +194,7 @@ impl SlotStage for CollectBids {
                 a.predict_price(oracle);
             }
             ctx.bids.clear();
-            ctx.bids
-                .extend(state.agents.iter_mut().filter_map(|a| a.make_bid()));
+            collect_bids_into(state, &mut ctx.bids);
         }
         if state.faults_active {
             // Late bids from the previous slot arrive now — unless the
@@ -245,12 +258,32 @@ impl SlotStage for CollectGains {
     fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
         ctx.gains.clear();
         ctx.requesting.clear();
-        for agent in state.agents.iter_mut() {
-            if agent.wants_spot() {
+        if state.inner_parallel() {
+            // Envelope construction is the expensive part; the ordered
+            // merge below inserts in agent order, exactly as the serial
+            // loop does.
+            let _span = spotdc_telemetry::span!("par.collect_gains");
+            let produced = state.inner.par_map_mut(&mut state.agents, |agent| {
+                if !agent.wants_spot() {
+                    return None;
+                }
                 let env = agent.gain_curve().concave_envelope();
-                if let Ok(gain) = ConcaveGain::from_points(env.points()) {
-                    ctx.requesting.push(agent.rack());
-                    ctx.gains.insert(agent.rack(), gain);
+                ConcaveGain::from_points(env.points())
+                    .ok()
+                    .map(|gain| (agent.rack(), gain))
+            });
+            for (rack, gain) in produced.into_iter().flatten() {
+                ctx.requesting.push(rack);
+                ctx.gains.insert(rack, gain);
+            }
+        } else {
+            for agent in state.agents.iter_mut() {
+                if agent.wants_spot() {
+                    let env = agent.gain_curve().concave_envelope();
+                    if let Ok(gain) = ConcaveGain::from_points(env.points()) {
+                        ctx.requesting.push(agent.rack());
+                        ctx.gains.insert(agent.rack(), gain);
+                    }
                 }
             }
         }
@@ -265,6 +298,11 @@ impl SlotStage for CollectGains {
 pub struct Predict {
     kind: PredictKind,
     staleness: Option<spotdc_core::StalenessPolicy>,
+    /// Cross-slot per-rack reference cache: racks whose membership and
+    /// meter reading are unchanged reuse their cached reference draw.
+    /// Sums are still re-accumulated in rack order every slot, so the
+    /// prediction stays bit-identical to the uncached path.
+    scratch: spotdc_core::PredictionScratch,
 }
 
 impl Predict {
@@ -273,7 +311,11 @@ impl Predict {
     /// configured policy and the plain variant none at all.
     #[must_use]
     pub fn new(kind: PredictKind, staleness: Option<spotdc_core::StalenessPolicy>) -> Self {
-        Predict { kind, staleness }
+        Predict {
+            kind,
+            staleness,
+            scratch: spotdc_core::PredictionScratch::new(),
+        }
     }
 }
 
@@ -293,8 +335,12 @@ impl SlotStage for Predict {
                 ctx.requesting
                     .extend(ctx.rack_bids.iter().map(RackBid::rack));
                 let meter = state.market_meter(ctx.delayed);
-                let (predicted, degraded) =
-                    state.operator.predict_spot(slot, &ctx.requesting, meter);
+                let (predicted, degraded) = state.operator.predict_spot_cached(
+                    slot,
+                    &ctx.requesting,
+                    meter,
+                    &mut self.scratch,
+                );
                 ctx.slot_degraded |= degraded.is_some();
                 predicted
             }
@@ -307,10 +353,11 @@ impl SlotStage for Predict {
                     .extend(ctx.rack_bids.iter().map(RackBid::rack));
                 let meter = state.market_meter(ctx.delayed);
                 match self.staleness {
-                    None => state.operator.predictor().predict(
+                    None => state.operator.predictor().predict_cached(
                         &state.topology,
                         meter,
                         ctx.requesting.iter().copied(),
+                        &mut self.scratch,
                     ),
                     Some(policy) => {
                         let d = state.operator.predictor().predict_with_staleness(
@@ -329,10 +376,11 @@ impl SlotStage for Predict {
                 // MaxPerf: omniscient allocation still respects the
                 // predictor's capacity view, with no staleness policy.
                 let meter = state.market_meter(ctx.delayed);
-                state.operator.predictor().predict(
+                state.operator.predictor().predict_cached(
                     &state.topology,
                     meter,
                     ctx.requesting.iter().copied(),
+                    &mut self.scratch,
                 )
             }
         };
@@ -425,10 +473,26 @@ impl SlotStage for ClearPerPdu {
         let constraints = ctx.constraints.take().expect("Predict runs before Clear");
         let mut revenue_weighted_price = 0.0;
         self.combined.clear();
-        for outcome in self
-            .clearing
-            .clear_per_pdu(slot, &ctx.rack_bids, &constraints)
-        {
+        let outcomes = if state.inner_parallel() {
+            // Each PDU sub-market clears independently against its own
+            // constraint share; `par_map` returns outcomes in sub-market
+            // (PDU) order, so the merge below — payments, validation,
+            // revenue-weighted price — is identical to the serial path.
+            let _span = spotdc_telemetry::span!("par.clear_per_pdu", slot = slot);
+            let submarkets = self
+                .clearing
+                .per_pdu_submarkets(&ctx.rack_bids, &constraints);
+            let run = spotdc_telemetry::current_run();
+            let clearing = &self.clearing;
+            state.inner.par_map(&submarkets, |(group, local)| {
+                let _scope = run.as_deref().map(spotdc_telemetry::run_scope);
+                clearing.clear(slot, group, local)
+            })
+        } else {
+            self.clearing
+                .clear_per_pdu(slot, &ctx.rack_bids, &constraints)
+        };
+        for outcome in outcomes {
             let mut alloc = outcome.into_allocation();
             state.comms.deliver_broadcasts(
                 &state.topology,
@@ -559,9 +623,25 @@ impl SlotStage for Settle {
         let slot = ctx.slot;
         let t = ctx.t;
         let mut tenant_metrics = Vec::with_capacity(state.agents.len());
-        for agent in state.agents.iter_mut() {
-            let budget = state.bank.budget(agent.rack());
-            let out = agent.run_slot(budget);
+        // Tenant execution is pure per agent (`run_slot(&self)`), so the
+        // fan-out only reads the agents and the bank; the serial merge
+        // below records meter samples and metrics in agent order,
+        // keeping the report identical to the serial path.
+        let outcomes = if state.inner_parallel() {
+            let _span = spotdc_telemetry::span!("par.settle");
+            let bank = &state.bank;
+            Some(state.inner.par_map(&state.agents, |agent| {
+                agent.run_slot(bank.budget(agent.rack()))
+            }))
+        } else {
+            None
+        };
+        let mut outcomes = outcomes.into_iter().flatten();
+        for agent in state.agents.iter() {
+            let out = match outcomes.next() {
+                Some(out) => out,
+                None => agent.run_slot(state.bank.budget(agent.rack())),
+            };
             if record_observed(
                 &mut state.meter,
                 &state.plan,
@@ -608,18 +688,25 @@ impl SlotStage for Settle {
         // power. With faults off the meter holds exactly the true
         // draws, so reading it back preserves the historical
         // accumulation order bit for bit.
-        let (pdu_power, ups_power) = if state.faults_active {
-            let mut per_pdu = vec![Watts::ZERO; state.topology.pdu_count()];
+        // The per-PDU draws accumulate into the recycled
+        // structure-of-arrays buffer on the state — no per-slot
+        // allocation — in the same rack order as before.
+        let ups_power = if state.faults_active {
+            state.pdu_draw.clear();
+            state
+                .pdu_draw
+                .resize(state.topology.pdu_count(), Watts::ZERO);
             let mut total = Watts::ZERO;
             for (i, &d) in state.true_draw.iter().enumerate() {
-                per_pdu[state.rack_pdu[i]] += d;
+                state.pdu_draw[state.rack_pdu[i]] += d;
                 total += d;
             }
-            (per_pdu, total)
+            total
         } else {
-            (state.meter.pdu_powers(), state.meter.ups_power())
+            state.meter.pdu_powers_into(&mut state.pdu_draw);
+            state.meter.ups_power()
         };
-        let found = state.emergencies.observe(slot, &pdu_power);
+        let found = state.emergencies.observe(slot, &state.pdu_draw);
         if ctx.slot_degraded {
             state.degraded_slots += 1;
         }
@@ -642,7 +729,7 @@ impl SlotStage for Settle {
             spot_available: ctx.spot_available,
             spot_sold: ctx.spot_sold,
             ups_power: ups_power.value(),
-            pdu_power: pdu_power.iter().map(|w| w.value()).collect(),
+            pdu_power: state.pdu_draw.iter().map(|w| w.value()).collect(),
             tenants: tenant_metrics,
         });
         // Roll slot state forward for next slot's degradation paths.

@@ -1,0 +1,143 @@
+//! Cache-invalidation guard for the clearing engine's cross-slot
+//! candidate cache.
+//!
+//! [`MarketClearing`] reuses its candidate price grid when the admitted
+//! bid set is unchanged between clears; the cache key is a full-equality
+//! fingerprint of everything candidate generation reads. This test
+//! drives a warm engine through the bid-set churn a fault schedule
+//! produces — lost bids, late bids rolling into the next slot's
+//! auction, tenants sitting slots out — and demands that every clear
+//! matches a cache-cold engine exactly. A single stale-cache reuse
+//! shows up as a diverging outcome.
+//!
+//! (The complementary single-parameter property — any one mutated bid
+//! parameter busts the cache — lives in the core crate's property
+//! suite, next to the cache itself.)
+
+use proptest::prelude::*;
+use spotdc_core::demand::{DemandBid, LinearBid, StepBid};
+use spotdc_core::{ClearingConfig, ConstraintSet, MarketClearing, RackBid};
+use spotdc_faults::{BidFault, FaultConfig, FaultPlan};
+use spotdc_power::topology::TopologyBuilder;
+use spotdc_power::PowerTopology;
+use spotdc_units::{Price, RackId, Slot, TenantId, Watts};
+
+const TENANTS: usize = 8;
+const HORIZON: u64 = 24;
+
+/// A random linear bid (always valid by construction).
+fn linear_bid() -> impl Strategy<Value = DemandBid> {
+    (0.0..80.0f64, 0.0..80.0f64, 0.0..0.3f64, 0.0..0.3f64).prop_map(|(d1, d2, q1, q2)| {
+        let (d_min, d_max) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let (q_min, q_max) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        LinearBid::new(
+            Watts::new(d_max),
+            Price::per_kw_hour(q_min),
+            Watts::new(d_min),
+            Price::per_kw_hour(q_max),
+        )
+        .expect("ordered parameters are valid")
+        .into()
+    })
+}
+
+fn step_bid() -> impl Strategy<Value = DemandBid> {
+    (0.0..80.0f64, 0.0..0.4f64).prop_map(|(d, q)| {
+        StepBid::new(Watts::new(d), Price::per_kw_hour(q))
+            .expect("valid")
+            .into()
+    })
+}
+
+fn any_bid() -> impl Strategy<Value = DemandBid> {
+    prop_oneof![linear_bid(), step_bid()]
+}
+
+/// A topology with [`TENANTS`] racks spread over two PDUs.
+fn topology() -> PowerTopology {
+    let mut b = TopologyBuilder::new(Watts::new(1e6)).pdu(Watts::new(1e5));
+    for i in 0..TENANTS {
+        if i == TENANTS / 2 {
+            b = b.pdu(Watts::new(1e5));
+        }
+        b = b.rack(TenantId::new(i), Watts::new(100.0), Watts::new(60.0));
+    }
+    b.build().expect("valid topology")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fault_driven_bid_churn_never_reuses_a_stale_cache(
+        demands in prop::collection::vec(any_bid(), TENANTS..=TENANTS),
+        fault_seed in 0u64..1_000_000,
+    ) {
+        let topo = topology();
+        let cs = ConstraintSet::new(
+            &topo,
+            vec![Watts::new(120.0), Watts::new(90.0)],
+            Watts::new(180.0),
+        );
+        let plan = FaultPlan::new(FaultConfig::uniform(0.2, fault_seed));
+        for config in [
+            ClearingConfig::grid(Price::cents_per_kw_hour(0.5)),
+            ClearingConfig::kink_search(),
+        ] {
+            let warm = MarketClearing::new(config);
+            let mut late: Vec<(TenantId, RackBid)> = Vec::new();
+            let mut lost_faults = 0usize;
+            let mut late_faults = 0usize;
+            for s in 0..HORIZON {
+                let slot = Slot::new(s);
+                // Fresh submissions from a rotating subset of tenants,
+                // so a late bid can roll into a slot its tenant sits
+                // out — the same supersede-on-fresh rule CollectBids
+                // applies.
+                let mut market: Vec<(TenantId, RackBid)> = (0..TENANTS)
+                    .filter(|i| !(s as usize + i).is_multiple_of(3))
+                    .map(|i| {
+                        (
+                            TenantId::new(i),
+                            RackBid::new(RackId::new(i), demands[i].clone()),
+                        )
+                    })
+                    .collect();
+                for (tenant, bid) in std::mem::take(&mut late) {
+                    if !market.iter().any(|(t, _)| *t == tenant) {
+                        market.push((tenant, bid));
+                    }
+                }
+                let mut i = 0;
+                while i < market.len() {
+                    match plan.bid_fault(slot, market[i].0) {
+                        None => i += 1,
+                        Some(BidFault::Lost) => {
+                            market.remove(i);
+                            lost_faults += 1;
+                        }
+                        Some(BidFault::Late) => {
+                            let entry = market.remove(i);
+                            late.push(entry);
+                            late_faults += 1;
+                        }
+                    }
+                }
+                let rack_bids: Vec<RackBid> =
+                    market.iter().map(|(_, b)| b.clone()).collect();
+                let from_warm = warm.clear(slot, &rack_bids, &cs);
+                let from_cold = MarketClearing::new(config).clear(slot, &rack_bids, &cs);
+                prop_assert_eq!(
+                    from_warm,
+                    from_cold,
+                    "slot {s}: warm clear diverged from cache-cold clear ({config:?})"
+                );
+            }
+            // At a 20 % per-channel rate over ~128 submissions, a
+            // schedule firing neither fault kind is a broken schedule,
+            // not bad luck.
+            prop_assert!(lost_faults > 0, "no lost-bid faults fired");
+            prop_assert!(late_faults > 0, "no late-bid faults fired");
+        }
+    }
+}

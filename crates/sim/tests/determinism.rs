@@ -1,10 +1,12 @@
 //! The parallel layer's correctness anchor: experiment output must be
-//! byte-identical regardless of the worker count. Runs a cheap subset
-//! of the registry (covering the mode fan-out, the join helper, the
-//! engine-grid fan-out, the shared trace cache, and the fault-injected
-//! robustness sweep with its invariant checker) at one worker and at
-//! four, and compares the rendered bodies byte for byte — exactly what
-//! `repro --jobs N` prints.
+//! byte-identical regardless of the worker count — both the
+//! experiment-level fan-out (`--jobs`) and the within-slot width
+//! (`--inner-jobs`). Runs a cheap subset of the registry (covering the
+//! mode fan-out, the join helper, the engine-grid fan-out, the shared
+//! trace cache, and the fault-injected robustness sweep with its
+//! invariant checker) over the {jobs} × {inner_jobs} grid {1, 4}²,
+//! and compares the rendered bodies byte for byte — exactly what
+//! `repro --jobs N --inner-jobs M` prints.
 
 use proptest::prelude::*;
 use spotdc_faults::FaultConfig;
@@ -15,33 +17,36 @@ use spotdc_sim::{Mode, Scenario};
 
 #[test]
 fn rendered_experiments_are_byte_identical_across_job_counts() {
-    let cfg = ExpConfig {
-        days: 0.25,
-        seed: 9,
-        quick: true,
-    };
     // fig10: single staged run; fig11: join(); fig13: run_modes();
     // ablations: run_engines() over seven variants + granularity study;
     // robustness: fault-injected engines with the per-slot invariant
     // checker armed — the fault schedule itself must be thread-count
     // independent.
     let ids = ["fig10", "fig11", "fig13", "ablations", "robustness"];
-    let render = |jobs: usize| -> String {
+    let render = |jobs: usize, inner_jobs: usize| -> String {
+        let cfg = ExpConfig {
+            days: 0.25,
+            seed: 9,
+            quick: true,
+            inner_jobs,
+        };
         run_selected(&ids, &cfg, ThreadPool::new(jobs))
             .into_iter()
             .map(|t| t.expect("known id").output.to_string())
             .collect::<Vec<_>>()
             .join("\n")
     };
-    let serial = render(1);
-    let four = render(4);
-    assert_eq!(
-        serial, four,
-        "parallel output diverged from the serial reference"
-    );
-    // And a repeat at the same width is stable too (no hidden global
-    // state leaking between runs).
-    assert_eq!(four, render(4));
+    let reference = render(1, 1);
+    for (jobs, inner_jobs) in [(1, 4), (4, 1), (4, 4)] {
+        assert_eq!(
+            reference,
+            render(jobs, inner_jobs),
+            "jobs={jobs} inner_jobs={inner_jobs} diverged from the serial reference"
+        );
+    }
+    // And a repeat at the widest grid point is stable too (no hidden
+    // global state leaking between runs).
+    assert_eq!(render(4, 4), render(4, 4));
 }
 
 fn faulted_engine(fault_seed: u64) -> EngineConfig {

@@ -33,8 +33,12 @@ fn golden_path(file: &str) -> PathBuf {
 /// one `Debug` line per slot record, then the scalar summary fields.
 /// Rust's `Debug` for `f64` is shortest-roundtrip formatting, so equal
 /// bytes ⇔ equal values.
-fn render(mode: Mode) -> String {
-    let report = Simulation::new(Scenario::testbed(SEED), EngineConfig::new(mode)).run(SLOTS);
+fn render(mode: Mode, inner_jobs: usize) -> String {
+    let engine = EngineConfig {
+        inner_jobs,
+        ..EngineConfig::new(mode)
+    };
+    let report = Simulation::new(Scenario::testbed(SEED), engine).run(SLOTS);
     let mut s = String::new();
     writeln!(
         s,
@@ -76,7 +80,14 @@ fn sim_reports_match_golden_snapshots() {
     ];
     for (mode, file) in cases {
         let path = golden_path(file);
-        let rendered = render(mode);
+        let rendered = render(mode, 1);
+        // The within-slot parallel path must reproduce the serial
+        // snapshot byte for byte — same floats, same RNG order.
+        assert_eq!(
+            rendered,
+            render(mode, 4),
+            "{mode} report at inner_jobs=4 diverged from the serial render"
+        );
         if std::env::var_os("GOLDEN_REGEN").is_some() {
             std::fs::create_dir_all(path.parent().unwrap()).unwrap();
             std::fs::write(&path, &rendered).unwrap();
