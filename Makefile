@@ -4,7 +4,7 @@ CARGO ?= cargo
 JOBS ?= 4
 
 .PHONY: build test bench bench-repro bench-slots bench-check clippy \
-	determinism golden smoke-faults fmt verify repro
+	determinism golden smoke-faults smoke-trace fmt verify repro
 
 build:
 	$(CARGO) build --release
@@ -32,6 +32,12 @@ golden:
 smoke-faults: build
 	$(CARGO) run -p spotdc-bench --bin repro --release -- \
 		--exp robustness --validate --quick --quiet
+
+# Observability smoke run: quick faulted sweeps with the flight
+# recorder armed, then spotdc-trace must find the injected emergencies,
+# time all nine pipeline stages, and render deterministically.
+smoke-trace: build
+	scripts/smoke_trace
 
 fmt:
 	$(CARGO) fmt --check
@@ -62,4 +68,4 @@ repro:
 	$(CARGO) run -p spotdc-bench --bin repro --release -- --quick \
 		--out repro-results --telemetry repro-results/telemetry.jsonl
 
-verify: build test golden determinism clippy smoke-faults fmt
+verify: build test golden determinism clippy smoke-faults smoke-trace fmt

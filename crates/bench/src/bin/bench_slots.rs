@@ -5,6 +5,7 @@
 //! bench_slots                        # print the table
 //! bench_slots --out BENCH_slots.json # also write the JSON reference
 //! bench_slots --slots 90 --samples 5 # longer / steadier measurement
+//! bench_slots --serve-metrics 127.0.0.1:0  # live /metrics while measuring
 //! ```
 //!
 //! Runs a fig14-class scenario — the hyper-scale topology at 304
@@ -14,6 +15,11 @@
 //! second plus speedup over the serial width. Every run is fully
 //! seeded, so the three widths simulate byte-identical markets; only
 //! the wall-clock differs.
+//!
+//! A final measurement re-runs the serial width with telemetry enabled
+//! on a null sink, so the JSON reference records how much the
+//! observability layer costs when armed — and, by comparison with the
+//! plain serial row, confirms it costs nothing when off.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -63,12 +69,17 @@ fn main() -> ExitCode {
     let mut out: Option<std::path::PathBuf> = None;
     let mut slots: u64 = 60;
     let mut samples: usize = 3;
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => match args.next() {
                 Some(path) => out = Some(path.into()),
                 None => return usage("--out needs a file path"),
+            },
+            "--serve-metrics" => match args.next() {
+                Some(addr) => metrics_addr = Some(addr),
+                None => return usage("--serve-metrics needs an address (host:port)"),
             },
             "--slots" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => slots = n,
@@ -83,11 +94,31 @@ fn main() -> ExitCode {
         }
     }
 
+    let server = match &metrics_addr {
+        Some(addr) => match spotdc_obs::MetricsServer::start(addr.as_str()) {
+            Ok(server) => {
+                // The scrape endpoint needs the span registry filling
+                // up, which needs the enable switch on; the measured
+                // rows below manage the switch themselves.
+                eprintln!("# serving http://{}/metrics and /healthz", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     // Warm once (trace memoization, allocator) outside the timed region.
     std::hint::black_box(
         Simulation::new(Scenario::hyperscale(SEED, TENANTS), engine(1)).run(slots.min(10)),
     );
 
+    // Main rows run with telemetry hard-off: this is the hot path the
+    // committed reference gates.
+    spotdc_telemetry::set_enabled(false);
     let rows: Vec<Row> = WIDTHS
         .iter()
         .map(|&w| Row {
@@ -96,6 +127,18 @@ fn main() -> ExitCode {
         })
         .collect();
     let serial = rows[0].slots_per_sec;
+
+    // Measured last because the install is process-global and sticky:
+    // telemetry enabled, events dropped in a null sink — the cost of
+    // arming the observability layer without an artifact.
+    spotdc_telemetry::install(spotdc_telemetry::TelemetryConfig {
+        enabled: true,
+        sink: spotdc_telemetry::SinkKind::Null,
+        sample_every: 1,
+    });
+    let telemetry_on = measure(1, slots, samples);
+    spotdc_telemetry::set_enabled(false);
+    let overhead_percent = (serial / telemetry_on - 1.0) * 100.0;
 
     println!(
         "# slot throughput — hyperscale({TENANTS}) SpotDC per-PDU, seed {SEED}, \
@@ -110,24 +153,42 @@ fn main() -> ExitCode {
             r.slots_per_sec / serial
         );
     }
+    println!(
+        "telemetry on (null sink, serial): {telemetry_on:.2} slots/sec \
+         ({overhead_percent:+.1}% overhead)"
+    );
 
     if let Some(path) = &out {
-        if let Err(e) = write_json(path, slots, samples, &rows, serial) {
+        if let Err(e) = write_json(
+            path,
+            slots,
+            samples,
+            &rows,
+            serial,
+            telemetry_on,
+            overhead_percent,
+        ) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(server) = server {
+        server.shutdown();
     }
     ExitCode::SUCCESS
 }
 
 /// Writes the measured table as a small line-oriented JSON file (the
 /// committed reference `scripts/bench_check` compares against).
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &std::path::Path,
     slots: u64,
     samples: usize,
     rows: &[Row],
     serial: f64,
+    telemetry_on: f64,
+    overhead_percent: f64,
 ) -> std::io::Result<()> {
     let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(file, "{{")?;
@@ -138,6 +199,12 @@ fn write_json(
     writeln!(file, "  \"seed\": {SEED},")?;
     writeln!(file, "  \"slots\": {slots},")?;
     writeln!(file, "  \"samples\": {samples},")?;
+    writeln!(
+        file,
+        "  \"telemetry\": {{ \"off_slots_per_sec\": {serial:.2}, \
+         \"null_sink_slots_per_sec\": {telemetry_on:.2}, \
+         \"enabled_overhead_percent\": {overhead_percent:.1} }},"
+    )?;
     writeln!(file, "  \"results\": [")?;
     let body: Vec<String> = rows
         .iter()
@@ -160,7 +227,10 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("error: {error}\n");
     }
-    eprintln!("usage: bench_slots [--out <file>] [--slots <n>] [--samples <n>]");
+    eprintln!(
+        "usage: bench_slots [--out <file>] [--slots <n>] [--samples <n>] \
+         [--serve-metrics <host:port>]"
+    );
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {

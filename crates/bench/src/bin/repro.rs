@@ -10,6 +10,8 @@
 //! repro --list-exps          # available experiment ids (alias: --list)
 //! repro --out results/       # also write one .txt file per experiment
 //! repro --telemetry t.jsonl  # record market events to a JSONL file
+//! repro --blackbox dumps/    # flight recorder: black-box dumps on emergencies
+//! repro --serve-metrics 127.0.0.1:9184   # live GET /metrics + /healthz
 //! repro --bench-json b.json  # write per-experiment wall-clock timings
 //! repro --validate           # per-slot invariant checks; violations fail the run
 //! repro --quiet              # suppress progress output (errors remain)
@@ -25,6 +27,7 @@ use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use spotdc_obs::{BlackBoxConfig, FlightRecorder, MetricsServer};
 use spotdc_sim::experiments::{all_ids, run_selected, ExpConfig, TimedOutput};
 use spotdc_sim::report::telemetry_summary;
 use spotdc_telemetry::{FileSink, SinkKind, TelemetryConfig};
@@ -70,6 +73,8 @@ fn main() -> ExitCode {
     let mut selected: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut telemetry_path: Option<std::path::PathBuf> = None;
+    let mut blackbox_dir: Option<std::path::PathBuf> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut bench_path: Option<std::path::PathBuf> = None;
     let mut jobs: usize = spotdc_par::available();
     let mut quiet = false;
@@ -114,6 +119,14 @@ fn main() -> ExitCode {
                 Some(path) => telemetry_path = Some(path.into()),
                 None => return usage("--telemetry needs a file path"),
             },
+            "--blackbox" => match args.next() {
+                Some(dir) => blackbox_dir = Some(dir.into()),
+                None => return usage("--blackbox needs a directory"),
+            },
+            "--serve-metrics" => match args.next() {
+                Some(addr) => metrics_addr = Some(addr),
+                None => return usage("--serve-metrics needs an address (host:port)"),
+            },
             "--bench-json" => match args.next() {
                 Some(path) => bench_path = Some(path.into()),
                 None => return usage("--bench-json needs a file path"),
@@ -130,23 +143,58 @@ fn main() -> ExitCode {
     spotdc_par::set_default_threads(jobs);
     // Install telemetry up front, before any worker thread races to
     // install an engine default (the in-engine install is a no-op once
-    // a sink is in place).
+    // a sink is in place). Keep the typed sink handle so write errors
+    // can fail the run at exit instead of shipping a truncated log.
+    let mut file_sink: Option<Arc<FileSink>> = None;
     if let Some(path) = &telemetry_path {
         match FileSink::create(path) {
-            Ok(sink) => spotdc_telemetry::install_with_sink(
-                TelemetryConfig {
-                    enabled: true,
-                    sink: SinkKind::File,
-                    sample_every: 1,
-                },
-                Arc::new(sink),
-            ),
+            Ok(sink) => {
+                let sink = Arc::new(sink);
+                file_sink = Some(sink.clone());
+                spotdc_telemetry::install_with_sink(
+                    TelemetryConfig {
+                        enabled: true,
+                        sink: SinkKind::File,
+                        sample_every: 1,
+                    },
+                    sink,
+                );
+            }
             Err(e) => {
                 reporter.error(&format!("cannot create {}: {e}", path.display()));
                 return ExitCode::FAILURE;
             }
         }
+    } else if blackbox_dir.is_some() || metrics_addr.is_some() {
+        // The flight recorder and the scrape endpoint need telemetry
+        // flowing even when no JSONL artifact was requested: enable it
+        // with a Null primary sink (the recorder channel and the span
+        // registry still see everything).
+        spotdc_telemetry::install(TelemetryConfig {
+            enabled: true,
+            sink: SinkKind::Null,
+            sample_every: 1,
+        });
     }
+    let recorder = blackbox_dir
+        .as_ref()
+        .map(|dir| FlightRecorder::arm(dir, BlackBoxConfig::enabled()));
+    let server = match &metrics_addr {
+        Some(addr) => match MetricsServer::start(addr.as_str()) {
+            Ok(server) => {
+                reporter.status(&format!(
+                    "# serving http://{}/metrics and /healthz",
+                    server.addr()
+                ));
+                Some(server)
+            }
+            Err(e) => {
+                reporter.error(&format!("cannot bind {addr}: {e}"));
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let ids: Vec<String> = if selected.is_empty() {
         all_ids().into_iter().map(str::to_owned).collect()
     } else {
@@ -216,10 +264,38 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if telemetry_path.is_some() {
+    if telemetry_path.is_some() || blackbox_dir.is_some() || metrics_addr.is_some() {
         spotdc_telemetry::flush();
         if let Some(summary) = telemetry_summary() {
             reporter.progress(&format!("## telemetry span timings\n\n{summary}"));
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if let Some(recorder) = &recorder {
+        reporter.status(&format!(
+            "# black box: {} dump(s) in {}",
+            recorder.dumps().len(),
+            recorder.dir().display()
+        ));
+        if recorder.write_errors() > 0 {
+            reporter.error(&format!(
+                "error: {} black-box dump write(s) failed: {}",
+                recorder.write_errors(),
+                recorder.first_error().unwrap_or_default()
+            ));
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(sink) = &file_sink {
+        if sink.write_errors() > 0 {
+            reporter.error(&format!(
+                "error: {} telemetry write(s) failed (log truncated): {}",
+                sink.write_errors(),
+                sink.first_error().unwrap_or_default()
+            ));
+            return ExitCode::FAILURE;
         }
     }
     // With --validate, turn any market-invariant violation into a
@@ -276,7 +352,8 @@ fn usage(error: &str) -> ExitCode {
     eprintln!(
         "usage: repro [--exp <id>]... [--days <n>] [--seed <n>] [--quick] [--jobs <n>]\n\
          \x20            [--inner-jobs <n>] [--list-exps]\n\
-         \x20            [--out <dir>] [--telemetry <file>] [--bench-json <file>] [--validate]\n\
+         \x20            [--out <dir>] [--telemetry <file>] [--blackbox <dir>]\n\
+         \x20            [--serve-metrics <host:port>] [--bench-json <file>] [--validate]\n\
          \x20            [--quiet]\n\
          experiments: {}",
         all_ids().join(", ")

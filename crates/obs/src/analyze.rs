@@ -1,0 +1,908 @@
+//! Post-hoc analysis of SpotDC JSONL event logs.
+//!
+//! The engine behind the `spotdc-trace` binary. Input is any event
+//! log this workspace produces — the `FileSink` artifact
+//! (`telemetry.jsonl`) or a flight-recorder black-box dump — and
+//! output is an [`Analysis`]: per-stage latency breakdowns
+//! reconstructed from `SpanClosed` events, market time-series
+//! statistics from `SlotCleared`/`PredictionIssued` pairs, degradation
+//! tallies, and an anomaly summary (emergency slots, invariant
+//! violations, cap actions, fault clusters).
+//!
+//! Everything is **deterministic**: ordered maps, exact nearest-rank
+//! quantiles over the full sample (no reservoir, no randomness), and
+//! stable rendering — the same log analyzes to byte-identical output
+//! on every run, so `spotdc-trace` output can be diffed and committed.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use spotdc_telemetry::Event;
+
+/// The nine pipeline stages, in execution order.
+///
+/// Duplicated from `spotdc-sim` (which depends on this crate, so the
+/// analyzer cannot import the pipeline) and pinned by a cross-crate
+/// test in the workspace root. The analyzer always reports all nine,
+/// even with zero samples, so a missing stage is visible as `count 0`
+/// rather than silently absent.
+pub const PIPELINE_STAGES: [&str; 9] = [
+    "stage.sense",
+    "stage.collect_bids",
+    "stage.collect_gains",
+    "stage.predict",
+    "stage.clear_market",
+    "stage.clear_per_pdu",
+    "stage.clear_maxperf",
+    "stage.enforce",
+    "stage.settle",
+];
+
+/// Latency distribution of one span name, from its `SpanClosed` events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageStats {
+    /// Number of closed spans observed.
+    pub count: u64,
+    /// Exact nearest-rank percentiles and moments, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Arithmetic mean, nanoseconds.
+    pub mean_ns: u64,
+    /// Maximum observed, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl StageStats {
+    fn from_samples(mut samples: Vec<u64>) -> StageStats {
+        if samples.is_empty() {
+            return StageStats::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u128 = samples.iter().map(|&n| u128::from(n)).sum();
+        StageStats {
+            count,
+            p50_ns: nearest_rank(&samples, 50),
+            p90_ns: nearest_rank(&samples, 90),
+            p99_ns: nearest_rank(&samples, 99),
+            mean_ns: (sum / u128::from(count)) as u64,
+            max_ns: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Exact nearest-rank percentile of an ascending-sorted sample.
+fn nearest_rank(sorted: &[u64], pct: u64) -> u64 {
+    debug_assert!(!sorted.is_empty() && (1..=100).contains(&pct));
+    let rank = (pct * sorted.len() as u64).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+/// Min/mean/max of one market series (price, sold watts, ...).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SeriesStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl SeriesStats {
+    fn from_samples(samples: &[f64]) -> SeriesStats {
+        if samples.is_empty() {
+            return SeriesStats::default();
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &x in samples {
+            min = min.min(x);
+            max = max.max(x);
+            sum += x;
+        }
+        SeriesStats {
+            count: samples.len() as u64,
+            min,
+            mean: sum / samples.len() as f64,
+            max,
+        }
+    }
+}
+
+/// Count and affected watts of one degradation kind.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DegradationStats {
+    /// Number of decisions of this kind.
+    pub count: u64,
+    /// Total watts affected across them.
+    pub watts: f64,
+}
+
+/// One anomaly site: the run/slot where an emergency-class event fired.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AnomalySlot {
+    /// The run tag the event carried, or `"-"` for untagged logs.
+    pub run: String,
+    /// The slot index.
+    pub slot: u64,
+    /// What fired there ("ups", "pdu-2", or the violation text).
+    pub what: String,
+}
+
+/// A maximal run of consecutive-slot fault injections within one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultCluster {
+    /// The run tag, or `"-"`.
+    pub run: String,
+    /// First slot of the cluster.
+    pub first_slot: u64,
+    /// Last slot of the cluster.
+    pub last_slot: u64,
+    /// Number of fault events inside it.
+    pub count: u64,
+    /// Distinct fault kinds observed, sorted.
+    pub kinds: Vec<String>,
+}
+
+/// The full result of analyzing one event log.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Analysis {
+    /// Lines that parsed into events (after any `--run` filter).
+    pub events: u64,
+    /// Lines skipped by the run filter.
+    pub filtered_out: u64,
+    /// `(line_number, error)` for unparseable non-empty lines.
+    pub malformed: Vec<(u64, String)>,
+    /// Distinct run tags seen (post-filter).
+    pub runs: BTreeSet<String>,
+    /// Inclusive slot range covered, if any event parsed.
+    pub slot_range: Option<(u64, u64)>,
+    /// Per-span latency stats from `SpanClosed`; always contains every
+    /// [`PIPELINE_STAGES`] entry plus any other span names seen.
+    pub stages: BTreeMap<String, StageStats>,
+    /// Clearing-price series, $/kW/h.
+    pub price: SeriesStats,
+    /// Spot capacity sold per clearing, watts.
+    pub sold_watts: SeriesStats,
+    /// Sold / predicted UPS spot capacity, for slots carrying both a
+    /// clearing and a prediction (within the same run).
+    pub utilization: SeriesStats,
+    /// Degradation tallies by kind.
+    pub degradations: BTreeMap<String, DegradationStats>,
+    /// Slots where an overload emergency fired.
+    pub emergency_slots: Vec<AnomalySlot>,
+    /// Slots where the invariant checker found a violation.
+    pub invariant_slots: Vec<AnomalySlot>,
+    /// Cap-controller actions: count and total spot watts shed.
+    pub cap_events: u64,
+    /// Total spot watts shed by the cap controller.
+    pub cap_shed_watts: f64,
+    /// Bids rejected by admission control.
+    pub bid_rejections: u64,
+    /// Consecutive-slot fault-injection clusters.
+    pub fault_clusters: Vec<FaultCluster>,
+}
+
+impl Analysis {
+    /// Analyzes a JSONL log, optionally keeping only lines whose
+    /// `"run"` tag equals `run_filter` (untagged lines match only when
+    /// no filter is given).
+    #[must_use]
+    pub fn from_jsonl(body: &str, run_filter: Option<&str>) -> Analysis {
+        let mut a = Analysis::default();
+        let mut span_samples: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        let mut prices = Vec::new();
+        let mut sold = Vec::new();
+        // (run, slot) -> (sold watts, predicted ups watts)
+        let mut joined: BTreeMap<(String, u64), (Option<f64>, Option<f64>)> = BTreeMap::new();
+        let mut faults: BTreeMap<String, Vec<(u64, String)>> = BTreeMap::new();
+
+        for (idx, line) in body.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (run, event) = match Event::from_jsonl_tagged(line) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    a.malformed.push((idx as u64 + 1, e));
+                    continue;
+                }
+            };
+            if let Some(want) = run_filter {
+                if run.as_deref() != Some(want) {
+                    a.filtered_out += 1;
+                    continue;
+                }
+            }
+            a.events += 1;
+            let run_label = run.unwrap_or_default();
+            if !run_label.is_empty() {
+                a.runs.insert(run_label.clone());
+            }
+            let run_key = if run_label.is_empty() {
+                "-".to_owned()
+            } else {
+                run_label
+            };
+            let slot = event.slot().index();
+            a.slot_range = Some(match a.slot_range {
+                None => (slot, slot),
+                Some((lo, hi)) => (lo.min(slot), hi.max(slot)),
+            });
+            match &event {
+                Event::SpanClosed { span, nanos, .. } => {
+                    span_samples.entry(span.clone()).or_default().push(*nanos);
+                }
+                Event::SlotCleared {
+                    price_per_kw_hour,
+                    sold_watts,
+                    ..
+                } => {
+                    prices.push(*price_per_kw_hour);
+                    sold.push(*sold_watts);
+                    let cell = joined.entry((run_key, slot)).or_default();
+                    // Per-PDU clearing emits one event per sub-market;
+                    // sum them into the slot's sold total.
+                    cell.0 = Some(cell.0.unwrap_or(0.0) + *sold_watts);
+                }
+                Event::PredictionIssued { ups_watts, .. } => {
+                    joined.entry((run_key, slot)).or_default().1 = Some(*ups_watts);
+                }
+                Event::DegradedDecision { kind, watts, .. } => {
+                    let entry = a.degradations.entry(kind.clone()).or_default();
+                    entry.count += 1;
+                    entry.watts += *watts;
+                }
+                Event::EmergencyTriggered { level, .. } => {
+                    a.emergency_slots.push(AnomalySlot {
+                        run: run_key,
+                        slot,
+                        what: level.clone(),
+                    });
+                }
+                Event::InvariantViolated { violation, .. } => {
+                    a.invariant_slots.push(AnomalySlot {
+                        run: run_key,
+                        slot,
+                        what: violation.clone(),
+                    });
+                }
+                Event::CapApplied { shed_watts, .. } => {
+                    a.cap_events += 1;
+                    a.cap_shed_watts += *shed_watts;
+                }
+                Event::BidRejected { .. } => {
+                    a.bid_rejections += 1;
+                }
+                Event::FaultInjected { kind, .. } => {
+                    faults
+                        .entry(run_key)
+                        .or_default()
+                        .push((slot, kind.clone()));
+                }
+                Event::ConstraintBound { .. } => {}
+            }
+        }
+
+        for stage in PIPELINE_STAGES {
+            span_samples.entry(stage.to_owned()).or_default();
+        }
+        a.stages = span_samples
+            .into_iter()
+            .map(|(name, samples)| (name, StageStats::from_samples(samples)))
+            .collect();
+        a.price = SeriesStats::from_samples(&prices);
+        a.sold_watts = SeriesStats::from_samples(&sold);
+        let utilization: Vec<f64> = joined
+            .values()
+            .filter_map(|(sold, predicted)| match (sold, predicted) {
+                (Some(s), Some(p)) if *p > 0.0 => Some(s / p),
+                _ => None,
+            })
+            .collect();
+        a.utilization = SeriesStats::from_samples(&utilization);
+        a.emergency_slots.sort();
+        a.emergency_slots.dedup();
+        a.invariant_slots.sort();
+        a.invariant_slots.dedup();
+        a.fault_clusters = cluster_faults(faults);
+        a
+    }
+
+    /// Whether the log contains any emergency-class anomaly.
+    #[must_use]
+    pub fn has_anomalies(&self) -> bool {
+        !self.emergency_slots.is_empty() || !self.invariant_slots.is_empty() || self.cap_events > 0
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== spotdc-trace ==");
+        let _ = writeln!(
+            out,
+            "events: {} parsed, {} filtered out, {} malformed",
+            self.events,
+            self.filtered_out,
+            self.malformed.len()
+        );
+        if let Some((lo, hi)) = self.slot_range {
+            let _ = writeln!(out, "slots:  {lo}..={hi}");
+        }
+        if !self.runs.is_empty() {
+            let runs: Vec<&str> = self.runs.iter().map(String::as_str).collect();
+            let _ = writeln!(out, "runs:   {}", runs.join(", "));
+        }
+
+        let _ = writeln!(out, "\n-- per-stage latency (µs) --");
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "stage", "count", "p50", "p90", "p99", "mean", "max"
+        );
+        // Canonical stages first, in pipeline order; any other spans
+        // after, alphabetically.
+        let canonical: BTreeSet<&str> = PIPELINE_STAGES.iter().copied().collect();
+        let ordered = PIPELINE_STAGES
+            .iter()
+            .map(|s| (*s, &self.stages[*s]))
+            .chain(
+                self.stages
+                    .iter()
+                    .filter(|(name, _)| !canonical.contains(name.as_str()))
+                    .map(|(name, stats)| (name.as_str(), stats)),
+            );
+        for (name, stats) in ordered {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                name,
+                stats.count,
+                micros(stats.p50_ns),
+                micros(stats.p90_ns),
+                micros(stats.p99_ns),
+                micros(stats.mean_ns),
+                micros(stats.max_ns)
+            );
+        }
+
+        let _ = writeln!(out, "\n-- market --");
+        let _ = writeln!(out, "price $/kW/h: {}", self.price.render());
+        let _ = writeln!(out, "sold watts:   {}", self.sold_watts.render());
+        let _ = writeln!(out, "utilization:  {}", self.utilization.render());
+
+        let _ = writeln!(out, "\n-- degradations --");
+        if self.degradations.is_empty() {
+            let _ = writeln!(out, "(none)");
+        }
+        for (kind, stats) in &self.degradations {
+            let _ = writeln!(
+                out,
+                "{:<14} count {:>6}  watts {}",
+                kind,
+                stats.count,
+                fmt_f64(stats.watts)
+            );
+        }
+
+        let _ = writeln!(out, "\n-- anomalies --");
+        let _ = writeln!(
+            out,
+            "emergencies: {}  invariant violations: {}  cap actions: {} (shed {} W)  \
+             bid rejections: {}",
+            self.emergency_slots.len(),
+            self.invariant_slots.len(),
+            self.cap_events,
+            fmt_f64(self.cap_shed_watts),
+            self.bid_rejections
+        );
+        for site in &self.emergency_slots {
+            let _ = writeln!(
+                out,
+                "  EMERGENCY run {} slot {} ({})",
+                site.run, site.slot, site.what
+            );
+        }
+        for site in &self.invariant_slots {
+            let _ = writeln!(
+                out,
+                "  INVARIANT run {} slot {}: {}",
+                site.run, site.slot, site.what
+            );
+        }
+        for cluster in &self.fault_clusters {
+            let _ = writeln!(
+                out,
+                "  FAULTS run {} slots {}..={} ({} events: {})",
+                cluster.run,
+                cluster.first_slot,
+                cluster.last_slot,
+                cluster.count,
+                cluster.kinds.join(", ")
+            );
+        }
+        if !self.malformed.is_empty() {
+            let _ = writeln!(out, "\n-- malformed lines --");
+            for (line_no, err) in self.malformed.iter().take(10) {
+                let _ = writeln!(out, "  line {line_no}: {err}");
+            }
+            if self.malformed.len() > 10 {
+                let _ = writeln!(out, "  ... and {} more", self.malformed.len() - 10);
+            }
+        }
+        out
+    }
+
+    /// Renders the machine-readable report as one JSON object.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"events\":{},\"filtered_out\":{},\"malformed\":{}",
+            self.events,
+            self.filtered_out,
+            self.malformed.len()
+        );
+        if let Some((lo, hi)) = self.slot_range {
+            let _ = write!(out, ",\"slot_range\":[{lo},{hi}]");
+        }
+        let runs: Vec<String> = self.runs.iter().map(|r| json_str(r)).collect();
+        let _ = write!(out, ",\"runs\":[{}]", runs.join(","));
+
+        out.push_str(",\"stages\":[");
+        let canonical: BTreeSet<&str> = PIPELINE_STAGES.iter().copied().collect();
+        let ordered: Vec<(&str, &StageStats)> = PIPELINE_STAGES
+            .iter()
+            .map(|s| (*s, &self.stages[*s]))
+            .chain(
+                self.stages
+                    .iter()
+                    .filter(|(name, _)| !canonical.contains(name.as_str()))
+                    .map(|(name, stats)| (name.as_str(), stats)),
+            )
+            .collect();
+        for (i, (name, s)) in ordered.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"span\":{},\"count\":{},\"p50_ns\":{},\"p90_ns\":{},\
+                 \"p99_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}",
+                json_str(name),
+                s.count,
+                s.p50_ns,
+                s.p90_ns,
+                s.p99_ns,
+                s.mean_ns,
+                s.max_ns
+            );
+        }
+        out.push(']');
+
+        let _ = write!(out, ",\"price\":{}", self.price.render_json());
+        let _ = write!(out, ",\"sold_watts\":{}", self.sold_watts.render_json());
+        let _ = write!(out, ",\"utilization\":{}", self.utilization.render_json());
+
+        out.push_str(",\"degradations\":{");
+        for (i, (kind, stats)) in self.degradations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"watts\":{}}}",
+                json_str(kind),
+                stats.count,
+                fmt_f64(stats.watts)
+            );
+        }
+        out.push('}');
+
+        out.push_str(",\"anomalies\":{");
+        let _ = write!(
+            out,
+            "\"cap_events\":{},\"cap_shed_watts\":{},\"bid_rejections\":{}",
+            self.cap_events,
+            fmt_f64(self.cap_shed_watts),
+            self.bid_rejections
+        );
+        out.push_str(",\"emergency_slots\":[");
+        for (i, site) in self.emergency_slots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", site.render_json());
+        }
+        out.push_str("],\"invariant_slots\":[");
+        for (i, site) in self.invariant_slots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", site.render_json());
+        }
+        out.push_str("],\"fault_clusters\":[");
+        for (i, c) in self.fault_clusters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let kinds: Vec<String> = c.kinds.iter().map(|k| json_str(k)).collect();
+            let _ = write!(
+                out,
+                "{{\"run\":{},\"first_slot\":{},\"last_slot\":{},\"count\":{},\"kinds\":[{}]}}",
+                json_str(&c.run),
+                c.first_slot,
+                c.last_slot,
+                c.count,
+                kinds.join(",")
+            );
+        }
+        out.push_str("]}}");
+        out
+    }
+}
+
+impl AnomalySlot {
+    fn render_json(&self) -> String {
+        format!(
+            "{{\"run\":{},\"slot\":{},\"what\":{}}}",
+            json_str(&self.run),
+            self.slot,
+            json_str(&self.what)
+        )
+    }
+}
+
+impl SeriesStats {
+    fn render(&self) -> String {
+        if self.count == 0 {
+            return "(no samples)".to_owned();
+        }
+        format!(
+            "count {:>6}  min {}  mean {}  max {}",
+            self.count,
+            fmt_f64(self.min),
+            fmt_f64(self.mean),
+            fmt_f64(self.max)
+        )
+    }
+
+    fn render_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"min\":{},\"mean\":{},\"max\":{}}}",
+            self.count,
+            fmt_f64(self.min),
+            fmt_f64(self.mean),
+            fmt_f64(self.max)
+        )
+    }
+}
+
+/// Groups per-run fault events into maximal consecutive-slot clusters.
+fn cluster_faults(faults: BTreeMap<String, Vec<(u64, String)>>) -> Vec<FaultCluster> {
+    let mut clusters = Vec::new();
+    for (run, mut events) in faults {
+        events.sort();
+        let mut current: Option<FaultCluster> = None;
+        for (slot, kind) in events {
+            match current.as_mut() {
+                Some(c) if slot <= c.last_slot + 1 => {
+                    c.last_slot = slot;
+                    c.count += 1;
+                    if !c.kinds.contains(&kind) {
+                        c.kinds.push(kind);
+                    }
+                }
+                _ => {
+                    if let Some(done) = current.take() {
+                        clusters.push(done);
+                    }
+                    current = Some(FaultCluster {
+                        run: run.clone(),
+                        first_slot: slot,
+                        last_slot: slot,
+                        count: 1,
+                        kinds: vec![kind],
+                    });
+                }
+            }
+        }
+        if let Some(done) = current {
+            clusters.push(done);
+        }
+    }
+    for c in &mut clusters {
+        c.kinds.sort();
+    }
+    clusters
+}
+
+/// Nanoseconds rendered as microseconds with 0.1 µs resolution.
+fn micros(nanos: u64) -> String {
+    format!("{:.1}", nanos as f64 / 1_000.0)
+}
+
+/// Deterministic float formatting: fixed 4-decimal precision, so the
+/// rendering never depends on shortest-representation quirks.
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "0.0000".to_owned()
+    }
+}
+
+/// Quotes and escapes a JSON string (same escapes the telemetry wire
+/// format uses).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use spotdc_units::{MonotonicNanos, Slot};
+
+    use super::*;
+
+    fn line(run: Option<&str>, event: &Event) -> String {
+        event.to_jsonl_tagged(run)
+    }
+
+    fn span(slot: u64, name: &str, nanos: u64) -> Event {
+        Event::SpanClosed {
+            slot: Slot::new(slot),
+            at: MonotonicNanos::from_raw(slot * 1_000),
+            span: name.to_owned(),
+            nanos,
+        }
+    }
+
+    fn cleared(slot: u64, price: f64, sold: f64) -> Event {
+        Event::SlotCleared {
+            slot: Slot::new(slot),
+            at: MonotonicNanos::from_raw(slot * 1_000 + 1),
+            price_per_kw_hour: price,
+            sold_watts: sold,
+            revenue_rate_per_hour: price * sold / 1_000.0,
+            candidates_evaluated: 5,
+        }
+    }
+
+    fn predicted(slot: u64, ups: f64) -> Event {
+        Event::PredictionIssued {
+            slot: Slot::new(slot),
+            at: MonotonicNanos::from_raw(slot * 1_000),
+            ups_watts: ups,
+            pdu_total_watts: ups * 1.2,
+            pdus: 4,
+        }
+    }
+
+    fn emergency(slot: u64) -> Event {
+        Event::EmergencyTriggered {
+            slot: Slot::new(slot),
+            at: MonotonicNanos::from_raw(slot * 1_000 + 2),
+            level: "pdu-1".to_owned(),
+            load_watts: 900.0,
+            capacity_watts: 800.0,
+        }
+    }
+
+    fn fault(slot: u64, kind: &str) -> Event {
+        Event::FaultInjected {
+            slot: Slot::new(slot),
+            at: MonotonicNanos::from_raw(slot * 1_000),
+            kind: kind.to_owned(),
+            target: "rack-1".to_owned(),
+        }
+    }
+
+    #[test]
+    fn every_canonical_stage_is_always_reported() {
+        let a = Analysis::from_jsonl("", None);
+        assert_eq!(a.events, 0);
+        for stage in PIPELINE_STAGES {
+            assert_eq!(a.stages[stage], StageStats::default(), "{stage}");
+        }
+        let text = a.render_text();
+        for stage in PIPELINE_STAGES {
+            assert!(text.contains(stage), "text must list {stage}");
+        }
+        let json = a.render_json();
+        for stage in PIPELINE_STAGES {
+            assert!(json.contains(&format!("\"span\":\"{stage}\"")), "{stage}");
+        }
+    }
+
+    #[test]
+    fn stage_quantiles_are_exact_nearest_rank() {
+        let body: String = (1..=100)
+            .map(|i| line(None, &span(i, "stage.sense", i * 1_000)) + "\n")
+            .collect();
+        let a = Analysis::from_jsonl(&body, None);
+        let s = &a.stages["stage.sense"];
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50_000);
+        assert_eq!(s.p90_ns, 90_000);
+        assert_eq!(s.p99_ns, 99_000);
+        assert_eq!(s.max_ns, 100_000);
+        assert_eq!(s.mean_ns, 50_500);
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_it() {
+        let body = line(None, &span(1, "stage.settle", 777));
+        let a = Analysis::from_jsonl(&body, None);
+        let s = &a.stages["stage.settle"];
+        assert_eq!(
+            (s.p50_ns, s.p90_ns, s.p99_ns, s.max_ns),
+            (777, 777, 777, 777)
+        );
+    }
+
+    #[test]
+    fn utilization_joins_clearing_and_prediction_per_slot() {
+        let body = [
+            line(Some("a"), &predicted(1, 1_000.0)),
+            line(Some("a"), &cleared(1, 0.2, 600.0)),
+            // Per-PDU clearing: two sub-market events in one slot sum.
+            line(Some("a"), &predicted(2, 1_000.0)),
+            line(Some("a"), &cleared(2, 0.2, 300.0)),
+            line(Some("a"), &cleared(2, 0.2, 500.0)),
+            // Prediction without clearing: no utilization sample.
+            line(Some("a"), &predicted(3, 1_000.0)),
+            // Same slot in another run joins separately.
+            line(Some("b"), &predicted(1, 2_000.0)),
+            line(Some("b"), &cleared(1, 0.1, 400.0)),
+        ]
+        .join("\n");
+        let a = Analysis::from_jsonl(&body, None);
+        assert_eq!(a.utilization.count, 3);
+        assert!((a.utilization.min - 0.2).abs() < 1e-12, "run b: 400/2000");
+        assert!(
+            (a.utilization.max - 0.8).abs() < 1e-12,
+            "run a slot 2: 800/1000"
+        );
+        assert_eq!(a.price.count, 4);
+        assert_eq!(a.runs.len(), 2);
+    }
+
+    #[test]
+    fn run_filter_keeps_only_the_requested_run() {
+        let body = [
+            line(Some("fig12"), &cleared(1, 0.2, 100.0)),
+            line(Some("fig14"), &cleared(2, 0.3, 200.0)),
+            line(None, &cleared(3, 0.4, 300.0)),
+        ]
+        .join("\n");
+        let a = Analysis::from_jsonl(&body, Some("fig12"));
+        assert_eq!(a.events, 1);
+        assert_eq!(a.filtered_out, 2);
+        assert_eq!(a.slot_range, Some((1, 1)));
+    }
+
+    #[test]
+    fn anomalies_are_flagged_and_deduped() {
+        let body = [
+            line(Some("r"), &emergency(7)),
+            line(Some("r"), &emergency(7)), // duplicate: deduped
+            line(
+                Some("r"),
+                &Event::InvariantViolated {
+                    slot: Slot::new(9),
+                    at: MonotonicNanos::from_raw(9_000),
+                    violation: "pdu-0 over".to_owned(),
+                },
+            ),
+            line(
+                None,
+                &Event::CapApplied {
+                    slot: Slot::new(8),
+                    at: MonotonicNanos::from_raw(8_000),
+                    level: "ups".to_owned(),
+                    shed_watts: 42.0,
+                    capped_watts: 0.0,
+                },
+            ),
+        ]
+        .join("\n");
+        let a = Analysis::from_jsonl(&body, None);
+        assert!(a.has_anomalies());
+        assert_eq!(a.emergency_slots.len(), 1);
+        assert_eq!(a.emergency_slots[0].slot, 7);
+        assert_eq!(a.invariant_slots.len(), 1);
+        assert_eq!(a.cap_events, 1);
+        assert!((a.cap_shed_watts - 42.0).abs() < 1e-12);
+        let text = a.render_text();
+        assert!(text.contains("EMERGENCY run r slot 7"));
+        assert!(text.contains("INVARIANT run r slot 9"));
+    }
+
+    #[test]
+    fn fault_clusters_merge_consecutive_slots_per_run() {
+        let body = [
+            line(Some("r"), &fault(5, "meter-dropout")),
+            line(Some("r"), &fault(6, "bid-late")),
+            line(Some("r"), &fault(6, "meter-dropout")),
+            line(Some("r"), &fault(10, "meter-dropout")),
+            line(Some("s"), &fault(6, "predictor-down")),
+        ]
+        .join("\n");
+        let a = Analysis::from_jsonl(&body, None);
+        assert_eq!(a.fault_clusters.len(), 3);
+        let c0 = &a.fault_clusters[0];
+        assert_eq!((c0.first_slot, c0.last_slot, c0.count), (5, 6, 3));
+        assert_eq!(c0.kinds, vec!["bid-late", "meter-dropout"]);
+        assert_eq!(a.fault_clusters[1].first_slot, 10);
+        assert_eq!(a.fault_clusters[2].run, "s");
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let body = format!(
+            "not json\n{}\n\n{{\"event\":\"Nope\"}}",
+            line(None, &cleared(1, 0.1, 1.0))
+        );
+        let a = Analysis::from_jsonl(&body, None);
+        assert_eq!(a.events, 1);
+        assert_eq!(a.malformed.len(), 2);
+        assert_eq!(a.malformed[0].0, 1);
+        assert_eq!(a.malformed[1].0, 4);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let body = [
+            line(Some("r"), &span(1, "stage.sense", 1_000)),
+            line(Some("r"), &cleared(1, 0.2, 100.0)),
+            line(Some("r"), &emergency(2)),
+            line(Some("r"), &fault(3, "meter-dropout")),
+        ]
+        .join("\n");
+        let a1 = Analysis::from_jsonl(&body, None);
+        let a2 = Analysis::from_jsonl(&body, None);
+        assert_eq!(a1, a2);
+        assert_eq!(a1.render_text(), a2.render_text());
+        assert_eq!(a1.render_json(), a2.render_json());
+    }
+
+    #[test]
+    fn json_report_parses_as_flat_fields() {
+        // Not a full JSON validator (the workspace has none); spot-check
+        // the envelope and a couple of fields.
+        let body = line(None, &cleared(1, 0.25, 500.0));
+        let json = Analysis::from_jsonl(&body, None).render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"events\":1"), "{json}");
+        assert!(
+            json.contains("\"price\":{\"count\":1,\"min\":0.2500"),
+            "{json}"
+        );
+        assert!(json.contains("\"emergency_slots\":[]"), "{json}");
+    }
+}

@@ -1,0 +1,84 @@
+//! `spotdc-trace`: analyze SpotDC JSONL event logs.
+//!
+//! ```text
+//! spotdc-trace [--json] [--run <id>] <log.jsonl>...
+//! ```
+//!
+//! Ingests one or more JSONL event logs (the `telemetry.jsonl` the
+//! repro binary writes, or flight-recorder black-box dumps) and prints
+//! per-stage latency breakdowns, market time-series statistics, and an
+//! anomaly summary. Output is deterministic: the same logs produce
+//! byte-identical reports on every run.
+//!
+//! Exit status: 0 on success, 2 on usage or I/O errors. Anomalies in
+//! the log (emergencies, invariant violations) do *not* fail the exit
+//! status — finding them is the tool's job, not an error.
+
+use std::process::ExitCode;
+
+use spotdc_obs::Analysis;
+
+const USAGE: &str = "usage: spotdc-trace [--json] [--run <id>] <log.jsonl>...\n\
+\n\
+Analyze SpotDC JSONL event logs (telemetry.jsonl or black-box dumps):\n\
+per-stage latency breakdowns, market series, anomaly summary.\n\
+\n\
+  --json       machine-readable output (one JSON object)\n\
+  --run <id>   keep only events tagged with this run id\n\
+  -h, --help   this help\n";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut run: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--run" => match args.next() {
+                Some(id) => run = Some(id),
+                None => {
+                    eprintln!("error: --run needs a run id\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag {other:?}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(path.to_owned()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("error: no log files given\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut body = String::new();
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(content) => {
+                body.push_str(&content);
+                if !body.ends_with('\n') {
+                    body.push('\n');
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let analysis = Analysis::from_jsonl(&body, run.as_deref());
+    if json {
+        println!("{}", analysis.render_json());
+    } else {
+        print!("{}", analysis.render_text());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,38 @@
+//! Consumers for the telemetry `spotdc-telemetry` produces.
+//!
+//! PR 1 made the market pipeline *emit* spans, metrics, and structured
+//! JSONL events; until this crate nothing *consumed* them. Three
+//! consumers live here, all zero-dependency like the producer side:
+//!
+//! * [`blackbox`] — a **flight recorder**: a bounded ring of the most
+//!   recent events that dumps a JSONL "black box" snapshot to disk
+//!   whenever a capacity-emergency-class event fires
+//!   ([`Event::is_blackbox_trigger`]), so any emergency in a 100k-slot
+//!   run ships with its local causal context.
+//! * [`analyze`] — the engine behind the `spotdc-trace` binary:
+//!   ingests any JSONL event log (the `FileSink` artifact or a
+//!   black-box dump), reconstructs per-slot timelines, and reports
+//!   per-stage latency breakdowns, market time series, and an anomaly
+//!   summary, deterministically.
+//! * [`serve`] — a minimal HTTP server exposing
+//!   `Registry::render_prometheus` on `GET /metrics` (plus
+//!   `GET /healthz`), the first concrete piece of ROADMAP item 3's
+//!   always-on market service.
+//!
+//! Dependency direction: `spotdc-sim` depends on this crate (the
+//! engine arms the flight recorder from its config), never the
+//! reverse — so the analyzer duplicates the canonical stage-name list
+//! ([`analyze::PIPELINE_STAGES`]) instead of importing the pipeline.
+//!
+//! [`Event::is_blackbox_trigger`]: spotdc_telemetry::Event::is_blackbox_trigger
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod blackbox;
+pub mod serve;
+
+pub use analyze::{Analysis, PIPELINE_STAGES};
+pub use blackbox::{BlackBoxConfig, FlightRecorder};
+pub use serve::MetricsServer;

@@ -1,0 +1,195 @@
+//! A zero-dependency HTTP scrape endpoint for the metric registry.
+//!
+//! ROADMAP item 3 (an always-on market service) needs the Prometheus
+//! text exposition served over HTTP; this is that piece, small enough
+//! to hand-roll on `std::net`. [`MetricsServer::start`] binds a
+//! listener and serves, on a background thread:
+//!
+//! * `GET /metrics`  — `Registry::render_prometheus` of the
+//!   process-global registry, `text/plain; version=0.0.4`;
+//! * `GET /healthz`  — `ok`;
+//! * anything else — `404`.
+//!
+//! The server handles one connection at a time (a scrape is a few
+//! kilobytes; Prometheus polls every few seconds) and shuts down
+//! cleanly on [`MetricsServer::shutdown`] or drop.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running scrape endpoint; see the module docs.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port `0` for an
+    /// ephemeral port — see [`MetricsServer::addr`]) and starts
+    /// serving on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error (address in use, permission denied).
+    pub fn start(addr: impl ToSocketAddrs) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("spotdc-metrics".to_owned())
+            .spawn(move || serve_loop(&listener, &thread_stop))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (the actual port when `:0` was requested).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; poke it with one local
+        // connection so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_loop(listener: &TcpListener, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Bound slow clients so one stalled scrape cannot wedge the
+        // single-threaded loop.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = handle_connection(stream);
+    }
+}
+
+fn handle_connection(stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers; responses never depend on them.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            spotdc_telemetry::registry().render_prometheus(),
+        ),
+        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_owned(),
+        ),
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    use std::io::Read as _;
+
+    #[test]
+    fn serves_metrics_health_and_404() {
+        spotdc_telemetry::registry().inc_counter("spotdc_obs_serve_test_total", 3);
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(
+            metrics.contains("text/plain; version=0.0.4"),
+            "Prometheus content type: {metrics}"
+        );
+        assert!(
+            metrics.contains("spotdc_obs_serve_test_total 3"),
+            "{metrics}"
+        );
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_and_frees_the_port() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        // The port is released: a fresh bind to it succeeds (nothing
+        // else grabs it between shutdown and rebind in practice).
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "{rebound:?}");
+    }
+
+    #[test]
+    fn drop_also_stops_the_server() {
+        let addr = {
+            let server = MetricsServer::start("127.0.0.1:0").unwrap();
+            server.addr()
+        };
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+}

@@ -33,8 +33,9 @@
 //! [`CapController`]: spotdc_power::CapController
 
 use spotdc_faults::FaultConfig;
+use spotdc_obs::{BlackBoxConfig, FlightRecorder};
 use spotdc_power::CapConfig;
-use spotdc_units::Slot;
+use spotdc_units::{MonotonicNanos, Slot};
 
 use crate::baselines::Mode;
 use crate::metrics::SimReport;
@@ -78,6 +79,12 @@ pub struct EngineConfig {
     /// runtime via [`crate::validate::set_forced`] (the repro binary's
     /// `--validate` flag).
     pub validate: bool,
+    /// Flight-recorder settings. When enabled, [`Simulation::run`] arms
+    /// a [`FlightRecorder`] (unless a binary armed one already, with
+    /// its own dump directory) so capacity emergencies leave black-box
+    /// JSONL dumps behind. Events only flow while telemetry is
+    /// enabled.
+    pub blackbox: BlackBoxConfig,
     /// Worker threads for the *within-slot* data-parallel sections
     /// (bid/gain collection, per-PDU sub-market clearing, tenant
     /// settlement). `1` (the default) keeps every stage on the single
@@ -117,6 +124,9 @@ pub enum ConfigError {
     /// `inner_jobs` was zero: the within-slot parallel width must be at
     /// least one (one means the serial path).
     ZeroInnerJobs,
+    /// The flight recorder was enabled with a zero-event ring: a black
+    /// box with no context is a misconfiguration, not a request.
+    ZeroBlackBoxCapacity,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -134,6 +144,12 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroHorizon => write!(f, "simulation horizon must be at least one slot"),
             ConfigError::ZeroInnerJobs => {
                 write!(f, "inner_jobs must be at least one (1 = serial)")
+            }
+            ConfigError::ZeroBlackBoxCapacity => {
+                write!(
+                    f,
+                    "blackbox.capacity must be at least one event when enabled"
+                )
             }
         }
     }
@@ -157,6 +173,7 @@ impl EngineConfig {
             faults: FaultConfig::disabled(),
             cap: CapConfig::disabled(),
             validate: cfg!(debug_assertions),
+            blackbox: BlackBoxConfig::default(),
             inner_jobs: 1,
         }
     }
@@ -171,6 +188,9 @@ impl EngineConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.inner_jobs == 0 {
             return Err(ConfigError::ZeroInnerJobs);
+        }
+        if self.blackbox.enabled && self.blackbox.capacity == 0 {
+            return Err(ConfigError::ZeroBlackBoxCapacity);
         }
         let rates = [
             ("bid_loss", self.bid_loss),
@@ -276,6 +296,14 @@ impl Simulation {
         if config.telemetry.enabled {
             spotdc_telemetry::install_if_uninstalled(config.telemetry);
         }
+        // Arm the flight recorder unless a binary armed one already
+        // (with its own dump directory); either way the recorder stays
+        // installed after the run so sweeps share one ring.
+        let recorder = if config.blackbox.enabled {
+            FlightRecorder::arm_if_unarmed(config.blackbox)
+        } else {
+            None
+        };
         let n = slots as usize;
         let mut state = SimState::new(&scenario, &config, n);
         let mut ctx = SlotContext::new(state.topology.rack_count(), state.agents.len());
@@ -287,10 +315,27 @@ impl Simulation {
             ctx.begin(slot, t);
             for stage in stages.iter_mut() {
                 let _stage_span = spotdc_telemetry::span!(stage.name());
+                // Time the stage for the event log too: spans feed the
+                // in-process registry only, while a `SpanClosed` event
+                // per stage lets `spotdc-trace` rebuild the latency
+                // distributions from the JSONL artifact alone.
+                let started = spotdc_telemetry::is_enabled().then(std::time::Instant::now);
                 stage.run(&mut state, &mut ctx);
+                if let Some(started) = started {
+                    spotdc_telemetry::emit(spotdc_telemetry::Event::SpanClosed {
+                        slot,
+                        at: MonotonicNanos::now(),
+                        span: stage.name().to_owned(),
+                        nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    });
+                }
             }
         }
 
+        if recorder.is_some() {
+            // Dump any emergency window still collecting its tail.
+            spotdc_telemetry::flush();
+        }
         state.into_report()
     }
 }
@@ -528,6 +573,37 @@ mod tests {
         );
         let report = sim.try_run(50).expect("valid run succeeds");
         assert_eq!(report.records.len(), 50);
+    }
+
+    #[test]
+    fn zero_capacity_blackbox_is_rejected() {
+        let zero = EngineConfig {
+            blackbox: BlackBoxConfig {
+                enabled: true,
+                capacity: 0,
+                ..BlackBoxConfig::default()
+            },
+            ..EngineConfig::new(Mode::SpotDc)
+        };
+        assert_eq!(zero.validate(), Err(ConfigError::ZeroBlackBoxCapacity));
+        // A disabled recorder never trips the check; an enabled one
+        // with the defaults is fine.
+        EngineConfig {
+            blackbox: BlackBoxConfig {
+                enabled: false,
+                capacity: 0,
+                ..BlackBoxConfig::default()
+            },
+            ..EngineConfig::new(Mode::SpotDc)
+        }
+        .validate()
+        .unwrap();
+        EngineConfig {
+            blackbox: BlackBoxConfig::enabled(),
+            ..EngineConfig::new(Mode::SpotDc)
+        }
+        .validate()
+        .unwrap();
     }
 
     #[test]

@@ -114,8 +114,8 @@ impl TextTable {
 }
 
 /// Renders the process-global telemetry registry's span timings as an
-/// aligned table (one row per span: count, p50, p90, p99 in µs), or
-/// `None` when telemetry is disabled or no spans have been recorded.
+/// aligned table (one row per span: count, p50, p90, p99, mean in µs),
+/// or `None` when telemetry is disabled or no spans have been recorded.
 ///
 /// Deliberately *not* part of [`SimReport`](crate::metrics::SimReport):
 /// wall-clock timings differ between otherwise identical runs, and the
@@ -134,7 +134,9 @@ pub fn telemetry_summary() -> Option<String> {
         Some(v) => format!("{:.1}", v * 1e6),
         None => "-".to_owned(),
     };
-    let mut table = TextTable::new(vec!["span", "count", "p50 us", "p90 us", "p99 us"]);
+    let mut table = TextTable::new(vec![
+        "span", "count", "p50 us", "p90 us", "p99 us", "mean us",
+    ]);
     for name in names {
         if let Some(h) = registry.span_durations(&name) {
             table.row(vec![
@@ -143,6 +145,7 @@ pub fn telemetry_summary() -> Option<String> {
                 micros(h.p50()),
                 micros(h.p90()),
                 micros(h.p99()),
+                micros(h.mean()),
             ]);
         }
     }
@@ -194,6 +197,23 @@ mod tests {
         assert_eq!(lines[0], "name,value");
         assert_eq!(lines[1], "plain,1");
         assert_eq!(lines[2], "\"with,comma\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn telemetry_summary_reports_quantiles_and_mean() {
+        // The summary reads process-global state; make its inputs
+        // unambiguous (a uniquely named span) rather than relying on
+        // what other tests recorded.
+        spotdc_telemetry::set_enabled(true);
+        spotdc_telemetry::registry().record_span("report.summary.test", 0.002);
+        let table = telemetry_summary().expect("enabled with spans recorded");
+        spotdc_telemetry::set_enabled(false);
+        let header = table.lines().next().unwrap();
+        for column in ["span", "count", "p50 us", "p90 us", "p99 us", "mean us"] {
+            assert!(header.contains(column), "missing {column:?}: {header}");
+        }
+        assert!(table.contains("report.summary.test"));
+        assert!(telemetry_summary().is_none(), "disabled => no summary");
     }
 
     #[test]

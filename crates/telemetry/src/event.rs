@@ -138,6 +138,21 @@ pub enum Event {
         /// Human-readable description of the violated invariant.
         violation: String,
     },
+    /// A timing span closed: one pipeline stage (or other instrumented
+    /// region) finished for a slot. Emitted by the engine loop so
+    /// post-hoc tooling (`spotdc-trace`) can reconstruct per-stage
+    /// latency distributions from the JSONL log alone, without access
+    /// to the in-process registry histograms.
+    SpanClosed {
+        /// The slot the span ran in.
+        slot: Slot,
+        /// Monotonic timestamp at close.
+        at: MonotonicNanos,
+        /// Span name (`stage.sense`, `stage.clear_market`, ...).
+        span: String,
+        /// Measured duration, nanoseconds.
+        nanos: u64,
+    },
 }
 
 impl Event {
@@ -154,6 +169,7 @@ impl Event {
             Event::DegradedDecision { .. } => "DegradedDecision",
             Event::CapApplied { .. } => "CapApplied",
             Event::InvariantViolated { .. } => "InvariantViolated",
+            Event::SpanClosed { .. } => "SpanClosed",
         }
     }
 
@@ -169,7 +185,8 @@ impl Event {
             | Event::FaultInjected { slot, .. }
             | Event::DegradedDecision { slot, .. }
             | Event::CapApplied { slot, .. }
-            | Event::InvariantViolated { slot, .. } => *slot,
+            | Event::InvariantViolated { slot, .. }
+            | Event::SpanClosed { slot, .. } => *slot,
         }
     }
 
@@ -185,7 +202,8 @@ impl Event {
             | Event::FaultInjected { at, .. }
             | Event::DegradedDecision { at, .. }
             | Event::CapApplied { at, .. }
-            | Event::InvariantViolated { at, .. } => *at,
+            | Event::InvariantViolated { at, .. }
+            | Event::SpanClosed { at, .. } => *at,
         }
     }
 
@@ -205,6 +223,25 @@ impl Event {
                 | Event::CapApplied { .. }
                 | Event::InvariantViolated { .. }
         )
+    }
+
+    /// Whether the event is a capacity-emergency-class anomaly that
+    /// should trip the flight recorder's black-box dump: an observed
+    /// overload, an invariant violation, or cap-shedding (either the
+    /// cap controller acting or a `cap-shed` degradation decision).
+    ///
+    /// A strict subset of [`Event::is_critical`]: routine degradations
+    /// (stale meters, late bids) and bid rejections are critical enough
+    /// to bypass sampling but not emergencies worth a disk snapshot.
+    #[must_use]
+    pub fn is_blackbox_trigger(&self) -> bool {
+        match self {
+            Event::EmergencyTriggered { .. }
+            | Event::InvariantViolated { .. }
+            | Event::CapApplied { .. } => true,
+            Event::DegradedDecision { kind, .. } => kind == "cap-shed",
+            _ => false,
+        }
     }
 
     /// Serializes the event as one JSON line (no trailing newline).
@@ -344,6 +381,9 @@ impl Event {
             Event::InvariantViolated { violation, .. } => {
                 let _ = write!(out, ",\"violation\":{}", json_str(violation));
             }
+            Event::SpanClosed { span, nanos, .. } => {
+                let _ = write!(out, ",\"span\":{},\"nanos\":{}", json_str(span), nanos);
+            }
         }
         out.push('}');
         out
@@ -356,7 +396,24 @@ impl Event {
     /// Returns a description of the first syntactic or semantic problem
     /// (malformed JSON, unknown event tag, missing field).
     pub fn from_jsonl(line: &str) -> Result<Event, String> {
+        Ok(Event::from_jsonl_tagged(line)?.1)
+    }
+
+    /// Parses one JSONL line, also returning the `"run"` tag written by
+    /// [`Event::to_jsonl_tagged`] when present. This is what log
+    /// consumers (`spotdc-trace`) use to keep interleaved runs
+    /// attributable.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Event::from_jsonl`].
+    pub fn from_jsonl_tagged(line: &str) -> Result<(Option<String>, Event), String> {
         let fields = parse_flat_object(line)?;
+        let run = match fields.get("run") {
+            Some(JsonValue::Str(s)) => Some(s.clone()),
+            Some(JsonValue::Num(_)) => return Err("field \"run\" is not a string".to_owned()),
+            None => None,
+        };
         let str_field = |k: &str| -> Result<&str, String> {
             match fields.get(k) {
                 Some(JsonValue::Str(s)) => Ok(s),
@@ -385,7 +442,7 @@ impl Event {
 
         let slot = Slot::new(int("slot")?);
         let at = MonotonicNanos::from_raw(int("t_ns")?);
-        match str_field("event")? {
+        let event = match str_field("event")? {
             "SlotCleared" => Ok(Event::SlotCleared {
                 slot,
                 at,
@@ -446,8 +503,15 @@ impl Event {
                 at,
                 violation: str_field("violation")?.to_owned(),
             }),
+            "SpanClosed" => Ok(Event::SpanClosed {
+                slot,
+                at,
+                span: str_field("span")?.to_owned(),
+                nanos: int("nanos")?,
+            }),
             other => Err(format!("unknown event tag {other:?}")),
-        }
+        }?;
+        Ok((run, event))
     }
 }
 
@@ -650,6 +714,12 @@ mod tests {
                 at: MonotonicNanos::from_raw(100_201),
                 violation: "pdu-0 spot 410 W exceeds predicted 400 W".to_owned(),
             },
+            Event::SpanClosed {
+                slot: Slot::new(20),
+                at: MonotonicNanos::from_raw(100_301),
+                span: "stage.clear_market".to_owned(),
+                nanos: 48_211,
+            },
         ]
     }
 
@@ -734,7 +804,49 @@ mod tests {
                 ("DegradedDecision".to_owned(), true),
                 ("CapApplied".to_owned(), true),
                 ("InvariantViolated".to_owned(), true),
+                ("SpanClosed".to_owned(), false),
             ]
         );
+    }
+
+    #[test]
+    fn blackbox_triggers_are_the_emergency_subset() {
+        let triggers: Vec<&str> = sample_events()
+            .iter()
+            .filter(|e| e.is_blackbox_trigger())
+            .map(Event::kind)
+            .collect();
+        assert_eq!(
+            triggers,
+            vec!["EmergencyTriggered", "CapApplied", "InvariantViolated"]
+        );
+        // Every trigger is also critical (never down-sampled away).
+        for e in sample_events() {
+            if e.is_blackbox_trigger() {
+                assert!(e.is_critical(), "{} must be critical", e.kind());
+            }
+        }
+        // A cap-shed degradation triggers; other degradations don't.
+        let shed = Event::DegradedDecision {
+            slot: Slot::new(1),
+            at: MonotonicNanos::from_raw(1),
+            kind: "cap-shed".to_owned(),
+            detail: "pdu-0".to_owned(),
+            watts: 10.0,
+        };
+        assert!(shed.is_blackbox_trigger());
+    }
+
+    #[test]
+    fn from_jsonl_tagged_recovers_the_run() {
+        for event in sample_events() {
+            let line = event.to_jsonl_tagged(Some("fig14"));
+            let (run, back) = Event::from_jsonl_tagged(&line).expect(&line);
+            assert_eq!(run.as_deref(), Some("fig14"));
+            assert_eq!(back, event);
+            let (none, back) = Event::from_jsonl_tagged(&event.to_jsonl()).unwrap();
+            assert_eq!(none, None);
+            assert_eq!(back, event);
+        }
     }
 }

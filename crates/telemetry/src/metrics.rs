@@ -113,6 +113,17 @@ impl Histogram {
         Some(*self.bounds.last().expect("non-empty bounds"))
     }
 
+    /// The arithmetic mean (exact, from the running sum — not a bucket
+    /// estimate). Returns `None` when the histogram is empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
     /// The median estimate (p50).
     #[must_use]
     pub fn p50(&self) -> Option<f64> {

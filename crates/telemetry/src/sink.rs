@@ -1,8 +1,10 @@
 //! Event sinks: where serialized telemetry events go.
 
+use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::event::Event;
@@ -87,11 +89,89 @@ impl EventSink for VecSink {
     }
 }
 
+/// A bounded ring buffer of the most recent events, with their run
+/// tags. The storage half of the flight recorder (`spotdc-obs`): cheap
+/// enough to receive *every* event un-sampled, so the last `capacity`
+/// events are always available as local causal context when an
+/// emergency needs a black-box dump.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<(Option<String>, Event)>>,
+}
+
+impl RingSink {
+    /// Creates a ring keeping the last `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<(Option<String>, Event)>> {
+        self.buf.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of buffered events (at most `capacity`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Clones out the buffered `(run, event)` pairs, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(Option<String>, Event)> {
+        self.lock().iter().cloned().collect()
+    }
+
+    /// Drops every buffered event.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+impl EventSink for RingSink {
+    fn emit(&self, event: &Event) {
+        self.emit_tagged(None, event);
+    }
+
+    fn emit_tagged(&self, run: Option<&str>, event: &Event) {
+        let mut buf = self.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back((run.map(str::to_owned), event.clone()));
+    }
+}
+
 /// Appends events as JSON lines to a file (the `telemetry.jsonl`
 /// artifact the repro binary ships).
+///
+/// Writes are buffered ([`BufWriter`]) and flushed on drop. I/O errors
+/// never take the simulation down, but they are not swallowed either:
+/// the sink counts them and keeps the first error message, so the
+/// owning binary can report a truncated log instead of shipping it
+/// silently (see [`FileSink::write_errors`]).
 #[derive(Debug)]
 pub struct FileSink {
     writer: Mutex<BufWriter<File>>,
+    write_errors: AtomicU64,
+    first_error: Mutex<Option<String>>,
 }
 
 impl FileSink {
@@ -104,29 +184,55 @@ impl FileSink {
         let file = File::create(path)?;
         Ok(FileSink {
             writer: Mutex::new(BufWriter::new(file)),
+            write_errors: AtomicU64::new(0),
+            first_error: Mutex::new(None),
         })
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, BufWriter<File>> {
         self.writer.lock().unwrap_or_else(|e| e.into_inner())
     }
+
+    fn record_error(&self, error: &io::Error) {
+        self.write_errors.fetch_add(1, Ordering::Relaxed);
+        let mut first = self.first_error.lock().unwrap_or_else(|e| e.into_inner());
+        if first.is_none() {
+            *first = Some(error.to_string());
+        }
+    }
+
+    /// Number of writes (or flushes) that failed since creation.
+    #[must_use]
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// The first I/O error encountered, if any.
+    #[must_use]
+    pub fn first_error(&self) -> Option<String> {
+        self.first_error
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
 }
 
 impl EventSink for FileSink {
     fn emit(&self, event: &Event) {
-        // Telemetry must never take the simulation down: I/O errors
-        // (disk full, closed fd) drop the event.
-        let mut writer = self.lock();
-        let _ = writeln!(writer, "{}", event.to_jsonl());
+        self.emit_tagged(None, event);
     }
 
     fn emit_tagged(&self, run: Option<&str>, event: &Event) {
         let mut writer = self.lock();
-        let _ = writeln!(writer, "{}", event.to_jsonl_tagged(run));
+        if let Err(e) = writeln!(writer, "{}", event.to_jsonl_tagged(run)) {
+            self.record_error(&e);
+        }
     }
 
     fn flush(&self) {
-        let _ = self.lock().flush();
+        if let Err(e) = self.lock().flush() {
+            self.record_error(&e);
+        }
     }
 }
 
@@ -217,5 +323,64 @@ mod tests {
     fn null_sink_discards() {
         NullSink.emit(&event(1));
         NullSink.flush();
+    }
+
+    #[test]
+    fn ring_sink_keeps_only_the_last_capacity_events() {
+        let ring = RingSink::new(3);
+        assert_eq!(ring.capacity(), 3);
+        assert!(ring.is_empty());
+        for slot in 0..5 {
+            ring.emit_tagged(Some("run-a"), &event(slot));
+        }
+        assert_eq!(ring.len(), 3);
+        let kept: Vec<u64> = ring
+            .snapshot()
+            .iter()
+            .map(|(run, e)| {
+                assert_eq!(run.as_deref(), Some("run-a"));
+                e.slot().index()
+            })
+            .collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest events evicted first");
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ring_sink_zero_capacity_clamps_to_one() {
+        let ring = RingSink::new(0);
+        ring.emit(&event(9));
+        ring.emit(&event(10));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.snapshot()[0].1.slot(), Slot::new(10));
+        assert_eq!(ring.snapshot()[0].0, None);
+    }
+
+    #[test]
+    fn file_sink_starts_with_no_errors() {
+        let path = std::env::temp_dir().join("spotdc-telemetry-file-sink-clean-test.jsonl");
+        let sink = FileSink::create(&path).unwrap();
+        sink.emit(&event(1));
+        sink.flush();
+        assert_eq!(sink.write_errors(), 0);
+        assert_eq!(sink.first_error(), None);
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn file_sink_surfaces_write_errors() {
+        // /dev/full accepts the open but fails every write with ENOSPC,
+        // which surfaces at the latest when the buffer flushes.
+        let sink = FileSink::create("/dev/full").unwrap();
+        for slot in 0..4096 {
+            sink.emit(&event(slot));
+        }
+        sink.flush();
+        assert!(sink.write_errors() > 0, "ENOSPC writes must be counted");
+        let first = sink.first_error().expect("first error retained");
+        assert!(!first.is_empty());
     }
 }

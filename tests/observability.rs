@@ -1,0 +1,184 @@
+//! End-to-end tests for the observability layer: flight recorder,
+//! trace analysis, and the live metrics scrape endpoint driving a real
+//! simulation rather than hand-built event streams.
+//!
+//! Telemetry is process-global, so every test here takes the same
+//! mutex; each one leaves telemetry disabled and the recorder channel
+//! empty on the way out.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use spotdc_obs::{Analysis, BlackBoxConfig, FlightRecorder, MetricsServer, PIPELINE_STAGES};
+use spotdc_sim::engine::{EngineConfig, Simulation};
+use spotdc_sim::{Mode, Scenario};
+
+static TELEMETRY_GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    TELEMETRY_GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// `Scenario::testbed(42)` under MaxPerf crosses the pdu-1 breaker
+/// around slot 325 of the one-day (720-slot) headline horizon; this is
+/// the smallest fully deterministic emergency recipe the experiments
+/// expose.
+const EMERGENCY_SEED: u64 = 42;
+const EMERGENCY_SLOTS: u64 = 720;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spotdc-obs-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("stale temp dir");
+    }
+    dir
+}
+
+#[test]
+fn flight_recorder_and_trace_analysis_capture_a_real_emergency() {
+    let _gate = gate();
+    let dir = temp_dir("blackbox");
+
+    spotdc_telemetry::install(spotdc_telemetry::TelemetryConfig::in_memory());
+    let _ = spotdc_telemetry::memory_sink().take();
+    let recorder = FlightRecorder::arm(&dir, BlackBoxConfig::enabled());
+
+    let report = Simulation::new(
+        Scenario::testbed(EMERGENCY_SEED),
+        EngineConfig::new(Mode::MaxPerf),
+    )
+    .run(EMERGENCY_SLOTS);
+    assert_eq!(report.records.len() as u64, EMERGENCY_SLOTS);
+    // MaxPerf has no bidding or clearing-auction stages; two short
+    // SpotDC runs (global and per-PDU pricing) fill in the rest of the
+    // nine-stage pipeline for the coverage assertion below.
+    let _ = Simulation::new(
+        Scenario::testbed(EMERGENCY_SEED),
+        EngineConfig::new(Mode::SpotDc),
+    )
+    .run(40);
+    let _ = Simulation::new(
+        Scenario::testbed(EMERGENCY_SEED),
+        EngineConfig {
+            per_pdu_pricing: true,
+            ..EngineConfig::new(Mode::SpotDc)
+        },
+    )
+    .run(40);
+    spotdc_telemetry::flush();
+    spotdc_telemetry::uninstall_recorder();
+    let events = spotdc_telemetry::memory_sink().take();
+    spotdc_telemetry::set_enabled(false);
+
+    let emergencies: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e, spotdc_telemetry::Event::EmergencyTriggered { .. }))
+        .collect();
+    assert!(
+        !emergencies.is_empty(),
+        "the MaxPerf testbed run must trip at least one emergency"
+    );
+
+    // The recorder must have written at least one black-box dump, and
+    // the dump must parse back through the analysis layer with the
+    // emergency flagged.
+    let dumps = recorder.dumps();
+    assert!(!dumps.is_empty(), "no black-box dump written to {dir:?}");
+    assert_eq!(recorder.write_errors(), 0, "{:?}", recorder.first_error());
+    let body = std::fs::read_to_string(&dumps[0]).expect("dump readable");
+    let analysis = Analysis::from_jsonl(&body, None);
+    assert!(analysis.malformed.is_empty(), "{:?}", analysis.malformed);
+    assert!(analysis.has_anomalies(), "dump must contain the trigger");
+    assert!(
+        !analysis.emergency_slots.is_empty(),
+        "dump must flag the emergency slot"
+    );
+
+    // The full in-memory stream, serialized as JSONL, must analyze to
+    // per-stage latency for all nine pipeline stages plus every
+    // emergency the simulation raised.
+    let log: String = events.iter().map(|e| e.to_jsonl() + "\n").collect();
+    let full = Analysis::from_jsonl(&log, None);
+    for stage in PIPELINE_STAGES {
+        assert!(
+            full.stages.get(stage).is_some_and(|s| s.count > 0),
+            "stage {stage} missing from analysis"
+        );
+    }
+    assert_eq!(full.emergency_slots.len(), emergencies.len());
+
+    // Determinism: analyzing the same log twice renders byte-identical
+    // text and JSON.
+    let again = Analysis::from_jsonl(&log, None);
+    assert_eq!(full.render_text(), again.render_text());
+    assert_eq!(full.render_json(), again.render_json());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: spotdc\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn metrics_endpoint_serves_span_histograms_from_a_parallel_run() {
+    let _gate = gate();
+
+    spotdc_telemetry::install(spotdc_telemetry::TelemetryConfig {
+        enabled: true,
+        sink: spotdc_telemetry::SinkKind::Null,
+        sample_every: 1,
+    });
+    // An inner pool wider than one worker exercises the par.* spans.
+    let engine = EngineConfig {
+        per_pdu_pricing: true,
+        inner_jobs: 2,
+        ..EngineConfig::new(Mode::SpotDc)
+    };
+    let _ = Simulation::new(Scenario::testbed(7), engine).run(40);
+    spotdc_telemetry::set_enabled(false);
+
+    let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let metrics = http_get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+    assert!(
+        metrics.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE spotdc_span_duration_seconds histogram"),
+        "{metrics}"
+    );
+    for span in ["engine.slot", "stage.clear_market", "par.collect_bids"] {
+        assert!(
+            metrics.contains(&format!("span=\"{span}\"")),
+            "missing span {span} in:\n{metrics}"
+        );
+    }
+
+    let health = http_get(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+    assert!(health.ends_with("ok\n"), "{health}");
+
+    let missing = http_get(addr, "/nope");
+    assert!(
+        missing.starts_with("HTTP/1.1 404 Not Found\r\n"),
+        "{missing}"
+    );
+
+    server.shutdown();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "server must stop listening after shutdown"
+    );
+}
