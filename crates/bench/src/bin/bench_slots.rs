@@ -20,17 +20,29 @@
 //! on a null sink, so the JSON reference records how much the
 //! observability layer costs when armed — and, by comparison with the
 //! plain serial row, confirms it costs nothing when off.
+//!
+//! A separate *hyperscale clearing* section measures the pure clearing
+//! engine (no pipeline around it) on fig7b synthetic markets at 15k
+//! and 100k racks, one row per cache-resolution mode: cold full
+//! sweeps, cache-hit re-clears, and single-bid delta re-clears.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use spotdc_core::demand::{DemandBid, LinearBid};
+use spotdc_core::{ClearingConfig, MarketClearing, RackBid};
 use spotdc_sim::engine::{EngineConfig, Simulation};
+use spotdc_sim::experiments::fig7b;
 use spotdc_sim::{Mode, Scenario};
+use spotdc_units::{Price, Slot, Watts};
 
 const SEED: u64 = 42;
 const TENANTS: usize = 304;
 const WIDTHS: [usize; 3] = [1, 2, 4];
+/// Rack counts for the pure-clearing section: the paper's scale claim
+/// and ROADMAP item 1's orders-of-magnitude target.
+const CLEARING_RACKS: [usize; 2] = [15_000, 100_000];
 
 /// One measured width.
 struct Row {
@@ -63,6 +75,78 @@ fn measure(inner_jobs: usize, slots: u64, samples: usize) -> f64 {
         .collect();
     secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     slots as f64 / secs[secs.len() / 2]
+}
+
+/// One measured rack count of the pure-clearing section.
+struct ClearingRow {
+    racks: usize,
+    full_per_sec: f64,
+    hit_per_sec: f64,
+    delta_per_sec: f64,
+}
+
+/// Clearing throughput at `racks` on the paper-default 0.1¢ grid, one
+/// measurement per cache-resolution mode. Market construction and the
+/// warm-up clear are outside every timed region.
+fn measure_clearing(racks: usize, iters: usize) -> ClearingRow {
+    let (_, bids, cs) = fig7b::synthetic_market(racks, SEED);
+    let (_, other, _) = fig7b::synthetic_market(racks, SEED + 1);
+    let config = ClearingConfig::grid(Price::cents_per_kw_hour(0.1));
+
+    // Full sweeps: alternating two unrelated bid books defeats both
+    // the candidate cache and the delta path on every clear.
+    let engine = MarketClearing::new(config);
+    std::hint::black_box(engine.clear(Slot::ZERO, &bids, &cs));
+    let started = Instant::now();
+    for i in 0..iters {
+        let book = if i % 2 == 0 { &other } else { &bids };
+        std::hint::black_box(engine.clear(Slot::new(i as u64 + 1), book, &cs));
+    }
+    let full_per_sec = iters as f64 / started.elapsed().as_secs_f64();
+
+    // Cache hits: the steady state — identical bids slot after slot.
+    let engine = MarketClearing::new(config);
+    std::hint::black_box(engine.clear(Slot::ZERO, &bids, &cs));
+    let started = Instant::now();
+    for i in 0..iters {
+        std::hint::black_box(engine.clear(Slot::new(i as u64 + 1), &bids, &cs));
+    }
+    let hit_per_sec = iters as f64 / started.elapsed().as_secs_f64();
+    assert_eq!(
+        engine.cache_stats().cache_hits,
+        iters as u64,
+        "hit loop must resolve every slot from the cache"
+    );
+
+    // Delta re-clears: one bid's d_max drifts per slot (prices, and so
+    // the candidate grid, stay fixed).
+    let engine = MarketClearing::new(config);
+    let mut drifting = bids.clone();
+    std::hint::black_box(engine.clear(Slot::ZERO, &drifting, &cs));
+    let started = Instant::now();
+    for i in 0..iters {
+        let v = (i * 7919) % drifting.len();
+        let DemandBid::Linear(b) = drifting[v].demand() else {
+            unreachable!("synthetic_market emits linear bids");
+        };
+        let nudged = LinearBid::new(b.d_max() + Watts::new(0.5), b.q_min(), b.d_min(), b.q_max())
+            .expect("growing d_max keeps ordering");
+        drifting[v] = RackBid::new(drifting[v].rack(), nudged.into());
+        std::hint::black_box(engine.clear(Slot::new(i as u64 + 1), &drifting, &cs));
+    }
+    let delta_per_sec = iters as f64 / started.elapsed().as_secs_f64();
+    assert_eq!(
+        engine.cache_stats().delta_sweeps,
+        iters as u64,
+        "delta loop must patch every slot incrementally"
+    );
+
+    ClearingRow {
+        racks,
+        full_per_sec,
+        hit_per_sec,
+        delta_per_sec,
+    }
 }
 
 fn main() -> ExitCode {
@@ -128,6 +212,14 @@ fn main() -> ExitCode {
         .collect();
     let serial = rows[0].slots_per_sec;
 
+    // Pure-clearing hyperscale section, telemetry still hard-off. The
+    // iteration counts keep the 100k-rack full-sweep loop to a few
+    // seconds while the cheap cached modes get steadier medians.
+    let clearing_rows: Vec<ClearingRow> = CLEARING_RACKS
+        .iter()
+        .map(|&racks| measure_clearing(racks, if racks > 50_000 { 8 } else { 24 }))
+        .collect();
+
     // Measured last because the install is process-global and sticky:
     // telemetry enabled, events dropped in a null sink — the cost of
     // arming the observability layer without an artifact.
@@ -157,6 +249,17 @@ fn main() -> ExitCode {
         "telemetry on (null sink, serial): {telemetry_on:.2} slots/sec \
          ({overhead_percent:+.1}% overhead)"
     );
+    println!("\n# pure clearing — fig7b synthetic market, 0.1¢ grid");
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>11}",
+        "racks", "full/sec", "hit/sec", "delta/sec"
+    );
+    for r in &clearing_rows {
+        println!(
+            "{:>8}  {:>10.2}  {:>10.2}  {:>11.2}",
+            r.racks, r.full_per_sec, r.hit_per_sec, r.delta_per_sec
+        );
+    }
 
     if let Some(path) = &out {
         if let Err(e) = write_json(
@@ -164,6 +267,7 @@ fn main() -> ExitCode {
             slots,
             samples,
             &rows,
+            &clearing_rows,
             serial,
             telemetry_on,
             overhead_percent,
@@ -186,6 +290,7 @@ fn write_json(
     slots: u64,
     samples: usize,
     rows: &[Row],
+    clearing_rows: &[ClearingRow],
     serial: f64,
     telemetry_on: f64,
     overhead_percent: f64,
@@ -205,6 +310,19 @@ fn write_json(
          \"null_sink_slots_per_sec\": {telemetry_on:.2}, \
          \"enabled_overhead_percent\": {overhead_percent:.1} }},"
     )?;
+    writeln!(file, "  \"hyperscale\": [")?;
+    let clearing_body: Vec<String> = clearing_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"racks\": {}, \"full_clears_per_sec\": {:.2}, \
+                 \"hit_clears_per_sec\": {:.2}, \"delta_clears_per_sec\": {:.2} }}",
+                r.racks, r.full_per_sec, r.hit_per_sec, r.delta_per_sec
+            )
+        })
+        .collect();
+    writeln!(file, "{}", clearing_body.join(",\n"))?;
+    writeln!(file, "  ],")?;
     writeln!(file, "  \"results\": [")?;
     let body: Vec<String> = rows
         .iter()

@@ -30,7 +30,9 @@ use spotdc_units::{PduId, RackId, Watts};
 use spotdc_power::PowerTopology;
 
 /// Slack tolerance (watts) for floating-point feasibility checks.
-const TOLERANCE: f64 = 1e-6;
+/// Shared with the columnar clearing sweep, whose per-PDU/UPS checks
+/// must compare bit-for-bit like [`ConstraintSet::feasible_total`].
+pub(crate) const TOLERANCE: f64 = 1e-6;
 
 /// One slot's frozen spot-capacity limits at every level.
 ///

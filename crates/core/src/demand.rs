@@ -25,8 +25,10 @@ use spotdc_units::{Price, Watts};
 
 use crate::bid::BidError;
 
-/// Numeric tolerance when comparing prices for kink handling.
-const EPS: f64 = 1e-12;
+/// Numeric tolerance when comparing prices for kink handling. Shared
+/// with the columnar clearing sweep, whose segment bounds must compare
+/// bit-for-bit like the `demand_at` implementations below.
+pub(crate) const EPS: f64 = 1e-12;
 
 /// SpotDC's four-parameter piece-wise linear demand function.
 ///

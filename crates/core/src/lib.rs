@@ -51,7 +51,9 @@ pub mod protocol;
 
 pub use allocation::SpotAllocation;
 pub use bid::{BidError, RackBid, TenantBid};
-pub use clearing::{ClearingAlgorithm, ClearingConfig, MarketClearing, MarketOutcome};
+pub use clearing::{
+    ClearingAlgorithm, ClearingCacheStats, ClearingConfig, MarketClearing, MarketOutcome,
+};
 pub use constraints::{ConstraintSet, HeatZone, PhasePlan};
 pub use demand::{DemandBid, FullBid, LinearBid, StepBid};
 pub use invariant::{check_allocation, MarketInvariant};

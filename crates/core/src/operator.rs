@@ -291,6 +291,13 @@ impl Operator {
     ) -> MarketOutcome {
         self.clearing.clear(slot, rack_bids, constraints)
     }
+
+    /// How this operator's clearing engine has resolved its slots so
+    /// far (full sweeps vs cache hits vs incremental delta re-sweeps).
+    #[must_use]
+    pub fn clearing_cache_stats(&self) -> crate::clearing::ClearingCacheStats {
+        self.clearing.cache_stats()
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +343,29 @@ mod tests {
             .constraints
             .is_feasible(round.outcome.allocation().grants()));
         assert!(round.outcome.sold() > Watts::ZERO);
+    }
+
+    #[test]
+    fn repeated_rounds_surface_clearing_cache_stats() {
+        // The same bids slot after slot is the steady state the
+        // incremental engine exists for; the operator must expose its
+        // engine's resolution counts.
+        let (op, meter) = operator();
+        let bids = vec![step_bid(0, 0, 40.0, 0.3), step_bid(1, 1, 30.0, 0.2)];
+        let first = op.run_slot(Slot::new(1), &bids, &meter);
+        let second = op.run_slot(Slot::new(2), &bids, &meter);
+        assert_eq!(
+            first.outcome.allocation().grants(),
+            second.outcome.allocation().grants()
+        );
+        assert_eq!(first.outcome.price(), second.outcome.price());
+        let stats = op.clearing_cache_stats();
+        assert_eq!(
+            stats.full_sweeps + stats.cache_hits + stats.delta_sweeps + stats.legacy_scans,
+            2,
+            "{stats:?}"
+        );
+        assert!(stats.candidates_total > 0, "{stats:?}");
     }
 
     #[test]

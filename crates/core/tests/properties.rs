@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
-use spotdc_core::demand::{DemandBid, LinearBid, StepBid};
+use spotdc_core::demand::{DemandBid, FullBid, LinearBid, StepBid};
 use spotdc_core::{
     max_perf_allocate, ClearingConfig, ConcaveGain, ConstraintSet, MarketClearing, RackBid,
 };
@@ -37,6 +37,33 @@ fn step_bid() -> impl Strategy<Value = DemandBid> {
 
 fn any_bid() -> impl Strategy<Value = DemandBid> {
     prop_oneof![linear_bid(), step_bid()]
+}
+
+/// A random full demand curve: cumulative price steps keep the
+/// breakpoints strictly increasing, clamped decrements keep demand
+/// non-increasing (both constructor invariants).
+fn full_bid() -> impl Strategy<Value = DemandBid> {
+    (
+        prop::collection::vec((0.01..0.25f64, 0.0..30.0f64), 1..5),
+        0.0..80.0f64,
+    )
+        .prop_map(|(steps, d0)| {
+            let mut points = vec![(Price::ZERO, Watts::new(d0))];
+            let mut price = 0.0;
+            let mut demand = d0;
+            for (dp, dd) in steps {
+                price += dp;
+                demand = (demand - dd).max(0.0);
+                points.push((Price::per_kw_hour(price), Watts::new(demand)));
+            }
+            FullBid::new(points).expect("valid by construction").into()
+        })
+}
+
+/// All three bid shapes, for the columnar-sweep equivalence tests (the
+/// segment encodings for Linear/Step/Full differ, so all must be hit).
+fn any_bid_shape() -> impl Strategy<Value = DemandBid> {
+    prop_oneof![linear_bid(), step_bid(), full_bid()]
 }
 
 /// A topology with `n` racks spread over two PDUs, 60 W headroom each.
@@ -190,6 +217,98 @@ proptest! {
             let merged = spotdc_par::ThreadPool::new(4)
                 .par_map(&subs, |(group, local)| engine.clear(Slot::ZERO, group, local));
             prop_assert_eq!(&merged, &serial, "{:?}", config);
+        }
+    }
+
+    #[test]
+    fn columnar_sweep_matches_legacy_scan(
+        bids in prop::collection::vec(any_bid_shape(), 1..12),
+        p0 in 0.0..200.0f64,
+        p1 in 0.0..200.0f64,
+        ups in 0.0..350.0f64,
+    ) {
+        // Heat zones route clearing through the pre-columnar scalar
+        // scan (`feasible_total` per candidate). A zone whose limit can
+        // never bind forces that path without changing any outcome, so
+        // comparing against a zone-free clear pits the columnar sweep
+        // against the legacy scan on the same market — the outcomes
+        // must be exactly equal, segment cursors and all.
+        let topo = topology(bids.len());
+        let cs = ConstraintSet::new(&topo, vec![Watts::new(p0), Watts::new(p1)], Watts::new(ups));
+        let all: Vec<RackId> = (0..bids.len()).map(RackId::new).collect();
+        let legacy_cs = cs.clone().with_zone("non-binding", all, Watts::new(1e18));
+        let rack_bids: Vec<RackBid> = bids
+            .iter()
+            .enumerate()
+            .map(|(i, b)| RackBid::new(RackId::new(i), b.clone()))
+            .collect();
+        for config in [ClearingConfig::grid(Price::cents_per_kw_hour(0.5)), ClearingConfig::kink_search()] {
+            let columnar = MarketClearing::new(config).clear(Slot::ZERO, &rack_bids, &cs);
+            let legacy = MarketClearing::new(config).clear(Slot::ZERO, &rack_bids, &legacy_cs);
+            prop_assert_eq!(&columnar, &legacy, "columnar sweep diverged under {:?}", config);
+        }
+    }
+
+    #[test]
+    fn incremental_reclear_matches_cold_engine_over_churn(
+        bids in prop::collection::vec(any_bid_shape(), 2..12),
+        churn in prop::collection::vec((0..64usize, 0.5..20.0f64), 1..6),
+        p0 in 0.0..200.0f64,
+        p1 in 0.0..200.0f64,
+        ups in 0.0..350.0f64,
+    ) {
+        // Clear a slot sequence on one warm engine, mutating one bid
+        // per slot (the delta re-clear's common case). Every slot must
+        // match a cold engine, whichever of the hit/delta/full paths
+        // the warm engine took, and the cache stats must account for
+        // every non-empty clear.
+        let topo = topology(bids.len());
+        let cs = ConstraintSet::new(&topo, vec![Watts::new(p0), Watts::new(p1)], Watts::new(ups));
+        let mut current: Vec<RackBid> = bids
+            .iter()
+            .enumerate()
+            .map(|(i, b)| RackBid::new(RackId::new(i), b.clone()))
+            .collect();
+        for config in [ClearingConfig::grid(Price::cents_per_kw_hour(0.5)), ClearingConfig::kink_search()] {
+            let warm = MarketClearing::new(config);
+            let mut slots = 0u64;
+            for (s, &(victim, bump)) in churn.iter().enumerate() {
+                let v = victim % current.len();
+                let new_demand: DemandBid = match current[v].demand() {
+                    DemandBid::Linear(b) => LinearBid::new(
+                        b.d_max() + Watts::new(bump),
+                        b.q_min(),
+                        b.d_min(),
+                        b.q_max(),
+                    ).expect("growing d_max keeps ordering").into(),
+                    DemandBid::Step(b) => StepBid::new(
+                        b.demand() + Watts::new(bump),
+                        b.price_cap(),
+                    ).expect("valid").into(),
+                    DemandBid::Full(b) => FullBid::new(
+                        b.points()
+                            .iter()
+                            .map(|&(q, d)| (q, d + Watts::new(bump)))
+                            .collect(),
+                    ).expect("uniform shift keeps ordering").into(),
+                };
+                current[v] = RackBid::new(current[v].rack(), new_demand);
+                let w = warm.clear(Slot::new(s as u64), &current, &cs);
+                let f = MarketClearing::new(config).clear(Slot::new(s as u64), &current, &cs);
+                prop_assert_eq!(&w, &f, "slot {} diverged under {:?}", s, config);
+                if current.iter().any(|b| !b.demand().is_null()) {
+                    slots += 1;
+                }
+            }
+            let stats = warm.cache_stats();
+            let accounted = stats.full_sweeps + stats.cache_hits + stats.delta_sweeps + stats.legacy_scans;
+            prop_assert_eq!(accounted, slots, "stats must cover every non-empty clear: {:?}", stats);
+            prop_assert!(
+                stats.candidates_swept <= stats.candidates_total,
+                "swept {} > total {}",
+                stats.candidates_swept,
+                stats.candidates_total
+            );
         }
     }
 

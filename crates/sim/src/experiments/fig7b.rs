@@ -149,6 +149,37 @@ mod tests {
     }
 
     #[test]
+    fn clearing_handles_hyperscale_markets() {
+        // ROADMAP item 1: orders of magnitude past the paper's 15k
+        // racks. A 100k-rack market must clear on the columnar path in
+        // sane wall-clock even in a debug build — the bound is generous
+        // (this is a correctness-at-scale guard, not a benchmark; the
+        // measured numbers live in BENCH_slots.json).
+        let (_, bids, cs) = synthetic_market(100_000, 42);
+        let engine = MarketClearing::new(ClearingConfig::grid(Price::cents_per_kw_hour(1.0)));
+        let start = std::time::Instant::now();
+        let out = engine.clear(Slot::ZERO, &bids, &cs);
+        let elapsed = start.elapsed();
+        assert!(out.sold() > Watts::ZERO, "hyperscale market sold nothing");
+        assert!(out.candidates_evaluated() > 0);
+        assert!(
+            elapsed.as_secs() < 60,
+            "100k-rack clear took {elapsed:?} (debug build bound)"
+        );
+        // A second slot with identical bids rides the cache.
+        let start = std::time::Instant::now();
+        let warm = engine.clear(Slot::new(1), &bids, &cs);
+        let warm_elapsed = start.elapsed();
+        assert_eq!(warm.allocation().grants(), out.allocation().grants());
+        let stats = engine.cache_stats();
+        assert_eq!(stats.cache_hits, 1, "{stats:?}");
+        assert!(
+            warm_elapsed < elapsed,
+            "cache hit ({warm_elapsed:?}) not faster than cold clear ({elapsed:?})"
+        );
+    }
+
+    #[test]
     fn coarser_step_is_faster() {
         let timings = compute(&ExpConfig::quick());
         for pair in timings.chunks(2) {

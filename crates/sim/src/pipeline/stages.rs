@@ -397,6 +397,10 @@ impl SlotStage for Predict {
 /// ClearUniform: the paper's single uniform-price clearing, price
 /// broadcast over the lossy channel, post-clearing invariant check,
 /// and grant programming into the rack PDUs.
+///
+/// Clearing runs on the operator's columnar engine (bid book + bucketed
+/// price sweep, incremental across slots); its full/hit/delta
+/// resolution counts are readable via `Operator::clearing_cache_stats`.
 #[derive(Debug)]
 pub struct ClearUniform;
 
@@ -460,6 +464,13 @@ impl ClearPerPdu {
             clearing: MarketClearing::new(config),
             combined: BTreeMap::new(),
         }
+    }
+
+    /// Cache behavior of this stage's private clearing engine (the
+    /// per-PDU ablation does not share the operator's engine).
+    #[must_use]
+    pub fn cache_stats(&self) -> spotdc_core::ClearingCacheStats {
+        self.clearing.cache_stats()
     }
 }
 

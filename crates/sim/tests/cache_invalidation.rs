@@ -88,6 +88,7 @@ proptest! {
             let mut late: Vec<(TenantId, RackBid)> = Vec::new();
             let mut lost_faults = 0usize;
             let mut late_faults = 0usize;
+            let mut live_slots = 0u64;
             for s in 0..HORIZON {
                 let slot = Slot::new(s);
                 // Fresh submissions from a rotating subset of tenants,
@@ -132,12 +133,102 @@ proptest! {
                     from_cold,
                     "slot {s}: warm clear diverged from cache-cold clear ({config:?})"
                 );
+                if rack_bids.iter().any(|b| !b.demand().is_null()) {
+                    live_slots += 1;
+                }
             }
             // At a 20 % per-channel rate over ~128 submissions, a
             // schedule firing neither fault kind is a broken schedule,
             // not bad luck.
             prop_assert!(lost_faults > 0, "no lost-bid faults fired");
             prop_assert!(late_faults > 0, "no late-bid faults fired");
+            // Every non-empty clear must be accounted to exactly one
+            // resolution mode (full / hit / delta / legacy).
+            let stats = warm.cache_stats();
+            prop_assert_eq!(
+                stats.full_sweeps + stats.cache_hits + stats.delta_sweeps + stats.legacy_scans,
+                live_slots,
+                "unaccounted clears under {:?}: {:?}", config, stats
+            );
+        }
+    }
+
+    #[test]
+    fn demand_drift_under_faults_delta_reclears_like_cold(
+        demands in prop::collection::vec(any_bid(), TENANTS..=TENANTS),
+        fault_seed in 0u64..1_000_000,
+        drift in 0.5..10.0f64,
+    ) {
+        // The delta re-clear's target case: every tenant bids every
+        // slot and exactly one tenant's demand drifts per slot, while a
+        // fault schedule occasionally drops or delays bids (forcing
+        // full re-sweeps in those slots). The last four slots run
+        // fault-free so the incremental path is guaranteed to engage,
+        // and every slot — patched or not — must match a cold engine.
+        let topo = topology();
+        let cs = ConstraintSet::new(
+            &topo,
+            vec![Watts::new(120.0), Watts::new(90.0)],
+            Watts::new(180.0),
+        );
+        let plan = FaultPlan::new(FaultConfig::uniform(0.2, fault_seed));
+        for config in [
+            ClearingConfig::grid(Price::cents_per_kw_hour(0.5)),
+            ClearingConfig::kink_search(),
+        ] {
+            let warm = MarketClearing::new(config);
+            let mut current = demands.clone();
+            let mut live_slots = 0u64;
+            for s in 0..HORIZON {
+                let slot = Slot::new(s);
+                let victim = (s as usize) % TENANTS;
+                current[victim] = match &current[victim] {
+                    DemandBid::Linear(b) => LinearBid::new(
+                        b.d_max() + Watts::new(drift),
+                        b.q_min(),
+                        b.d_min(),
+                        b.q_max(),
+                    ).expect("growing d_max keeps ordering").into(),
+                    DemandBid::Step(b) => StepBid::new(
+                        b.demand() + Watts::new(drift),
+                        b.price_cap(),
+                    ).expect("valid").into(),
+                    DemandBid::Full(_) => unreachable!("any_bid only emits linear/step"),
+                };
+                let rack_bids: Vec<RackBid> = (0..TENANTS)
+                    .filter(|&i| {
+                        s >= HORIZON - 4
+                            || plan.bid_fault(slot, TenantId::new(i)).is_none()
+                    })
+                    .map(|i| RackBid::new(RackId::new(i), current[i].clone()))
+                    .collect();
+                let from_warm = warm.clear(slot, &rack_bids, &cs);
+                let from_cold = MarketClearing::new(config).clear(slot, &rack_bids, &cs);
+                prop_assert_eq!(
+                    from_warm,
+                    from_cold,
+                    "slot {s}: incremental clear diverged from cache-cold ({config:?})"
+                );
+                if rack_bids.iter().any(|b| !b.demand().is_null()) {
+                    live_slots += 1;
+                }
+            }
+            let stats = warm.cache_stats();
+            prop_assert_eq!(
+                stats.full_sweeps + stats.cache_hits + stats.delta_sweeps + stats.legacy_scans,
+                live_slots,
+                "unaccounted clears under {:?}: {:?}", config, stats
+            );
+            // GridScan's candidate grid is a pure function of (step,
+            // ceiling); with membership stable and one bid drifting in
+            // watts only, the three fault-free trailing transitions
+            // must resolve incrementally.
+            if config == ClearingConfig::grid(Price::cents_per_kw_hour(0.5)) {
+                prop_assert!(
+                    stats.delta_sweeps >= 3,
+                    "delta path never engaged: {:?}", stats
+                );
+            }
         }
     }
 }

@@ -153,6 +153,22 @@ pub enum Event {
         /// Measured duration, nanoseconds.
         nanos: u64,
     },
+    /// How the clearing engine resolved a slot: a full price sweep, a
+    /// fingerprint cache hit, or an incremental delta re-sweep over only
+    /// the price rows affected by changed bids. Lets `spotdc-trace`
+    /// report incremental-clearing effectiveness per run.
+    ClearingCache {
+        /// The slot that was cleared.
+        slot: Slot,
+        /// Monotonic timestamp.
+        at: MonotonicNanos,
+        /// Resolution mode ("full", "hit", "delta", "legacy").
+        mode: String,
+        /// Candidate prices considered by the search.
+        candidates_total: u64,
+        /// Candidate prices actually re-swept (0 on a cache hit).
+        candidates_swept: u64,
+    },
 }
 
 impl Event {
@@ -170,6 +186,7 @@ impl Event {
             Event::CapApplied { .. } => "CapApplied",
             Event::InvariantViolated { .. } => "InvariantViolated",
             Event::SpanClosed { .. } => "SpanClosed",
+            Event::ClearingCache { .. } => "ClearingCache",
         }
     }
 
@@ -186,7 +203,8 @@ impl Event {
             | Event::DegradedDecision { slot, .. }
             | Event::CapApplied { slot, .. }
             | Event::InvariantViolated { slot, .. }
-            | Event::SpanClosed { slot, .. } => *slot,
+            | Event::SpanClosed { slot, .. }
+            | Event::ClearingCache { slot, .. } => *slot,
         }
     }
 
@@ -203,7 +221,8 @@ impl Event {
             | Event::DegradedDecision { at, .. }
             | Event::CapApplied { at, .. }
             | Event::InvariantViolated { at, .. }
-            | Event::SpanClosed { at, .. } => *at,
+            | Event::SpanClosed { at, .. }
+            | Event::ClearingCache { at, .. } => *at,
         }
     }
 
@@ -384,6 +403,20 @@ impl Event {
             Event::SpanClosed { span, nanos, .. } => {
                 let _ = write!(out, ",\"span\":{},\"nanos\":{}", json_str(span), nanos);
             }
+            Event::ClearingCache {
+                mode,
+                candidates_total,
+                candidates_swept,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"mode\":{},\"candidates_total\":{},\"candidates_swept\":{}",
+                    json_str(mode),
+                    candidates_total,
+                    candidates_swept
+                );
+            }
         }
         out.push('}');
         out
@@ -508,6 +541,13 @@ impl Event {
                 at,
                 span: str_field("span")?.to_owned(),
                 nanos: int("nanos")?,
+            }),
+            "ClearingCache" => Ok(Event::ClearingCache {
+                slot,
+                at,
+                mode: str_field("mode")?.to_owned(),
+                candidates_total: int("candidates_total")?,
+                candidates_swept: int("candidates_swept")?,
             }),
             other => Err(format!("unknown event tag {other:?}")),
         }?;
@@ -720,6 +760,13 @@ mod tests {
                 span: "stage.clear_market".to_owned(),
                 nanos: 48_211,
             },
+            Event::ClearingCache {
+                slot: Slot::new(21),
+                at: MonotonicNanos::from_raw(100_401),
+                mode: "delta".to_owned(),
+                candidates_total: 101,
+                candidates_swept: 7,
+            },
         ]
     }
 
@@ -805,6 +852,7 @@ mod tests {
                 ("CapApplied".to_owned(), true),
                 ("InvariantViolated".to_owned(), true),
                 ("SpanClosed".to_owned(), false),
+                ("ClearingCache".to_owned(), false),
             ]
         );
     }

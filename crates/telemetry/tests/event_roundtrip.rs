@@ -3,7 +3,7 @@
 //!
 //! `spotdc-trace` trusts `Event::from_jsonl_tagged` to reconstruct
 //! whatever a `FileSink` or flight-recorder dump wrote; this pins that
-//! trust down across all ten variants with adversarial strings
+//! trust down across all eleven variants with adversarial strings
 //! (quotes, backslashes, newlines, control characters, non-ASCII) and
 //! full-range numeric fields.
 
@@ -142,6 +142,15 @@ fn event() -> impl Strategy<Value = Event> {
                 nanos,
             }
         }),
+        (base(), text(), 0u64..=u64::MAX, 0u64..=u64::MAX).prop_map(
+            |((slot, at), mode, candidates_total, candidates_swept)| Event::ClearingCache {
+                slot,
+                at,
+                mode,
+                candidates_total,
+                candidates_swept,
+            }
+        ),
     ]
 }
 
