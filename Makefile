@@ -4,10 +4,13 @@ CARGO ?= cargo
 JOBS ?= 4
 
 .PHONY: build test bench bench-repro bench-slots bench-check clippy \
-	determinism golden smoke-faults smoke-trace fmt verify repro
+	determinism golden smoke-faults smoke-trace smoke-crash fmt verify repro
 
+# --workspace matters: the root Cargo.toml is a package, so a bare
+# `cargo build` would skip member binaries (repro, spotdc-trace) that
+# the smoke scripts below invoke straight out of target/release.
 build:
-	$(CARGO) build --release
+	$(CARGO) build --release --workspace
 
 test:
 	$(CARGO) test -q
@@ -39,6 +42,12 @@ smoke-faults: build
 smoke-trace: build
 	scripts/smoke_trace
 
+# Kill-and-recover chaos run: seeded SIGKILLs plus torn/corrupt journal
+# injections; every resumed run's stdout must be byte-identical to an
+# uninterrupted golden run, in all three modes.
+smoke-crash: build
+	scripts/crash_harness
+
 fmt:
 	$(CARGO) fmt --check
 
@@ -68,4 +77,4 @@ repro:
 	$(CARGO) run -p spotdc-bench --bin repro --release -- --quick \
 		--out repro-results --telemetry repro-results/telemetry.jsonl
 
-verify: build test golden determinism clippy smoke-faults smoke-trace fmt
+verify: build test golden determinism clippy smoke-faults smoke-trace smoke-crash fmt

@@ -32,7 +32,7 @@ use std::time::Instant;
 
 use spotdc_core::demand::{DemandBid, LinearBid};
 use spotdc_core::{ClearingConfig, MarketClearing, RackBid};
-use spotdc_sim::engine::{EngineConfig, Simulation};
+use spotdc_sim::engine::{DurabilityConfig, EngineConfig, Simulation};
 use spotdc_sim::experiments::fig7b;
 use spotdc_sim::{Mode, Scenario};
 use spotdc_units::{Price, Slot, Watts};
@@ -73,6 +73,33 @@ fn measure(inner_jobs: usize, slots: u64, samples: usize) -> f64 {
             elapsed
         })
         .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    slots as f64 / secs[secs.len() / 2]
+}
+
+/// Median serial slots/sec with the durability layer armed
+/// (`checkpoint_every = 50`, journal appended every slot) — the cost of
+/// crash consistency on the same scenario the plain serial row runs.
+fn measure_durable(slots: u64, samples: usize) -> f64 {
+    let dir = std::env::temp_dir().join(format!("spotdc-bench-ckpt-{}", std::process::id()));
+    let mut secs: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut config = engine(1);
+            config.durability = DurabilityConfig {
+                dir: Some(dir.clone()),
+                checkpoint_every: 50,
+                ..DurabilityConfig::default()
+            };
+            let sim = Simulation::new(Scenario::hyperscale(SEED, TENANTS), config);
+            let started = Instant::now();
+            let outcome = sim.run_durable(slots).expect("durable bench run");
+            let elapsed = started.elapsed().as_secs_f64();
+            assert_eq!(outcome.report.records.len() as u64, slots);
+            std::hint::black_box(outcome.report.avg_spot_sold());
+            elapsed
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
     secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     slots as f64 / secs[secs.len() / 2]
 }
@@ -212,6 +239,11 @@ fn main() -> ExitCode {
         .collect();
     let serial = rows[0].slots_per_sec;
 
+    // Durability row, telemetry still hard-off: serial width with slot
+    // journaling plus a checkpoint every 50 slots.
+    let durable = measure_durable(slots, samples);
+    let durable_overhead_percent = (serial / durable - 1.0) * 100.0;
+
     // Pure-clearing hyperscale section, telemetry still hard-off. The
     // iteration counts keep the 100k-rack full-sweep loop to a few
     // seconds while the cheap cached modes get steadier medians.
@@ -249,6 +281,10 @@ fn main() -> ExitCode {
         "telemetry on (null sink, serial): {telemetry_on:.2} slots/sec \
          ({overhead_percent:+.1}% overhead)"
     );
+    println!(
+        "durability on (checkpoint every 50, serial): {durable:.2} slots/sec \
+         ({durable_overhead_percent:+.1}% overhead)"
+    );
     println!("\n# pure clearing — fig7b synthetic market, 0.1¢ grid");
     println!(
         "{:>8}  {:>10}  {:>10}  {:>11}",
@@ -271,6 +307,8 @@ fn main() -> ExitCode {
             serial,
             telemetry_on,
             overhead_percent,
+            durable,
+            durable_overhead_percent,
         ) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
@@ -294,6 +332,8 @@ fn write_json(
     serial: f64,
     telemetry_on: f64,
     overhead_percent: f64,
+    durable: f64,
+    durable_overhead_percent: f64,
 ) -> std::io::Result<()> {
     let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(file, "{{")?;
@@ -309,6 +349,12 @@ fn write_json(
         "  \"telemetry\": {{ \"off_slots_per_sec\": {serial:.2}, \
          \"null_sink_slots_per_sec\": {telemetry_on:.2}, \
          \"enabled_overhead_percent\": {overhead_percent:.1} }},"
+    )?;
+    writeln!(
+        file,
+        "  \"durability\": {{ \"off_slots_per_sec\": {serial:.2}, \
+         \"checkpointed_slots_per_sec\": {durable:.2}, \
+         \"overhead_percent\": {durable_overhead_percent:.1} }},"
     )?;
     writeln!(file, "  \"hyperscale\": [")?;
     let clearing_body: Vec<String> = clearing_rows

@@ -17,6 +17,20 @@
 //! repro --quiet              # suppress progress output (errors remain)
 //! ```
 //!
+//! Single durable run (the crash-harness entry point):
+//!
+//! ```text
+//! repro --mode spotdc --slots 300 --checkpoint-dir ckpt/ --checkpoint-every 25
+//! repro --mode spotdc --slots 300 --checkpoint-dir ckpt/ --resume
+//! ```
+//!
+//! `--mode` switches from the experiment suite to one simulation whose
+//! full report is rendered to stdout deterministically; recovery notes
+//! go to stderr only, so a resumed run's stdout is byte-identical to an
+//! uninterrupted one. `--slot-delay-ms` slows the slot loop so an
+//! external killer (`scripts/crash_harness`) can SIGKILL at a chosen
+//! slot.
+//!
 //! Experiments fan out across `--jobs` worker threads, and the
 //! multi-simulation experiments fan out further internally. Every
 //! simulation is fully seeded, so the experiment bodies are
@@ -28,8 +42,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use spotdc_obs::{BlackBoxConfig, FlightRecorder, MetricsServer};
+use spotdc_sim::engine::{DurabilityConfig, EngineConfig, Simulation};
 use spotdc_sim::experiments::{all_ids, run_selected, ExpConfig, TimedOutput};
 use spotdc_sim::report::telemetry_summary;
+use spotdc_sim::{Mode, Scenario};
 use spotdc_telemetry::{FileSink, SinkKind, TelemetryConfig};
 
 /// Routes progress output through one place so `--quiet` silences
@@ -78,6 +94,9 @@ fn main() -> ExitCode {
     let mut bench_path: Option<std::path::PathBuf> = None;
     let mut jobs: usize = spotdc_par::available();
     let mut quiet = false;
+    let mut single_mode: Option<Mode> = None;
+    let mut single_slots: u64 = 300;
+    let mut durability = DurabilityConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -131,6 +150,29 @@ fn main() -> ExitCode {
                 Some(path) => bench_path = Some(path.into()),
                 None => return usage("--bench-json needs a file path"),
             },
+            "--mode" => match args.next().as_deref() {
+                Some("powercapped") => single_mode = Some(Mode::PowerCapped),
+                Some("spotdc") => single_mode = Some(Mode::SpotDc),
+                Some("maxperf") => single_mode = Some(Mode::MaxPerf),
+                _ => return usage("--mode needs powercapped, spotdc, or maxperf"),
+            },
+            "--slots" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => single_slots = n,
+                _ => return usage("--slots needs a positive integer"),
+            },
+            "--checkpoint-dir" => match args.next() {
+                Some(dir) => durability.dir = Some(dir.into()),
+                None => return usage("--checkpoint-dir needs a directory"),
+            },
+            "--checkpoint-every" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => durability.checkpoint_every = n,
+                None => return usage("--checkpoint-every needs an integer"),
+            },
+            "--resume" => durability.resume = true,
+            "--slot-delay-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => durability.slot_delay_ms = ms,
+                None => return usage("--slot-delay-ms needs an integer"),
+            },
             "--validate" => spotdc_sim::validate::set_forced(true),
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => return usage(""),
@@ -138,6 +180,20 @@ fn main() -> ExitCode {
         }
     }
     let reporter = Reporter::new(quiet);
+    if single_mode.is_none() && (durability.dir.is_some() || durability.resume) {
+        return usage("--checkpoint-dir/--resume require --mode (single-run durability)");
+    }
+    if single_mode.is_some()
+        && (!selected.is_empty()
+            || out_dir.is_some()
+            || blackbox_dir.is_some()
+            || metrics_addr.is_some()
+            || bench_path.is_some())
+    {
+        return usage(
+            "--mode single runs take only --slots/--seed/--telemetry and the checkpoint flags",
+        );
+    }
     // Experiment-level workers come from the pool below; this seeds the
     // in-experiment fan-out (run_modes & co) with the same budget.
     spotdc_par::set_default_threads(jobs);
@@ -175,6 +231,31 @@ fn main() -> ExitCode {
             sink: SinkKind::Null,
             sample_every: 1,
         });
+    }
+    if let Some(mode) = single_mode {
+        // Single-run mode shares the telemetry plumbing above but none
+        // of the experiment machinery below; finish the sink before
+        // returning so the JSONL artifact is complete.
+        let code = run_single(mode, single_slots, cfg.seed, durability, &reporter);
+        if telemetry_path.is_some() {
+            spotdc_telemetry::flush();
+            if let Some(summary) = telemetry_summary() {
+                // stderr, not stdout: the rendered report must stay the
+                // only stdout so crash-recovery byte-diffs hold.
+                reporter.status(&format!("## telemetry span timings\n\n{summary}"));
+            }
+        }
+        if let Some(sink) = &file_sink {
+            if sink.write_errors() > 0 {
+                reporter.error(&format!(
+                    "error: {} telemetry write(s) failed (log truncated): {}",
+                    sink.write_errors(),
+                    sink.first_error().unwrap_or_default()
+                ));
+                return ExitCode::FAILURE;
+            }
+        }
+        return code;
     }
     let recorder = blackbox_dir
         .as_ref()
@@ -310,6 +391,66 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One durable (or plain, without `--checkpoint-dir`) simulation whose
+/// report renders to stdout deterministically. Everything the
+/// durability layer did — recovery, checkpoints — goes to stderr, so
+/// `scripts/crash_harness` can byte-compare stdout against an
+/// uninterrupted golden run.
+fn run_single(
+    mode: Mode,
+    slots: u64,
+    seed: u64,
+    durability: DurabilityConfig,
+    reporter: &Reporter,
+) -> ExitCode {
+    let scenario = Scenario::testbed(seed);
+    let config = EngineConfig {
+        durability: durability.clone(),
+        ..EngineConfig::new(mode)
+    };
+    let report = if durability.dir.is_some() {
+        match Simulation::new(scenario, config).run_durable(slots) {
+            Ok(outcome) => {
+                if let Some(r) = &outcome.recovery {
+                    reporter.status(&format!(
+                        "# recovered: snapshot {}, {} slot(s) replayed{}",
+                        r.snapshot_slot
+                            .map_or_else(|| "none".to_owned(), |s| s.to_string()),
+                        r.replayed_slots,
+                        r.truncated.as_ref().map_or_else(String::new, |d| format!(
+                            ", journal tail {} ({} bytes dropped)",
+                            d.reason, d.dropped_bytes
+                        ))
+                    ));
+                }
+                reporter.status(&format!(
+                    "# {} checkpoint(s) written",
+                    outcome.checkpoints_written
+                ));
+                outcome.report
+            }
+            Err(e) => {
+                reporter.error(&format!("error: {e}"));
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match Simulation::try_new(scenario, config) {
+            Ok(sim) => sim.run(slots),
+            Err(e) => {
+                reporter.error(&format!("error: {e}"));
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    // Derived Debug is deterministic field-by-field rendering (floats
+    // print shortest-roundtrip), so two equal reports print
+    // byte-identically — exactly what the harness diffs.
+    println!("# repro --mode run: seed {seed}, {slots} slots");
+    println!("{report:#?}");
+    ExitCode::SUCCESS
+}
+
 /// Writes the per-experiment wall-clock timings as a small JSON file.
 fn write_bench_json(
     path: &std::path::Path,
@@ -355,6 +496,9 @@ fn usage(error: &str) -> ExitCode {
          \x20            [--out <dir>] [--telemetry <file>] [--blackbox <dir>]\n\
          \x20            [--serve-metrics <host:port>] [--bench-json <file>] [--validate]\n\
          \x20            [--quiet]\n\
+         \x20      repro --mode <powercapped|spotdc|maxperf> [--slots <n>] [--seed <n>]\n\
+         \x20            [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--resume]\n\
+         \x20            [--slot-delay-ms <n>]\n\
          experiments: {}",
         all_ids().join(", ")
     );

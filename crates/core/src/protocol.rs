@@ -110,6 +110,21 @@ impl CommsModel {
         CommsModel::new(0.0, 0.0, 1)
     }
 
+    /// The sequential bid-loss stream state, for crash recovery. The
+    /// broadcast draws are pure functions of the construction seed and
+    /// need no state beyond it.
+    #[must_use]
+    pub fn stream_state(&self) -> u64 {
+        self.state
+    }
+
+    /// Overwrites the sequential bid-loss stream state, for crash
+    /// recovery. Zero (invalid for xorshift) is coerced to the same
+    /// non-zero form the constructor uses.
+    pub fn restore_stream_state(&mut self, state: u64) {
+        self.state = state | u64::from(state == 0);
+    }
+
     fn next(&mut self) -> u64 {
         // xorshift64*
         let mut x = self.state;

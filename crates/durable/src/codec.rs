@@ -1,0 +1,456 @@
+//! A minimal binary codec with exact float round-trips.
+//!
+//! Everything is little-endian and length-prefixed; `f64`s are encoded
+//! as their raw IEEE-754 bit pattern (`to_bits`), so the decoded value
+//! is bit-identical to the encoded one — including negative zero and
+//! any NaN payload. There is no schema negotiation: the caller decodes
+//! fields in exactly the order it encoded them, and the snapshot
+//! format version (checked by the policy layer) guards evolution.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Why a decode failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the requested field.
+    UnexpectedEnd {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes left in the buffer.
+        remaining: usize,
+    },
+    /// A boolean byte was neither 0 nor 1.
+    BadBool(u8),
+    /// An option tag byte was neither 0 nor 1.
+    BadOptionTag(u8),
+    /// A length prefix exceeds the remaining buffer (or a sanity bound).
+    BadLength(u64),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A domain-level constraint failed while rebuilding a value (an
+    /// enum tag out of range, a constructor rejecting its inputs).
+    Invalid(String),
+    /// Decoding finished with unread bytes left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd { needed, remaining } => {
+                write!(
+                    f,
+                    "record ended early: needed {needed} bytes, {remaining} left"
+                )
+            }
+            DecodeError::BadBool(b) => write!(f, "invalid boolean byte {b:#04x}"),
+            DecodeError::BadOptionTag(b) => write!(f, "invalid option tag {b:#04x}"),
+            DecodeError::BadLength(n) => write!(f, "implausible length prefix {n}"),
+            DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::Invalid(why) => write!(f, "invalid value: {why}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} unread bytes after the last field"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Appends fields to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// The encoded bytes so far.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the encoder into its byte buffer.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its exact bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Reads fields back in encode order.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `buf`, positioned at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEnd {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    pub fn get_usize(&mut self) -> Result<usize, DecodeError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::BadLength(v))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a boolean byte.
+    pub fn get_bool(&mut self) -> Result<bool, DecodeError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(DecodeError::BadBool(b)),
+        }
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.get_usize()?;
+        if n > self.remaining() {
+            return Err(DecodeError::BadLength(n as u64));
+        }
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, DecodeError> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Asserts every byte was consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(DecodeError::TrailingBytes(n)),
+        }
+    }
+}
+
+/// A value that can round-trip through the binary codec.
+///
+/// The contract is exactness: `Persist::restore(decode(encode(x)))`
+/// must equal `x` down to float bit patterns.
+pub trait Persist: Sized {
+    /// Appends this value's encoding to `enc`.
+    fn persist(&self, enc: &mut Encoder);
+    /// Reads one value back, in encode order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the buffer is exhausted or holds
+    /// an invalid encoding.
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+}
+
+impl Persist for u8 {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_u8(*self);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.get_u8()
+    }
+}
+
+impl Persist for u32 {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.get_u32()
+    }
+}
+
+impl Persist for u64 {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.get_u64()
+    }
+}
+
+impl Persist for usize {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_usize(*self);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.get_usize()
+    }
+}
+
+impl Persist for f64 {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_f64(*self);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.get_f64()
+    }
+}
+
+impl Persist for bool {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.get_bool()
+    }
+}
+
+impl Persist for String {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(dec.get_str()?.to_owned())
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn persist(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.persist(enc);
+            }
+        }
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::restore(dec)?)),
+            b => Err(DecodeError::BadOptionTag(b)),
+        }
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_usize(self.len());
+        for v in self {
+            v.persist(enc);
+        }
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let n = dec.get_usize()?;
+        // Every element costs at least one byte, so a length beyond
+        // the remaining buffer is a lie — reject it before allocating.
+        if n > dec.remaining() {
+            return Err(DecodeError::BadLength(n as u64));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::restore(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Persist> Persist for VecDeque<T> {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_usize(self.len());
+        for v in self {
+            v.persist(enc);
+        }
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Vec::<T>::restore(dec)?.into())
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn persist(&self, enc: &mut Encoder) {
+        self.0.persist(enc);
+        self.1.persist(enc);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok((A::restore(dec)?, B::restore(dec)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u32(0xdead_beef);
+        enc.put_u64(u64::MAX);
+        enc.put_f64(-0.0);
+        enc.put_f64(f64::NAN);
+        enc.put_bool(true);
+        enc.put_str("héllo\n");
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert_eq!(dec.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(dec.get_f64().unwrap().is_nan());
+        assert!(dec.get_bool().unwrap());
+        assert_eq!(dec.get_str().unwrap(), "héllo\n");
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<Option<u64>> = vec![None, Some(3), Some(u64::MAX)];
+        let q: VecDeque<f64> = vec![1.5, -2.25, 0.1].into();
+        let mut enc = Encoder::new();
+        v.persist(&mut enc);
+        q.persist(&mut enc);
+        (42u64, "x".to_owned()).persist(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(Vec::<Option<u64>>::restore(&mut dec).unwrap(), v);
+        assert_eq!(VecDeque::<f64>::restore(&mut dec).unwrap(), q);
+        assert_eq!(
+            <(u64, String)>::restore(&mut dec).unwrap(),
+            (42, "x".to_owned())
+        );
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_buffers_error_instead_of_panicking() {
+        let mut enc = Encoder::new();
+        enc.put_u64(5);
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            assert!(matches!(
+                dec.get_u64(),
+                Err(DecodeError::UnexpectedEnd { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn lying_length_prefixes_are_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_usize(1_000_000); // claims a million elements...
+        let bytes = enc.into_bytes(); // ...but provides none
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            Vec::<u64>::restore(&mut dec),
+            Err(DecodeError::BadLength(_))
+        ));
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.get_bytes(), Err(DecodeError::BadLength(_))));
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let bytes = [2u8];
+        assert!(matches!(
+            Decoder::new(&bytes).get_bool(),
+            Err(DecodeError::BadBool(2))
+        ));
+        assert!(matches!(
+            Option::<u64>::restore(&mut Decoder::new(&bytes)),
+            Err(DecodeError::BadOptionTag(2))
+        ));
+    }
+
+    #[test]
+    fn finish_flags_trailing_bytes() {
+        let bytes = [0u8; 3];
+        let mut dec = Decoder::new(&bytes);
+        dec.get_u8().unwrap();
+        assert_eq!(dec.finish(), Err(DecodeError::TrailingBytes(2)));
+    }
+}

@@ -1,0 +1,241 @@
+//! Length-prefixed, CRC-checked record framing.
+//!
+//! A frame is `len: u32 LE | crc: u32 LE | payload: len bytes`, where
+//! `crc` is the CRC-32 (IEEE) of the payload. Frames are concatenated
+//! into a stream; the reader walks the stream and classifies its tail:
+//!
+//! * **Clean** — the stream ends exactly at a frame boundary.
+//! * **Torn** — the last frame's header or payload is cut short. This is
+//!   the expected artifact of a crash mid-append and is silently safe to
+//!   truncate.
+//! * **Corrupt** — a complete frame whose CRC does not match its
+//!   payload, or a length prefix beyond any plausible record size. The
+//!   bytes were fully written but are wrong: the storage (or an
+//!   injector) lied.
+//!
+//! Both torn and corrupt tails are truncated on recovery; they are kept
+//! distinct so operators can tell a routine crash from data damage.
+
+/// Upper bound on a single record's payload (1 GiB). A length prefix
+/// above this is treated as corruption, not as a real allocation request.
+pub const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// Bytes of framing overhead per record (length + CRC).
+pub const HEADER_LEN: usize = 8;
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3) of `data`.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// How a frame stream ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tail {
+    /// The stream ends exactly at a frame boundary.
+    Clean,
+    /// The final frame is incomplete — a partial write from a crash.
+    Torn {
+        /// Bytes of the partial frame that will be discarded.
+        dropped: u64,
+    },
+    /// The final frame is complete but its CRC (or length prefix) is
+    /// invalid — the bytes on disk are damaged.
+    Corrupt {
+        /// Bytes from the bad frame to the end of the stream that will
+        /// be discarded.
+        dropped: u64,
+    },
+}
+
+/// Appends one framed record to `out`.
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_RECORD_LEN as usize);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Splits a byte stream into complete, CRC-valid record payloads and a
+/// [`Tail`] verdict about how the stream ends.
+///
+/// Reading stops at the first bad frame: everything after a corrupt
+/// record is untrustworthy (the lengths that delimit later frames are
+/// themselves suspect), so it is all counted as dropped.
+#[must_use]
+pub fn split_frames(mut buf: &[u8]) -> (Vec<&[u8]>, Tail) {
+    let mut records = Vec::new();
+    loop {
+        if buf.is_empty() {
+            return (records, Tail::Clean);
+        }
+        if buf.len() < HEADER_LEN {
+            return (
+                records,
+                Tail::Torn {
+                    dropped: buf.len() as u64,
+                },
+            );
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        if len > MAX_RECORD_LEN {
+            return (
+                records,
+                Tail::Corrupt {
+                    dropped: buf.len() as u64,
+                },
+            );
+        }
+        let want = crc32_from(&buf[4..8]);
+        let total = HEADER_LEN + len as usize;
+        if buf.len() < total {
+            return (
+                records,
+                Tail::Torn {
+                    dropped: buf.len() as u64,
+                },
+            );
+        }
+        let payload = &buf[HEADER_LEN..total];
+        if crc32(payload) != want {
+            return (
+                records,
+                Tail::Corrupt {
+                    dropped: buf.len() as u64,
+                },
+            );
+        }
+        records.push(payload);
+        buf = &buf[total..];
+    }
+}
+
+fn crc32_from(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip_cleanly() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"alpha");
+        append_frame(&mut buf, b"");
+        append_frame(&mut buf, b"gamma-record");
+        let (records, tail) = split_frames(&buf);
+        assert_eq!(records, vec![&b"alpha"[..], &b""[..], &b"gamma-record"[..]]);
+        assert_eq!(tail, Tail::Clean);
+    }
+
+    #[test]
+    fn every_truncation_point_is_torn_never_corrupt() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"first");
+        append_frame(&mut buf, b"second-and-longer");
+        let boundary = HEADER_LEN + 5;
+        for cut in 0..buf.len() {
+            let (records, tail) = split_frames(&buf[..cut]);
+            if cut == 0 {
+                assert_eq!(tail, Tail::Clean);
+            } else if cut == boundary {
+                assert_eq!(records.len(), 1);
+                assert_eq!(tail, Tail::Clean);
+            } else {
+                let inside_first = cut < boundary;
+                let expect_records = usize::from(!inside_first);
+                assert_eq!(records.len(), expect_records, "cut at {cut}");
+                let dropped = (cut - if inside_first { 0 } else { boundary }) as u64;
+                assert_eq!(tail, Tail::Torn { dropped }, "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_in_payload_or_crc_are_corrupt() {
+        let mut pristine = Vec::new();
+        append_frame(&mut pristine, b"keep-me");
+        append_frame(&mut pristine, b"flip-me");
+        let second_start = HEADER_LEN + 7;
+        for byte in second_start + 4..pristine.len() {
+            let mut buf = pristine.clone();
+            buf[byte] ^= 0x40;
+            let (records, tail) = split_frames(&buf);
+            assert_eq!(records, vec![&b"keep-me"[..]], "flip at {byte}");
+            assert_eq!(
+                tail,
+                Tail::Corrupt {
+                    dropped: (buf.len() - second_start) as u64
+                },
+                "flip at {byte}"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_corrupt() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_RECORD_LEN + 1).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 12]);
+        let (records, tail) = split_frames(&buf);
+        assert!(records.is_empty());
+        assert_eq!(
+            tail,
+            Tail::Corrupt {
+                dropped: buf.len() as u64
+            }
+        );
+    }
+
+    #[test]
+    fn nothing_after_a_corrupt_frame_is_trusted() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"good");
+        let corrupt_at = buf.len();
+        append_frame(&mut buf, b"bad");
+        append_frame(&mut buf, b"also-dropped");
+        buf[corrupt_at + HEADER_LEN] ^= 1; // damage "bad"'s payload
+        let (records, tail) = split_frames(&buf);
+        assert_eq!(records, vec![&b"good"[..]]);
+        assert_eq!(
+            tail,
+            Tail::Corrupt {
+                dropped: (buf.len() - corrupt_at) as u64
+            }
+        );
+    }
+}

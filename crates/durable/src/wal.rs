@@ -1,0 +1,192 @@
+//! The write-ahead journal: an append-only stream of framed records.
+//!
+//! The WAL holds per-slot records written *between* checkpoints. It is
+//! recreated from scratch at every checkpoint (the snapshot subsumes
+//! everything before it), appended and flushed once per slot, and read
+//! back in full on recovery with the three-way tail verdict from
+//! [`crate::frame`].
+//!
+//! Durability policy: each append is `write_all` + `flush`, which moves
+//! the bytes into the kernel; `sync` (fsync) is called only when a
+//! checkpoint is cut. A SIGKILL cannot lose kernel-buffered writes —
+//! only a power loss or kernel panic could — and the recovery protocol
+//! tolerates any suffix of journaled slots going missing anyway, since
+//! replay re-derives them deterministically.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::frame::{self, Tail};
+
+/// Magic prefix identifying a SpotDC WAL file (versioned).
+pub const WAL_MAGIC: &[u8; 8] = b"SDCWAL01";
+
+/// An open journal accepting framed appends.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+}
+
+impl WalWriter {
+    /// Creates (truncating any predecessor) a fresh journal at `path`
+    /// and durably writes the magic header.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.flush()?;
+        Ok(WalWriter { file })
+    }
+
+    /// Appends one framed record and flushes it to the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the write.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut framed = Vec::with_capacity(frame::HEADER_LEN + payload.len());
+        frame::append_frame(&mut framed, payload);
+        self.file.write_all(&framed)?;
+        self.file.flush()
+    }
+
+    /// Forces everything appended so far to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the fsync.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+/// What a journal file held when read back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalContents {
+    /// Complete, CRC-valid record payloads in append order.
+    pub records: Vec<Vec<u8>>,
+    /// How the stream ended.
+    pub tail: Tail,
+}
+
+impl Default for WalContents {
+    /// An absent journal: no records, clean tail.
+    fn default() -> Self {
+        WalContents {
+            records: Vec::new(),
+            tail: Tail::Clean,
+        }
+    }
+}
+
+/// Reads the journal at `path`, if one exists.
+///
+/// Returns `Ok(None)` when the file is absent (a fresh start). A file
+/// too short to hold the magic header, or holding the wrong magic, is
+/// reported as all-corrupt contents rather than an error: recovery
+/// treats it like any other damaged tail and starts the journal over.
+///
+/// # Errors
+///
+/// Returns any I/O error from opening or reading the file.
+pub fn read_wal(path: &Path) -> io::Result<Option<WalContents>> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+    if buf.len() < WAL_MAGIC.len() || &buf[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Ok(Some(WalContents {
+            records: Vec::new(),
+            tail: Tail::Corrupt {
+                dropped: buf.len() as u64,
+            },
+        }));
+    }
+    let (records, tail) = frame::split_frames(&buf[WAL_MAGIC.len()..]);
+    Ok(Some(WalContents {
+        records: records.into_iter().map(<[u8]>::to_vec).collect(),
+        tail,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("spotdc-durable-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.wal")
+    }
+
+    #[test]
+    fn absent_file_reads_as_none() {
+        let path = temp_path("absent");
+        assert_eq!(read_wal(&path).unwrap(), None);
+    }
+
+    #[test]
+    fn appended_records_read_back_in_order() {
+        let path = temp_path("order");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"slot-0").unwrap();
+        w.append(b"slot-1").unwrap();
+        w.sync().unwrap();
+        let contents = read_wal(&path).unwrap().unwrap();
+        assert_eq!(
+            contents.records,
+            vec![b"slot-0".to_vec(), b"slot-1".to_vec()]
+        );
+        assert_eq!(contents.tail, Tail::Clean);
+    }
+
+    #[test]
+    fn create_truncates_a_predecessor() {
+        let path = temp_path("truncate");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"old").unwrap();
+        drop(w);
+        let w = WalWriter::create(&path).unwrap();
+        drop(w);
+        let contents = read_wal(&path).unwrap().unwrap();
+        assert!(contents.records.is_empty());
+        assert_eq!(contents.tail, Tail::Clean);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_earlier_records_survive() {
+        let path = temp_path("torn");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(b"complete-record").unwrap();
+        w.append(b"doomed-record").unwrap();
+        drop(w);
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let contents = read_wal(&path).unwrap().unwrap();
+        assert_eq!(contents.records, vec![b"complete-record".to_vec()]);
+        assert!(matches!(contents.tail, Tail::Torn { dropped } if dropped > 0));
+    }
+
+    #[test]
+    fn bad_magic_reads_as_fully_corrupt() {
+        let path = temp_path("magic");
+        fs::write(&path, b"NOTAWAL!whatever").unwrap();
+        let contents = read_wal(&path).unwrap().unwrap();
+        assert!(contents.records.is_empty());
+        assert_eq!(contents.tail, Tail::Corrupt { dropped: 16 });
+    }
+}

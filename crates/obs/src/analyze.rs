@@ -125,6 +125,39 @@ pub struct DegradationStats {
     pub watts: f64,
 }
 
+/// Journal-tail damage of one reason ("torn" or "corrupt").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TruncationStats {
+    /// Number of truncations with this reason.
+    pub count: u64,
+    /// Total journal bytes dropped across them.
+    pub dropped_bytes: u64,
+}
+
+/// Durability activity reconstructed from `CheckpointWritten`,
+/// `RecoveryPerformed`, and `JournalTruncated` events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DurabilityStats {
+    /// Checkpoints cut.
+    pub checkpoints: u64,
+    /// Total checkpoint bytes written.
+    pub checkpoint_bytes: u64,
+    /// Total nanoseconds spent capturing + writing checkpoints.
+    pub checkpoint_nanos: u64,
+    /// Recoveries performed (resumed runs).
+    pub recoveries: u64,
+    /// Journaled slots deterministically replayed across recoveries.
+    pub replayed_slots: u64,
+    /// Journal-tail truncations by reason ("torn", "corrupt").
+    pub truncations: BTreeMap<String, TruncationStats>,
+}
+
+impl DurabilityStats {
+    fn is_empty(&self) -> bool {
+        *self == DurabilityStats::default()
+    }
+}
+
 /// One anomaly site: the run/slot where an emergency-class event fired.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct AnomalySlot {
@@ -195,6 +228,8 @@ pub struct Analysis {
     pub bid_rejections: u64,
     /// Consecutive-slot fault-injection clusters.
     pub fault_clusters: Vec<FaultCluster>,
+    /// Checkpoint/recovery/journal-truncation activity.
+    pub durability: DurabilityStats,
 }
 
 impl Analysis {
@@ -303,6 +338,24 @@ impl Analysis {
                     *a.clearing_modes.entry(mode.clone()).or_default() += 1;
                     a.clearing_candidates_total += *candidates_total;
                     a.clearing_candidates_swept += *candidates_swept;
+                }
+                Event::CheckpointWritten { bytes, nanos, .. } => {
+                    a.durability.checkpoints += 1;
+                    a.durability.checkpoint_bytes += *bytes;
+                    a.durability.checkpoint_nanos += *nanos;
+                }
+                Event::RecoveryPerformed { replayed_slots, .. } => {
+                    a.durability.recoveries += 1;
+                    a.durability.replayed_slots += *replayed_slots;
+                }
+                Event::JournalTruncated {
+                    reason,
+                    dropped_bytes,
+                    ..
+                } => {
+                    let entry = a.durability.truncations.entry(reason.clone()).or_default();
+                    entry.count += 1;
+                    entry.dropped_bytes += *dropped_bytes;
                 }
                 Event::ConstraintBound { .. } => {}
             }
@@ -424,6 +477,32 @@ impl Analysis {
                 stats.count,
                 fmt_f64(stats.watts)
             );
+        }
+
+        let _ = writeln!(out, "\n-- durability --");
+        if self.durability.is_empty() {
+            let _ = writeln!(out, "(no durability telemetry)");
+        } else {
+            let d = &self.durability;
+            let _ = writeln!(
+                out,
+                "checkpoints: {} ({} bytes, {} ms total)",
+                d.checkpoints,
+                d.checkpoint_bytes,
+                d.checkpoint_nanos / 1_000_000
+            );
+            let _ = writeln!(
+                out,
+                "recoveries:  {} ({} slots replayed)",
+                d.recoveries, d.replayed_slots
+            );
+            for (reason, t) in &d.truncations {
+                let _ = writeln!(
+                    out,
+                    "  TRUNCATED journal ({reason}): {} times, {} bytes dropped",
+                    t.count, t.dropped_bytes
+                );
+            }
         }
 
         let _ = writeln!(out, "\n-- anomalies --");
@@ -553,6 +632,29 @@ impl Analysis {
             );
         }
         out.push('}');
+
+        out.push_str(",\"durability\":{");
+        let d = &self.durability;
+        let _ = write!(
+            out,
+            "\"checkpoints\":{},\"checkpoint_bytes\":{},\"checkpoint_nanos\":{},\
+             \"recoveries\":{},\"replayed_slots\":{}",
+            d.checkpoints, d.checkpoint_bytes, d.checkpoint_nanos, d.recoveries, d.replayed_slots
+        );
+        out.push_str(",\"truncations\":{");
+        for (i, (reason, t)) in d.truncations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"dropped_bytes\":{}}}",
+                json_str(reason),
+                t.count,
+                t.dropped_bytes
+            );
+        }
+        out.push_str("}}");
 
         out.push_str(",\"anomalies\":{");
         let _ = write!(
@@ -949,6 +1051,80 @@ mod tests {
             empty.contains("clearing:     (no cache telemetry)"),
             "{empty}"
         );
+    }
+
+    #[test]
+    fn durability_events_are_tallied_and_rendered() {
+        let body = [
+            line(
+                Some("r"),
+                &Event::CheckpointWritten {
+                    slot: Slot::new(49),
+                    at: MonotonicNanos::from_raw(49_000),
+                    bytes: 10_000,
+                    nanos: 2_000_000,
+                },
+            ),
+            line(
+                Some("r"),
+                &Event::CheckpointWritten {
+                    slot: Slot::new(99),
+                    at: MonotonicNanos::from_raw(99_000),
+                    bytes: 12_000,
+                    nanos: 3_000_000,
+                },
+            ),
+            line(
+                Some("r"),
+                &Event::JournalTruncated {
+                    slot: Slot::new(73),
+                    at: MonotonicNanos::from_raw(73_000),
+                    reason: "torn".to_owned(),
+                    dropped_bytes: 41,
+                },
+            ),
+            line(
+                Some("r"),
+                &Event::RecoveryPerformed {
+                    slot: Slot::new(73),
+                    at: MonotonicNanos::from_raw(73_001),
+                    snapshot_slot: 50,
+                    replayed_slots: 23,
+                },
+            ),
+        ]
+        .join("\n");
+        let a = Analysis::from_jsonl(&body, None);
+        assert_eq!(a.durability.checkpoints, 2);
+        assert_eq!(a.durability.checkpoint_bytes, 22_000);
+        assert_eq!(a.durability.recoveries, 1);
+        assert_eq!(a.durability.replayed_slots, 23);
+        assert_eq!(a.durability.truncations["torn"].dropped_bytes, 41);
+        let text = a.render_text();
+        assert!(
+            text.contains("checkpoints: 2 (22000 bytes, 5 ms total)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("recoveries:  1 (23 slots replayed)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("TRUNCATED journal (torn): 1 times, 41 bytes dropped"),
+            "{text}"
+        );
+        let json = a.render_json();
+        assert!(
+            json.contains(
+                "\"durability\":{\"checkpoints\":2,\"checkpoint_bytes\":22000,\
+                 \"checkpoint_nanos\":5000000,\"recoveries\":1,\"replayed_slots\":23,\
+                 \"truncations\":{\"torn\":{\"count\":1,\"dropped_bytes\":41}}}"
+            ),
+            "{json}"
+        );
+        // Logs without durability telemetry still render the header.
+        let empty = Analysis::from_jsonl("", None).render_text();
+        assert!(empty.contains("(no durability telemetry)"), "{empty}");
     }
 
     #[test]

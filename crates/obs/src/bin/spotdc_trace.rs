@@ -10,9 +10,12 @@
 //! anomaly summary. Output is deterministic: the same logs produce
 //! byte-identical reports on every run.
 //!
-//! Exit status: 0 on success, 2 on usage or I/O errors. Anomalies in
-//! the log (emergencies, invariant violations) do *not* fail the exit
-//! status — finding them is the tool's job, not an error.
+//! Exit status: 0 on success, 1 when the input yields zero parsed
+//! events (empty logs, entirely malformed logs, or a `--run` filter
+//! matching nothing — analysis of nothing is an operator error, not a
+//! report), 2 on usage or I/O errors. Anomalies in the log
+//! (emergencies, invariant violations) do *not* fail the exit status —
+//! finding them is the tool's job, not an error.
 
 use std::process::ExitCode;
 
@@ -75,6 +78,29 @@ fn main() -> ExitCode {
     }
 
     let analysis = Analysis::from_jsonl(&body, run.as_deref());
+    if analysis.events == 0 {
+        // A report over zero events would render all-zero tables that
+        // look like a healthy idle system; say what went wrong instead.
+        if !analysis.malformed.is_empty() {
+            eprintln!(
+                "error: no events parsed from {}: all {} non-empty line(s) are malformed \
+                 (first: line {}: {})",
+                paths.join(", "),
+                analysis.malformed.len(),
+                analysis.malformed[0].0,
+                analysis.malformed[0].1
+            );
+        } else if analysis.filtered_out > 0 {
+            eprintln!(
+                "error: no events match --run {:?} ({} event(s) filtered out)",
+                run.as_deref().unwrap_or_default(),
+                analysis.filtered_out
+            );
+        } else {
+            eprintln!("error: no events found in {}", paths.join(", "));
+        }
+        return ExitCode::FAILURE;
+    }
     if json {
         println!("{}", analysis.render_json());
     } else {

@@ -19,7 +19,6 @@
 //! first error message is retained for the owning binary to report.
 
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -187,8 +186,10 @@ impl FlightRecorder {
                 body.push_str(&event.to_jsonl_tagged(run.as_deref()));
                 body.push('\n');
             }
-            let mut file = fs::File::create(&path)?;
-            file.write_all(body.as_bytes())
+            // fsync-then-rename (shared with the checkpoint writer): a
+            // crash mid-dump leaves the previous dump set intact rather
+            // than a truncated JSONL that parses as a shorter window.
+            spotdc_durable::write_atomic(&path, body.as_bytes())
         });
         match result {
             Ok(()) => state.written.push(path),

@@ -181,6 +181,28 @@ impl CapController {
         }
     }
 
+    /// The hysteresis hold state: the slot index at which each PDU
+    /// entered hold (`None` when free), and likewise for the UPS.
+    #[must_use]
+    pub fn hold_state(&self) -> (Vec<Option<u64>>, Option<u64>) {
+        (self.pdu_hold.clone(), self.ups_hold)
+    }
+
+    /// Overwrites the hysteresis hold state, for crash recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pdu_hold` does not match the controller's PDU count.
+    pub fn restore_hold_state(&mut self, pdu_hold: Vec<Option<u64>>, ups_hold: Option<u64>) {
+        assert_eq!(
+            pdu_hold.len(),
+            self.pdu_hold.len(),
+            "restored hold state must match the topology's PDU count"
+        );
+        self.pdu_hold = pdu_hold;
+        self.ups_hold = ups_hold;
+    }
+
     /// Feeds the slot's detected overloads back into the hysteresis
     /// state: each affected level enters (or re-enters) hold at `slot`.
     pub fn note_emergencies(&mut self, slot: Slot, events: &[EmergencyEvent]) {

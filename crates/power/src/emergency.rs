@@ -179,6 +179,14 @@ impl EmergencyLog {
         self.events.clear();
         self.slots_observed = 0;
     }
+
+    /// Overwrites the log with previously recorded state, for crash
+    /// recovery: `events` in their original observation order plus the
+    /// observation counter they were recorded under.
+    pub fn restore(&mut self, events: Vec<EmergencyEvent>, slots_observed: u64) {
+        self.events = events;
+        self.slots_observed = slots_observed;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,633 @@
+//! Checkpoint and journal *policy*: what engine state persists, and
+//! how it comes back.
+//!
+//! The mechanism layer (CRC framing, atomic replacement, the WAL file
+//! format) lives in `spotdc-durable`; this module decides the contents.
+//! Two artifacts exist:
+//!
+//! * [`EngineSnapshot`] — the complete cross-slot market state at a
+//!   slot boundary. Everything *not* captured here is provably
+//!   rebuildable: the topology, operator, traces and fault plan are
+//!   pure functions of the scenario and config; stage scratch and the
+//!   valuation/clearing caches are bit-transparent (warm-vs-cold
+//!   equality is pinned by existing property tests); and the rack-PDU
+//!   bank is excluded because the Sense stage unconditionally resets
+//!   every budget at the top of each slot, so nothing the bank holds at
+//!   a slot boundary survives into the next slot (its `changes` audit
+//!   log is never read by the report).
+//! * Per-slot WAL records (see [`encode_wal_record`]) — the slot's
+//!   delivered bids and market outcome. Recovery does **not** rebuild
+//!   state from these: it re-simulates the journaled slots (the engine
+//!   is deterministic) and uses the journal as a byte-equality
+//!   cross-check, so any divergence between the persisted history and
+//!   the replay is detected instead of silently accepted.
+//!
+//! Float fields travel as IEEE-754 bit patterns end to end, which is
+//! what makes "resumed report == uninterrupted report" an equality of
+//! bytes, not an approximation.
+
+use spotdc_core::{DemandBid, FullBid, LinearBid, RackBid, StepBid, TenantBid};
+use spotdc_durable::{DecodeError, Decoder, Encoder, Persist};
+use spotdc_power::{EmergencyEvent, EmergencyLevel, PowerMeter};
+use spotdc_units::{PduId, Price, RackId, Slot, TenantId, Watts};
+
+use crate::baselines::Mode;
+use crate::metrics::{SlotRecord, TenantSlotMetrics};
+use crate::pipeline::{SimState, SlotContext, SlotStage};
+
+/// Snapshot format version; bump on any layout change.
+pub const SNAPSHOT_FORMAT: u32 = 1;
+
+/// The stable tag a [`Mode`] serializes as.
+#[must_use]
+pub fn mode_tag(mode: Mode) -> u8 {
+    match mode {
+        Mode::PowerCapped => 0,
+        Mode::SpotDc => 1,
+        Mode::MaxPerf => 2,
+    }
+}
+
+/// One emergency event in portable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmergencyRecord {
+    /// Slot of the overload.
+    pub slot: u64,
+    /// Overloaded PDU index, or `None` for the UPS.
+    pub pdu: Option<u64>,
+    /// Observed load, watts.
+    pub load: f64,
+    /// Rated capacity, watts.
+    pub capacity: f64,
+}
+
+impl Persist for EmergencyRecord {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_u64(self.slot);
+        self.pdu.persist(enc);
+        enc.put_f64(self.load);
+        enc.put_f64(self.capacity);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(EmergencyRecord {
+            slot: dec.get_u64()?,
+            pdu: Option::<u64>::restore(dec)?,
+            load: dec.get_f64()?,
+            capacity: dec.get_f64()?,
+        })
+    }
+}
+
+impl EmergencyRecord {
+    fn from_event(e: &EmergencyEvent) -> Self {
+        EmergencyRecord {
+            slot: e.slot.index(),
+            pdu: match e.level {
+                EmergencyLevel::Pdu(p) => Some(p.index() as u64),
+                EmergencyLevel::Ups => None,
+            },
+            load: e.load.value(),
+            capacity: e.capacity.value(),
+        }
+    }
+
+    fn into_event(self) -> EmergencyEvent {
+        EmergencyEvent {
+            slot: Slot::new(self.slot),
+            level: match self.pdu {
+                Some(p) => EmergencyLevel::Pdu(PduId::new(p as usize)),
+                None => EmergencyLevel::Ups,
+            },
+            load: Watts::new(self.load),
+            capacity: Watts::new(self.capacity),
+        }
+    }
+}
+
+impl Persist for TenantSlotMetrics {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_bool(self.wanted);
+        enc.put_f64(self.grant);
+        enc.put_f64(self.draw);
+        enc.put_f64(self.perf_index);
+        self.slo_met.persist(enc);
+        enc.put_f64(self.cost_rate);
+        enc.put_f64(self.payment);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(TenantSlotMetrics {
+            wanted: dec.get_bool()?,
+            grant: dec.get_f64()?,
+            draw: dec.get_f64()?,
+            perf_index: dec.get_f64()?,
+            slo_met: Option::<bool>::restore(dec)?,
+            cost_rate: dec.get_f64()?,
+            payment: dec.get_f64()?,
+        })
+    }
+}
+
+impl Persist for SlotRecord {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_u64(self.slot);
+        self.price.persist(enc);
+        enc.put_f64(self.spot_available);
+        enc.put_f64(self.spot_sold);
+        enc.put_f64(self.ups_power);
+        self.pdu_power.persist(enc);
+        self.tenants.persist(enc);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(SlotRecord {
+            slot: dec.get_u64()?,
+            price: Option::<f64>::restore(dec)?,
+            spot_available: dec.get_f64()?,
+            spot_sold: dec.get_f64()?,
+            ups_power: dec.get_f64()?,
+            pdu_power: Vec::<f64>::restore(dec)?,
+            tenants: Vec::<TenantSlotMetrics>::restore(dec)?,
+        })
+    }
+}
+
+/// Per-rack meter history in portable `(slot, watts)` form, oldest
+/// first — exactly the replay argument order for `PowerMeter::record`.
+type MeterHistory = Vec<Vec<(u64, f64)>>;
+
+fn capture_meter(meter: &PowerMeter) -> MeterHistory {
+    (0..meter.rack_count())
+        .map(|i| {
+            meter
+                .history(RackId::new(i))
+                .into_iter()
+                .map(|r| (r.slot.index(), r.power.value()))
+                .collect()
+        })
+        .collect()
+}
+
+fn rebuild_meter(
+    history: &MeterHistory,
+    topology: &spotdc_power::topology::PowerTopology,
+) -> Result<PowerMeter, DecodeError> {
+    if history.len() != topology.rack_count() {
+        return Err(DecodeError::Invalid(format!(
+            "snapshot meters {} racks, topology has {}",
+            history.len(),
+            topology.rack_count()
+        )));
+    }
+    let mut meter = PowerMeter::new(topology, crate::pipeline::METER_HISTORY_LEN)
+        .map_err(|e| DecodeError::Invalid(format!("meter rebuild: {e}")))?;
+    for (i, readings) in history.iter().enumerate() {
+        for &(slot, power) in readings {
+            // Recorded values already passed the meter's non-negative
+            // clamp once, so replaying them is exact.
+            meter.record(Slot::new(slot), RackId::new(i), Watts::new(power));
+        }
+    }
+    Ok(meter)
+}
+
+/// The complete cross-slot engine state at a slot boundary.
+///
+/// `PartialEq`/`Clone`/`Debug` exist for the round-trip property tests;
+/// float comparisons are fine because every field round-trips by bit
+/// pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// Snapshot layout version ([`SNAPSHOT_FORMAT`]).
+    pub format: u32,
+    /// Operating mode tag ([`mode_tag`]).
+    pub mode: u8,
+    /// Scenario master seed.
+    pub seed: u64,
+    /// Rack count, for mismatch detection before any restore runs.
+    pub rack_count: u64,
+    /// Tenant-agent count.
+    pub agent_count: u64,
+    /// PDU count.
+    pub pdu_count: u64,
+    /// Slots fully simulated when the snapshot was cut.
+    pub slots_done: u64,
+    /// Observed meter histories, per rack, oldest first.
+    pub meter: MeterHistory,
+    /// Last slot's meter snapshot (tracked only under prediction-delay
+    /// faults).
+    pub prev_meter: Option<MeterHistory>,
+    /// Emergency log contents.
+    pub emergencies: Vec<EmergencyRecord>,
+    /// Emergency log observation counter.
+    pub emergency_slots_observed: u64,
+    /// Cap-controller hysteresis holds, when the controller is enabled.
+    pub cap_hold: Option<(Vec<Option<u64>>, Option<u64>)>,
+    /// Comms bid-loss stream state.
+    pub comms_state: u64,
+    /// Per-agent `(intensity, predicted price)`.
+    pub agents: Vec<(f64, Option<f64>)>,
+    /// Accumulated per-slot records.
+    pub records: Vec<SlotRecord>,
+    /// Physical rack draws of the last simulated slot, watts.
+    pub true_draw: Vec<f64>,
+    /// Per-PDU base load of the last simulated slot, watts.
+    pub prev_base_pdu: Vec<f64>,
+    /// Emergencies observed in the last simulated slot.
+    pub last_emergencies: Vec<EmergencyRecord>,
+    /// Total faults injected so far.
+    pub faults_injected: u64,
+    /// Degraded slots so far.
+    pub degraded_slots: u64,
+    /// Invariant violations so far.
+    pub invariant_violations: u64,
+    /// Running prediction-error sum.
+    pub prediction_error_sum: f64,
+    /// Slots contributing to the prediction-error sum.
+    pub prediction_error_count: u64,
+    /// One opaque blob per pipeline stage, in stage order (from
+    /// `SlotStage::save_durable`).
+    pub stage_blobs: Vec<Vec<u8>>,
+}
+
+impl Persist for EngineSnapshot {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_u32(self.format);
+        enc.put_u8(self.mode);
+        enc.put_u64(self.seed);
+        enc.put_u64(self.rack_count);
+        enc.put_u64(self.agent_count);
+        enc.put_u64(self.pdu_count);
+        enc.put_u64(self.slots_done);
+        self.meter.persist(enc);
+        self.prev_meter.persist(enc);
+        self.emergencies.persist(enc);
+        enc.put_u64(self.emergency_slots_observed);
+        self.cap_hold.persist(enc);
+        enc.put_u64(self.comms_state);
+        self.agents.persist(enc);
+        self.records.persist(enc);
+        self.true_draw.persist(enc);
+        self.prev_base_pdu.persist(enc);
+        self.last_emergencies.persist(enc);
+        enc.put_u64(self.faults_injected);
+        enc.put_u64(self.degraded_slots);
+        enc.put_u64(self.invariant_violations);
+        enc.put_f64(self.prediction_error_sum);
+        enc.put_u64(self.prediction_error_count);
+        self.stage_blobs.persist(enc);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let format = dec.get_u32()?;
+        if format != SNAPSHOT_FORMAT {
+            return Err(DecodeError::Invalid(format!(
+                "snapshot format {format}, this build reads {SNAPSHOT_FORMAT}"
+            )));
+        }
+        Ok(EngineSnapshot {
+            format,
+            mode: dec.get_u8()?,
+            seed: dec.get_u64()?,
+            rack_count: dec.get_u64()?,
+            agent_count: dec.get_u64()?,
+            pdu_count: dec.get_u64()?,
+            slots_done: dec.get_u64()?,
+            meter: MeterHistory::restore(dec)?,
+            prev_meter: Option::<MeterHistory>::restore(dec)?,
+            emergencies: Vec::<EmergencyRecord>::restore(dec)?,
+            emergency_slots_observed: dec.get_u64()?,
+            cap_hold: Option::<(Vec<Option<u64>>, Option<u64>)>::restore(dec)?,
+            comms_state: dec.get_u64()?,
+            agents: Vec::<(f64, Option<f64>)>::restore(dec)?,
+            records: Vec::<SlotRecord>::restore(dec)?,
+            true_draw: Vec::<f64>::restore(dec)?,
+            prev_base_pdu: Vec::<f64>::restore(dec)?,
+            last_emergencies: Vec::<EmergencyRecord>::restore(dec)?,
+            faults_injected: dec.get_u64()?,
+            degraded_slots: dec.get_u64()?,
+            invariant_violations: dec.get_u64()?,
+            prediction_error_sum: dec.get_f64()?,
+            prediction_error_count: dec.get_u64()?,
+            stage_blobs: Vec::<Vec<u8>>::restore(dec)?,
+        })
+    }
+}
+
+impl EngineSnapshot {
+    /// Captures the full cross-slot state after `slots_done` completed
+    /// slots.
+    #[must_use]
+    pub fn capture(
+        state: &SimState,
+        stages: &[Box<dyn SlotStage>],
+        mode: Mode,
+        seed: u64,
+        slots_done: u64,
+    ) -> Self {
+        EngineSnapshot {
+            format: SNAPSHOT_FORMAT,
+            mode: mode_tag(mode),
+            seed,
+            rack_count: state.topology.rack_count() as u64,
+            agent_count: state.agents.len() as u64,
+            pdu_count: state.topology.pdu_count() as u64,
+            slots_done,
+            meter: capture_meter(&state.meter),
+            prev_meter: state.prev_meter.as_ref().map(capture_meter),
+            emergencies: state
+                .emergencies
+                .events()
+                .iter()
+                .map(EmergencyRecord::from_event)
+                .collect(),
+            emergency_slots_observed: state.emergencies.slots_observed(),
+            cap_hold: state
+                .cap
+                .as_ref()
+                .map(spotdc_power::CapController::hold_state),
+            comms_state: state.comms.stream_state(),
+            agents: state
+                .agents
+                .iter()
+                .map(|a| {
+                    (
+                        a.intensity(),
+                        a.predicted_price().map(Price::per_kw_hour_value),
+                    )
+                })
+                .collect(),
+            records: state.records.clone(),
+            true_draw: state.true_draw.iter().map(|w| w.value()).collect(),
+            prev_base_pdu: state.prev_base_pdu.iter().map(|w| w.value()).collect(),
+            last_emergencies: state
+                .last_emergencies
+                .iter()
+                .map(EmergencyRecord::from_event)
+                .collect(),
+            faults_injected: state.faults_injected as u64,
+            degraded_slots: state.degraded_slots as u64,
+            invariant_violations: state.invariant_violations as u64,
+            prediction_error_sum: state.prediction_error_sum,
+            prediction_error_count: state.prediction_error_count,
+            stage_blobs: stages
+                .iter()
+                .map(|s| {
+                    let mut enc = Encoder::new();
+                    s.save_durable(&mut enc);
+                    enc.into_bytes()
+                })
+                .collect(),
+        }
+    }
+
+    /// Encodes the snapshot as the checkpoint payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.persist(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Decodes a checkpoint payload, requiring every byte consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for a truncated, damaged, or
+    /// wrong-version payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut dec = Decoder::new(bytes);
+        let snap = EngineSnapshot::restore(&mut dec)?;
+        dec.finish()?;
+        Ok(snap)
+    }
+
+    /// Applies the snapshot onto a freshly built `SimState` + stage
+    /// sequence, leaving them exactly as they were when the snapshot
+    /// was cut.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the snapshot does not belong to
+    /// this run (mode/seed/shape mismatch) or a stage blob fails to
+    /// decode.
+    pub fn apply(
+        &self,
+        state: &mut SimState,
+        stages: &mut [Box<dyn SlotStage>],
+        mode: Mode,
+        seed: u64,
+    ) -> Result<(), DecodeError> {
+        let header = [
+            ("mode", u64::from(self.mode), u64::from(mode_tag(mode))),
+            ("seed", self.seed, seed),
+            (
+                "rack count",
+                self.rack_count,
+                state.topology.rack_count() as u64,
+            ),
+            ("agent count", self.agent_count, state.agents.len() as u64),
+            (
+                "pdu count",
+                self.pdu_count,
+                state.topology.pdu_count() as u64,
+            ),
+        ];
+        for (what, snap, run) in header {
+            if snap != run {
+                return Err(DecodeError::Invalid(format!(
+                    "snapshot {what} {snap} does not match this run's {run}"
+                )));
+            }
+        }
+        if stages.len() != self.stage_blobs.len() {
+            return Err(DecodeError::Invalid(format!(
+                "snapshot has {} stage blobs, pipeline has {} stages",
+                self.stage_blobs.len(),
+                stages.len()
+            )));
+        }
+
+        state.meter = rebuild_meter(&self.meter, &state.topology)?;
+        state.prev_meter = match &self.prev_meter {
+            Some(h) => Some(rebuild_meter(h, &state.topology)?),
+            None => None,
+        };
+        state.emergencies.restore(
+            self.emergencies
+                .iter()
+                .cloned()
+                .map(EmergencyRecord::into_event)
+                .collect(),
+            self.emergency_slots_observed,
+        );
+        match (&mut state.cap, &self.cap_hold) {
+            (Some(cap), Some((pdu_hold, ups_hold))) => {
+                if pdu_hold.len() != state.topology.pdu_count() {
+                    return Err(DecodeError::Invalid(format!(
+                        "snapshot cap holds cover {} pdus, topology has {}",
+                        pdu_hold.len(),
+                        state.topology.pdu_count()
+                    )));
+                }
+                cap.restore_hold_state(pdu_hold.clone(), *ups_hold);
+            }
+            (None, None) => {}
+            (have, _) => {
+                return Err(DecodeError::Invalid(format!(
+                    "cap controller {} in this run but {} in the snapshot",
+                    if have.is_some() {
+                        "enabled"
+                    } else {
+                        "disabled"
+                    },
+                    if self.cap_hold.is_some() {
+                        "present"
+                    } else {
+                        "absent"
+                    }
+                )));
+            }
+        }
+        state.comms.restore_stream_state(self.comms_state);
+        for (agent, &(intensity, price)) in state.agents.iter_mut().zip(&self.agents) {
+            // Stored intensities already sit in [0, 1], so the
+            // setter's clamp is exact on replay.
+            agent.observe(intensity);
+            agent.predict_price(price.map(Price::per_kw_hour));
+        }
+        state.records = self.records.clone();
+        state.true_draw = self.true_draw.iter().map(|&w| Watts::new(w)).collect();
+        state.prev_base_pdu = self.prev_base_pdu.iter().map(|&w| Watts::new(w)).collect();
+        state.last_emergencies = self
+            .last_emergencies
+            .iter()
+            .cloned()
+            .map(EmergencyRecord::into_event)
+            .collect();
+        state.faults_injected = self.faults_injected as usize;
+        state.degraded_slots = self.degraded_slots as usize;
+        state.invariant_violations = self.invariant_violations as usize;
+        state.prediction_error_sum = self.prediction_error_sum;
+        state.prediction_error_count = self.prediction_error_count;
+        for (stage, blob) in stages.iter_mut().zip(&self.stage_blobs) {
+            let mut dec = Decoder::new(blob);
+            stage.load_durable(&mut dec)?;
+            dec.finish()?;
+        }
+        Ok(())
+    }
+}
+
+/// Encodes one slot's journal record from the post-settle context: the
+/// slot number, the degradation verdict, the market outcome, and the
+/// bids exactly as the lossy channel delivered them (`ctx.bids` is
+/// stable after CollectBids; `ctx.rack_bids` is not — the validating
+/// clear pass overwrites it).
+#[must_use]
+pub fn encode_wal_record(ctx: &SlotContext) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u64(ctx.slot.index());
+    enc.put_bool(ctx.slot_degraded);
+    ctx.price.persist(&mut enc);
+    enc.put_f64(ctx.spot_sold);
+    encode_tenant_bids(&mut enc, &ctx.bids);
+    enc.into_bytes()
+}
+
+/// Reads the slot number a journal record belongs to without decoding
+/// the rest.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the record is shorter than the slot
+/// field.
+pub fn wal_record_slot(record: &[u8]) -> Result<u64, DecodeError> {
+    Decoder::new(record).get_u64()
+}
+
+/// Serializes tenant bids (used by the WAL and the late-bid stage
+/// blob).
+pub(crate) fn encode_tenant_bids(enc: &mut Encoder, bids: &[TenantBid]) {
+    enc.put_usize(bids.len());
+    for bid in bids {
+        enc.put_u64(bid.tenant().index() as u64);
+        enc.put_usize(bid.rack_bids().len());
+        for rb in bid.rack_bids() {
+            enc.put_u64(rb.rack().index() as u64);
+            match rb.demand() {
+                DemandBid::Linear(b) => {
+                    enc.put_u8(0);
+                    enc.put_f64(b.d_max().value());
+                    enc.put_f64(b.q_min().per_kw_hour_value());
+                    enc.put_f64(b.d_min().value());
+                    enc.put_f64(b.q_max().per_kw_hour_value());
+                }
+                DemandBid::Step(b) => {
+                    enc.put_u8(1);
+                    enc.put_f64(b.demand().value());
+                    enc.put_f64(b.price_cap().per_kw_hour_value());
+                }
+                DemandBid::Full(b) => {
+                    enc.put_u8(2);
+                    enc.put_usize(b.points().len());
+                    for &(q, d) in b.points() {
+                        enc.put_f64(q.per_kw_hour_value());
+                        enc.put_f64(d.value());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Deserializes tenant bids written by [`encode_tenant_bids`]. The bid
+/// constructors re-validate every invariant, so a damaged blob fails
+/// here rather than corrupting the market.
+pub(crate) fn decode_tenant_bids(dec: &mut Decoder<'_>) -> Result<Vec<TenantBid>, DecodeError> {
+    let invalid = |e: spotdc_core::BidError| DecodeError::Invalid(format!("restored bid: {e:?}"));
+    let n = dec.get_usize()?;
+    let mut bids = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let tenant = TenantId::new(dec.get_usize()?);
+        let racks = dec.get_usize()?;
+        let mut rack_bids = Vec::with_capacity(racks.min(1024));
+        for _ in 0..racks {
+            let rack = RackId::new(dec.get_usize()?);
+            let demand = match dec.get_u8()? {
+                0 => DemandBid::Linear(
+                    LinearBid::new(
+                        Watts::new(dec.get_f64()?),
+                        Price::per_kw_hour(dec.get_f64()?),
+                        Watts::new(dec.get_f64()?),
+                        Price::per_kw_hour(dec.get_f64()?),
+                    )
+                    .map_err(invalid)?,
+                ),
+                1 => DemandBid::Step(
+                    StepBid::new(
+                        Watts::new(dec.get_f64()?),
+                        Price::per_kw_hour(dec.get_f64()?),
+                    )
+                    .map_err(invalid)?,
+                ),
+                2 => {
+                    let count = dec.get_usize()?;
+                    let mut points = Vec::with_capacity(count.min(1024));
+                    for _ in 0..count {
+                        let q = Price::per_kw_hour(dec.get_f64()?);
+                        let d = Watts::new(dec.get_f64()?);
+                        points.push((q, d));
+                    }
+                    DemandBid::Full(FullBid::new(points).map_err(invalid)?)
+                }
+                tag => {
+                    return Err(DecodeError::Invalid(format!(
+                        "unknown demand-bid tag {tag}"
+                    )))
+                }
+            };
+            rack_bids.push(RackBid::new(rack, demand));
+        }
+        bids.push(TenantBid::new(tenant, rack_bids).map_err(invalid)?);
+    }
+    Ok(bids)
+}

@@ -32,19 +32,60 @@
 //! [`StalenessPolicy`]: spotdc_core::StalenessPolicy
 //! [`CapController`]: spotdc_power::CapController
 
+use std::path::{Path, PathBuf};
+
+use spotdc_durable::{Tail, WalWriter};
 use spotdc_faults::FaultConfig;
 use spotdc_obs::{BlackBoxConfig, FlightRecorder};
 use spotdc_power::CapConfig;
 use spotdc_units::{MonotonicNanos, Slot};
 
 use crate::baselines::Mode;
+use crate::durability::EngineSnapshot;
 use crate::metrics::SimReport;
-use crate::pipeline::{self, SimState, SlotContext};
+use crate::pipeline::{self, SimState, SlotContext, SlotStage};
 use crate::scenario::Scenario;
 use spotdc_core::OperatorConfig;
 
+/// Crash-safety settings: where checkpoints and the write-ahead
+/// journal live, and how often checkpoints are cut.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityConfig {
+    /// Directory for checkpoint files and the journal. `None` (the
+    /// default) disables durability entirely — the engine takes the
+    /// exact historical code path.
+    pub dir: Option<PathBuf>,
+    /// Cut a checkpoint after every N completed slots. Must be
+    /// positive when `dir` is set.
+    pub checkpoint_every: u64,
+    /// Recover from the durable state in `dir` instead of clearing it
+    /// and starting cold.
+    pub resume: bool,
+    /// Test hook: return after this many slots as if the process had
+    /// been killed there, leaving the durable state exactly as a real
+    /// crash at that boundary would. `None` runs the full horizon.
+    pub stop_after: Option<u64>,
+    /// Chaos-harness hook: sleep this long after each simulated slot so
+    /// an external killer can land a SIGKILL at a chosen slot. Zero
+    /// (the default) never sleeps. Replayed slots never sleep — a
+    /// recovery should be fast no matter how slow the original run was.
+    pub slot_delay_ms: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            dir: None,
+            checkpoint_every: 50,
+            resume: false,
+            stop_after: None,
+            slot_delay_ms: 0,
+        }
+    }
+}
+
 /// Configuration for one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Operating mode (PowerCapped / SpotDC / MaxPerf).
     pub mode: Mode,
@@ -93,10 +134,13 @@ pub struct EngineConfig {
     /// reports stay byte-identical at any width. Orthogonal to the
     /// *across-run* `--jobs` fan-out in the experiment layer.
     pub inner_jobs: usize,
+    /// Crash-safety settings (checkpoints + write-ahead journal).
+    /// Disabled by default; see [`Simulation::run_durable`].
+    pub durability: DurabilityConfig,
 }
 
 /// Why an [`EngineConfig`] (or a run request) was rejected.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
     /// A probability field is NaN, negative, or above one.
     InvalidRate {
@@ -127,6 +171,20 @@ pub enum ConfigError {
     /// The flight recorder was enabled with a zero-event ring: a black
     /// box with no context is a misconfiguration, not a request.
     ZeroBlackBoxCapacity,
+    /// Durability was enabled with a zero checkpoint interval: a run
+    /// that never checkpoints journals forever and recovers nothing.
+    ZeroCheckpointEvery,
+    /// Resume was requested without a checkpoint directory to resume
+    /// from.
+    ResumeWithoutCheckpointDir,
+    /// The checkpoint directory cannot be created or written, detected
+    /// up front instead of failing mid-run at the first checkpoint.
+    UnwritableCheckpointDir {
+        /// The rejected directory.
+        dir: PathBuf,
+        /// The underlying I/O failure.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -149,6 +207,25 @@ impl std::fmt::Display for ConfigError {
                 write!(
                     f,
                     "blackbox.capacity must be at least one event when enabled"
+                )
+            }
+            ConfigError::ZeroCheckpointEvery => {
+                write!(
+                    f,
+                    "durability.checkpoint_every must be at least one slot when a checkpoint dir is set"
+                )
+            }
+            ConfigError::ResumeWithoutCheckpointDir => {
+                write!(
+                    f,
+                    "durability.resume requires durability.dir (there is nothing to resume from)"
+                )
+            }
+            ConfigError::UnwritableCheckpointDir { dir, reason } => {
+                write!(
+                    f,
+                    "checkpoint dir {} is not writable: {reason}",
+                    dir.display()
                 )
             }
         }
@@ -175,6 +252,7 @@ impl EngineConfig {
             validate: cfg!(debug_assertions),
             blackbox: BlackBoxConfig::default(),
             inner_jobs: 1,
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -191,6 +269,19 @@ impl EngineConfig {
         }
         if self.blackbox.enabled && self.blackbox.capacity == 0 {
             return Err(ConfigError::ZeroBlackBoxCapacity);
+        }
+        if let Some(dir) = &self.durability.dir {
+            if self.durability.checkpoint_every == 0 {
+                return Err(ConfigError::ZeroCheckpointEvery);
+            }
+            if let Err(e) = probe_checkpoint_dir(dir) {
+                return Err(ConfigError::UnwritableCheckpointDir {
+                    dir: dir.clone(),
+                    reason: e.to_string(),
+                });
+            }
+        } else if self.durability.resume {
+            return Err(ConfigError::ResumeWithoutCheckpointDir);
         }
         let rates = [
             ("bid_loss", self.bid_loss),
@@ -242,6 +333,113 @@ impl EngineConfig {
             }
         }
         Ok(())
+    }
+}
+
+/// Verifies `dir` can be created and written by creating it and
+/// round-tripping a probe file.
+fn probe_checkpoint_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let probe = dir.join(".spotdc-probe.tmp");
+    std::fs::write(&probe, b"probe")?;
+    std::fs::remove_file(&probe)
+}
+
+/// How a resumed run rebuilt its state (see
+/// [`DurableOutcome::recovery`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Slots covered by the checkpoint recovery loaded, or `None` when
+    /// no valid checkpoint existed and replay started from slot 0.
+    pub snapshot_slot: Option<u64>,
+    /// Journaled slots deterministically re-simulated to reach the
+    /// crash point.
+    pub replayed_slots: u64,
+    /// Journal-tail damage found (and truncated) during recovery.
+    pub truncated: Option<JournalDamage>,
+}
+
+/// A damaged journal tail discovered during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalDamage {
+    /// `"torn"` (partial record from the crash — expected) or
+    /// `"corrupt"` (CRC mismatch under a complete record — the storage
+    /// lied).
+    pub reason: &'static str,
+    /// Bytes discarded from the journal tail.
+    pub dropped_bytes: u64,
+}
+
+/// The result of a durable run: the report plus what the durability
+/// layer did along the way.
+#[derive(Debug)]
+pub struct DurableOutcome {
+    /// The simulation report. When [`DurableOutcome::stopped_after`] is
+    /// set, it covers only the slots simulated before the stop.
+    pub report: SimReport,
+    /// Present when the run resumed from durable state.
+    pub recovery: Option<RecoveryInfo>,
+    /// Checkpoints cut during this run.
+    pub checkpoints_written: u64,
+    /// Set when the [`DurabilityConfig::stop_after`] test hook ended
+    /// the run before the horizon.
+    pub stopped_after: Option<u64>,
+}
+
+/// Why a durable run failed.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The configuration or horizon was invalid.
+    Config(ConfigError),
+    /// The durability layer hit an I/O error.
+    Io(std::io::Error),
+    /// A checkpoint or journal record was damaged beyond what recovery
+    /// tolerates (the valid-prefix protocol handles torn and corrupt
+    /// *tails*; this is structural damage like an undecodable snapshot
+    /// from a mismatched run).
+    Corrupt(String),
+    /// Replaying the journal produced a different slot than the journal
+    /// recorded — the determinism contract recovery rests on is broken,
+    /// so the run aborts instead of silently rewriting history.
+    Diverged {
+        /// The slot whose replay disagreed with the journal.
+        slot: u64,
+    },
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Config(e) => write!(f, "invalid configuration: {e}"),
+            DurableError::Io(e) => write!(f, "durability I/O error: {e}"),
+            DurableError::Corrupt(msg) => write!(f, "durable state corrupt: {msg}"),
+            DurableError::Diverged { slot } => write!(
+                f,
+                "replay of slot {slot} diverged from the journal; refusing to rewrite history"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Config(e) => Some(e),
+            DurableError::Io(e) => Some(e),
+            DurableError::Corrupt(_) | DurableError::Diverged { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for DurableError {
+    fn from(e: ConfigError) -> Self {
+        DurableError::Config(e)
+    }
+}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> Self {
+        DurableError::Io(e)
     }
 }
 
@@ -310,26 +508,7 @@ impl Simulation {
         let mut stages = pipeline::build(&config);
 
         for t in 0..n {
-            let slot = Slot::new(t as u64);
-            let _slot_span = spotdc_telemetry::span!("engine.slot", slot = slot);
-            ctx.begin(slot, t);
-            for stage in stages.iter_mut() {
-                let _stage_span = spotdc_telemetry::span!(stage.name());
-                // Time the stage for the event log too: spans feed the
-                // in-process registry only, while a `SpanClosed` event
-                // per stage lets `spotdc-trace` rebuild the latency
-                // distributions from the JSONL artifact alone.
-                let started = spotdc_telemetry::is_enabled().then(std::time::Instant::now);
-                stage.run(&mut state, &mut ctx);
-                if let Some(started) = started {
-                    spotdc_telemetry::emit(spotdc_telemetry::Event::SpanClosed {
-                        slot,
-                        at: MonotonicNanos::now(),
-                        span: stage.name().to_owned(),
-                        nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                    });
-                }
-            }
+            run_one_slot(&mut state, &mut ctx, &mut stages, t as u64);
         }
 
         if recorder.is_some() {
@@ -337,6 +516,235 @@ impl Simulation {
             spotdc_telemetry::flush();
         }
         state.into_report()
+    }
+
+    /// Runs `slots` slots with crash-consistent durability: a bid
+    /// journal between checkpoints, slot-boundary snapshots every
+    /// [`DurabilityConfig::checkpoint_every`] slots, and (when
+    /// [`DurabilityConfig::resume`] is set) recovery by loading the
+    /// latest valid checkpoint and deterministically replaying the
+    /// journaled slots.
+    ///
+    /// Reports from durable runs are byte-identical to [`Simulation::run`]
+    /// with the same scenario and configuration — `tests/recovery.rs`
+    /// and `scripts/crash_harness` pin this across SIGKILL, torn-tail,
+    /// and corrupt-CRC injections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::Config`] for an invalid configuration
+    /// (including a missing [`DurabilityConfig::dir`]), `Io` for
+    /// filesystem failures, `Corrupt` for structurally damaged durable
+    /// state, and `Diverged` when journal replay disagrees with the
+    /// recorded history.
+    pub fn run_durable(self, slots: u64) -> Result<DurableOutcome, DurableError> {
+        self.config.validate()?;
+        if slots == 0 {
+            return Err(DurableError::Config(ConfigError::ZeroHorizon));
+        }
+        let Simulation { scenario, config } = self;
+        let dir: PathBuf = config.durability.dir.clone().ok_or(DurableError::Config(
+            ConfigError::ResumeWithoutCheckpointDir,
+        ))?;
+        let every = config.durability.checkpoint_every;
+
+        if config.telemetry.enabled {
+            spotdc_telemetry::install_if_uninstalled(config.telemetry);
+        }
+        let recorder = if config.blackbox.enabled {
+            FlightRecorder::arm_if_unarmed(config.blackbox)
+        } else {
+            None
+        };
+
+        let mut state = SimState::new(&scenario, &config, slots as usize);
+        let mut ctx = SlotContext::new(state.topology.rack_count(), state.agents.len());
+        let mut stages = pipeline::build(&config);
+        let wal_path = dir.join("journal.wal");
+
+        let mut start_slot: u64 = 0;
+        let mut recovery = None;
+        let mut wal;
+        if config.durability.resume {
+            let snapshot_slot = match spotdc_durable::load_latest(&dir)? {
+                Some(loaded) => {
+                    let snap = EngineSnapshot::decode(&loaded.payload).map_err(|e| {
+                        DurableError::Corrupt(format!(
+                            "checkpoint {} does not decode: {e}",
+                            loaded.path.display()
+                        ))
+                    })?;
+                    snap.apply(&mut state, &mut stages, config.mode, scenario.seed)
+                        .map_err(|e| {
+                            DurableError::Corrupt(format!(
+                                "checkpoint {} does not apply: {e}",
+                                loaded.path.display()
+                            ))
+                        })?;
+                    start_slot = loaded.slots_done;
+                    Some(loaded.slots_done)
+                }
+                None => None,
+            };
+
+            let contents = spotdc_durable::read_wal(&wal_path)?.unwrap_or_default();
+            let truncated = match contents.tail {
+                Tail::Clean => None,
+                Tail::Torn { dropped } => Some(JournalDamage {
+                    reason: "torn",
+                    dropped_bytes: dropped,
+                }),
+                Tail::Corrupt { dropped } => Some(JournalDamage {
+                    reason: "corrupt",
+                    dropped_bytes: dropped,
+                }),
+            };
+
+            // The journal is replaced, not patched: recreate it and
+            // re-append each record as its slot replays, so the on-disk
+            // journal always matches the in-memory history exactly.
+            wal = WalWriter::create(&wal_path)?;
+            let mut replayed = 0u64;
+            for record in &contents.records {
+                let slot = crate::durability::wal_record_slot(record).map_err(|e| {
+                    DurableError::Corrupt(format!("journal record does not decode: {e}"))
+                })?;
+                if slot < start_slot {
+                    // Leftover from before the checkpoint the journal
+                    // outlived; the snapshot already covers it.
+                    continue;
+                }
+                if slot >= slots {
+                    break;
+                }
+                // A journal starting *ahead* of the snapshot means a
+                // newer checkpoint was lost (its journal reset survived
+                // but the snapshot did not) and recovery fell back to a
+                // predecessor. Determinism covers the gap: re-simulate
+                // the missing slots, re-journaling them so the new
+                // journal again spans everything since the snapshot.
+                while start_slot < slot {
+                    run_one_slot(&mut state, &mut ctx, &mut stages, start_slot);
+                    wal.append(&crate::durability::encode_wal_record(&ctx))?;
+                    start_slot += 1;
+                    replayed += 1;
+                }
+                run_one_slot(&mut state, &mut ctx, &mut stages, slot);
+                let replay = crate::durability::encode_wal_record(&ctx);
+                if replay != *record {
+                    return Err(DurableError::Diverged { slot });
+                }
+                wal.append(&replay)?;
+                start_slot = slot + 1;
+                replayed += 1;
+            }
+            wal.sync()?;
+
+            let at = MonotonicNanos::now();
+            if let Some(damage) = &truncated {
+                spotdc_telemetry::emit(spotdc_telemetry::Event::JournalTruncated {
+                    slot: Slot::new(start_slot),
+                    at,
+                    reason: damage.reason.to_owned(),
+                    dropped_bytes: damage.dropped_bytes,
+                });
+            }
+            spotdc_telemetry::emit(spotdc_telemetry::Event::RecoveryPerformed {
+                slot: Slot::new(start_slot),
+                at,
+                snapshot_slot: snapshot_slot.unwrap_or(0),
+                replayed_slots: replayed,
+            });
+            recovery = Some(RecoveryInfo {
+                snapshot_slot,
+                replayed_slots: replayed,
+                truncated,
+            });
+        } else {
+            // A fresh durable run owns the directory: stale checkpoints
+            // or journals from a previous run must not leak into this
+            // history.
+            spotdc_durable::clear_dir(&dir)?;
+            wal = WalWriter::create(&wal_path)?;
+        }
+
+        let mut checkpoints_written = 0u64;
+        let mut stopped_after = None;
+        for t in start_slot..slots {
+            run_one_slot(&mut state, &mut ctx, &mut stages, t);
+            wal.append(&crate::durability::encode_wal_record(&ctx))?;
+            if (t + 1) % every == 0 {
+                let started = std::time::Instant::now();
+                let snap =
+                    EngineSnapshot::capture(&state, &stages, config.mode, scenario.seed, t + 1);
+                let bytes = spotdc_durable::write_checkpoint(&dir, t + 1, &snap.encode())?;
+                // The checkpoint covers every journaled slot, so the
+                // journal restarts empty; its predecessor needs no
+                // fsync — the synced checkpoint supersedes it.
+                wal = WalWriter::create(&wal_path)?;
+                checkpoints_written += 1;
+                spotdc_telemetry::emit(spotdc_telemetry::Event::CheckpointWritten {
+                    slot: Slot::new(t),
+                    at: MonotonicNanos::now(),
+                    bytes,
+                    nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                });
+            }
+            if let Some(stop) = config.durability.stop_after {
+                if t + 1 - start_slot >= stop && t + 1 < slots {
+                    stopped_after = Some(t + 1);
+                    break;
+                }
+            }
+            if config.durability.slot_delay_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(
+                    config.durability.slot_delay_ms,
+                ));
+            }
+        }
+        wal.sync()?;
+
+        if recorder.is_some() {
+            spotdc_telemetry::flush();
+        }
+        Ok(DurableOutcome {
+            report: state.into_report(),
+            recovery,
+            checkpoints_written,
+            stopped_after,
+        })
+    }
+}
+
+/// Steps every stage once for slot `t`: the single slot body shared by
+/// [`Simulation::run`], the durable main loop, and journal replay —
+/// sharing it is what makes replay bit-identical to the original
+/// execution.
+fn run_one_slot(
+    state: &mut SimState,
+    ctx: &mut SlotContext,
+    stages: &mut [Box<dyn SlotStage>],
+    t: u64,
+) {
+    let slot = Slot::new(t);
+    let _slot_span = spotdc_telemetry::span!("engine.slot", slot = slot);
+    ctx.begin(slot, t as usize);
+    for stage in stages.iter_mut() {
+        let _stage_span = spotdc_telemetry::span!(stage.name());
+        // Time the stage for the event log too: spans feed the
+        // in-process registry only, while a `SpanClosed` event
+        // per stage lets `spotdc-trace` rebuild the latency
+        // distributions from the JSONL artifact alone.
+        let started = spotdc_telemetry::is_enabled().then(std::time::Instant::now);
+        stage.run(state, ctx);
+        if let Some(started) = started {
+            spotdc_telemetry::emit(spotdc_telemetry::Event::SpanClosed {
+                slot,
+                at: MonotonicNanos::now(),
+                span: stage.name().to_owned(),
+                nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            });
+        }
     }
 }
 
@@ -660,5 +1068,151 @@ mod tests {
         };
         assert!(err.to_string().contains("faults.bid_delay"));
         assert!(ConfigError::ZeroHorizon.to_string().contains("one slot"));
+    }
+
+    fn temp_ckpt_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "spotdc-engine-durable-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_config(mode: Mode, dir: &Path) -> EngineConfig {
+        EngineConfig {
+            durability: DurabilityConfig {
+                dir: Some(dir.to_path_buf()),
+                checkpoint_every: 10,
+                ..DurabilityConfig::default()
+            },
+            ..EngineConfig::new(mode)
+        }
+    }
+
+    #[test]
+    fn zero_checkpoint_every_is_rejected() {
+        let dir = temp_ckpt_dir("zero-every");
+        let config = EngineConfig {
+            durability: DurabilityConfig {
+                dir: Some(dir),
+                checkpoint_every: 0,
+                ..DurabilityConfig::default()
+            },
+            ..EngineConfig::new(Mode::SpotDc)
+        };
+        assert_eq!(config.validate(), Err(ConfigError::ZeroCheckpointEvery));
+        assert!(ConfigError::ZeroCheckpointEvery
+            .to_string()
+            .contains("checkpoint_every"));
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_is_rejected() {
+        let config = EngineConfig {
+            durability: DurabilityConfig {
+                resume: true,
+                ..DurabilityConfig::default()
+            },
+            ..EngineConfig::new(Mode::SpotDc)
+        };
+        assert_eq!(
+            config.validate(),
+            Err(ConfigError::ResumeWithoutCheckpointDir)
+        );
+    }
+
+    #[test]
+    fn unwritable_checkpoint_dir_is_rejected_up_front() {
+        // A path *under a regular file* can never be created as a dir.
+        let base = temp_ckpt_dir("unwritable");
+        std::fs::create_dir_all(&base).unwrap();
+        let file = base.join("occupied");
+        std::fs::write(&file, b"x").unwrap();
+        let config = EngineConfig {
+            durability: DurabilityConfig {
+                dir: Some(file.join("sub")),
+                ..DurabilityConfig::default()
+            },
+            ..EngineConfig::new(Mode::SpotDc)
+        };
+        match config.validate() {
+            Err(ConfigError::UnwritableCheckpointDir { dir, .. }) => {
+                assert_eq!(dir, file.join("sub"));
+            }
+            other => panic!("expected UnwritableCheckpointDir, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn durable_run_report_matches_plain_run() {
+        let dir = temp_ckpt_dir("matches-plain");
+        let plain = run(Mode::SpotDc, 45);
+        let outcome = Simulation::new(Scenario::testbed(11), durable_config(Mode::SpotDc, &dir))
+            .run_durable(45)
+            .unwrap();
+        assert_eq!(outcome.report, plain);
+        assert!(outcome.recovery.is_none());
+        // 45 slots at checkpoint_every=10 → boundaries after slots
+        // 10, 20, 30, 40.
+        assert_eq!(outcome.checkpoints_written, 4);
+        assert_eq!(outcome.stopped_after, None);
+    }
+
+    #[test]
+    fn stop_and_resume_reproduces_the_cold_report() {
+        let dir = temp_ckpt_dir("stop-resume");
+        let plain = run(Mode::SpotDc, 45);
+        let mut config = durable_config(Mode::SpotDc, &dir);
+        config.durability.stop_after = Some(23);
+        let stopped = Simulation::new(Scenario::testbed(11), config)
+            .run_durable(45)
+            .unwrap();
+        assert_eq!(stopped.stopped_after, Some(23));
+
+        let mut config = durable_config(Mode::SpotDc, &dir);
+        config.durability.resume = true;
+        let resumed = Simulation::new(Scenario::testbed(11), config)
+            .run_durable(45)
+            .unwrap();
+        let recovery = resumed.recovery.expect("resume must report recovery");
+        // Stop at slot 23: snapshot at 20, slots 20..23 journaled.
+        assert_eq!(recovery.snapshot_slot, Some(20));
+        assert_eq!(recovery.replayed_slots, 3);
+        assert_eq!(recovery.truncated, None);
+        assert_eq!(resumed.report, plain);
+    }
+
+    #[test]
+    fn resume_with_no_durable_state_cold_starts() {
+        let dir = temp_ckpt_dir("resume-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plain = run(Mode::SpotDc, 25);
+        let mut config = durable_config(Mode::SpotDc, &dir);
+        config.durability.resume = true;
+        let outcome = Simulation::new(Scenario::testbed(11), config)
+            .run_durable(25)
+            .unwrap();
+        let recovery = outcome.recovery.expect("resume must report recovery");
+        assert_eq!(recovery.snapshot_slot, None);
+        assert_eq!(recovery.replayed_slots, 0);
+        assert_eq!(outcome.report, plain);
+    }
+
+    #[test]
+    fn fresh_durable_run_clears_stale_state() {
+        let dir = temp_ckpt_dir("clears-stale");
+        let mut config = durable_config(Mode::SpotDc, &dir);
+        config.durability.stop_after = Some(17);
+        Simulation::new(Scenario::testbed(11), config)
+            .run_durable(45)
+            .unwrap();
+        // A second *fresh* run must not resume from the first's state.
+        let plain = run(Mode::SpotDc, 45);
+        let fresh = Simulation::new(Scenario::testbed(11), durable_config(Mode::SpotDc, &dir))
+            .run_durable(45)
+            .unwrap();
+        assert!(fresh.recovery.is_none());
+        assert_eq!(fresh.report, plain);
     }
 }

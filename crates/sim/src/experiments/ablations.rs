@@ -97,7 +97,7 @@ pub fn compute(cfg: &ExpConfig) -> Vec<AblationRow> {
             },
         ),
     ];
-    let engines: Vec<EngineConfig> = variants.iter().map(|&(_, engine)| engine).collect();
+    let engines: Vec<EngineConfig> = variants.iter().map(|(_, engine)| engine.clone()).collect();
     let reports = run_engines(cfg, &scenario, &engines);
     variants
         .iter()

@@ -147,7 +147,7 @@ pub fn run_engines(
 ) -> Vec<SimReport> {
     let slots = cfg.slots(scenario);
     fan_out(engines, |engine| {
-        Simulation::new(scenario.clone(), widen(cfg, *engine)).run(slots)
+        Simulation::new(scenario.clone(), widen(cfg, engine.clone())).run(slots)
     })
 }
 

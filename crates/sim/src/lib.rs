@@ -40,6 +40,7 @@
 
 pub mod accounting;
 pub mod baselines;
+pub mod durability;
 pub mod engine;
 pub mod experiments;
 pub mod metrics;
@@ -50,6 +51,9 @@ pub mod validate;
 
 pub use accounting::{Billing, ProfitSummary};
 pub use baselines::Mode;
-pub use engine::{ConfigError, EngineConfig, Simulation};
+pub use engine::{
+    ConfigError, DurabilityConfig, DurableError, DurableOutcome, EngineConfig, RecoveryInfo,
+    Simulation,
+};
 pub use metrics::SimReport;
 pub use scenario::Scenario;

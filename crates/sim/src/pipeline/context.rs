@@ -32,6 +32,11 @@ use crate::engine::EngineConfig;
 use crate::metrics::{SimReport, SlotRecord};
 use crate::scenario::{OtherGroup, Scenario, ScenarioTraces};
 
+/// Meter readings retained per rack. Shared with the durability layer:
+/// a restored meter must use the same window length or replayed
+/// histories would evict differently.
+pub const METER_HISTORY_LEN: usize = 4;
+
 /// Cross-slot simulation state: the world the pipeline stages act on.
 ///
 /// Fields are public within the crate so each stage can borrow exactly
@@ -116,8 +121,8 @@ impl SimState {
         let traces = scenario.traces(slots);
         let topology = scenario.topology.clone();
         let operator = Operator::new(topology.clone(), config.operator);
-        let mut meter =
-            PowerMeter::new(&topology, 4).expect("engine meter history length is positive");
+        let mut meter = PowerMeter::new(&topology, METER_HISTORY_LEN)
+            .expect("engine meter history length is positive");
         let bank = RackPduBank::new(&topology);
         let emergencies = EmergencyLog::new(&topology);
         let plan = FaultPlan::new(config.faults);

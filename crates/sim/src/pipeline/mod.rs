@@ -31,7 +31,7 @@
 mod context;
 mod stages;
 
-pub use context::{SimState, SlotContext};
+pub use context::{SimState, SlotContext, METER_HISTORY_LEN};
 pub use stages::{
     ClearMaxPerf, ClearPerPdu, ClearUniform, CollectBids, CollectGains, Enforce, Predict, Sense,
     Settle,
@@ -50,6 +50,30 @@ pub trait SlotStage {
     fn name(&self) -> &'static str;
     /// Executes the stage for the slot in `ctx`.
     fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext);
+    /// Serializes any *cross-slot* stage state into `enc` for a
+    /// checkpoint. The default writes nothing: most stages keep only
+    /// per-slot scratch (buffers whose contents are rebuilt before
+    /// being read) or bit-transparent caches, neither of which affects
+    /// the slots simulated after a restore. Stages with real carried
+    /// state (the late-bid rollover in [`CollectBids`]) override both
+    /// hooks.
+    fn save_durable(&self, enc: &mut spotdc_durable::Encoder) {
+        let _ = enc;
+    }
+    /// Restores the state written by [`SlotStage::save_durable`], in
+    /// the same stage order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`spotdc_durable::DecodeError`] when the blob does not
+    /// decode to this stage's state.
+    fn load_durable(
+        &mut self,
+        dec: &mut spotdc_durable::Decoder<'_>,
+    ) -> Result<(), spotdc_durable::DecodeError> {
+        let _ = dec;
+        Ok(())
+    }
 }
 
 /// Which predictor variant a [`Predict`] stage runs.

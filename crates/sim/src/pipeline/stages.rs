@@ -180,6 +180,21 @@ impl SlotStage for CollectBids {
         "stage.collect_bids"
     }
 
+    fn save_durable(&self, enc: &mut spotdc_durable::Encoder) {
+        // Late bids are the one piece of market state carried across
+        // slots outside `SimState`; a checkpoint must capture them or a
+        // recovered run would drop a rolled-over bid a cold run admits.
+        crate::durability::encode_tenant_bids(enc, &self.late_bids);
+    }
+
+    fn load_durable(
+        &mut self,
+        dec: &mut spotdc_durable::Decoder<'_>,
+    ) -> Result<(), spotdc_durable::DecodeError> {
+        self.late_bids = crate::durability::decode_tenant_bids(dec)?;
+        Ok(())
+    }
+
     fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
         let slot = ctx.slot;
         ctx.bids.clear();

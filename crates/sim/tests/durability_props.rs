@@ -1,0 +1,109 @@
+//! Property tests for the durable snapshot codec.
+//!
+//! The states fed through the round-trip are *real* engine states —
+//! `Scenario::testbed` runs under randomized (seed, mode, horizon)
+//! triples — so the properties cover exactly the value distributions a
+//! checkpoint will ever see: clamped meter histories, in-range
+//! intensities, live bid books, mid-flight accounting totals.
+
+use proptest::prelude::*;
+
+use spotdc_sim::durability::EngineSnapshot;
+use spotdc_sim::engine::EngineConfig;
+use spotdc_sim::pipeline::{self, SimState, SlotContext, SlotStage};
+use spotdc_sim::{Mode, Scenario};
+use spotdc_units::Slot;
+
+const MODES: [Mode; 3] = [Mode::PowerCapped, Mode::SpotDc, Mode::MaxPerf];
+
+/// Runs `slots` slots of `mode` at `seed` and returns the engine state
+/// ready for capture.
+fn run_to(
+    seed: u64,
+    mode: Mode,
+    slots: usize,
+) -> (SimState, SlotContext, Vec<Box<dyn SlotStage>>, EngineConfig) {
+    let scenario = Scenario::testbed(seed);
+    let config = EngineConfig::new(mode);
+    let mut state = SimState::new(&scenario, &config, slots);
+    let mut ctx = SlotContext::new(state.topology.rack_count(), state.agents.len());
+    let mut stages = pipeline::build(&config);
+    for t in 0..slots {
+        ctx.begin(Slot::new(t as u64), t);
+        for stage in stages.iter_mut() {
+            stage.run(&mut state, &mut ctx);
+        }
+    }
+    (state, ctx, stages, config)
+}
+
+proptest! {
+    /// `decode(encode(capture(state))) == capture(state)` for real
+    /// engine states across all three modes.
+    #[test]
+    fn snapshot_round_trips_exactly(
+        seed in 1u64..500,
+        mode_ix in 0usize..3,
+        slots in 1usize..32,
+    ) {
+        let mode = MODES[mode_ix];
+        let (state, _ctx, stages, _config) = run_to(seed, mode, slots);
+        let snap = EngineSnapshot::capture(&state, &stages, mode, seed, slots as u64);
+        let decoded = EngineSnapshot::decode(&snap.encode()).expect("decode");
+        prop_assert_eq!(snap, decoded);
+    }
+
+    /// Applying a snapshot onto a fresh state and re-capturing yields
+    /// the identical snapshot: nothing the capture covers is lost or
+    /// mutated by restore.
+    #[test]
+    fn apply_then_recapture_is_identity(
+        seed in 1u64..500,
+        mode_ix in 0usize..3,
+        slots in 1usize..24,
+    ) {
+        let mode = MODES[mode_ix];
+        let (state, _ctx, stages, config) = run_to(seed, mode, slots);
+        let snap = EngineSnapshot::capture(&state, &stages, mode, seed, slots as u64);
+
+        let scenario = Scenario::testbed(seed);
+        let mut fresh = SimState::new(&scenario, &config, slots);
+        let mut fresh_stages = pipeline::build(&config);
+        snap.apply(&mut fresh, &mut fresh_stages, mode, seed).expect("apply");
+        let recaptured =
+            EngineSnapshot::capture(&fresh, &fresh_stages, mode, seed, slots as u64);
+        prop_assert_eq!(snap, recaptured);
+    }
+}
+
+/// A snapshot captured under one mode must refuse to apply under
+/// another: the header check is what keeps a stale checkpoint from a
+/// different run from silently seeding a resumed one.
+#[test]
+fn snapshot_refuses_mismatched_mode() {
+    let (state, _ctx, stages, _config) = run_to(7, Mode::SpotDc, 10);
+    let snap = EngineSnapshot::capture(&state, &stages, Mode::SpotDc, 7, 10);
+
+    let scenario = Scenario::testbed(7);
+    let other = EngineConfig::new(Mode::PowerCapped);
+    let mut fresh = SimState::new(&scenario, &other, 10);
+    let mut fresh_stages = pipeline::build(&other);
+    assert!(snap
+        .apply(&mut fresh, &mut fresh_stages, Mode::PowerCapped, 7)
+        .is_err());
+}
+
+/// Same for a mismatched seed: the RNG streams would diverge from the
+/// journaled history.
+#[test]
+fn snapshot_refuses_mismatched_seed() {
+    let (state, _ctx, stages, config) = run_to(7, Mode::SpotDc, 10);
+    let snap = EngineSnapshot::capture(&state, &stages, Mode::SpotDc, 7, 10);
+
+    let scenario = Scenario::testbed(8);
+    let mut fresh = SimState::new(&scenario, &config, 10);
+    let mut fresh_stages = pipeline::build(&config);
+    assert!(snap
+        .apply(&mut fresh, &mut fresh_stages, Mode::SpotDc, 8)
+        .is_err());
+}

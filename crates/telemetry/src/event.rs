@@ -169,6 +169,46 @@ pub enum Event {
         /// Candidate prices actually re-swept (0 on a cache hit).
         candidates_swept: u64,
     },
+    /// The durable engine cut a checkpoint: the full cross-slot market
+    /// state was atomically persisted and the write-ahead journal was
+    /// restarted.
+    CheckpointWritten {
+        /// The first slot *not* covered by the checkpoint (i.e. the
+        /// checkpoint captures slots `0..slot`).
+        slot: Slot,
+        /// Monotonic timestamp.
+        at: MonotonicNanos,
+        /// Size of the finished checkpoint file, bytes.
+        bytes: u64,
+        /// Wall time spent serializing and persisting, nanoseconds.
+        nanos: u64,
+    },
+    /// A resumed run recovered from durable state: the latest valid
+    /// checkpoint was loaded and the journaled slots were replayed.
+    RecoveryPerformed {
+        /// The first slot simulated live after recovery.
+        slot: Slot,
+        /// Monotonic timestamp.
+        at: MonotonicNanos,
+        /// Slots covered by the checkpoint the recovery started from
+        /// (0 when no checkpoint existed and replay started cold).
+        snapshot_slot: u64,
+        /// Journaled slots deterministically re-simulated.
+        replayed_slots: u64,
+    },
+    /// Recovery found a damaged journal tail and truncated it: either a
+    /// partial record from the crash ("torn") or a CRC mismatch under a
+    /// complete record ("corrupt").
+    JournalTruncated {
+        /// The slot recovery resumed from after truncation.
+        slot: Slot,
+        /// Monotonic timestamp.
+        at: MonotonicNanos,
+        /// Damage class: "torn" or "corrupt".
+        reason: String,
+        /// Bytes discarded from the journal tail.
+        dropped_bytes: u64,
+    },
 }
 
 impl Event {
@@ -187,6 +227,9 @@ impl Event {
             Event::InvariantViolated { .. } => "InvariantViolated",
             Event::SpanClosed { .. } => "SpanClosed",
             Event::ClearingCache { .. } => "ClearingCache",
+            Event::CheckpointWritten { .. } => "CheckpointWritten",
+            Event::RecoveryPerformed { .. } => "RecoveryPerformed",
+            Event::JournalTruncated { .. } => "JournalTruncated",
         }
     }
 
@@ -204,7 +247,10 @@ impl Event {
             | Event::CapApplied { slot, .. }
             | Event::InvariantViolated { slot, .. }
             | Event::SpanClosed { slot, .. }
-            | Event::ClearingCache { slot, .. } => *slot,
+            | Event::ClearingCache { slot, .. }
+            | Event::CheckpointWritten { slot, .. }
+            | Event::RecoveryPerformed { slot, .. }
+            | Event::JournalTruncated { slot, .. } => *slot,
         }
     }
 
@@ -222,15 +268,20 @@ impl Event {
             | Event::CapApplied { at, .. }
             | Event::InvariantViolated { at, .. }
             | Event::SpanClosed { at, .. }
-            | Event::ClearingCache { at, .. } => *at,
+            | Event::ClearingCache { at, .. }
+            | Event::CheckpointWritten { at, .. }
+            | Event::RecoveryPerformed { at, .. }
+            | Event::JournalTruncated { at, .. } => *at,
         }
     }
 
     /// Whether the event must bypass `sample_every` down-sampling.
     ///
     /// Routine per-slot traffic (clearings, predictions) can be sampled;
-    /// anomalies (emergencies, rejections, binding constraints) are rare
-    /// and always recorded.
+    /// anomalies (emergencies, rejections, binding constraints) and
+    /// one-per-run lifecycle events (recoveries, journal truncations)
+    /// are rare and always recorded. Checkpoint writes are routine
+    /// cadence traffic and may be sampled.
     #[must_use]
     pub fn is_critical(&self) -> bool {
         matches!(
@@ -241,6 +292,8 @@ impl Event {
                 | Event::DegradedDecision { .. }
                 | Event::CapApplied { .. }
                 | Event::InvariantViolated { .. }
+                | Event::RecoveryPerformed { .. }
+                | Event::JournalTruncated { .. }
         )
     }
 
@@ -417,6 +470,31 @@ impl Event {
                     candidates_swept
                 );
             }
+            Event::CheckpointWritten { bytes, nanos, .. } => {
+                let _ = write!(out, ",\"bytes\":{bytes},\"nanos\":{nanos}");
+            }
+            Event::RecoveryPerformed {
+                snapshot_slot,
+                replayed_slots,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"snapshot_slot\":{snapshot_slot},\"replayed_slots\":{replayed_slots}"
+                );
+            }
+            Event::JournalTruncated {
+                reason,
+                dropped_bytes,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"reason\":{},\"dropped_bytes\":{}",
+                    json_str(reason),
+                    dropped_bytes
+                );
+            }
         }
         out.push('}');
         out
@@ -548,6 +626,24 @@ impl Event {
                 mode: str_field("mode")?.to_owned(),
                 candidates_total: int("candidates_total")?,
                 candidates_swept: int("candidates_swept")?,
+            }),
+            "CheckpointWritten" => Ok(Event::CheckpointWritten {
+                slot,
+                at,
+                bytes: int("bytes")?,
+                nanos: int("nanos")?,
+            }),
+            "RecoveryPerformed" => Ok(Event::RecoveryPerformed {
+                slot,
+                at,
+                snapshot_slot: int("snapshot_slot")?,
+                replayed_slots: int("replayed_slots")?,
+            }),
+            "JournalTruncated" => Ok(Event::JournalTruncated {
+                slot,
+                at,
+                reason: str_field("reason")?.to_owned(),
+                dropped_bytes: int("dropped_bytes")?,
             }),
             other => Err(format!("unknown event tag {other:?}")),
         }?;
@@ -767,6 +863,24 @@ mod tests {
                 candidates_total: 101,
                 candidates_swept: 7,
             },
+            Event::CheckpointWritten {
+                slot: Slot::new(50),
+                at: MonotonicNanos::from_raw(100_501),
+                bytes: 18_432,
+                nanos: 312_000,
+            },
+            Event::RecoveryPerformed {
+                slot: Slot::new(73),
+                at: MonotonicNanos::from_raw(100_601),
+                snapshot_slot: 50,
+                replayed_slots: 23,
+            },
+            Event::JournalTruncated {
+                slot: Slot::new(73),
+                at: MonotonicNanos::from_raw(100_600),
+                reason: "torn".to_owned(),
+                dropped_bytes: 41,
+            },
         ]
     }
 
@@ -853,6 +967,9 @@ mod tests {
                 ("InvariantViolated".to_owned(), true),
                 ("SpanClosed".to_owned(), false),
                 ("ClearingCache".to_owned(), false),
+                ("CheckpointWritten".to_owned(), false),
+                ("RecoveryPerformed".to_owned(), true),
+                ("JournalTruncated".to_owned(), true),
             ]
         );
     }

@@ -219,6 +219,12 @@ impl TenantAgent {
         self.predicted_price = price;
     }
 
+    /// The most recently fed clearing-price prediction, if any.
+    #[must_use]
+    pub fn predicted_price(&self) -> Option<Price> {
+        self.predicted_price
+    }
+
     /// Whether this tenant wants spot capacity at the current load.
     #[must_use]
     pub fn wants_spot(&self) -> bool {

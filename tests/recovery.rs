@@ -1,0 +1,202 @@
+//! In-process crash-recovery end-to-end tests.
+//!
+//! `scripts/crash_harness` SIGKILLs a real child process; these tests
+//! cover the same protocol deterministically and portably: stop a
+//! durable run at an arbitrary slot (the `stop_after` hook — equivalent
+//! to a kill at a slot boundary, since the journal is flushed per
+//! slot), damage the on-disk state the way a crash or bad storage
+//! would, resume, and require the final report to be **equal** to an
+//! uninterrupted cold run — the invariant the whole durability layer
+//! exists to uphold.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use spotdc_sim::engine::{DurabilityConfig, EngineConfig, Simulation};
+use spotdc_sim::{Mode, Scenario, SimReport};
+
+const SEED: u64 = 7;
+const SLOTS: u64 = 24;
+const EVERY: u64 = 5;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spotdc-recovery-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(mode: Mode, dir: &Path) -> EngineConfig {
+    EngineConfig {
+        durability: DurabilityConfig {
+            dir: Some(dir.to_path_buf()),
+            checkpoint_every: EVERY,
+            ..DurabilityConfig::default()
+        },
+        ..EngineConfig::new(mode)
+    }
+}
+
+fn cold(mode: Mode) -> SimReport {
+    Simulation::new(Scenario::testbed(SEED), EngineConfig::new(mode)).run(SLOTS)
+}
+
+fn stop_at(mode: Mode, dir: &Path, k: u64) {
+    let mut config = durable_config(mode, dir);
+    config.durability.stop_after = Some(k);
+    let outcome = Simulation::new(Scenario::testbed(SEED), config)
+        .run_durable(SLOTS)
+        .expect("stopped run");
+    assert_eq!(outcome.stopped_after, Some(k));
+}
+
+fn resume(mode: Mode, dir: &Path) -> spotdc_sim::DurableOutcome {
+    let mut config = durable_config(mode, dir);
+    config.durability.resume = true;
+    Simulation::new(Scenario::testbed(SEED), config)
+        .run_durable(SLOTS)
+        .expect("resumed run")
+}
+
+/// The satellite sweep: for every mode and every interruption slot
+/// `k` in `1..SLOTS`, stop-then-resume must reproduce the cold report
+/// exactly — whether `k` lands on a checkpoint boundary, one past it,
+/// or deep into a journal interval.
+#[test]
+fn resume_at_every_slot_matches_cold_run() {
+    for mode in [Mode::PowerCapped, Mode::SpotDc, Mode::MaxPerf] {
+        let golden = cold(mode);
+        for k in 1..SLOTS {
+            let dir = temp_dir(&format!("sweep-{mode:?}-{k}"));
+            stop_at(mode, &dir, k);
+            let resumed = resume(mode, &dir);
+            let recovery = resumed.recovery.as_ref().expect("recovery info");
+            assert_eq!(
+                recovery.snapshot_slot,
+                (k >= EVERY).then_some((k / EVERY) * EVERY),
+                "mode {mode:?} k {k}"
+            );
+            assert_eq!(resumed.report, golden, "mode {mode:?} resumed at slot {k}");
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// A torn journal tail — the partial record a SIGKILL mid-append
+/// leaves — is truncated, reported, and recovered around.
+#[test]
+fn torn_journal_tail_recovers_byte_identically() {
+    let golden = cold(Mode::SpotDc);
+    let dir = temp_dir("torn");
+    // Stop at 8: snapshot at 5, journal holds slots 5, 6, 7.
+    stop_at(Mode::SpotDc, &dir, 8);
+    let wal = dir.join("journal.wal");
+    let bytes = fs::read(&wal).expect("journal exists");
+    fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+
+    let resumed = resume(Mode::SpotDc, &dir);
+    let recovery = resumed.recovery.expect("recovery info");
+    let damage = recovery.truncated.expect("tail damage reported");
+    assert_eq!(damage.reason, "torn");
+    assert!(damage.dropped_bytes > 0);
+    assert_eq!(recovery.snapshot_slot, Some(5));
+    // Slot 7's record was torn off; only 5 and 6 replay from the
+    // journal, 7 re-simulates in the main loop.
+    assert_eq!(recovery.replayed_slots, 2);
+    assert_eq!(resumed.report, golden);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A bit flip inside a complete journal record — storage corruption,
+/// not a crash artifact — is caught by the CRC, classified as
+/// "corrupt", and recovered around identically.
+#[test]
+fn corrupt_journal_record_recovers_byte_identically() {
+    let golden = cold(Mode::SpotDc);
+    let dir = temp_dir("flip");
+    stop_at(Mode::SpotDc, &dir, 8);
+    let wal = dir.join("journal.wal");
+    let mut bytes = fs::read(&wal).expect("journal exists");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    fs::write(&wal, &bytes).unwrap();
+
+    let resumed = resume(Mode::SpotDc, &dir);
+    let recovery = resumed.recovery.expect("recovery info");
+    let damage = recovery.truncated.expect("tail damage reported");
+    assert_eq!(damage.reason, "corrupt");
+    assert!(damage.dropped_bytes > 0);
+    assert_eq!(recovery.replayed_slots, 2);
+    assert_eq!(resumed.report, golden);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A corrupt newest checkpoint falls back to its retained predecessor;
+/// the journal (which restarted at the newest checkpoint) then starts
+/// ahead of the snapshot, and determinism re-simulates the gap.
+#[test]
+fn corrupt_newest_checkpoint_falls_back_to_predecessor() {
+    let golden = cold(Mode::SpotDc);
+    let dir = temp_dir("ckpt-fallback");
+    // Stop at 13: checkpoints at 5 and 10 both retained, journal holds
+    // slots 10, 11, 12.
+    stop_at(Mode::SpotDc, &dir, 13);
+    let newest = dir.join("ckpt-0000000010.bin");
+    let mut bytes = fs::read(&newest).expect("newest checkpoint exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&newest, &bytes).unwrap();
+
+    let resumed = resume(Mode::SpotDc, &dir);
+    let recovery = resumed.recovery.expect("recovery info");
+    assert_eq!(recovery.snapshot_slot, Some(5));
+    // Slots 5..10 re-simulate the gap, 10..13 replay under journal
+    // verification.
+    assert_eq!(recovery.replayed_slots, 8);
+    assert_eq!(resumed.report, golden);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Every retained checkpoint corrupt: recovery degrades all the way to
+/// a cold start plus journal-gap re-simulation, and still reproduces
+/// the golden report.
+#[test]
+fn all_checkpoints_corrupt_degrades_to_cold_replay() {
+    let golden = cold(Mode::SpotDc);
+    let dir = temp_dir("ckpt-all-bad");
+    stop_at(Mode::SpotDc, &dir, 13);
+    for name in ["ckpt-0000000005.bin", "ckpt-0000000010.bin"] {
+        let path = dir.join(name);
+        let mut bytes = fs::read(&path).expect("checkpoint exists");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+    }
+
+    let resumed = resume(Mode::SpotDc, &dir);
+    let recovery = resumed.recovery.expect("recovery info");
+    assert_eq!(recovery.snapshot_slot, None);
+    assert_eq!(recovery.replayed_slots, 13);
+    assert_eq!(resumed.report, golden);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Interrupting an interrupted run: two stops at different depths with
+/// a resume between them still land on the golden report.
+#[test]
+fn double_interruption_still_recovers() {
+    let golden = cold(Mode::MaxPerf);
+    let dir = temp_dir("double");
+    stop_at(Mode::MaxPerf, &dir, 7);
+    // Resume but stop again further in.
+    let mut config = durable_config(Mode::MaxPerf, &dir);
+    config.durability.resume = true;
+    config.durability.stop_after = Some(9);
+    let second = Simulation::new(Scenario::testbed(SEED), config)
+        .run_durable(SLOTS)
+        .expect("second leg");
+    assert_eq!(second.stopped_after, Some(16));
+
+    let resumed = resume(Mode::MaxPerf, &dir);
+    assert_eq!(resumed.report, golden);
+    let _ = fs::remove_dir_all(&dir);
+}
