@@ -4,7 +4,8 @@ CARGO ?= cargo
 JOBS ?= 4
 
 .PHONY: build test bench bench-repro bench-slots bench-check clippy \
-	determinism golden smoke-faults smoke-trace smoke-crash fmt verify repro
+	determinism golden smoke-faults smoke-trace smoke-crash smoke-dist \
+	fmt verify repro
 
 # --workspace matters: the root Cargo.toml is a package, so a bare
 # `cargo build` would skip member binaries (repro, spotdc-trace) that
@@ -48,6 +49,13 @@ smoke-trace: build
 smoke-crash: build
 	scripts/crash_harness
 
+# Distributed clearing smoke: the {shards} × {transport} grid must be
+# byte-identical to the serial run in every mode, and SIGKILLing one
+# shard agent mid-run must degrade only that shard's sub-markets with
+# zero invariant violations.
+smoke-dist: build
+	scripts/smoke_dist
+
 fmt:
 	$(CARGO) fmt --check
 
@@ -77,4 +85,4 @@ repro:
 	$(CARGO) run -p spotdc-bench --bin repro --release -- --quick \
 		--out repro-results --telemetry repro-results/telemetry.jsonl
 
-verify: build test golden determinism clippy smoke-faults smoke-trace smoke-crash fmt
+verify: build test golden determinism clippy smoke-faults smoke-trace smoke-crash smoke-dist fmt

@@ -25,6 +25,13 @@
 //! engine (no pipeline around it) on fig7b synthetic markets at 15k
 //! and 100k racks, one row per cache-resolution mode: cold full
 //! sweeps, cache-hit re-clears, and single-bid delta re-clears.
+//!
+//! A *distributed clearing* section runs the sharded pipeline on a
+//! 15k-participant hyperscale scenario (per-PDU SpotDC, so the PDU
+//! sub-markets actually fan out round-robin over the shards) at
+//! shards {1, 2, 4} on both transports. Every grid point simulates
+//! the byte-identical market — only the wall-clock differs — so the
+//! rows isolate the cost of the wire protocol and process boundary.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -32,6 +39,7 @@ use std::time::Instant;
 
 use spotdc_core::demand::{DemandBid, LinearBid};
 use spotdc_core::{ClearingConfig, MarketClearing, RackBid};
+use spotdc_dist::TransportKind;
 use spotdc_sim::engine::{DurabilityConfig, EngineConfig, Simulation};
 use spotdc_sim::experiments::fig7b;
 use spotdc_sim::{Mode, Scenario};
@@ -43,6 +51,14 @@ const WIDTHS: [usize; 3] = [1, 2, 4];
 /// Rack counts for the pure-clearing section: the paper's scale claim
 /// and ROADMAP item 1's orders-of-magnitude target.
 const CLEARING_RACKS: [usize; 2] = [15_000, 100_000];
+/// Participant count for the distributed section — one rack per
+/// participant, so this is the 15k-rack scale of the clearing section
+/// with the full pipeline (and the shard runtime) around it.
+const DIST_TENANTS: usize = 15_000;
+/// Slots per distributed measurement; each slot ships thousands of
+/// PDU sub-markets over the wire, so a handful of slots is already
+/// tens of seconds of work on the sharded points.
+const DIST_SLOTS: u64 = 4;
 
 /// One measured width.
 struct Row {
@@ -176,6 +192,73 @@ fn measure_clearing(racks: usize, iters: usize) -> ClearingRow {
     }
 }
 
+/// One measured point of the distributed section. `transport` is
+/// `"serial"` for the shards=1 baseline (no runtime is built, so the
+/// transport choice is moot there).
+struct DistRow {
+    shards: usize,
+    transport: &'static str,
+    slots_per_sec: f64,
+}
+
+/// Slots/sec of one shard/transport grid point on the shared 15k-rack
+/// scenario. One sample: at this scale a run is seconds long and the
+/// grid has five points, so medians would triple an already heavy
+/// section. Cloning the scenario shares its memoized trace cache, so
+/// setup beyond the first build is cheap and outside the timed region.
+fn measure_dist(scenario: &Scenario, shards: usize, transport: TransportKind) -> f64 {
+    let config = EngineConfig {
+        per_pdu_pricing: true,
+        shards,
+        shard_transport: transport,
+        ..EngineConfig::new(Mode::SpotDc)
+    };
+    let sim = Simulation::new(scenario.clone(), config);
+    let started = Instant::now();
+    let report = sim.run(DIST_SLOTS);
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(report.records.len() as u64, DIST_SLOTS);
+    assert_eq!(
+        report.degraded_slots, 0,
+        "a healthy benchmark run must not degrade (shards={shards}, {transport})"
+    );
+    std::hint::black_box(report.avg_spot_sold());
+    DIST_SLOTS as f64 / elapsed
+}
+
+/// The distributed grid: serial baseline, then shards {2, 4} on each
+/// available transport. The subprocess legs need the `spotdc-agent`
+/// binary next to this one (a workspace build provides it); without it
+/// they are skipped rather than failed, so `cargo run --bin
+/// bench_slots` alone still produces the in-process rows.
+fn measure_dist_grid() -> Vec<DistRow> {
+    let scenario = Scenario::hyperscale(SEED, DIST_TENANTS);
+    let mut rows = vec![DistRow {
+        shards: 1,
+        transport: "serial",
+        slots_per_sec: measure_dist(&scenario, 1, TransportKind::InProc),
+    }];
+    let have_agent = spotdc_dist::agent_binary().is_some();
+    if !have_agent {
+        eprintln!("# skipping subprocess rows: spotdc-agent not built");
+    }
+    for shards in [2, 4] {
+        rows.push(DistRow {
+            shards,
+            transport: "inproc",
+            slots_per_sec: measure_dist(&scenario, shards, TransportKind::InProc),
+        });
+        if have_agent {
+            rows.push(DistRow {
+                shards,
+                transport: "subprocess",
+                slots_per_sec: measure_dist(&scenario, shards, TransportKind::Subprocess),
+            });
+        }
+    }
+    rows
+}
+
 fn main() -> ExitCode {
     let mut out: Option<std::path::PathBuf> = None;
     let mut slots: u64 = 60;
@@ -252,6 +335,9 @@ fn main() -> ExitCode {
         .map(|&racks| measure_clearing(racks, if racks > 50_000 { 8 } else { 24 }))
         .collect();
 
+    // Distributed clearing grid, telemetry still hard-off.
+    let dist_rows = measure_dist_grid();
+
     // Measured last because the install is process-global and sticky:
     // telemetry enabled, events dropped in a null sink — the cost of
     // arming the observability layer without an artifact.
@@ -296,6 +382,24 @@ fn main() -> ExitCode {
             r.racks, r.full_per_sec, r.hit_per_sec, r.delta_per_sec
         );
     }
+    println!(
+        "\n# distributed clearing — hyperscale({DIST_TENANTS}) spotdc per-pdu, \
+         {DIST_SLOTS} slots"
+    );
+    println!(
+        "{:>6}  {:>10}  {:>9}  {:>9}",
+        "shards", "transport", "slots/sec", "vs serial"
+    );
+    let dist_serial = dist_rows[0].slots_per_sec;
+    for r in &dist_rows {
+        println!(
+            "{:>6}  {:>10}  {:>9.2}  {:>8.2}x",
+            r.shards,
+            r.transport,
+            r.slots_per_sec,
+            r.slots_per_sec / dist_serial
+        );
+    }
 
     if let Some(path) = &out {
         if let Err(e) = write_json(
@@ -304,6 +408,7 @@ fn main() -> ExitCode {
             samples,
             &rows,
             &clearing_rows,
+            &dist_rows,
             serial,
             telemetry_on,
             overhead_percent,
@@ -329,6 +434,7 @@ fn write_json(
     samples: usize,
     rows: &[Row],
     clearing_rows: &[ClearingRow],
+    dist_rows: &[DistRow],
     serial: f64,
     telemetry_on: f64,
     overhead_percent: f64,
@@ -368,6 +474,18 @@ fn write_json(
         })
         .collect();
     writeln!(file, "{}", clearing_body.join(",\n"))?;
+    writeln!(file, "  ],")?;
+    writeln!(file, "  \"distributed\": [")?;
+    let dist_body: Vec<String> = dist_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"shards\": {}, \"transport\": \"{}\", \"slots_per_sec\": {:.2} }}",
+                r.shards, r.transport, r.slots_per_sec
+            )
+        })
+        .collect();
+    writeln!(file, "{}", dist_body.join(",\n"))?;
     writeln!(file, "  ],")?;
     writeln!(file, "  \"results\": [")?;
     let body: Vec<String> = rows

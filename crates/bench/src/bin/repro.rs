@@ -22,6 +22,7 @@
 //! ```text
 //! repro --mode spotdc --slots 300 --checkpoint-dir ckpt/ --checkpoint-every 25
 //! repro --mode spotdc --slots 300 --checkpoint-dir ckpt/ --resume
+//! repro --mode spotdc --per-pdu --shards 4 --shard-transport subprocess
 //! ```
 //!
 //! `--mode` switches from the experiment suite to one simulation whose
@@ -30,6 +31,14 @@
 //! uninterrupted one. `--slot-delay-ms` slows the slot loop so an
 //! external killer (`scripts/crash_harness`) can SIGKILL at a chosen
 //! slot.
+//!
+//! `--shards N` runs the clearing stage on N shard agents —
+//! `--shard-transport inproc` (threads) or `subprocess` (`spotdc-agent`
+//! children) — with the controller merging serially, so stdout stays
+//! byte-identical to `--shards 1` for every shard count and transport
+//! (`scripts/smoke_dist` enforces this). `--per-pdu` switches SpotDC to
+//! per-PDU sub-market pricing, which is where sharding actually fans
+//! out.
 //!
 //! Experiments fan out across `--jobs` worker threads, and the
 //! multi-simulation experiments fan out further internally. Every
@@ -96,6 +105,9 @@ fn main() -> ExitCode {
     let mut quiet = false;
     let mut single_mode: Option<Mode> = None;
     let mut single_slots: u64 = 300;
+    let mut single_per_pdu = false;
+    let mut shards: usize = 1;
+    let mut shard_transport = spotdc_dist::TransportKind::InProc;
     let mut durability = DurabilityConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -160,6 +172,21 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => single_slots = n,
                 _ => return usage("--slots needs a positive integer"),
             },
+            "--per-pdu" => single_per_pdu = true,
+            "--shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => return usage("--shards needs a positive integer"),
+            },
+            "--shard-transport" => {
+                match args
+                    .next()
+                    .as_deref()
+                    .and_then(spotdc_dist::TransportKind::parse)
+                {
+                    Some(kind) => shard_transport = kind,
+                    None => return usage("--shard-transport needs inproc or subprocess"),
+                }
+            }
             "--checkpoint-dir" => match args.next() {
                 Some(dir) => durability.dir = Some(dir.into()),
                 None => return usage("--checkpoint-dir needs a directory"),
@@ -183,6 +210,11 @@ fn main() -> ExitCode {
     if single_mode.is_none() && (durability.dir.is_some() || durability.resume) {
         return usage("--checkpoint-dir/--resume require --mode (single-run durability)");
     }
+    if single_mode.is_none()
+        && (single_per_pdu || shards > 1 || shard_transport != spotdc_dist::TransportKind::InProc)
+    {
+        return usage("--per-pdu/--shards/--shard-transport require --mode (single runs)");
+    }
     if single_mode.is_some()
         && (!selected.is_empty()
             || out_dir.is_some()
@@ -191,7 +223,8 @@ fn main() -> ExitCode {
             || bench_path.is_some())
     {
         return usage(
-            "--mode single runs take only --slots/--seed/--telemetry and the checkpoint flags",
+            "--mode single runs take only --slots/--seed/--telemetry, the checkpoint \
+             flags, and the shard flags",
         );
     }
     // Experiment-level workers come from the pool below; this seeds the
@@ -236,7 +269,18 @@ fn main() -> ExitCode {
         // Single-run mode shares the telemetry plumbing above but none
         // of the experiment machinery below; finish the sink before
         // returning so the JSONL artifact is complete.
-        let code = run_single(mode, single_slots, cfg.seed, durability, &reporter);
+        let code = run_single(
+            SingleRun {
+                mode,
+                slots: single_slots,
+                seed: cfg.seed,
+                per_pdu: single_per_pdu,
+                shards,
+                shard_transport,
+                durability,
+            },
+            &reporter,
+        );
         if telemetry_path.is_some() {
             spotdc_telemetry::flush();
             if let Some(summary) = telemetry_summary() {
@@ -391,21 +435,39 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Everything one `--mode` run needs, bundled off the flag parser.
+struct SingleRun {
+    mode: Mode,
+    slots: u64,
+    seed: u64,
+    per_pdu: bool,
+    shards: usize,
+    shard_transport: spotdc_dist::TransportKind,
+    durability: DurabilityConfig,
+}
+
 /// One durable (or plain, without `--checkpoint-dir`) simulation whose
 /// report renders to stdout deterministically. Everything the
 /// durability layer did — recovery, checkpoints — goes to stderr, so
 /// `scripts/crash_harness` can byte-compare stdout against an
-/// uninterrupted golden run.
-fn run_single(
-    mode: Mode,
-    slots: u64,
-    seed: u64,
-    durability: DurabilityConfig,
-    reporter: &Reporter,
-) -> ExitCode {
+/// uninterrupted golden run, and `scripts/smoke_dist` can byte-compare
+/// shard/transport grid runs against `--shards 1`.
+fn run_single(run: SingleRun, reporter: &Reporter) -> ExitCode {
+    let SingleRun {
+        mode,
+        slots,
+        seed,
+        per_pdu,
+        shards,
+        shard_transport,
+        durability,
+    } = run;
     let scenario = Scenario::testbed(seed);
     let config = EngineConfig {
         durability: durability.clone(),
+        per_pdu_pricing: per_pdu,
+        shards,
+        shard_transport,
         ..EngineConfig::new(mode)
     };
     let report = if durability.dir.is_some() {
@@ -497,6 +559,7 @@ fn usage(error: &str) -> ExitCode {
          \x20            [--serve-metrics <host:port>] [--bench-json <file>] [--validate]\n\
          \x20            [--quiet]\n\
          \x20      repro --mode <powercapped|spotdc|maxperf> [--slots <n>] [--seed <n>]\n\
+         \x20            [--per-pdu] [--shards <n>] [--shard-transport <inproc|subprocess>]\n\
          \x20            [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--resume]\n\
          \x20            [--slot-delay-ms <n>]\n\
          experiments: {}",

@@ -129,6 +129,38 @@ impl SpotAllocation {
     }
 }
 
+impl spotdc_durable::Persist for SpotAllocation {
+    fn persist(&self, enc: &mut spotdc_durable::Encoder) {
+        enc.put_u64(self.slot.index());
+        enc.put_f64(self.price.per_kw_hour_value());
+        enc.put_usize(self.grants.len());
+        for (rack, grant) in &self.grants {
+            enc.put_u64(rack.index() as u64);
+            enc.put_f64(grant.value());
+        }
+    }
+
+    fn restore(dec: &mut spotdc_durable::Decoder<'_>) -> Result<Self, spotdc_durable::DecodeError> {
+        let slot = Slot::new(dec.get_u64()?);
+        let price = Price::per_kw_hour(dec.get_f64()?);
+        let n = dec.get_usize()?;
+        let mut grants = BTreeMap::new();
+        for _ in 0..n {
+            let rack = RackId::new(dec.get_usize()?);
+            let grant = Watts::new(dec.get_f64()?);
+            grants.insert(rack, grant);
+        }
+        // The struct is rebuilt directly (not via `new`) so the decoded
+        // value is bit-identical to the encoded one even for the zero
+        // and negative-zero grants `new` would clamp.
+        Ok(SpotAllocation {
+            slot,
+            price,
+            grants,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

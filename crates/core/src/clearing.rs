@@ -139,6 +139,22 @@ impl MarketOutcome {
     }
 }
 
+impl spotdc_durable::Persist for MarketOutcome {
+    fn persist(&self, enc: &mut spotdc_durable::Encoder) {
+        self.allocation.persist(enc);
+        enc.put_f64(self.revenue_rate);
+        enc.put_usize(self.candidates);
+    }
+
+    fn restore(dec: &mut spotdc_durable::Decoder<'_>) -> Result<Self, spotdc_durable::DecodeError> {
+        Ok(MarketOutcome {
+            allocation: SpotAllocation::restore(dec)?,
+            revenue_rate: dec.get_f64()?,
+            candidates: dec.get_usize()?,
+        })
+    }
+}
+
 /// The market-clearing engine.
 ///
 /// # Examples

@@ -346,6 +346,107 @@ impl ConstraintSet {
     }
 }
 
+impl spotdc_durable::Persist for ConstraintSet {
+    fn persist(&self, enc: &mut spotdc_durable::Encoder) {
+        enc.put_usize(self.rack_headroom.len());
+        for w in &self.rack_headroom {
+            enc.put_f64(w.value());
+        }
+        enc.put_usize(self.rack_pdu.len());
+        for p in &self.rack_pdu {
+            enc.put_usize(p.index());
+        }
+        enc.put_usize(self.pdu_spot.len());
+        for w in &self.pdu_spot {
+            enc.put_f64(w.value());
+        }
+        enc.put_f64(self.ups_spot.value());
+        enc.put_usize(self.zones.len());
+        for zone in &self.zones {
+            enc.put_str(&zone.name);
+            enc.put_usize(zone.racks.len());
+            for r in &zone.racks {
+                enc.put_usize(r.index());
+            }
+            enc.put_f64(zone.limit.value());
+        }
+        match &self.phases {
+            None => enc.put_u8(0),
+            Some(plan) => {
+                enc.put_u8(1);
+                enc.put_usize(plan.phase_of.len());
+                for &p in &plan.phase_of {
+                    enc.put_u8(p);
+                }
+                enc.put_f64(plan.imbalance_limit.value());
+            }
+        }
+    }
+
+    fn restore(dec: &mut spotdc_durable::Decoder<'_>) -> Result<Self, spotdc_durable::DecodeError> {
+        use spotdc_durable::DecodeError;
+        fn bounded(dec: &mut spotdc_durable::Decoder<'_>) -> Result<usize, DecodeError> {
+            let n = dec.get_usize()?;
+            if n > dec.remaining() {
+                return Err(DecodeError::BadLength(n as u64));
+            }
+            Ok(n)
+        }
+        let n = bounded(dec)?;
+        let mut rack_headroom = Vec::with_capacity(n);
+        for _ in 0..n {
+            rack_headroom.push(Watts::new(dec.get_f64()?));
+        }
+        let n = bounded(dec)?;
+        let mut rack_pdu = Vec::with_capacity(n);
+        for _ in 0..n {
+            rack_pdu.push(PduId::new(dec.get_usize()?));
+        }
+        let n = bounded(dec)?;
+        let mut pdu_spot = Vec::with_capacity(n);
+        for _ in 0..n {
+            pdu_spot.push(Watts::new(dec.get_f64()?));
+        }
+        let ups_spot = Watts::new(dec.get_f64()?);
+        let n = bounded(dec)?;
+        let mut zones = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = dec.get_str()?.to_owned();
+            let racks_len = bounded(dec)?;
+            let mut racks = Vec::with_capacity(racks_len);
+            for _ in 0..racks_len {
+                racks.push(RackId::new(dec.get_usize()?));
+            }
+            let limit = Watts::new(dec.get_f64()?);
+            zones.push(HeatZone { name, racks, limit });
+        }
+        let phases = match dec.get_u8()? {
+            0 => None,
+            1 => {
+                let phase_len = bounded(dec)?;
+                let mut phase_of = Vec::with_capacity(phase_len);
+                for _ in 0..phase_len {
+                    phase_of.push(dec.get_u8()?);
+                }
+                let imbalance_limit = Watts::new(dec.get_f64()?);
+                Some(PhasePlan {
+                    phase_of,
+                    imbalance_limit,
+                })
+            }
+            b => return Err(DecodeError::BadOptionTag(b)),
+        };
+        Ok(ConstraintSet {
+            rack_headroom,
+            rack_pdu,
+            pdu_spot,
+            ups_spot,
+            zones,
+            phases,
+        })
+    }
+}
+
 /// A violated capacity constraint.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]

@@ -48,6 +48,13 @@ pub mod maxperf;
 pub mod operator;
 pub mod prediction;
 pub mod protocol;
+pub mod wire;
+
+/// The shared length-prefix + CRC-32 record framing, re-exported from
+/// `spotdc-durable` so the WAL, checkpoints and the distributed wire
+/// protocol all use the one implementation (and its torn/corrupt-tail
+/// tests) instead of growing a second codec.
+pub use spotdc_durable::frame;
 
 pub use allocation::SpotAllocation;
 pub use bid::{BidError, RackBid, TenantBid};
@@ -64,3 +71,4 @@ pub use prediction::{
     StalenessPolicy,
 };
 pub use protocol::{CommsModel, ProtocolEvent};
+pub use wire::{ClearResult, ClearTask, WireError, WireMsg};

@@ -1,0 +1,630 @@
+//! Typed wire messages for the distributed controller ↔ agent split.
+//!
+//! The market distributes along its natural seam: per-PDU sub-markets
+//! ([`MarketClearing::per_pdu_submarkets`]) become [`ClearTask`]s owned
+//! by shard agents, while the controller keeps everything stateful —
+//! bid collection, UPS-level constraint construction, the serial
+//! in-order merge, settlement and reporting. A shard agent is therefore
+//! a *pure function* from tasks to [`ClearResult`]s, which is what
+//! makes reports byte-identical across shard counts and transports.
+//!
+//! Messages travel as [`spotdc_durable::Persist`] payloads inside the
+//! shared length-prefix + CRC-32 [`frame`](crate::frame) codec — the
+//! same framing the WAL and checkpoints use, not a second
+//! implementation. Every field round-trips exactly (floats as IEEE-754
+//! bit patterns); a torn or corrupt frame surfaces as a clean error at
+//! the framing layer and an undecodable payload as a [`WireError`]
+//! here, never a panic.
+//!
+//! The per-slot sequence (see DESIGN.md §15):
+//!
+//! ```text
+//! controller → agent: AssignShard   (once, at connection setup)
+//! controller → agent: SlotOpen      (every slot)
+//! controller → agent: BidsBatch     (the shard's tasks, every slot)
+//! agent → controller: ShardCleared  (results, in task order)
+//! controller → agent: Settle        (merge done, every slot)
+//! controller → agent: Shutdown      (once, at teardown)
+//! ```
+//!
+//! Failure semantics mirror the paper's comms-loss rule ("lost messages
+//! ⇒ no spot capacity"): a dead agent or damaged frame degrades that
+//! shard's tasks to empty results at the controller — it never invents
+//! capacity and never crashes the market.
+
+use std::collections::BTreeMap;
+
+use spotdc_durable::{DecodeError, Decoder, Encoder, Persist};
+use spotdc_units::{Price, RackId, Slot, Watts};
+
+use crate::bid::RackBid;
+use crate::clearing::{ClearingAlgorithm, ClearingConfig, MarketOutcome};
+use crate::constraints::ConstraintSet;
+use crate::demand::{DemandBid, FullBid, LinearBid, StepBid};
+use crate::maxperf::ConcaveGain;
+
+#[cfg(doc)]
+use crate::clearing::MarketClearing;
+
+/// Why a wire payload failed to decode into a [`WireMsg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload's leading message tag names no known message.
+    UnknownMessage(u8),
+    /// A field inside the payload failed to decode.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnknownMessage(tag) => write!(f, "unknown wire message tag {tag:#04x}"),
+            WireError::Decode(e) => write!(f, "wire payload does not decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::UnknownMessage(_) => None,
+            WireError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Decode(e)
+    }
+}
+
+/// One unit of clearing work shipped to a shard agent. Tasks are pure:
+/// everything the clear needs travels inside the task, and the result
+/// depends on nothing but the task (plus the slot).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClearTask {
+    /// Clear a (sub-)market of rack bids under its constraint set —
+    /// one per PDU sub-market in per-PDU pricing, or the whole market
+    /// as a single task under uniform pricing.
+    Market {
+        /// The bids in this sub-market, in controller order.
+        bids: Vec<RackBid>,
+        /// The sub-market's constraint set (UPS share already applied).
+        constraints: ConstraintSet,
+    },
+    /// Run the MaxPerf water-filling allocator over gain envelopes.
+    MaxPerf {
+        /// Concave gain envelope per requesting rack.
+        gains: BTreeMap<RackId, ConcaveGain>,
+        /// The slot's constraint set.
+        constraints: ConstraintSet,
+    },
+}
+
+/// A shard agent's answer to one [`ClearTask`], in task order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClearResult {
+    /// The cleared (sub-)market outcome.
+    Market(MarketOutcome),
+    /// The MaxPerf grant set.
+    MaxPerf(BTreeMap<RackId, Watts>),
+}
+
+/// A message of the controller ↔ agent protocol. See the module docs
+/// for the per-slot sequence and [`WireMsg::encode`]/[`WireMsg::decode`]
+/// for the framing contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Controller → agent, once at setup: which shard this agent is, of
+    /// how many, and the clearing configuration to build its market
+    /// engine with.
+    AssignShard {
+        /// This agent's shard index (`0..shard_count`).
+        shard: u64,
+        /// Total number of shards in the topology.
+        shard_count: u64,
+        /// Clearing configuration for the shard's `MarketClearing`.
+        clearing: ClearingConfig,
+    },
+    /// Controller → agent, every slot: the slot is open for clearing.
+    SlotOpen {
+        /// The slot about to clear.
+        slot: Slot,
+    },
+    /// Controller → agent, every slot: the shard's tasks for this slot
+    /// (possibly empty — the agent must still answer).
+    BidsBatch {
+        /// The slot the tasks belong to.
+        slot: Slot,
+        /// The shard's tasks, in controller order.
+        tasks: Vec<ClearTask>,
+    },
+    /// Agent → controller, every slot: results for the slot's tasks,
+    /// in task order.
+    ShardCleared {
+        /// The slot the results belong to.
+        slot: Slot,
+        /// One result per task, in the order the tasks arrived.
+        results: Vec<ClearResult>,
+    },
+    /// Controller → agent, every slot: the controller finished merging;
+    /// the slot is settled. No reply.
+    Settle {
+        /// The settled slot.
+        slot: Slot,
+    },
+    /// Controller → agent, once at teardown: exit cleanly. No reply.
+    Shutdown,
+}
+
+impl WireMsg {
+    /// A short human-readable name for telemetry and diagnostics.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            WireMsg::AssignShard { .. } => "AssignShard",
+            WireMsg::SlotOpen { .. } => "SlotOpen",
+            WireMsg::BidsBatch { .. } => "BidsBatch",
+            WireMsg::ShardCleared { .. } => "ShardCleared",
+            WireMsg::Settle { .. } => "Settle",
+            WireMsg::Shutdown => "Shutdown",
+        }
+    }
+
+    /// Encodes this message into a frame-ready payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.persist(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Decodes one message from a complete frame payload, requiring
+    /// every byte to be consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for an unknown message tag, a field that
+    /// fails to decode, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut dec = Decoder::new(payload);
+        let msg = WireMsg::restore(&mut dec)?;
+        dec.finish()?;
+        Ok(msg)
+    }
+}
+
+impl Persist for WireMsg {
+    fn persist(&self, enc: &mut Encoder) {
+        match self {
+            WireMsg::AssignShard {
+                shard,
+                shard_count,
+                clearing,
+            } => {
+                enc.put_u8(0);
+                enc.put_u64(*shard);
+                enc.put_u64(*shard_count);
+                clearing.persist(enc);
+            }
+            WireMsg::SlotOpen { slot } => {
+                enc.put_u8(1);
+                enc.put_u64(slot.index());
+            }
+            WireMsg::BidsBatch { slot, tasks } => {
+                enc.put_u8(2);
+                enc.put_u64(slot.index());
+                tasks.persist(enc);
+            }
+            WireMsg::ShardCleared { slot, results } => {
+                enc.put_u8(3);
+                enc.put_u64(slot.index());
+                results.persist(enc);
+            }
+            WireMsg::Settle { slot } => {
+                enc.put_u8(4);
+                enc.put_u64(slot.index());
+            }
+            WireMsg::Shutdown => enc.put_u8(5),
+        }
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(WireMsg::AssignShard {
+                shard: dec.get_u64()?,
+                shard_count: dec.get_u64()?,
+                clearing: ClearingConfig::restore(dec)?,
+            }),
+            1 => Ok(WireMsg::SlotOpen {
+                slot: Slot::new(dec.get_u64()?),
+            }),
+            2 => Ok(WireMsg::BidsBatch {
+                slot: Slot::new(dec.get_u64()?),
+                tasks: Vec::restore(dec)?,
+            }),
+            3 => Ok(WireMsg::ShardCleared {
+                slot: Slot::new(dec.get_u64()?),
+                results: Vec::restore(dec)?,
+            }),
+            4 => Ok(WireMsg::Settle {
+                slot: Slot::new(dec.get_u64()?),
+            }),
+            5 => Ok(WireMsg::Shutdown),
+            tag => Err(DecodeError::Invalid(format!(
+                "unknown wire message tag {tag:#04x}"
+            ))),
+        }
+    }
+}
+
+impl Persist for ClearTask {
+    fn persist(&self, enc: &mut Encoder) {
+        match self {
+            ClearTask::Market { bids, constraints } => {
+                enc.put_u8(0);
+                bids.persist(enc);
+                constraints.persist(enc);
+            }
+            ClearTask::MaxPerf { gains, constraints } => {
+                enc.put_u8(1);
+                enc.put_usize(gains.len());
+                for (rack, gain) in gains {
+                    enc.put_usize(rack.index());
+                    gain.persist(enc);
+                }
+                constraints.persist(enc);
+            }
+        }
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(ClearTask::Market {
+                bids: Vec::restore(dec)?,
+                constraints: ConstraintSet::restore(dec)?,
+            }),
+            1 => {
+                let n = dec.get_usize()?;
+                if n > dec.remaining() {
+                    return Err(DecodeError::BadLength(n as u64));
+                }
+                let mut gains = BTreeMap::new();
+                for _ in 0..n {
+                    let rack = RackId::new(dec.get_usize()?);
+                    gains.insert(rack, ConcaveGain::restore(dec)?);
+                }
+                Ok(ClearTask::MaxPerf {
+                    gains,
+                    constraints: ConstraintSet::restore(dec)?,
+                })
+            }
+            tag => Err(DecodeError::Invalid(format!(
+                "unknown clear-task tag {tag:#04x}"
+            ))),
+        }
+    }
+}
+
+impl Persist for ClearResult {
+    fn persist(&self, enc: &mut Encoder) {
+        match self {
+            ClearResult::Market(outcome) => {
+                enc.put_u8(0);
+                outcome.persist(enc);
+            }
+            ClearResult::MaxPerf(grants) => {
+                enc.put_u8(1);
+                enc.put_usize(grants.len());
+                for (rack, grant) in grants {
+                    enc.put_usize(rack.index());
+                    enc.put_f64(grant.value());
+                }
+            }
+        }
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(ClearResult::Market(MarketOutcome::restore(dec)?)),
+            1 => {
+                let n = dec.get_usize()?;
+                if n > dec.remaining() {
+                    return Err(DecodeError::BadLength(n as u64));
+                }
+                let mut grants = BTreeMap::new();
+                for _ in 0..n {
+                    let rack = RackId::new(dec.get_usize()?);
+                    grants.insert(rack, Watts::new(dec.get_f64()?));
+                }
+                Ok(ClearResult::MaxPerf(grants))
+            }
+            tag => Err(DecodeError::Invalid(format!(
+                "unknown clear-result tag {tag:#04x}"
+            ))),
+        }
+    }
+}
+
+impl Persist for ClearingConfig {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_u8(match self.algorithm {
+            ClearingAlgorithm::GridScan => 0,
+            ClearingAlgorithm::KinkSearch => 1,
+        });
+        enc.put_f64(self.price_step.per_kw_hour_value());
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let algorithm = match dec.get_u8()? {
+            0 => ClearingAlgorithm::GridScan,
+            1 => ClearingAlgorithm::KinkSearch,
+            tag => {
+                return Err(DecodeError::Invalid(format!(
+                    "unknown clearing algorithm tag {tag:#04x}"
+                )))
+            }
+        };
+        Ok(ClearingConfig {
+            algorithm,
+            price_step: Price::per_kw_hour(dec.get_f64()?),
+        })
+    }
+}
+
+impl Persist for RackBid {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_usize(self.rack().index());
+        self.demand().persist(enc);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let rack = RackId::new(dec.get_usize()?);
+        Ok(RackBid::new(rack, DemandBid::restore(dec)?))
+    }
+}
+
+// The demand layout matches the sim durability layer's WAL encoding
+// (tag 0 = Linear, 1 = Step, 2 = Full), so a demand function has one
+// binary shape whether it travels to disk or over the wire. Decoding
+// goes through the validating constructors: hostile bytes become a
+// clean `Invalid` error, and the constructors store their arguments
+// verbatim, so valid values round-trip bit for bit.
+impl Persist for DemandBid {
+    fn persist(&self, enc: &mut Encoder) {
+        match self {
+            DemandBid::Linear(b) => {
+                enc.put_u8(0);
+                enc.put_f64(b.d_max().value());
+                enc.put_f64(b.q_min().per_kw_hour_value());
+                enc.put_f64(b.d_min().value());
+                enc.put_f64(b.q_max().per_kw_hour_value());
+            }
+            DemandBid::Step(b) => {
+                enc.put_u8(1);
+                enc.put_f64(b.demand().value());
+                enc.put_f64(b.price_cap().per_kw_hour_value());
+            }
+            DemandBid::Full(b) => {
+                enc.put_u8(2);
+                enc.put_usize(b.points().len());
+                for (price, watts) in b.points() {
+                    enc.put_f64(price.per_kw_hour_value());
+                    enc.put_f64(watts.value());
+                }
+            }
+        }
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => {
+                let d_max = Watts::new(dec.get_f64()?);
+                let q_min = Price::per_kw_hour(dec.get_f64()?);
+                let d_min = Watts::new(dec.get_f64()?);
+                let q_max = Price::per_kw_hour(dec.get_f64()?);
+                LinearBid::new(d_max, q_min, d_min, q_max)
+                    .map(DemandBid::from)
+                    .map_err(|e| DecodeError::Invalid(e.to_string()))
+            }
+            1 => {
+                let demand = Watts::new(dec.get_f64()?);
+                let cap = Price::per_kw_hour(dec.get_f64()?);
+                StepBid::new(demand, cap)
+                    .map(DemandBid::from)
+                    .map_err(|e| DecodeError::Invalid(e.to_string()))
+            }
+            2 => {
+                let n = dec.get_usize()?;
+                if n > dec.remaining() {
+                    return Err(DecodeError::BadLength(n as u64));
+                }
+                let mut points = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let price = Price::per_kw_hour(dec.get_f64()?);
+                    let watts = Watts::new(dec.get_f64()?);
+                    points.push((price, watts));
+                }
+                FullBid::new(points)
+                    .map(DemandBid::from)
+                    .map_err(|e| DecodeError::Invalid(e.to_string()))
+            }
+            tag => Err(DecodeError::Invalid(format!(
+                "unknown demand tag {tag:#04x}"
+            ))),
+        }
+    }
+}
+
+impl Persist for ConcaveGain {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_usize(self.segments().len());
+        for &(watts, slope) in self.segments() {
+            enc.put_f64(watts);
+            enc.put_f64(slope);
+        }
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let n = dec.get_usize()?;
+        if n > dec.remaining() {
+            return Err(DecodeError::BadLength(n as u64));
+        }
+        let mut segments = Vec::with_capacity(n);
+        for _ in 0..n {
+            segments.push((dec.get_f64()?, dec.get_f64()?));
+        }
+        ConcaveGain::new(segments).map_err(|e| DecodeError::Invalid(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame;
+    use spotdc_power::topology::TopologyBuilder;
+    use spotdc_units::TenantId;
+
+    fn sample_constraints() -> ConstraintSet {
+        let topo = TopologyBuilder::new(Watts::new(400.0))
+            .pdu(Watts::new(200.0))
+            .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+            .rack(TenantId::new(1), Watts::new(80.0), Watts::new(40.0))
+            .pdu(Watts::new(200.0))
+            .rack(TenantId::new(2), Watts::new(90.0), Watts::new(45.0))
+            .build()
+            .unwrap();
+        ConstraintSet::new(
+            &topo,
+            vec![Watts::new(60.0), Watts::new(30.0)],
+            Watts::new(70.0),
+        )
+        .with_zone(
+            "aisle-1",
+            vec![RackId::new(0), RackId::new(2)],
+            Watts::new(40.0),
+        )
+        .with_phases(vec![0, 1, 2], Watts::new(25.0))
+    }
+
+    fn sample_bids() -> Vec<RackBid> {
+        vec![
+            RackBid::new(
+                RackId::new(0),
+                LinearBid::new(
+                    Watts::new(40.0),
+                    Price::per_kw_hour(0.05),
+                    Watts::new(10.0),
+                    Price::per_kw_hour(0.30),
+                )
+                .unwrap()
+                .into(),
+            ),
+            RackBid::new(
+                RackId::new(1),
+                StepBid::new(Watts::new(25.0), Price::per_kw_hour(0.2))
+                    .unwrap()
+                    .into(),
+            ),
+            RackBid::new(
+                RackId::new(2),
+                FullBid::new(vec![
+                    (Price::per_kw_hour(0.1), Watts::new(30.0)),
+                    (Price::per_kw_hour(0.4), Watts::new(5.0)),
+                ])
+                .unwrap()
+                .into(),
+            ),
+        ]
+    }
+
+    fn sample_messages() -> Vec<WireMsg> {
+        let constraints = sample_constraints();
+        let gains: BTreeMap<RackId, ConcaveGain> = [(
+            RackId::new(1),
+            ConcaveGain::new(vec![(20.0, 2.0), (15.0, 0.5)]).unwrap(),
+        )]
+        .into_iter()
+        .collect();
+        let outcome = crate::clearing::MarketClearing::new(ClearingConfig::default()).clear(
+            Slot::new(3),
+            &sample_bids(),
+            &constraints,
+        );
+        vec![
+            WireMsg::AssignShard {
+                shard: 1,
+                shard_count: 4,
+                clearing: ClearingConfig::kink_search(),
+            },
+            WireMsg::SlotOpen { slot: Slot::new(7) },
+            WireMsg::BidsBatch {
+                slot: Slot::new(7),
+                tasks: vec![
+                    ClearTask::Market {
+                        bids: sample_bids(),
+                        constraints: constraints.clone(),
+                    },
+                    ClearTask::MaxPerf { gains, constraints },
+                ],
+            },
+            WireMsg::ShardCleared {
+                slot: Slot::new(7),
+                results: vec![
+                    ClearResult::Market(outcome),
+                    ClearResult::MaxPerf(
+                        [(RackId::new(1), Watts::new(12.5))].into_iter().collect(),
+                    ),
+                ],
+            },
+            WireMsg::Settle { slot: Slot::new(7) },
+            WireMsg::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips_through_the_frame_codec() {
+        for msg in sample_messages() {
+            let mut buf = Vec::new();
+            frame::write_frame(&mut buf, &msg.encode()).unwrap();
+            let payload = frame::read_frame(&mut &buf[..]).unwrap().unwrap();
+            assert_eq!(WireMsg::decode(&payload).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_clean_errors() {
+        assert!(matches!(
+            WireMsg::decode(&[0xfe]),
+            Err(WireError::Decode(DecodeError::Invalid(_)))
+        ));
+        let mut bytes = WireMsg::Shutdown.encode();
+        bytes.push(0);
+        assert!(matches!(
+            WireMsg::decode(&bytes),
+            Err(WireError::Decode(DecodeError::TrailingBytes(1)))
+        ));
+        assert!(matches!(
+            WireMsg::decode(&[]),
+            Err(WireError::Decode(DecodeError::UnexpectedEnd { .. }))
+        ));
+    }
+
+    #[test]
+    fn truncated_payloads_never_panic() {
+        for msg in sample_messages() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                assert!(WireMsg::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_errors_render_their_cause() {
+        let e = WireError::from(DecodeError::BadBool(7));
+        assert!(e.to_string().contains("does not decode"));
+        assert!(WireError::UnknownMessage(0xab).to_string().contains("0xab"));
+    }
+}

@@ -1,0 +1,48 @@
+//! The shard agent executable: one half of SpotDC's distributed mode.
+//!
+//! Speaks the framed wire protocol on stdin/stdout — length-prefixed,
+//! CRC-32-checked payloads carrying [`spotdc_core::WireMsg`] — and
+//! clears whatever tasks the controller sends. All market state lives
+//! at the controller; this process is a pure clearing worker.
+//!
+//! Exit status: 0 after a clean `Shutdown`, 1 on a damaged stream,
+//! an undecodable payload, or end of input without `Shutdown`.
+
+use std::io::{self, Read, Write};
+use std::process::ExitCode;
+
+use spotdc_core::{frame, WireMsg};
+use spotdc_dist::AgentLoop;
+
+fn main() -> ExitCode {
+    let mut stdin = io::stdin().lock();
+    let mut stdout = io::stdout().lock();
+    match serve(&mut stdin, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("spotdc-agent: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve(input: &mut impl Read, output: &mut impl Write) -> io::Result<()> {
+    let mut agent = AgentLoop::new();
+    loop {
+        let Some(payload) = frame::read_frame(input)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "controller closed the stream without Shutdown",
+            ));
+        };
+        let msg = WireMsg::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if matches!(msg, WireMsg::Shutdown) {
+            return Ok(());
+        }
+        if let Some(reply) = agent.handle(msg) {
+            frame::write_frame(output, &reply.encode())?;
+            output.flush()?;
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The controller's side of the split: dispatching clear tasks across
+//! shard agents and merging replies deterministically.
+
+use std::io;
+use std::time::Instant;
+
+use spotdc_core::{ClearResult, ClearTask, ClearingConfig, WireMsg};
+use spotdc_telemetry::Event;
+use spotdc_units::{MonotonicNanos, Slot};
+
+use crate::transport::{agent_binary, InProcTransport, ShardTransport, SubprocessTransport};
+use crate::TransportKind;
+
+/// The controller's handle on a fleet of shard agents.
+///
+/// Tasks are assigned round-robin (`task i → shard i % shard_count`),
+/// the whole slot is sent to every shard up front so agents overlap,
+/// and replies are consumed strictly in shard order — a serial in-order
+/// merge, which is what keeps reports byte-identical regardless of how
+/// many shards run or how fast each one answers.
+///
+/// A shard whose transport fails — send error, torn or corrupt frame,
+/// short or mismatched reply, dead process — is marked dead for the
+/// rest of the run; its tasks come back as `None` and the caller
+/// degrades those sub-markets to "no spot capacity" (the paper's
+/// comms-loss rule). Everything else keeps clearing.
+#[derive(Debug)]
+pub struct ShardRuntime {
+    shards: Vec<ShardConn>,
+    kind: TransportKind,
+}
+
+#[derive(Debug)]
+struct ShardConn {
+    transport: Box<dyn ShardTransport>,
+    alive: bool,
+}
+
+impl ShardRuntime {
+    /// Starts `count` shard agents over `kind` transports and assigns
+    /// each its shard index and the clearing configuration.
+    ///
+    /// # Errors
+    ///
+    /// Subprocess transport only: the `spotdc-agent` binary was not
+    /// found (see [`agent_binary`]) or failed to spawn. In-process
+    /// startup is infallible.
+    ///
+    /// # Panics
+    ///
+    /// If `count` is zero.
+    pub fn new(count: usize, kind: TransportKind, clearing: ClearingConfig) -> io::Result<Self> {
+        assert!(count > 0, "a shard runtime needs at least one shard");
+        let _span = spotdc_telemetry::span!("dist.start", shards = count);
+        let mut shards = Vec::with_capacity(count);
+        for _ in 0..count {
+            let transport: Box<dyn ShardTransport> = match kind {
+                TransportKind::InProc => Box::new(InProcTransport::spawn()),
+                TransportKind::Subprocess => {
+                    let binary = agent_binary().ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::NotFound,
+                            "spotdc-agent binary not found: set SPOTDC_AGENT_BIN or \
+                             build it next to the current executable",
+                        )
+                    })?;
+                    Box::new(SubprocessTransport::spawn(&binary)?)
+                }
+            };
+            shards.push(ShardConn {
+                transport,
+                alive: true,
+            });
+        }
+        let mut runtime = ShardRuntime { shards, kind };
+        for id in 0..count {
+            runtime.send(
+                Slot::ZERO,
+                id,
+                &WireMsg::AssignShard {
+                    shard: id as u64,
+                    shard_count: count as u64,
+                    clearing,
+                },
+            );
+        }
+        Ok(runtime)
+    }
+
+    /// The number of shards in the topology (dead ones included — the
+    /// task assignment never re-balances, so degradation stays local to
+    /// the failed shard).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The transport the runtime was started with.
+    #[must_use]
+    pub fn kind(&self) -> TransportKind {
+        self.kind
+    }
+
+    /// How many shards are still serving.
+    #[must_use]
+    pub fn live_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.alive).count()
+    }
+
+    /// Dispatches one slot's tasks across the shards and returns one
+    /// entry per task, in task order: `Some(result)` from a healthy
+    /// shard, `None` for every task owned by a dead one.
+    pub fn clear_tasks(&mut self, slot: Slot, tasks: Vec<ClearTask>) -> Vec<Option<ClearResult>> {
+        let _span = spotdc_telemetry::span!("dist.clear", slot = slot);
+        let count = self.shards.len();
+        let total = tasks.len();
+        let mut per_shard: Vec<Vec<ClearTask>> = (0..count).map(|_| Vec::new()).collect();
+        for (i, task) in tasks.into_iter().enumerate() {
+            per_shard[i % count].push(task);
+        }
+        let expected: Vec<usize> = per_shard.iter().map(Vec::len).collect();
+        let started = Instant::now();
+        // Send phase: every live shard gets its whole slot up front so
+        // the shards compute concurrently.
+        for (idx, batch) in per_shard.into_iter().enumerate() {
+            if self.send(slot, idx, &WireMsg::SlotOpen { slot }) {
+                self.send(slot, idx, &WireMsg::BidsBatch { slot, tasks: batch });
+            }
+        }
+        // Receive phase: strictly in shard order, so the merge below is
+        // serial and deterministic no matter who finished first.
+        let mut replies: Vec<Option<std::vec::IntoIter<ClearResult>>> = Vec::with_capacity(count);
+        for (idx, &expected) in expected.iter().enumerate() {
+            replies.push(self.recv_cleared(slot, idx, expected, started));
+        }
+        // The merge is the caller's; from the agents' view the slot is
+        // done.
+        for idx in 0..count {
+            self.send(slot, idx, &WireMsg::Settle { slot });
+        }
+        // Stitch per-shard replies back into task order.
+        let mut out = Vec::with_capacity(total);
+        for i in 0..total {
+            out.push(replies[i % count].as_mut().and_then(Iterator::next));
+        }
+        out
+    }
+
+    /// Sends to shard `idx`, marking it dead on failure. Returns
+    /// whether the send succeeded.
+    fn send(&mut self, slot: Slot, idx: usize, msg: &WireMsg) -> bool {
+        let conn = &mut self.shards[idx];
+        if !conn.alive {
+            return false;
+        }
+        match conn.transport.send(msg) {
+            Ok(bytes) => {
+                emit_rpc(slot, idx, "send", msg.name(), bytes);
+                true
+            }
+            Err(_) => {
+                conn.alive = false;
+                false
+            }
+        }
+    }
+
+    /// Receives shard `idx`'s reply for `slot`. Anything but a
+    /// well-formed `ShardCleared` for the right slot with one result
+    /// per task kills the shard.
+    fn recv_cleared(
+        &mut self,
+        slot: Slot,
+        idx: usize,
+        expected: usize,
+        started: Instant,
+    ) -> Option<std::vec::IntoIter<ClearResult>> {
+        if !self.shards[idx].alive {
+            return None;
+        }
+        match self.shards[idx].transport.recv() {
+            Ok((
+                WireMsg::ShardCleared {
+                    slot: reply,
+                    results,
+                },
+                bytes,
+            )) if reply == slot && results.len() == expected => {
+                emit_rpc(slot, idx, "recv", "ShardCleared", bytes);
+                if spotdc_telemetry::is_enabled() {
+                    spotdc_telemetry::emit(Event::ShardCleared {
+                        slot,
+                        at: MonotonicNanos::now(),
+                        shard: idx as u64,
+                        outcomes: results.len() as u64,
+                        nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    });
+                }
+                Some(results.into_iter())
+            }
+            _ => {
+                self.shards[idx].alive = false;
+                None
+            }
+        }
+    }
+}
+
+fn emit_rpc(slot: Slot, shard: usize, dir: &str, msg: &str, bytes: u64) {
+    if spotdc_telemetry::is_enabled() {
+        spotdc_telemetry::emit(Event::ShardRpc {
+            slot,
+            at: MonotonicNanos::now(),
+            shard: shard as u64,
+            dir: dir.to_owned(),
+            msg: msg.to_owned(),
+            bytes,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotdc_core::{ConstraintSet, LinearBid, MarketClearing, RackBid, StepBid};
+    use spotdc_power::topology::TopologyBuilder;
+    use spotdc_units::{Price, RackId, TenantId, Watts};
+
+    fn constraints() -> ConstraintSet {
+        let topo = TopologyBuilder::new(Watts::new(400.0))
+            .pdu(Watts::new(200.0))
+            .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+            .rack(TenantId::new(1), Watts::new(80.0), Watts::new(40.0))
+            .build()
+            .unwrap();
+        ConstraintSet::new(&topo, vec![Watts::new(60.0)], Watts::new(60.0))
+    }
+
+    fn tasks() -> Vec<ClearTask> {
+        let constraints = constraints();
+        vec![
+            ClearTask::Market {
+                bids: vec![RackBid::new(
+                    RackId::new(0),
+                    LinearBid::new(
+                        Watts::new(40.0),
+                        Price::per_kw_hour(0.05),
+                        Watts::new(10.0),
+                        Price::per_kw_hour(0.30),
+                    )
+                    .unwrap()
+                    .into(),
+                )],
+                constraints: constraints.clone(),
+            },
+            ClearTask::Market {
+                bids: vec![RackBid::new(
+                    RackId::new(1),
+                    StepBid::new(Watts::new(25.0), Price::per_kw_hour(0.2))
+                        .unwrap()
+                        .into(),
+                )],
+                constraints,
+            },
+        ]
+    }
+
+    #[test]
+    fn inproc_runtime_matches_direct_clearing_for_any_width() {
+        let slot = Slot::new(11);
+        let direct = MarketClearing::new(ClearingConfig::default());
+        let want: Vec<ClearResult> = tasks()
+            .iter()
+            .map(|t| {
+                let ClearTask::Market { bids, constraints } = t else {
+                    unreachable!()
+                };
+                ClearResult::Market(direct.clear(slot, bids, constraints))
+            })
+            .collect();
+        for width in [1, 2, 3] {
+            let mut runtime =
+                ShardRuntime::new(width, TransportKind::InProc, ClearingConfig::default()).unwrap();
+            assert_eq!(runtime.shard_count(), width);
+            assert_eq!(runtime.live_shards(), width);
+            let got: Vec<ClearResult> = runtime
+                .clear_tasks(slot, tasks())
+                .into_iter()
+                .map(|r| r.expect("healthy shards answer every task"))
+                .collect();
+            assert_eq!(got, want, "width {width}");
+        }
+    }
+
+    #[test]
+    fn empty_task_lists_are_fine() {
+        let mut runtime =
+            ShardRuntime::new(2, TransportKind::InProc, ClearingConfig::default()).unwrap();
+        assert!(runtime.clear_tasks(Slot::new(0), Vec::new()).is_empty());
+        assert_eq!(runtime.live_shards(), 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! The controller/agent shard split for the SpotDC market.
+//!
+//! Distributed mode runs the clearing plane — the pure task→result
+//! computation of [`spotdc_core::wire`] — inside *shard agents*, each
+//! owning a disjoint set of PDU sub-markets, while the controller (the
+//! simulation pipeline) keeps everything stateful: bid collection,
+//! UPS-level constraint construction, the serial in-order merge,
+//! settlement and reporting. Because agents are pure and the controller
+//! merges replies in shard order, reports are byte-identical across
+//! shard counts and transports — the same discipline the golden-report
+//! guard enforces for every other axis of the system.
+//!
+//! Two transports implement the one [`ShardTransport`] trait:
+//!
+//! * [`InProcTransport`] — the agent loop on a dedicated thread,
+//!   messages as framed byte buffers over channels. The full
+//!   encode→frame→decode path runs even in-process, so both transports
+//!   exercise identical bytes.
+//! * [`SubprocessTransport`] — a `spotdc-agent` child process speaking
+//!   length-prefixed, CRC-framed payloads over stdin/stdout, reusing
+//!   `spotdc-durable`'s frame codec (re-exported as
+//!   [`spotdc_core::frame`]).
+//!
+//! Failure semantics follow the paper's comms-loss rule: a dead agent
+//! or damaged frame permanently degrades that shard's sub-markets to
+//! "no spot capacity" at the controller ([`ShardRuntime::clear_tasks`]
+//! returns `None` for its tasks); the market never invents capacity and
+//! never crashes. See DESIGN.md §15 for the topology and message
+//! sequence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod shard;
+mod transport;
+
+pub use controller::ShardRuntime;
+pub use shard::{AgentLoop, MarketShard};
+pub use transport::{agent_binary, InProcTransport, ShardTransport, SubprocessTransport};
+
+/// Which transport carries the wire protocol between the controller and
+/// its shard agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Shard agents as dedicated threads in the controller process,
+    /// exchanging framed byte buffers over channels.
+    #[default]
+    InProc,
+    /// Shard agents as `spotdc-agent` child processes, exchanging
+    /// frames over stdin/stdout pipes.
+    Subprocess,
+}
+
+impl TransportKind {
+    /// Parses the CLI spelling (`inproc` or `subprocess`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "inproc" => Some(TransportKind::InProc),
+            "subprocess" => Some(TransportKind::Subprocess),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TransportKind::InProc => "inproc",
+            TransportKind::Subprocess => "subprocess",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_kind_parses_its_own_display() {
+        for kind in [TransportKind::InProc, TransportKind::Subprocess] {
+            assert_eq!(TransportKind::parse(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(TransportKind::parse("tcp"), None);
+        assert_eq!(TransportKind::default(), TransportKind::InProc);
+    }
+}

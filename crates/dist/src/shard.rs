@@ -1,0 +1,228 @@
+//! The agent side of the split: a pure clearing engine plus the message
+//! loop that drives it, shared by every transport.
+
+use spotdc_core::{
+    max_perf_allocate, ClearResult, ClearTask, ClearingConfig, MarketClearing, WireMsg,
+};
+use spotdc_units::Slot;
+
+/// One shard's market engine: a [`MarketClearing`] built from the
+/// controller's [`AssignShard`](WireMsg::AssignShard) configuration,
+/// applied task by task.
+///
+/// A shard is a *pure function* of its tasks — it holds no cross-slot
+/// market state (bank balances, meters, emergencies all live at the
+/// controller), only the clearing engine and its internal result cache,
+/// which is bit-transparent by construction. That purity is what makes
+/// reports byte-identical across shard counts.
+#[derive(Debug)]
+pub struct MarketShard {
+    id: u64,
+    count: u64,
+    clearing: MarketClearing,
+}
+
+impl MarketShard {
+    /// Builds shard `id` of `count` with the controller's clearing
+    /// configuration.
+    #[must_use]
+    pub fn new(id: u64, count: u64, config: ClearingConfig) -> Self {
+        MarketShard {
+            id,
+            count,
+            clearing: MarketClearing::new(config),
+        }
+    }
+
+    /// This shard's index in the topology.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The total number of shards in the topology.
+    #[must_use]
+    pub fn shard_count(&self) -> u64 {
+        self.count
+    }
+
+    /// Clears every task for `slot`, returning results in task order.
+    #[must_use]
+    pub fn clear(&self, slot: Slot, tasks: &[ClearTask]) -> Vec<ClearResult> {
+        tasks
+            .iter()
+            .map(|task| match task {
+                ClearTask::Market { bids, constraints } => {
+                    ClearResult::Market(self.clearing.clear(slot, bids, constraints))
+                }
+                ClearTask::MaxPerf { gains, constraints } => {
+                    ClearResult::MaxPerf(max_perf_allocate(gains, constraints))
+                }
+            })
+            .collect()
+    }
+}
+
+/// The agent-side message loop, shared verbatim by the `spotdc-agent`
+/// binary and [`InProcTransport`](crate::InProcTransport) threads so the
+/// two transports cannot drift behaviorally.
+///
+/// The loop is deliberately forgiving: unexpected messages are ignored
+/// rather than fatal, and a [`BidsBatch`](WireMsg::BidsBatch) arriving
+/// before [`AssignShard`](WireMsg::AssignShard) is answered with an
+/// empty result list — the controller sees the length mismatch and
+/// degrades that shard instead of hanging.
+#[derive(Debug, Default)]
+pub struct AgentLoop {
+    shard: Option<MarketShard>,
+}
+
+impl AgentLoop {
+    /// A fresh, unassigned agent.
+    #[must_use]
+    pub fn new() -> Self {
+        AgentLoop { shard: None }
+    }
+
+    /// Handles one message, returning the reply to send back when the
+    /// message warrants one. [`WireMsg::Shutdown`] is the caller's
+    /// concern (it terminates the transport loop, not this state
+    /// machine).
+    pub fn handle(&mut self, msg: WireMsg) -> Option<WireMsg> {
+        match msg {
+            WireMsg::AssignShard {
+                shard,
+                shard_count,
+                clearing,
+            } => {
+                self.shard = Some(MarketShard::new(shard, shard_count, clearing));
+                None
+            }
+            WireMsg::BidsBatch { slot, tasks } => {
+                let results = match &self.shard {
+                    Some(shard) => shard.clear(slot, &tasks),
+                    None => Vec::new(),
+                };
+                Some(WireMsg::ShardCleared { slot, results })
+            }
+            // SlotOpen/Settle are pacing markers today (the shard keeps
+            // no per-slot state to open or settle); an agent never
+            // receives ShardCleared and ignores it rather than crash.
+            WireMsg::SlotOpen { .. }
+            | WireMsg::Settle { .. }
+            | WireMsg::ShardCleared { .. }
+            | WireMsg::Shutdown => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    use spotdc_core::{ConcaveGain, ConstraintSet, LinearBid, RackBid};
+    use spotdc_power::topology::TopologyBuilder;
+    use spotdc_units::{Price, RackId, TenantId, Watts};
+
+    fn constraints() -> ConstraintSet {
+        let topo = TopologyBuilder::new(Watts::new(400.0))
+            .pdu(Watts::new(200.0))
+            .rack(TenantId::new(0), Watts::new(100.0), Watts::new(50.0))
+            .rack(TenantId::new(1), Watts::new(80.0), Watts::new(40.0))
+            .build()
+            .unwrap();
+        ConstraintSet::new(&topo, vec![Watts::new(60.0)], Watts::new(60.0))
+    }
+
+    fn market_task() -> ClearTask {
+        ClearTask::Market {
+            bids: vec![RackBid::new(
+                RackId::new(0),
+                LinearBid::new(
+                    Watts::new(40.0),
+                    Price::per_kw_hour(0.05),
+                    Watts::new(10.0),
+                    Price::per_kw_hour(0.30),
+                )
+                .unwrap()
+                .into(),
+            )],
+            constraints: constraints(),
+        }
+    }
+
+    #[test]
+    fn shard_matches_a_direct_clearing_engine() {
+        let shard = MarketShard::new(0, 2, ClearingConfig::default());
+        let direct = MarketClearing::new(ClearingConfig::default());
+        let ClearTask::Market { bids, constraints } = market_task() else {
+            unreachable!()
+        };
+        let results = shard.clear(Slot::new(3), &[market_task()]);
+        assert_eq!(
+            results,
+            vec![ClearResult::Market(direct.clear(
+                Slot::new(3),
+                &bids,
+                &constraints
+            ))]
+        );
+        assert_eq!(shard.id(), 0);
+        assert_eq!(shard.shard_count(), 2);
+    }
+
+    #[test]
+    fn agent_loop_assigns_then_clears_in_task_order() {
+        let mut agent = AgentLoop::new();
+        assert_eq!(
+            agent.handle(WireMsg::AssignShard {
+                shard: 0,
+                shard_count: 1,
+                clearing: ClearingConfig::default(),
+            }),
+            None
+        );
+        assert_eq!(agent.handle(WireMsg::SlotOpen { slot: Slot::new(5) }), None);
+        let gains: BTreeMap<RackId, ConcaveGain> =
+            [(RackId::new(0), ConcaveGain::new(vec![(20.0, 2.0)]).unwrap())]
+                .into_iter()
+                .collect();
+        let reply = agent
+            .handle(WireMsg::BidsBatch {
+                slot: Slot::new(5),
+                tasks: vec![
+                    market_task(),
+                    ClearTask::MaxPerf {
+                        gains,
+                        constraints: constraints(),
+                    },
+                ],
+            })
+            .expect("a batch demands a reply");
+        let WireMsg::ShardCleared { slot, results } = reply else {
+            panic!("expected ShardCleared, got {reply:?}");
+        };
+        assert_eq!(slot, Slot::new(5));
+        assert_eq!(results.len(), 2);
+        assert!(matches!(results[0], ClearResult::Market(_)));
+        assert!(matches!(results[1], ClearResult::MaxPerf(_)));
+        assert_eq!(agent.handle(WireMsg::Settle { slot: Slot::new(5) }), None);
+    }
+
+    #[test]
+    fn unassigned_agent_answers_batches_with_no_results() {
+        let mut agent = AgentLoop::new();
+        let reply = agent.handle(WireMsg::BidsBatch {
+            slot: Slot::new(1),
+            tasks: vec![market_task()],
+        });
+        assert_eq!(
+            reply,
+            Some(WireMsg::ShardCleared {
+                slot: Slot::new(1),
+                results: Vec::new(),
+            })
+        );
+    }
+}

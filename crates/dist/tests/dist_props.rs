@@ -1,0 +1,324 @@
+//! Property tests for the distributed market layer.
+//!
+//! Two guarantees are exercised: every wire message survives the shared
+//! length-prefix + CRC-32 frame codec, with damaged frames (torn tails,
+//! flipped bits) failing cleanly instead of panicking or yielding a
+//! bogus message; and the controller's serial in-order merge reproduces
+//! the serial clear bit-for-bit for any shard width and any task
+//! arrival order. A pair of plain tests then drives the real
+//! `spotdc-agent` subprocess end-to-end, healthy and dead.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+use spotdc_core::{
+    frame, max_perf_allocate, ClearResult, ClearTask, ClearingConfig, ConcaveGain, ConstraintSet,
+    DemandBid, LinearBid, MarketClearing, RackBid, StepBid, WireMsg,
+};
+use spotdc_dist::{ShardRuntime, TransportKind};
+use spotdc_power::topology::TopologyBuilder;
+use spotdc_power::PowerTopology;
+use spotdc_units::{Price, RackId, Slot, TenantId, Watts};
+
+/// A random linear bid, valid by parameter ordering.
+fn linear_bid() -> impl Strategy<Value = DemandBid> {
+    (0.0..80.0f64, 0.0..80.0f64, 0.0..0.3f64, 0.0..0.3f64).prop_map(|(d1, d2, q1, q2)| {
+        let (d_min, d_max) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let (q_min, q_max) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        LinearBid::new(
+            Watts::new(d_max),
+            Price::per_kw_hour(q_min),
+            Watts::new(d_min),
+            Price::per_kw_hour(q_max),
+        )
+        .expect("ordered parameters are valid")
+        .into()
+    })
+}
+
+fn step_bid() -> impl Strategy<Value = DemandBid> {
+    (0.0..80.0f64, 0.0..0.4f64).prop_map(|(d, q)| {
+        StepBid::new(Watts::new(d), Price::per_kw_hour(q))
+            .expect("valid")
+            .into()
+    })
+}
+
+fn any_bid() -> impl Strategy<Value = DemandBid> {
+    prop_oneof![linear_bid(), step_bid()]
+}
+
+/// A topology with `n` racks spread over two PDUs.
+fn topology(n: usize) -> PowerTopology {
+    let mut b = TopologyBuilder::new(Watts::new(1e6)).pdu(Watts::new(1e5));
+    for i in 0..n {
+        if i == n / 2 {
+            b = b.pdu(Watts::new(1e5));
+        }
+        b = b.rack(TenantId::new(i), Watts::new(100.0), Watts::new(60.0));
+    }
+    b.build().expect("valid topology")
+}
+
+fn constraints_for(n: usize, p0: f64, p1: f64, ups: f64) -> ConstraintSet {
+    ConstraintSet::new(
+        &topology(n),
+        vec![Watts::new(p0), Watts::new(p1)],
+        Watts::new(ups),
+    )
+}
+
+/// One market sub-market as the shard layer sees it.
+fn market_task() -> impl Strategy<Value = ClearTask> {
+    (
+        prop::collection::vec(any_bid(), 1..6),
+        0.0..150.0f64,
+        0.0..150.0f64,
+        0.0..250.0f64,
+    )
+        .prop_map(|(bids, p0, p1, ups)| ClearTask::Market {
+            constraints: constraints_for(bids.len(), p0, p1, ups),
+            bids: bids
+                .into_iter()
+                .enumerate()
+                .map(|(i, b)| RackBid::new(RackId::new(i), b))
+                .collect(),
+        })
+}
+
+/// One water-filling task with strictly concave per-rack gain curves.
+fn maxperf_task() -> impl Strategy<Value = ClearTask> {
+    (
+        prop::collection::vec((5.0..50.0f64, 0.1..3.0f64), 1..6),
+        0.0..150.0f64,
+        0.0..150.0f64,
+        0.0..250.0f64,
+    )
+        .prop_map(|(segs, p0, p1, ups)| {
+            let gains: BTreeMap<RackId, ConcaveGain> = segs
+                .iter()
+                .enumerate()
+                .map(|(i, &(w, g))| {
+                    let curve =
+                        ConcaveGain::new(vec![(w, g), (w / 2.0, g / 2.0)]).expect("descending");
+                    (RackId::new(i), curve)
+                })
+                .collect();
+            ClearTask::MaxPerf {
+                gains,
+                constraints: constraints_for(segs.len(), p0, p1, ups),
+            }
+        })
+}
+
+fn any_task() -> impl Strategy<Value = ClearTask> {
+    prop_oneof![market_task(), maxperf_task()]
+}
+
+/// Any message either side of the wire can produce. `ShardCleared`
+/// results come from actually clearing generated tasks, so the heavy
+/// `MarketOutcome` payload is exercised too.
+fn any_message() -> impl Strategy<Value = WireMsg> {
+    prop_oneof![
+        (0..16u64, 0..64u64).prop_map(|(count, shard)| WireMsg::AssignShard {
+            shard: shard % (count + 1),
+            shard_count: count + 1,
+            clearing: ClearingConfig::kink_search(),
+        }),
+        (0..10_000u64).prop_map(|s| WireMsg::SlotOpen { slot: Slot::new(s) }),
+        (0..10_000u64, prop::collection::vec(any_task(), 0..3)).prop_map(|(s, tasks)| {
+            WireMsg::BidsBatch {
+                slot: Slot::new(s),
+                tasks,
+            }
+        }),
+        (0..10_000u64, prop::collection::vec(any_task(), 0..3)).prop_map(|(s, tasks)| {
+            WireMsg::ShardCleared {
+                slot: Slot::new(s),
+                results: serial_clear(Slot::new(s), ClearingConfig::default(), &tasks),
+            }
+        }),
+        (0..10_000u64).prop_map(|s| WireMsg::Settle { slot: Slot::new(s) }),
+        (0..1u64).prop_map(|_| WireMsg::Shutdown),
+    ]
+}
+
+/// The single-process reference: clear each task directly, in order.
+fn serial_clear(slot: Slot, clearing: ClearingConfig, tasks: &[ClearTask]) -> Vec<ClearResult> {
+    let engine = MarketClearing::new(clearing);
+    tasks
+        .iter()
+        .map(|task| match task {
+            ClearTask::Market { bids, constraints } => {
+                ClearResult::Market(engine.clear(slot, bids, constraints))
+            }
+            ClearTask::MaxPerf { gains, constraints } => {
+                ClearResult::MaxPerf(max_perf_allocate(gains, constraints))
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_wire_message_survives_the_frame_codec(msg in any_message()) {
+        let mut buf = Vec::new();
+        frame::write_frame(&mut buf, &msg.encode()).unwrap();
+        let mut stream = &buf[..];
+        let payload = frame::read_frame(&mut stream).unwrap().expect("one frame");
+        prop_assert_eq!(WireMsg::decode(&payload).unwrap(), msg);
+        // The stream ends exactly at the frame boundary.
+        prop_assert!(frame::read_frame(&mut stream).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_fail_cleanly(
+        msg in any_message(),
+        cut_seed in 0..u64::MAX,
+        flip_seed in 0..u64::MAX,
+    ) {
+        let payload = msg.encode();
+        let mut buf = Vec::new();
+        frame::write_frame(&mut buf, &payload).unwrap();
+
+        // A torn tail — any strict prefix — is a clean EOF or an error,
+        // never a decoded frame and never a panic.
+        let cut = (cut_seed % buf.len() as u64) as usize;
+        let torn = frame::read_frame(&mut &buf[..cut]);
+        prop_assert!(
+            !matches!(torn, Ok(Some(_))),
+            "strict prefix of length {cut} produced a frame"
+        );
+
+        // A single flipped bit anywhere in the frame never yields the
+        // original payload back (CRC-32 catches all single-bit damage).
+        let mut corrupt = buf.clone();
+        let idx = (flip_seed % corrupt.len() as u64) as usize;
+        corrupt[idx] ^= 1 << (flip_seed % 8);
+        let got = frame::read_frame(&mut &corrupt[..]);
+        prop_assert!(
+            !matches!(got, Ok(Some(ref p)) if *p == payload),
+            "flipped bit at byte {idx} went unnoticed"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn controller_merge_matches_the_serial_clear(
+        mut tasks in prop::collection::vec(any_task(), 1..7),
+        width in 1..5usize,
+        shuffle_seed in 0..u64::MAX,
+    ) {
+        // Shuffle the arrival order: assignment is positional
+        // round-robin, so the merge must be order-preserving no matter
+        // how the tasks land on the shards.
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        for i in (1..tasks.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            tasks.swap(i, j);
+        }
+        let slot = Slot::new(17);
+        let clearing = ClearingConfig::default();
+        let want: Vec<Option<ClearResult>> = serial_clear(slot, clearing, &tasks)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut runtime = ShardRuntime::new(width, TransportKind::InProc, clearing).unwrap();
+        prop_assert_eq!(runtime.clear_tasks(slot, tasks), want, "width {}", width);
+    }
+}
+
+/// `agent_binary()` honors `SPOTDC_AGENT_BIN`, a process-wide setting;
+/// serialize the tests that point it at different binaries.
+static AGENT_ENV: Mutex<()> = Mutex::new(());
+
+fn subprocess_runtime(binary: &str, count: usize) -> std::io::Result<ShardRuntime> {
+    let _held = AGENT_ENV.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("SPOTDC_AGENT_BIN", binary);
+    let runtime = ShardRuntime::new(count, TransportKind::Subprocess, ClearingConfig::default());
+    std::env::remove_var("SPOTDC_AGENT_BIN");
+    runtime
+}
+
+fn fixed_tasks() -> Vec<ClearTask> {
+    let constraints = constraints_for(3, 60.0, 30.0, 70.0);
+    let bids = vec![
+        RackBid::new(
+            RackId::new(0),
+            LinearBid::new(
+                Watts::new(40.0),
+                Price::per_kw_hour(0.05),
+                Watts::new(10.0),
+                Price::per_kw_hour(0.30),
+            )
+            .unwrap()
+            .into(),
+        ),
+        RackBid::new(
+            RackId::new(1),
+            StepBid::new(Watts::new(25.0), Price::per_kw_hour(0.2))
+                .unwrap()
+                .into(),
+        ),
+    ];
+    let gains: BTreeMap<RackId, ConcaveGain> = [(
+        RackId::new(2),
+        ConcaveGain::new(vec![(20.0, 2.0), (15.0, 0.5)]).unwrap(),
+    )]
+    .into_iter()
+    .collect();
+    vec![
+        ClearTask::Market {
+            bids,
+            constraints: constraints.clone(),
+        },
+        ClearTask::MaxPerf { gains, constraints },
+    ]
+}
+
+#[test]
+fn subprocess_agents_match_the_serial_clear() {
+    let slot = Slot::new(23);
+    let want: Vec<Option<ClearResult>> =
+        serial_clear(slot, ClearingConfig::default(), &fixed_tasks())
+            .into_iter()
+            .map(Some)
+            .collect();
+    let mut runtime = subprocess_runtime(env!("CARGO_BIN_EXE_spotdc-agent"), 2)
+        .expect("spawn spotdc-agent children");
+    assert_eq!(runtime.live_shards(), 2);
+    // Two slots through the same agents: state (the assigned shard)
+    // persists across slots.
+    assert_eq!(runtime.clear_tasks(slot, fixed_tasks()), want);
+    let next = Slot::new(24);
+    let want_next: Vec<Option<ClearResult>> =
+        serial_clear(next, ClearingConfig::default(), &fixed_tasks())
+            .into_iter()
+            .map(Some)
+            .collect();
+    assert_eq!(runtime.clear_tasks(next, fixed_tasks()), want_next);
+    assert_eq!(runtime.live_shards(), 2);
+}
+
+#[test]
+fn dead_agents_degrade_their_tasks_to_none() {
+    // An "agent" that exits immediately: every RPC fails, the
+    // controller marks the shard dead, and its tasks come back None —
+    // the paper's comms-loss rule, not an error.
+    if !std::path::Path::new("/bin/true").is_file() {
+        eprintln!("skipping: no /bin/true on this system");
+        return;
+    }
+    let mut runtime = subprocess_runtime("/bin/true", 2).expect("/bin/true spawns");
+    let got = runtime.clear_tasks(Slot::new(5), fixed_tasks());
+    assert_eq!(got, vec![None, None]);
+    assert_eq!(runtime.live_shards(), 0);
+}

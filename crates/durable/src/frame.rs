@@ -15,6 +15,14 @@
 //!
 //! Both torn and corrupt tails are truncated on recovery; they are kept
 //! distinct so operators can tell a routine crash from data damage.
+//!
+//! Besides the buffer-oriented [`append_frame`]/[`split_frames`] pair
+//! the WAL and checkpoint layers use, [`write_frame`]/[`read_frame`]
+//! stream one frame at a time over any `Write`/`Read` — the same bytes
+//! on the wire as on disk, which is how the distributed controller ↔
+//! agent protocol shares this codec instead of inventing a second one.
+
+use std::io::{self, Read, Write};
 
 /// Upper bound on a single record's payload (1 GiB). A length prefix
 /// above this is treated as corruption, not as a real allocation request.
@@ -140,6 +148,74 @@ fn crc32_from(b: &[u8]) -> u32 {
     u32::from_le_bytes([b[0], b[1], b[2], b[3]])
 }
 
+/// Writes one framed record to a stream, without flushing. The bytes
+/// are exactly what [`append_frame`] would have appended.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_RECORD_LEN as usize);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one framed record from a stream.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF exactly at a frame
+/// boundary). A torn frame (EOF inside a header or payload), a CRC
+/// mismatch, or an implausible length prefix all yield an
+/// [`io::ErrorKind::InvalidData`] error — never a panic — mirroring the
+/// [`Tail::Torn`]/[`Tail::Corrupt`] verdicts of [`split_frames`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for torn or corrupt frames and propagates any
+/// underlying I/O error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("torn frame: stream ended {got} bytes into the header"),
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    if len > MAX_RECORD_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("corrupt frame: implausible length prefix {len}"),
+        ));
+    }
+    let want = crc32_from(&header[4..8]);
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("torn frame: stream ended inside a {len}-byte payload"),
+            )
+        } else {
+            e
+        }
+    })?;
+    if crc32(&payload) != want {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "corrupt frame: payload CRC mismatch",
+        ));
+    }
+    Ok(Some(payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +295,68 @@ mod tests {
                 dropped: buf.len() as u64
             }
         );
+    }
+
+    #[test]
+    fn streamed_frames_match_buffered_frames_byte_for_byte() {
+        let mut streamed = Vec::new();
+        let mut buffered = Vec::new();
+        for payload in [&b"alpha"[..], &b""[..], &b"gamma-record"[..]] {
+            write_frame(&mut streamed, payload).unwrap();
+            append_frame(&mut buffered, payload);
+        }
+        assert_eq!(streamed, buffered);
+        let mut cursor = &streamed[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"alpha");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"gamma-record");
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn streamed_read_rejects_every_truncation_point() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"second-and-longer").unwrap();
+        let boundary = HEADER_LEN + 5;
+        for cut in 0..buf.len() {
+            let mut cursor = &buf[..cut];
+            if cut == 0 {
+                assert_eq!(read_frame(&mut cursor).unwrap(), None);
+                continue;
+            }
+            let first = read_frame(&mut cursor);
+            if cut < boundary {
+                let err = first.unwrap_err();
+                assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+            } else {
+                assert_eq!(first.unwrap().unwrap(), b"first", "cut at {cut}");
+                let second = read_frame(&mut cursor);
+                if cut == boundary {
+                    assert_eq!(second.unwrap(), None);
+                } else {
+                    let err = second.unwrap_err();
+                    assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_read_rejects_bit_flips_and_absurd_lengths() {
+        let mut pristine = Vec::new();
+        write_frame(&mut pristine, b"flip-me").unwrap();
+        for byte in 4..pristine.len() {
+            let mut buf = pristine.clone();
+            buf[byte] ^= 0x40;
+            let err = read_frame(&mut &buf[..]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "flip at {byte}");
+        }
+        let mut absurd = Vec::new();
+        absurd.extend_from_slice(&(MAX_RECORD_LEN + 1).to_le_bytes());
+        absurd.extend_from_slice(&[0u8; 12]);
+        let err = read_frame(&mut &absurd[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -158,6 +158,41 @@ impl DurabilityStats {
     }
 }
 
+/// Clearing-latency distribution of one shard, from `ShardCleared`
+/// events (controller-observed: dispatch to merged reply).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardClearStats {
+    /// Number of cleared batches observed.
+    pub count: u64,
+    /// Total market outcomes returned across them.
+    pub outcomes: u64,
+    /// Median clear latency, nanoseconds (exact nearest-rank).
+    pub p50_ns: u64,
+    /// 99th-percentile clear latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Controller/agent traffic reconstructed from `ShardRpc` and
+/// `ShardCleared` events (distributed runs only).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DistributedStats {
+    /// Framed messages moved in either direction.
+    pub messages: u64,
+    /// Total wire bytes across them (frame headers included).
+    pub bytes: u64,
+    /// Per-direction, per-kind message counts, keyed `"dir kind"`
+    /// (e.g. `"send BidsBatch"`).
+    pub by_message: BTreeMap<String, u64>,
+    /// Per-shard clearing latency, keyed by shard index.
+    pub clears: BTreeMap<u64, ShardClearStats>,
+}
+
+impl DistributedStats {
+    fn is_empty(&self) -> bool {
+        *self == DistributedStats::default()
+    }
+}
+
 /// One anomaly site: the run/slot where an emergency-class event fired.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct AnomalySlot {
@@ -191,6 +226,9 @@ pub struct Analysis {
     pub events: u64,
     /// Lines skipped by the run filter.
     pub filtered_out: u64,
+    /// Well-formed lines carrying an event tag this analyzer does not
+    /// know — a newer log read by an older tool. Counted, never fatal.
+    pub unknown_events: u64,
     /// `(line_number, error)` for unparseable non-empty lines.
     pub malformed: Vec<(u64, String)>,
     /// Distinct run tags seen (post-filter).
@@ -230,6 +268,8 @@ pub struct Analysis {
     pub fault_clusters: Vec<FaultCluster>,
     /// Checkpoint/recovery/journal-truncation activity.
     pub durability: DurabilityStats,
+    /// Controller/agent shard traffic and per-shard clear latency.
+    pub distributed: DistributedStats,
 }
 
 impl Analysis {
@@ -245,6 +285,8 @@ impl Analysis {
         // (run, slot) -> (sold watts, predicted ups watts)
         let mut joined: BTreeMap<(String, u64), (Option<f64>, Option<f64>)> = BTreeMap::new();
         let mut faults: BTreeMap<String, Vec<(u64, String)>> = BTreeMap::new();
+        // shard -> controller-observed clear latencies
+        let mut shard_clears: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
 
         for (idx, line) in body.lines().enumerate() {
             if line.trim().is_empty() {
@@ -252,6 +294,12 @@ impl Analysis {
             }
             let (run, event) = match Event::from_jsonl_tagged(line) {
                 Ok(parsed) => parsed,
+                Err(e) if e.starts_with("unknown event tag") => {
+                    // A newer writer's event: count it so the report
+                    // shows the log carried more than we understood.
+                    a.unknown_events += 1;
+                    continue;
+                }
                 Err(e) => {
                     a.malformed.push((idx as u64 + 1, e));
                     continue;
@@ -357,6 +405,25 @@ impl Analysis {
                     entry.count += 1;
                     entry.dropped_bytes += *dropped_bytes;
                 }
+                Event::ShardRpc {
+                    dir, msg, bytes, ..
+                } => {
+                    a.distributed.messages += 1;
+                    a.distributed.bytes += *bytes;
+                    *a.distributed
+                        .by_message
+                        .entry(format!("{dir} {msg}"))
+                        .or_default() += 1;
+                }
+                Event::ShardCleared {
+                    shard,
+                    outcomes,
+                    nanos,
+                    ..
+                } => {
+                    shard_clears.entry(*shard).or_default().push(*nanos);
+                    a.distributed.clears.entry(*shard).or_default().outcomes += *outcomes;
+                }
                 Event::ConstraintBound { .. } => {}
             }
         }
@@ -378,6 +445,13 @@ impl Analysis {
             })
             .collect();
         a.utilization = SeriesStats::from_samples(&utilization);
+        for (shard, mut samples) in shard_clears {
+            samples.sort_unstable();
+            let stats = a.distributed.clears.entry(shard).or_default();
+            stats.count = samples.len() as u64;
+            stats.p50_ns = nearest_rank(&samples, 50);
+            stats.p99_ns = nearest_rank(&samples, 99);
+        }
         a.emergency_slots.sort();
         a.emergency_slots.dedup();
         a.invariant_slots.sort();
@@ -399,9 +473,10 @@ impl Analysis {
         let _ = writeln!(out, "== spotdc-trace ==");
         let _ = writeln!(
             out,
-            "events: {} parsed, {} filtered out, {} malformed",
+            "events: {} parsed, {} filtered out, {} unknown, {} malformed",
             self.events,
             self.filtered_out,
+            self.unknown_events,
             self.malformed.len()
         );
         if let Some((lo, hi)) = self.slot_range {
@@ -505,6 +580,31 @@ impl Analysis {
             }
         }
 
+        let _ = writeln!(out, "\n-- distributed --");
+        if self.distributed.is_empty() {
+            let _ = writeln!(out, "(no shard telemetry)");
+        } else {
+            let d = &self.distributed;
+            let _ = writeln!(
+                out,
+                "rpc: {} messages, {} bytes on the wire",
+                d.messages, d.bytes
+            );
+            for (kind, count) in &d.by_message {
+                let _ = writeln!(out, "  {kind:<18} {count:>8}");
+            }
+            for (shard, s) in &d.clears {
+                let _ = writeln!(
+                    out,
+                    "shard {shard}: {} clears, {} outcomes, p50 {} µs, p99 {} µs",
+                    s.count,
+                    s.outcomes,
+                    micros(s.p50_ns),
+                    micros(s.p99_ns)
+                );
+            }
+        }
+
         let _ = writeln!(out, "\n-- anomalies --");
         let _ = writeln!(
             out,
@@ -559,9 +659,10 @@ impl Analysis {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\"events\":{},\"filtered_out\":{},\"malformed\":{}",
+            "\"events\":{},\"filtered_out\":{},\"unknown_events\":{},\"malformed\":{}",
             self.events,
             self.filtered_out,
+            self.unknown_events,
             self.malformed.len()
         );
         if let Some((lo, hi)) = self.slot_range {
@@ -652,6 +753,33 @@ impl Analysis {
                 json_str(reason),
                 t.count,
                 t.dropped_bytes
+            );
+        }
+        out.push_str("}}");
+
+        out.push_str(",\"distributed\":{");
+        let dist = &self.distributed;
+        let _ = write!(
+            out,
+            "\"messages\":{},\"bytes\":{}",
+            dist.messages, dist.bytes
+        );
+        out.push_str(",\"by_message\":{");
+        for (i, (kind, count)) in dist.by_message.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(kind), count);
+        }
+        out.push_str("},\"shards\":{");
+        for (i, (shard, s)) in dist.clears.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{shard}\":{{\"clears\":{},\"outcomes\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                s.count, s.outcomes, s.p50_ns, s.p99_ns
             );
         }
         out.push_str("}}");
@@ -1130,14 +1258,88 @@ mod tests {
     #[test]
     fn malformed_lines_are_counted_not_fatal() {
         let body = format!(
-            "not json\n{}\n\n{{\"event\":\"Nope\"}}",
+            "not json\n{}\n\n{{\"slot\":4,\"t_ns\":1,\"event\":\"Nope\"}}",
             line(None, &cleared(1, 0.1, 1.0))
         );
         let a = Analysis::from_jsonl(&body, None);
         assert_eq!(a.events, 1);
-        assert_eq!(a.malformed.len(), 2);
+        // An unknown tag is a *newer* log, not a broken one: counted
+        // separately from truly malformed lines.
+        assert_eq!(a.unknown_events, 1);
+        assert_eq!(a.malformed.len(), 1);
         assert_eq!(a.malformed[0].0, 1);
-        assert_eq!(a.malformed[1].0, 4);
+        let text = a.render_text();
+        assert!(
+            text.contains("events: 1 parsed, 0 filtered out, 1 unknown, 1 malformed"),
+            "{text}"
+        );
+        assert!(
+            a.render_json().contains("\"unknown_events\":1"),
+            "{}",
+            a.render_json()
+        );
+    }
+
+    #[test]
+    fn shard_rpc_traffic_and_clears_are_tallied() {
+        let rpc = |slot: u64, shard: u64, dir: &str, msg: &str, bytes: u64| Event::ShardRpc {
+            slot: Slot::new(slot),
+            at: MonotonicNanos::from_raw(slot * 1_000 + 4),
+            shard,
+            dir: dir.to_owned(),
+            msg: msg.to_owned(),
+            bytes,
+        };
+        let cleared = |slot: u64, shard: u64, outcomes: u64, nanos: u64| Event::ShardCleared {
+            slot: Slot::new(slot),
+            at: MonotonicNanos::from_raw(slot * 1_000 + 5),
+            shard,
+            outcomes,
+            nanos,
+        };
+        let body = [
+            line(Some("r"), &rpc(1, 0, "send", "BidsBatch", 600)),
+            line(Some("r"), &rpc(1, 0, "recv", "ShardCleared", 450)),
+            line(Some("r"), &rpc(1, 1, "send", "BidsBatch", 580)),
+            line(Some("r"), &cleared(1, 0, 2, 40_000)),
+            line(Some("r"), &cleared(2, 0, 2, 60_000)),
+            line(Some("r"), &cleared(1, 1, 1, 90_000)),
+        ]
+        .join("\n");
+        let a = Analysis::from_jsonl(&body, None);
+        let d = &a.distributed;
+        assert_eq!(d.messages, 3);
+        assert_eq!(d.bytes, 1_630);
+        assert_eq!(d.by_message["send BidsBatch"], 2);
+        assert_eq!(d.by_message["recv ShardCleared"], 1);
+        assert_eq!(d.clears[&0].count, 2);
+        assert_eq!(d.clears[&0].outcomes, 4);
+        assert_eq!(d.clears[&0].p50_ns, 40_000);
+        assert_eq!(d.clears[&0].p99_ns, 60_000);
+        assert_eq!(d.clears[&1].count, 1);
+        assert_eq!(d.clears[&1].p50_ns, 90_000);
+        let text = a.render_text();
+        assert!(
+            text.contains("rpc: 3 messages, 1630 bytes on the wire"),
+            "{text}"
+        );
+        assert!(
+            text.contains("shard 0: 2 clears, 4 outcomes, p50 40.0 µs, p99 60.0 µs"),
+            "{text}"
+        );
+        let json = a.render_json();
+        assert!(
+            json.contains(
+                "\"distributed\":{\"messages\":3,\"bytes\":1630,\
+                 \"by_message\":{\"recv ShardCleared\":1,\"send BidsBatch\":2},\
+                 \"shards\":{\"0\":{\"clears\":2,\"outcomes\":4,\"p50_ns\":40000,\"p99_ns\":60000},\
+                 \"1\":{\"clears\":1,\"outcomes\":1,\"p50_ns\":90000,\"p99_ns\":90000}}}"
+            ),
+            "{json}"
+        );
+        // Serial logs still render the section header.
+        let empty = Analysis::from_jsonl("", None).render_text();
+        assert!(empty.contains("(no shard telemetry)"), "{empty}");
     }
 
     #[test]

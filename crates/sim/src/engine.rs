@@ -134,6 +134,19 @@ pub struct EngineConfig {
     /// reports stay byte-identical at any width. Orthogonal to the
     /// *across-run* `--jobs` fan-out in the experiment layer.
     pub inner_jobs: usize,
+    /// Shard agents for the distributed clearing plane. `1` (the
+    /// default) keeps clearing in-process on the historical path;
+    /// higher values start a [`spotdc_dist::ShardRuntime`] and route
+    /// every clear stage's tasks through shard agents over
+    /// [`EngineConfig::shard_transport`], with a serial in-order merge
+    /// at the controller so reports stay byte-identical at any shard
+    /// count. Orthogonal to `inner_jobs` (a sharded run never also
+    /// fans clearing out on the inner pool).
+    pub shards: usize,
+    /// Which transport carries the controller↔agent wire protocol when
+    /// [`EngineConfig::shards`] is above one: agent threads in this
+    /// process, or `spotdc-agent` subprocesses over framed stdio.
+    pub shard_transport: spotdc_dist::TransportKind,
     /// Crash-safety settings (checkpoints + write-ahead journal).
     /// Disabled by default; see [`Simulation::run_durable`].
     pub durability: DurabilityConfig,
@@ -168,6 +181,9 @@ pub enum ConfigError {
     /// `inner_jobs` was zero: the within-slot parallel width must be at
     /// least one (one means the serial path).
     ZeroInnerJobs,
+    /// `shards` was zero: the distributed clearing width must be at
+    /// least one (one means the in-process serial path).
+    ZeroShards,
     /// The flight recorder was enabled with a zero-event ring: a black
     /// box with no context is a misconfiguration, not a request.
     ZeroBlackBoxCapacity,
@@ -202,6 +218,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroHorizon => write!(f, "simulation horizon must be at least one slot"),
             ConfigError::ZeroInnerJobs => {
                 write!(f, "inner_jobs must be at least one (1 = serial)")
+            }
+            ConfigError::ZeroShards => {
+                write!(f, "shards must be at least one (1 = in-process)")
             }
             ConfigError::ZeroBlackBoxCapacity => {
                 write!(
@@ -252,6 +271,8 @@ impl EngineConfig {
             validate: cfg!(debug_assertions),
             blackbox: BlackBoxConfig::default(),
             inner_jobs: 1,
+            shards: 1,
+            shard_transport: spotdc_dist::TransportKind::InProc,
             durability: DurabilityConfig::default(),
         }
     }
@@ -266,6 +287,9 @@ impl EngineConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.inner_jobs == 0 {
             return Err(ConfigError::ZeroInnerJobs);
+        }
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
         }
         if self.blackbox.enabled && self.blackbox.capacity == 0 {
             return Err(ConfigError::ZeroBlackBoxCapacity);
@@ -1029,6 +1053,66 @@ mod tests {
             .validate()
             .unwrap();
         }
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let zero = EngineConfig {
+            shards: 0,
+            ..EngineConfig::new(Mode::SpotDc)
+        };
+        assert_eq!(zero.validate(), Err(ConfigError::ZeroShards));
+        assert!(ConfigError::ZeroShards.to_string().contains("shards"));
+        for shards in [1, 2, 4] {
+            EngineConfig {
+                shards,
+                ..EngineConfig::new(Mode::SpotDc)
+            }
+            .validate()
+            .unwrap();
+        }
+        // Sharding is mode-agnostic: a marketless mode simply never
+        // consults the runtime.
+        EngineConfig {
+            shards: 4,
+            ..EngineConfig::new(Mode::PowerCapped)
+        }
+        .validate()
+        .unwrap();
+    }
+
+    #[test]
+    fn shard_count_never_changes_the_report() {
+        for mode in [Mode::PowerCapped, Mode::SpotDc, Mode::MaxPerf] {
+            let serial = run(mode, 120);
+            for shards in [2, 4] {
+                let sharded = Simulation::new(
+                    Scenario::testbed(11),
+                    EngineConfig {
+                        shards,
+                        ..EngineConfig::new(mode)
+                    },
+                )
+                .run(120);
+                assert_eq!(sharded, serial, "mode {mode}, shards {shards}");
+            }
+        }
+        // The per-PDU ablation is the real fan-out: one task per PDU
+        // sub-market instead of a single uniform clear.
+        let per_pdu = |shards: usize| {
+            Simulation::new(
+                Scenario::testbed(11),
+                EngineConfig {
+                    per_pdu_pricing: true,
+                    shards,
+                    ..EngineConfig::new(Mode::SpotDc)
+                },
+            )
+            .run(120)
+        };
+        let serial = per_pdu(1);
+        assert_eq!(per_pdu(2), serial);
+        assert_eq!(per_pdu(4), serial);
     }
 
     #[test]

@@ -105,6 +105,11 @@ pub struct SimState {
     /// [`EngineConfig::inner_jobs`] (width 1 = every stage stays on its
     /// serial path).
     pub inner: spotdc_par::ThreadPool,
+    /// The distributed clearing runtime, present when
+    /// [`EngineConfig::shards`] is above one and the mode has a clear
+    /// stage to distribute. Clear stages route their tasks through it;
+    /// everything else ignores it.
+    pub dist: Option<spotdc_dist::ShardRuntime>,
     /// Structure-of-arrays per-PDU draw buffer the settle stage
     /// re-fills each slot instead of allocating a fresh vector.
     pub pdu_draw: Vec<Watts>,
@@ -190,6 +195,14 @@ impl SimState {
             prediction_error_sum: 0.0,
             prediction_error_count: 0,
             inner: spotdc_par::ThreadPool::new(config.inner_jobs.max(1)),
+            dist: (config.shards > 1 && config.mode.allocates_spot()).then(|| {
+                spotdc_dist::ShardRuntime::new(
+                    config.shards,
+                    config.shard_transport,
+                    config.operator.clearing,
+                )
+                .expect("start shard agents")
+            }),
             pdu_draw: vec![Watts::ZERO; pdu_count],
         }
     }

@@ -11,8 +11,8 @@
 use std::collections::BTreeMap;
 
 use spotdc_core::{
-    check_allocation, max_perf_allocate, ConcaveGain, ConstraintSet, MarketClearing,
-    MarketInvariant, RackBid, TenantBid,
+    check_allocation, max_perf_allocate, ClearResult, ClearTask, ConcaveGain, ConstraintSet,
+    MarketClearing, MarketInvariant, MarketOutcome, RackBid, TenantBid,
 };
 use spotdc_faults::{BidFault, FaultPlan, MeterFault};
 use spotdc_power::PowerMeter;
@@ -427,7 +427,26 @@ impl SlotStage for ClearUniform {
     fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
         let slot = ctx.slot;
         let constraints = ctx.constraints.take().expect("Predict runs before Clear");
-        let outcome = state.operator.clear(slot, &ctx.rack_bids, &constraints);
+        let outcome = match state.dist.as_mut() {
+            Some(dist) => {
+                // Distributed: the uniform market is a single task (it
+                // clears against the shared UPS constraint, so it can't
+                // split). A dead shard degrades the slot to "no spot
+                // capacity" — the paper's comms-loss rule.
+                let task = ClearTask::Market {
+                    bids: ctx.rack_bids.clone(),
+                    constraints: constraints.clone(),
+                };
+                match dist.clear_tasks(slot, vec![task]).pop().flatten() {
+                    Some(ClearResult::Market(outcome)) => outcome,
+                    _ => {
+                        ctx.slot_degraded = true;
+                        return;
+                    }
+                }
+            }
+            None => state.operator.clear(slot, &ctx.rack_bids, &constraints),
+        };
         let mut alloc = outcome.into_allocation();
         state
             .comms
@@ -499,7 +518,29 @@ impl SlotStage for ClearPerPdu {
         let constraints = ctx.constraints.take().expect("Predict runs before Clear");
         let mut revenue_weighted_price = 0.0;
         self.combined.clear();
-        let outcomes = if state.inner_parallel() {
+        let outcomes: Vec<Option<MarketOutcome>> = if let Some(dist) = state.dist.as_mut() {
+            // Distributed: one task per PDU sub-market, assigned
+            // round-robin across the shard agents. Replies come back in
+            // task (PDU) order, so the merge below is identical to the
+            // serial path; a dead shard's sub-markets come back `None`
+            // and degrade to "no spot capacity".
+            let tasks = self
+                .clearing
+                .per_pdu_submarkets(&ctx.rack_bids, &constraints)
+                .into_iter()
+                .map(|(bids, local)| ClearTask::Market {
+                    bids,
+                    constraints: local,
+                })
+                .collect();
+            dist.clear_tasks(slot, tasks)
+                .into_iter()
+                .map(|result| match result {
+                    Some(ClearResult::Market(outcome)) => Some(outcome),
+                    _ => None,
+                })
+                .collect()
+        } else if state.inner_parallel() {
             // Each PDU sub-market clears independently against its own
             // constraint share; `par_map` returns outcomes in sub-market
             // (PDU) order, so the merge below — payments, validation,
@@ -510,15 +551,24 @@ impl SlotStage for ClearPerPdu {
                 .per_pdu_submarkets(&ctx.rack_bids, &constraints);
             let run = spotdc_telemetry::current_run();
             let clearing = &self.clearing;
-            state.inner.par_map(&submarkets, |(group, local)| {
+            let outcomes = state.inner.par_map(&submarkets, |(group, local)| {
                 let _scope = run.as_deref().map(spotdc_telemetry::run_scope);
                 clearing.clear(slot, group, local)
-            })
+            });
+            outcomes.into_iter().map(Some).collect()
         } else {
             self.clearing
                 .clear_per_pdu(slot, &ctx.rack_bids, &constraints)
+                .into_iter()
+                .map(Some)
+                .collect()
         };
         for outcome in outcomes {
+            let Some(outcome) = outcome else {
+                // A degraded sub-market sells nothing this slot.
+                ctx.slot_degraded = true;
+                continue;
+            };
             let mut alloc = outcome.into_allocation();
             state.comms.deliver_broadcasts(
                 &state.topology,
@@ -578,7 +628,24 @@ impl SlotStage for ClearMaxPerf {
     fn run(&mut self, state: &mut SimState, ctx: &mut SlotContext) {
         let slot = ctx.slot;
         let constraints = ctx.constraints.take().expect("Predict runs before Clear");
-        let grants = max_perf_allocate(&ctx.gains, &constraints);
+        let grants = match state.dist.as_mut() {
+            Some(dist) => {
+                // Distributed: water-filling is a single task (the
+                // envelopes interact through the shared constraints).
+                let task = ClearTask::MaxPerf {
+                    gains: ctx.gains.clone(),
+                    constraints: constraints.clone(),
+                };
+                match dist.clear_tasks(slot, vec![task]).pop().flatten() {
+                    Some(ClearResult::MaxPerf(grants)) => grants,
+                    _ => {
+                        ctx.slot_degraded = true;
+                        return;
+                    }
+                }
+            }
+            None => max_perf_allocate(&ctx.gains, &constraints),
+        };
         if state.validate {
             if let Err(v) = constraints.check(&grants) {
                 note_violations(

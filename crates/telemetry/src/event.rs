@@ -209,6 +209,40 @@ pub enum Event {
         /// Bytes discarded from the journal tail.
         dropped_bytes: u64,
     },
+    /// A wire-protocol message crossed the controller/agent boundary
+    /// (distributed mode only). Emitted by the controller for both
+    /// directions, so per-shard message and byte counts can be
+    /// reconstructed from the log.
+    ShardRpc {
+        /// The slot the message belongs to.
+        slot: Slot,
+        /// Monotonic timestamp.
+        at: MonotonicNanos,
+        /// The shard agent on the other end.
+        shard: u64,
+        /// Direction from the controller's view: "send" or "recv".
+        dir: String,
+        /// Wire message name ("BidsBatch", "ShardCleared", ...).
+        msg: String,
+        /// Bytes on the wire, including the 8-byte frame header.
+        bytes: u64,
+    },
+    /// A shard agent returned its clearing results for a slot
+    /// (distributed mode only).
+    ShardCleared {
+        /// The slot that was cleared.
+        slot: Slot,
+        /// Monotonic timestamp.
+        at: MonotonicNanos,
+        /// The replying shard agent.
+        shard: u64,
+        /// Clearing results in the reply (one per dispatched
+        /// sub-market).
+        outcomes: u64,
+        /// Controller-observed latency from dispatch to reply,
+        /// nanoseconds (includes wire and queueing time).
+        nanos: u64,
+    },
 }
 
 impl Event {
@@ -230,6 +264,8 @@ impl Event {
             Event::CheckpointWritten { .. } => "CheckpointWritten",
             Event::RecoveryPerformed { .. } => "RecoveryPerformed",
             Event::JournalTruncated { .. } => "JournalTruncated",
+            Event::ShardRpc { .. } => "ShardRpc",
+            Event::ShardCleared { .. } => "ShardCleared",
         }
     }
 
@@ -250,7 +286,9 @@ impl Event {
             | Event::ClearingCache { slot, .. }
             | Event::CheckpointWritten { slot, .. }
             | Event::RecoveryPerformed { slot, .. }
-            | Event::JournalTruncated { slot, .. } => *slot,
+            | Event::JournalTruncated { slot, .. }
+            | Event::ShardRpc { slot, .. }
+            | Event::ShardCleared { slot, .. } => *slot,
         }
     }
 
@@ -271,7 +309,9 @@ impl Event {
             | Event::ClearingCache { at, .. }
             | Event::CheckpointWritten { at, .. }
             | Event::RecoveryPerformed { at, .. }
-            | Event::JournalTruncated { at, .. } => *at,
+            | Event::JournalTruncated { at, .. }
+            | Event::ShardRpc { at, .. }
+            | Event::ShardCleared { at, .. } => *at,
         }
     }
 
@@ -495,6 +535,33 @@ impl Event {
                     dropped_bytes
                 );
             }
+            Event::ShardRpc {
+                shard,
+                dir,
+                msg,
+                bytes,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"shard\":{},\"dir\":{},\"msg\":{},\"bytes\":{}",
+                    shard,
+                    json_str(dir),
+                    json_str(msg),
+                    bytes
+                );
+            }
+            Event::ShardCleared {
+                shard,
+                outcomes,
+                nanos,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"shard\":{shard},\"outcomes\":{outcomes},\"nanos\":{nanos}"
+                );
+            }
         }
         out.push('}');
         out
@@ -644,6 +711,21 @@ impl Event {
                 at,
                 reason: str_field("reason")?.to_owned(),
                 dropped_bytes: int("dropped_bytes")?,
+            }),
+            "ShardRpc" => Ok(Event::ShardRpc {
+                slot,
+                at,
+                shard: int("shard")?,
+                dir: str_field("dir")?.to_owned(),
+                msg: str_field("msg")?.to_owned(),
+                bytes: int("bytes")?,
+            }),
+            "ShardCleared" => Ok(Event::ShardCleared {
+                slot,
+                at,
+                shard: int("shard")?,
+                outcomes: int("outcomes")?,
+                nanos: int("nanos")?,
             }),
             other => Err(format!("unknown event tag {other:?}")),
         }?;
@@ -881,6 +963,21 @@ mod tests {
                 reason: "torn".to_owned(),
                 dropped_bytes: 41,
             },
+            Event::ShardRpc {
+                slot: Slot::new(80),
+                at: MonotonicNanos::from_raw(100_700),
+                shard: 1,
+                dir: "send".to_owned(),
+                msg: "BidsBatch".to_owned(),
+                bytes: 612,
+            },
+            Event::ShardCleared {
+                slot: Slot::new(80),
+                at: MonotonicNanos::from_raw(100_750),
+                shard: 1,
+                outcomes: 3,
+                nanos: 52_000,
+            },
         ]
     }
 
@@ -970,6 +1067,8 @@ mod tests {
                 ("CheckpointWritten".to_owned(), false),
                 ("RecoveryPerformed".to_owned(), true),
                 ("JournalTruncated".to_owned(), true),
+                ("ShardRpc".to_owned(), false),
+                ("ShardCleared".to_owned(), false),
             ]
         );
     }
