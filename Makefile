@@ -3,9 +3,9 @@
 CARGO ?= cargo
 JOBS ?= 4
 
-.PHONY: build test bench bench-repro bench-slots bench-check clippy \
-	determinism golden smoke-faults smoke-trace smoke-crash smoke-dist \
-	fmt verify repro
+.PHONY: build test bench bench-repro bench-slots bench-check bench-dist \
+	clippy determinism golden smoke-faults smoke-trace smoke-crash \
+	smoke-dist fmt verify repro
 
 # --workspace matters: the root Cargo.toml is a package, so a bare
 # `cargo build` would skip member binaries (repro, spotdc-trace) that
@@ -73,6 +73,11 @@ bench-repro: build
 bench-slots: build
 	$(CARGO) run -p spotdc-bench --bin bench_slots --release -- \
 		--out BENCH_slots.json
+
+# Just the distributed grid — cold/warm throughput, frames and bytes
+# per slot, delta-shipping share — without the serial/clearing rows.
+bench-dist: build
+	$(CARGO) run -p spotdc-bench --bin bench_slots --release -- --dist-only
 
 # Regression gate: re-measure and fail if inner_jobs=4 throughput fell
 # more than 10% below the committed reference.

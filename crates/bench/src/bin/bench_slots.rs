@@ -32,6 +32,11 @@
 //! shards {1, 2, 4} on both transports. Every grid point simulates
 //! the byte-identical market — only the wall-clock differs — so the
 //! rows isolate the cost of the wire protocol and process boundary.
+//! Each point is measured twice (a short cold run and a long one);
+//! the subtraction isolates *warm* throughput, where shard sessions
+//! hold the statics and bid books and only deltas travel, and wire
+//! counters report frames, bytes and the delta share per slot.
+//! `--dist-only` runs just this section (the `make bench-dist` path).
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -55,10 +60,13 @@ const CLEARING_RACKS: [usize; 2] = [15_000, 100_000];
 /// participant, so this is the 15k-rack scale of the clearing section
 /// with the full pipeline (and the shard runtime) around it.
 const DIST_TENANTS: usize = 15_000;
-/// Slots per distributed measurement; each slot ships thousands of
-/// PDU sub-markets over the wire, so a handful of slots is already
-/// tens of seconds of work on the sharded points.
+/// Warm slots per distributed measurement: the slots the long run adds
+/// on top of [`DIST_COLD_SLOTS`], all riding warm shard sessions.
 const DIST_SLOTS: u64 = 4;
+/// Slots in the short "cold" run — engine setup, the statics-bearing
+/// full sync, and the first delta slot. Subtracting its wall-clock
+/// from the long run's isolates steady-state throughput.
+const DIST_COLD_SLOTS: u64 = 2;
 
 /// One measured width.
 struct Row {
@@ -198,15 +206,25 @@ fn measure_clearing(racks: usize, iters: usize) -> ClearingRow {
 struct DistRow {
     shards: usize,
     transport: &'static str,
+    /// Whole-run throughput, cold slots included.
     slots_per_sec: f64,
+    /// Steady-state throughput once the shard sessions are warm, by
+    /// two-run subtraction: `(long − cold) slots / (t_long − t_cold)`.
+    warm_slots_per_sec: f64,
+    /// Wire frames per slot (both directions, handshakes excluded),
+    /// over the long run. O(shards), not O(sub-markets), by design.
+    frames_per_slot: f64,
+    /// Wire bytes per slot (both directions), over the long run.
+    bytes_per_slot: f64,
+    /// Share of session tasks that shipped as deltas.
+    delta_task_share: f64,
 }
 
-/// Slots/sec of one shard/transport grid point on the shared 15k-rack
-/// scenario. One sample: at this scale a run is seconds long and the
-/// grid has five points, so medians would triple an already heavy
-/// section. Cloning the scenario shares its memoized trace cache, so
-/// setup beyond the first build is cheap and outside the timed region.
-fn measure_dist(scenario: &Scenario, shards: usize, transport: TransportKind) -> f64 {
+/// Runs one shard/transport grid point for `slots` slots and returns
+/// the elapsed seconds. Cloning the scenario shares its memoized trace
+/// cache, so setup beyond the first build is cheap and outside the
+/// timed region.
+fn dist_run(scenario: &Scenario, shards: usize, transport: TransportKind, slots: u64) -> f64 {
     let config = EngineConfig {
         per_pdu_pricing: true,
         shards,
@@ -215,15 +233,59 @@ fn measure_dist(scenario: &Scenario, shards: usize, transport: TransportKind) ->
     };
     let sim = Simulation::new(scenario.clone(), config);
     let started = Instant::now();
-    let report = sim.run(DIST_SLOTS);
+    let report = sim.run(slots);
     let elapsed = started.elapsed().as_secs_f64();
-    assert_eq!(report.records.len() as u64, DIST_SLOTS);
+    assert_eq!(report.records.len() as u64, slots);
     assert_eq!(
         report.degraded_slots, 0,
         "a healthy benchmark run must not degrade (shards={shards}, {transport})"
     );
     std::hint::black_box(report.avg_spot_sold());
-    DIST_SLOTS as f64 / elapsed
+    elapsed
+}
+
+/// One grid point, warm-aware: a short cold run (setup plus the
+/// full-sync slots) and a long run (`DIST_COLD_SLOTS + DIST_SLOTS`);
+/// the difference isolates the steady state, where sessions are warm
+/// and only bid churn travels. Wire counters are snapshotted around
+/// the long run so the row also reports frames, bytes and the
+/// delta-shipping share per slot.
+fn measure_dist(scenario: &Scenario, shards: usize, transport: TransportKind) -> DistRow {
+    let t_cold = dist_run(scenario, shards, transport, DIST_COLD_SLOTS);
+    let before = spotdc_dist::wire_totals();
+    let long_slots = DIST_COLD_SLOTS + DIST_SLOTS;
+    let t_long = dist_run(scenario, shards, transport, long_slots);
+    let after = spotdc_dist::wire_totals();
+    let frames =
+        (after.frames_sent + after.frames_recv) - (before.frames_sent + before.frames_recv);
+    let bytes = (after.bytes_sent + after.bytes_recv) - (before.bytes_sent + before.bytes_recv);
+    let delta = after.delta_tasks - before.delta_tasks;
+    let full = after.full_tasks - before.full_tasks;
+    let shipped = delta + full;
+    DistRow {
+        shards,
+        transport: if shards == 1 {
+            "serial"
+        } else {
+            transport_name(transport)
+        },
+        slots_per_sec: long_slots as f64 / t_long,
+        warm_slots_per_sec: DIST_SLOTS as f64 / (t_long - t_cold).max(1e-9),
+        frames_per_slot: frames as f64 / long_slots as f64,
+        bytes_per_slot: bytes as f64 / long_slots as f64,
+        delta_task_share: if shipped == 0 {
+            0.0
+        } else {
+            delta as f64 / shipped as f64
+        },
+    }
+}
+
+fn transport_name(transport: TransportKind) -> &'static str {
+    match transport {
+        TransportKind::InProc => "inproc",
+        TransportKind::Subprocess => "subprocess",
+    }
 }
 
 /// The distributed grid: serial baseline, then shards {2, 4} on each
@@ -233,30 +295,62 @@ fn measure_dist(scenario: &Scenario, shards: usize, transport: TransportKind) ->
 /// bench_slots` alone still produces the in-process rows.
 fn measure_dist_grid() -> Vec<DistRow> {
     let scenario = Scenario::hyperscale(SEED, DIST_TENANTS);
-    let mut rows = vec![DistRow {
-        shards: 1,
-        transport: "serial",
-        slots_per_sec: measure_dist(&scenario, 1, TransportKind::InProc),
-    }];
+    // Warm the scenario's memoized tenant traces (and the allocator)
+    // over the whole measured horizon first, so the one-time costs land
+    // outside every timed region instead of inside the first row's —
+    // the warm-rate subtraction assumes cold and long runs differ only
+    // by their warm slots.
+    std::hint::black_box(dist_run(
+        &scenario,
+        1,
+        TransportKind::InProc,
+        DIST_COLD_SLOTS + DIST_SLOTS,
+    ));
+    let mut rows = vec![measure_dist(&scenario, 1, TransportKind::InProc)];
     let have_agent = spotdc_dist::agent_binary().is_some();
     if !have_agent {
         eprintln!("# skipping subprocess rows: spotdc-agent not built");
     }
     for shards in [2, 4] {
-        rows.push(DistRow {
-            shards,
-            transport: "inproc",
-            slots_per_sec: measure_dist(&scenario, shards, TransportKind::InProc),
-        });
+        rows.push(measure_dist(&scenario, shards, TransportKind::InProc));
         if have_agent {
-            rows.push(DistRow {
-                shards,
-                transport: "subprocess",
-                slots_per_sec: measure_dist(&scenario, shards, TransportKind::Subprocess),
-            });
+            rows.push(measure_dist(&scenario, shards, TransportKind::Subprocess));
         }
     }
     rows
+}
+
+/// Prints the distributed section's table.
+fn print_dist_table(dist_rows: &[DistRow]) {
+    println!(
+        "\n# distributed clearing — hyperscale({DIST_TENANTS}) spotdc per-pdu, \
+         {DIST_COLD_SLOTS}+{DIST_SLOTS} slots (cold+warm)"
+    );
+    println!(
+        "{:>6}  {:>10}  {:>9}  {:>9}  {:>9}  {:>11}  {:>10}  {:>7}",
+        "shards",
+        "transport",
+        "slots/sec",
+        "warm/sec",
+        "vs serial",
+        "frames/slot",
+        "kB/slot",
+        "delta"
+    );
+    let dist_serial = dist_rows[0].warm_slots_per_sec;
+    for r in dist_rows {
+        println!(
+            "{:>6}  {:>10}  {:>9.2}  {:>9.2}  {:>8.2}x  {:>11.1}  {:>10.1}  {:>6.0}%",
+            r.shards,
+            r.transport,
+            r.slots_per_sec,
+            r.warm_slots_per_sec,
+            r.warm_slots_per_sec / dist_serial,
+            r.frames_per_slot,
+            r.bytes_per_slot / 1024.0,
+            r.delta_task_share * 100.0
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -264,6 +358,7 @@ fn main() -> ExitCode {
     let mut slots: u64 = 60;
     let mut samples: usize = 3;
     let mut metrics_addr: Option<String> = None;
+    let mut dist_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -271,6 +366,7 @@ fn main() -> ExitCode {
                 Some(path) => out = Some(path.into()),
                 None => return usage("--out needs a file path"),
             },
+            "--dist-only" => dist_only = true,
             "--serve-metrics" => match args.next() {
                 Some(addr) => metrics_addr = Some(addr),
                 None => return usage("--serve-metrics needs an address (host:port)"),
@@ -286,6 +382,16 @@ fn main() -> ExitCode {
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument: {other}")),
         }
+    }
+    if dist_only && out.is_some() {
+        return usage("--dist-only produces a partial table; it cannot write the JSON reference");
+    }
+
+    if dist_only {
+        // Just the distributed grid — the `make bench-dist` fast path.
+        spotdc_telemetry::set_enabled(false);
+        print_dist_table(&measure_dist_grid());
+        return ExitCode::SUCCESS;
     }
 
     let server = match &metrics_addr {
@@ -382,24 +488,7 @@ fn main() -> ExitCode {
             r.racks, r.full_per_sec, r.hit_per_sec, r.delta_per_sec
         );
     }
-    println!(
-        "\n# distributed clearing — hyperscale({DIST_TENANTS}) spotdc per-pdu, \
-         {DIST_SLOTS} slots"
-    );
-    println!(
-        "{:>6}  {:>10}  {:>9}  {:>9}",
-        "shards", "transport", "slots/sec", "vs serial"
-    );
-    let dist_serial = dist_rows[0].slots_per_sec;
-    for r in &dist_rows {
-        println!(
-            "{:>6}  {:>10}  {:>9.2}  {:>8.2}x",
-            r.shards,
-            r.transport,
-            r.slots_per_sec,
-            r.slots_per_sec / dist_serial
-        );
-    }
+    print_dist_table(&dist_rows);
 
     if let Some(path) = &out {
         if let Err(e) = write_json(
@@ -480,8 +569,16 @@ fn write_json(
         .iter()
         .map(|r| {
             format!(
-                "    {{ \"shards\": {}, \"transport\": \"{}\", \"slots_per_sec\": {:.2} }}",
-                r.shards, r.transport, r.slots_per_sec
+                "    {{ \"shards\": {}, \"transport\": \"{}\", \"slots_per_sec\": {:.2}, \
+                 \"warm_slots_per_sec\": {:.2}, \"frames_per_slot\": {:.1}, \
+                 \"bytes_per_slot\": {:.0}, \"delta_task_share\": {:.2} }}",
+                r.shards,
+                r.transport,
+                r.slots_per_sec,
+                r.warm_slots_per_sec,
+                r.frames_per_slot,
+                r.bytes_per_slot,
+                r.delta_task_share
             )
         })
         .collect();
@@ -511,7 +608,7 @@ fn usage(error: &str) -> ExitCode {
     }
     eprintln!(
         "usage: bench_slots [--out <file>] [--slots <n>] [--samples <n>] \
-         [--serve-metrics <host:port>]"
+         [--serve-metrics <host:port>] [--dist-only]"
     );
     if error.is_empty() {
         ExitCode::SUCCESS

@@ -1130,6 +1130,27 @@ impl MarketClearing {
         bids: &[RackBid],
         constraints: &ConstraintSet,
     ) -> Vec<(Vec<RackBid>, ConstraintSet)> {
+        self.per_pdu_submarket_shares(bids, constraints)
+            .into_iter()
+            .map(|(group, share)| (group, constraints.clone().with_ups_spot(share)))
+            .collect()
+    }
+
+    /// Like [`Self::per_pdu_submarkets`] but returns each sub-market's
+    /// UPS spot *share* instead of materializing a full constraint-set
+    /// clone per group. The share is the exact value
+    /// `per_pdu_submarkets` passes to [`ConstraintSet::with_ups_spot`],
+    /// so `constraints.clone().with_ups_spot(share)` — or a retained
+    /// set updated via [`ConstraintSet::set_ups_spot`] — reproduces the
+    /// sub-market constraints bit for bit. The distributed controller
+    /// uses this to ship one share per task instead of ~120KB of cloned
+    /// statics.
+    #[must_use]
+    pub fn per_pdu_submarket_shares(
+        &self,
+        bids: &[RackBid],
+        constraints: &ConstraintSet,
+    ) -> Vec<(Vec<RackBid>, Watts)> {
         use std::collections::BTreeMap;
         let mut by_pdu: BTreeMap<usize, Vec<RackBid>> = BTreeMap::new();
         for b in bids {
@@ -1150,10 +1171,7 @@ impl MarketClearing {
                 } else {
                     Watts::ZERO
                 };
-                let local = constraints
-                    .clone()
-                    .with_ups_spot(share.min(constraints.ups_spot()));
-                (group, local)
+                (group, share.min(constraints.ups_spot()))
             })
             .collect()
     }

@@ -1,12 +1,35 @@
 //! Typed wire messages for the distributed controller ↔ agent split.
 //!
 //! The market distributes along its natural seam: per-PDU sub-markets
-//! ([`MarketClearing::per_pdu_submarkets`]) become [`ClearTask`]s owned
-//! by shard agents, while the controller keeps everything stateful —
+//! ([`MarketClearing::per_pdu_submarkets`]) become shard-owned tasks,
+//! while the controller keeps everything stateful at the market level —
 //! bid collection, UPS-level constraint construction, the serial
-//! in-order merge, settlement and reporting. A shard agent is therefore
-//! a *pure function* from tasks to [`ClearResult`]s, which is what
-//! makes reports byte-identical across shard counts and transports.
+//! in-order merge, settlement and reporting. Below the market level the
+//! protocol is a *session*: each agent retains the static constraint
+//! layers, its per-task bid books, and its warm `MarketClearing`
+//! engines across slots, so the controller only ships what changed.
+//!
+//! Three shipping granularities per task, coarsest to finest:
+//!
+//! - [`TaskShip::Standalone`] wraps a self-contained [`ClearTask`]
+//!   carrying its own constraints — no session state involved. This is
+//!   the generic escape hatch for heterogeneous-constraint callers.
+//! - `*Full` variants ship the task's complete bids/gains plus its UPS
+//!   spot share, against the session's shared statics. Used on resync.
+//! - `*Delta` variants ship only the bids that changed since the
+//!   previous slot, plus the share. The warm agent replays the delta
+//!   onto its held book, producing bytes identical to full shipping.
+//!
+//! The whole slot travels as **one frame per shard per direction**: a
+//! [`WireMsg::SlotFrame`] down (epoch, optional statics, the slot's
+//! per-PDU spot vector, every task) and a [`WireMsg::ShardCleared`] up
+//! (every result plus the shard's [`ClearingCacheStats`]). An agent
+//! whose session state cannot absorb a delta frame — fresh restart,
+//! epoch gap, task-kind mismatch — answers [`WireMsg::ResyncNeeded`]
+//! *without mutating anything*, and the controller re-sends the slot as
+//! a full frame. That validate-then-apply rule is what keeps reports
+//! byte-identical across shard counts, transports, and crash/recovery:
+//! a delta either lands exactly or not at all.
 //!
 //! Messages travel as [`spotdc_durable::Persist`] payloads inside the
 //! shared length-prefix + CRC-32 [`frame`](crate::frame) codec — the
@@ -16,14 +39,15 @@
 //! the framing layer and an undecodable payload as a [`WireError`]
 //! here, never a panic.
 //!
-//! The per-slot sequence (see DESIGN.md §15):
+//! The sequence (see DESIGN.md §15–§16):
 //!
 //! ```text
-//! controller → agent: AssignShard   (once, at connection setup)
-//! controller → agent: SlotOpen      (every slot)
-//! controller → agent: BidsBatch     (the shard's tasks, every slot)
-//! agent → controller: ShardCleared  (results, in task order)
-//! controller → agent: Settle        (merge done, every slot)
+//! controller → agent: AssignShard   (setup: shard identity + config)
+//! controller → agent: SlotFrame     (every slot: one coalesced frame)
+//! agent → controller: ShardCleared  (results + cache stats)
+//!               — or: ResyncNeeded  (session can't absorb the frame)
+//! controller → agent: SlotFrame     (full resync re-send, epoch bump)
+//! agent → controller: ShardCleared
 //! controller → agent: Shutdown      (once, at teardown)
 //! ```
 //!
@@ -38,7 +62,7 @@ use spotdc_durable::{DecodeError, Decoder, Encoder, Persist};
 use spotdc_units::{Price, RackId, Slot, Watts};
 
 use crate::bid::RackBid;
-use crate::clearing::{ClearingAlgorithm, ClearingConfig, MarketOutcome};
+use crate::clearing::{ClearingAlgorithm, ClearingCacheStats, ClearingConfig, MarketOutcome};
 use crate::constraints::ConstraintSet;
 use crate::demand::{DemandBid, FullBid, LinearBid, StepBid};
 use crate::maxperf::ConcaveGain;
@@ -79,9 +103,11 @@ impl From<DecodeError> for WireError {
     }
 }
 
-/// One unit of clearing work shipped to a shard agent. Tasks are pure:
-/// everything the clear needs travels inside the task, and the result
-/// depends on nothing but the task (plus the slot).
+/// One self-contained unit of clearing work. Tasks are pure: everything
+/// the clear needs travels inside the task, and the result depends on
+/// nothing but the task (plus the slot). Session shipping wraps these
+/// only in the [`TaskShip::Standalone`] escape hatch; the hot path uses
+/// the session-typed `TaskShip` variants instead.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClearTask {
     /// Clear a (sub-)market of rack bids under its constraint set —
@@ -102,7 +128,55 @@ pub enum ClearTask {
     },
 }
 
-/// A shard agent's answer to one [`ClearTask`], in task order.
+/// One task inside a [`WireMsg::SlotFrame`], at one of three shipping
+/// granularities (see the module docs). Session-typed variants carry no
+/// constraint set: the agent rebuilds each task's constraints from its
+/// held statics, the frame's `pdu_spot` vector, and the variant's
+/// `ups_spot` share — bit-identical to the controller-side
+/// `constraints.clone().with_ups_spot(share)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskShip {
+    /// A self-contained [`ClearTask`] with its own constraints, outside
+    /// the session state. Frames containing only standalone tasks need
+    /// no held statics and no epoch continuity.
+    Standalone(ClearTask),
+    /// Full shipment of a market task: every bid, in controller order.
+    MarketFull {
+        /// This task's UPS spot share (already clamped to the global).
+        ups_spot: Watts,
+        /// The complete bid list, replacing the held book.
+        bids: Vec<RackBid>,
+    },
+    /// Delta shipment of a market task against the held book from the
+    /// previous accepted frame. Applied as: truncate the held book to
+    /// `truncate_to` entries, overwrite the listed positions, then
+    /// append. Positions in `changed` are strictly below `truncate_to`.
+    MarketDelta {
+        /// This task's UPS spot share (already clamped to the global).
+        ups_spot: Watts,
+        /// New book length before appends (drops trailing entries).
+        truncate_to: u64,
+        /// `(position, bid)` overwrites, in ascending position order.
+        changed: Vec<(u64, RackBid)>,
+        /// Bids appended after position `truncate_to - 1`.
+        appended: Vec<RackBid>,
+    },
+    /// Full shipment of a MaxPerf task: every gain envelope.
+    MaxPerfFull {
+        /// This task's UPS spot share (already clamped to the global).
+        ups_spot: Watts,
+        /// Concave gain envelope per requesting rack.
+        gains: BTreeMap<RackId, ConcaveGain>,
+    },
+    /// MaxPerf task whose gain envelopes are unchanged from the held
+    /// state; only the share travels.
+    MaxPerfDelta {
+        /// This task's UPS spot share (already clamped to the global).
+        ups_spot: Watts,
+    },
+}
+
+/// A shard agent's answer to one task, in task order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClearResult {
     /// The cleared (sub-)market outcome.
@@ -118,7 +192,7 @@ pub enum ClearResult {
 pub enum WireMsg {
     /// Controller → agent, once at setup: which shard this agent is, of
     /// how many, and the clearing configuration to build its market
-    /// engine with.
+    /// engines with. Resets any session state.
     AssignShard {
         /// This agent's shard index (`0..shard_count`).
         shard: u64,
@@ -127,32 +201,47 @@ pub enum WireMsg {
         /// Clearing configuration for the shard's `MarketClearing`.
         clearing: ClearingConfig,
     },
-    /// Controller → agent, every slot: the slot is open for clearing.
-    SlotOpen {
-        /// The slot about to clear.
+    /// Controller → agent, every slot: the whole slot in one coalesced
+    /// frame — session epoch, optional static constraint layers (resync
+    /// frames carry them; steady-state frames omit them), the slot's
+    /// per-PDU spot capacities, and every task for this shard.
+    SlotFrame {
+        /// The slot to clear.
         slot: Slot,
-    },
-    /// Controller → agent, every slot: the shard's tasks for this slot
-    /// (possibly empty — the agent must still answer).
-    BidsBatch {
-        /// The slot the tasks belong to.
-        slot: Slot,
+        /// Session epoch. An agent accepts a statics-bearing frame at
+        /// any epoch (adopting it), and a session-typed statics-less
+        /// frame only at exactly `held_epoch + 1`.
+        epoch: u64,
+        /// Static constraint layers (headrooms, rack→PDU map, zones,
+        /// phases). Present on resync frames; absent in steady state.
+        statics: Option<ConstraintSet>,
+        /// The slot's per-PDU spot capacities, replacing the held
+        /// vector (applies to session-typed tasks only).
+        pdu_spot: Vec<Watts>,
         /// The shard's tasks, in controller order.
-        tasks: Vec<ClearTask>,
+        tasks: Vec<TaskShip>,
     },
-    /// Agent → controller, every slot: results for the slot's tasks,
-    /// in task order.
+    /// Agent → controller, every slot: results for the slot's tasks in
+    /// task order, plus the shard's cumulative clearing-cache counters.
     ShardCleared {
         /// The slot the results belong to.
         slot: Slot,
+        /// The agent's session epoch after applying the frame.
+        epoch: u64,
         /// One result per task, in the order the tasks arrived.
         results: Vec<ClearResult>,
+        /// Cumulative cache counters summed over the shard's engines.
+        cache: ClearingCacheStats,
     },
-    /// Controller → agent, every slot: the controller finished merging;
-    /// the slot is settled. No reply.
-    Settle {
-        /// The settled slot.
+    /// Agent → controller, instead of `ShardCleared`: the agent's
+    /// session state cannot absorb the frame (restart, epoch gap, task
+    /// kind mismatch). Nothing was mutated; the controller must re-send
+    /// the slot as a full statics-bearing frame.
+    ResyncNeeded {
+        /// The slot of the rejected frame.
         slot: Slot,
+        /// The epoch the agent currently holds (0 if fresh).
+        epoch: u64,
     },
     /// Controller → agent, once at teardown: exit cleanly. No reply.
     Shutdown,
@@ -164,10 +253,9 @@ impl WireMsg {
     pub fn name(&self) -> &'static str {
         match self {
             WireMsg::AssignShard { .. } => "AssignShard",
-            WireMsg::SlotOpen { .. } => "SlotOpen",
-            WireMsg::BidsBatch { .. } => "BidsBatch",
+            WireMsg::SlotFrame { .. } => "SlotFrame",
             WireMsg::ShardCleared { .. } => "ShardCleared",
-            WireMsg::Settle { .. } => "Settle",
+            WireMsg::ResyncNeeded { .. } => "ResyncNeeded",
             WireMsg::Shutdown => "Shutdown",
         }
     }
@@ -175,7 +263,16 @@ impl WireMsg {
     /// Encodes this message into a frame-ready payload.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut enc = Encoder::new();
+        self.encode_into(Vec::new())
+    }
+
+    /// Encodes this message into a frame-ready payload, reusing `buf`'s
+    /// allocation (the buffer is cleared first). Transports call this
+    /// every slot with a recycled buffer to avoid per-message
+    /// allocation on the hot path.
+    #[must_use]
+    pub fn encode_into(&self, buf: Vec<u8>) -> Vec<u8> {
+        let mut enc = Encoder::from_vec(buf);
         self.persist(&mut enc);
         enc.into_bytes()
     }
@@ -208,25 +305,47 @@ impl Persist for WireMsg {
                 enc.put_u64(*shard_count);
                 clearing.persist(enc);
             }
-            WireMsg::SlotOpen { slot } => {
+            WireMsg::SlotFrame {
+                slot,
+                epoch,
+                statics,
+                pdu_spot,
+                tasks,
+            } => {
                 enc.put_u8(1);
                 enc.put_u64(slot.index());
-            }
-            WireMsg::BidsBatch { slot, tasks } => {
-                enc.put_u8(2);
-                enc.put_u64(slot.index());
+                enc.put_u64(*epoch);
+                match statics {
+                    Some(s) => {
+                        enc.put_bool(true);
+                        s.persist(enc);
+                    }
+                    None => enc.put_bool(false),
+                }
+                enc.put_usize(pdu_spot.len());
+                for w in pdu_spot {
+                    enc.put_f64(w.value());
+                }
                 tasks.persist(enc);
             }
-            WireMsg::ShardCleared { slot, results } => {
+            WireMsg::ShardCleared {
+                slot,
+                epoch,
+                results,
+                cache,
+            } => {
+                enc.put_u8(2);
+                enc.put_u64(slot.index());
+                enc.put_u64(*epoch);
+                results.persist(enc);
+                cache.persist(enc);
+            }
+            WireMsg::ResyncNeeded { slot, epoch } => {
                 enc.put_u8(3);
                 enc.put_u64(slot.index());
-                results.persist(enc);
+                enc.put_u64(*epoch);
             }
-            WireMsg::Settle { slot } => {
-                enc.put_u8(4);
-                enc.put_u64(slot.index());
-            }
-            WireMsg::Shutdown => enc.put_u8(5),
+            WireMsg::Shutdown => enc.put_u8(4),
         }
     }
 
@@ -237,25 +356,160 @@ impl Persist for WireMsg {
                 shard_count: dec.get_u64()?,
                 clearing: ClearingConfig::restore(dec)?,
             }),
-            1 => Ok(WireMsg::SlotOpen {
+            1 => {
+                let slot = Slot::new(dec.get_u64()?);
+                let epoch = dec.get_u64()?;
+                let statics = if dec.get_bool()? {
+                    Some(ConstraintSet::restore(dec)?)
+                } else {
+                    None
+                };
+                let n = dec.get_usize()?;
+                if n > dec.remaining() {
+                    return Err(DecodeError::BadLength(n as u64));
+                }
+                let mut pdu_spot = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pdu_spot.push(Watts::new(dec.get_f64()?));
+                }
+                Ok(WireMsg::SlotFrame {
+                    slot,
+                    epoch,
+                    statics,
+                    pdu_spot,
+                    tasks: Vec::restore(dec)?,
+                })
+            }
+            2 => Ok(WireMsg::ShardCleared {
                 slot: Slot::new(dec.get_u64()?),
-            }),
-            2 => Ok(WireMsg::BidsBatch {
-                slot: Slot::new(dec.get_u64()?),
-                tasks: Vec::restore(dec)?,
-            }),
-            3 => Ok(WireMsg::ShardCleared {
-                slot: Slot::new(dec.get_u64()?),
+                epoch: dec.get_u64()?,
                 results: Vec::restore(dec)?,
+                cache: ClearingCacheStats::restore(dec)?,
             }),
-            4 => Ok(WireMsg::Settle {
+            3 => Ok(WireMsg::ResyncNeeded {
                 slot: Slot::new(dec.get_u64()?),
+                epoch: dec.get_u64()?,
             }),
-            5 => Ok(WireMsg::Shutdown),
+            4 => Ok(WireMsg::Shutdown),
             tag => Err(DecodeError::Invalid(format!(
                 "unknown wire message tag {tag:#04x}"
             ))),
         }
+    }
+}
+
+impl Persist for TaskShip {
+    fn persist(&self, enc: &mut Encoder) {
+        match self {
+            TaskShip::Standalone(task) => {
+                enc.put_u8(0);
+                task.persist(enc);
+            }
+            TaskShip::MarketFull { ups_spot, bids } => {
+                enc.put_u8(1);
+                enc.put_f64(ups_spot.value());
+                bids.persist(enc);
+            }
+            TaskShip::MarketDelta {
+                ups_spot,
+                truncate_to,
+                changed,
+                appended,
+            } => {
+                enc.put_u8(2);
+                enc.put_f64(ups_spot.value());
+                enc.put_u64(*truncate_to);
+                enc.put_usize(changed.len());
+                for (pos, bid) in changed {
+                    enc.put_u64(*pos);
+                    bid.persist(enc);
+                }
+                appended.persist(enc);
+            }
+            TaskShip::MaxPerfFull { ups_spot, gains } => {
+                enc.put_u8(3);
+                enc.put_f64(ups_spot.value());
+                enc.put_usize(gains.len());
+                for (rack, gain) in gains {
+                    enc.put_usize(rack.index());
+                    gain.persist(enc);
+                }
+            }
+            TaskShip::MaxPerfDelta { ups_spot } => {
+                enc.put_u8(4);
+                enc.put_f64(ups_spot.value());
+            }
+        }
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(TaskShip::Standalone(ClearTask::restore(dec)?)),
+            1 => Ok(TaskShip::MarketFull {
+                ups_spot: Watts::new(dec.get_f64()?),
+                bids: Vec::restore(dec)?,
+            }),
+            2 => {
+                let ups_spot = Watts::new(dec.get_f64()?);
+                let truncate_to = dec.get_u64()?;
+                let n = dec.get_usize()?;
+                if n > dec.remaining() {
+                    return Err(DecodeError::BadLength(n as u64));
+                }
+                let mut changed = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let pos = dec.get_u64()?;
+                    changed.push((pos, RackBid::restore(dec)?));
+                }
+                Ok(TaskShip::MarketDelta {
+                    ups_spot,
+                    truncate_to,
+                    changed,
+                    appended: Vec::restore(dec)?,
+                })
+            }
+            3 => {
+                let ups_spot = Watts::new(dec.get_f64()?);
+                let n = dec.get_usize()?;
+                if n > dec.remaining() {
+                    return Err(DecodeError::BadLength(n as u64));
+                }
+                let mut gains = BTreeMap::new();
+                for _ in 0..n {
+                    let rack = RackId::new(dec.get_usize()?);
+                    gains.insert(rack, ConcaveGain::restore(dec)?);
+                }
+                Ok(TaskShip::MaxPerfFull { ups_spot, gains })
+            }
+            4 => Ok(TaskShip::MaxPerfDelta {
+                ups_spot: Watts::new(dec.get_f64()?),
+            }),
+            tag => Err(DecodeError::Invalid(format!(
+                "unknown task-ship tag {tag:#04x}"
+            ))),
+        }
+    }
+}
+
+impl Persist for ClearingCacheStats {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_u64(self.full_sweeps);
+        enc.put_u64(self.cache_hits);
+        enc.put_u64(self.delta_sweeps);
+        enc.put_u64(self.legacy_scans);
+        enc.put_u64(self.candidates_total);
+        enc.put_u64(self.candidates_swept);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ClearingCacheStats {
+            full_sweeps: dec.get_u64()?,
+            cache_hits: dec.get_u64()?,
+            delta_sweeps: dec.get_u64()?,
+            legacy_scans: dec.get_u64()?,
+            candidates_total: dec.get_u64()?,
+            candidates_swept: dec.get_u64()?,
+        })
     }
 }
 
@@ -539,14 +793,17 @@ mod tests {
         ]
     }
 
-    fn sample_messages() -> Vec<WireMsg> {
-        let constraints = sample_constraints();
-        let gains: BTreeMap<RackId, ConcaveGain> = [(
+    fn sample_gains() -> BTreeMap<RackId, ConcaveGain> {
+        [(
             RackId::new(1),
             ConcaveGain::new(vec![(20.0, 2.0), (15.0, 0.5)]).unwrap(),
         )]
         .into_iter()
-        .collect();
+        .collect()
+    }
+
+    fn sample_messages() -> Vec<WireMsg> {
+        let constraints = sample_constraints();
         let outcome = crate::clearing::MarketClearing::new(ClearingConfig::default()).clear(
             Slot::new(3),
             &sample_bids(),
@@ -558,27 +815,69 @@ mod tests {
                 shard_count: 4,
                 clearing: ClearingConfig::kink_search(),
             },
-            WireMsg::SlotOpen { slot: Slot::new(7) },
-            WireMsg::BidsBatch {
+            WireMsg::SlotFrame {
                 slot: Slot::new(7),
+                epoch: 1,
+                statics: Some(constraints.clone()),
+                pdu_spot: vec![Watts::new(60.0), Watts::new(30.0)],
                 tasks: vec![
-                    ClearTask::Market {
+                    TaskShip::MarketFull {
+                        ups_spot: Watts::new(40.0),
+                        bids: sample_bids(),
+                    },
+                    TaskShip::MaxPerfFull {
+                        ups_spot: Watts::new(30.0),
+                        gains: sample_gains(),
+                    },
+                ],
+            },
+            WireMsg::SlotFrame {
+                slot: Slot::new(8),
+                epoch: 2,
+                statics: None,
+                pdu_spot: vec![Watts::new(55.0), Watts::new(35.0)],
+                tasks: vec![
+                    TaskShip::MarketDelta {
+                        ups_spot: Watts::new(42.0),
+                        truncate_to: 2,
+                        changed: vec![(1, sample_bids().remove(2))],
+                        appended: vec![sample_bids().remove(0)],
+                    },
+                    TaskShip::MaxPerfDelta {
+                        ups_spot: Watts::new(28.0),
+                    },
+                    TaskShip::Standalone(ClearTask::Market {
                         bids: sample_bids(),
                         constraints: constraints.clone(),
-                    },
-                    ClearTask::MaxPerf { gains, constraints },
+                    }),
+                    TaskShip::Standalone(ClearTask::MaxPerf {
+                        gains: sample_gains(),
+                        constraints,
+                    }),
                 ],
             },
             WireMsg::ShardCleared {
                 slot: Slot::new(7),
+                epoch: 2,
                 results: vec![
                     ClearResult::Market(outcome),
                     ClearResult::MaxPerf(
                         [(RackId::new(1), Watts::new(12.5))].into_iter().collect(),
                     ),
                 ],
+                cache: ClearingCacheStats {
+                    full_sweeps: 3,
+                    cache_hits: 11,
+                    delta_sweeps: 2,
+                    legacy_scans: 1,
+                    candidates_total: 900,
+                    candidates_swept: 41,
+                },
             },
-            WireMsg::Settle { slot: Slot::new(7) },
+            WireMsg::ResyncNeeded {
+                slot: Slot::new(9),
+                epoch: 0,
+            },
             WireMsg::Shutdown,
         ]
     }
@@ -590,6 +889,16 @@ mod tests {
             frame::write_frame(&mut buf, &msg.encode()).unwrap();
             let payload = frame::read_frame(&mut &buf[..]).unwrap().unwrap();
             assert_eq!(WireMsg::decode(&payload).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer_and_matches_encode() {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(b"stale bytes from the previous slot");
+        for msg in sample_messages() {
+            buf = msg.encode_into(buf);
+            assert_eq!(buf, msg.encode());
         }
     }
 

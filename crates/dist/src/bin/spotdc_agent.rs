@@ -2,8 +2,11 @@
 //!
 //! Speaks the framed wire protocol on stdin/stdout — length-prefixed,
 //! CRC-32-checked payloads carrying [`spotdc_core::WireMsg`] — and
-//! clears whatever tasks the controller sends. All market state lives
-//! at the controller; this process is a pure clearing worker.
+//! clears whatever slot frames the controller sends. The agent holds a
+//! *session* (static constraint layers, held bid books, warm clearing
+//! engines) so the controller can ship deltas between slots, but all
+//! cross-slot market state — balances, meters, emergencies — lives at
+//! the controller; losing this process loses nothing but a cache.
 //!
 //! Exit status: 0 after a clean `Shutdown`, 1 on a damaged stream,
 //! an undecodable payload, or end of input without `Shutdown`.
@@ -28,20 +31,28 @@ fn main() -> ExitCode {
 
 fn serve(input: &mut impl Read, output: &mut impl Write) -> io::Result<()> {
     let mut agent = AgentLoop::new();
+    // One recycled buffer per direction: frames arrive and leave every
+    // slot, and the reply is written to the pipe in a single write.
+    let mut payload = Vec::new();
+    let mut reply_payload = Vec::new();
+    let mut reply_frame = Vec::new();
     loop {
-        let Some(payload) = frame::read_frame(input)? else {
+        if !frame::read_frame_into(input, &mut payload)? {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "controller closed the stream without Shutdown",
             ));
-        };
+        }
         let msg = WireMsg::decode(&payload)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         if matches!(msg, WireMsg::Shutdown) {
             return Ok(());
         }
         if let Some(reply) = agent.handle(msg) {
-            frame::write_frame(output, &reply.encode())?;
+            reply_payload = reply.encode_into(reply_payload);
+            reply_frame.clear();
+            frame::write_frame(&mut reply_frame, &reply_payload)?;
+            output.write_all(&reply_frame)?;
             output.flush()?;
         }
     }

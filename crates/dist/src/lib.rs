@@ -1,14 +1,23 @@
 //! The controller/agent shard split for the SpotDC market.
 //!
-//! Distributed mode runs the clearing plane — the pure task→result
-//! computation of [`spotdc_core::wire`] — inside *shard agents*, each
+//! Distributed mode runs the clearing plane inside *shard agents*, each
 //! owning a disjoint set of PDU sub-markets, while the controller (the
-//! simulation pipeline) keeps everything stateful: bid collection,
-//! UPS-level constraint construction, the serial in-order merge,
-//! settlement and reporting. Because agents are pure and the controller
-//! merges replies in shard order, reports are byte-identical across
-//! shard counts and transports — the same discipline the golden-report
-//! guard enforces for every other axis of the system.
+//! simulation pipeline) keeps everything stateful at the market level:
+//! bid collection, UPS-level constraint construction, the serial
+//! in-order merge, settlement and reporting. Below the market level the
+//! wire protocol is a *session* ([`spotdc_core::wire`]): each shard
+//! retains the static constraint layers, its held bid books, and a warm
+//! clearing engine per task position across slots, so the controller
+//! ships statics once per resync and per-task bid **deltas** afterwards
+//! — the whole slot travels as one coalesced [`WireMsg::SlotFrame`] per
+//! shard per direction. A shard that cannot absorb a frame (restart,
+//! epoch gap) answers `ResyncNeeded` without mutating and is re-sent
+//! the slot in full, so a delta either replays to exactly the bytes
+//! full shipping would produce or not at all. Because the merge is in
+//! shard order and the session replay is bit-exact, reports stay
+//! byte-identical across shard counts and transports — the same
+//! discipline the golden-report guard enforces for every other axis of
+//! the system.
 //!
 //! Two transports implement the one [`ShardTransport`] trait:
 //!
@@ -22,11 +31,12 @@
 //!   [`spotdc_core::frame`]).
 //!
 //! Failure semantics follow the paper's comms-loss rule: a dead agent
-//! or damaged frame permanently degrades that shard's sub-markets to
-//! "no spot capacity" at the controller ([`ShardRuntime::clear_tasks`]
-//! returns `None` for its tasks); the market never invents capacity and
-//! never crashes. See DESIGN.md §15 for the topology and message
-//! sequence.
+//! or damaged frame degrades that shard's sub-markets to "no spot
+//! capacity" at the controller ([`ShardRuntime::clear_session`] returns
+//! `None` for its tasks) for the slots it is down; at the next dispatch
+//! the controller respawns it (bounded budget) and resyncs it in full.
+//! The market never invents capacity and never crashes. See DESIGN.md
+//! §15–§16 for the topology, the session protocol and the resync rules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,7 +45,10 @@ mod controller;
 mod shard;
 mod transport;
 
-pub use controller::ShardRuntime;
+#[cfg(doc)]
+use spotdc_core::WireMsg;
+
+pub use controller::{wire_totals, SessionTask, ShardRuntime, WireStats};
 pub use shard::{AgentLoop, MarketShard};
 pub use transport::{agent_binary, InProcTransport, ShardTransport, SubprocessTransport};
 

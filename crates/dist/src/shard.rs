@@ -1,36 +1,73 @@
-//! The agent side of the split: a pure clearing engine plus the message
-//! loop that drives it, shared by every transport.
+//! The agent side of the split: a stateful per-shard clearing session
+//! plus the message loop that drives it, shared by every transport.
+
+use std::collections::BTreeMap;
 
 use spotdc_core::{
-    max_perf_allocate, ClearResult, ClearTask, ClearingConfig, MarketClearing, WireMsg,
+    max_perf_allocate, ClearResult, ClearTask, ClearingCacheStats, ClearingConfig, ConcaveGain,
+    ConstraintSet, MarketClearing, RackBid, TaskShip, WireMsg,
 };
-use spotdc_units::Slot;
+use spotdc_units::{RackId, Slot, Watts};
 
-/// One shard's market engine: a [`MarketClearing`] built from the
-/// controller's [`AssignShard`](WireMsg::AssignShard) configuration,
-/// applied task by task.
+/// What a shard holds for one task position between slots: the previous
+/// accepted frame's bids/gains, which the next frame's delta variants
+/// mutate in place.
+#[derive(Debug)]
+enum HeldTask {
+    /// The position last carried a self-contained [`TaskShip::Standalone`]
+    /// task; nothing is retained (the task travels whole every slot).
+    Standalone,
+    /// A market sub-task's full bid book.
+    Market { bids: Vec<RackBid> },
+    /// A MaxPerf task's gain envelopes.
+    MaxPerf {
+        gains: BTreeMap<RackId, ConcaveGain>,
+    },
+}
+
+/// One shard's clearing *session*: the static constraint layers adopted
+/// at the last resync, a held bid book and a warm [`MarketClearing`]
+/// engine per task position, and the session epoch that guards delta
+/// application.
 ///
-/// A shard is a *pure function* of its tasks — it holds no cross-slot
-/// market state (bank balances, meters, emergencies all live at the
-/// controller), only the clearing engine and its internal result cache,
-/// which is bit-transparent by construction. That purity is what makes
-/// reports byte-identical across shard counts.
+/// A shard still computes nothing but pure task→result clears — all
+/// cross-slot *market* state (bank balances, meters, emergencies) lives
+/// at the controller. What the session retains is purely a transmission
+/// and caching optimization: held books let the controller ship deltas,
+/// and per-position engines keep the columnar bid-book fingerprint
+/// cache warm so a remote re-clear hits exactly like a local one. Every
+/// frame is **validated before anything mutates**: a frame the session
+/// cannot absorb (epoch gap, kind mismatch, out-of-range delta) is
+/// answered with [`WireMsg::ResyncNeeded`] and leaves the session
+/// untouched, which is what keeps reports byte-identical across shard
+/// counts, transports, and resync storms.
 #[derive(Debug)]
 pub struct MarketShard {
     id: u64,
     count: u64,
-    clearing: MarketClearing,
+    config: ClearingConfig,
+    epoch: u64,
+    /// The session constraint set: static layers from the last
+    /// statics-bearing frame, per-PDU spot overwritten each frame, UPS
+    /// spot overwritten per task. `None` until the first resync frame.
+    session: Option<ConstraintSet>,
+    /// Held state and a warm engine per task position.
+    held: Vec<(HeldTask, MarketClearing)>,
 }
 
 impl MarketShard {
     /// Builds shard `id` of `count` with the controller's clearing
-    /// configuration.
+    /// configuration. The session starts cold: the first frame must
+    /// carry statics (or only standalone tasks) to be accepted.
     #[must_use]
     pub fn new(id: u64, count: u64, config: ClearingConfig) -> Self {
         MarketShard {
             id,
             count,
-            clearing: MarketClearing::new(config),
+            config,
+            epoch: 0,
+            session: None,
+            held: Vec::new(),
         }
     }
 
@@ -46,20 +83,162 @@ impl MarketShard {
         self.count
     }
 
-    /// Clears every task for `slot`, returning results in task order.
+    /// The session epoch after the last accepted frame.
     #[must_use]
-    pub fn clear(&self, slot: Slot, tasks: &[ClearTask]) -> Vec<ClearResult> {
-        tasks
-            .iter()
-            .map(|task| match task {
-                ClearTask::Market { bids, constraints } => {
-                    ClearResult::Market(self.clearing.clear(slot, bids, constraints))
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cumulative clearing-cache counters summed across this shard's
+    /// per-position engines.
+    #[must_use]
+    pub fn cache_stats(&self) -> ClearingCacheStats {
+        let mut sum = ClearingCacheStats::default();
+        for (_, engine) in &self.held {
+            let s = engine.cache_stats();
+            sum.full_sweeps += s.full_sweeps;
+            sum.cache_hits += s.cache_hits;
+            sum.delta_sweeps += s.delta_sweeps;
+            sum.legacy_scans += s.legacy_scans;
+            sum.candidates_total += s.candidates_total;
+            sum.candidates_swept += s.candidates_swept;
+        }
+        sum
+    }
+
+    /// Applies one slot frame and returns the reply: a
+    /// [`WireMsg::ShardCleared`] with one result per task in task
+    /// order, or [`WireMsg::ResyncNeeded`] if the session cannot absorb
+    /// the frame — in which case *nothing* was mutated and the
+    /// controller must re-send the slot as a full statics-bearing
+    /// frame.
+    pub fn handle_frame(
+        &mut self,
+        slot: Slot,
+        epoch: u64,
+        statics: Option<ConstraintSet>,
+        pdu_spot: &[Watts],
+        tasks: Vec<TaskShip>,
+    ) -> WireMsg {
+        if !self.frame_is_absorbable(epoch, statics.is_some(), &tasks) {
+            return WireMsg::ResyncNeeded {
+                slot,
+                epoch: self.epoch,
+            };
+        }
+        // Validated: apply. Adopt statics, advance the epoch, refresh
+        // the per-slot PDU spot vector, then clear task by task.
+        if let Some(s) = statics {
+            self.session = Some(s);
+        }
+        self.epoch = epoch;
+        if let Some(session) = &mut self.session {
+            session.set_pdu_spot(pdu_spot);
+        }
+        while self.held.len() < tasks.len() {
+            self.held
+                .push((HeldTask::Standalone, MarketClearing::new(self.config)));
+        }
+        self.held.truncate(tasks.len());
+        let mut results = Vec::with_capacity(tasks.len());
+        for (j, ship) in tasks.into_iter().enumerate() {
+            let (held, engine) = &mut self.held[j];
+            results.push(match ship {
+                TaskShip::Standalone(task) => {
+                    *held = HeldTask::Standalone;
+                    match task {
+                        ClearTask::Market { bids, constraints } => {
+                            ClearResult::Market(engine.clear(slot, &bids, &constraints))
+                        }
+                        ClearTask::MaxPerf { gains, constraints } => {
+                            ClearResult::MaxPerf(max_perf_allocate(&gains, &constraints))
+                        }
+                    }
                 }
-                ClearTask::MaxPerf { gains, constraints } => {
-                    ClearResult::MaxPerf(max_perf_allocate(gains, constraints))
+                TaskShip::MarketFull { ups_spot, bids } => {
+                    *held = HeldTask::Market { bids };
+                    let session = self.session.as_mut().expect("validated");
+                    session.set_ups_spot(ups_spot);
+                    let HeldTask::Market { bids } = held else {
+                        unreachable!()
+                    };
+                    ClearResult::Market(engine.clear(slot, bids, session))
                 }
-            })
-            .collect()
+                TaskShip::MarketDelta {
+                    ups_spot,
+                    truncate_to,
+                    changed,
+                    appended,
+                } => {
+                    let HeldTask::Market { bids } = held else {
+                        unreachable!("validated")
+                    };
+                    bids.truncate(truncate_to as usize);
+                    for (pos, bid) in changed {
+                        bids[pos as usize] = bid;
+                    }
+                    bids.extend(appended);
+                    let session = self.session.as_mut().expect("validated");
+                    session.set_ups_spot(ups_spot);
+                    ClearResult::Market(engine.clear(slot, bids, session))
+                }
+                TaskShip::MaxPerfFull { ups_spot, gains } => {
+                    *held = HeldTask::MaxPerf { gains };
+                    let session = self.session.as_mut().expect("validated");
+                    session.set_ups_spot(ups_spot);
+                    let HeldTask::MaxPerf { gains } = held else {
+                        unreachable!()
+                    };
+                    ClearResult::MaxPerf(max_perf_allocate(gains, session))
+                }
+                TaskShip::MaxPerfDelta { ups_spot } => {
+                    let HeldTask::MaxPerf { gains } = held else {
+                        unreachable!("validated")
+                    };
+                    let session = self.session.as_mut().expect("validated");
+                    session.set_ups_spot(ups_spot);
+                    ClearResult::MaxPerf(max_perf_allocate(gains, session))
+                }
+            });
+        }
+        WireMsg::ShardCleared {
+            slot,
+            epoch: self.epoch,
+            results,
+            cache: self.cache_stats(),
+        }
+    }
+
+    /// The validate half of validate-then-apply: whether every task in
+    /// the frame can land on the current session state. Session-typed
+    /// tasks need statics (carried or held, with exact epoch continuity
+    /// when held); delta tasks additionally need a kind-matched held
+    /// position and in-range edit positions. Frames with only
+    /// standalone tasks are always absorbable.
+    fn frame_is_absorbable(&self, epoch: u64, has_statics: bool, tasks: &[TaskShip]) -> bool {
+        let session_typed = tasks.iter().any(|t| !matches!(t, TaskShip::Standalone(_)));
+        if session_typed && !has_statics && (self.session.is_none() || epoch != self.epoch + 1) {
+            return false;
+        }
+        tasks.iter().enumerate().all(|(j, ship)| match ship {
+            TaskShip::Standalone(_)
+            | TaskShip::MarketFull { .. }
+            | TaskShip::MaxPerfFull { .. } => true,
+            TaskShip::MarketDelta {
+                truncate_to,
+                changed,
+                ..
+            } => match self.held.get(j) {
+                Some((HeldTask::Market { bids }, _)) => {
+                    *truncate_to <= bids.len() as u64
+                        && changed.iter().all(|(pos, _)| pos < truncate_to)
+                }
+                _ => false,
+            },
+            TaskShip::MaxPerfDelta { .. } => {
+                matches!(self.held.get(j), Some((HeldTask::MaxPerf { .. }, _)))
+            }
+        })
     }
 }
 
@@ -68,10 +247,11 @@ impl MarketShard {
 /// two transports cannot drift behaviorally.
 ///
 /// The loop is deliberately forgiving: unexpected messages are ignored
-/// rather than fatal, and a [`BidsBatch`](WireMsg::BidsBatch) arriving
-/// before [`AssignShard`](WireMsg::AssignShard) is answered with an
-/// empty result list — the controller sees the length mismatch and
-/// degrades that shard instead of hanging.
+/// rather than fatal, and a [`SlotFrame`](WireMsg::SlotFrame) arriving
+/// before [`AssignShard`](WireMsg::AssignShard) is answered with
+/// [`ResyncNeeded`](WireMsg::ResyncNeeded) at epoch 0 — the controller
+/// re-sends in full or, if that fails too, degrades the shard instead
+/// of hanging.
 #[derive(Debug, Default)]
 pub struct AgentLoop {
     shard: Option<MarketShard>,
@@ -98,20 +278,19 @@ impl AgentLoop {
                 self.shard = Some(MarketShard::new(shard, shard_count, clearing));
                 None
             }
-            WireMsg::BidsBatch { slot, tasks } => {
-                let results = match &self.shard {
-                    Some(shard) => shard.clear(slot, &tasks),
-                    None => Vec::new(),
-                };
-                Some(WireMsg::ShardCleared { slot, results })
-            }
-            // SlotOpen/Settle are pacing markers today (the shard keeps
-            // no per-slot state to open or settle); an agent never
-            // receives ShardCleared and ignores it rather than crash.
-            WireMsg::SlotOpen { .. }
-            | WireMsg::Settle { .. }
-            | WireMsg::ShardCleared { .. }
-            | WireMsg::Shutdown => None,
+            WireMsg::SlotFrame {
+                slot,
+                epoch,
+                statics,
+                pdu_spot,
+                tasks,
+            } => Some(match &mut self.shard {
+                Some(shard) => shard.handle_frame(slot, epoch, statics, &pdu_spot, tasks),
+                None => WireMsg::ResyncNeeded { slot, epoch: 0 },
+            }),
+            // An agent never receives the agent→controller messages and
+            // ignores them rather than crash.
+            WireMsg::ShardCleared { .. } | WireMsg::ResyncNeeded { .. } | WireMsg::Shutdown => None,
         }
     }
 }
@@ -119,11 +298,10 @@ impl AgentLoop {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeMap;
 
-    use spotdc_core::{ConcaveGain, ConstraintSet, LinearBid, RackBid};
+    use spotdc_core::{LinearBid, StepBid};
     use spotdc_power::topology::TopologyBuilder;
-    use spotdc_units::{Price, RackId, TenantId, Watts};
+    use spotdc_units::{Price, TenantId};
 
     fn constraints() -> ConstraintSet {
         let topo = TopologyBuilder::new(Watts::new(400.0))
@@ -135,41 +313,202 @@ mod tests {
         ConstraintSet::new(&topo, vec![Watts::new(60.0)], Watts::new(60.0))
     }
 
-    fn market_task() -> ClearTask {
-        ClearTask::Market {
-            bids: vec![RackBid::new(
-                RackId::new(0),
-                LinearBid::new(
-                    Watts::new(40.0),
-                    Price::per_kw_hour(0.05),
-                    Watts::new(10.0),
-                    Price::per_kw_hour(0.30),
-                )
+    fn bid(rack: usize) -> RackBid {
+        RackBid::new(
+            RackId::new(rack),
+            LinearBid::new(
+                Watts::new(40.0),
+                Price::per_kw_hour(0.05),
+                Watts::new(10.0),
+                Price::per_kw_hour(0.30),
+            )
+            .unwrap()
+            .into(),
+        )
+    }
+
+    fn step_bid(rack: usize) -> RackBid {
+        RackBid::new(
+            RackId::new(rack),
+            StepBid::new(Watts::new(25.0), Price::per_kw_hour(0.2))
                 .unwrap()
                 .into(),
-            )],
-            constraints: constraints(),
-        }
+        )
     }
 
     #[test]
-    fn shard_matches_a_direct_clearing_engine() {
-        let shard = MarketShard::new(0, 2, ClearingConfig::default());
+    fn full_then_delta_matches_a_direct_clearing_engine() {
+        let mut shard = MarketShard::new(0, 2, ClearingConfig::default());
         let direct = MarketClearing::new(ClearingConfig::default());
-        let ClearTask::Market { bids, constraints } = market_task() else {
-            unreachable!()
-        };
-        let results = shard.clear(Slot::new(3), &[market_task()]);
-        assert_eq!(
-            results,
-            vec![ClearResult::Market(direct.clear(
-                Slot::new(3),
-                &bids,
-                &constraints
-            ))]
+        let c = constraints();
+        let spot: Vec<Watts> = c.pdu_spots().to_vec();
+
+        // Resync frame: statics + full bids.
+        let reply = shard.handle_frame(
+            Slot::new(3),
+            1,
+            Some(c.clone()),
+            &spot,
+            vec![TaskShip::MarketFull {
+                ups_spot: Watts::new(50.0),
+                bids: vec![bid(0)],
+            }],
         );
+        let want = direct.clear(
+            Slot::new(3),
+            &[bid(0)],
+            &c.clone().with_ups_spot(Watts::new(50.0)),
+        );
+        let WireMsg::ShardCleared { epoch, results, .. } = reply else {
+            panic!("expected ShardCleared, got {reply:?}");
+        };
+        assert_eq!(epoch, 1);
+        assert_eq!(results, vec![ClearResult::Market(want)]);
+
+        // Delta frame: swap the bid, keep the statics held.
+        let reply = shard.handle_frame(
+            Slot::new(4),
+            2,
+            None,
+            &spot,
+            vec![TaskShip::MarketDelta {
+                ups_spot: Watts::new(45.0),
+                truncate_to: 1,
+                changed: vec![(0, step_bid(1))],
+                appended: vec![bid(0)],
+            }],
+        );
+        let want = direct.clear(
+            Slot::new(4),
+            &[step_bid(1), bid(0)],
+            &c.clone().with_ups_spot(Watts::new(45.0)),
+        );
+        let WireMsg::ShardCleared {
+            epoch,
+            results,
+            cache,
+            ..
+        } = reply
+        else {
+            panic!("expected ShardCleared, got {reply:?}");
+        };
+        assert_eq!(epoch, 2);
+        assert_eq!(results, vec![ClearResult::Market(want)]);
+        assert_eq!(cache, shard.cache_stats());
         assert_eq!(shard.id(), 0);
         assert_eq!(shard.shard_count(), 2);
+    }
+
+    #[test]
+    fn unabsorbable_frames_resync_without_mutating() {
+        let mut shard = MarketShard::new(0, 1, ClearingConfig::default());
+        let c = constraints();
+        let spot: Vec<Watts> = c.pdu_spots().to_vec();
+
+        // Cold session: a statics-less session frame is rejected.
+        let reply = shard.handle_frame(
+            Slot::new(1),
+            1,
+            None,
+            &spot,
+            vec![TaskShip::MarketFull {
+                ups_spot: Watts::new(50.0),
+                bids: vec![bid(0)],
+            }],
+        );
+        assert_eq!(
+            reply,
+            WireMsg::ResyncNeeded {
+                slot: Slot::new(1),
+                epoch: 0,
+            }
+        );
+
+        // Warm it up, then present an epoch gap: rejected, epoch held.
+        shard.handle_frame(
+            Slot::new(1),
+            1,
+            Some(c.clone()),
+            &spot,
+            vec![TaskShip::MarketFull {
+                ups_spot: Watts::new(50.0),
+                bids: vec![bid(0)],
+            }],
+        );
+        let reply = shard.handle_frame(
+            Slot::new(2),
+            7,
+            None,
+            &spot,
+            vec![TaskShip::MarketDelta {
+                ups_spot: Watts::new(50.0),
+                truncate_to: 1,
+                changed: Vec::new(),
+                appended: Vec::new(),
+            }],
+        );
+        assert_eq!(
+            reply,
+            WireMsg::ResyncNeeded {
+                slot: Slot::new(2),
+                epoch: 1,
+            }
+        );
+        assert_eq!(shard.epoch(), 1);
+
+        // A delta against a kind-mismatched position is rejected too.
+        let reply = shard.handle_frame(
+            Slot::new(2),
+            2,
+            None,
+            &spot,
+            vec![TaskShip::MaxPerfDelta {
+                ups_spot: Watts::new(50.0),
+            }],
+        );
+        assert_eq!(
+            reply,
+            WireMsg::ResyncNeeded {
+                slot: Slot::new(2),
+                epoch: 1,
+            }
+        );
+
+        // An out-of-range delta edit is rejected without mutating.
+        let reply = shard.handle_frame(
+            Slot::new(2),
+            2,
+            None,
+            &spot,
+            vec![TaskShip::MarketDelta {
+                ups_spot: Watts::new(50.0),
+                truncate_to: 5,
+                changed: Vec::new(),
+                appended: Vec::new(),
+            }],
+        );
+        assert_eq!(
+            reply,
+            WireMsg::ResyncNeeded {
+                slot: Slot::new(2),
+                epoch: 1,
+            }
+        );
+
+        // The session is intact: the in-sequence delta still lands.
+        let reply = shard.handle_frame(
+            Slot::new(2),
+            2,
+            None,
+            &spot,
+            vec![TaskShip::MarketDelta {
+                ups_spot: Watts::new(45.0),
+                truncate_to: 1,
+                changed: Vec::new(),
+                appended: Vec::new(),
+            }],
+        );
+        assert!(matches!(reply, WireMsg::ShardCleared { epoch: 2, .. }));
     }
 
     #[test]
@@ -183,45 +522,56 @@ mod tests {
             }),
             None
         );
-        assert_eq!(agent.handle(WireMsg::SlotOpen { slot: Slot::new(5) }), None);
         let gains: BTreeMap<RackId, ConcaveGain> =
             [(RackId::new(0), ConcaveGain::new(vec![(20.0, 2.0)]).unwrap())]
                 .into_iter()
                 .collect();
+        let c = constraints();
         let reply = agent
-            .handle(WireMsg::BidsBatch {
+            .handle(WireMsg::SlotFrame {
                 slot: Slot::new(5),
+                epoch: 1,
+                statics: Some(c.clone()),
+                pdu_spot: c.pdu_spots().to_vec(),
                 tasks: vec![
-                    market_task(),
-                    ClearTask::MaxPerf {
+                    TaskShip::MarketFull {
+                        ups_spot: Watts::new(50.0),
+                        bids: vec![bid(0)],
+                    },
+                    TaskShip::MaxPerfFull {
+                        ups_spot: Watts::new(30.0),
                         gains,
-                        constraints: constraints(),
                     },
                 ],
             })
-            .expect("a batch demands a reply");
-        let WireMsg::ShardCleared { slot, results } = reply else {
+            .expect("a slot frame demands a reply");
+        let WireMsg::ShardCleared { slot, results, .. } = reply else {
             panic!("expected ShardCleared, got {reply:?}");
         };
         assert_eq!(slot, Slot::new(5));
         assert_eq!(results.len(), 2);
         assert!(matches!(results[0], ClearResult::Market(_)));
         assert!(matches!(results[1], ClearResult::MaxPerf(_)));
-        assert_eq!(agent.handle(WireMsg::Settle { slot: Slot::new(5) }), None);
     }
 
     #[test]
-    fn unassigned_agent_answers_batches_with_no_results() {
+    fn unassigned_agent_answers_frames_with_resync_needed() {
         let mut agent = AgentLoop::new();
-        let reply = agent.handle(WireMsg::BidsBatch {
+        let reply = agent.handle(WireMsg::SlotFrame {
             slot: Slot::new(1),
-            tasks: vec![market_task()],
+            epoch: 1,
+            statics: None,
+            pdu_spot: Vec::new(),
+            tasks: vec![TaskShip::Standalone(ClearTask::Market {
+                bids: vec![bid(0)],
+                constraints: constraints(),
+            })],
         });
         assert_eq!(
             reply,
-            Some(WireMsg::ShardCleared {
+            Some(WireMsg::ResyncNeeded {
                 slot: Slot::new(1),
-                results: Vec::new(),
+                epoch: 0,
             })
         );
     }

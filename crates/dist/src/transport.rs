@@ -39,6 +39,11 @@ pub trait ShardTransport: Send + std::fmt::Debug {
     /// Any transport failure, a torn or corrupt frame, or a payload
     /// that does not decode to a [`WireMsg`].
     fn recv(&mut self) -> io::Result<(WireMsg, u64)>;
+
+    /// The OS pid behind this transport, if it is a separate process.
+    fn pid(&self) -> Option<u32> {
+        None
+    }
 }
 
 fn framed(msg: &WireMsg) -> io::Result<Vec<u8>> {
@@ -61,6 +66,12 @@ pub struct InProcTransport {
     to_agent: Sender<Vec<u8>>,
     from_agent: Receiver<Vec<u8>>,
     thread: Option<JoinHandle<()>>,
+    /// Recycled encode scratch: the framed buffer itself must be a
+    /// fresh allocation (it is moved into the channel), but the payload
+    /// encoding reuses this one across slots.
+    payload_buf: Vec<u8>,
+    /// Recycled unframe scratch for received replies.
+    recv_buf: Vec<u8>,
 }
 
 impl InProcTransport {
@@ -77,10 +88,13 @@ impl InProcTransport {
             .spawn(move || {
                 let _scope = run.as_deref().map(spotdc_telemetry::run_scope);
                 let mut agent = AgentLoop::new();
+                let mut payload = Vec::new();
+                let mut reply_buf = Vec::new();
                 while let Ok(bytes) = agent_rx.recv() {
-                    let Ok(Some(payload)) = frame::read_frame(&mut bytes.as_slice()) else {
-                        break;
-                    };
+                    match frame::read_frame_into(&mut bytes.as_slice(), &mut payload) {
+                        Ok(true) => {}
+                        _ => break,
+                    }
                     let Ok(msg) = WireMsg::decode(&payload) else {
                         break;
                     };
@@ -88,7 +102,11 @@ impl InProcTransport {
                         break;
                     }
                     if let Some(reply) = agent.handle(msg) {
-                        let Ok(framed) = framed(&reply) else { break };
+                        reply_buf = reply.encode_into(reply_buf);
+                        let mut framed = Vec::with_capacity(frame::HEADER_LEN + reply_buf.len());
+                        if frame::write_frame(&mut framed, &reply_buf).is_err() {
+                            break;
+                        }
                         if agent_tx.send(framed).is_err() {
                             break;
                         }
@@ -100,13 +118,18 @@ impl InProcTransport {
             to_agent,
             from_agent,
             thread: Some(thread),
+            payload_buf: Vec::new(),
+            recv_buf: Vec::new(),
         }
     }
 }
 
 impl ShardTransport for InProcTransport {
     fn send(&mut self, msg: &WireMsg) -> io::Result<u64> {
-        let bytes = framed(msg)?;
+        let payload = msg.encode_into(std::mem::take(&mut self.payload_buf));
+        let mut bytes = Vec::with_capacity(frame::HEADER_LEN + payload.len());
+        frame::write_frame(&mut bytes, &payload)?;
+        self.payload_buf = payload;
         let n = bytes.len() as u64;
         self.to_agent.send(bytes).map_err(|_| {
             io::Error::new(io::ErrorKind::BrokenPipe, "shard agent thread has exited")
@@ -122,10 +145,13 @@ impl ShardTransport for InProcTransport {
             )
         })?;
         let n = bytes.len() as u64;
-        let payload = frame::read_frame(&mut bytes.as_slice())?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "empty frame from shard agent")
-        })?;
-        Ok((decode_frame(&payload)?, n))
+        if !frame::read_frame_into(&mut bytes.as_slice(), &mut self.recv_buf)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "empty frame from shard agent",
+            ));
+        }
+        Ok((decode_frame(&self.recv_buf)?, n))
     }
 }
 
@@ -149,6 +175,14 @@ pub struct SubprocessTransport {
     child: Child,
     stdin: Option<BufWriter<ChildStdin>>,
     stdout: BufReader<ChildStdout>,
+    /// Recycled encode scratch, reused across slots.
+    payload_buf: Vec<u8>,
+    /// Recycled framed-bytes scratch: the whole frame is assembled here
+    /// and written to the pipe with a single `write_all`, so even an
+    /// unbuffered pipe sees one write per message.
+    frame_buf: Vec<u8>,
+    /// Recycled unframe scratch for received replies.
+    recv_buf: Vec<u8>,
 }
 
 impl SubprocessTransport {
@@ -170,14 +204,10 @@ impl SubprocessTransport {
             child,
             stdin: Some(BufWriter::new(stdin)),
             stdout: BufReader::new(stdout),
+            payload_buf: Vec::new(),
+            frame_buf: Vec::new(),
+            recv_buf: Vec::new(),
         })
-    }
-
-    /// The child's process id (the fault-injection harness kills agents
-    /// by pid to exercise degradation).
-    #[must_use]
-    pub fn pid(&self) -> u32 {
-        self.child.id()
     }
 }
 
@@ -186,21 +216,28 @@ impl ShardTransport for SubprocessTransport {
         let stdin = self.stdin.as_mut().ok_or_else(|| {
             io::Error::new(io::ErrorKind::BrokenPipe, "agent stdin already closed")
         })?;
-        let payload = msg.encode();
-        frame::write_frame(stdin, &payload)?;
+        let payload = msg.encode_into(std::mem::take(&mut self.payload_buf));
+        self.frame_buf.clear();
+        frame::write_frame(&mut self.frame_buf, &payload)?;
+        self.payload_buf = payload;
+        stdin.write_all(&self.frame_buf)?;
         stdin.flush()?;
-        Ok((frame::HEADER_LEN + payload.len()) as u64)
+        Ok(self.frame_buf.len() as u64)
     }
 
     fn recv(&mut self) -> io::Result<(WireMsg, u64)> {
-        let payload = frame::read_frame(&mut self.stdout)?.ok_or_else(|| {
-            io::Error::new(
+        if !frame::read_frame_into(&mut self.stdout, &mut self.recv_buf)? {
+            return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "agent process closed its stdout",
-            )
-        })?;
-        let n = (frame::HEADER_LEN + payload.len()) as u64;
-        Ok((decode_frame(&payload)?, n))
+            ));
+        }
+        let n = (frame::HEADER_LEN + self.recv_buf.len()) as u64;
+        Ok((decode_frame(&self.recv_buf)?, n))
+    }
+
+    fn pid(&self) -> Option<u32> {
+        Some(self.child.id())
     }
 }
 
@@ -255,9 +292,13 @@ mod tests {
             clearing: ClearingConfig::default(),
         })
         .unwrap();
+        assert_eq!(t.pid(), None);
         let sent = t
-            .send(&WireMsg::BidsBatch {
+            .send(&WireMsg::SlotFrame {
                 slot: Slot::new(9),
+                epoch: 1,
+                statics: None,
+                pdu_spot: Vec::new(),
                 tasks: Vec::new(),
             })
             .unwrap();
@@ -268,7 +309,9 @@ mod tests {
             reply,
             WireMsg::ShardCleared {
                 slot: Slot::new(9),
+                epoch: 1,
                 results: Vec::new(),
+                cache: spotdc_core::ClearingCacheStats::default(),
             }
         );
     }

@@ -1,12 +1,15 @@
 //! Property tests for the distributed market layer.
 //!
-//! Two guarantees are exercised: every wire message survives the shared
-//! length-prefix + CRC-32 frame codec, with damaged frames (torn tails,
-//! flipped bits) failing cleanly instead of panicking or yielding a
-//! bogus message; and the controller's serial in-order merge reproduces
-//! the serial clear bit-for-bit for any shard width and any task
-//! arrival order. A pair of plain tests then drives the real
-//! `spotdc-agent` subprocess end-to-end, healthy and dead.
+//! Three guarantees are exercised: every wire message survives the
+//! shared length-prefix + CRC-32 frame codec, with damaged frames (torn
+//! tails, flipped bits) failing cleanly instead of panicking or
+//! yielding a bogus message; the controller's serial in-order merge
+//! reproduces the serial clear bit-for-bit for any shard width and any
+//! task arrival order; and a warm session — delta bid shipping, epoch
+//! bookkeeping, forced resyncs — replays to exactly the results a cold
+//! full-shipped clear produces under arbitrary bid churn. A trio of
+//! plain tests then drives the real `spotdc-agent` subprocess
+//! end-to-end: healthy, dead, and SIGKILLed mid-session.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -15,10 +18,11 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng as _};
 use spotdc_core::{
-    frame, max_perf_allocate, ClearResult, ClearTask, ClearingConfig, ConcaveGain, ConstraintSet,
-    DemandBid, LinearBid, MarketClearing, RackBid, StepBid, WireMsg,
+    frame, max_perf_allocate, ClearResult, ClearTask, ClearingCacheStats, ClearingConfig,
+    ConcaveGain, ConstraintSet, DemandBid, LinearBid, MarketClearing, RackBid, StepBid, TaskShip,
+    WireMsg,
 };
-use spotdc_dist::{ShardRuntime, TransportKind};
+use spotdc_dist::{SessionTask, ShardRuntime, TransportKind};
 use spotdc_power::topology::TopologyBuilder;
 use spotdc_power::PowerTopology;
 use spotdc_units::{Price, RackId, Slot, TenantId, Watts};
@@ -71,7 +75,7 @@ fn constraints_for(n: usize, p0: f64, p1: f64, ups: f64) -> ConstraintSet {
     )
 }
 
-/// One market sub-market as the shard layer sees it.
+/// One market sub-market as the standalone escape hatch ships it.
 fn market_task() -> impl Strategy<Value = ClearTask> {
     (
         prop::collection::vec(any_bid(), 1..6),
@@ -81,12 +85,25 @@ fn market_task() -> impl Strategy<Value = ClearTask> {
     )
         .prop_map(|(bids, p0, p1, ups)| ClearTask::Market {
             constraints: constraints_for(bids.len(), p0, p1, ups),
-            bids: bids
-                .into_iter()
-                .enumerate()
-                .map(|(i, b)| RackBid::new(RackId::new(i), b))
-                .collect(),
+            bids: positioned(bids),
         })
+}
+
+fn positioned(bids: Vec<DemandBid>) -> Vec<RackBid> {
+    bids.into_iter()
+        .enumerate()
+        .map(|(i, b)| RackBid::new(RackId::new(i), b))
+        .collect()
+}
+
+fn gains_for(segs: &[(f64, f64)]) -> BTreeMap<RackId, ConcaveGain> {
+    segs.iter()
+        .enumerate()
+        .map(|(i, &(w, g))| {
+            let curve = ConcaveGain::new(vec![(w, g), (w / 2.0, g / 2.0)]).expect("descending");
+            (RackId::new(i), curve)
+        })
+        .collect()
 }
 
 /// One water-filling task with strictly concave per-rack gain curves.
@@ -97,25 +114,60 @@ fn maxperf_task() -> impl Strategy<Value = ClearTask> {
         0.0..150.0f64,
         0.0..250.0f64,
     )
-        .prop_map(|(segs, p0, p1, ups)| {
-            let gains: BTreeMap<RackId, ConcaveGain> = segs
-                .iter()
-                .enumerate()
-                .map(|(i, &(w, g))| {
-                    let curve =
-                        ConcaveGain::new(vec![(w, g), (w / 2.0, g / 2.0)]).expect("descending");
-                    (RackId::new(i), curve)
-                })
-                .collect();
-            ClearTask::MaxPerf {
-                gains,
-                constraints: constraints_for(segs.len(), p0, p1, ups),
-            }
+        .prop_map(|(segs, p0, p1, ups)| ClearTask::MaxPerf {
+            gains: gains_for(&segs),
+            constraints: constraints_for(segs.len(), p0, p1, ups),
         })
 }
 
 fn any_task() -> impl Strategy<Value = ClearTask> {
     prop_oneof![market_task(), maxperf_task()]
+}
+
+/// Any session-task shipping granularity a slot frame can carry.
+fn task_ship() -> impl Strategy<Value = TaskShip> {
+    prop_oneof![
+        any_task().prop_map(TaskShip::Standalone),
+        (prop::collection::vec(any_bid(), 1..6), 0.0..250.0f64).prop_map(|(bids, ups)| {
+            TaskShip::MarketFull {
+                ups_spot: Watts::new(ups),
+                bids: positioned(bids),
+            }
+        }),
+        (
+            prop::collection::vec(any_bid(), 0..4),
+            prop::collection::vec(any_bid(), 0..4),
+            0..6u64,
+            0.0..250.0f64,
+        )
+            .prop_map(
+                |(changed, appended, truncate_to, ups)| TaskShip::MarketDelta {
+                    ups_spot: Watts::new(ups),
+                    truncate_to,
+                    changed: changed
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, b)| (i as u64, RackBid::new(RackId::new(i), b)))
+                        .collect(),
+                    appended: appended
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, b)| RackBid::new(RackId::new(8 + i), b))
+                        .collect(),
+                }
+            ),
+        (
+            prop::collection::vec((5.0..50.0f64, 0.1..3.0f64), 1..6),
+            0.0..250.0f64,
+        )
+            .prop_map(|(segs, ups)| TaskShip::MaxPerfFull {
+                ups_spot: Watts::new(ups),
+                gains: gains_for(&segs),
+            }),
+        (0.0..250.0f64).prop_map(|ups| TaskShip::MaxPerfDelta {
+            ups_spot: Watts::new(ups),
+        }),
+    ]
 }
 
 /// Any message either side of the wire can produce. `ShardCleared`
@@ -128,20 +180,42 @@ fn any_message() -> impl Strategy<Value = WireMsg> {
             shard_count: count + 1,
             clearing: ClearingConfig::kink_search(),
         }),
-        (0..10_000u64).prop_map(|s| WireMsg::SlotOpen { slot: Slot::new(s) }),
-        (0..10_000u64, prop::collection::vec(any_task(), 0..3)).prop_map(|(s, tasks)| {
-            WireMsg::BidsBatch {
+        (
+            0..10_000u64,
+            0..100u64,
+            prop::option::of((0.0..150.0f64, 0.0..150.0f64, 0.0..250.0f64)),
+            prop::collection::vec(0.0..150.0f64, 0..3),
+            prop::collection::vec(task_ship(), 0..3),
+        )
+            .prop_map(|(s, epoch, statics, pdu_spot, tasks)| WireMsg::SlotFrame {
                 slot: Slot::new(s),
+                epoch,
+                statics: statics.map(|(p0, p1, ups)| constraints_for(4, p0, p1, ups)),
+                pdu_spot: pdu_spot.into_iter().map(Watts::new).collect(),
                 tasks,
-            }
-        }),
-        (0..10_000u64, prop::collection::vec(any_task(), 0..3)).prop_map(|(s, tasks)| {
-            WireMsg::ShardCleared {
+            }),
+        (
+            0..10_000u64,
+            0..100u64,
+            prop::collection::vec(any_task(), 0..3)
+        )
+            .prop_map(|(s, epoch, tasks)| WireMsg::ShardCleared {
                 slot: Slot::new(s),
+                epoch,
                 results: serial_clear(Slot::new(s), ClearingConfig::default(), &tasks),
-            }
+                cache: ClearingCacheStats {
+                    full_sweeps: s % 7,
+                    cache_hits: epoch % 5,
+                    delta_sweeps: s % 3,
+                    legacy_scans: epoch % 2,
+                    candidates_total: s,
+                    candidates_swept: s / 2,
+                },
+            }),
+        (0..10_000u64, 0..100u64).prop_map(|(s, epoch)| WireMsg::ResyncNeeded {
+            slot: Slot::new(s),
+            epoch,
         }),
-        (0..10_000u64).prop_map(|s| WireMsg::Settle { slot: Slot::new(s) }),
         (0..1u64).prop_map(|_| WireMsg::Shutdown),
     ]
 }
@@ -236,6 +310,118 @@ proptest! {
     }
 }
 
+/// One slot's worth of churn against the session's held bid book.
+#[derive(Debug, Clone)]
+enum Churn {
+    /// Replace the demand curve of bid `i % len` (bitwise change).
+    Mutate(usize, DemandBid),
+    /// Drop bid `i % len`, shifting everything after it down.
+    Remove(usize),
+    /// Append a new bid at the tail.
+    Add(DemandBid),
+    /// Swap to the alternate topology: different statics, so the
+    /// controller must declare every session stale and resync in full.
+    Restatics,
+}
+
+fn churn_op() -> impl Strategy<Value = Churn> {
+    prop_oneof![
+        (0..16usize, any_bid()).prop_map(|(i, b)| Churn::Mutate(i, b)),
+        (0..16usize).prop_map(Churn::Remove),
+        any_bid().prop_map(Churn::Add),
+        (0..1u64).prop_map(|_| Churn::Restatics),
+    ]
+}
+
+/// 12 racks over two PDUs (`alt = false`) or three (`alt = true`); the
+/// rack set is identical, so the same bids clear in both, but the
+/// static layers differ and `same_statics` must say so.
+fn churn_topology(alt: bool) -> PowerTopology {
+    let mut b = TopologyBuilder::new(Watts::new(1e6)).pdu(Watts::new(1e5));
+    for i in 0..12 {
+        if i == 6 || (alt && i == 9) {
+            b = b.pdu(Watts::new(1e5));
+        }
+        b = b.rack(TenantId::new(i), Watts::new(100.0), Watts::new(60.0));
+    }
+    b.build().expect("valid topology")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole's correctness bargain: a warm session fed deltas
+    /// (and the occasional forced resync) produces bit-for-bit the
+    /// results of clearing every slot cold with everything shipped in
+    /// full. Exercised across the real wire (framed bytes through the
+    /// in-process transport), multiple widths, and arbitrary churn.
+    #[test]
+    fn warm_delta_sessions_match_cold_full_clears(
+        initial in prop::collection::vec(any_bid(), 1..6),
+        slots in prop::collection::vec(
+            (churn_op(), 0.0..150.0f64, 0.0..150.0f64, 0.0..250.0f64, 5.0..40.0f64),
+            1..6,
+        ),
+        width in 1..4usize,
+    ) {
+        let clearing = ClearingConfig::default();
+        let mut warm = ShardRuntime::new(width, TransportKind::InProc, clearing).unwrap();
+        let engine = MarketClearing::new(clearing);
+        let mut bids = positioned(initial);
+        let mut next_rack = bids.len();
+        let mut alt = false;
+        let gains = gains_for(&[(30.0, 2.0), (18.0, 1.1)]);
+        for (i, (op, p0, p1, ups, maxperf_ups)) in slots.into_iter().enumerate() {
+            match op {
+                Churn::Mutate(i, b) if !bids.is_empty() => {
+                    let idx = i % bids.len();
+                    bids[idx] = RackBid::new(bids[idx].rack(), b);
+                }
+                Churn::Remove(i) if !bids.is_empty() => {
+                    bids.remove(i % bids.len());
+                }
+                Churn::Add(b) if bids.len() < 12 => {
+                    bids.push(RackBid::new(RackId::new(next_rack % 12), b));
+                    next_rack += 1;
+                }
+                Churn::Restatics => alt = !alt,
+                _ => {}
+            }
+            let pdu_spot: Vec<Watts> = if alt {
+                vec![Watts::new(p0), Watts::new(p1), Watts::new(p0 / 2.0)]
+            } else {
+                vec![Watts::new(p0), Watts::new(p1)]
+            };
+            let constraints =
+                ConstraintSet::new(&churn_topology(alt), pdu_spot, Watts::new(ups));
+            let slot = Slot::new(100 + i as u64);
+            let got = warm.clear_session(
+                slot,
+                &constraints,
+                vec![
+                    SessionTask::Market {
+                        bids: bids.clone(),
+                        ups_spot: constraints.ups_spot(),
+                    },
+                    SessionTask::MaxPerf {
+                        gains: gains.clone(),
+                        ups_spot: Watts::new(maxperf_ups),
+                    },
+                ],
+            );
+            // The cold reference rebuilds everything from scratch.
+            let want = vec![
+                Some(ClearResult::Market(engine.clear(slot, &bids, &constraints))),
+                Some(ClearResult::MaxPerf(max_perf_allocate(
+                    &gains,
+                    &constraints.clone().with_ups_spot(Watts::new(maxperf_ups)),
+                ))),
+            ];
+            prop_assert_eq!(got, want, "slot {} width {}", i, width);
+        }
+    }
+}
+
 /// `agent_binary()` honors `SPOTDC_AGENT_BIN`, a process-wide setting;
 /// serialize the tests that point it at different binaries.
 static AGENT_ENV: Mutex<()> = Mutex::new(());
@@ -248,9 +434,26 @@ fn subprocess_runtime(binary: &str, count: usize) -> std::io::Result<ShardRuntim
     runtime
 }
 
-fn fixed_tasks() -> Vec<ClearTask> {
-    let constraints = constraints_for(3, 60.0, 30.0, 70.0);
-    let bids = vec![
+fn fixed_constraints() -> ConstraintSet {
+    constraints_for(3, 60.0, 30.0, 70.0)
+}
+
+fn fixed_session_tasks() -> Vec<SessionTask> {
+    let constraints = fixed_constraints();
+    vec![
+        SessionTask::Market {
+            bids: fixed_bids(),
+            ups_spot: constraints.ups_spot(),
+        },
+        SessionTask::MaxPerf {
+            gains: fixed_gains(),
+            ups_spot: constraints.ups_spot(),
+        },
+    ]
+}
+
+fn fixed_bids() -> Vec<RackBid> {
+    vec![
         RackBid::new(
             RackId::new(0),
             LinearBid::new(
@@ -268,57 +471,109 @@ fn fixed_tasks() -> Vec<ClearTask> {
                 .unwrap()
                 .into(),
         ),
-    ];
-    let gains: BTreeMap<RackId, ConcaveGain> = [(
+    ]
+}
+
+fn fixed_gains() -> BTreeMap<RackId, ConcaveGain> {
+    [(
         RackId::new(2),
         ConcaveGain::new(vec![(20.0, 2.0), (15.0, 0.5)]).unwrap(),
     )]
     .into_iter()
-    .collect();
+    .collect()
+}
+
+fn fixed_want(slot: Slot) -> Vec<Option<ClearResult>> {
+    let constraints = fixed_constraints();
+    let engine = MarketClearing::new(ClearingConfig::default());
     vec![
-        ClearTask::Market {
-            bids,
-            constraints: constraints.clone(),
-        },
-        ClearTask::MaxPerf { gains, constraints },
+        Some(ClearResult::Market(engine.clear(
+            slot,
+            &fixed_bids(),
+            &constraints,
+        ))),
+        Some(ClearResult::MaxPerf(max_perf_allocate(
+            &fixed_gains(),
+            &constraints,
+        ))),
     ]
 }
 
 #[test]
 fn subprocess_agents_match_the_serial_clear() {
     let slot = Slot::new(23);
-    let want: Vec<Option<ClearResult>> =
-        serial_clear(slot, ClearingConfig::default(), &fixed_tasks())
-            .into_iter()
-            .map(Some)
-            .collect();
     let mut runtime = subprocess_runtime(env!("CARGO_BIN_EXE_spotdc-agent"), 2)
         .expect("spawn spotdc-agent children");
     assert_eq!(runtime.live_shards(), 2);
-    // Two slots through the same agents: state (the assigned shard)
-    // persists across slots.
-    assert_eq!(runtime.clear_tasks(slot, fixed_tasks()), want);
+    // Two slots through the same agents: the first ships everything in
+    // full (cold sessions), the second rides the warm session.
+    let constraints = fixed_constraints();
+    assert_eq!(
+        runtime.clear_session(slot, &constraints, fixed_session_tasks()),
+        fixed_want(slot)
+    );
     let next = Slot::new(24);
-    let want_next: Vec<Option<ClearResult>> =
-        serial_clear(next, ClearingConfig::default(), &fixed_tasks())
-            .into_iter()
-            .map(Some)
-            .collect();
-    assert_eq!(runtime.clear_tasks(next, fixed_tasks()), want_next);
+    assert_eq!(
+        runtime.clear_session(next, &constraints, fixed_session_tasks()),
+        fixed_want(next)
+    );
     assert_eq!(runtime.live_shards(), 2);
+    // The warm slot re-cleared an unchanged book: the shard-side
+    // engines must report cache activity, proving the session (not a
+    // cold rebuild) served it.
+    let stats = runtime.shard_cache_stats();
+    let warm: u64 = stats.iter().map(|s| s.cache_hits + s.delta_sweeps).sum();
+    assert!(warm > 0, "no warm clearing activity: {stats:?}");
 }
 
 #[test]
 fn dead_agents_degrade_their_tasks_to_none() {
     // An "agent" that exits immediately: every RPC fails, the
     // controller marks the shard dead, and its tasks come back None —
-    // the paper's comms-loss rule, not an error.
+    // the paper's comms-loss rule, not an error. Respawning buys
+    // nothing (the replacement dies too), so the budget drains and the
+    // shards stay dead.
     if !std::path::Path::new("/bin/true").is_file() {
         eprintln!("skipping: no /bin/true on this system");
         return;
     }
     let mut runtime = subprocess_runtime("/bin/true", 2).expect("/bin/true spawns");
-    let got = runtime.clear_tasks(Slot::new(5), fixed_tasks());
+    let constraints = fixed_constraints();
+    let got = runtime.clear_session(Slot::new(5), &constraints, fixed_session_tasks());
     assert_eq!(got, vec![None, None]);
     assert_eq!(runtime.live_shards(), 0);
+}
+
+#[test]
+fn sigkilled_agents_respawn_and_resync_in_full() {
+    let mut runtime = subprocess_runtime(env!("CARGO_BIN_EXE_spotdc-agent"), 2)
+        .expect("spawn spotdc-agent children");
+    let constraints = fixed_constraints();
+    assert_eq!(
+        runtime.clear_session(Slot::new(1), &constraints, fixed_session_tasks()),
+        fixed_want(Slot::new(1))
+    );
+    // SIGKILL one agent between slots — no shutdown handshake, its
+    // session state is simply gone.
+    let pid = runtime.agent_pids()[0].expect("subprocess shards have pids");
+    let killed = std::process::Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(killed.success());
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // The slot after the kill degrades the dead shard's tasks (task 0
+    // of 2 lands on shard 0) — capacity is never invented.
+    let after = runtime.clear_session(Slot::new(2), &constraints, fixed_session_tasks());
+    assert_eq!(after[0], None, "killed shard's task must degrade");
+    assert_eq!(after[1], fixed_want(Slot::new(2))[1]);
+    // The next dispatch respawns the shard and resyncs it in full; the
+    // replacement must answer bit-identically to the serial reference.
+    assert_eq!(
+        runtime.clear_session(Slot::new(3), &constraints, fixed_session_tasks()),
+        fixed_want(Slot::new(3))
+    );
+    assert_eq!(runtime.live_shards(), 2);
+    let new_pid = runtime.agent_pids()[0].expect("respawned shard has a pid");
+    assert_ne!(new_pid, pid, "a fresh agent process took over");
 }

@@ -70,6 +70,16 @@ impl Encoder {
         Encoder { buf: Vec::new() }
     }
 
+    /// An empty encoder reusing `buf`'s allocation (the buffer is
+    /// cleared, not appended to). Hot paths that encode every slot —
+    /// the distributed wire protocol — recycle one buffer instead of
+    /// reallocating per message.
+    #[must_use]
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Encoder { buf }
+    }
+
     /// The encoded bytes so far.
     #[must_use]
     pub fn bytes(&self) -> &[u8] {

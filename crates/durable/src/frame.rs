@@ -174,11 +174,24 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// Returns `InvalidData` for torn or corrupt frames and propagates any
 /// underlying I/O error.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut payload = Vec::new();
+    Ok(read_frame_into(r, &mut payload)?.then_some(payload))
+}
+
+/// [`read_frame`] into a caller-owned buffer, reusing its allocation:
+/// the buffer is cleared and refilled with the payload. Returns `false`
+/// on a clean end of stream (the buffer is left empty).
+///
+/// # Errors
+///
+/// Exactly as [`read_frame`].
+pub fn read_frame_into(r: &mut impl Read, payload: &mut Vec<u8>) -> io::Result<bool> {
+    payload.clear();
     let mut header = [0u8; HEADER_LEN];
     let mut got = 0;
     while got < HEADER_LEN {
         match r.read(&mut header[got..])? {
-            0 if got == 0 => return Ok(None),
+            0 if got == 0 => return Ok(false),
             0 => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -196,8 +209,8 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
         ));
     }
     let want = crc32_from(&header[4..8]);
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload).map_err(|e| {
+    payload.resize(len as usize, 0);
+    r.read_exact(payload).map_err(|e| {
         if e.kind() == io::ErrorKind::UnexpectedEof {
             io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -207,13 +220,13 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             e
         }
     })?;
-    if crc32(&payload) != want {
+    if crc32(payload) != want {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "corrupt frame: payload CRC mismatch",
         ));
     }
-    Ok(Some(payload))
+    Ok(true)
 }
 
 #[cfg(test)]

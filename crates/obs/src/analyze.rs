@@ -176,13 +176,21 @@ pub struct ShardClearStats {
 /// `ShardCleared` events (distributed runs only).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DistributedStats {
-    /// Framed messages moved in either direction.
-    pub messages: u64,
-    /// Total wire bytes across them (frame headers included).
+    /// Slot-phase frames moved in either direction.
+    pub frames: u64,
+    /// Total slot-phase wire bytes (frame headers included).
     pub bytes: u64,
-    /// Per-direction, per-kind message counts, keyed `"dir kind"`
-    /// (e.g. `"send BidsBatch"`).
-    pub by_message: BTreeMap<String, u64>,
+    /// Setup-phase (`AssignShard` handshake / respawn) frames.
+    pub setup_frames: u64,
+    /// Setup-phase wire bytes.
+    pub setup_bytes: u64,
+    /// Distinct `(run, slot)` pairs that produced slot-phase traffic —
+    /// the denominator for frames/slot and bytes/slot.
+    pub slots: u64,
+    /// Session tasks shipped as deltas against a warm shard.
+    pub delta_tasks: u64,
+    /// Session tasks shipped in full (cold shard, resync, standalone).
+    pub full_tasks: u64,
     /// Per-shard clearing latency, keyed by shard index.
     pub clears: BTreeMap<u64, ShardClearStats>,
 }
@@ -287,6 +295,8 @@ impl Analysis {
         let mut faults: BTreeMap<String, Vec<(u64, String)>> = BTreeMap::new();
         // shard -> controller-observed clear latencies
         let mut shard_clears: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        // (run, slot) pairs that carried slot-phase shard traffic
+        let mut rpc_slots: BTreeSet<(String, u64)> = BTreeSet::new();
 
         for (idx, line) in body.lines().enumerate() {
             if line.trim().is_empty() {
@@ -406,14 +416,26 @@ impl Analysis {
                     entry.dropped_bytes += *dropped_bytes;
                 }
                 Event::ShardRpc {
-                    dir, msg, bytes, ..
+                    phase,
+                    frames_sent,
+                    frames_recv,
+                    bytes_sent,
+                    bytes_recv,
+                    delta_tasks,
+                    full_tasks,
+                    ..
                 } => {
-                    a.distributed.messages += 1;
-                    a.distributed.bytes += *bytes;
-                    *a.distributed
-                        .by_message
-                        .entry(format!("{dir} {msg}"))
-                        .or_default() += 1;
+                    let d = &mut a.distributed;
+                    if phase == "setup" {
+                        d.setup_frames += frames_sent + frames_recv;
+                        d.setup_bytes += bytes_sent + bytes_recv;
+                    } else {
+                        d.frames += frames_sent + frames_recv;
+                        d.bytes += bytes_sent + bytes_recv;
+                        d.delta_tasks += delta_tasks;
+                        d.full_tasks += full_tasks;
+                        rpc_slots.insert((run_key.clone(), slot));
+                    }
                 }
                 Event::ShardCleared {
                     shard,
@@ -452,6 +474,7 @@ impl Analysis {
             stats.p50_ns = nearest_rank(&samples, 50);
             stats.p99_ns = nearest_rank(&samples, 99);
         }
+        a.distributed.slots = rpc_slots.len() as u64;
         a.emergency_slots.sort();
         a.emergency_slots.dedup();
         a.invariant_slots.sort();
@@ -587,11 +610,26 @@ impl Analysis {
             let d = &self.distributed;
             let _ = writeln!(
                 out,
-                "rpc: {} messages, {} bytes on the wire",
-                d.messages, d.bytes
+                "rpc: {} frames, {} bytes across {} slots (setup: {} frames, {} bytes)",
+                d.frames, d.bytes, d.slots, d.setup_frames, d.setup_bytes
             );
-            for (kind, count) in &d.by_message {
-                let _ = writeln!(out, "  {kind:<18} {count:>8}");
+            if d.slots > 0 {
+                let _ = writeln!(
+                    out,
+                    "  frames/slot: {}  bytes/slot: {}",
+                    fmt_f64(d.frames as f64 / d.slots as f64),
+                    fmt_f64(d.bytes as f64 / d.slots as f64)
+                );
+            }
+            let shipped = d.delta_tasks + d.full_tasks;
+            if shipped > 0 {
+                let _ = writeln!(
+                    out,
+                    "  tasks: {} delta / {} full ({} delta)",
+                    d.delta_tasks,
+                    d.full_tasks,
+                    percent(d.delta_tasks, shipped)
+                );
             }
             for (shard, s) in &d.clears {
                 let _ = writeln!(
@@ -761,17 +799,17 @@ impl Analysis {
         let dist = &self.distributed;
         let _ = write!(
             out,
-            "\"messages\":{},\"bytes\":{}",
-            dist.messages, dist.bytes
+            "\"frames\":{},\"bytes\":{},\"setup_frames\":{},\"setup_bytes\":{},\
+             \"slots\":{},\"delta_tasks\":{},\"full_tasks\":{}",
+            dist.frames,
+            dist.bytes,
+            dist.setup_frames,
+            dist.setup_bytes,
+            dist.slots,
+            dist.delta_tasks,
+            dist.full_tasks
         );
-        out.push_str(",\"by_message\":{");
-        for (i, (kind, count)) in dist.by_message.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "{}:{}", json_str(kind), count);
-        }
-        out.push_str("},\"shards\":{");
+        out.push_str(",\"shards\":{");
         for (i, (shard, s)) in dist.clears.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -905,6 +943,15 @@ fn cluster_faults(faults: BTreeMap<String, Vec<(u64, String)>>) -> Vec<FaultClus
 /// Nanoseconds rendered as microseconds with 0.1 µs resolution.
 fn micros(nanos: u64) -> String {
     format!("{:.1}", nanos as f64 / 1_000.0)
+}
+
+/// A ratio rendered as a fixed-precision percentage.
+fn percent(num: u64, den: u64) -> String {
+    if den == 0 {
+        "0.0%".to_owned()
+    } else {
+        format!("{:.1}%", 100.0 * num as f64 / den as f64)
+    }
 }
 
 /// Deterministic float formatting: fixed 4-decimal precision, so the
@@ -1282,13 +1329,18 @@ mod tests {
 
     #[test]
     fn shard_rpc_traffic_and_clears_are_tallied() {
-        let rpc = |slot: u64, shard: u64, dir: &str, msg: &str, bytes: u64| Event::ShardRpc {
-            slot: Slot::new(slot),
-            at: MonotonicNanos::from_raw(slot * 1_000 + 4),
-            shard,
-            dir: dir.to_owned(),
-            msg: msg.to_owned(),
-            bytes,
+        let rpc = |slot: u64, phase: &str, frames: u64, bytes: u64, delta: u64, full: u64| {
+            Event::ShardRpc {
+                slot: Slot::new(slot),
+                at: MonotonicNanos::from_raw(slot * 1_000 + 4),
+                phase: phase.to_owned(),
+                frames_sent: frames,
+                frames_recv: frames,
+                bytes_sent: bytes,
+                bytes_recv: bytes / 2,
+                delta_tasks: delta,
+                full_tasks: full,
+            }
         };
         let cleared = |slot: u64, shard: u64, outcomes: u64, nanos: u64| Event::ShardCleared {
             slot: Slot::new(slot),
@@ -1298,9 +1350,9 @@ mod tests {
             nanos,
         };
         let body = [
-            line(Some("r"), &rpc(1, 0, "send", "BidsBatch", 600)),
-            line(Some("r"), &rpc(1, 0, "recv", "ShardCleared", 450)),
-            line(Some("r"), &rpc(1, 1, "send", "BidsBatch", 580)),
+            line(Some("r"), &rpc(0, "setup", 2, 300, 0, 0)),
+            line(Some("r"), &rpc(1, "slot", 2, 600, 0, 3)),
+            line(Some("r"), &rpc(2, "slot", 2, 400, 2, 1)),
             line(Some("r"), &cleared(1, 0, 2, 40_000)),
             line(Some("r"), &cleared(2, 0, 2, 60_000)),
             line(Some("r"), &cleared(1, 1, 1, 90_000)),
@@ -1308,10 +1360,13 @@ mod tests {
         .join("\n");
         let a = Analysis::from_jsonl(&body, None);
         let d = &a.distributed;
-        assert_eq!(d.messages, 3);
-        assert_eq!(d.bytes, 1_630);
-        assert_eq!(d.by_message["send BidsBatch"], 2);
-        assert_eq!(d.by_message["recv ShardCleared"], 1);
+        assert_eq!(d.frames, 8);
+        assert_eq!(d.bytes, 1_500);
+        assert_eq!(d.setup_frames, 4);
+        assert_eq!(d.setup_bytes, 450);
+        assert_eq!(d.slots, 2);
+        assert_eq!(d.delta_tasks, 2);
+        assert_eq!(d.full_tasks, 4);
         assert_eq!(d.clears[&0].count, 2);
         assert_eq!(d.clears[&0].outcomes, 4);
         assert_eq!(d.clears[&0].p50_ns, 40_000);
@@ -1320,7 +1375,15 @@ mod tests {
         assert_eq!(d.clears[&1].p50_ns, 90_000);
         let text = a.render_text();
         assert!(
-            text.contains("rpc: 3 messages, 1630 bytes on the wire"),
+            text.contains("rpc: 8 frames, 1500 bytes across 2 slots (setup: 4 frames, 450 bytes)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("frames/slot: 4.0000  bytes/slot: 750.0000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tasks: 2 delta / 4 full (33.3% delta)"),
             "{text}"
         );
         assert!(
@@ -1330,8 +1393,9 @@ mod tests {
         let json = a.render_json();
         assert!(
             json.contains(
-                "\"distributed\":{\"messages\":3,\"bytes\":1630,\
-                 \"by_message\":{\"recv ShardCleared\":1,\"send BidsBatch\":2},\
+                "\"distributed\":{\"frames\":8,\"bytes\":1500,\
+                 \"setup_frames\":4,\"setup_bytes\":450,\
+                 \"slots\":2,\"delta_tasks\":2,\"full_tasks\":4,\
                  \"shards\":{\"0\":{\"clears\":2,\"outcomes\":4,\"p50_ns\":40000,\"p99_ns\":60000},\
                  \"1\":{\"clears\":1,\"outcomes\":1,\"p50_ns\":90000,\"p99_ns\":90000}}}"
             ),

@@ -11,8 +11,8 @@
 use std::collections::BTreeMap;
 
 use spotdc_core::{
-    check_allocation, max_perf_allocate, ClearResult, ClearTask, ConcaveGain, ConstraintSet,
-    MarketClearing, MarketInvariant, MarketOutcome, RackBid, TenantBid,
+    check_allocation, max_perf_allocate, ClearResult, ConcaveGain, ConstraintSet, MarketClearing,
+    MarketInvariant, MarketOutcome, RackBid, TenantBid,
 };
 use spotdc_faults::{BidFault, FaultPlan, MeterFault};
 use spotdc_power::PowerMeter;
@@ -429,15 +429,21 @@ impl SlotStage for ClearUniform {
         let constraints = ctx.constraints.take().expect("Predict runs before Clear");
         let outcome = match state.dist.as_mut() {
             Some(dist) => {
-                // Distributed: the uniform market is a single task (it
-                // clears against the shared UPS constraint, so it can't
-                // split). A dead shard degrades the slot to "no spot
-                // capacity" — the paper's comms-loss rule.
-                let task = ClearTask::Market {
+                // Distributed: the uniform market is a single session
+                // task (it clears against the shared UPS constraint, so
+                // it can't split); the shard holds the bid book and
+                // statics, so warm slots ship only the churn. A dead
+                // shard degrades the slot to "no spot capacity" — the
+                // paper's comms-loss rule.
+                let task = spotdc_dist::SessionTask::Market {
                     bids: ctx.rack_bids.clone(),
-                    constraints: constraints.clone(),
+                    ups_spot: constraints.ups_spot(),
                 };
-                match dist.clear_tasks(slot, vec![task]).pop().flatten() {
+                match dist
+                    .clear_session(slot, &constraints, vec![task])
+                    .pop()
+                    .flatten()
+                {
                     Some(ClearResult::Market(outcome)) => outcome,
                     _ => {
                         ctx.slot_degraded = true;
@@ -519,21 +525,24 @@ impl SlotStage for ClearPerPdu {
         let mut revenue_weighted_price = 0.0;
         self.combined.clear();
         let outcomes: Vec<Option<MarketOutcome>> = if let Some(dist) = state.dist.as_mut() {
-            // Distributed: one task per PDU sub-market, assigned
-            // round-robin across the shard agents. Replies come back in
-            // task (PDU) order, so the merge below is identical to the
-            // serial path; a dead shard's sub-markets come back `None`
-            // and degrade to "no spot capacity".
+            // Distributed: one session task per PDU sub-market,
+            // assigned round-robin across the shard agents. Each shard
+            // already holds the static constraint layers and last
+            // slot's bid books, so the frame carries only each
+            // sub-market's UPS share and bid churn. Replies come back
+            // in task (PDU) order, so the merge below is identical to
+            // the serial path; a dead shard's sub-markets come back
+            // `None` and degrade to "no spot capacity".
             let tasks = self
                 .clearing
-                .per_pdu_submarkets(&ctx.rack_bids, &constraints)
+                .per_pdu_submarket_shares(&ctx.rack_bids, &constraints)
                 .into_iter()
-                .map(|(bids, local)| ClearTask::Market {
+                .map(|(bids, share)| spotdc_dist::SessionTask::Market {
                     bids,
-                    constraints: local,
+                    ups_spot: share,
                 })
                 .collect();
-            dist.clear_tasks(slot, tasks)
+            dist.clear_session(slot, &constraints, tasks)
                 .into_iter()
                 .map(|result| match result {
                     Some(ClearResult::Market(outcome)) => Some(outcome),
@@ -630,13 +639,19 @@ impl SlotStage for ClearMaxPerf {
         let constraints = ctx.constraints.take().expect("Predict runs before Clear");
         let grants = match state.dist.as_mut() {
             Some(dist) => {
-                // Distributed: water-filling is a single task (the
-                // envelopes interact through the shared constraints).
-                let task = ClearTask::MaxPerf {
+                // Distributed: water-filling is a single session task
+                // (the envelopes interact through the shared
+                // constraints); static gain envelopes ship as a delta
+                // when unchanged between slots.
+                let task = spotdc_dist::SessionTask::MaxPerf {
                     gains: ctx.gains.clone(),
-                    constraints: constraints.clone(),
+                    ups_spot: constraints.ups_spot(),
                 };
-                match dist.clear_tasks(slot, vec![task]).pop().flatten() {
+                match dist
+                    .clear_session(slot, &constraints, vec![task])
+                    .pop()
+                    .flatten()
+                {
                     Some(ClearResult::MaxPerf(grants)) => grants,
                     _ => {
                         ctx.slot_degraded = true;

@@ -209,23 +209,32 @@ pub enum Event {
         /// Bytes discarded from the journal tail.
         dropped_bytes: u64,
     },
-    /// A wire-protocol message crossed the controller/agent boundary
-    /// (distributed mode only). Emitted by the controller for both
-    /// directions, so per-shard message and byte counts can be
-    /// reconstructed from the log.
+    /// Aggregated wire traffic for one controller↔agents exchange
+    /// (distributed mode only). Emitted once per slot by the controller
+    /// with `phase: "slot"`, and once per `AssignShard` handshake with
+    /// `phase: "setup"` so connection setup never pollutes per-slot
+    /// tallies. Byte counts include the 8-byte frame header.
     ShardRpc {
-        /// The slot the message belongs to.
+        /// The slot the exchange belongs to (for setup: the slot at
+        /// which the handshake happened, `0` at startup).
         slot: Slot,
         /// Monotonic timestamp.
         at: MonotonicNanos,
-        /// The shard agent on the other end.
-        shard: u64,
-        /// Direction from the controller's view: "send" or "recv".
-        dir: String,
-        /// Wire message name ("BidsBatch", "ShardCleared", ...).
-        msg: String,
-        /// Bytes on the wire, including the 8-byte frame header.
-        bytes: u64,
+        /// "slot" for per-slot clearing traffic, "setup" for the
+        /// `AssignShard` handshake.
+        phase: String,
+        /// Frames sent controller → agents.
+        frames_sent: u64,
+        /// Frames received back from agents.
+        frames_recv: u64,
+        /// Bytes sent controller → agents.
+        bytes_sent: u64,
+        /// Bytes received back from agents.
+        bytes_recv: u64,
+        /// Session tasks shipped as deltas.
+        delta_tasks: u64,
+        /// Session tasks shipped in full.
+        full_tasks: u64,
     },
     /// A shard agent returned its clearing results for a slot
     /// (distributed mode only).
@@ -536,19 +545,25 @@ impl Event {
                 );
             }
             Event::ShardRpc {
-                shard,
-                dir,
-                msg,
-                bytes,
+                phase,
+                frames_sent,
+                frames_recv,
+                bytes_sent,
+                bytes_recv,
+                delta_tasks,
+                full_tasks,
                 ..
             } => {
                 let _ = write!(
                     out,
-                    ",\"shard\":{},\"dir\":{},\"msg\":{},\"bytes\":{}",
-                    shard,
-                    json_str(dir),
-                    json_str(msg),
-                    bytes
+                    ",\"phase\":{},\"frames_sent\":{},\"frames_recv\":{},\"bytes_sent\":{},\"bytes_recv\":{},\"delta_tasks\":{},\"full_tasks\":{}",
+                    json_str(phase),
+                    frames_sent,
+                    frames_recv,
+                    bytes_sent,
+                    bytes_recv,
+                    delta_tasks,
+                    full_tasks
                 );
             }
             Event::ShardCleared {
@@ -715,10 +730,13 @@ impl Event {
             "ShardRpc" => Ok(Event::ShardRpc {
                 slot,
                 at,
-                shard: int("shard")?,
-                dir: str_field("dir")?.to_owned(),
-                msg: str_field("msg")?.to_owned(),
-                bytes: int("bytes")?,
+                phase: str_field("phase")?.to_owned(),
+                frames_sent: int("frames_sent")?,
+                frames_recv: int("frames_recv")?,
+                bytes_sent: int("bytes_sent")?,
+                bytes_recv: int("bytes_recv")?,
+                delta_tasks: int("delta_tasks")?,
+                full_tasks: int("full_tasks")?,
             }),
             "ShardCleared" => Ok(Event::ShardCleared {
                 slot,
@@ -966,10 +984,13 @@ mod tests {
             Event::ShardRpc {
                 slot: Slot::new(80),
                 at: MonotonicNanos::from_raw(100_700),
-                shard: 1,
-                dir: "send".to_owned(),
-                msg: "BidsBatch".to_owned(),
-                bytes: 612,
+                phase: "slot".to_owned(),
+                frames_sent: 2,
+                frames_recv: 2,
+                bytes_sent: 612,
+                bytes_recv: 498,
+                delta_tasks: 5,
+                full_tasks: 1,
             },
             Event::ShardCleared {
                 slot: Slot::new(80),

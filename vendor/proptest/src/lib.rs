@@ -3,7 +3,7 @@
 //! The build environment has no access to crates.io, so this crate
 //! re-implements the subset of the proptest 1.x API that SpotDC's
 //! property tests use: the [`proptest!`] macro, range/tuple/`prop_map`/
-//! `prop_oneof!`/`collection::vec` strategies, `prop_assert*!`, and
+//! `prop_oneof!`/`collection::vec`/`option::of` strategies, `prop_assert*!`, and
 //! [`test_runner::ProptestConfig`]. Differences from upstream:
 //!
 //! * **No shrinking.** A failing case panics with the case number; the
@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub mod collection;
+pub mod option;
 pub mod strategy;
 pub mod test_runner;
 
